@@ -1,0 +1,147 @@
+//! Ablation benches for the design choices DESIGN.md §4 calls out.
+//!
+//! These measure *outcomes* as well as time: each ablation prints the
+//! quality metric it changes (packing density, repair rate, savings) so
+//! `cargo bench ablation` doubles as the ablation study.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gsf_bench::bench_trace;
+use gsf_carbon::datasets::open_source;
+use gsf_carbon::{CarbonModel, ModelParams};
+use gsf_maintenance::{FipPolicy, ServerAfr};
+use gsf_perf::analytic::MmcQueue;
+use gsf_perf::des::{simulate, DesConfig, ServiceDist};
+use gsf_stats::rng::SeedFactory;
+use gsf_vmalloc::{AllocationSim, ClusterConfig, PlacementPolicy, PlacementRequest, ServerShape};
+use gsf_workloads::VmSpec;
+
+fn baseline_transform(vm: &VmSpec) -> PlacementRequest {
+    PlacementRequest::baseline_only(vm)
+}
+
+/// Ablation: best-fit vs first-fit vs worst-fit packing density.
+fn ablation_placement_policy(c: &mut Criterion) {
+    let trace = bench_trace();
+    let mut group = c.benchmark_group("ablation_placement_policy");
+    for policy in
+        [PlacementPolicy::BestFit, PlacementPolicy::FirstFit, PlacementPolicy::WorstFit]
+    {
+        // Print the quality outcome once per policy.
+        let out = AllocationSim::new(ClusterConfig::baseline_only(24), policy)
+            .replay(&trace, &baseline_transform);
+        println!(
+            "[ablation] {policy}: core density {:.3}, rejected {}",
+            out.metrics.baseline.mean_core_density(),
+            out.rejected
+        );
+        group.bench_function(policy.to_string(), |b| {
+            b.iter(|| {
+                let sim = AllocationSim::new(ClusterConfig::baseline_only(24), policy);
+                black_box(sim.replay(&trace, &baseline_transform))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: FIP effectiveness 0 % / 50 % / 75 % on repair rates.
+fn ablation_fip_effectiveness(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_fip");
+    for eff in [0.0, 0.5, 0.75] {
+        let fip = FipPolicy { effectiveness: eff };
+        println!(
+            "[ablation] FIP {:.0}%: baseline repair {:.2}, GreenSKU-Full repair {:.2}",
+            eff * 100.0,
+            fip.repair_rate(&ServerAfr::baseline()),
+            fip.repair_rate(&ServerAfr::greensku_full())
+        );
+        group.bench_function(format!("fip_{:.0}pct", eff * 100.0), |b| {
+            b.iter(|| {
+                black_box(fip.repair_rate(&ServerAfr::baseline()));
+                black_box(fip.repair_rate(&ServerAfr::greensku_full()));
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: one vs two CXL controller cards on per-core savings.
+fn ablation_cxl_cards(c: &mut Criterion) {
+    let model = CarbonModel::new(ModelParams::default_open_source());
+    let baseline = open_source::baseline_gen3();
+    let mut group = c.benchmark_group("ablation_cxl_cards");
+    for (label, sku) in [
+        ("one_card", open_source::greensku_full()),
+        ("two_cards", open_source::greensku_full_two_cxl_cards()),
+    ] {
+        let savings = model.savings(&baseline, &sku).unwrap();
+        println!("[ablation] {label}: total per-core savings {:.1}%", savings.total * 100.0);
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(model.savings(&baseline, &sku).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: DES vs analytic M/M/c tail estimation (accuracy vs speed).
+fn ablation_des_vs_analytic(c: &mut Criterion) {
+    let config = DesConfig {
+        cores: 8,
+        qps: 3200.0,
+        mean_service_ms: 2.0,
+        dist: ServiceDist::Exponential,
+        requests: 20_000,
+        warmup_fraction: 0.1,
+    };
+    let queue = MmcQueue::new(8, 3200.0, 2.0).unwrap();
+    let mut rng = SeedFactory::new(5).stream("ablation");
+    let des_p95 = simulate(&config, &mut rng).p95_ms;
+    println!(
+        "[ablation] p95 estimate: DES {:.3} ms vs analytic {:.3} ms",
+        des_p95,
+        queue.p95_response_ms()
+    );
+    let mut group = c.benchmark_group("ablation_tail_estimator");
+    group.bench_function("des_20k_requests", |b| {
+        b.iter(|| {
+            let mut rng = SeedFactory::new(5).stream("ablation");
+            black_box(simulate(&config, &mut rng))
+        })
+    });
+    group.bench_function("analytic_mmc", |b| {
+        b.iter(|| black_box(queue.p95_response_ms()))
+    });
+    group.finish();
+}
+
+/// Ablation: growth-buffer headroom fraction on the buffered plan.
+fn ablation_buffer_fraction(c: &mut Criterion) {
+    use gsf_cluster::buffer::GrowthBufferPolicy;
+    use gsf_cluster::sizing::ClusterPlan;
+    let plan = ClusterPlan { baseline: 4, green: 20 };
+    let mut group = c.benchmark_group("ablation_buffer");
+    for frac in [0.0, 0.05, 0.10, 0.20] {
+        let policy = GrowthBufferPolicy { capacity_fraction: frac };
+        let buffered = policy.apply(&plan, ServerShape::baseline_gen3().cores, 128);
+        println!(
+            "[ablation] buffer {:.0}%: {} baseline + {} green servers",
+            frac * 100.0,
+            buffered.baseline,
+            buffered.green
+        );
+        group.bench_function(format!("buffer_{:.0}pct", frac * 100.0), |b| {
+            b.iter(|| black_box(policy.apply(&plan, 80, 128)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_placement_policy,
+    ablation_fip_effectiveness,
+    ablation_cxl_cards,
+    ablation_des_vs_analytic,
+    ablation_buffer_fraction
+);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Carbon-model benches: the code paths behind Fig. 1, Tables IV/V/VI/
+//! VIII, and the §VII-B analyses.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gsf_carbon::breakdown::{FleetModel, DEFAULT_RENEWABLE_FRACTION};
+use gsf_carbon::datasets::open_source;
+use gsf_carbon::equivalence::{
+    efficiency_gain_for_savings, lifetime_extension_for_savings,
+    renewables_increase_for_savings,
+};
+use gsf_carbon::{CarbonModel, ModelParams};
+
+/// Table VIII: assess all five SKUs and compute the four savings rows.
+fn table8_savings(c: &mut Criterion) {
+    let model = CarbonModel::new(ModelParams::default_open_source());
+    let baseline = open_source::baseline_gen3();
+    let greens = open_source::table_viii_skus();
+    c.bench_function("table8_savings_all_rows", |b| {
+        b.iter(|| {
+            for sku in &greens[1..] {
+                black_box(model.savings(&baseline, sku).unwrap());
+            }
+        })
+    });
+}
+
+/// The §V worked example at rack level (golden-number path).
+fn worked_example(c: &mut Criterion) {
+    let model = CarbonModel::new(ModelParams::worked_example());
+    let sku = open_source::greensku_cxl_example();
+    c.bench_function("worked_example_rack_assessment", |b| {
+        b.iter(|| black_box(model.assess_rack(&sku).unwrap()))
+    });
+}
+
+/// Fig. 1: the fleet breakdown at a given renewables mix.
+fn fig1_breakdown(c: &mut Criterion) {
+    let fleet = FleetModel::azure_calibrated();
+    c.bench_function("fig1_breakdown", |b| {
+        b.iter(|| black_box(fleet.breakdown(black_box(DEFAULT_RENEWABLE_FRACTION))))
+    });
+}
+
+/// §VII-B: the three equivalence solvers.
+fn sec7_equivalence(c: &mut Criterion) {
+    let fleet = FleetModel::azure_calibrated();
+    c.bench_function("sec7_equivalence_solvers", |b| {
+        b.iter(|| {
+            black_box(
+                renewables_increase_for_savings(&fleet, DEFAULT_RENEWABLE_FRACTION, 0.07)
+                    .unwrap(),
+            );
+            black_box(
+                efficiency_gain_for_savings(&fleet, DEFAULT_RENEWABLE_FRACTION, 0.07).unwrap(),
+            );
+            black_box(
+                lifetime_extension_for_savings(&fleet, DEFAULT_RENEWABLE_FRACTION, 6.0, 0.07)
+                    .unwrap(),
+            );
+        })
+    });
+}
+
+/// Microbench: SKU construction from the dataset (Tables V/VI path).
+fn dataset_construction(c: &mut Criterion) {
+    c.bench_function("table5_6_sku_construction", |b| {
+        b.iter(|| black_box(open_source::table_viii_skus()))
+    });
+}
+
+criterion_group!(
+    benches,
+    table8_savings,
+    worked_example,
+    fig1_breakdown,
+    sec7_equivalence,
+    dataset_construction
+);
+criterion_main!(benches);

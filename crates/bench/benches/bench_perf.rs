@@ -1,0 +1,94 @@
+//! Performance-model benches: the code paths behind Fig. 7, Fig. 8,
+//! Table II, and Table III.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gsf_bench::bench_seeds;
+use gsf_perf::analytic::MmcQueue;
+use gsf_perf::des::{simulate, DesConfig, ServiceDist};
+use gsf_perf::sweep::LoadSweep;
+use gsf_perf::throughput::table_ii;
+use gsf_perf::{scaling_table, slowdown, MemoryPlacement, SkuPerfProfile};
+use gsf_workloads::catalog;
+
+/// Table III: the full 20-app × 3-generation scaling matrix.
+fn table3_scaling(c: &mut Criterion) {
+    let apps = catalog::applications();
+    c.bench_function("table3_scaling_matrix", |b| {
+        b.iter(|| {
+            black_box(scaling_table(
+                &apps,
+                &SkuPerfProfile::greensku_efficient(),
+                MemoryPlacement::LocalOnly,
+            ))
+        })
+    });
+}
+
+/// Table II: the build-slowdown rows.
+fn table2_builds(c: &mut Criterion) {
+    c.bench_function("table2_build_slowdowns", |b| b.iter(|| black_box(table_ii())));
+}
+
+/// Fig. 7: one DES latency point at 90 % load (the unit of the sweep).
+fn fig7_latency_point(c: &mut Criterion) {
+    let config = DesConfig {
+        cores: 8,
+        qps: 3600.0,
+        mean_service_ms: 2.0,
+        dist: ServiceDist::LogNormal { sigma: 0.9 },
+        requests: 20_000,
+        warmup_fraction: 0.1,
+    };
+    c.bench_function("fig7_des_point_20k_requests", |b| {
+        b.iter(|| {
+            let mut rng = bench_seeds().stream("bench-des");
+            black_box(simulate(&config, &mut rng))
+        })
+    });
+}
+
+/// Fig. 8: the Moses CXL-vs-local curve pair at reduced fidelity.
+fn fig8_curve_pair(c: &mut Criterion) {
+    let moses = catalog::by_name("Moses").unwrap();
+    let loads = LoadSweep::standard_loads(2750.0);
+    c.bench_function("fig8_moses_curve_pair", |b| {
+        b.iter(|| {
+            for (sku, placement) in [
+                (SkuPerfProfile::greensku_efficient(), MemoryPlacement::LocalOnly),
+                (SkuPerfProfile::greensku_cxl(), MemoryPlacement::Naive),
+            ] {
+                let sweep = LoadSweep::new(moses.clone(), sku, placement, 10)
+                    .with_requests(4_000)
+                    .with_trials(1);
+                black_box(sweep.run(&bench_seeds(), &loads));
+            }
+        })
+    });
+}
+
+/// Microbench: a single slowdown evaluation (the inner loop of
+/// everything above).
+fn slowdown_eval(c: &mut Criterion) {
+    let masstree = catalog::by_name("Masstree").unwrap();
+    let sku = SkuPerfProfile::greensku_cxl();
+    c.bench_function("slowdown_single_eval", |b| {
+        b.iter(|| black_box(slowdown(&masstree, &sku, MemoryPlacement::Naive)))
+    });
+}
+
+/// Microbench: analytic M/M/c p95 (the scaling search's primitive).
+fn analytic_p95(c: &mut Criterion) {
+    let q = MmcQueue::new(8, 3600.0, 2.0).unwrap();
+    c.bench_function("analytic_mmc_p95", |b| b.iter(|| black_box(q.p95_response_ms())));
+}
+
+criterion_group!(
+    benches,
+    table3_scaling,
+    table2_builds,
+    fig7_latency_point,
+    fig8_curve_pair,
+    slowdown_eval,
+    analytic_p95
+);
+criterion_main!(benches);

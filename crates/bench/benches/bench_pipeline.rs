@@ -1,0 +1,144 @@
+//! End-to-end pipeline benches: the code paths behind Figs. 11/12, the
+//! maintenance example, and the adoption statistics.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gsf_bench::bench_trace;
+use gsf_carbon::units::CarbonIntensity;
+use gsf_carbon::ModelParams;
+use gsf_core::{GreenSkuDesign, GsfPipeline, PipelineConfig, VmRouter};
+use gsf_experiments::fig11;
+use gsf_maintenance::CoosComparison;
+use gsf_workloads::catalog;
+
+/// Fig. 12: one full pipeline evaluation (adoption → sizing → buffer →
+/// emissions) at one carbon intensity.
+fn fig12_pipeline_point(c: &mut Criterion) {
+    let pipeline = GsfPipeline::new(PipelineConfig::default());
+    let trace = bench_trace();
+    let design = GreenSkuDesign::full();
+    c.bench_function("fig12_pipeline_evaluate", |b| {
+        b.iter(|| {
+            black_box(
+                pipeline
+                    .evaluate_at(&design, &trace, CarbonIntensity::new(0.1))
+                    .unwrap(),
+            )
+        })
+    });
+}
+
+/// Fig. 11: the analytic reconstruction of one 60-point curve.
+fn fig11_analytic_curve(c: &mut Criterion) {
+    c.bench_function("fig11_analytic_curve_60_points", |b| {
+        b.iter(|| {
+            for i in 0..=60 {
+                let ci = f64::from(i) * 0.01;
+                black_box(fig11::savings_at(ci, 0.29, 0.14));
+                black_box(fig11::savings_at(ci, 0.17, 0.43));
+            }
+        })
+    });
+}
+
+/// Adoption: routing every trace VM through the adoption model.
+fn adoption_routing(c: &mut Criterion) {
+    let router =
+        VmRouter::new(ModelParams::default_open_source(), &GreenSkuDesign::full()).unwrap();
+    let trace = bench_trace();
+    c.bench_function("adoption_route_trace_vms", |b| {
+        b.iter(|| {
+            for vm in trace.vms() {
+                black_box(router.request(vm));
+            }
+        })
+    });
+}
+
+/// Maintenance: the C_OOS comparison.
+fn maintenance_coos(c: &mut Criterion) {
+    c.bench_function("maintenance_coos", |b| b.iter(|| black_box(CoosComparison::paper())));
+}
+
+/// Adoption tolerance scan over the catalog.
+fn adoption_cxl_tolerance(c: &mut Criterion) {
+    let apps = catalog::applications();
+    c.bench_function("adoption_cxl_tolerance_scan", |b| {
+        b.iter(|| {
+            black_box(apps.iter().filter(|a| a.tolerates_full_cxl()).count())
+        })
+    });
+}
+
+/// §VIII design-space search: the full 54-candidate evaluation.
+fn sec8_design_search(c: &mut Criterion) {
+    use gsf_core::search::{evaluate_space, CandidateSpace};
+    c.bench_function("sec8_design_search_54_candidates", |b| {
+        b.iter(|| {
+            black_box(
+                evaluate_space(
+                    &CandidateSpace::paper_neighborhood(),
+                    ModelParams::default_open_source(),
+                )
+                .unwrap(),
+            )
+        })
+    });
+}
+
+/// §VIII autoscaler: a 48-hour diurnal control run.
+fn sec8_autoscaler(c: &mut Criterion) {
+    use gsf_perf::autoscale::{diurnal_load, AutoscaleConfig, Autoscaler};
+    use gsf_perf::{MemoryPlacement, SkuPerfProfile};
+    let app = catalog::by_name("Xapian").unwrap();
+    let scaler = Autoscaler::new(
+        app,
+        SkuPerfProfile::greensku_efficient(),
+        MemoryPlacement::LocalOnly,
+        AutoscaleConfig::new(10.0),
+    );
+    let load = diurnal_load(2500.0, 0.6, 48.0, 5.0);
+    c.bench_function("sec8_autoscaler_48h_run", |b| {
+        b.iter(|| black_box(scaler.run(&load)))
+    });
+}
+
+/// §IX temporal stacking: schedule a 50-job batch across a solar region.
+fn temporal_batch_scheduling(c: &mut Criterion) {
+    use gsf_core::temporal::{schedule_batch, BatchJob};
+    let region = gsf_carbon::grid::region("australia-east").unwrap();
+    let jobs: Vec<BatchJob> =
+        (0..50).map(|i| BatchJob::flexible(0.5 + f64::from(i % 6), 4 + (i % 12))).collect();
+    c.bench_function("temporal_schedule_50_jobs", |b| {
+        b.iter(|| black_box(schedule_batch(&region, &jobs)))
+    });
+}
+
+/// §VII-A TCO model: the Table VIII set priced in dollars.
+fn sec7a_tco(c: &mut Criterion) {
+    use gsf_carbon::cost::{CostModel, CostParams};
+    use gsf_carbon::datasets::open_source;
+    let model =
+        CostModel::new(ModelParams::default_open_source(), CostParams::public_estimates());
+    let skus = open_source::table_viii_skus();
+    c.bench_function("sec7a_tco_assess_all_skus", |b| {
+        b.iter(|| {
+            for sku in &skus {
+                black_box(model.assess(sku).unwrap());
+            }
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    fig12_pipeline_point,
+    fig11_analytic_curve,
+    adoption_routing,
+    maintenance_coos,
+    adoption_cxl_tolerance,
+    sec8_design_search,
+    sec8_autoscaler,
+    temporal_batch_scheduling,
+    sec7a_tco
+);
+criterion_main!(benches);

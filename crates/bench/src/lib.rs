@@ -1,0 +1,49 @@
+//! Shared fixtures for the benchmark harness.
+//!
+//! The benches are organized one group per paper exhibit (so
+//! `cargo bench table8` or `cargo bench fig9` re-times the code that
+//! regenerates that exhibit) plus microbenches of the hot paths and the
+//! ablations called out in DESIGN.md §4.
+
+use gsf_stats::rng::SeedFactory;
+use gsf_workloads::{Trace, TraceGenerator, TraceParams};
+
+/// The seed all benches share (bit-reproducible inputs).
+pub const BENCH_SEED: u64 = 2024;
+
+/// A small but non-trivial VM trace (~500 VMs) for allocation and
+/// pipeline benches.
+pub fn bench_trace() -> Trace {
+    TraceGenerator::new(TraceParams {
+        duration_hours: 12.0,
+        arrivals_per_hour: 40.0,
+        ..TraceParams::default()
+    })
+    .generate(&SeedFactory::new(BENCH_SEED), 0)
+}
+
+/// A larger trace (~2000 VMs) for sizing-search benches.
+pub fn bench_trace_large() -> Trace {
+    TraceGenerator::new(TraceParams {
+        duration_hours: 24.0,
+        arrivals_per_hour: 80.0,
+        ..TraceParams::default()
+    })
+    .generate(&SeedFactory::new(BENCH_SEED), 1)
+}
+
+/// The seed factory benches derive their streams from.
+pub fn bench_seeds() -> SeedFactory {
+    SeedFactory::new(BENCH_SEED)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_reproducible() {
+        assert_eq!(bench_trace(), bench_trace());
+        assert!(bench_trace_large().vms().len() > bench_trace().vms().len());
+    }
+}

@@ -1,0 +1,86 @@
+//! Error types for the carbon model.
+
+use std::fmt;
+
+/// Errors produced by carbon-model construction and evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CarbonError {
+    /// A component was constructed with invalid parameters.
+    InvalidComponent {
+        /// Name of the offending component.
+        component: String,
+        /// What was wrong.
+        reason: String,
+    },
+    /// A server specification is invalid (e.g. zero cores).
+    InvalidServer {
+        /// Name of the offending server SKU.
+        sku: String,
+        /// What was wrong.
+        reason: String,
+    },
+    /// Model parameters are invalid (e.g. negative lifetime).
+    InvalidParams {
+        /// What was wrong.
+        reason: String,
+    },
+    /// A server cannot be placed in the configured rack (draws more power
+    /// than the rack budget or does not fit the rack's space).
+    RackOverflow {
+        /// Name of the offending server SKU.
+        sku: String,
+        /// What was wrong.
+        reason: String,
+    },
+    /// A numeric search (e.g. §VII-B equivalence solving) failed to
+    /// bracket or converge on a solution.
+    SearchFailed {
+        /// Which analysis failed.
+        analysis: &'static str,
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CarbonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CarbonError::InvalidComponent { component, reason } => {
+                write!(f, "invalid component `{component}`: {reason}")
+            }
+            CarbonError::InvalidServer { sku, reason } => {
+                write!(f, "invalid server `{sku}`: {reason}")
+            }
+            CarbonError::InvalidParams { reason } => {
+                write!(f, "invalid model parameters: {reason}")
+            }
+            CarbonError::RackOverflow { sku, reason } => {
+                write!(f, "server `{sku}` does not fit the rack: {reason}")
+            }
+            CarbonError::SearchFailed { analysis, reason } => {
+                write!(f, "{analysis} search failed: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CarbonError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = CarbonError::InvalidParams { reason: "lifetime is zero".into() };
+        assert_eq!(e.to_string(), "invalid model parameters: lifetime is zero");
+        let e = CarbonError::RackOverflow { sku: "X".into(), reason: "too wide".into() };
+        assert!(e.to_string().contains("does not fit"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CarbonError>();
+    }
+}

@@ -1,0 +1,166 @@
+//! Rack-level aggregation: how many servers fit, rack power, rack
+//! embodied emissions (Eqs. 2–3 of the paper).
+
+use crate::error::CarbonError;
+use crate::params::RackParams;
+use crate::server::ServerSpec;
+use crate::units::{KgCo2e, Watts};
+
+/// A rack populated homogeneously with one server SKU.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RackFill {
+    servers: u32,
+    constraint: RackConstraint,
+    server_power: Watts,
+    rack_power: Watts,
+    rack_embodied: KgCo2e,
+    cores: u32,
+}
+
+/// Which resource limited the number of servers per rack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RackConstraint {
+    /// Rack ran out of U space first.
+    Space,
+    /// Rack ran out of power budget first.
+    Power,
+}
+
+impl RackFill {
+    /// Packs `server` into a rack under `params`:
+    /// `N_s = min(⌊(P_cap − P_misc)/P_s⌋, ⌊space/U⌋)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CarbonError::RackOverflow`] if not even one server fits
+    /// (by space or power).
+    pub fn pack(server: &ServerSpec, params: &RackParams) -> Result<Self, CarbonError> {
+        params.validate().map_err(|e| CarbonError::RackOverflow {
+            sku: server.name().to_string(),
+            reason: e.to_string(),
+        })?;
+        let server_power = server.average_power();
+        let by_space = params.space_u / server.form_factor_u();
+        let power_budget = params.power_capacity - params.misc_power;
+        let by_power = if server_power.get() > 0.0 {
+            (power_budget.get() / server_power.get()).floor() as u32
+        } else {
+            u32::MAX
+        };
+        let servers = by_space.min(by_power);
+        if servers == 0 {
+            return Err(CarbonError::RackOverflow {
+                sku: server.name().to_string(),
+                reason: format!(
+                    "zero servers fit: space allows {by_space}, power allows {by_power}"
+                ),
+            });
+        }
+        let constraint = if by_space <= by_power {
+            RackConstraint::Space
+        } else {
+            RackConstraint::Power
+        };
+        let rack_power = server_power * f64::from(servers) + params.misc_power;
+        let rack_embodied =
+            server.embodied() * f64::from(servers) + params.misc_embodied;
+        Ok(Self {
+            servers,
+            constraint,
+            server_power,
+            rack_power,
+            rack_embodied,
+            cores: servers * server.cores(),
+        })
+    }
+
+    /// Servers per rack (`N_s`).
+    pub fn servers(&self) -> u32 {
+        self.servers
+    }
+
+    /// Which constraint bound the fill.
+    pub fn constraint(&self) -> RackConstraint {
+        self.constraint
+    }
+
+    /// Average power of one server (`P_s`).
+    pub fn server_power(&self) -> Watts {
+        self.server_power
+    }
+
+    /// Rack power (`P_r = N_s·P_s + P_misc`).
+    pub fn rack_power(&self) -> Watts {
+        self.rack_power
+    }
+
+    /// Rack embodied emissions (`E_emb,r = N_s·E_emb,s + misc`).
+    pub fn rack_embodied(&self) -> KgCo2e {
+        self.rack_embodied
+    }
+
+    /// Cores per rack (`N_c,r = N_s · N_c,s`).
+    pub fn cores(&self) -> u32 {
+        self.cores
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::{ComponentClass, ComponentSpec};
+    use crate::units::{KgCo2e, Watts};
+
+    fn server(power_w: f64, form_u: u32, cores: u32) -> ServerSpec {
+        ServerSpec::builder("s", cores, form_u)
+            .component(
+                ComponentSpec::new("all", ComponentClass::Other, 1.0, Watts::new(power_w), KgCo2e::new(1000.0))
+                    .unwrap(),
+            )
+            .build()
+            .unwrap()
+    }
+
+    fn params() -> RackParams {
+        RackParams::open_source()
+    }
+
+    #[test]
+    fn space_constrained_fill() {
+        // 403 W, 2U server: power allows 35, space allows 16.
+        let fill = RackFill::pack(&server(403.0, 2, 128), &params()).unwrap();
+        assert_eq!(fill.servers(), 16);
+        assert_eq!(fill.constraint(), RackConstraint::Space);
+        assert_eq!(fill.cores(), 2048);
+    }
+
+    #[test]
+    fn power_constrained_fill() {
+        // 2000 W server: (15000-500)/2000 = 7.25 -> 7 servers.
+        let fill = RackFill::pack(&server(2000.0, 1, 64), &params()).unwrap();
+        assert_eq!(fill.servers(), 7);
+        assert_eq!(fill.constraint(), RackConstraint::Power);
+    }
+
+    #[test]
+    fn rack_power_and_embodied() {
+        let fill = RackFill::pack(&server(403.0, 2, 128), &params()).unwrap();
+        assert!((fill.rack_power().get() - (16.0 * 403.0 + 500.0)).abs() < 1e-9);
+        assert!((fill.rack_embodied().get() - (16.0 * 1000.0 + 500.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn oversized_server_rejected() {
+        // More power than the whole rack budget.
+        assert!(RackFill::pack(&server(20_000.0, 2, 1), &params()).is_err());
+        // Bigger than the rack space.
+        assert!(RackFill::pack(&server(100.0, 40, 1), &params()).is_err());
+    }
+
+    #[test]
+    fn one_u_servers_double_density() {
+        let two_u = RackFill::pack(&server(100.0, 2, 1), &params()).unwrap();
+        let one_u = RackFill::pack(&server(100.0, 1, 1), &params()).unwrap();
+        assert_eq!(one_u.servers(), 2 * two_u.servers());
+    }
+}

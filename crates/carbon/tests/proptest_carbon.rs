@@ -1,0 +1,144 @@
+//! Property tests for the carbon model's structural invariants.
+
+use gsf_carbon::component::{ComponentClass, ComponentSpec};
+use gsf_carbon::cost::{CostModel, CostParams};
+use gsf_carbon::datasets::open_source;
+use gsf_carbon::units::{CarbonIntensity, KgCo2e, Watts, Years};
+use gsf_carbon::{CarbonModel, ModelParams, ServerSpec};
+use proptest::prelude::*;
+
+fn server_with(power: f64, embodied: f64, cores: u32, u: u32) -> ServerSpec {
+    ServerSpec::builder("prop", cores, u)
+        .component(
+            ComponentSpec::new(
+                "blob",
+                ComponentClass::Other,
+                1.0,
+                Watts::new(power),
+                KgCo2e::new(embodied),
+            )
+            .unwrap(),
+        )
+        .build()
+        .unwrap()
+}
+
+proptest! {
+    #[test]
+    fn more_embodied_never_reduces_emissions(
+        power in 50.0..900.0f64,
+        embodied in 100.0..3000.0f64,
+        extra in 1.0..2000.0f64,
+    ) {
+        let model = CarbonModel::new(ModelParams::default_open_source());
+        let a = model.assess(&server_with(power, embodied, 64, 2)).unwrap();
+        let b = model.assess(&server_with(power, embodied + extra, 64, 2)).unwrap();
+        prop_assert!(b.emb_per_core() > a.emb_per_core());
+        prop_assert!((b.op_per_core().get() - a.op_per_core().get()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_power_never_reduces_emissions(
+        power in 50.0..800.0f64,
+        extra in 1.0..200.0f64,
+        embodied in 100.0..3000.0f64,
+    ) {
+        let model = CarbonModel::new(ModelParams::default_open_source());
+        let a = model.assess(&server_with(power, embodied, 64, 2)).unwrap();
+        let b = model.assess(&server_with(power + extra, embodied, 64, 2)).unwrap();
+        // More power always raises per-core operational emissions while
+        // the same rack still fits 16 servers; when the rack becomes
+        // power-bound, fewer servers amortize the rack overheads and
+        // per-core embodied rises too — either way total never drops.
+        prop_assert!(b.total_per_core() >= a.total_per_core());
+    }
+
+    #[test]
+    fn more_cores_amortize_better(
+        power in 50.0..900.0f64,
+        embodied in 100.0..3000.0f64,
+        cores in 8u32..120,
+        extra in 1u32..64,
+    ) {
+        let model = CarbonModel::new(ModelParams::default_open_source());
+        let a = model.assess(&server_with(power, embodied, cores, 2)).unwrap();
+        let b = model.assess(&server_with(power, embodied, cores + extra, 2)).unwrap();
+        prop_assert!(b.total_per_core() < a.total_per_core());
+    }
+
+    #[test]
+    fn lifetime_scales_operational_linearly(
+        power in 50.0..900.0f64,
+        years in 1.0..15.0f64,
+    ) {
+        let server = server_with(power, 1000.0, 64, 2);
+        let at = |l: f64| {
+            CarbonModel::new(
+                ModelParams::default_open_source().with_lifetime(Years::new(l)),
+            )
+            .assess(&server)
+            .unwrap()
+            .op_per_core()
+            .get()
+        };
+        let base = at(years);
+        let doubled = at(years * 2.0);
+        prop_assert!((doubled / base - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn savings_antisymmetric_in_direction(
+        p1 in 100.0..800.0f64,
+        e1 in 200.0..3000.0f64,
+        p2 in 100.0..800.0f64,
+        e2 in 200.0..3000.0f64,
+    ) {
+        let model = CarbonModel::new(ModelParams::default_open_source());
+        let a = server_with(p1, e1, 80, 2);
+        let b = server_with(p2, e2, 80, 2);
+        let ab = model.savings(&a, &b).unwrap().total;
+        let ba = model.savings(&b, &a).unwrap().total;
+        // If B saves x vs A, then A "saves" -x/(1-x) vs B.
+        if ab.abs() < 0.99 {
+            let expected = -ab / (1.0 - ab);
+            prop_assert!((ba - expected).abs() < 1e-9, "{ab} vs {ba}");
+        }
+    }
+
+    #[test]
+    fn table_viii_orderings_hold_across_intensities(ci in 0.0..0.8f64) {
+        // At any grid intensity: embodied savings of Full >= CXL >=
+        // Efficient, and operational savings Efficient >= CXL >= Full.
+        let model = CarbonModel::new(
+            ModelParams::default_open_source()
+                .with_carbon_intensity(CarbonIntensity::new(ci)),
+        );
+        let baseline = open_source::baseline_gen3();
+        let eff = model.savings(&baseline, &open_source::greensku_efficient()).unwrap();
+        let cxl = model.savings(&baseline, &open_source::greensku_cxl()).unwrap();
+        let full = model.savings(&baseline, &open_source::greensku_full()).unwrap();
+        prop_assert!(full.embodied >= cxl.embodied && cxl.embodied >= eff.embodied);
+        if ci > 0.0 {
+            prop_assert!(eff.operational >= cxl.operational);
+            prop_assert!(cxl.operational >= full.operational);
+        }
+    }
+
+    #[test]
+    fn tco_positive_and_capex_independent_of_energy_price(
+        energy_price in 0.01..0.5f64,
+    ) {
+        let costs = CostParams { energy_per_kwh: energy_price, ..CostParams::public_estimates() };
+        let model = CostModel::new(ModelParams::default_open_source(), costs);
+        let a = model.assess(&open_source::greensku_full()).unwrap();
+        prop_assert!(a.capex_per_core > 0.0);
+        prop_assert!(a.energy_per_core > 0.0);
+        let reference = CostModel::new(
+            ModelParams::default_open_source(),
+            CostParams::public_estimates(),
+        )
+        .assess(&open_source::greensku_full())
+        .unwrap();
+        prop_assert!((a.capex_per_core - reference.capex_per_core).abs() < 1e-9);
+    }
+}

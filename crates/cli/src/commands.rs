@@ -1,0 +1,553 @@
+//! The `gsf` subcommands, each returning its output as a string.
+
+use crate::args::{ArgError, Args};
+use gsf_carbon::cost::{CostModel, CostParams};
+use gsf_carbon::datasets::open_source;
+use gsf_carbon::units::{CarbonIntensity, Years};
+use gsf_carbon::{CarbonModel, ModelParams, ServerSpec};
+use gsf_core::report::deployment_report;
+use gsf_core::search::{evaluate_space, pareto_front, CandidateSpace};
+use gsf_core::{GreenSkuDesign, GsfError, GsfPipeline, PipelineConfig};
+use gsf_stats::rng::SeedFactory;
+use gsf_stats::table::{fmt_f, fmt_pct, Table};
+use gsf_workloads::{Trace, TraceCodecError, TraceGenerator, TraceParams};
+use std::fmt;
+
+/// CLI failure modes.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad command line.
+    Args(ArgError),
+    /// Unknown subcommand.
+    UnknownCommand(String),
+    /// Unknown SKU or design name.
+    UnknownName {
+        /// What was looked up.
+        kind: &'static str,
+        /// The name that failed.
+        name: String,
+        /// Valid options.
+        options: Vec<&'static str>,
+    },
+    /// Carbon-model failure.
+    Carbon(gsf_carbon::CarbonError),
+    /// Framework failure.
+    Gsf(GsfError),
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// Trace decoding failure.
+    Trace(TraceCodecError),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Args(e) => write!(f, "{e}"),
+            CliError::UnknownCommand(c) => write!(f, "unknown command `{c}` (try --help)"),
+            CliError::UnknownName { kind, name, options } => {
+                write!(f, "unknown {kind} `{name}`; options: {}", options.join(", "))
+            }
+            CliError::Carbon(e) => write!(f, "{e}"),
+            CliError::Gsf(e) => write!(f, "{e}"),
+            CliError::Io(e) => write!(f, "{e}"),
+            CliError::Trace(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> Self {
+        CliError::Args(e)
+    }
+}
+impl From<gsf_carbon::CarbonError> for CliError {
+    fn from(e: gsf_carbon::CarbonError) -> Self {
+        CliError::Carbon(e)
+    }
+}
+impl From<GsfError> for CliError {
+    fn from(e: GsfError) -> Self {
+        CliError::Gsf(e)
+    }
+}
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+impl From<TraceCodecError> for CliError {
+    fn from(e: TraceCodecError) -> Self {
+        CliError::Trace(e)
+    }
+}
+
+const SKU_NAMES: [&str; 7] = [
+    "baseline-gen1",
+    "baseline-gen2",
+    "baseline-gen3",
+    "baseline-resized",
+    "greensku-efficient",
+    "greensku-cxl",
+    "greensku-full",
+];
+
+fn sku_by_name(name: &str) -> Result<ServerSpec, CliError> {
+    match name {
+        "baseline-gen1" => Ok(open_source::baseline_gen1()),
+        "baseline-gen2" => Ok(open_source::baseline_gen2()),
+        "baseline-gen3" => Ok(open_source::baseline_gen3()),
+        "baseline-resized" => Ok(open_source::baseline_resized()),
+        "greensku-efficient" => Ok(open_source::greensku_efficient()),
+        "greensku-cxl" => Ok(open_source::greensku_cxl()),
+        "greensku-full" => Ok(open_source::greensku_full()),
+        other => Err(CliError::UnknownName {
+            kind: "SKU",
+            name: other.to_string(),
+            options: SKU_NAMES.to_vec(),
+        }),
+    }
+}
+
+const DESIGN_NAMES: [&str; 3] = ["efficient", "cxl", "full"];
+
+fn design_by_name(name: &str) -> Result<GreenSkuDesign, CliError> {
+    match name {
+        "efficient" => Ok(GreenSkuDesign::efficient()),
+        "cxl" => Ok(GreenSkuDesign::cxl()),
+        "full" => Ok(GreenSkuDesign::full()),
+        other => Err(CliError::UnknownName {
+            kind: "design",
+            name: other.to_string(),
+            options: DESIGN_NAMES.to_vec(),
+        }),
+    }
+}
+
+fn params_from(args: &Args) -> Result<ModelParams, CliError> {
+    let ci = args.get_num("ci", 0.1)?;
+    let lifetime = args.get_num("lifetime", 6.0)?;
+    Ok(ModelParams::default_open_source()
+        .with_carbon_intensity(CarbonIntensity::new(ci))
+        .with_lifetime(Years::new(lifetime)))
+}
+
+fn trace_from(args: &Args) -> Result<Trace, CliError> {
+    let hours = args.get_num("hours", 24.0)?;
+    let arrivals = args.get_num("arrivals", 80.0)?;
+    let seed = args.get_num("seed", 42u64)?;
+    let diurnal = args.get_num("diurnal", 0.0)?;
+    Ok(TraceGenerator::new(TraceParams {
+        duration_hours: hours,
+        arrivals_per_hour: arrivals,
+        diurnal_amplitude: diurnal,
+        ..TraceParams::default()
+    })
+    .generate(&SeedFactory::new(seed), 0))
+}
+
+/// The help text.
+pub fn help() -> String {
+    let mut out = String::from(
+        "gsf — GreenSKU framework CLI\n\n\
+         commands:\n\
+         \u{20}  list-skus                          built-in SKU configurations\n\
+         \u{20}  assess    --sku NAME [--ci X] [--lifetime Y] [--spec-load F]\n\
+         \u{20}  compare   --green NAME [--baseline NAME] [--ci X]\n\
+         \u{20}  sweep     --green NAME [--from X] [--to Y] [--points N]\n\
+         \u{20}  report    --design efficient|cxl|full [--hours H] [--arrivals A] [--seed S]\n\
+         \u{20}  search                             design-space exploration + Pareto front\n\
+         \u{20}  tco                                TCO model over the SKU set\n\
+         \u{20}  gen-trace --out FILE [--hours H] [--arrivals A] [--seed S] [--diurnal A]\n\
+         \u{20}  replay    --trace FILE --design NAME\n\
+         \u{20}  characterize [--trace FILE | --hours H --arrivals A --seed S]\n\
+         \u{20}  regions                            per-region CI and best design\n\
+         \u{20}  defer     --region NAME [--runtime H] [--cores N]\n\nSKUs: ",
+    );
+    out.push_str(&SKU_NAMES.join(", "));
+    out.push('\n');
+    out
+}
+
+/// Dispatches a parsed command; returns the text to print.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] describing what went wrong (printed to stderr
+/// by `main`).
+pub fn run_command(args: &Args) -> Result<String, CliError> {
+    match args.command() {
+        "--help" | "-h" | "help" => Ok(help()),
+        "list-skus" => list_skus(),
+        "assess" => assess(args),
+        "compare" => compare(args),
+        "sweep" => sweep(args),
+        "report" => report(args),
+        "search" => search(),
+        "tco" => tco(),
+        "gen-trace" => gen_trace(args),
+        "replay" => replay(args),
+        "characterize" => characterize_cmd(args),
+        "regions" => regions_cmd(),
+        "defer" => defer_cmd(args),
+        other => Err(CliError::UnknownCommand(other.to_string())),
+    }
+}
+
+fn list_skus() -> Result<String, CliError> {
+    let mut t = Table::new(vec!["Name", "Cores", "Memory (GB)", "CXL (GB)", "SSD (TB)", "Power (W)"]);
+    for name in SKU_NAMES {
+        let sku = sku_by_name(name)?;
+        t.row(vec![
+            name.to_string(),
+            sku.cores().to_string(),
+            format!("{:.0}", sku.memory_capacity().get()),
+            format!("{:.0}", sku.cxl_memory_capacity().get()),
+            format!("{:.0}", sku.ssd_capacity().get()),
+            format!("{:.0}", sku.average_power().get()),
+        ]);
+    }
+    Ok(t.render_text())
+}
+
+fn assess(args: &Args) -> Result<String, CliError> {
+    use gsf_carbon::derating::DeratingCurve;
+    let sku = sku_by_name(args.get_or("sku", "greensku-full"))?;
+    let params = params_from(args)?;
+    let model = CarbonModel::new(params);
+    let a = model.assess(&sku)?;
+    // Optional fleet-utilization adjustment: the datasets bake in the
+    // paper's 0.44 derate (40 % SPEC load); --spec-load rescales the
+    // operational side along the SPECpower-style curve.
+    let spec_load = args.get_num("spec-load", 0.4)?;
+    let curve = DeratingCurve::specpower_like();
+    let scale = curve.derate_at(spec_load) / curve.derate_at(0.4);
+    let op = a.op_per_core().get() * scale;
+    Ok(format!(
+        "{}\n  servers/rack: {}\n  cores/rack:   {}\n  server power: {:.1} W (at 40% SPEC load)\n  \
+         operational:  {:.2} kg CO2e/core (at {:.0}% SPEC load)\n  embodied:     {:.2} kg CO2e/core\n  \
+         total:        {:.2} kg CO2e/core (CI {}, lifetime {} y)\n",
+        sku.name(),
+        a.servers_per_rack(),
+        a.cores_per_rack(),
+        a.server_power().get(),
+        op,
+        spec_load * 100.0,
+        a.emb_per_core().get(),
+        op + a.emb_per_core().get(),
+        params.carbon_intensity.get(),
+        params.lifetime.get(),
+    ))
+}
+
+fn compare(args: &Args) -> Result<String, CliError> {
+    let green = sku_by_name(args.get_or("green", "greensku-full"))?;
+    let baseline = sku_by_name(args.get_or("baseline", "baseline-gen3"))?;
+    let model = CarbonModel::new(params_from(args)?);
+    let s = model.savings(&baseline, &green)?;
+    Ok(format!(
+        "{} vs {}\n  operational savings: {}\n  embodied savings:    {}\n  total savings:       {}\n",
+        green.name(),
+        baseline.name(),
+        fmt_pct(s.operational, 1),
+        fmt_pct(s.embodied, 1),
+        fmt_pct(s.total, 1),
+    ))
+}
+
+fn sweep(args: &Args) -> Result<String, CliError> {
+    let green = sku_by_name(args.get_or("green", "greensku-full"))?;
+    let baseline = sku_by_name(args.get_or("baseline", "baseline-gen3"))?;
+    let from = args.get_num("from", 0.01)?;
+    let to = args.get_num("to", 0.5)?;
+    let points: usize = args.get_num("points", 25)?;
+    let mut out = String::from("carbon_intensity,operational,embodied,total\n");
+    for i in 0..points.max(2) {
+        let ci = from + (to - from) * i as f64 / (points.max(2) - 1) as f64;
+        let model = CarbonModel::new(
+            ModelParams::default_open_source().with_carbon_intensity(CarbonIntensity::new(ci)),
+        );
+        let s = model.savings(&baseline, &green)?;
+        out.push_str(&format!(
+            "{},{},{},{}\n",
+            fmt_f(ci, 3),
+            fmt_f(s.operational, 4),
+            fmt_f(s.embodied, 4),
+            fmt_f(s.total, 4)
+        ));
+    }
+    Ok(out)
+}
+
+fn report(args: &Args) -> Result<String, CliError> {
+    let design = design_by_name(args.get_or("design", "full"))?;
+    let trace = trace_from(args)?;
+    let pipeline = GsfPipeline::new(PipelineConfig::default());
+    Ok(deployment_report(&pipeline, &design, &trace)?)
+}
+
+fn search() -> Result<String, CliError> {
+    let results =
+        evaluate_space(&CandidateSpace::paper_neighborhood(), ModelParams::default_open_source())?;
+    let front: std::collections::HashSet<String> =
+        pareto_front(&results).iter().map(|r| r.name.clone()).collect();
+    let mut t = Table::new(vec!["Rank", "Candidate", "kg/core", "Adoption", "Effective savings", ""]);
+    for (i, r) in results.iter().enumerate().take(12) {
+        t.row(vec![
+            (i + 1).to_string(),
+            r.name.clone(),
+            fmt_f(r.per_core_kg, 1),
+            fmt_pct(r.adoption_rate, 0),
+            fmt_pct(r.effective_savings, 1),
+            if front.contains(&r.name) { "pareto".into() } else { String::new() },
+        ]);
+    }
+    Ok(t.render_text())
+}
+
+fn tco() -> Result<String, CliError> {
+    let model =
+        CostModel::new(ModelParams::default_open_source(), CostParams::public_estimates());
+    let mut t = Table::new(vec!["SKU", "Capex $/core", "Energy $/core", "TCO $/core"]);
+    for name in SKU_NAMES {
+        let sku = sku_by_name(name)?;
+        let a = model.assess(&sku)?;
+        t.row(vec![
+            name.to_string(),
+            fmt_f(a.capex_per_core, 0),
+            fmt_f(a.energy_per_core, 0),
+            fmt_f(a.total_per_core(), 0),
+        ]);
+    }
+    Ok(t.render_text())
+}
+
+fn gen_trace(args: &Args) -> Result<String, CliError> {
+    let out_path = args
+        .get("out")
+        .ok_or_else(|| ArgError::MissingValue("out".into()))?
+        .to_string();
+    let trace = trace_from(args)?;
+    std::fs::write(&out_path, trace.encode())?;
+    Ok(format!(
+        "wrote {} VMs / {} events over {:.0} h to {out_path}\n",
+        trace.vms().len(),
+        trace.events().len(),
+        trace.duration_s() / 3600.0
+    ))
+}
+
+fn replay(args: &Args) -> Result<String, CliError> {
+    let path = args
+        .get("trace")
+        .ok_or_else(|| ArgError::MissingValue("trace".into()))?
+        .to_string();
+    let bytes = std::fs::read(&path)?;
+    let trace = Trace::decode(bytes::Bytes::from(bytes))?;
+    let design = design_by_name(args.get_or("design", "full"))?;
+    let pipeline = GsfPipeline::new(PipelineConfig::default());
+    let o = pipeline.evaluate(&design, &trace)?;
+    Ok(format!(
+        "{} on {} VMs:\n  plan: {} baseline + {} GreenSKU (buffered {} + {})\n  \
+         adoption {:.1}%  cluster savings {:.1}%  DC savings {:.1}%\n",
+        o.design,
+        trace.vms().len(),
+        o.plan.baseline,
+        o.plan.green,
+        o.plan_buffered.baseline,
+        o.plan_buffered.green,
+        o.adoption_rate * 100.0,
+        o.cluster_savings * 100.0,
+        o.dc_savings * 100.0,
+    ))
+}
+
+fn characterize_cmd(args: &Args) -> Result<String, CliError> {
+    let trace = match args.get("trace") {
+        Some(path) => {
+            let bytes = std::fs::read(path)?;
+            Trace::decode(bytes::Bytes::from(bytes))?
+        }
+        None => trace_from(args)?,
+    };
+    Ok(gsf_workloads::characterize(&trace).render())
+}
+
+fn regions_cmd() -> Result<String, CliError> {
+    use gsf_carbon::grid::regions;
+    let baseline = open_source::baseline_gen3();
+    let greens = [
+        ("efficient", open_source::greensku_efficient()),
+        ("cxl", open_source::greensku_cxl()),
+        ("full", open_source::greensku_full()),
+    ];
+    let mut t = Table::new(vec![
+        "Region",
+        "Avg CI (kg/kWh)",
+        "Renewables",
+        "Cleanest hour",
+        "Best design",
+        "Savings",
+    ]);
+    for r in regions() {
+        let model = CarbonModel::new(
+            ModelParams::default_open_source().with_carbon_intensity(r.average_ci()),
+        );
+        let mut best = ("-", f64::NEG_INFINITY);
+        for (name, sku) in &greens {
+            let s = model.savings(&baseline, sku)?.total;
+            if s > best.1 {
+                best = (name, s);
+            }
+        }
+        t.row(vec![
+            r.name.to_string(),
+            fmt_f(r.average_ci().get(), 3),
+            fmt_pct(r.renewable_fraction, 0),
+            format!("{:02.0}:00", r.cleanest_hour()),
+            best.0.to_string(),
+            fmt_pct(best.1, 1),
+        ]);
+    }
+    Ok(t.render_text())
+}
+
+fn defer_cmd(args: &Args) -> Result<String, CliError> {
+    use gsf_core::temporal::{schedule_job, BatchJob};
+    let region_name = args.get_or("region", "us-central");
+    let region = gsf_carbon::grid::region(region_name).ok_or_else(|| CliError::UnknownName {
+        kind: "region",
+        name: region_name.to_string(),
+        options: vec![
+            "us-south", "us-west", "us-central", "us-east", "europe-west", "europe-north",
+            "asia-east", "asia-south", "australia-east", "brazil-south",
+        ],
+    })?;
+    let runtime = args.get_num("runtime", 2.0)?;
+    let cores = args.get_num("cores", 8u32)?;
+    let job = BatchJob::flexible(runtime, cores);
+    let s = schedule_job(&region, &job);
+    Ok(format!(
+        "{region_name}: defer a {runtime} h / {cores}-core batch job to {:02.0}:00\n           mean CI if run now:      {:.3} kgCO2e/kWh\n           mean CI at chosen start: {:.3} kgCO2e/kWh\n           operational savings:     {}\n",
+        s.start_hour,
+        s.immediate_ci,
+        s.scheduled_ci,
+        fmt_pct(s.savings(), 1),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(argv: &[&str]) -> Result<String, CliError> {
+        run_command(&Args::parse(argv.iter().copied()).unwrap())
+    }
+
+    #[test]
+    fn list_skus_prints_all_seven() {
+        let out = run(&["list-skus"]).unwrap();
+        for name in SKU_NAMES {
+            assert!(out.contains(name), "{name}");
+        }
+    }
+
+    #[test]
+    fn assess_reports_worked_numbers() {
+        let out = run(&["assess", "--sku", "greensku-cxl"]).unwrap();
+        assert!(out.contains("GreenSKU-CXL"));
+        assert!(out.contains("kg CO2e/core"));
+    }
+
+    #[test]
+    fn assess_spec_load_scales_operational() {
+        let low = run(&["assess", "--sku", "greensku-full", "--spec-load", "0.2"]).unwrap();
+        let high = run(&["assess", "--sku", "greensku-full", "--spec-load", "0.8"]).unwrap();
+        let op = |out: &str| -> f64 {
+            out.lines()
+                .find(|l| l.contains("operational:"))
+                .unwrap()
+                .split_whitespace()
+                .nth(1)
+                .unwrap()
+                .parse()
+                .unwrap()
+        };
+        assert!(op(&high) > op(&low), "{high} vs {low}");
+    }
+
+    #[test]
+    fn compare_matches_table_viii() {
+        let out = run(&["compare", "--green", "greensku-full"]).unwrap();
+        assert!(out.contains("total savings"));
+        assert!(out.contains("26.4%"), "{out}");
+    }
+
+    #[test]
+    fn sweep_emits_csv() {
+        let out = run(&["sweep", "--green", "greensku-efficient", "--points", "5"]).unwrap();
+        assert_eq!(out.lines().count(), 6);
+        assert!(out.starts_with("carbon_intensity,"));
+    }
+
+    #[test]
+    fn unknown_names_error_with_options() {
+        let e = run(&["assess", "--sku", "nope"]).unwrap_err();
+        assert!(e.to_string().contains("greensku-full"));
+        let e = run(&["report", "--design", "nope", "--hours", "2"]).unwrap_err();
+        assert!(e.to_string().contains("efficient"));
+        let e = run(&["frobnicate"]).unwrap_err();
+        assert!(matches!(e, CliError::UnknownCommand(_)));
+    }
+
+    #[test]
+    fn gen_trace_and_replay_roundtrip() {
+        let path = std::env::temp_dir().join(format!("gsf-cli-{}.bin", std::process::id()));
+        let path_str = path.to_str().unwrap();
+        let out = run(&[
+            "gen-trace", "--out", path_str, "--hours", "8", "--arrivals", "40",
+        ])
+        .unwrap();
+        assert!(out.contains("wrote"));
+        let out = run(&["replay", "--trace", path_str, "--design", "full"]).unwrap();
+        assert!(out.contains("cluster savings"), "{out}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn search_and_tco_render() {
+        assert!(run(&["search"]).unwrap().contains("pareto"));
+        assert!(run(&["tco"]).unwrap().contains("TCO $/core"));
+    }
+
+    #[test]
+    fn characterize_renders_profile() {
+        let out = run(&["characterize", "--hours", "6", "--arrivals", "30"]).unwrap();
+        assert!(out.contains("core-hours total"), "{out}");
+    }
+
+    #[test]
+    fn regions_table_covers_the_grid() {
+        let out = run(&["regions"]).unwrap();
+        assert!(out.contains("us-south"));
+        assert!(out.contains("europe-north"));
+        assert!(out.contains("full"), "{out}");
+    }
+
+    #[test]
+    fn defer_picks_a_daylight_window() {
+        let out = run(&["defer", "--region", "australia-east"]).unwrap();
+        assert!(out.contains("operational savings"), "{out}");
+        let e = run(&["defer", "--region", "atlantis"]).unwrap_err();
+        assert!(e.to_string().contains("us-central"));
+    }
+
+    #[test]
+    fn help_lists_commands() {
+        let h = run(&["help"]).unwrap();
+        for cmd in ["assess", "compare", "sweep", "report", "gen-trace", "replay"] {
+            assert!(h.contains(cmd), "{cmd}");
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! Thin shim: parse argv, dispatch, print.
+
+use gsf_cli::{run_command, Args};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args = match Args::parse(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("gsf: {e}");
+            eprintln!("{}", gsf_cli::commands::help());
+            return ExitCode::FAILURE;
+        }
+    };
+    match run_command(&args) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("gsf: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

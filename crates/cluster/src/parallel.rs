@@ -1,0 +1,91 @@
+//! Parallel per-trace execution for the 35-trace packing studies.
+//!
+//! Uses crossbeam scoped threads with a shared work index behind a
+//! `parking_lot` mutex; results return in trace order regardless of
+//! which worker ran them.
+
+use parking_lot::Mutex;
+
+/// Applies `f` to every trace-like item on a pool of worker threads and
+/// returns results in input order.
+///
+/// `workers` is clamped to `[1, items.len()]`; pass
+/// `std::thread::available_parallelism()` for a full fan-out.
+pub fn map_parallel<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, items.len());
+    let next = Mutex::new(0usize);
+    let results: Vec<Mutex<Option<R>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = {
+                    let mut guard = next.lock();
+                    let i = *guard;
+                    if i >= items.len() {
+                        break;
+                    }
+                    *guard += 1;
+                    i
+                };
+                let r = f(i, &items[i]);
+                *results[i].lock() = Some(r);
+            });
+        }
+    })
+    .expect("worker threads do not panic");
+    results
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("every index was processed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u32> = (0..50).collect();
+        let out = map_parallel(&items, 8, |_, &x| x * 2);
+        assert_eq!(out, (0..50).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn index_passed_through() {
+        let items = vec!["a", "b", "c"];
+        let out = map_parallel(&items, 2, |i, s| format!("{i}:{s}"));
+        assert_eq!(out, vec!["0:a", "1:b", "2:c"]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u32> = map_parallel(&Vec::<u32>::new(), 4, |_, &x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_worker_equivalent() {
+        let items: Vec<u32> = (0..10).collect();
+        let a = map_parallel(&items, 1, |_, &x| x + 1);
+        let b = map_parallel(&items, 16, |_, &x| x + 1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn heavy_work_distributes() {
+        // Smoke test that parallel execution computes the same reduction.
+        let items: Vec<u64> = (0..32).collect();
+        let out = map_parallel(&items, 8, |_, &x| (0..10_000u64).map(|i| i ^ x).sum::<u64>());
+        let seq: Vec<u64> =
+            items.iter().map(|&x| (0..10_000u64).map(|i| i ^ x).sum::<u64>()).collect();
+        assert_eq!(out, seq);
+    }
+}

@@ -1,0 +1,79 @@
+//! Cluster-level emissions and savings (the arithmetic behind
+//! Figs. 11/12).
+
+use crate::sizing::ClusterPlan;
+use gsf_carbon::units::KgCo2e;
+use gsf_carbon::Assessment;
+
+/// Lifetime emissions of a cluster given per-server assessments for the
+/// two SKUs (per-server = per-core × cores per server, at whatever
+/// carbon intensity the assessments were computed with).
+pub fn cluster_emissions(
+    plan: &ClusterPlan,
+    baseline: &Assessment,
+    green: &Assessment,
+) -> KgCo2e {
+    baseline.total_per_server() * f64::from(plan.baseline)
+        + green.total_per_server() * f64::from(plan.green)
+}
+
+/// Fractional savings of `mixed` emissions over `baseline_only`
+/// emissions (positive = the mixed cluster is greener).
+pub fn savings_fraction(mixed: KgCo2e, baseline_only: KgCo2e) -> f64 {
+    if baseline_only.get() <= 0.0 {
+        0.0
+    } else {
+        1.0 - mixed.get() / baseline_only.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsf_carbon::component::{ComponentClass, ComponentSpec};
+    use gsf_carbon::units::Watts;
+    use gsf_carbon::{CarbonModel, ModelParams, ServerSpec};
+
+    fn assessment(name: &str, power: f64, embodied: f64, cores: u32) -> Assessment {
+        let server = ServerSpec::builder(name, cores, 2)
+            .component(
+                ComponentSpec::new(
+                    "blob",
+                    ComponentClass::Other,
+                    1.0,
+                    Watts::new(power),
+                    KgCo2e::new(embodied),
+                )
+                .unwrap(),
+            )
+            .build()
+            .unwrap();
+        CarbonModel::new(ModelParams::default_open_source()).assess(&server).unwrap()
+    }
+
+    #[test]
+    fn emissions_add_across_pools() {
+        let base = assessment("base", 300.0, 1500.0, 80);
+        let green = assessment("green", 420.0, 1600.0, 128);
+        let plan = ClusterPlan { baseline: 2, green: 3 };
+        let total = cluster_emissions(&plan, &base, &green);
+        let expected =
+            base.total_per_server().get() * 2.0 + green.total_per_server().get() * 3.0;
+        assert!((total.get() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn savings_sign() {
+        assert!(savings_fraction(KgCo2e::new(80.0), KgCo2e::new(100.0)) > 0.0);
+        assert!(savings_fraction(KgCo2e::new(120.0), KgCo2e::new(100.0)) < 0.0);
+        assert_eq!(savings_fraction(KgCo2e::new(1.0), KgCo2e::ZERO), 0.0);
+    }
+
+    #[test]
+    fn empty_plan_costs_nothing() {
+        let base = assessment("base", 300.0, 1500.0, 80);
+        let green = assessment("green", 420.0, 1600.0, 128);
+        let plan = ClusterPlan { baseline: 0, green: 0 };
+        assert_eq!(cluster_emissions(&plan, &base, &green), KgCo2e::ZERO);
+    }
+}

@@ -1,0 +1,300 @@
+//! Cluster sizing: the §V search for the right mix of baseline SKUs and
+//! GreenSKUs.
+//!
+//! The paper's procedure: right-size a baseline-only cluster (smallest
+//! server count hosting the trace without rejections), then replace
+//! baseline SKUs with GreenSKUs until no further replacement is
+//! possible; VMs that cannot adopt the GreenSKU pin the residual
+//! baseline pool. Both steps are monotone feasibility searches, so they
+//! run as binary searches over simulator replays.
+
+use gsf_vmalloc::{AllocationSim, ClusterConfig, PlacementPolicy, ServerShape, VmTransform};
+use gsf_workloads::Trace;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The sized cluster: how many of each SKU the workload needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterPlan {
+    /// Baseline servers required.
+    pub baseline: u32,
+    /// GreenSKU servers required.
+    pub green: u32,
+}
+
+impl ClusterPlan {
+    /// Total servers in the plan.
+    pub fn total(&self) -> u32 {
+        self.baseline + self.green
+    }
+}
+
+/// Errors from the sizing search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SizingError {
+    /// The trace cannot be hosted even at the search bound (e.g. a
+    /// single VM larger than any server).
+    Infeasible {
+        /// The bound at which the search gave up.
+        bound: u32,
+    },
+}
+
+impl fmt::Display for SizingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SizingError::Infeasible { bound } => {
+                write!(f, "trace cannot be hosted even with {bound} servers")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SizingError {}
+
+fn feasible(
+    trace: &Trace,
+    transform: &VmTransform<'_>,
+    config: ClusterConfig,
+    policy: PlacementPolicy,
+) -> bool {
+    AllocationSim::new(config, policy).replay(trace, transform).no_rejections()
+}
+
+/// Smallest `n` in `[lo, hi]` with `pred(n)` true, assuming monotone
+/// feasibility; `None` if even `hi` fails.
+fn binary_search_min(lo: u32, hi: u32, mut pred: impl FnMut(u32) -> bool) -> Option<u32> {
+    if !pred(hi) {
+        return None;
+    }
+    let (mut lo, mut hi) = (lo, hi);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if pred(mid) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    Some(lo)
+}
+
+/// Right-sizes a baseline-only cluster: the minimum number of
+/// `baseline_shape` servers hosting `trace` without rejections, with
+/// every VM placed at its original size.
+///
+/// # Errors
+///
+/// Returns [`SizingError::Infeasible`] if the trace cannot be hosted at
+/// the search bound (4× the peak-demand lower bound, minimum 8).
+pub fn right_size_baseline_only(
+    trace: &Trace,
+    baseline_shape: ServerShape,
+    policy: PlacementPolicy,
+) -> Result<u32, SizingError> {
+    let transform =
+        |vm: &gsf_workloads::VmSpec| gsf_vmalloc::PlacementRequest::baseline_only(vm);
+    let (peak_cores, peak_mem) = trace.peak_demand();
+    let by_cores = peak_cores.div_ceil(u64::from(baseline_shape.cores));
+    let by_mem = (peak_mem / baseline_shape.mem_gb).ceil() as u64;
+    let lower = by_cores.max(by_mem).max(1) as u32;
+    let bound = lower.saturating_mul(4).max(8);
+    let config = |n: u32| ClusterConfig {
+        baseline_count: n,
+        baseline_shape,
+        green_count: 0,
+        green_shape: ServerShape::greensku(),
+    };
+    binary_search_min(lower, bound, |n| feasible(trace, &transform, config(n), policy))
+        .ok_or(SizingError::Infeasible { bound })
+}
+
+/// The §V mixed-cluster search: starting from a right-sized
+/// baseline-only cluster, replaces baseline SKUs with GreenSKUs until no
+/// VM is rejected, returning the plan with the fewest baseline servers
+/// (and, given that, the fewest GreenSKUs).
+///
+/// `transform` encodes the adoption decisions: adopting VMs issue
+/// green-preferring (scaled) requests, others baseline-only ones.
+///
+/// # Errors
+///
+/// Returns [`SizingError::Infeasible`] if even the all-baseline bound
+/// cannot host the trace.
+pub fn right_size_mixed(
+    trace: &Trace,
+    transform: &VmTransform<'_>,
+    baseline_shape: ServerShape,
+    green_shape: ServerShape,
+    policy: PlacementPolicy,
+) -> Result<ClusterPlan, SizingError> {
+    let n0 = right_size_baseline_only(trace, baseline_shape, policy)?;
+    // A green server is at least as large as a baseline server in both
+    // dimensions for the standard shapes; scale the green cap by the
+    // shape ratio plus slack for scaling-factor inflation.
+    let cap_ratio = (f64::from(baseline_shape.cores) / f64::from(green_shape.cores))
+        .max(baseline_shape.mem_gb / green_shape.mem_gb);
+    let green_cap = ((f64::from(n0) * cap_ratio * 1.6).ceil() as u32).max(8);
+
+    let config = |b: u32, g: u32| ClusterConfig {
+        baseline_count: b,
+        baseline_shape,
+        green_count: g,
+        green_shape,
+    };
+
+    // Fewest baseline servers first (the residual pool for non-adopting
+    // and full-node VMs)...
+    let b_min = binary_search_min(0, n0, |b| {
+        feasible(trace, transform, config(b, green_cap), policy)
+    })
+    .ok_or(SizingError::Infeasible { bound: n0 })?;
+    // ...then the fewest GreenSKUs given that baseline pool.
+    let g_min = binary_search_min(0, green_cap, |g| {
+        feasible(trace, transform, config(b_min, g), policy)
+    })
+    .expect("green_cap was feasible in the previous search");
+    Ok(ClusterPlan { baseline: b_min, green: g_min })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsf_vmalloc::PlacementRequest;
+    use gsf_workloads::{ServerGeneration, Trace, VmEvent, VmEventKind, VmSpec};
+
+    fn vm(id: u64, cores: u32, full_node: bool) -> VmSpec {
+        VmSpec {
+            id,
+            cores,
+            mem_gb: f64::from(cores) * 4.0,
+            app_index: 0,
+            generation: ServerGeneration::Gen3,
+            full_node,
+            max_mem_util: 0.5,
+            avg_cpu_util: 0.2,
+        }
+    }
+
+    /// `n` concurrent 8-core VMs.
+    fn concurrent_trace(n: u64) -> Trace {
+        let vms: Vec<VmSpec> = (0..n).map(|i| vm(i, 8, false)).collect();
+        let mut events = Vec::new();
+        for i in 0..n {
+            events.push(VmEvent { time_s: 1.0, kind: VmEventKind::Arrival, vm_id: i });
+            events.push(VmEvent { time_s: 1000.0, kind: VmEventKind::Departure, vm_id: i });
+        }
+        Trace::new(2000.0, vms, events)
+    }
+
+    #[test]
+    fn baseline_sizing_matches_arithmetic() {
+        // 30 concurrent 8-core VMs = 240 cores → exactly 3 × 80-core
+        // servers (10 VMs each; memory 4 GB/core fits easily).
+        let n = right_size_baseline_only(
+            &concurrent_trace(30),
+            ServerShape::baseline_gen3(),
+            PlacementPolicy::BestFit,
+        )
+        .unwrap();
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn infeasible_vm_reported() {
+        // A 200-core VM fits no server.
+        let trace = Trace::new(
+            10.0,
+            vec![vm(0, 200, false)],
+            vec![VmEvent { time_s: 1.0, kind: VmEventKind::Arrival, vm_id: 0 }],
+        );
+        assert!(matches!(
+            right_size_baseline_only(
+                &trace,
+                ServerShape::baseline_gen3(),
+                PlacementPolicy::BestFit
+            ),
+            Err(SizingError::Infeasible { .. })
+        ));
+    }
+
+    #[test]
+    fn all_adopting_workload_goes_fully_green() {
+        let transform = |v: &VmSpec| PlacementRequest::prefer_green(v, 1.25);
+        let plan = right_size_mixed(
+            &concurrent_trace(24),
+            &transform,
+            ServerShape::baseline_gen3(),
+            ServerShape::greensku(),
+            PlacementPolicy::BestFit,
+        )
+        .unwrap();
+        assert_eq!(plan.baseline, 0);
+        // 24 VMs × 10 green cores = 240 cores → 2 × 128-core servers.
+        assert_eq!(plan.green, 2);
+    }
+
+    #[test]
+    fn full_node_vms_pin_baseline_servers() {
+        // 2 full-node VMs + 10 adopting VMs.
+        let mut vms: Vec<VmSpec> = (0..2).map(|i| vm(i, 80, true)).collect();
+        vms.extend((2..12).map(|i| vm(i, 8, false)));
+        let mut events = Vec::new();
+        for v in &vms {
+            events.push(VmEvent { time_s: 1.0, kind: VmEventKind::Arrival, vm_id: v.id });
+            events.push(VmEvent { time_s: 500.0, kind: VmEventKind::Departure, vm_id: v.id });
+        }
+        // Full-node memory must fit the baseline shape.
+        for v in vms.iter_mut().filter(|v| v.full_node) {
+            v.mem_gb = 768.0;
+        }
+        let trace = Trace::new(1000.0, vms, events);
+        let transform = |v: &VmSpec| {
+            if v.full_node {
+                PlacementRequest::baseline_only(v)
+            } else {
+                PlacementRequest::prefer_green(v, 1.0)
+            }
+        };
+        let plan = right_size_mixed(
+            &trace,
+            &transform,
+            ServerShape::baseline_gen3(),
+            ServerShape::greensku(),
+            PlacementPolicy::BestFit,
+        )
+        .unwrap();
+        assert_eq!(plan.baseline, 2);
+        assert_eq!(plan.green, 1);
+    }
+
+    #[test]
+    fn mixed_plan_never_larger_capacity_than_double_baseline() {
+        let transform = |v: &VmSpec| PlacementRequest::prefer_green(v, 1.5);
+        let trace = concurrent_trace(40);
+        let n0 = right_size_baseline_only(
+            &trace,
+            ServerShape::baseline_gen3(),
+            PlacementPolicy::BestFit,
+        )
+        .unwrap();
+        let plan = right_size_mixed(
+            &trace,
+            &transform,
+            ServerShape::baseline_gen3(),
+            ServerShape::greensku(),
+            PlacementPolicy::BestFit,
+        )
+        .unwrap();
+        let plan_cores = plan.baseline * 80 + plan.green * 128;
+        assert!(plan_cores <= 2 * n0 * 80, "plan {plan:?} vs baseline {n0}");
+    }
+
+    #[test]
+    fn binary_search_min_behaviour() {
+        assert_eq!(binary_search_min(0, 10, |n| n >= 7), Some(7));
+        assert_eq!(binary_search_min(0, 10, |_| true), Some(0));
+        assert_eq!(binary_search_min(0, 10, |_| false), None);
+        assert_eq!(binary_search_min(3, 3, |n| n == 3), Some(3));
+    }
+}

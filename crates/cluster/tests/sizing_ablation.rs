@@ -1,0 +1,75 @@
+//! Sizing-level ablation: placement policy quality shows up as cluster
+//! size, the metric that actually costs carbon.
+
+use gsf_cluster::sizing::right_size_baseline_only;
+use gsf_stats::rng::SeedFactory;
+use gsf_vmalloc::{PlacementPolicy, ServerShape};
+use gsf_workloads::{TraceGenerator, TraceParams};
+
+fn trace(seed: u64) -> gsf_workloads::Trace {
+    TraceGenerator::new(TraceParams {
+        duration_hours: 24.0,
+        arrivals_per_hour: 60.0,
+        ..TraceParams::default()
+    })
+    .generate(&SeedFactory::new(seed), 0)
+}
+
+#[test]
+fn best_fit_never_needs_more_servers_than_worst_fit() {
+    // Averaged over several traces, best-fit right-sizes to at most as
+    // many servers as worst-fit (bin-packing quality → carbon).
+    let mut best_total = 0u32;
+    let mut worst_total = 0u32;
+    for seed in 0..4 {
+        let t = trace(seed);
+        best_total += right_size_baseline_only(
+            &t,
+            ServerShape::baseline_gen3(),
+            PlacementPolicy::BestFit,
+        )
+        .unwrap();
+        worst_total += right_size_baseline_only(
+            &t,
+            ServerShape::baseline_gen3(),
+            PlacementPolicy::WorstFit,
+        )
+        .unwrap();
+    }
+    assert!(
+        best_total <= worst_total,
+        "best-fit {best_total} vs worst-fit {worst_total}"
+    );
+}
+
+#[test]
+fn worst_fit_pays_a_real_but_bounded_packing_tax() {
+    // Measured ablation: best-fit and first-fit agree (24 servers on
+    // this trace) while worst-fit needs ~25 % more (30) — real waste,
+    // but bounded; a pathological packer would blow far past 1.5×.
+    let t = trace(9);
+    let sizes: Vec<u32> = [
+        PlacementPolicy::BestFit,
+        PlacementPolicy::FirstFit,
+        PlacementPolicy::WorstFit,
+    ]
+    .iter()
+    .map(|&p| right_size_baseline_only(&t, ServerShape::baseline_gen3(), p).unwrap())
+    .collect();
+    assert_eq!(sizes[0], sizes[1], "best-fit vs first-fit: {sizes:?}");
+    assert!(sizes[2] > sizes[0], "worst-fit should waste servers: {sizes:?}");
+    assert!(
+        f64::from(sizes[2]) <= f64::from(sizes[0]) * 1.5,
+        "worst-fit waste out of band: {sizes:?}"
+    );
+}
+
+#[test]
+fn sizing_deterministic_per_policy() {
+    let t = trace(5);
+    let a = right_size_baseline_only(&t, ServerShape::baseline_gen3(), PlacementPolicy::BestFit)
+        .unwrap();
+    let b = right_size_baseline_only(&t, ServerShape::baseline_gen3(), PlacementPolicy::BestFit)
+        .unwrap();
+    assert_eq!(a, b);
+}

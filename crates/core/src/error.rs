@@ -1,0 +1,67 @@
+//! Framework-level errors.
+
+use std::fmt;
+
+/// Errors from running the GSF pipeline.
+#[derive(Debug)]
+pub enum GsfError {
+    /// The carbon model rejected a SKU or its parameters.
+    Carbon(gsf_carbon::CarbonError),
+    /// Cluster sizing could not host the workload.
+    Sizing(gsf_cluster::SizingError),
+    /// The pipeline configuration is inconsistent.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for GsfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GsfError::Carbon(e) => write!(f, "carbon model error: {e}"),
+            GsfError::Sizing(e) => write!(f, "cluster sizing error: {e}"),
+            GsfError::InvalidConfig(msg) => write!(f, "invalid pipeline configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GsfError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GsfError::Carbon(e) => Some(e),
+            GsfError::Sizing(e) => Some(e),
+            GsfError::InvalidConfig(_) => None,
+        }
+    }
+}
+
+impl From<gsf_carbon::CarbonError> for GsfError {
+    fn from(e: gsf_carbon::CarbonError) -> Self {
+        GsfError::Carbon(e)
+    }
+}
+
+impl From<gsf_cluster::SizingError> for GsfError {
+    fn from(e: gsf_cluster::SizingError) -> Self {
+        GsfError::Sizing(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = GsfError::from(gsf_cluster::SizingError::Infeasible { bound: 4 });
+        assert!(e.to_string().contains("sizing"));
+        assert!(e.source().is_some());
+        let e = GsfError::InvalidConfig("x".into());
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GsfError>();
+    }
+}

@@ -1,0 +1,88 @@
+//! Fig. 1 — carbon breakdown of general-purpose data centers.
+
+use crate::context::{ExpContext, ExpError};
+use gsf_carbon::breakdown::{FleetCategory, FleetModel, DEFAULT_RENEWABLE_FRACTION};
+use gsf_carbon::component::ComponentClass;
+use gsf_stats::table::{fmt_pct, Table};
+
+/// Regenerates Fig. 1 at the production renewables mix and the
+/// 100 %-renewables counterfactual.
+pub fn run(ctx: &ExpContext) -> Result<(), ExpError> {
+    let fleet = FleetModel::azure_calibrated();
+    for (label, mix) in [("prod", DEFAULT_RENEWABLE_FRACTION), ("renewable100", 1.0)] {
+        let b = fleet.breakdown(mix);
+        let mut t = Table::new(vec!["Category", "Operational", "Embodied", "Share of DC"])
+            .with_title(format!("Fig. 1 — DC breakdown at {:.0}% renewables", mix * 100.0));
+        for cat in FleetCategory::all() {
+            let e = b.categories.iter().find(|c| c.category == cat).expect("all categories");
+            t.row(vec![
+                cat.label().to_string(),
+                format!("{:.1}", e.operational),
+                format!("{:.1}", e.embodied),
+                fmt_pct(b.category_share(cat), 1),
+            ]);
+        }
+        t.row(vec![
+            "TOTAL".into(),
+            format!("{:.1}", b.total_operational()),
+            format!("{:.1}", b.total_embodied()),
+            fmt_pct(1.0, 1),
+        ]);
+        ctx.write_table(&format!("fig1_categories_{label}"), &t)?;
+
+        let mut tc = Table::new(vec!["Compute component", "Operational", "Embodied", "Share of compute"])
+            .with_title(format!(
+                "Fig. 1 — compute-server components at {:.0}% renewables",
+                mix * 100.0
+            ));
+        for c in &b.compute_components {
+            tc.row(vec![
+                c.class.label().to_string(),
+                format!("{:.1}", c.operational),
+                format!("{:.1}", c.embodied),
+                fmt_pct(b.compute_component_share(c.class), 1),
+            ]);
+        }
+        ctx.write_table(&format!("fig1_components_{label}"), &tc)?;
+        ctx.note(&format!(
+            "fig1[{label}]: operational share {} (paper: {}), compute share {} (paper: {})",
+            fmt_pct(b.operational_share(), 1),
+            if mix >= 1.0 { "9%" } else { "58%" },
+            fmt_pct(b.category_share(FleetCategory::ComputeServers), 1),
+            if mix >= 1.0 { "44%" } else { "57%" },
+        ));
+    }
+
+    // The headline component shares the paper quotes (DRAM 35 %, SSD
+    // 28 %, CPU 24 % within compute servers).
+    let b = fleet.breakdown(DEFAULT_RENEWABLE_FRACTION);
+    let mut shares = Table::new(vec!["Component", "Reproduced", "Paper"])
+        .with_title("Fig. 1 — compute component shares vs paper");
+    for (class, paper) in [
+        (ComponentClass::Dram, 0.35),
+        (ComponentClass::Ssd, 0.28),
+        (ComponentClass::Cpu, 0.24),
+    ] {
+        shares.row(vec![
+            class.label().to_string(),
+            fmt_pct(b.compute_component_share(class), 1),
+            fmt_pct(paper, 0),
+        ]);
+    }
+    ctx.write_table("fig1_component_shares_vs_paper", &shares)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_artifacts() {
+        let dir = std::env::temp_dir().join(format!("gsf-fig1-{}", std::process::id()));
+        let ctx = ExpContext::new(&dir, 7, true).unwrap().quiet();
+        run(&ctx).unwrap();
+        assert!(ctx.artifacts().iter().any(|a| a == "fig1_categories_prod.csv"));
+        assert!(ctx.artifacts().iter().any(|a| a == "fig1_component_shares_vs_paper.txt"));
+        std::fs::remove_dir_all(dir).ok();
+    }
+}

@@ -1,0 +1,126 @@
+//! Fig. 11 — end-to-end cluster-level savings across carbon intensities,
+//! reconstructed from the paper's **internal** Table IV per-core savings.
+//!
+//! The published Fig. 11 uses Azure's internal carbon data, which is not
+//! reproducible from the open dataset (the open pipeline is Fig. 12,
+//! see [`crate::fig12`]). What *is* reproducible is Fig. 11's arithmetic
+//! structure: with per-SKU operational/embodied savings `(s_op, s_emb)`
+//! and a baseline whose operational share at the reference intensity
+//! `c₀ = 0.1 kg/kWh` is 58 % (the §II anchor), the total savings at
+//! intensity `c` are
+//!
+//! `S(c) = (s_op · O·c/c₀ + s_emb · E) / (O·c/c₀ + E)`.
+//!
+//! This reproduces Fig. 11's headline shape: the Efficient↔Full
+//! crossover falls between the annotated regions (~0.18 kg/kWh) because
+//! the internal operational-savings gap (29 % vs 17 %) is wide.
+
+use crate::context::{ExpContext, ExpError};
+use crate::table8::published;
+use gsf_carbon::datasets::region_carbon_intensities;
+
+/// Reference carbon intensity at which the operational share anchor
+/// holds.
+pub const REFERENCE_CI: f64 = 0.1;
+/// Operational share of baseline per-core emissions at the reference CI
+/// (§II: ~58 % with the production renewables mix).
+pub const OP_SHARE_AT_REFERENCE: f64 = 0.58;
+
+/// Total savings at carbon intensity `ci` for a SKU with the given
+/// operational/embodied savings.
+pub fn savings_at(ci: f64, op_savings: f64, emb_savings: f64) -> f64 {
+    let op_weight = OP_SHARE_AT_REFERENCE * ci / REFERENCE_CI;
+    let emb_weight = 1.0 - OP_SHARE_AT_REFERENCE;
+    (op_savings * op_weight + emb_savings * emb_weight) / (op_weight + emb_weight)
+}
+
+/// The CI at which two SKUs' savings curves cross, if any, in `(0, 2]`.
+pub fn crossover(a: (f64, f64), b: (f64, f64)) -> Option<f64> {
+    // Solve s_op_a·w(c) + s_emb_a·E = s_op_b·w(c) + s_emb_b·E.
+    let d_op = a.0 - b.0;
+    let d_emb = a.1 - b.1;
+    if d_op.abs() < 1e-12 {
+        return None;
+    }
+    let emb_weight = 1.0 - OP_SHARE_AT_REFERENCE;
+    let w = -d_emb * emb_weight / d_op;
+    let c = w * REFERENCE_CI / OP_SHARE_AT_REFERENCE;
+    (c > 0.0 && c <= 2.0).then_some(c)
+}
+
+/// Regenerates the Fig. 11 curves.
+pub fn run(ctx: &ExpContext) -> Result<(), ExpError> {
+    let skus: Vec<(&str, [f64; 3])> = published()
+        .into_iter()
+        .filter(|p| p.sku.starts_with("GreenSKU"))
+        .map(|p| (p.sku, p.table_iv))
+        .collect();
+    let cis: Vec<f64> = (0..=60).map(|i| f64::from(i) * 0.01).collect();
+    let rows: Vec<Vec<f64>> = cis
+        .iter()
+        .map(|&ci| {
+            let mut row = vec![ci];
+            for (_, s) in &skus {
+                row.push(savings_at(ci, s[0], s[1]));
+            }
+            row
+        })
+        .collect();
+    ctx.write_series(
+        "fig11_cluster_savings_internal.csv",
+        &["carbon_intensity_kg_per_kwh", "efficient", "cxl", "full"],
+        &rows,
+    )?;
+
+    let eff = skus[0].1;
+    let full = skus[2].1;
+    let cross = crossover((eff[0], eff[1]), (full[0], full[1]));
+    let regions: Vec<String> = region_carbon_intensities()
+        .iter()
+        .map(|(name, ci)| format!("{name}={ci}"))
+        .collect();
+    ctx.note(&format!(
+        "fig11: Efficient/Full crossover at CI = {} kg/kWh; region markers: {} \
+         (paper: Efficient wins at europe-north, Full at us-south)",
+        cross.map_or("none".to_string(), |c| format!("{c:.3}")),
+        regions.join(", ")
+    ));
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn savings_at_reference_matches_totals() {
+        // At c = c0 the formula must return the published total savings
+        // (op share 58 %).
+        for p in published() {
+            let s = savings_at(REFERENCE_CI, p.table_iv[0], p.table_iv[1]);
+            assert!((s - p.table_iv[2]).abs() < 0.02, "{}: {s}", p.sku);
+        }
+    }
+
+    #[test]
+    fn crossover_between_region_markers() {
+        let eff = published()[1].table_iv;
+        let full = published()[3].table_iv;
+        let c = crossover((eff[0], eff[1]), (full[0], full[1])).expect("crossover exists");
+        // Between the mid and high region markers (0.1 .. 0.33).
+        assert!(c > 0.1 && c < 0.33, "crossover {c}");
+        // Below: Full wins; above: Efficient wins.
+        assert!(savings_at(c - 0.05, full[0], full[1]) > savings_at(c - 0.05, eff[0], eff[1]));
+        assert!(savings_at(c + 0.05, eff[0], eff[1]) > savings_at(c + 0.05, full[0], full[1]));
+    }
+
+    #[test]
+    fn zero_ci_is_pure_embodied() {
+        assert!((savings_at(0.0, 0.29, 0.14) - 0.14).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_crossover_for_parallel_curves() {
+        assert!(crossover((0.2, 0.3), (0.2, 0.1)).is_none());
+    }
+}

@@ -1,0 +1,92 @@
+//! Fig. 7 — p95 tail latency vs load for one representative application
+//! per class (DevOps excluded: builds report throughput only).
+//!
+//! For each application: the Gen3 baseline at 8 cores, and
+//! GreenSKU-Efficient at 8, 10, and 12 cores, with the SLO line (Gen3's
+//! p95 at 90 % of its peak).
+
+use crate::context::{ExpContext, ExpError};
+use gsf_perf::slo::derive_slo;
+use gsf_perf::sweep::LoadSweep;
+use gsf_perf::{MemoryPlacement, SkuPerfProfile};
+use gsf_workloads::catalog;
+
+/// Regenerates the Fig. 7 curves (one CSV per application).
+pub fn run(ctx: &ExpContext) -> Result<(), ExpError> {
+    let requests = ctx.scaled(8_000, 60_000);
+    let gen3 = SkuPerfProfile::gen3();
+    let green = SkuPerfProfile::greensku_efficient();
+    for app in catalog::figure7_representatives() {
+        let slo = derive_slo(&app, &gen3).expect("latency-critical app");
+        let loads = LoadSweep::standard_loads(slo.baseline_peak_qps);
+        let mut columns: Vec<(String, Vec<Option<f64>>, Vec<f64>)> = Vec::new();
+
+        let base_sweep =
+            LoadSweep::new(app.clone(), gen3.clone(), MemoryPlacement::LocalOnly, 8)
+                .with_requests(requests);
+        let base_curve = base_sweep.run(ctx.seeds(), &loads);
+        columns.push((
+            "gen3_8c_p95_ms".into(),
+            base_curve.points.iter().map(|p| p.p95_ms).collect(),
+            base_curve.points.iter().map(|p| p.ci99_half_width_ms).collect(),
+        ));
+        for cores in [8u32, 10, 12] {
+            let sweep =
+                LoadSweep::new(app.clone(), green.clone(), MemoryPlacement::LocalOnly, cores)
+                    .with_requests(requests);
+            let curve = sweep.run(ctx.seeds(), &loads);
+            columns.push((
+                format!("greensku_{cores}c_p95_ms"),
+                curve.points.iter().map(|p| p.p95_ms).collect(),
+                curve.points.iter().map(|p| p.ci99_half_width_ms).collect(),
+            ));
+        }
+
+        let mut header: Vec<String> = vec!["qps".into(), "slo_ms".into()];
+        for (name, _, _) in &columns {
+            header.push(name.clone());
+            header.push(format!("{name}_ci99"));
+        }
+        let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+        let rows: Vec<Vec<f64>> = loads
+            .iter()
+            .enumerate()
+            .map(|(i, &qps)| {
+                let mut row = vec![qps, slo.p95_ms];
+                for (_, p95s, cis) in &columns {
+                    row.push(p95s[i].unwrap_or(f64::NAN));
+                    row.push(cis[i]);
+                }
+                row
+            })
+            .collect();
+        let file = format!("fig7_{}.csv", app.name().to_lowercase().replace('-', "_"));
+        ctx.write_series(&file, &header_refs, &rows)?;
+        ctx.note(&format!(
+            "fig7[{}]: Gen3 peak {:.0} QPS, SLO {:.2} ms @ {:.0} QPS",
+            app.name(),
+            slo.baseline_peak_qps,
+            slo.p95_ms,
+            slo.load_qps
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_five_curve_files() {
+        let dir = std::env::temp_dir().join(format!("gsf-fig7-{}", std::process::id()));
+        let ctx = ExpContext::new(&dir, 7, true).unwrap().quiet();
+        run(&ctx).unwrap();
+        let files = ctx.artifacts();
+        assert_eq!(files.len(), 5);
+        assert!(files.iter().any(|f| f == "fig7_masstree.csv"));
+        let csv = std::fs::read_to_string(dir.join("fig7_nginx.csv")).unwrap();
+        assert!(csv.lines().next().unwrap().contains("greensku_12c_p95_ms"));
+        std::fs::remove_dir_all(dir).ok();
+    }
+}

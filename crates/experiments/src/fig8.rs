@@ -1,0 +1,106 @@
+//! Fig. 8 — tail latency vs load under CXL memory reuse: Moses (heavily
+//! penalized) vs HAProxy (mildly penalized).
+//!
+//! Both applications run with the core count their Gen3 SLO requires
+//! (scaling factor 1.25 → 10 cores) on GreenSKU-Efficient and on
+//! GreenSKU-CXL with naive placement, matching the paper's measurement.
+
+use crate::context::{ExpContext, ExpError};
+use gsf_perf::slo::derive_slo;
+use gsf_perf::sweep::LoadSweep;
+use gsf_perf::{MemoryPlacement, SkuPerfProfile};
+use gsf_workloads::catalog;
+
+/// Regenerates the two Fig. 8 panels.
+pub fn run(ctx: &ExpContext) -> Result<(), ExpError> {
+    let requests = ctx.scaled(8_000, 60_000);
+    let gen3 = SkuPerfProfile::gen3();
+    for name in ["Moses", "HAProxy"] {
+        let app = catalog::by_name(name).expect("catalog app");
+        let slo = derive_slo(&app, &gen3).expect("latency-critical app");
+        let cores = 10; // both need scaling 1.25 vs Gen3
+        let loads = LoadSweep::standard_loads(slo.baseline_peak_qps);
+
+        let eff = LoadSweep::new(
+            app.clone(),
+            SkuPerfProfile::greensku_efficient(),
+            MemoryPlacement::LocalOnly,
+            cores,
+        )
+        .with_requests(requests)
+        .run(ctx.seeds(), &loads);
+        let cxl = LoadSweep::new(
+            app.clone(),
+            SkuPerfProfile::greensku_cxl(),
+            MemoryPlacement::Naive,
+            cores,
+        )
+        .with_requests(requests)
+        .run(ctx.seeds(), &loads);
+
+        let rows: Vec<Vec<f64>> = loads
+            .iter()
+            .enumerate()
+            .map(|(i, &qps)| {
+                vec![
+                    qps,
+                    slo.p95_ms,
+                    eff.points[i].p95_ms.unwrap_or(f64::NAN),
+                    cxl.points[i].p95_ms.unwrap_or(f64::NAN),
+                ]
+            })
+            .collect();
+        ctx.write_series(
+            &format!("fig8_{}.csv", name.to_lowercase()),
+            &["qps", "slo_ms", "efficient_p95_ms", "cxl_naive_p95_ms"],
+            &rows,
+        )?;
+        let peak_loss = 1.0 - cxl.peak_qps / eff.peak_qps;
+        ctx.note(&format!(
+            "fig8[{name}]: CXL peak-throughput loss {:.1}% (paper: Moses large, HAProxy ~11%)",
+            peak_loss * 100.0
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moses_loses_more_peak_than_haproxy() {
+        let gen3 = SkuPerfProfile::gen3();
+        let loss = |name: &str| {
+            let app = catalog::by_name(name).unwrap();
+            let _ = derive_slo(&app, &gen3);
+            let eff = LoadSweep::new(
+                app.clone(),
+                SkuPerfProfile::greensku_efficient(),
+                MemoryPlacement::LocalOnly,
+                10,
+            );
+            let cxl = LoadSweep::new(
+                app,
+                SkuPerfProfile::greensku_cxl(),
+                MemoryPlacement::Naive,
+                10,
+            );
+            1.0 - cxl.peak_qps() / eff.peak_qps()
+        };
+        let moses = loss("Moses");
+        let haproxy = loss("HAProxy");
+        assert!(moses > 0.25, "Moses loss {moses}");
+        assert!((haproxy - 0.10).abs() < 0.03, "HAProxy loss {haproxy}");
+    }
+
+    #[test]
+    fn writes_two_panels() {
+        let dir = std::env::temp_dir().join(format!("gsf-fig8-{}", std::process::id()));
+        let ctx = ExpContext::new(&dir, 7, true).unwrap().quiet();
+        run(&ctx).unwrap();
+        assert!(dir.join("fig8_moses.csv").exists());
+        assert!(dir.join("fig8_haproxy.csv").exists());
+        std::fs::remove_dir_all(dir).ok();
+    }
+}

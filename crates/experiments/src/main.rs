@@ -1,0 +1,103 @@
+//! `experiments` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! experiments all                 # run everything into ./results
+//! experiments fig7 table8         # run selected exhibits
+//! experiments --quick all         # reduced fidelity (CI-friendly)
+//! experiments --results-dir out --seed 7 fig12
+//! experiments --list
+//! ```
+
+use gsf_experiments::registry::{all_experiments, run_all, run_by_id};
+use gsf_experiments::ExpContext;
+use std::process::ExitCode;
+
+fn usage() {
+    eprintln!(
+        "usage: experiments [--quick] [--seed N] [--results-dir DIR] (all | --list | <id>...)"
+    );
+    eprintln!("experiment ids:");
+    for exp in all_experiments() {
+        eprintln!("  {:<12} {}", exp.id, exp.title);
+    }
+}
+
+fn main() -> ExitCode {
+    let mut quick = false;
+    let mut seed = 42u64;
+    let mut results_dir = "results".to_string();
+    let mut targets: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--seed" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => seed = v,
+                None => {
+                    eprintln!("--seed requires an integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--results-dir" => match args.next() {
+                Some(v) => results_dir = v,
+                None => {
+                    eprintln!("--results-dir requires a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--list" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag: {other}");
+                usage();
+                return ExitCode::FAILURE;
+            }
+            other => targets.push(other.to_string()),
+        }
+    }
+    if targets.is_empty() {
+        usage();
+        return ExitCode::FAILURE;
+    }
+
+    let ctx = match ExpContext::new(&results_dir, seed, quick) {
+        Ok(ctx) => ctx,
+        Err(e) => {
+            eprintln!("cannot open results dir: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let started = std::time::Instant::now();
+    for target in &targets {
+        let outcome = if target == "all" {
+            run_all(&ctx).map(|()| true)
+        } else {
+            run_by_id(&ctx, target)
+        };
+        match outcome {
+            Ok(true) => {}
+            Ok(false) => {
+                eprintln!("unknown experiment id: {target}");
+                usage();
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("experiment `{target}` failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    println!(
+        "done: {} artifact(s) in `{}` ({:.1}s)",
+        ctx.artifacts().len(),
+        results_dir,
+        started.elapsed().as_secs_f64()
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,63 @@
+//! §VII-B — what other carbon strategies would need to match
+//! GreenSKU-Full's data-center-wide savings.
+
+use crate::context::{ExpContext, ExpError};
+use gsf_carbon::breakdown::{FleetModel, DEFAULT_RENEWABLE_FRACTION};
+use gsf_carbon::equivalence::{
+    efficiency_gain_for_savings, lifetime_extension_for_savings,
+    renewables_increase_for_savings,
+};
+use gsf_stats::table::{fmt_pct, Table};
+
+/// The data-center-wide savings target (the open-data headline: 7 %).
+pub const DC_SAVINGS_TARGET: f64 = 0.07;
+
+/// Regenerates the equivalence analyses.
+pub fn run(ctx: &ExpContext) -> Result<(), ExpError> {
+    let fleet = FleetModel::azure_calibrated();
+    let renewables =
+        renewables_increase_for_savings(&fleet, DEFAULT_RENEWABLE_FRACTION, DC_SAVINGS_TARGET)?;
+    let efficiency =
+        efficiency_gain_for_savings(&fleet, DEFAULT_RENEWABLE_FRACTION, DC_SAVINGS_TARGET)?;
+    let lifetime = lifetime_extension_for_savings(
+        &fleet,
+        DEFAULT_RENEWABLE_FRACTION,
+        6.0,
+        DC_SAVINGS_TARGET,
+    )?;
+
+    let mut t = Table::new(vec!["Strategy", "Required to match GreenSKU-Full", "Paper"])
+        .with_title("§VII-B — equivalent carbon levers");
+    t.row(vec![
+        "Increase renewables".into(),
+        format!("+{} points", fmt_pct(renewables, 1)),
+        "+2.6 points".into(),
+    ]);
+    t.row(vec![
+        "Improve compute energy efficiency".into(),
+        fmt_pct(efficiency, 1),
+        "28%".into(),
+    ]);
+    t.row(vec![
+        "Extend compute-server lifetime".into(),
+        format!("6 -> {lifetime:.1} years"),
+        "6 -> 13 years".into(),
+    ]);
+    ctx.write_table("sec7_equivalence", &t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levers_in_paper_bands() {
+        let dir = std::env::temp_dir().join(format!("gsf-sec7-{}", std::process::id()));
+        let ctx = ExpContext::new(&dir, 13, true).unwrap().quiet();
+        run(&ctx).unwrap();
+        let csv = std::fs::read_to_string(dir.join("sec7_equivalence.csv")).unwrap();
+        assert!(csv.contains("Increase renewables"));
+        assert!(csv.contains("years"));
+        std::fs::remove_dir_all(dir).ok();
+    }
+}

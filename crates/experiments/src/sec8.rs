@@ -1,0 +1,248 @@
+//! §VIII analyses — the paper's discussion items, implemented:
+//! design-space search, run-time autoscaling, hardware-tiered CXL, and
+//! the §VII-A TCO swap.
+
+use crate::context::{ExpContext, ExpError};
+use gsf_carbon::cost::{CostModel, CostParams};
+use gsf_carbon::datasets::open_source;
+use gsf_carbon::lifetime::ComponentLifetimes;
+use gsf_carbon::units::Years;
+use gsf_carbon::ModelParams;
+use gsf_core::search::{evaluate_space, pareto_front, CandidateSpace};
+use gsf_maintenance::{SsdEndurance, SsdWear};
+use gsf_perf::autoscale::{diurnal_load, AutoscaleConfig, Autoscaler};
+use gsf_perf::slo::derive_slo;
+use gsf_perf::{slowdown, MemoryPlacement, SkuPerfProfile};
+use gsf_stats::table::{fmt_f, fmt_pct, Table};
+use gsf_workloads::catalog;
+
+/// Design-space search (§VIII): evaluate the paper-neighborhood space
+/// and report the ranking plus the Pareto front.
+pub fn run_search(ctx: &ExpContext) -> Result<(), ExpError> {
+    let results = evaluate_space(
+        &CandidateSpace::paper_neighborhood(),
+        ModelParams::default_open_source(),
+    )?;
+    let front = pareto_front(&results);
+    let front_names: std::collections::HashSet<&str> =
+        front.iter().map(|r| r.name.as_str()).collect();
+    let mut t = Table::new(vec![
+        "Rank",
+        "Candidate",
+        "CO2e/core (kg)",
+        "Adoption",
+        "Effective savings",
+        "Pareto",
+    ])
+    .with_title("§VIII — design-space search (54 candidates)");
+    for (i, r) in results.iter().enumerate().take(15) {
+        t.row(vec![
+            (i + 1).to_string(),
+            r.name.clone(),
+            fmt_f(r.per_core_kg, 1),
+            fmt_pct(r.adoption_rate, 0),
+            fmt_pct(r.effective_savings, 1),
+            if front_names.contains(r.name.as_str()) { "*".into() } else { String::new() },
+        ]);
+    }
+    ctx.write_table("sec8_design_search", &t)?;
+    ctx.note(&format!(
+        "sec8 search: best candidate `{}` with effective savings {} \
+         ({} Pareto-optimal of {} candidates)",
+        results[0].name,
+        fmt_pct(results[0].effective_savings, 1),
+        front.len(),
+        results.len()
+    ));
+    Ok(())
+}
+
+/// Run-time autoscaling (§VIII): GreenSKU-Efficient with a reactive
+/// controller vs static peak provisioning on a diurnal load.
+pub fn run_autoscale(ctx: &ExpContext) -> Result<(), ExpError> {
+    let mut t = Table::new(vec![
+        "App",
+        "Static cores (peak)",
+        "Static core-hours",
+        "Autoscaled core-hours",
+        "Saved",
+        "SLO attainment",
+    ])
+    .with_title("§VIII — autoscaling on GreenSKU-Efficient, 48h diurnal load");
+    for name in ["Xapian", "Moses", "Nginx"] {
+        let app = catalog::by_name(name).expect("catalog app");
+        let slo = derive_slo(&app, &SkuPerfProfile::gen3()).expect("latency app");
+        let scaler = Autoscaler::new(
+            app,
+            SkuPerfProfile::greensku_efficient(),
+            MemoryPlacement::LocalOnly,
+            AutoscaleConfig::new(slo.p95_ms),
+        );
+        let load = diurnal_load(slo.load_qps * 0.6, 0.6, 48.0, 5.0);
+        let outcome = scaler.run(&load);
+        let peak = load.iter().cloned().fold(0.0, f64::max);
+        let static_cores = scaler.cores_for(peak);
+        let static_hours = outcome.static_core_hours(static_cores);
+        t.row(vec![
+            name.to_string(),
+            static_cores.to_string(),
+            fmt_f(static_hours, 0),
+            fmt_f(outcome.core_hours, 0),
+            fmt_pct(1.0 - outcome.core_hours / static_hours, 1),
+            fmt_pct(outcome.slo_attainment, 1),
+        ]);
+    }
+    ctx.write_table("sec8_autoscaling", &t)
+}
+
+/// Hardware-tiered CXL (§III forward reference): per-app slowdown under
+/// naive vs tiered vs Pond placement.
+pub fn run_tiering(ctx: &ExpContext) -> Result<(), ExpError> {
+    let cxl = SkuPerfProfile::greensku_cxl();
+    let mut t = Table::new(vec!["App", "Naive", "HW-tiered", "Pond"])
+        .with_title("Hardware-tiered CXL: per-core slowdown vs local DDR5");
+    for name in ["Moses", "Masstree", "Redis", "HAProxy", "Build-PHP"] {
+        let app = catalog::by_name(name).expect("catalog app");
+        let local = slowdown(&app, &cxl, MemoryPlacement::LocalOnly);
+        let row = |p: MemoryPlacement| slowdown(&app, &cxl, p) / local;
+        t.row(vec![
+            name.to_string(),
+            fmt_f(row(MemoryPlacement::Naive), 3),
+            fmt_f(row(MemoryPlacement::HardwareTiered), 3),
+            fmt_f(row(MemoryPlacement::Pond), 3),
+        ]);
+    }
+    ctx.write_table("sec8_hw_tiering", &t)
+}
+
+/// §VII-A TCO swap plus reuse-viability analyses (SSD wear, lifetime
+/// normalization).
+pub fn run_tco(ctx: &ExpContext) -> Result<(), ExpError> {
+    let model = CostModel::new(ModelParams::default_open_source(), CostParams::public_estimates());
+    let baseline = open_source::baseline_gen3();
+    let mut t = Table::new(vec!["SKU", "Capex $/core", "Energy $/core", "TCO $/core", "vs baseline"])
+        .with_title("§VII-A — TCO model (public price estimates)");
+    let base_tco = model.assess(&baseline)?.total_per_core();
+    for sku in open_source::table_viii_skus() {
+        let a = model.assess(&sku)?;
+        t.row(vec![
+            sku.name().to_string(),
+            fmt_f(a.capex_per_core, 0),
+            fmt_f(a.energy_per_core, 0),
+            fmt_f(a.total_per_core(), 0),
+            fmt_pct(1.0 - a.total_per_core() / base_tco, 1),
+        ]);
+    }
+    ctx.write_table("sec7a_tco", &t)?;
+
+    // Reuse viability: SSD wear after the first deployment.
+    let wear = SsdWear::after_service(SsdEndurance::m2_2015(), 7.0, 0.3);
+    let lifetimes = ComponentLifetimes::paper_observed();
+    let penalty13 =
+        lifetimes.extension_penalty(&baseline, Years::new(6.0), Years::new(13.0));
+    ctx.write_text(
+        "sec7a_reuse_viability.txt",
+        &format!(
+            "SSD wear after 7y at 0.3 DWPD: {} of erase budget remaining \
+             (paper: most drives keep >50%)\n\
+             second 6-year deployment viable at same rate: {}\n\
+             lifetime-extension embodied penalty, baseline SKU 6->13y: {:.0} kg \
+             ({} of server embodied) — the replacement cost the SecVII-B \
+             lifetime lever optimistically ignores\n",
+            fmt_pct(wear.remaining_fraction(), 1),
+            wear.viable_for_reuse(6.0, 0.3),
+            penalty13.get(),
+            fmt_pct(penalty13.get() / baseline.embodied().get(), 1),
+        ),
+    )
+}
+
+/// §III residual levers: second-generation GreenSKU candidates (NIC
+/// reuse, LPDDR) and their measured (small) returns.
+pub fn run_residuals(ctx: &ExpContext) -> Result<(), ExpError> {
+    use gsf_carbon::residuals;
+    let model = gsf_carbon::CarbonModel::new(ModelParams::default_open_source());
+    // Each lever is compared against the SKU it modifies: NIC reuse vs
+    // GreenSKU-Full with a new NIC; LPDDR vs GreenSKU-Efficient's DDR5.
+    let candidates = [
+        (
+            "NIC reuse (on GreenSKU-Full)",
+            residuals::greensku_full_with_new_nic()?,
+            residuals::greensku_gen2_nic_reuse()?,
+        ),
+        (
+            "LPDDR (on GreenSKU-Efficient)",
+            open_source::greensku_efficient(),
+            residuals::greensku_gen2_lpddr()?,
+        ),
+    ];
+    let mut t = Table::new(vec![
+        "Lever",
+        "Base kg/core",
+        "Candidate kg/core",
+        "Additional savings",
+        "PCIe lanes",
+    ])
+    .with_title("§III — second-generation (residual) levers");
+    for (name, base, candidate) in &candidates {
+        let b = model.assess(base)?.total_per_core().get();
+        let c = model.assess(candidate)?.total_per_core().get();
+        t.row(vec![
+            name.to_string(),
+            fmt_f(b, 2),
+            fmt_f(c, 2),
+            fmt_pct(1.0 - c / b, 2),
+            candidate.pcie_lanes().to_string(),
+        ]);
+    }
+    ctx.write_table("sec3_residual_levers", &t)?;
+    ctx.note("sec3: NIC reuse and LPDDR move per-core carbon by <1% — the paper's 'low returns today'");
+    Ok(())
+}
+
+/// Umbrella runner for the registry.
+pub fn run(ctx: &ExpContext) -> Result<(), ExpError> {
+    run_search(ctx)?;
+    run_autoscale(ctx)?;
+    run_tiering(ctx)?;
+    run_residuals(ctx)?;
+    run_tco(ctx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_all_sec8_artifacts() {
+        let dir = std::env::temp_dir().join(format!("gsf-sec8-{}", std::process::id()));
+        let ctx = ExpContext::new(&dir, 13, true).unwrap().quiet();
+        run(&ctx).unwrap();
+        for f in [
+            "sec3_residual_levers.csv",
+            "sec8_design_search.csv",
+            "sec8_autoscaling.csv",
+            "sec8_hw_tiering.csv",
+            "sec7a_tco.csv",
+            "sec7a_reuse_viability.txt",
+        ] {
+            assert!(dir.join(f).exists(), "{f}");
+        }
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn autoscaling_saves_for_every_app() {
+        let dir = std::env::temp_dir().join(format!("gsf-sec8b-{}", std::process::id()));
+        let ctx = ExpContext::new(&dir, 13, true).unwrap().quiet();
+        run_autoscale(&ctx).unwrap();
+        let csv = std::fs::read_to_string(dir.join("sec8_autoscaling.csv")).unwrap();
+        for line in csv.lines().skip(1) {
+            // "Saved" column is second-to-last.
+            let cells: Vec<&str> = line.split(',').collect();
+            let saved: f64 = cells[cells.len() - 2].trim_end_matches('%').parse().unwrap();
+            assert!(saved > 10.0, "{line}");
+        }
+        std::fs::remove_dir_all(dir).ok();
+    }
+}

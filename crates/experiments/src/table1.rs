@@ -1,0 +1,45 @@
+//! Table I — baseline AMD CPUs vs the efficient Bergamo CPU.
+
+use crate::context::{ExpContext, ExpError};
+use gsf_carbon::datasets::table_i;
+use gsf_stats::table::Table;
+
+/// Regenerates Table I from the SKU dataset.
+pub fn run(ctx: &ExpContext) -> Result<(), ExpError> {
+    let mut t = Table::new(vec![
+        "CPU",
+        "Generation",
+        "Cores/socket",
+        "Max freq (GHz)",
+        "LLC/socket (MiB)",
+        "TDP (W)",
+    ])
+    .with_title("Table I — CPU characteristics");
+    for cpu in table_i() {
+        t.row(vec![
+            cpu.name.to_string(),
+            cpu.generation.to_string(),
+            cpu.cores_per_socket.to_string(),
+            format!("{:.1}", cpu.max_freq_ghz),
+            cpu.llc_mib.to_string(),
+            format!("{:.0}", cpu.tdp_w),
+        ]);
+    }
+    ctx.write_table("table1_cpus", &t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_four_rows() {
+        let dir = std::env::temp_dir().join(format!("gsf-table1-{}", std::process::id()));
+        let ctx = ExpContext::new(&dir, 7, true).unwrap().quiet();
+        run(&ctx).unwrap();
+        let csv = std::fs::read_to_string(dir.join("table1_cpus.csv")).unwrap();
+        assert_eq!(csv.lines().count(), 5); // header + 4 CPUs
+        assert!(csv.contains("Bergamo"));
+        std::fs::remove_dir_all(dir).ok();
+    }
+}

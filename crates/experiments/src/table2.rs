@@ -1,0 +1,83 @@
+//! Table II — DevOps build slowdowns normalized to Gen3.
+
+use crate::context::{ExpContext, ExpError};
+use gsf_perf::throughput::table_ii;
+use gsf_stats::table::{fmt_f, Table};
+
+/// Published Table II values for side-by-side comparison:
+/// (app, gen1, gen2, gen3, efficient, cxl).
+pub fn published() -> [(&'static str, [f64; 5]); 3] {
+    [
+        ("Build-PHP", [1.27, 1.11, 1.00, 1.17, 1.38]),
+        ("Build-Python", [1.28, 1.13, 1.00, 1.15, 1.21]),
+        ("Build-Wasm", [1.34, 1.19, 1.00, 1.15, 1.28]),
+    ]
+}
+
+/// Regenerates Table II and the paper-vs-reproduced comparison.
+pub fn run(ctx: &ExpContext) -> Result<(), ExpError> {
+    let mut t = Table::new(vec![
+        "DevOps App.",
+        "Gen1",
+        "Gen2",
+        "Gen3",
+        "GreenSKU-Efficient",
+        "GreenSKU-CXL",
+    ])
+    .with_title("Table II — normalized build slowdowns (reproduced)");
+    for row in table_ii() {
+        t.row(vec![
+            row.app.clone(),
+            fmt_f(row.gen1, 2),
+            fmt_f(row.gen2, 2),
+            fmt_f(row.gen3, 2),
+            fmt_f(row.efficient, 2),
+            fmt_f(row.cxl, 2),
+        ]);
+    }
+    ctx.write_table("table2_build_slowdowns", &t)?;
+
+    let mut cmp = Table::new(vec!["App", "Column", "Reproduced", "Paper", "Delta"])
+        .with_title("Table II — reproduced vs published");
+    for row in table_ii() {
+        let pub_row = published()
+            .into_iter()
+            .find(|(name, _)| *name == row.app)
+            .expect("published row exists");
+        let cols = [
+            ("Gen1", row.gen1, pub_row.1[0]),
+            ("Gen2", row.gen2, pub_row.1[1]),
+            ("Efficient", row.efficient, pub_row.1[3]),
+            ("CXL", row.cxl, pub_row.1[4]),
+        ];
+        for (label, got, want) in cols {
+            cmp.row(vec![
+                row.app.clone(),
+                label.into(),
+                fmt_f(got, 2),
+                fmt_f(want, 2),
+                fmt_f(got - want, 2),
+            ]);
+        }
+    }
+    ctx.write_table("table2_vs_paper", &cmp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduced_close_to_published() {
+        let dir = std::env::temp_dir().join(format!("gsf-table2-{}", std::process::id()));
+        let ctx = ExpContext::new(&dir, 7, true).unwrap().quiet();
+        run(&ctx).unwrap();
+        let csv = std::fs::read_to_string(dir.join("table2_vs_paper.csv")).unwrap();
+        // Every delta under 0.1 in magnitude.
+        for line in csv.lines().skip(1) {
+            let delta: f64 = line.rsplit(',').next().unwrap().parse().unwrap();
+            assert!(delta.abs() < 0.1, "{line}");
+        }
+        std::fs::remove_dir_all(dir).ok();
+    }
+}

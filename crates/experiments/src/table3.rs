@@ -1,0 +1,89 @@
+//! Table III — GreenSKU-Efficient's scaling factors for all catalog
+//! applications against Gen1/Gen2/Gen3, compared cell-by-cell with the
+//! published matrix.
+
+use crate::context::{ExpContext, ExpError};
+use gsf_perf::{scaling_table, MemoryPlacement, SkuPerfProfile};
+use gsf_stats::table::{fmt_pct, Table};
+use gsf_workloads::fleet::published_table_iii;
+use gsf_workloads::catalog;
+
+/// Regenerates Table III and reports the agreement rate.
+pub fn run(ctx: &ExpContext) -> Result<(), ExpError> {
+    let apps = catalog::applications();
+    let table = scaling_table(
+        &apps,
+        &SkuPerfProfile::greensku_efficient(),
+        MemoryPlacement::LocalOnly,
+    );
+    let published = published_table_iii();
+
+    let mut t = Table::new(vec![
+        "Application",
+        "Class",
+        "Gen1",
+        "Gen2",
+        "Gen3",
+        "Paper (G1/G2/G3)",
+    ])
+    .with_title("Table III — scaling factors (reproduced vs published)");
+    let mut cells = 0usize;
+    let mut exact = 0usize;
+    for row in &table {
+        let app = apps.iter().find(|a| a.name() == row.app).expect("catalog app");
+        let pub_row = published.iter().find(|p| p.app == row.app);
+        let paper = pub_row.map_or("-".to_string(), |p| {
+            let fmt = |v: Option<f64>| match v {
+                Some(x) if (x - 1.0).abs() < 1e-9 => "1".to_string(),
+                Some(x) => format!("{x}"),
+                None => ">1.5".to_string(),
+            };
+            format!("{}/{}/{}", fmt(p.gen1), fmt(p.gen2), fmt(p.gen3))
+        });
+        if let Some(p) = pub_row {
+            for (got, want) in row.factors.iter().zip([p.gen1, p.gen2, p.gen3]) {
+                cells += 1;
+                let got_v = got.value();
+                let matches = match (got_v, want) {
+                    (None, None) => true,
+                    (Some(a), Some(b)) => (a - b).abs() < 1e-9,
+                    _ => false,
+                };
+                if matches {
+                    exact += 1;
+                }
+            }
+        }
+        t.row(vec![
+            row.app.clone(),
+            app.class().label().to_string(),
+            row.factors[0].label().to_string(),
+            row.factors[1].label().to_string(),
+            row.factors[2].label().to_string(),
+            paper,
+        ]);
+    }
+    ctx.write_table("table3_scaling_factors", &t)?;
+    ctx.note(&format!(
+        "table3: {exact}/{cells} cells match the published matrix ({})",
+        fmt_pct(exact as f64 / cells as f64, 1)
+    ));
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_catalog_apps_present() {
+        let dir = std::env::temp_dir().join(format!("gsf-table3-{}", std::process::id()));
+        let ctx = ExpContext::new(&dir, 7, true).unwrap().quiet();
+        run(&ctx).unwrap();
+        let csv = std::fs::read_to_string(dir.join("table3_scaling_factors.csv")).unwrap();
+        assert_eq!(csv.lines().count(), 21); // header + 20 apps
+        assert!(csv.contains("Masstree"));
+        assert!(csv.contains(">1.5"));
+        std::fs::remove_dir_all(dir).ok();
+    }
+}

@@ -1,0 +1,72 @@
+//! Tables V and VI — the open-source component carbon data and model
+//! parameters the carbon model consumes.
+
+use crate::context::{ExpContext, ExpError};
+use gsf_carbon::datasets::open_source as os;
+use gsf_carbon::params::ModelParams;
+use gsf_stats::table::Table;
+
+/// Regenerates the two input-data tables.
+pub fn run(ctx: &ExpContext) -> Result<(), ExpError> {
+    let mut t5 = Table::new(vec!["Component", "TDP (W)", "Embodied (kgCO2e)"])
+        .with_title("Table V — open-source component data");
+    let rows = [
+        ("AMD Bergamo CPU", format!("{}", os::BERGAMO_TDP_W), format!("{}", os::BERGAMO_EMBODIED_KG)),
+        ("DRAM (DDR5)", format!("{} per GB", os::DDR5_TDP_W_PER_GB), format!("{} per GB", os::DDR5_EMBODIED_KG_PER_GB)),
+        ("DRAM (DDR4)", format!("{} per GB", os::DDR4_TDP_W_PER_GB), "0 (reused)".to_string()),
+        ("SSD", format!("{} per TB", os::SSD_TDP_W_PER_TB), format!("{} per TB", os::SSD_EMBODIED_KG_PER_TB)),
+        ("CXL Controller", format!("{}", os::CXL_CONTROLLER_TDP_W), format!("{}", os::CXL_CONTROLLER_EMBODIED_KG)),
+        ("Rack misc.", "500".to_string(), "500".to_string()),
+    ];
+    for (name, tdp, emb) in rows {
+        t5.row(vec![name.to_string(), tdp, emb]);
+    }
+    ctx.write_table("table5_component_data", &t5)?;
+
+    let params = ModelParams::default_open_source();
+    let mut t6 = Table::new(vec!["Parameter", "Value"])
+        .with_title("Table VI — model parameters");
+    let rows = [
+        ("Carbon intensity", format!("{} kgCO2e/kWh", params.carbon_intensity.get())),
+        ("Lifetime", format!("{} years", params.lifetime.get())),
+        ("Derate factor at 40% SPEC throughput", format!("{}", os::DERATE)),
+        ("Rack space capacity", format!("{}U (42U - 10U overhead)", params.rack.space_u)),
+        ("Rack power capacity", format!("{} kW", params.rack.power_capacity.get() / 1000.0)),
+        ("CPU voltage regulator loss", format!("{}", os::CPU_VR_LOSS)),
+        ("PUE (calibrated)", format!("{}", params.overheads.pue)),
+        (
+            "Net/storage power per rack (calibrated)",
+            format!("{} W", params.overheads.network_storage_power_per_rack.get()),
+        ),
+        (
+            "DC embodied overhead per rack (calibrated)",
+            format!("{} kgCO2e", params.overheads.embodied_per_rack().get()),
+        ),
+        ("Calibrated Gen3 CPU TDP", format!("{} W", os::GENOA_TDP_W)),
+        ("Calibrated Gen3 CPU embodied", format!("{} kgCO2e", os::GENOA_EMBODIED_KG)),
+        ("Calibrated reused DDR4 power", format!("{} W/GB", os::REUSED_DDR4_TDP_W_PER_GB)),
+        ("Calibrated reused SSD power", format!("{} W/TB", os::REUSED_SSD_TDP_W_PER_TB)),
+    ];
+    for (name, value) in rows {
+        t6.row(vec![name.to_string(), value]);
+    }
+    ctx.write_table("table6_model_parameters", &t6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_both_tables() {
+        let dir = std::env::temp_dir().join(format!("gsf-table56-{}", std::process::id()));
+        let ctx = ExpContext::new(&dir, 9, true).unwrap().quiet();
+        run(&ctx).unwrap();
+        let t5 = std::fs::read_to_string(dir.join("table5_component_data.csv")).unwrap();
+        assert!(t5.contains("Bergamo"));
+        assert!(t5.contains("0 (reused)"));
+        let t6 = std::fs::read_to_string(dir.join("table6_model_parameters.csv")).unwrap();
+        assert!(t6.contains("Carbon intensity"));
+        std::fs::remove_dir_all(dir).ok();
+    }
+}

@@ -1,0 +1,138 @@
+//! SSD wear model: flash erase-cycle budgets and reuse viability (§III).
+//!
+//! “Typically, modern SSDs fail due to exhausting flash erasure cycles.
+//! After seven years, most SSDs offer more than half of the guaranteed
+//! erasure cycles.” This module quantifies that: given a drive's rated
+//! endurance (drive-writes-per-day over its warranty) and the write rate
+//! it actually saw, how much life is left for a second deployment?
+
+use serde::{Deserialize, Serialize};
+
+/// An SSD model's rated endurance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SsdEndurance {
+    /// Capacity in TB.
+    pub capacity_tb: f64,
+    /// Rated drive-writes-per-day over the warranty period.
+    pub rated_dwpd: f64,
+    /// Warranty period in years.
+    pub warranty_years: f64,
+}
+
+impl SsdEndurance {
+    /// A typical 2015-era 1 TB data-center m.2 drive: 1 DWPD over 5
+    /// years.
+    pub fn m2_2015() -> Self {
+        Self { capacity_tb: 1.0, rated_dwpd: 1.0, warranty_years: 5.0 }
+    }
+
+    /// Total rated write budget in TB written (TBW).
+    pub fn rated_tbw(&self) -> f64 {
+        self.capacity_tb * self.rated_dwpd * self.warranty_years * 365.0
+    }
+}
+
+/// Wear state of one drive (or a deployed population's mean).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SsdWear {
+    endurance: SsdEndurance,
+    written_tb: f64,
+}
+
+impl SsdWear {
+    /// A fresh drive.
+    pub fn new(endurance: SsdEndurance) -> Self {
+        Self { endurance, written_tb: 0.0 }
+    }
+
+    /// Wear after `years` of service at `dwpd` actual drive-writes per
+    /// day.
+    ///
+    /// Cloud compute-server SSDs typically see well under their rated
+    /// DWPD — the paper's observation that most drives retain over half
+    /// their budget after seven years implies an average utilization
+    /// below ~0.36 DWPD for a 1-DWPD/5-year drive.
+    pub fn after_service(endurance: SsdEndurance, years: f64, dwpd: f64) -> Self {
+        let written = endurance.capacity_tb * dwpd * years * 365.0;
+        Self { endurance, written_tb: written }
+    }
+
+    /// The drive's endurance rating.
+    pub fn endurance(&self) -> SsdEndurance {
+        self.endurance
+    }
+
+    /// TB written so far.
+    pub fn written_tb(&self) -> f64 {
+        self.written_tb
+    }
+
+    /// Fraction of the rated erase budget remaining, clamped to
+    /// `[0, 1]`.
+    pub fn remaining_fraction(&self) -> f64 {
+        (1.0 - self.written_tb / self.endurance.rated_tbw()).clamp(0.0, 1.0)
+    }
+
+    /// Years of *additional* service the remaining budget supports at
+    /// the given write rate; `f64::INFINITY` if the rate is zero.
+    pub fn remaining_years_at(&self, dwpd: f64) -> f64 {
+        if dwpd <= 0.0 {
+            return f64::INFINITY;
+        }
+        let remaining_tbw = self.endurance.rated_tbw() * self.remaining_fraction();
+        remaining_tbw / (self.endurance.capacity_tb * dwpd * 365.0)
+    }
+
+    /// Whether the drive can serve a second deployment of
+    /// `second_life_years` at `dwpd` without exhausting its budget.
+    pub fn viable_for_reuse(&self, second_life_years: f64, dwpd: f64) -> bool {
+        self.remaining_years_at(dwpd) >= second_life_years
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_anchor_half_budget_after_seven_years() {
+        // At typical cloud write rates (~0.3 DWPD), a 1-DWPD/5-year
+        // drive retains >half its budget after 7 years — the paper's
+        // §III claim.
+        let wear = SsdWear::after_service(SsdEndurance::m2_2015(), 7.0, 0.3);
+        assert!(wear.remaining_fraction() > 0.5, "{}", wear.remaining_fraction());
+    }
+
+    #[test]
+    fn reused_drive_survives_a_second_deployment() {
+        // Reuse target: 6 more years in a GreenSKU at the same rate.
+        let wear = SsdWear::after_service(SsdEndurance::m2_2015(), 7.0, 0.3);
+        assert!(wear.viable_for_reuse(6.0, 0.3));
+        // But not at full rated load.
+        assert!(!wear.viable_for_reuse(6.0, 1.0));
+    }
+
+    #[test]
+    fn heavy_writers_exhaust_budget() {
+        let wear = SsdWear::after_service(SsdEndurance::m2_2015(), 7.0, 1.0);
+        // 7 years at 1 DWPD exceeds a 5-year 1-DWPD budget.
+        assert_eq!(wear.remaining_fraction(), 0.0);
+        assert_eq!(wear.remaining_years_at(0.5), 0.0);
+    }
+
+    #[test]
+    fn fresh_drive_has_full_budget() {
+        let wear = SsdWear::new(SsdEndurance::m2_2015());
+        assert_eq!(wear.remaining_fraction(), 1.0);
+        assert_eq!(wear.written_tb(), 0.0);
+        // Full budget at rated DWPD = warranty years.
+        assert!((wear.remaining_years_at(1.0) - 5.0).abs() < 1e-9);
+        assert_eq!(wear.remaining_years_at(0.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn tbw_arithmetic() {
+        let e = SsdEndurance::m2_2015();
+        assert!((e.rated_tbw() - 1825.0).abs() < 1e-9);
+    }
+}

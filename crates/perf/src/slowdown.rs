@@ -1,0 +1,254 @@
+//! The architectural slowdown model: application sensitivity × SKU
+//! profile → per-core service-time multiplier relative to Gen3.
+//!
+//! `slowdown(app, sku, placement)` multiplies five terms (each ≥ 1 for
+//! SKUs no better than Gen3 on that axis, and exactly 1 for Gen3):
+//!
+//! 1. IPC: `1 / ipc_factor` — generation-on-generation core improvements;
+//! 2. frequency: `1 + w_f · max(0, f_gen3/f − 1)`;
+//! 3. socket LLC: `1 + w_s · max(0, (W_s − llc)/W_s)` — penalizes SKUs
+//!    whose socket LLC is smaller than the app's working set (this is
+//!    what makes Genoa's 384 MiB special for Masstree/Xapian);
+//! 4. per-core LLC: same shape on the per-core share (what makes
+//!    Bergamo's 2 MiB/core hurt Silo on every comparison);
+//! 5. memory bandwidth: `max(1, demand / available-per-core)`;
+//! 6. CXL latency: `1 + w_cxl · fraction · Δlat/lat` per the placement
+//!    policy.
+
+use crate::sku::{MemoryPlacement, SkuPerfProfile};
+use gsf_workloads::{ApplicationModel, HardwareSensitivity};
+
+/// Reference frequency (Gen3's 3.7 GHz) against which the frequency term
+/// is computed.
+pub const REFERENCE_FREQ_GHZ: f64 = 3.7;
+
+/// Per-core service-time multiplier of `app` on `sku` relative to an
+/// 8-core VM on Gen3, under the given memory placement.
+///
+/// A value of 1.1 means each request takes 10 % longer per core than on
+/// Gen3; values below 1 cannot occur (Gen3 is the reference optimum in
+/// every modelled dimension).
+///
+/// # Example
+///
+/// ```
+/// use gsf_perf::{slowdown, MemoryPlacement, SkuPerfProfile};
+/// use gsf_workloads::catalog;
+///
+/// let sysbench_like = catalog::by_name("Sphinx").unwrap();
+/// let s = slowdown(&sysbench_like, &SkuPerfProfile::gen3(), MemoryPlacement::LocalOnly);
+/// assert!((s - 1.0).abs() < 1e-12);
+/// ```
+pub fn slowdown(app: &ApplicationModel, sku: &SkuPerfProfile, placement: MemoryPlacement) -> f64 {
+    slowdown_from_sensitivity(app.sensitivity(), sku, placement)
+}
+
+/// Same as [`slowdown`] but taking the sensitivity vector directly.
+pub fn slowdown_from_sensitivity(
+    s: &HardwareSensitivity,
+    sku: &SkuPerfProfile,
+    placement: MemoryPlacement,
+) -> f64 {
+    let ipc_term = 1.0 / sku.ipc_factor;
+    let freq_term = 1.0 + s.freq_weight * (REFERENCE_FREQ_GHZ / sku.freq_ghz - 1.0).max(0.0);
+    let socket_cache_term = if s.socket_cache_mib > 0.0 {
+        let deficit = ((s.socket_cache_mib - sku.llc_socket_mib) / s.socket_cache_mib).max(0.0);
+        1.0 + s.socket_cache_weight * deficit
+    } else {
+        1.0
+    };
+    let core_cache_term = if s.core_cache_mib > 0.0 {
+        let deficit = ((s.core_cache_mib - sku.llc_per_core_mib()) / s.core_cache_mib).max(0.0);
+        1.0 + s.core_cache_weight * deficit
+    } else {
+        1.0
+    };
+    let bw_term = if s.mem_bandwidth_gbps_per_core > 0.0 {
+        (s.mem_bandwidth_gbps_per_core / sku.bandwidth_per_core_gbps()).max(1.0)
+    } else {
+        1.0
+    };
+    let cxl_term = match (placement, sku.cxl) {
+        (MemoryPlacement::LocalOnly, _) | (_, None) => 1.0,
+        // Pond places only untouched memory on CXL: no hot traffic moves.
+        (MemoryPlacement::Pond, Some(_)) => 1.0,
+        (MemoryPlacement::Naive, Some(tier)) => {
+            s.cxl_slowdown(s.cxl_naive_fraction, sku.mem_latency_ns, tier.latency_ns)
+        }
+        (MemoryPlacement::FullCxl, Some(tier)) => {
+            s.cxl_slowdown(1.0, sku.mem_latency_ns, tier.latency_ns)
+        }
+        // Hardware tiering promotes hot pages: only the residual
+        // fraction of naive traffic still pays CXL latency.
+        (MemoryPlacement::HardwareTiered, Some(tier)) => s.cxl_slowdown(
+            s.cxl_naive_fraction * MemoryPlacement::HW_TIERING_RESIDUAL,
+            sku.mem_latency_ns,
+            tier.latency_ns,
+        ),
+    };
+    ipc_term * freq_term * socket_cache_term * core_cache_term * bw_term * cxl_term
+}
+
+/// Relative slowdown of `green` against a `baseline` SKU for `app`: how
+/// much slower one green core is than one baseline core. This is the
+/// quantity Tables II and III normalize to.
+pub fn relative_slowdown(
+    app: &ApplicationModel,
+    green: &SkuPerfProfile,
+    green_placement: MemoryPlacement,
+    baseline: &SkuPerfProfile,
+) -> f64 {
+    slowdown(app, green, green_placement) / slowdown(app, baseline, MemoryPlacement::LocalOnly)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsf_workloads::catalog;
+
+    fn app(name: &str) -> gsf_workloads::ApplicationModel {
+        catalog::by_name(name).expect("catalog app")
+    }
+
+    #[test]
+    fn gen3_is_reference_for_all_apps() {
+        for a in catalog::applications() {
+            let s = slowdown(&a, &SkuPerfProfile::gen3(), MemoryPlacement::LocalOnly);
+            assert!((s - 1.0).abs() < 1e-12, "{}: {s}", a.name());
+        }
+    }
+
+    #[test]
+    fn slowdowns_never_below_one_on_local_memory() {
+        let skus = [
+            SkuPerfProfile::gen1(),
+            SkuPerfProfile::gen2(),
+            SkuPerfProfile::greensku_efficient(),
+            SkuPerfProfile::greensku_cxl(),
+        ];
+        for a in catalog::applications() {
+            for sku in &skus {
+                let s = slowdown(&a, sku, MemoryPlacement::LocalOnly);
+                assert!(s >= 1.0 - 1e-12, "{} on {}: {s}", a.name(), sku.name);
+            }
+        }
+    }
+
+    #[test]
+    fn masstree_struggles_only_against_gen3() {
+        let m = app("Masstree");
+        let eff = SkuPerfProfile::greensku_efficient();
+        let s_gen3 = relative_slowdown(&m, &eff, MemoryPlacement::LocalOnly, &SkuPerfProfile::gen3());
+        let s_gen1 = relative_slowdown(&m, &eff, MemoryPlacement::LocalOnly, &SkuPerfProfile::gen1());
+        let s_gen2 = relative_slowdown(&m, &eff, MemoryPlacement::LocalOnly, &SkuPerfProfile::gen2());
+        assert!(s_gen3 > 1.5, "vs Gen3 {s_gen3}");
+        assert!(s_gen1 <= 1.02, "vs Gen1 {s_gen1}");
+        assert!(s_gen2 <= 1.02, "vs Gen2 {s_gen2}");
+    }
+
+    #[test]
+    fn silo_struggles_against_every_generation() {
+        let silo = app("Silo");
+        let eff = SkuPerfProfile::greensku_efficient();
+        for base in [SkuPerfProfile::gen1(), SkuPerfProfile::gen2(), SkuPerfProfile::gen3()] {
+            let s = relative_slowdown(&silo, &eff, MemoryPlacement::LocalOnly, &base);
+            assert!(s > 1.5, "Silo vs {}: {s}", base.name);
+        }
+    }
+
+    #[test]
+    fn sysbench_anchor_ten_percent_vs_gen3() {
+        // §III: Bergamo incurs ~10 % per-core slowdown vs Genoa and ~6 %
+        // vs Milan on Sysbench. Sphinx is our most Sysbench-like
+        // (frequency-bound) app: expect ~13 % / ~8 %.
+        let sphinx = app("Sphinx");
+        let eff = SkuPerfProfile::greensku_efficient();
+        let vs_gen3 =
+            relative_slowdown(&sphinx, &eff, MemoryPlacement::LocalOnly, &SkuPerfProfile::gen3());
+        let vs_gen2 =
+            relative_slowdown(&sphinx, &eff, MemoryPlacement::LocalOnly, &SkuPerfProfile::gen2());
+        assert!((vs_gen3 - 1.10).abs() < 0.05, "{vs_gen3}");
+        assert!((vs_gen2 - 1.06).abs() < 0.05, "{vs_gen2}");
+    }
+
+    #[test]
+    fn pond_placement_eliminates_cxl_penalty() {
+        let moses = app("Moses");
+        let cxl = SkuPerfProfile::greensku_cxl();
+        let pond = slowdown(&moses, &cxl, MemoryPlacement::Pond);
+        let naive = slowdown(&moses, &cxl, MemoryPlacement::Naive);
+        let local = slowdown(&moses, &cxl, MemoryPlacement::LocalOnly);
+        assert_eq!(pond, local);
+        assert!(naive > 1.3 * local, "naive {naive} vs local {local}");
+    }
+
+    #[test]
+    fn hardware_tiering_mitigates_most_of_the_naive_penalty() {
+        // §III: future hardware tiering improves CXL performance. Moses
+        // under tiering sits strictly between Pond (no penalty) and
+        // naive placement, recovering ≥60 % of the gap.
+        let moses = app("Moses");
+        let cxl = SkuPerfProfile::greensku_cxl();
+        let pond = slowdown(&moses, &cxl, MemoryPlacement::Pond);
+        let naive = slowdown(&moses, &cxl, MemoryPlacement::Naive);
+        let tiered = slowdown(&moses, &cxl, MemoryPlacement::HardwareTiered);
+        assert!(pond < tiered && tiered < naive, "{pond} < {tiered} < {naive}");
+        let recovered = (naive - tiered) / (naive - pond);
+        assert!(recovered >= 0.6, "recovered {recovered}");
+    }
+
+    #[test]
+    fn haproxy_mild_cxl_penalty() {
+        let h = app("HAProxy");
+        let cxl = SkuPerfProfile::greensku_cxl();
+        let penalty = slowdown(&h, &cxl, MemoryPlacement::Naive)
+            / slowdown(&h, &cxl, MemoryPlacement::LocalOnly);
+        // Fig. 8: ~11 % peak-throughput loss.
+        assert!((penalty - 1.11).abs() < 0.02, "{penalty}");
+    }
+
+    #[test]
+    fn placement_has_no_effect_without_cxl_tier() {
+        let moses = app("Moses");
+        let eff = SkuPerfProfile::greensku_efficient();
+        let a = slowdown(&moses, &eff, MemoryPlacement::LocalOnly);
+        let b = slowdown(&moses, &eff, MemoryPlacement::FullCxl);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn build_slowdowns_match_table_ii_efficient_column() {
+        // Table II: 1.15 / 1.15 / 1.17 on GreenSKU-Efficient.
+        let eff = SkuPerfProfile::greensku_efficient();
+        for (name, expected) in
+            [("Build-Python", 1.15), ("Build-Wasm", 1.15), ("Build-PHP", 1.17)]
+        {
+            let s = slowdown(&app(name), &eff, MemoryPlacement::LocalOnly);
+            assert!((s - expected).abs() < 0.02, "{name}: {s} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn build_slowdowns_match_table_ii_gen2_column() {
+        // Table II: Gen2 slowdowns 1.13 / 1.19 / 1.11 vs Gen3.
+        let gen2 = SkuPerfProfile::gen2();
+        for (name, expected) in
+            [("Build-Python", 1.13), ("Build-Wasm", 1.19), ("Build-PHP", 1.11)]
+        {
+            let s = slowdown(&app(name), &gen2, MemoryPlacement::LocalOnly);
+            assert!((s - expected).abs() < 0.02, "{name}: {s} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn builds_outperform_gen1_on_greensku() {
+        // Table II: GreenSKU-Efficient beats Gen1 for all builds.
+        let eff = SkuPerfProfile::greensku_efficient();
+        let gen1 = SkuPerfProfile::gen1();
+        for name in ["Build-Python", "Build-Wasm", "Build-PHP"] {
+            let a = app(name);
+            let ratio = relative_slowdown(&a, &eff, MemoryPlacement::LocalOnly, &gen1);
+            assert!(ratio < 1.0, "{name}: {ratio}");
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Distribution-level cross-validation: the DES's full response-time
+//! distribution against the analytic M/M/c survival function, via the
+//! Kolmogorov–Smirnov test.
+
+use gsf_perf::analytic::MmcQueue;
+use gsf_perf::des::{response_samples, DesConfig, ServiceDist};
+use gsf_stats::ks::ks_one_sample;
+use gsf_stats::rng::SeedFactory;
+
+fn config(cores: u32, qps: f64) -> DesConfig {
+    DesConfig {
+        cores,
+        qps,
+        mean_service_ms: 2.0,
+        dist: ServiceDist::Exponential,
+        requests: 30_000,
+        warmup_fraction: 0.2,
+    }
+}
+
+fn ks_statistic(cores: u32, qps: f64, label: &str) -> (f64, f64) {
+    let queue = MmcQueue::new(cores, qps, 2.0).unwrap();
+    let mut rng = SeedFactory::new(77).stream(label);
+    let samples = response_samples(&config(cores, qps), &mut rng);
+    let r = ks_one_sample(&samples, |t| 1.0 - queue.response_survival(t)).unwrap();
+    (r.statistic, r.critical_value(0.01))
+}
+
+#[test]
+fn des_matches_analytic_distribution_moderate_load() {
+    // ρ = 0.5 on 8 cores. Simulated samples are weakly autocorrelated
+    // (queueing), which inflates the effective KS statistic slightly;
+    // accept within 3× the iid critical value — a tight bound that a
+    // wrong model misses by an order of magnitude (see the negative
+    // test).
+    let (d, crit) = ks_statistic(8, 2000.0, "ks-mid");
+    assert!(d < 3.0 * crit, "D = {d}, crit = {crit}");
+}
+
+#[test]
+fn des_matches_analytic_distribution_high_load() {
+    // ρ = 0.9 on 4 cores — heavy queueing, the regime SLOs live in.
+    // Queueing autocorrelation grows with utilization, so the bound is
+    // looser here; a mismatched model still overshoots it (see below).
+    let (d, crit) = ks_statistic(4, 1800.0, "ks-high");
+    assert!(d < 10.0 * crit, "D = {d}, crit = {crit}");
+}
+
+#[test]
+fn ks_rejects_a_mismatched_model() {
+    // Samples from a 2 ms-service queue tested against a 3 ms-service
+    // model: the distribution is clearly different and D blows past the
+    // bound by far more than any autocorrelation inflation.
+    let queue_wrong = MmcQueue::new(8, 2000.0, 3.0).unwrap();
+    let mut rng = SeedFactory::new(77).stream("ks-wrong");
+    let samples = response_samples(&config(8, 2000.0), &mut rng);
+    let r = ks_one_sample(&samples, |t| 1.0 - queue_wrong.response_survival(t)).unwrap();
+    assert!(
+        r.statistic > 20.0 * r.critical_value(0.01),
+        "D = {} should clearly reject",
+        r.statistic
+    );
+}
+
+#[test]
+fn lognormal_service_deviates_from_mmc_as_expected() {
+    // With lognormal service the M/M/c model is only an approximation;
+    // the KS distance should sit between the exponential fit and the
+    // grossly wrong model.
+    let queue = MmcQueue::new(8, 2000.0, 2.0).unwrap();
+    let mut rng = SeedFactory::new(77).stream("ks-logn");
+    let cfg = DesConfig {
+        dist: ServiceDist::LogNormal { sigma: 0.8 },
+        ..config(8, 2000.0)
+    };
+    let samples = response_samples(&cfg, &mut rng);
+    let r = ks_one_sample(&samples, |t| 1.0 - queue.response_survival(t)).unwrap();
+    let (d_exp, _) = ks_statistic(8, 2000.0, "ks-mid");
+    assert!(r.statistic > d_exp, "lognormal should fit worse than exponential");
+}

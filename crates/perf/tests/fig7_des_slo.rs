@@ -1,0 +1,86 @@
+//! Fig. 7 ↔ Table III consistency, measured with the discrete-event
+//! simulator (not the analytic shortcut): the scaled GreenSKU
+//! configurations the scaling factors prescribe really do (or don't)
+//! meet the Gen3-derived SLO under simulation.
+
+use gsf_perf::slo::derive_slo;
+use gsf_perf::sweep::LoadSweep;
+use gsf_perf::{MemoryPlacement, SkuPerfProfile};
+use gsf_stats::rng::SeedFactory;
+use gsf_workloads::catalog;
+
+fn seeds() -> SeedFactory {
+    SeedFactory::new(404)
+}
+
+/// p95 at the SLO load for `app` on GreenSKU-Efficient with `cores`.
+fn green_p95_at_slo_load(app_name: &str, cores: u32) -> (f64, f64) {
+    let app = catalog::by_name(app_name).expect("catalog app");
+    let slo = derive_slo(&app, &SkuPerfProfile::gen3()).expect("latency app");
+    let sweep = LoadSweep::new(
+        app,
+        SkuPerfProfile::greensku_efficient(),
+        MemoryPlacement::LocalOnly,
+        cores,
+    )
+    .with_requests(30_000)
+    .with_trials(3);
+    let curve = sweep.run(&seeds(), &[slo.load_qps]);
+    let p95 = curve.points[0].p95_ms.unwrap_or(f64::INFINITY);
+    (p95, slo.p95_ms)
+}
+
+#[test]
+fn xapian_meets_slo_with_twelve_cores() {
+    // Table III: Xapian needs scaling 1.5 (12 cores) vs Gen3.
+    let (p95, slo) = green_p95_at_slo_load("Xapian", 12);
+    assert!(p95 <= slo, "12-core p95 {p95} vs SLO {slo}");
+    // And fails with the unscaled 8 cores (utilization ≈ 1.19 > 1).
+    let (p95_8, slo) = green_p95_at_slo_load("Xapian", 8);
+    assert!(p95_8 > slo, "8-core p95 {p95_8} vs SLO {slo}");
+}
+
+#[test]
+fn moses_meets_slo_with_ten_cores() {
+    // Table III: Moses needs scaling 1.25 (10 cores).
+    let (p95, slo) = green_p95_at_slo_load("Moses", 10);
+    assert!(p95 <= slo, "10-core p95 {p95} vs SLO {slo}");
+}
+
+#[test]
+fn masstree_fails_even_with_twelve_cores() {
+    // Table III: Masstree is ">1.5" vs Gen3 — even 12 cores saturate
+    // below the SLO load (12 / 1.56 < 8 effective cores).
+    let (p95, slo) = green_p95_at_slo_load("Masstree", 12);
+    assert!(
+        p95 > slo,
+        "Masstree should violate the SLO at 12 cores: p95 {p95} vs SLO {slo}"
+    );
+}
+
+#[test]
+fn img_dnn_meets_slo_unscaled() {
+    // Table III: Img-DNN scales 1 (8 cores suffice — no slowdown).
+    let (p95, slo) = green_p95_at_slo_load("Img-DNN", 8);
+    assert!(p95 <= slo * 1.02, "8-core p95 {p95} vs SLO {slo}");
+}
+
+#[test]
+fn moses_cxl_naive_fails_where_pond_succeeds() {
+    // The Fig. 8 story under simulation: at 10 cores and the Gen3 SLO
+    // load, Pond placement meets the SLO while naive CXL placement
+    // saturates.
+    let app = catalog::by_name("Moses").unwrap();
+    let slo = derive_slo(&app, &SkuPerfProfile::gen3()).unwrap();
+    let p95_of = |placement| {
+        let sweep = LoadSweep::new(app.clone(), SkuPerfProfile::greensku_cxl(), placement, 10)
+            .with_requests(30_000);
+        sweep.run(&seeds(), &[slo.load_qps]).points[0]
+            .p95_ms
+            .unwrap_or(f64::INFINITY)
+    };
+    let pond = p95_of(MemoryPlacement::Pond);
+    let naive = p95_of(MemoryPlacement::Naive);
+    assert!(pond <= slo.p95_ms, "Pond p95 {pond} vs SLO {}", slo.p95_ms);
+    assert!(naive > slo.p95_ms, "naive p95 {naive} vs SLO {}", slo.p95_ms);
+}

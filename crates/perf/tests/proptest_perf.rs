@@ -1,0 +1,108 @@
+//! Property tests for the performance model.
+
+use gsf_perf::analytic::MmcQueue;
+use gsf_perf::des::{simulate, DesConfig, ServiceDist};
+use gsf_perf::scaling::ScalingFactor;
+use gsf_perf::slowdown::slowdown_from_sensitivity;
+use gsf_perf::{MemoryPlacement, SkuPerfProfile};
+use gsf_stats::rng::SeedFactory;
+use gsf_workloads::HardwareSensitivity;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn scaling_classification_monotone(rel in 0.5..3.0f64, bump in 0.0..1.0f64) {
+        // A larger relative slowdown never yields an easier scaling
+        // factor (treat ">1.5" as 2.0).
+        let a = ScalingFactor::from_relative_slowdown(rel).value().unwrap_or(2.0);
+        let b = ScalingFactor::from_relative_slowdown(rel + bump).value().unwrap_or(2.0);
+        prop_assert!(b >= a);
+    }
+
+    #[test]
+    fn slowdown_monotone_in_each_weight(
+        base_freq in 0.0..1.0f64,
+        bump in 0.001..0.5f64,
+    ) {
+        let sku = SkuPerfProfile::greensku_efficient();
+        let s0 = HardwareSensitivity {
+            freq_weight: base_freq,
+            ..HardwareSensitivity::insensitive()
+        };
+        let s1 = HardwareSensitivity { freq_weight: base_freq + bump, ..s0 };
+        let v0 = slowdown_from_sensitivity(&s0, &sku, MemoryPlacement::LocalOnly);
+        let v1 = slowdown_from_sensitivity(&s1, &sku, MemoryPlacement::LocalOnly);
+        prop_assert!(v1 >= v0);
+    }
+
+    #[test]
+    fn pond_never_slower_than_naive(
+        cxl_w in 0.0..1.5f64,
+        frac in 0.0..1.0f64,
+    ) {
+        let sku = SkuPerfProfile::greensku_cxl();
+        let s = HardwareSensitivity {
+            cxl_latency_weight: cxl_w,
+            cxl_naive_fraction: frac,
+            ..HardwareSensitivity::insensitive()
+        };
+        let pond = slowdown_from_sensitivity(&s, &sku, MemoryPlacement::Pond);
+        let tiered = slowdown_from_sensitivity(&s, &sku, MemoryPlacement::HardwareTiered);
+        let naive = slowdown_from_sensitivity(&s, &sku, MemoryPlacement::Naive);
+        let full = slowdown_from_sensitivity(&s, &sku, MemoryPlacement::FullCxl);
+        prop_assert!(pond <= tiered + 1e-12);
+        prop_assert!(tiered <= naive + 1e-12);
+        prop_assert!(naive <= full + 1e-12);
+    }
+
+    #[test]
+    fn des_mean_at_least_service_time(
+        cores in 1u32..16,
+        service_ms in 0.5..10.0f64,
+        rho in 0.1..0.9f64,
+        seed in 0u64..100,
+    ) {
+        let qps = rho * f64::from(cores) * 1000.0 / service_ms;
+        let config = DesConfig {
+            cores,
+            qps,
+            mean_service_ms: service_ms,
+            dist: ServiceDist::Exponential,
+            requests: 4_000,
+            warmup_fraction: 0.1,
+        };
+        let mut rng = SeedFactory::new(seed).stream("prop-des");
+        let r = simulate(&config, &mut rng);
+        // Response includes service: the mean can't be far below E[S].
+        prop_assert!(r.mean_ms > service_ms * 0.8, "{} vs {service_ms}", r.mean_ms);
+        prop_assert!(r.p95_ms >= r.mean_ms * 0.8);
+    }
+
+    #[test]
+    fn erlang_c_is_a_probability(
+        cores in 1u32..64,
+        rho in 0.01..0.99f64,
+        service_ms in 0.1..50.0f64,
+    ) {
+        let qps = rho * f64::from(cores) * 1000.0 / service_ms;
+        let q = MmcQueue::new(cores, qps, service_ms).unwrap();
+        let pw = q.prob_wait();
+        prop_assert!((0.0..=1.0).contains(&pw), "{pw}");
+        // Utilization reported consistently.
+        prop_assert!((q.utilization() - rho).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_servers_reduce_wait_at_fixed_load(
+        cores in 1u32..30,
+        rho in 0.2..0.9f64,
+    ) {
+        let service_ms = 2.0;
+        let qps = rho * f64::from(cores) * 1000.0 / service_ms;
+        let small = MmcQueue::new(cores, qps, service_ms).unwrap();
+        let big = MmcQueue::new(cores + 4, qps, service_ms).unwrap();
+        prop_assert!(big.mean_wait_ms() <= small.mean_wait_ms() + 1e-12);
+    }
+}

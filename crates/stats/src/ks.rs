@@ -1,0 +1,139 @@
+//! Kolmogorov–Smirnov goodness-of-fit tests.
+//!
+//! The performance simulator's point estimates (mean, p95) are checked
+//! against analytic M/M/c values elsewhere; the KS test checks the whole
+//! *distribution* of simulated response times against the analytic
+//! survival function — the strongest cross-validation the workspace
+//! applies to the DES.
+
+use crate::cdf::EmpiricalCdf;
+
+/// Result of a KS test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KsResult {
+    /// The KS statistic `D = sup |F_empirical − F_reference|`.
+    pub statistic: f64,
+    /// Effective sample size (n for one-sample, harmonic-style
+    /// combination for two-sample).
+    pub n_effective: f64,
+}
+
+impl KsResult {
+    /// Critical value at significance `alpha` (asymptotic formula
+    /// `c(α)·√(1/n)` with `c(α) = √(−ln(α/2)/2)`).
+    pub fn critical_value(&self, alpha: f64) -> f64 {
+        let alpha = alpha.clamp(1e-9, 0.5);
+        let c = (-(alpha / 2.0).ln() / 2.0).sqrt();
+        c / self.n_effective.sqrt()
+    }
+
+    /// Whether the empirical distribution is consistent with the
+    /// reference at significance `alpha` (fails to reject).
+    pub fn consistent_at(&self, alpha: f64) -> bool {
+        self.statistic <= self.critical_value(alpha)
+    }
+}
+
+/// One-sample KS test of `samples` against a reference CDF given as a
+/// function `F(x)`.
+///
+/// Returns `None` for an empty sample.
+pub fn ks_one_sample(samples: &[f64], reference_cdf: impl Fn(f64) -> f64) -> Option<KsResult> {
+    let cdf = EmpiricalCdf::from_samples(samples.to_vec());
+    if cdf.is_empty() {
+        return None;
+    }
+    let n = cdf.len() as f64;
+    let mut d = 0.0f64;
+    for (i, &x) in cdf.samples().iter().enumerate() {
+        let f_ref = reference_cdf(x).clamp(0.0, 1.0);
+        // Compare against the empirical CDF just below and at the jump.
+        let f_lo = i as f64 / n;
+        let f_hi = (i + 1) as f64 / n;
+        d = d.max((f_ref - f_lo).abs()).max((f_hi - f_ref).abs());
+    }
+    Some(KsResult { statistic: d, n_effective: n })
+}
+
+/// Two-sample KS test between two empirical samples.
+///
+/// Returns `None` if either sample is empty.
+pub fn ks_two_sample(a: &[f64], b: &[f64]) -> Option<KsResult> {
+    let ca = EmpiricalCdf::from_samples(a.to_vec());
+    let cb = EmpiricalCdf::from_samples(b.to_vec());
+    if ca.is_empty() || cb.is_empty() {
+        return None;
+    }
+    let mut d = 0.0f64;
+    for &x in ca.samples().iter().chain(cb.samples()) {
+        d = d.max((ca.eval(x) - cb.eval(x)).abs());
+    }
+    let (na, nb) = (ca.len() as f64, cb.len() as f64);
+    Some(KsResult { statistic: d, n_effective: na * nb / (na + nb) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::Exponential;
+    use crate::rng::SeedFactory;
+    use rand::distributions::Distribution;
+
+    fn exp_samples(mean: f64, n: usize, label: &str) -> Vec<f64> {
+        let d = Exponential::with_mean(mean).unwrap();
+        let mut rng = SeedFactory::new(31).stream(label);
+        (0..n).map(|_| d.sample(&mut rng)).collect()
+    }
+
+    #[test]
+    fn exponential_fits_its_own_cdf() {
+        let xs = exp_samples(2.0, 5_000, "fit");
+        let r = ks_one_sample(&xs, |x| 1.0 - (-x / 2.0).exp()).unwrap();
+        assert!(r.consistent_at(0.01), "D = {}", r.statistic);
+    }
+
+    #[test]
+    fn exponential_rejects_wrong_mean() {
+        let xs = exp_samples(2.0, 5_000, "reject");
+        let r = ks_one_sample(&xs, |x| 1.0 - (-x / 3.0).exp()).unwrap();
+        assert!(!r.consistent_at(0.01), "D = {}", r.statistic);
+    }
+
+    #[test]
+    fn two_sample_same_distribution_consistent() {
+        let a = exp_samples(1.0, 3_000, "a");
+        let b = exp_samples(1.0, 3_000, "b");
+        let r = ks_two_sample(&a, &b).unwrap();
+        assert!(r.consistent_at(0.01), "D = {}", r.statistic);
+    }
+
+    #[test]
+    fn two_sample_different_distributions_rejected() {
+        let a = exp_samples(1.0, 3_000, "a2");
+        let b = exp_samples(1.6, 3_000, "b2");
+        let r = ks_two_sample(&a, &b).unwrap();
+        assert!(!r.consistent_at(0.01), "D = {}", r.statistic);
+    }
+
+    #[test]
+    fn empty_samples_yield_none() {
+        assert!(ks_one_sample(&[], |_| 0.5).is_none());
+        assert!(ks_two_sample(&[], &[1.0]).is_none());
+        assert!(ks_two_sample(&[1.0], &[]).is_none());
+    }
+
+    #[test]
+    fn critical_value_shrinks_with_n() {
+        let small = KsResult { statistic: 0.0, n_effective: 100.0 };
+        let large = KsResult { statistic: 0.0, n_effective: 10_000.0 };
+        assert!(large.critical_value(0.05) < small.critical_value(0.05));
+    }
+
+    #[test]
+    fn statistic_bounded_by_one() {
+        let a = vec![1.0, 2.0, 3.0];
+        let b = vec![100.0, 200.0];
+        let r = ks_two_sample(&a, &b).unwrap();
+        assert!((r.statistic - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,202 @@
+//! Text-table and CSV rendering for the experiment harness.
+//!
+//! Every regenerated paper table is emitted twice: as an aligned text
+//! table for the console and as a CSV file under `results/`.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned text table that can also render itself as CSV.
+///
+/// # Example
+///
+/// ```
+/// # use gsf_stats::table::Table;
+/// let mut t = Table::new(vec!["SKU", "Savings"]);
+/// t.row(vec!["GreenSKU-Full".into(), "28%".into()]);
+/// let text = t.render_text();
+/// assert!(text.contains("GreenSKU-Full"));
+/// let csv = t.render_csv();
+/// assert!(csv.starts_with("SKU,Savings"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    title: Option<String>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Self {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+            title: None,
+        }
+    }
+
+    /// Sets a title rendered above the text table.
+    pub fn with_title<S: Into<String>>(mut self, title: S) -> Self {
+        self.title = Some(title.into());
+        self
+    }
+
+    /// Appends a row. Rows shorter than the header are padded with empty
+    /// cells; longer rows are allowed (headers are padded at render time).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// Data rows.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Renders an aligned text table.
+    #[allow(clippy::needless_range_loop)] // widths and cells are indexed in lockstep
+    pub fn render_text(&self) -> String {
+        let ncols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain(std::iter::once(self.headers.len()))
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; ncols];
+        fn cell(row: &[String], c: usize) -> &str {
+            row.get(c).map(String::as_str).unwrap_or("")
+        }
+        for c in 0..ncols {
+            widths[c] = cell(&self.headers, c).chars().count();
+            for row in &self.rows {
+                widths[c] = widths[c].max(cell(row, c).chars().count());
+            }
+        }
+        let mut out = String::new();
+        if let Some(title) = &self.title {
+            let _ = writeln!(out, "== {title} ==");
+        }
+        let render_row = |out: &mut String, row: &[String]| {
+            let mut line = String::new();
+            for c in 0..ncols {
+                let text = cell(row, c);
+                let pad = widths[c] - text.chars().count();
+                let _ = write!(line, "{}{}", text, " ".repeat(pad));
+                if c + 1 < ncols {
+                    let _ = write!(line, "  ");
+                }
+            }
+            let _ = writeln!(out, "{}", line.trim_end());
+        };
+        render_row(&mut out, &self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * ncols.saturating_sub(1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            render_row(&mut out, row);
+        }
+        out
+    }
+
+    /// Renders the table as CSV (RFC-4180-style quoting where needed).
+    pub fn render_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", csv_line(&self.headers));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", csv_line(row));
+        }
+        out
+    }
+}
+
+/// Joins cells into one CSV line, quoting cells that contain commas,
+/// quotes, or newlines.
+pub fn csv_line<S: AsRef<str>>(cells: &[S]) -> String {
+    cells
+        .iter()
+        .map(|c| {
+            let c = c.as_ref();
+            if c.contains(',') || c.contains('"') || c.contains('\n') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.to_string()
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Formats a float with `digits` decimal places, trimming `-0`.
+pub fn fmt_f(x: f64, digits: usize) -> String {
+    let s = format!("{x:.digits$}");
+    if s.starts_with("-0") && s[1..].parse::<f64>() == Ok(0.0) {
+        s[1..].to_string()
+    } else {
+        s
+    }
+}
+
+/// Formats a ratio as a percentage with `digits` decimal places, e.g.
+/// `0.283 -> "28.3%"`.
+pub fn fmt_pct(ratio: f64, digits: usize) -> String {
+    format!("{}%", fmt_f(ratio * 100.0, digits))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_alignment() {
+        let mut t = Table::new(vec!["a", "long-header"]);
+        t.row(vec!["xxxxx".into(), "1".into()]);
+        let text = t.render_text();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "a      long-header");
+        assert_eq!(lines[2], "xxxxx  1");
+    }
+
+    #[test]
+    fn csv_quoting() {
+        assert_eq!(csv_line(&["a,b", "c\"d", "plain"]), "\"a,b\",\"c\"\"d\",plain");
+    }
+
+    #[test]
+    fn ragged_rows_render() {
+        let mut t = Table::new(vec!["h1"]);
+        t.row(vec!["a".into(), "extra".into()]);
+        t.row(vec![]);
+        let text = t.render_text();
+        assert!(text.contains("extra"));
+        assert_eq!(t.render_csv().lines().count(), 3);
+    }
+
+    #[test]
+    fn title_rendered() {
+        let t = Table::new(vec!["x"]).with_title("Table IV");
+        assert!(t.render_text().starts_with("== Table IV =="));
+    }
+
+    #[test]
+    fn fmt_helpers() {
+        assert_eq!(fmt_f(1.23456, 2), "1.23");
+        assert_eq!(fmt_f(-0.0001, 2), "0.00");
+        assert_eq!(fmt_pct(0.283, 0), "28%");
+        assert_eq!(fmt_pct(0.2834, 1), "28.3%");
+    }
+}

@@ -1,0 +1,129 @@
+//! Packing metrics: the quantities behind Figs. 9 and 10.
+//!
+//! Packing density is the ratio of allocated to allocatable resources on
+//! **non-empty** servers (the paper's definition, following Protean).
+//! Memory-utilization snapshots aggregate the maximum memory hosted VMs
+//! will touch per server, the statistic Fig. 10 plots per cluster.
+
+use crate::server::ServerState;
+use gsf_stats::summary::Summary;
+use serde::{Deserialize, Serialize};
+
+/// Accumulated metrics for one server pool.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct PoolMetrics {
+    core_density: Summary,
+    mem_density: Summary,
+    max_mem_util: Summary,
+}
+
+impl PoolMetrics {
+    /// Records one snapshot of a pool.
+    fn record(&mut self, servers: &[ServerState]) {
+        for s in servers {
+            if s.is_empty() {
+                continue;
+            }
+            self.core_density.push(s.core_density());
+            self.mem_density.push(s.mem_density());
+            self.max_mem_util.push(s.max_touched_mem_fraction());
+        }
+    }
+
+    /// Mean core packing density across snapshots and non-empty servers.
+    pub fn mean_core_density(&self) -> f64 {
+        self.core_density.mean()
+    }
+
+    /// Mean memory packing density.
+    pub fn mean_mem_density(&self) -> f64 {
+        self.mem_density.mean()
+    }
+
+    /// Mean per-server maximum touched-memory fraction (Fig. 10).
+    pub fn mean_max_mem_util(&self) -> f64 {
+        self.max_mem_util.mean()
+    }
+
+    /// Number of (snapshot × non-empty server) samples.
+    pub fn samples(&self) -> usize {
+        self.core_density.count()
+    }
+}
+
+/// Metrics for both pools of a cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct PackingMetrics {
+    /// Baseline-pool metrics.
+    pub baseline: PoolMetrics,
+    /// GreenSKU-pool metrics.
+    pub green: PoolMetrics,
+    snapshots: usize,
+}
+
+impl PackingMetrics {
+    /// Creates empty metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one snapshot of both pools.
+    pub fn snapshot(&mut self, baseline: &[ServerState], green: &[ServerState]) {
+        self.baseline.record(baseline);
+        self.green.record(green);
+        self.snapshots += 1;
+    }
+
+    /// Number of snapshots taken.
+    pub fn snapshots(&self) -> usize {
+        self.snapshots
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ServerShape;
+    use crate::server::PlacedVm;
+
+    fn loaded_server(cores: u32) -> ServerState {
+        let mut s = ServerState::new(ServerShape { cores: 80, mem_gb: 768.0 });
+        if cores > 0 {
+            s.place(
+                1,
+                PlacedVm { cores, mem_gb: f64::from(cores) * 9.6, max_mem_util: 0.5 },
+            );
+        }
+        s
+    }
+
+    #[test]
+    fn empty_servers_excluded_from_density() {
+        let mut m = PackingMetrics::new();
+        m.snapshot(&[loaded_server(40), loaded_server(0)], &[]);
+        // Only the loaded server counts: density 0.5.
+        assert_eq!(m.baseline.samples(), 1);
+        assert!((m.baseline.mean_core_density() - 0.5).abs() < 1e-12);
+        assert!((m.baseline.mean_mem_density() - 0.5).abs() < 1e-12);
+        assert!((m.baseline.mean_max_mem_util() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshots_accumulate() {
+        let mut m = PackingMetrics::new();
+        m.snapshot(&[loaded_server(20)], &[loaded_server(40)]);
+        m.snapshot(&[loaded_server(60)], &[loaded_server(40)]);
+        assert_eq!(m.snapshots(), 2);
+        assert_eq!(m.baseline.samples(), 2);
+        assert!((m.baseline.mean_core_density() - 0.5).abs() < 1e-12);
+        assert_eq!(m.green.samples(), 2);
+    }
+
+    #[test]
+    fn all_empty_pool_has_no_samples() {
+        let mut m = PackingMetrics::new();
+        m.snapshot(&[loaded_server(0)], &[]);
+        assert_eq!(m.baseline.samples(), 0);
+        assert_eq!(m.baseline.mean_core_density(), 0.0);
+    }
+}

@@ -1,0 +1,175 @@
+//! Per-server allocation state.
+
+use crate::cluster::ServerShape;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A VM as placed on a server (possibly scaled relative to its trace
+/// request).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlacedVm {
+    /// Cores actually allocated.
+    pub cores: u32,
+    /// Memory actually allocated, GB.
+    pub mem_gb: f64,
+    /// Maximum fraction of allocated memory the VM will touch.
+    pub max_mem_util: f64,
+}
+
+/// Allocation state of one server.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerState {
+    shape: ServerShape,
+    cores_allocated: u32,
+    mem_allocated_gb: f64,
+    vms: HashMap<u64, PlacedVm>,
+}
+
+impl ServerState {
+    /// Creates an empty server of the given shape.
+    pub fn new(shape: ServerShape) -> Self {
+        Self { shape, cores_allocated: 0, mem_allocated_gb: 0.0, vms: HashMap::new() }
+    }
+
+    /// The server's shape.
+    pub fn shape(&self) -> ServerShape {
+        self.shape
+    }
+
+    /// Currently allocated cores.
+    pub fn cores_allocated(&self) -> u32 {
+        self.cores_allocated
+    }
+
+    /// Currently allocated memory, GB.
+    pub fn mem_allocated_gb(&self) -> f64 {
+        self.mem_allocated_gb
+    }
+
+    /// Number of VMs currently hosted.
+    pub fn vm_count(&self) -> usize {
+        self.vms.len()
+    }
+
+    /// Whether the server hosts no VMs.
+    pub fn is_empty(&self) -> bool {
+        self.vms.is_empty()
+    }
+
+    /// Free cores.
+    pub fn free_cores(&self) -> u32 {
+        self.shape.cores - self.cores_allocated
+    }
+
+    /// Free memory, GB.
+    pub fn free_mem_gb(&self) -> f64 {
+        self.shape.mem_gb - self.mem_allocated_gb
+    }
+
+    /// Whether a request of `cores`/`mem_gb` fits.
+    pub fn fits(&self, cores: u32, mem_gb: f64) -> bool {
+        self.free_cores() >= cores && self.free_mem_gb() >= mem_gb - 1e-9
+    }
+
+    /// Core packing density `allocated / allocatable`.
+    pub fn core_density(&self) -> f64 {
+        f64::from(self.cores_allocated) / f64::from(self.shape.cores)
+    }
+
+    /// Memory packing density `allocated / allocatable`.
+    pub fn mem_density(&self) -> f64 {
+        self.mem_allocated_gb / self.shape.mem_gb
+    }
+
+    /// Maximum memory the hosted VMs will ever touch, as a fraction of
+    /// the server's capacity (the Fig. 10 per-server statistic).
+    pub fn max_touched_mem_fraction(&self) -> f64 {
+        let touched: f64 = self.vms.values().map(|v| v.mem_gb * v.max_mem_util).sum();
+        touched / self.shape.mem_gb
+    }
+
+    /// Places a VM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the VM does not fit or the id is already present —
+    /// callers must check [`Self::fits`] first; violating this is a
+    /// scheduler bug, not an input error.
+    pub fn place(&mut self, vm_id: u64, vm: PlacedVm) {
+        assert!(self.fits(vm.cores, vm.mem_gb), "place() called without fits() check");
+        let prev = self.vms.insert(vm_id, vm);
+        assert!(prev.is_none(), "VM {vm_id} placed twice on one server");
+        self.cores_allocated += vm.cores;
+        self.mem_allocated_gb += vm.mem_gb;
+    }
+
+    /// Removes a VM; returns the placement if it was present.
+    pub fn remove(&mut self, vm_id: u64) -> Option<PlacedVm> {
+        let vm = self.vms.remove(&vm_id)?;
+        self.cores_allocated -= vm.cores;
+        self.mem_allocated_gb = (self.mem_allocated_gb - vm.mem_gb).max(0.0);
+        Some(vm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape() -> ServerShape {
+        ServerShape { cores: 80, mem_gb: 768.0 }
+    }
+
+    fn vm(cores: u32) -> PlacedVm {
+        PlacedVm { cores, mem_gb: f64::from(cores) * 4.0, max_mem_util: 0.5 }
+    }
+
+    #[test]
+    fn place_and_remove_roundtrip() {
+        let mut s = ServerState::new(shape());
+        assert!(s.is_empty());
+        s.place(1, vm(8));
+        s.place(2, vm(16));
+        assert_eq!(s.cores_allocated(), 24);
+        assert_eq!(s.vm_count(), 2);
+        assert!(!s.is_empty());
+        assert_eq!(s.remove(1).unwrap().cores, 8);
+        assert_eq!(s.cores_allocated(), 16);
+        assert!(s.remove(1).is_none());
+    }
+
+    #[test]
+    fn fits_respects_both_resources() {
+        let mut s = ServerState::new(ServerShape { cores: 16, mem_gb: 64.0 });
+        assert!(s.fits(16, 64.0));
+        assert!(!s.fits(17, 1.0));
+        assert!(!s.fits(1, 65.0));
+        s.place(1, PlacedVm { cores: 8, mem_gb: 60.0, max_mem_util: 1.0 });
+        assert!(s.fits(8, 4.0));
+        assert!(!s.fits(8, 5.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "without fits()")]
+    fn place_without_fit_panics() {
+        let mut s = ServerState::new(ServerShape { cores: 4, mem_gb: 16.0 });
+        s.place(1, vm(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "placed twice")]
+    fn duplicate_placement_panics() {
+        let mut s = ServerState::new(shape());
+        s.place(1, vm(2));
+        s.place(1, vm(2));
+    }
+
+    #[test]
+    fn densities() {
+        let mut s = ServerState::new(shape());
+        s.place(1, PlacedVm { cores: 40, mem_gb: 384.0, max_mem_util: 0.5 });
+        assert!((s.core_density() - 0.5).abs() < 1e-12);
+        assert!((s.mem_density() - 0.5).abs() < 1e-12);
+        assert!((s.max_touched_mem_fraction() - 0.25).abs() < 1e-12);
+    }
+}

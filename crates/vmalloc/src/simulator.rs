@@ -1,0 +1,424 @@
+//! The allocation simulator: replays a trace against a two-pool cluster.
+
+use crate::cluster::ClusterConfig;
+use crate::metrics::PackingMetrics;
+use crate::usage::UsageLedger;
+use crate::policy::PlacementPolicy;
+use crate::server::{PlacedVm, ServerState};
+use gsf_workloads::{Trace, VmEventKind, VmSpec};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Which pool(s) a VM may be placed on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TargetPool {
+    /// Only baseline servers (full-node VMs, non-adopting apps).
+    BaselineOnly,
+    /// GreenSKU preferred; falls back to a baseline server at the
+    /// original (unscaled) size when no GreenSKU has room — the paper's
+    /// fungible-placement workaround that keeps the growth buffer
+    /// baseline-only.
+    PreferGreen,
+}
+
+/// The resolved placement request for one VM: how large it is on each
+/// pool and where it may go.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlacementRequest {
+    /// Pool constraint.
+    pub target: TargetPool,
+    /// Cores if placed on a baseline server.
+    pub baseline_cores: u32,
+    /// Memory on a baseline server, GB.
+    pub baseline_mem_gb: f64,
+    /// Cores if placed on a GreenSKU (scaled by the app's scaling
+    /// factor).
+    pub green_cores: u32,
+    /// Memory on a GreenSKU, GB (scaled likewise).
+    pub green_mem_gb: f64,
+}
+
+impl PlacementRequest {
+    /// A baseline-only request at the VM's original size.
+    pub fn baseline_only(vm: &VmSpec) -> Self {
+        Self {
+            target: TargetPool::BaselineOnly,
+            baseline_cores: vm.cores,
+            baseline_mem_gb: vm.mem_gb,
+            green_cores: vm.cores,
+            green_mem_gb: vm.mem_gb,
+        }
+    }
+
+    /// A green-preferring request scaled by `factor` on the GreenSKU.
+    ///
+    /// Cores round up to whole cores; memory scales by the *realized*
+    /// core multiplier so the VM keeps its memory:core ratio (per §VIII,
+    /// GSF pessimistically scales memory and cores proportionally — a
+    /// 1-core VM scaled 1.25× becomes a 2-core VM with 2× memory).
+    pub fn prefer_green(vm: &VmSpec, factor: f64) -> Self {
+        let green_cores = (f64::from(vm.cores) * factor).ceil() as u32;
+        let realized = f64::from(green_cores) / f64::from(vm.cores);
+        Self {
+            target: TargetPool::PreferGreen,
+            baseline_cores: vm.cores,
+            baseline_mem_gb: vm.mem_gb,
+            green_cores,
+            green_mem_gb: vm.mem_gb * realized,
+        }
+    }
+}
+
+/// Decides each VM's [`PlacementRequest`] — the hook through which the
+/// GSF adoption component plugs into allocation.
+pub type VmTransform<'a> = dyn Fn(&VmSpec) -> PlacementRequest + 'a;
+
+/// Where a VM ended up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Placement {
+    Baseline(usize),
+    Green(usize),
+}
+
+/// Book-keeping for a currently placed VM.
+#[derive(Debug, Clone, Copy)]
+struct ActiveVm {
+    placement: Placement,
+    arrival_s: f64,
+    cores: u32,
+    app_index: u16,
+}
+
+/// Result of replaying a trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimOutcome {
+    /// Number of VM requests that could not be placed anywhere.
+    pub rejected: usize,
+    /// Number of VMs placed on GreenSKU servers.
+    pub placed_green: usize,
+    /// Number of VMs placed on baseline servers.
+    pub placed_baseline: usize,
+    /// Of the green-preferring VMs, how many overflowed to baseline.
+    pub green_overflow: usize,
+    /// Packing metrics sampled over the replay.
+    pub metrics: PackingMetrics,
+    /// Per-application core-hour usage, for carbon attribution.
+    pub usage: UsageLedger,
+}
+
+impl SimOutcome {
+    /// Whether the cluster hosted the entire trace without rejection.
+    pub fn no_rejections(&self) -> bool {
+        self.rejected == 0
+    }
+}
+
+/// The allocation simulator.
+#[derive(Debug)]
+pub struct AllocationSim {
+    baseline: Vec<ServerState>,
+    green: Vec<ServerState>,
+    policy: PlacementPolicy,
+    snapshot_interval_s: f64,
+}
+
+impl AllocationSim {
+    /// Creates a simulator for `config` with the given policy.
+    pub fn new(config: ClusterConfig, policy: PlacementPolicy) -> Self {
+        Self {
+            baseline: (0..config.baseline_count)
+                .map(|_| ServerState::new(config.baseline_shape))
+                .collect(),
+            green: (0..config.green_count)
+                .map(|_| ServerState::new(config.green_shape))
+                .collect(),
+            policy,
+            snapshot_interval_s: 3600.0,
+        }
+    }
+
+    /// Overrides the metrics snapshot interval (default hourly).
+    pub fn with_snapshot_interval(mut self, seconds: f64) -> Self {
+        self.snapshot_interval_s = seconds.max(1.0);
+        self
+    }
+
+    /// Replays `trace`, resolving each VM through `transform`.
+    ///
+    /// Rejected VMs are counted and dropped (their later departure is a
+    /// no-op); the cluster-sizing search treats any rejection as "this
+    /// cluster is too small".
+    pub fn replay(mut self, trace: &Trace, transform: &VmTransform<'_>) -> SimOutcome {
+        let mut placements: HashMap<u64, ActiveVm> = HashMap::new();
+        let mut usage = UsageLedger::new();
+        let mut metrics = PackingMetrics::new();
+        let mut rejected = 0usize;
+        let mut placed_green = 0usize;
+        let mut placed_baseline = 0usize;
+        let mut green_overflow = 0usize;
+        let mut next_snapshot = self.snapshot_interval_s;
+
+        for event in trace.events() {
+            while event.time_s >= next_snapshot {
+                metrics.snapshot(&self.baseline, &self.green);
+                next_snapshot += self.snapshot_interval_s;
+            }
+            let vm = trace.vm(event.vm_id).expect("trace events reference known VMs");
+            match event.kind {
+                VmEventKind::Arrival => {
+                    let request = transform(vm);
+                    match self.place(vm, &request) {
+                        Some(p @ Placement::Green(_)) => {
+                            placed_green += 1;
+                            placements.insert(
+                                vm.id,
+                                ActiveVm {
+                                    placement: p,
+                                    arrival_s: event.time_s,
+                                    cores: request.green_cores,
+                                    app_index: vm.app_index,
+                                },
+                            );
+                        }
+                        Some(p @ Placement::Baseline(_)) => {
+                            placed_baseline += 1;
+                            if request.target == TargetPool::PreferGreen {
+                                green_overflow += 1;
+                            }
+                            placements.insert(
+                                vm.id,
+                                ActiveVm {
+                                    placement: p,
+                                    arrival_s: event.time_s,
+                                    cores: request.baseline_cores,
+                                    app_index: vm.app_index,
+                                },
+                            );
+                        }
+                        None => rejected += 1,
+                    }
+                }
+                VmEventKind::Departure => {
+                    // A miss means the VM was rejected on arrival.
+                    if let Some(active) = placements.remove(&vm.id) {
+                        let dwell = event.time_s - active.arrival_s;
+                        match active.placement {
+                            Placement::Baseline(i) => {
+                                self.baseline[i].remove(vm.id);
+                                usage.record_baseline(active.app_index, active.cores, dwell);
+                            }
+                            Placement::Green(i) => {
+                                self.green[i].remove(vm.id);
+                                usage.record_green(active.app_index, active.cores, dwell);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        metrics.snapshot(&self.baseline, &self.green);
+        // VMs still resident at the horizon are charged to the end of
+        // the trace.
+        for active in placements.values() {
+            let dwell = trace.duration_s() - active.arrival_s;
+            match active.placement {
+                Placement::Baseline(_) => {
+                    usage.record_baseline(active.app_index, active.cores, dwell);
+                }
+                Placement::Green(_) => {
+                    usage.record_green(active.app_index, active.cores, dwell);
+                }
+            }
+        }
+        SimOutcome { rejected, placed_green, placed_baseline, green_overflow, metrics, usage }
+    }
+
+    fn place(&mut self, vm: &VmSpec, request: &PlacementRequest) -> Option<Placement> {
+        let placement = match request.target {
+            TargetPool::BaselineOnly => self
+                .policy
+                .choose(&self.baseline, request.baseline_cores, request.baseline_mem_gb)
+                .map(Placement::Baseline),
+            TargetPool::PreferGreen => self
+                .policy
+                .choose(&self.green, request.green_cores, request.green_mem_gb)
+                .map(Placement::Green)
+                .or_else(|| {
+                    self.policy
+                        .choose(&self.baseline, request.baseline_cores, request.baseline_mem_gb)
+                        .map(Placement::Baseline)
+                }),
+        };
+        match placement {
+            Some(Placement::Baseline(i)) => self.baseline[i].place(
+                vm.id,
+                PlacedVm {
+                    cores: request.baseline_cores,
+                    mem_gb: request.baseline_mem_gb,
+                    max_mem_util: vm.max_mem_util,
+                },
+            ),
+            Some(Placement::Green(i)) => self.green[i].place(
+                vm.id,
+                PlacedVm {
+                    cores: request.green_cores,
+                    mem_gb: request.green_mem_gb,
+                    max_mem_util: vm.max_mem_util,
+                },
+            ),
+            None => {}
+        }
+        placement
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsf_workloads::{ServerGeneration, VmEvent};
+
+    fn vm(id: u64, cores: u32, mem: f64, full_node: bool) -> VmSpec {
+        VmSpec {
+            id,
+            cores,
+            mem_gb: mem,
+            app_index: 0,
+            generation: ServerGeneration::Gen3,
+            full_node,
+            max_mem_util: 0.5,
+            avg_cpu_util: 0.2,
+        }
+    }
+
+    fn trace(vms: Vec<VmSpec>, events: Vec<VmEvent>) -> Trace {
+        Trace::new(1_000_000.0, vms, events)
+    }
+
+    fn arrive(id: u64, t: f64) -> VmEvent {
+        VmEvent { time_s: t, kind: VmEventKind::Arrival, vm_id: id }
+    }
+
+    fn depart(id: u64, t: f64) -> VmEvent {
+        VmEvent { time_s: t, kind: VmEventKind::Departure, vm_id: id }
+    }
+
+    fn baseline_transform(vm: &VmSpec) -> PlacementRequest {
+        PlacementRequest::baseline_only(vm)
+    }
+
+    #[test]
+    fn places_until_full_then_rejects() {
+        // One baseline server: 80 cores. Eleven 8-core VMs: ten fit.
+        let vms: Vec<VmSpec> = (0..11).map(|i| vm(i, 8, 32.0, false)).collect();
+        let events: Vec<VmEvent> = (0..11).map(|i| arrive(i, f64::from(i as u32))).collect();
+        let sim = AllocationSim::new(ClusterConfig::baseline_only(1), PlacementPolicy::BestFit);
+        let out = sim.replay(&trace(vms, events), &baseline_transform);
+        assert_eq!(out.placed_baseline, 10);
+        assert_eq!(out.rejected, 1);
+    }
+
+    #[test]
+    fn departures_free_capacity() {
+        let vms: Vec<VmSpec> = (0..3).map(|i| vm(i, 80, 768.0, false)).collect();
+        let events = vec![arrive(0, 1.0), depart(0, 2.0), arrive(1, 3.0), depart(1, 4.0), arrive(2, 5.0)];
+        let sim = AllocationSim::new(ClusterConfig::baseline_only(1), PlacementPolicy::BestFit);
+        let out = sim.replay(&trace(vms, events), &baseline_transform);
+        assert_eq!(out.rejected, 0);
+        assert_eq!(out.placed_baseline, 3);
+    }
+
+    #[test]
+    fn prefer_green_scales_and_overflows() {
+        // Green pool with one 128-core server; VM factor 1.25.
+        let transform = |v: &VmSpec| PlacementRequest::prefer_green(v, 1.25);
+        // 12 VMs of 8 cores → 10 green cores each: 12 fit on 128? 12*10=120 ✓,
+        // 13th overflows to baseline at original 8 cores.
+        let vms: Vec<VmSpec> = (0..13).map(|i| vm(i, 8, 32.0, false)).collect();
+        let events: Vec<VmEvent> = (0..13).map(|i| arrive(i, f64::from(i as u32))).collect();
+        let sim = AllocationSim::new(ClusterConfig::mixed(1, 1), PlacementPolicy::BestFit);
+        let out = sim.replay(&trace(vms, events), &transform);
+        assert_eq!(out.placed_green, 12);
+        assert_eq!(out.placed_baseline, 1);
+        assert_eq!(out.green_overflow, 1);
+        assert_eq!(out.rejected, 0);
+    }
+
+    #[test]
+    fn full_node_vms_stay_on_baseline() {
+        let transform = |v: &VmSpec| {
+            if v.full_node {
+                PlacementRequest::baseline_only(v)
+            } else {
+                PlacementRequest::prefer_green(v, 1.0)
+            }
+        };
+        let vms = vec![vm(0, 80, 768.0, true), vm(1, 8, 32.0, false)];
+        let events = vec![arrive(0, 1.0), arrive(1, 2.0)];
+        let sim = AllocationSim::new(ClusterConfig::mixed(1, 1), PlacementPolicy::BestFit);
+        let out = sim.replay(&trace(vms, events), &transform);
+        assert_eq!(out.placed_baseline, 1);
+        assert_eq!(out.placed_green, 1);
+        assert_eq!(out.green_overflow, 0);
+    }
+
+    #[test]
+    fn memory_bound_rejection() {
+        // Server has 768 GB; two 400 GB VMs cannot coexist even though
+        // cores would fit.
+        let vms = vec![vm(0, 8, 400.0, false), vm(1, 8, 400.0, false)];
+        let events = vec![arrive(0, 1.0), arrive(1, 2.0)];
+        let sim = AllocationSim::new(ClusterConfig::baseline_only(1), PlacementPolicy::BestFit);
+        let out = sim.replay(&trace(vms, events), &baseline_transform);
+        assert_eq!(out.placed_baseline, 1);
+        assert_eq!(out.rejected, 1);
+    }
+
+    #[test]
+    fn metrics_snapshots_collected() {
+        let vms: Vec<VmSpec> = (0..4).map(|i| vm(i, 8, 32.0, false)).collect();
+        let events: Vec<VmEvent> =
+            (0..4).map(|i| arrive(i, f64::from(i as u32) * 4000.0)).collect();
+        let sim = AllocationSim::new(ClusterConfig::baseline_only(2), PlacementPolicy::BestFit)
+            .with_snapshot_interval(3600.0);
+        let out = sim.replay(&trace(vms, events), &baseline_transform);
+        assert!(out.metrics.snapshots() >= 3);
+        // Density on the non-empty server should be positive.
+        assert!(out.metrics.baseline.mean_core_density() > 0.0);
+    }
+
+    #[test]
+    fn usage_ledger_tracks_core_hours() {
+        // One VM: 8 cores for 7200 s on baseline = 16 core-hours; one
+        // green-preferring VM scaled 1.25 (8 -> 10 cores) resident from
+        // t=0 to the 10 000 s horizon: 10 * 10 000 / 3600 core-hours.
+        let vms = vec![vm(0, 8, 32.0, false), vm(1, 8, 32.0, false)];
+        let events = vec![
+            arrive(0, 0.0),
+            depart(0, 7200.0),
+            arrive(1, 0.0),
+            // VM 1 never departs within the horizon.
+        ];
+        let trace = Trace::new(10_000.0, vms, events);
+        let transform = |v: &VmSpec| {
+            if v.id == 0 {
+                PlacementRequest::baseline_only(v)
+            } else {
+                PlacementRequest::prefer_green(v, 1.25)
+            }
+        };
+        let sim = AllocationSim::new(ClusterConfig::mixed(1, 1), PlacementPolicy::BestFit);
+        let out = sim.replay(&trace, &transform);
+        assert!((out.usage.baseline_core_hours(0) - 16.0).abs() < 1e-9);
+        assert!((out.usage.green_core_hours(0) - 10.0 * 10_000.0 / 3600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejected_vm_departure_is_noop() {
+        let vms = vec![vm(0, 200, 32.0, false)]; // cannot fit anywhere
+        let events = vec![arrive(0, 1.0), depart(0, 2.0)];
+        let sim = AllocationSim::new(ClusterConfig::baseline_only(1), PlacementPolicy::BestFit);
+        let out = sim.replay(&trace(vms, events), &baseline_transform);
+        assert_eq!(out.rejected, 1);
+        assert_eq!(out.placed_baseline, 0);
+    }
+}

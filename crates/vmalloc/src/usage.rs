@@ -1,0 +1,98 @@
+//! Core-hour usage accounting, the substrate for per-VM carbon
+//! attribution (§IV-A: the model must "allow attributing emissions to
+//! VMs").
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Core-seconds consumed per application index, split by pool.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct UsageLedger {
+    baseline_core_s: HashMap<u16, f64>,
+    green_core_s: HashMap<u16, f64>,
+}
+
+impl UsageLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a completed residency on the baseline pool.
+    pub fn record_baseline(&mut self, app_index: u16, cores: u32, seconds: f64) {
+        *self.baseline_core_s.entry(app_index).or_default() +=
+            f64::from(cores) * seconds.max(0.0);
+    }
+
+    /// Records a completed residency on the green pool.
+    pub fn record_green(&mut self, app_index: u16, cores: u32, seconds: f64) {
+        *self.green_core_s.entry(app_index).or_default() +=
+            f64::from(cores) * seconds.max(0.0);
+    }
+
+    /// Core-hours an application consumed on baseline servers.
+    pub fn baseline_core_hours(&self, app_index: u16) -> f64 {
+        self.baseline_core_s.get(&app_index).copied().unwrap_or(0.0) / 3600.0
+    }
+
+    /// Core-hours an application consumed on GreenSKUs.
+    pub fn green_core_hours(&self, app_index: u16) -> f64 {
+        self.green_core_s.get(&app_index).copied().unwrap_or(0.0) / 3600.0
+    }
+
+    /// Total core-hours across the baseline pool.
+    pub fn total_baseline_core_hours(&self) -> f64 {
+        self.baseline_core_s.values().sum::<f64>() / 3600.0
+    }
+
+    /// Total core-hours across the green pool.
+    pub fn total_green_core_hours(&self) -> f64 {
+        self.green_core_s.values().sum::<f64>() / 3600.0
+    }
+
+    /// Application indices with any recorded usage, ascending.
+    pub fn app_indices(&self) -> Vec<u16> {
+        let mut idx: Vec<u16> = self
+            .baseline_core_s
+            .keys()
+            .chain(self.green_core_s.keys())
+            .copied()
+            .collect();
+        idx.sort_unstable();
+        idx.dedup();
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_accumulate() {
+        let mut l = UsageLedger::new();
+        l.record_baseline(3, 8, 3600.0);
+        l.record_baseline(3, 4, 1800.0);
+        l.record_green(3, 10, 7200.0);
+        assert!((l.baseline_core_hours(3) - 10.0).abs() < 1e-9);
+        assert!((l.green_core_hours(3) - 20.0).abs() < 1e-9);
+        assert_eq!(l.baseline_core_hours(4), 0.0);
+        assert_eq!(l.app_indices(), vec![3]);
+    }
+
+    #[test]
+    fn negative_durations_clamped() {
+        let mut l = UsageLedger::new();
+        l.record_green(1, 8, -5.0);
+        assert_eq!(l.total_green_core_hours(), 0.0);
+    }
+
+    #[test]
+    fn totals_sum_across_apps() {
+        let mut l = UsageLedger::new();
+        l.record_baseline(0, 2, 3600.0);
+        l.record_baseline(1, 4, 3600.0);
+        assert!((l.total_baseline_core_hours() - 6.0).abs() < 1e-9);
+        assert_eq!(l.app_indices(), vec![0, 1]);
+    }
+}

@@ -1,0 +1,273 @@
+//! The 20-application benchmark catalog of the paper's Table III.
+//!
+//! Each application's [`HardwareSensitivity`] is calibrated analytically
+//! against the paper's published anchors so that the performance
+//! simulator reproduces:
+//!
+//! - the Gen3 column of Table III (scaling factors 1 / 1.25 / 1.5 / >1.5),
+//! - the Table II DevOps build slowdowns (e.g. Build-PHP: 1.17 on
+//!   GreenSKU-Efficient, 1.11 on Gen2, ~1.27 on Gen1),
+//! - the Fig. 8 CXL contrast (Moses heavily penalized, HAProxy ~11 %
+//!   peak-throughput loss),
+//! - the ~20 % of fleet core-hours that tolerate full-CXL memory backing.
+//!
+//! The calibration rationale per term is described in
+//! [`crate::sensitivity`]; deviations from individual published cells are
+//! recorded in `EXPERIMENTS.md`.
+
+use crate::app::{ApplicationModel, ServiceProfile};
+use crate::class::AppClass;
+use crate::sensitivity::HardwareSensitivity;
+
+/// Shorthand constructor for a latency-critical app entry.
+#[allow(clippy::too_many_arguments)] // mirrors the catalog table's columns
+fn lc(
+    name: &'static str,
+    class: AppClass,
+    service_ms: f64,
+    sigma: f64,
+    mem_gb: f64,
+    production: bool,
+    s: HardwareSensitivity,
+) -> ApplicationModel {
+    ApplicationModel::new(
+        name,
+        class,
+        ServiceProfile::LatencyCritical { base_service_ms: service_ms, service_sigma: sigma },
+        s,
+        mem_gb,
+        production,
+    )
+}
+
+/// Shorthand constructor for a throughput-only (build) app entry.
+fn tp(
+    name: &'static str,
+    runtime_s: f64,
+    mem_gb: f64,
+    s: HardwareSensitivity,
+) -> ApplicationModel {
+    ApplicationModel::new(
+        name,
+        AppClass::DevOps,
+        ServiceProfile::ThroughputOnly { base_runtime_s: runtime_s },
+        s,
+        mem_gb,
+        false,
+    )
+}
+
+#[allow(clippy::too_many_arguments)] // one argument per sensitivity axis
+fn sens(
+    freq: f64,
+    sock_mib: f64,
+    sock_w: f64,
+    core_mib: f64,
+    core_w: f64,
+    bw: f64,
+    cxl_w: f64,
+    cxl_frac: f64,
+) -> HardwareSensitivity {
+    HardwareSensitivity {
+        freq_weight: freq,
+        socket_cache_mib: sock_mib,
+        socket_cache_weight: sock_w,
+        core_cache_mib: core_mib,
+        core_cache_weight: core_w,
+        mem_bandwidth_gbps_per_core: bw,
+        cxl_latency_weight: cxl_w,
+        cxl_naive_fraction: cxl_frac,
+    }
+}
+
+/// The full 20-application catalog, in Table III row order.
+pub fn applications() -> Vec<ApplicationModel> {
+    vec![
+        // ----- Big Data (32 % of core-hours) -----
+        // Redis: network-bound in-memory KV store; scales onto efficient
+        // cores with no penalty.
+        lc("Redis", AppClass::BigData, 0.10, 0.9, 40.0, false,
+           sens(0.05, 0.0, 0.0, 0.0, 0.0, 1.0, 0.50, 0.30)),
+        // Masstree: socket-level working set fits Genoa's 384 MiB LLC but
+        // not the 256 MiB of the other SKUs — struggles only vs Gen3.
+        lc("Masstree", AppClass::BigData, 1.10, 1.0, 48.0, false,
+           sens(0.10, 300.0, 3.60, 0.0, 0.0, 3.0, 0.70, 0.40)),
+        // Silo: OLTP with a hot per-core working set above Bergamo's
+        // 2 MiB/core — struggles against every generation.
+        lc("Silo", AppClass::BigData, 0.80, 0.9, 32.0, false,
+           sens(0.40, 0.0, 0.0, 3.8, 1.80, 2.0, 0.60, 0.30)),
+        // Shore: disk-bound OLTP; insensitive to the CPU swap and
+        // CXL-tolerant.
+        lc("Shore", AppClass::BigData, 1.50, 1.0, 24.0, false,
+           sens(0.02, 0.0, 0.0, 0.0, 0.0, 0.5, 0.05, 0.10)),
+        // ----- Web App (27 %) -----
+        // Xapian: search with a large shared index; Genoa's LLC helps.
+        lc("Xapian", AppClass::WebApp, 2.00, 0.9, 16.0, false,
+           sens(0.15, 340.0, 1.10, 0.0, 0.0, 2.0, 0.40, 0.25)),
+        // WebF-Dynamic: production web framework, frequency-sensitive.
+        lc("WebF-Dynamic", AppClass::WebApp, 4.00, 1.0, 16.0, true,
+           sens(0.50, 0.0, 0.0, 0.0, 0.0, 1.0, 0.35, 0.20)),
+        // WebF-Hot: hot code paths with cache affinity.
+        lc("WebF-Hot", AppClass::WebApp, 3.00, 1.0, 20.0, true,
+           sens(0.35, 300.0, 1.18, 0.0, 0.0, 1.5, 0.40, 0.20)),
+        // WebF-Cold: cold paths dominated by backend waits; tolerant.
+        lc("WebF-Cold", AppClass::WebApp, 6.00, 1.1, 12.0, true,
+           sens(0.03, 0.0, 0.0, 0.0, 0.0, 0.5, 0.05, 0.10)),
+        // ----- Real-Time Communication (24 %) -----
+        // Moses: statistical MT with large language models; strongly
+        // memory-latency-bound (the Fig. 8 high-penalty example).
+        lc("Moses", AppClass::Rtc, 2.90, 0.8, 50.0, false,
+           sens(0.10, 280.0, 0.60, 0.0, 0.0, 2.5, 0.80, 0.50)),
+        // Sphinx: speech recognition, compute/frequency-bound.
+        lc("Sphinx", AppClass::Rtc, 25.0, 0.7, 20.0, false,
+           sens(0.55, 0.0, 0.0, 0.0, 0.0, 1.5, 0.50, 0.30)),
+        // ----- ML Inference (11 %) -----
+        // Img-DNN: vectorized inference, scales out cleanly.
+        lc("Img-DNN", AppClass::MlInference, 3.20, 0.6, 24.0, false,
+           sens(0.00, 0.0, 0.0, 0.0, 0.0, 2.0, 0.30, 0.20)),
+        // ----- Web Proxy (4 %) -----
+        lc("Nginx", AppClass::WebProxy, 0.27, 1.0, 6.0, false,
+           sens(0.10, 290.0, 0.75, 0.0, 0.0, 0.5, 0.05, 0.10)),
+        lc("Caddy", AppClass::WebProxy, 0.30, 1.0, 6.0, false,
+           sens(0.02, 0.0, 0.0, 0.0, 0.0, 0.5, 0.05, 0.10)),
+        lc("Envoy", AppClass::WebProxy, 0.25, 1.0, 6.0, false,
+           sens(0.04, 0.0, 0.0, 0.0, 0.0, 0.5, 0.05, 0.10)),
+        // HAProxy: compute/network bound; the Fig. 8 low-penalty example
+        // (~11 % peak loss under naive CXL placement).
+        lc("HAProxy", AppClass::WebProxy, 0.20, 1.0, 4.0, false,
+           sens(0.08, 290.0, 0.70, 0.0, 0.0, 0.5, 0.55, 0.20)),
+        // ----- DevOps (1 %) -----
+        // Traefik appears under DevOps in the paper's Table III.
+        lc("Traefik", AppClass::DevOps, 0.30, 1.0, 6.0, false,
+           sens(0.12, 290.0, 0.80, 0.0, 0.0, 0.5, 0.05, 0.10)),
+        // Builds: throughput-only; frequency/cache terms calibrated
+        // against Table II's Gen1/Gen2/GreenSKU-Efficient columns, CXL
+        // terms against its GreenSKU-CXL column (PHP 1.38, Python 1.21,
+        // Wasm 1.28 vs Gen3).
+        tp("Build-Python", 180.0, 12.0,
+           sens(0.26, 280.0, 0.99, 0.0, 0.0, 0.8, 0.17, 0.30)),
+        tp("Build-Wasm", 240.0, 16.0,
+           sens(0.03, 280.0, 1.66, 0.0, 0.0, 0.8, 0.37, 0.30)),
+        tp("Build-PHP", 150.0, 8.0,
+           sens(0.42, 280.0, 0.76, 0.0, 0.0, 0.8, 0.60, 0.30)),
+        // WebF-Mix: the fourth production web service §V lists (Table
+        // III omits it); a blend of the hot/cold/dynamic behaviours.
+        lc("WebF-Mix", AppClass::WebApp, 4.50, 1.0, 16.0, true,
+           sens(0.30, 300.0, 0.50, 0.0, 0.0, 1.0, 0.25, 0.20)),
+    ]
+}
+
+/// Looks an application up by name.
+pub fn by_name(name: &str) -> Option<ApplicationModel> {
+    applications().into_iter().find(|a| a.name() == name)
+}
+
+/// Applications of one class, in catalog order.
+pub fn by_class(class: AppClass) -> Vec<ApplicationModel> {
+    applications().into_iter().filter(|a| a.class() == class).collect()
+}
+
+/// The representative application per class shown in Fig. 7 (DevOps is
+/// excluded there because builds only report throughput).
+pub fn figure7_representatives() -> Vec<ApplicationModel> {
+    ["Masstree", "Xapian", "Moses", "Img-DNN", "Nginx"]
+        .iter()
+        .map(|n| by_name(n).expect("catalog contains Fig. 7 apps"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_20_applications() {
+        assert_eq!(applications().len(), 20);
+    }
+
+    #[test]
+    fn names_unique() {
+        let apps = applications();
+        let names: std::collections::HashSet<_> = apps.iter().map(|a| a.name()).collect();
+        assert_eq!(names.len(), apps.len());
+    }
+
+    #[test]
+    fn all_sensitivities_valid() {
+        for a in applications() {
+            assert!(a.sensitivity().is_valid(), "{}", a.name());
+        }
+    }
+
+    #[test]
+    fn class_counts_match_table_iii() {
+        assert_eq!(by_class(AppClass::BigData).len(), 4);
+        assert_eq!(by_class(AppClass::WebApp).len(), 5); // incl. WebF-Mix
+        assert_eq!(by_class(AppClass::Rtc).len(), 2);
+        assert_eq!(by_class(AppClass::MlInference).len(), 1);
+        assert_eq!(by_class(AppClass::WebProxy).len(), 4);
+        assert_eq!(by_class(AppClass::DevOps).len(), 4);
+    }
+
+    #[test]
+    fn production_apps_are_the_webf_family() {
+        let prod: Vec<_> = applications()
+            .into_iter()
+            .filter(|a| a.is_production())
+            .map(|a| a.name())
+            .collect();
+        assert_eq!(prod, vec!["WebF-Dynamic", "WebF-Hot", "WebF-Cold", "WebF-Mix"]);
+    }
+
+    #[test]
+    fn devops_builds_are_throughput_only() {
+        for name in ["Build-Python", "Build-Wasm", "Build-PHP"] {
+            assert!(by_name(name).unwrap().is_throughput_only(), "{name}");
+        }
+        assert!(!by_name("Traefik").unwrap().is_throughput_only());
+    }
+
+    #[test]
+    fn moses_heavily_cxl_penalized_haproxy_mildly() {
+        let moses = by_name("Moses").unwrap();
+        let haproxy = by_name("HAProxy").unwrap();
+        let m = moses.sensitivity().cxl_slowdown(
+            moses.sensitivity().cxl_naive_fraction, 140.0, 280.0);
+        let h = haproxy.sensitivity().cxl_slowdown(
+            haproxy.sensitivity().cxl_naive_fraction, 140.0, 280.0);
+        assert!(m > 1.3, "Moses CXL slowdown {m}");
+        assert!((h - 1.11).abs() < 0.02, "HAProxy CXL slowdown {h}");
+    }
+
+    #[test]
+    fn cxl_tolerant_core_hours_near_20pct() {
+        // Paper: 20.2 % of core-hours tolerate full-CXL backing.
+        let mut tolerant = 0.0;
+        let mut total = 0.0;
+        for a in applications() {
+            let class_apps = by_class(a.class()).len() as f64;
+            let share = a.class().core_hour_share_pct() / class_apps;
+            total += share;
+            if a.tolerates_full_cxl() {
+                tolerant += share;
+            }
+        }
+        let pct = tolerant / total * 100.0;
+        assert!((pct - 20.2).abs() < 4.0, "tolerant core-hours {pct}%");
+    }
+
+    #[test]
+    fn figure7_representatives_cover_five_classes() {
+        let reps = figure7_representatives();
+        let classes: std::collections::HashSet<_> = reps.iter().map(|a| a.class()).collect();
+        assert_eq!(reps.len(), 5);
+        assert_eq!(classes.len(), 5);
+        assert!(!classes.contains(&AppClass::DevOps));
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(by_name("Redis").is_some());
+        assert!(by_name("NoSuchApp").is_none());
+    }
+}

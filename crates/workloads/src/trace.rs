@@ -1,0 +1,377 @@
+//! VM trace container and compact binary codec.
+//!
+//! Traces can be large (tens of thousands of VMs × 35 cluster traces);
+//! the codec packs them into a flat [`bytes::Bytes`] buffer so sweeps can
+//! cache generated traces cheaply.
+
+use crate::vm::{ServerGeneration, VmEvent, VmEventKind, VmSpec};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+
+/// Magic bytes identifying the trace format.
+const MAGIC: u32 = 0x6753_5447; // "GSTG"
+/// Codec version.
+const VERSION: u16 = 2;
+
+/// A VM arrival/departure trace over a fixed horizon.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    duration_s: f64,
+    vms: Vec<VmSpec>,
+    events: Vec<VmEvent>,
+}
+
+/// Errors decoding a serialized trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceCodecError {
+    /// Buffer too short or truncated mid-record.
+    Truncated,
+    /// Magic bytes did not match.
+    BadMagic,
+    /// Unsupported codec version.
+    BadVersion(u16),
+    /// A decoded enum discriminant was out of range.
+    BadDiscriminant(u8),
+    /// Structurally valid but semantically corrupt data (non-finite
+    /// times, events referencing unknown VMs).
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for TraceCodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceCodecError::Truncated => write!(f, "trace buffer truncated"),
+            TraceCodecError::BadMagic => write!(f, "trace buffer has wrong magic bytes"),
+            TraceCodecError::BadVersion(v) => write!(f, "unsupported trace version {v}"),
+            TraceCodecError::BadDiscriminant(d) => {
+                write!(f, "invalid enum discriminant {d} in trace buffer")
+            }
+            TraceCodecError::Corrupt(what) => write!(f, "corrupt trace buffer: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceCodecError {}
+
+impl Trace {
+    /// Creates a trace from VMs and events.
+    ///
+    /// Events are sorted by time (departures before arrivals at exactly
+    /// equal timestamps, so a freed slot can be reused).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug assertions) if an event references an unknown VM id.
+    pub fn new(duration_s: f64, vms: Vec<VmSpec>, mut events: Vec<VmEvent>) -> Self {
+        #[cfg(debug_assertions)]
+        {
+            let ids: std::collections::HashSet<u64> = vms.iter().map(|v| v.id).collect();
+            for e in &events {
+                debug_assert!(ids.contains(&e.vm_id), "event references unknown VM {}", e.vm_id);
+            }
+        }
+        events.sort_by(|a, b| {
+            a.time_s
+                .partial_cmp(&b.time_s)
+                .expect("finite event times")
+                .then_with(|| departure_first(a.kind).cmp(&departure_first(b.kind)))
+        });
+        Self { duration_s, vms, events }
+    }
+
+    /// Trace horizon in seconds.
+    pub fn duration_s(&self) -> f64 {
+        self.duration_s
+    }
+
+    /// All VMs referenced by the trace.
+    pub fn vms(&self) -> &[VmSpec] {
+        &self.vms
+    }
+
+    /// Time-sorted events.
+    pub fn events(&self) -> &[VmEvent] {
+        &self.events
+    }
+
+    /// Looks up a VM by id (ids are dense in generated traces, but the
+    /// lookup does not assume it).
+    pub fn vm(&self, id: u64) -> Option<&VmSpec> {
+        // Generated traces use dense ids; try O(1) first.
+        if let Some(vm) = self.vms.get(id as usize) {
+            if vm.id == id {
+                return Some(vm);
+            }
+        }
+        self.vms.iter().find(|v| v.id == id)
+    }
+
+    /// Peak concurrent demand over the trace, in (cores, memory GB) —
+    /// a lower bound on the cluster capacity needed.
+    pub fn peak_demand(&self) -> (u64, f64) {
+        let mut cores = 0i64;
+        let mut mem = 0.0f64;
+        let mut peak_cores = 0i64;
+        let mut peak_mem = 0.0f64;
+        for e in &self.events {
+            let vm = self.vm(e.vm_id).expect("event references known VM");
+            match e.kind {
+                VmEventKind::Arrival => {
+                    cores += i64::from(vm.cores);
+                    mem += vm.mem_gb;
+                }
+                VmEventKind::Departure => {
+                    cores -= i64::from(vm.cores);
+                    mem -= vm.mem_gb;
+                }
+            }
+            peak_cores = peak_cores.max(cores);
+            peak_mem = peak_mem.max(mem);
+        }
+        (peak_cores.max(0) as u64, peak_mem.max(0.0))
+    }
+
+    /// Serializes the trace to a compact binary buffer.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(16 + self.vms.len() * 48 + self.events.len() * 17);
+        buf.put_u32(MAGIC);
+        buf.put_u16(VERSION);
+        buf.put_f64(self.duration_s);
+        buf.put_u32(self.vms.len() as u32);
+        buf.put_u32(self.events.len() as u32);
+        for vm in &self.vms {
+            buf.put_u64(vm.id);
+            buf.put_u32(vm.cores);
+            buf.put_f64(vm.mem_gb);
+            buf.put_u16(vm.app_index);
+            buf.put_u8(match vm.generation {
+                ServerGeneration::Gen1 => 1,
+                ServerGeneration::Gen2 => 2,
+                ServerGeneration::Gen3 => 3,
+            });
+            buf.put_u8(u8::from(vm.full_node));
+            buf.put_f64(vm.max_mem_util);
+            buf.put_f64(vm.avg_cpu_util);
+        }
+        for e in &self.events {
+            buf.put_f64(e.time_s);
+            buf.put_u8(match e.kind {
+                VmEventKind::Arrival => 0,
+                VmEventKind::Departure => 1,
+            });
+            buf.put_u64(e.vm_id);
+        }
+        buf.freeze()
+    }
+
+    /// Deserializes a trace produced by [`Trace::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TraceCodecError`] for truncated, foreign, or corrupt
+    /// buffers.
+    pub fn decode(mut buf: Bytes) -> Result<Self, TraceCodecError> {
+        fn need(buf: &Bytes, n: usize) -> Result<(), TraceCodecError> {
+            if buf.remaining() < n {
+                Err(TraceCodecError::Truncated)
+            } else {
+                Ok(())
+            }
+        }
+        need(&buf, 22)?;
+        if buf.get_u32() != MAGIC {
+            return Err(TraceCodecError::BadMagic);
+        }
+        let version = buf.get_u16();
+        if version != VERSION {
+            return Err(TraceCodecError::BadVersion(version));
+        }
+        let duration_s = buf.get_f64();
+        if !duration_s.is_finite() || duration_s < 0.0 {
+            return Err(TraceCodecError::Corrupt("duration is not a finite non-negative number"));
+        }
+        let n_vms = buf.get_u32() as usize;
+        let n_events = buf.get_u32() as usize;
+        need(&buf, n_vms * 48)?;
+        let mut vms = Vec::with_capacity(n_vms);
+        for _ in 0..n_vms {
+            let id = buf.get_u64();
+            let cores = buf.get_u32();
+            let mem_gb = buf.get_f64();
+            let app_index = buf.get_u16();
+            let generation = match buf.get_u8() {
+                1 => ServerGeneration::Gen1,
+                2 => ServerGeneration::Gen2,
+                3 => ServerGeneration::Gen3,
+                d => return Err(TraceCodecError::BadDiscriminant(d)),
+            };
+            let full_node = buf.get_u8() != 0;
+            let max_mem_util = buf.get_f64();
+            let avg_cpu_util = buf.get_f64();
+            vms.push(VmSpec {
+                id,
+                cores,
+                mem_gb,
+                app_index,
+                generation,
+                full_node,
+                max_mem_util,
+                avg_cpu_util,
+            });
+        }
+        need(&buf, n_events * 17)?;
+        let ids: std::collections::HashSet<u64> = vms.iter().map(|v| v.id).collect();
+        let mut events = Vec::with_capacity(n_events);
+        for _ in 0..n_events {
+            let time_s = buf.get_f64();
+            if !time_s.is_finite() {
+                return Err(TraceCodecError::Corrupt("event time is not finite"));
+            }
+            let kind = match buf.get_u8() {
+                0 => VmEventKind::Arrival,
+                1 => VmEventKind::Departure,
+                d => return Err(TraceCodecError::BadDiscriminant(d)),
+            };
+            let vm_id = buf.get_u64();
+            if !ids.contains(&vm_id) {
+                return Err(TraceCodecError::Corrupt("event references an unknown VM"));
+            }
+            events.push(VmEvent { time_s, kind, vm_id });
+        }
+        Ok(Trace::new(duration_s, vms, events))
+    }
+}
+
+/// Sort key putting departures before arrivals at equal timestamps.
+fn departure_first(kind: VmEventKind) -> u8 {
+    match kind {
+        VmEventKind::Departure => 0,
+        VmEventKind::Arrival => 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vm(id: u64, cores: u32) -> VmSpec {
+        VmSpec {
+            id,
+            cores,
+            mem_gb: cores as f64 * 4.0,
+            app_index: 3,
+            generation: ServerGeneration::Gen2,
+            full_node: false,
+            max_mem_util: 0.5,
+            avg_cpu_util: 0.2,
+        }
+    }
+
+    fn sample_trace() -> Trace {
+        Trace::new(
+            3600.0,
+            vec![vm(0, 4), vm(1, 8)],
+            vec![
+                VmEvent { time_s: 10.0, kind: VmEventKind::Arrival, vm_id: 0 },
+                VmEvent { time_s: 20.0, kind: VmEventKind::Arrival, vm_id: 1 },
+                VmEvent { time_s: 100.0, kind: VmEventKind::Departure, vm_id: 0 },
+            ],
+        )
+    }
+
+    #[test]
+    fn events_sorted_with_departures_first_on_tie() {
+        let t = Trace::new(
+            100.0,
+            vec![vm(0, 4), vm(1, 8)],
+            vec![
+                VmEvent { time_s: 50.0, kind: VmEventKind::Arrival, vm_id: 1 },
+                VmEvent { time_s: 50.0, kind: VmEventKind::Departure, vm_id: 0 },
+                VmEvent { time_s: 10.0, kind: VmEventKind::Arrival, vm_id: 0 },
+            ],
+        );
+        assert_eq!(t.events()[0].time_s, 10.0);
+        assert_eq!(t.events()[1].kind, VmEventKind::Departure);
+        assert_eq!(t.events()[2].kind, VmEventKind::Arrival);
+    }
+
+    #[test]
+    fn roundtrip_codec() {
+        let t = sample_trace();
+        let decoded = Trace::decode(t.encode()).unwrap();
+        assert_eq!(t, decoded);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(Trace::decode(Bytes::from_static(b"xx")), Err(TraceCodecError::Truncated));
+        let mut bad = BytesMut::new();
+        bad.put_u32(0xdead_beef);
+        bad.put_u16(1);
+        bad.put_f64(0.0);
+        bad.put_u32(0);
+        bad.put_u32(0);
+        assert_eq!(Trace::decode(bad.freeze()), Err(TraceCodecError::BadMagic));
+    }
+
+    #[test]
+    fn decode_rejects_bad_version() {
+        let t = sample_trace();
+        let mut raw = BytesMut::from(&t.encode()[..]);
+        raw[4] = 9;
+        raw[5] = 9;
+        assert!(matches!(Trace::decode(raw.freeze()), Err(TraceCodecError::BadVersion(_))));
+    }
+
+    #[test]
+    fn decode_rejects_truncation_everywhere() {
+        let full = sample_trace().encode();
+        for cut in 1..full.len() {
+            let sliced = full.slice(0..cut);
+            assert!(Trace::decode(sliced).is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_dangling_events_and_nan_times() {
+        let t = sample_trace();
+        let raw = t.encode();
+        // Corrupt the last event's vm_id (final 8 bytes).
+        let mut dangling = raw.to_vec();
+        let n = dangling.len();
+        dangling[n - 1] = 0xEE;
+        assert!(matches!(
+            Trace::decode(Bytes::from(dangling)),
+            Err(TraceCodecError::Corrupt(_))
+        ));
+        // Corrupt an event time to NaN (event times start after the
+        // VM block: header 22 + 2 VMs × 48 bytes).
+        let mut nan_time = raw.to_vec();
+        let event_time_off = 22 + 2 * 48;
+        nan_time[event_time_off..event_time_off + 8]
+            .copy_from_slice(&f64::NAN.to_bits().to_be_bytes());
+        assert!(matches!(
+            Trace::decode(Bytes::from(nan_time)),
+            Err(TraceCodecError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn peak_demand_tracks_concurrency() {
+        let t = sample_trace();
+        // Both VMs overlap between t=20 and t=100: 12 cores, 48 GB.
+        let (cores, mem) = t.peak_demand();
+        assert_eq!(cores, 12);
+        assert!((mem - 48.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn vm_lookup_dense_and_sparse() {
+        let t = sample_trace();
+        assert_eq!(t.vm(1).unwrap().cores, 8);
+        assert!(t.vm(99).is_none());
+        // Sparse ids still work.
+        let t2 = Trace::new(10.0, vec![vm(7, 2)], vec![]);
+        assert_eq!(t2.vm(7).unwrap().cores, 2);
+    }
+}

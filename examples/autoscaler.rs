@@ -1,0 +1,55 @@
+//! Autoscaler demo (§VIII): a reactive core-count controller keeps a
+//! latency-critical service on a GreenSKU within its SLO over a diurnal
+//! day, using far fewer core-hours than static peak provisioning.
+//!
+//! ```text
+//! cargo run --release --example autoscaler
+//! ```
+
+use greensku::perf::autoscale::{diurnal_load, AutoscaleConfig, Autoscaler};
+use greensku::perf::slo::derive_slo;
+use greensku::perf::{MemoryPlacement, SkuPerfProfile};
+use greensku::workloads::catalog;
+
+fn main() {
+    let app = catalog::by_name("Xapian").expect("catalog app");
+    let slo = derive_slo(&app, &SkuPerfProfile::gen3()).expect("latency app");
+    println!(
+        "{} on GreenSKU-Efficient — SLO p95 {:.1} ms (from Gen3 @ 90% of {:.0} QPS peak)\n",
+        app.name(),
+        slo.p95_ms,
+        slo.baseline_peak_qps
+    );
+
+    let scaler = Autoscaler::new(
+        app,
+        SkuPerfProfile::greensku_efficient(),
+        MemoryPlacement::LocalOnly,
+        AutoscaleConfig::new(slo.p95_ms),
+    );
+    let load = diurnal_load(slo.load_qps * 0.6, 0.6, 24.0, 5.0);
+    let outcome = scaler.run(&load);
+
+    println!("hour  load(QPS)  cores  p95(ms)");
+    for step in outcome.steps.iter().step_by(12) {
+        println!(
+            "{:>4.0}  {:>9.0}  {:>5}  {}",
+            step.minute / 60.0,
+            step.qps,
+            step.cores,
+            step.p95_ms.map_or("saturated".to_string(), |v| format!("{v:.2}")),
+        );
+    }
+
+    let peak = load.iter().cloned().fold(0.0, f64::max);
+    let static_cores = scaler.cores_for(peak);
+    let static_hours = outcome.static_core_hours(static_cores);
+    println!(
+        "\nautoscaled: {:.0} core-hours, SLO attainment {:.1}%\n\
+         static ({static_cores} cores for peak): {static_hours:.0} core-hours\n\
+         saved: {:.1}%",
+        outcome.core_hours,
+        outcome.slo_attainment * 100.0,
+        (1.0 - outcome.core_hours / static_hours) * 100.0
+    );
+}

@@ -1,0 +1,64 @@
+//! Capacity planner: the full GSF story for one cluster.
+//!
+//! Generates a synthetic VM trace, evaluates the three GreenSKU designs
+//! end-to-end (performance → adoption → allocation → sizing → growth
+//! buffer → emissions), and prints the deployment plan a capacity team
+//! would read: how many servers of which SKU, who adopts, what the
+//! cluster saves.
+//!
+//! ```text
+//! cargo run --release --example capacity_planner
+//! ```
+
+use greensku::gsf::{GreenSkuDesign, GsfError, GsfPipeline, PipelineConfig};
+use greensku::stats::rng::SeedFactory;
+use greensku::workloads::{TraceGenerator, TraceParams};
+
+fn main() -> Result<(), GsfError> {
+    let trace = TraceGenerator::new(TraceParams {
+        duration_hours: 48.0,
+        arrivals_per_hour: 100.0,
+        ..TraceParams::default()
+    })
+    .generate(&SeedFactory::new(11), 0);
+    let (peak_cores, peak_mem) = trace.peak_demand();
+    println!(
+        "workload: {} VMs over {:.0} h, peak demand {} cores / {:.0} GB\n",
+        trace.vms().len(),
+        trace.duration_s() / 3600.0,
+        peak_cores,
+        peak_mem
+    );
+
+    let pipeline = GsfPipeline::new(PipelineConfig::default());
+    for design in GreenSkuDesign::all_three() {
+        let o = pipeline.evaluate(&design, &trace)?;
+        println!("== {} ==", o.design);
+        println!(
+            "  all-baseline cluster:   {} servers ({} with growth buffer)",
+            o.baseline_only_servers, o.baseline_only_buffered
+        );
+        println!(
+            "  mixed cluster:          {} baseline + {} GreenSKU ({} + {} buffered)",
+            o.plan.baseline, o.plan.green, o.plan_buffered.baseline, o.plan_buffered.green
+        );
+        println!(
+            "  adoption:               {:.1}% of core-hours (vs Gen3)",
+            o.adoption_rate * 100.0
+        );
+        println!(
+            "  per-core CO2e:          {:.1} kg vs baseline {:.1} kg",
+            o.green_per_core, o.baseline_per_core
+        );
+        println!(
+            "  VM placement:           {} on GreenSKUs, {} on baseline ({} overflowed)",
+            o.replay.placed_green, o.replay.placed_baseline, o.replay.green_overflow
+        );
+        println!(
+            "  cluster savings:        {:.1}%   (data-center level: {:.1}%)\n",
+            o.cluster_savings * 100.0,
+            o.dc_savings * 100.0
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,43 @@
+//! Quickstart: assess a GreenSKU with the carbon model and reproduce
+//! the paper's headline per-core savings.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use greensku::carbon::datasets::open_source;
+use greensku::carbon::{CarbonError, CarbonModel, ModelParams};
+
+fn main() -> Result<(), CarbonError> {
+    // 1. The §V worked example: GreenSKU-CXL with the paper's Table V
+    //    data, assessed at rack level.
+    let model = CarbonModel::new(ModelParams::default_open_source());
+    let example = open_source::greensku_cxl_example();
+    println!("== {} ==", example.name());
+    println!("  server power (Eq. 1):     {:.1} W  (paper: 403 W)", example.average_power().get());
+    println!("  server embodied:          {:.0} kg (paper: 1644 kg)", example.embodied().get());
+    let rack = model.assess_rack(&example)?;
+    println!(
+        "  rack: {} servers, {} cores, {:.0} kg CO2e/core (paper: 31 kg)",
+        rack.servers_per_rack(),
+        rack.cores_per_rack(),
+        rack.total_per_core().get()
+    );
+
+    // 2. Table VIII: per-core savings of the three GreenSKUs (plus the
+    //    resized baseline) against the Gen3 baseline, at DC level.
+    println!("\n== Per-core savings vs Gen3 baseline (Table VIII) ==");
+    let baseline = open_source::baseline_gen3();
+    for sku in open_source::table_viii_skus().into_iter().skip(1) {
+        let s = model.savings(&baseline, &sku)?;
+        println!(
+            "  {:22} operational {:5.1}%   embodied {:5.1}%   total {:5.1}%",
+            sku.name(),
+            s.operational * 100.0,
+            s.embodied * 100.0,
+            s.total * 100.0
+        );
+    }
+    println!("\n(paper's open-data row for GreenSKU-Full: 14% / 38% / 26%)");
+    Ok(())
+}

@@ -1,0 +1,28 @@
+//! Generate the one-page GSF deployment report for each GreenSKU design
+//! (the artifact a human SKU-design review would read, per §IV's
+//! "we recommend humans in the SKU design process").
+//!
+//! ```text
+//! cargo run --release --example sku_report
+//! cargo run --release --example sku_report > report.md
+//! ```
+
+use greensku::gsf::report::deployment_report;
+use greensku::gsf::{GreenSkuDesign, GsfError, GsfPipeline, PipelineConfig};
+use greensku::stats::rng::SeedFactory;
+use greensku::workloads::{TraceGenerator, TraceParams};
+
+fn main() -> Result<(), GsfError> {
+    let trace = TraceGenerator::new(TraceParams {
+        duration_hours: 48.0,
+        arrivals_per_hour: 100.0,
+        ..TraceParams::default()
+    })
+    .generate(&SeedFactory::new(11), 0);
+    let pipeline = GsfPipeline::new(PipelineConfig::default());
+    for design in GreenSkuDesign::all_three() {
+        println!("{}", deployment_report(&pipeline, &design, &trace)?);
+        println!("---\n");
+    }
+    Ok(())
+}

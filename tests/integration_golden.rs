@@ -1,0 +1,77 @@
+//! Cross-crate golden tests: every worked-example number from §V of the
+//! paper, exercised through the public facade.
+
+use greensku::carbon::datasets::open_source;
+use greensku::carbon::{CarbonModel, ModelParams};
+use greensku::maintenance::{CoosComparison, FipPolicy, ServerAfr};
+
+#[test]
+fn worked_example_chain() {
+    // §V, step by step.
+    let sku = open_source::greensku_cxl_example();
+    // P_s = 403 W.
+    assert!((sku.average_power().get() - 403.35).abs() < 0.1);
+    // E_emb,s = 1644 kg.
+    assert!((sku.embodied().get() - 1644.0).abs() < 0.1);
+
+    let model = CarbonModel::new(ModelParams::worked_example());
+    let rack = model.assess_rack(&sku).unwrap();
+    // N_s = 16 (space-constrained), N_c,r = 2048.
+    assert_eq!(rack.servers_per_rack(), 16);
+    assert_eq!(rack.cores_per_rack(), 2048);
+    // E_emb,r = 26 804 kg.
+    assert!((rack.emb_per_core().get() * 2048.0 - 26_804.0).abs() < 1.0);
+    // E_op,r ≈ 36 547 kg.
+    assert!((rack.op_per_core().get() * 2048.0 - 36_547.0).abs() < 40.0);
+    // 31 kg CO2e per core.
+    assert!((rack.total_per_core().get() - 31.0).abs() < 0.2);
+}
+
+#[test]
+fn maintenance_chain() {
+    // §V maintenance example.
+    let fip = FipPolicy::paper();
+    assert!((ServerAfr::baseline().total - 4.8).abs() < 1e-12);
+    assert!((ServerAfr::greensku_full().total - 7.2).abs() < 1e-12);
+    assert!((fip.repair_rate(&ServerAfr::baseline()) - 3.0).abs() < 1e-12);
+    assert!((fip.repair_rate(&ServerAfr::greensku_full()) - 3.6).abs() < 1e-12);
+    let coos = CoosComparison::paper();
+    assert!((coos.baseline - 3.0).abs() < 1e-12);
+    assert!((coos.greensku - 2.998).abs() < 0.01);
+}
+
+#[test]
+fn table_viii_headline() {
+    // GreenSKU-Full: 14 % / 38 % / 26 % in the published open-data run.
+    let model = CarbonModel::new(ModelParams::default_open_source());
+    let s = model
+        .savings(&open_source::baseline_gen3(), &open_source::greensku_full())
+        .unwrap();
+    assert!((s.operational - 0.14).abs() < 0.02);
+    assert!((s.embodied - 0.38).abs() < 0.03);
+    assert!((s.total - 0.26).abs() < 0.02);
+}
+
+#[test]
+fn perf_anchors() {
+    use greensku::perf::{slowdown, MemoryPlacement, SkuPerfProfile};
+    use greensku::workloads::catalog;
+    // Table II anchor: Build-PHP 1.17× on GreenSKU-Efficient.
+    let php = catalog::by_name("Build-PHP").unwrap();
+    let s = slowdown(&php, &SkuPerfProfile::greensku_efficient(), MemoryPlacement::LocalOnly);
+    assert!((s - 1.17).abs() < 0.02);
+    // Fig. 8 anchor: HAProxy ~11 % CXL penalty.
+    let haproxy = catalog::by_name("HAProxy").unwrap();
+    let pen = slowdown(&haproxy, &SkuPerfProfile::greensku_cxl(), MemoryPlacement::Naive)
+        / slowdown(&haproxy, &SkuPerfProfile::greensku_cxl(), MemoryPlacement::LocalOnly);
+    assert!((pen - 1.11).abs() < 0.02);
+}
+
+#[test]
+fn fig11_crossover_between_regions() {
+    use greensku::experiments::fig11;
+    let eff = (0.29, 0.14); // internal Table IV: Efficient (op, emb)
+    let full = (0.17, 0.43); // internal Table IV: Full
+    let c = fig11::crossover(eff, full).expect("crossover exists");
+    assert!(c > 0.1 && c < 0.33, "crossover {c}");
+}

@@ -1,0 +1,90 @@
+//! End-to-end integration: the full GSF pipeline across all crates.
+
+use greensku::carbon::units::CarbonIntensity;
+use greensku::gsf::{GreenSkuDesign, GsfPipeline, PipelineConfig};
+use greensku::stats::rng::SeedFactory;
+use greensku::workloads::{Trace, TraceGenerator, TraceParams};
+
+fn trace() -> Trace {
+    TraceGenerator::new(TraceParams {
+        duration_hours: 24.0,
+        arrivals_per_hour: 80.0,
+        ..TraceParams::default()
+    })
+    .generate(&SeedFactory::new(101), 0)
+}
+
+#[test]
+fn designs_rank_as_published_at_reference_intensity() {
+    // At CI = 0.1 with open data: Full > CXL > Efficient on cluster
+    // savings (Table VIII ordering carries through the pipeline).
+    let pipeline = GsfPipeline::new(PipelineConfig::default());
+    let t = trace();
+    let outcomes: Vec<_> = GreenSkuDesign::all_three()
+        .iter()
+        .map(|d| pipeline.evaluate(d, &t).expect("pipeline runs"))
+        .collect();
+    assert!(outcomes[2].cluster_savings > outcomes[1].cluster_savings);
+    assert!(outcomes[1].cluster_savings > outcomes[0].cluster_savings);
+    for o in &outcomes {
+        assert!(o.cluster_savings > 0.0, "{}: {}", o.design, o.cluster_savings);
+        assert!(o.replay.no_rejections(), "{}", o.design);
+        assert!(o.dc_savings < o.cluster_savings);
+    }
+}
+
+#[test]
+fn full_design_headline_band() {
+    // Paper (open data): cluster-level ~14 %, DC-level ~7 %. Accept a
+    // band that detects regressions without overfitting the synthetic
+    // trace: cluster 8-20 %, DC 4-12 %.
+    let pipeline = GsfPipeline::new(PipelineConfig::default());
+    let o = pipeline.evaluate(&GreenSkuDesign::full(), &trace()).unwrap();
+    assert!(
+        o.cluster_savings > 0.08 && o.cluster_savings < 0.20,
+        "cluster savings {}",
+        o.cluster_savings
+    );
+    assert!(o.dc_savings > 0.04 && o.dc_savings < 0.12, "dc savings {}", o.dc_savings);
+    // Adoption: Table III rejects Masstree and Silo vs Gen3; most
+    // core-hours adopt.
+    assert!(o.adoption_rate > 0.7 && o.adoption_rate < 0.95, "{}", o.adoption_rate);
+}
+
+#[test]
+fn savings_monotone_response_to_intensity_per_design() {
+    // Efficient's savings grow with CI (its edge is operational); Full's
+    // shrink (its edge is embodied).
+    let pipeline = GsfPipeline::new(PipelineConfig::default());
+    let t = trace();
+    let at = |design: &GreenSkuDesign, ci: f64| {
+        pipeline
+            .evaluate_at(design, &t, CarbonIntensity::new(ci))
+            .unwrap()
+            .cluster_savings
+    };
+    let eff = GreenSkuDesign::efficient();
+    let full = GreenSkuDesign::full();
+    assert!(at(&eff, 0.5) > at(&eff, 0.02), "Efficient should improve with CI");
+    assert!(at(&full, 0.02) > at(&full, 0.5), "Full should degrade with CI");
+}
+
+#[test]
+fn mixed_cluster_uses_fewer_total_resources_worth_of_carbon() {
+    // Sanity: the mixed plan never needs more servers than double the
+    // all-baseline plan, and the green pool actually hosts VMs.
+    let pipeline = GsfPipeline::new(PipelineConfig::default());
+    let o = pipeline.evaluate(&GreenSkuDesign::cxl(), &trace()).unwrap();
+    assert!(o.plan.total() <= 2 * o.baseline_only_servers);
+    assert!(o.replay.placed_green > o.replay.placed_baseline);
+}
+
+#[test]
+fn pipeline_is_deterministic() {
+    let pipeline = GsfPipeline::new(PipelineConfig::default());
+    let t = trace();
+    let a = pipeline.evaluate(&GreenSkuDesign::full(), &t).unwrap();
+    let b = pipeline.evaluate(&GreenSkuDesign::full(), &t).unwrap();
+    assert_eq!(a.plan, b.plan);
+    assert_eq!(a.cluster_savings, b.cluster_savings);
+}

@@ -1,0 +1,244 @@
+//! Property-based tests over the cross-crate invariants DESIGN.md §6
+//! calls out.
+
+use greensku::carbon::component::{ComponentClass, ComponentSpec};
+use greensku::carbon::units::{CarbonIntensity, KgCo2e, Watts};
+use greensku::carbon::{CarbonModel, ModelParams, ServerSpec};
+use greensku::perf::analytic::MmcQueue;
+use greensku::perf::slowdown::slowdown_from_sensitivity;
+use greensku::perf::{MemoryPlacement, SkuPerfProfile};
+use greensku::stats::cdf::EmpiricalCdf;
+use greensku::vmalloc::{
+    AllocationSim, ClusterConfig, PlacementPolicy, PlacementRequest,
+};
+use greensku::workloads::{
+    HardwareSensitivity, ServerGeneration, Trace, VmEvent, VmEventKind, VmSpec,
+};
+use proptest::prelude::*;
+
+fn arb_server(cores: u32) -> impl Strategy<Value = ServerSpec> {
+    (50.0..800.0f64, 100.0..3000.0f64).prop_map(move |(power, embodied)| {
+        ServerSpec::builder("prop", cores, 2)
+            .component(
+                ComponentSpec::new(
+                    "blob",
+                    ComponentClass::Other,
+                    1.0,
+                    Watts::new(power),
+                    KgCo2e::new(embodied),
+                )
+                .expect("valid ranges"),
+            )
+            .build()
+            .expect("valid server")
+    })
+}
+
+proptest! {
+    #[test]
+    fn carbon_emissions_monotone_in_intensity(
+        server in arb_server(96),
+        ci_lo in 0.0..0.3f64,
+        delta in 0.01..0.5f64,
+    ) {
+        let at = |ci: f64| {
+            CarbonModel::new(
+                ModelParams::default_open_source()
+                    .with_carbon_intensity(CarbonIntensity::new(ci)),
+            )
+            .assess(&server)
+            .unwrap()
+        };
+        let a = at(ci_lo);
+        let b = at(ci_lo + delta);
+        prop_assert!(b.op_per_core() > a.op_per_core());
+        prop_assert!((b.emb_per_core().get() - a.emb_per_core().get()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn identical_skus_have_zero_savings(server in arb_server(64)) {
+        let model = CarbonModel::new(ModelParams::default_open_source());
+        let s = model.savings(&server, &server).unwrap();
+        prop_assert!(s.operational.abs() < 1e-12);
+        prop_assert!(s.embodied.abs() < 1e-12);
+        prop_assert!(s.total.abs() < 1e-12);
+    }
+
+    #[test]
+    fn slowdown_at_least_one_on_weaker_hardware(
+        freq_w in 0.0..1.5f64,
+        // Working sets within Gen3's LLC budget (384 MiB socket,
+        // 4.8 MiB/core) — beyond that even the reference SKU is
+        // legitimately penalized and slowdowns are relative, not 1.
+        sock_mib in 0.0..384.0f64,
+        sock_w in 0.0..3.0f64,
+        core_mib in 0.0..4.8f64,
+        core_w in 0.0..3.0f64,
+        bw in 0.0..5.0f64,
+        cxl_w in 0.0..1.0f64,
+        cxl_frac in 0.0..1.0f64,
+    ) {
+        let s = HardwareSensitivity {
+            freq_weight: freq_w,
+            socket_cache_mib: sock_mib,
+            socket_cache_weight: sock_w,
+            core_cache_mib: core_mib,
+            core_cache_weight: core_w,
+            mem_bandwidth_gbps_per_core: bw,
+            cxl_latency_weight: cxl_w,
+            cxl_naive_fraction: cxl_frac,
+        };
+        // Gen3 is the reference optimum: every modelled SKU is >= 1.
+        for sku in [
+            SkuPerfProfile::gen1(),
+            SkuPerfProfile::gen2(),
+            SkuPerfProfile::gen3(),
+            SkuPerfProfile::greensku_efficient(),
+            SkuPerfProfile::greensku_cxl(),
+        ] {
+            let v = slowdown_from_sensitivity(&s, &sku, MemoryPlacement::Naive);
+            prop_assert!(v >= 1.0 - 1e-12, "{} -> {v}", sku.name);
+        }
+        // Gen3 itself is exactly 1 regardless of sensitivity.
+        let g3 = slowdown_from_sensitivity(&s, &SkuPerfProfile::gen3(), MemoryPlacement::Naive);
+        prop_assert!((g3 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mmc_latency_monotone_in_load(
+        cores in 1u32..32,
+        service_ms in 0.2..20.0f64,
+        rho_lo in 0.05..0.8f64,
+        bump in 0.01..0.15f64,
+    ) {
+        let capacity = f64::from(cores) * 1000.0 / service_ms;
+        let q_lo = MmcQueue::new(cores, rho_lo * capacity, service_ms).unwrap();
+        let q_hi = MmcQueue::new(cores, (rho_lo + bump) * capacity, service_ms).unwrap();
+        prop_assert!(q_hi.mean_response_ms() >= q_lo.mean_response_ms());
+        prop_assert!(q_hi.p95_response_ms() >= q_lo.p95_response_ms() - 1e-9);
+    }
+
+    #[test]
+    fn allocator_conserves_vms(
+        n_vms in 1usize..60,
+        cluster in 1u32..6,
+        seed in 0u64..1000,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut vms = Vec::new();
+        let mut events = Vec::new();
+        for id in 0..n_vms as u64 {
+            let cores = *[1u32, 2, 4, 8, 16].get(rng.gen_range(0..5)).unwrap();
+            vms.push(VmSpec {
+                id,
+                cores,
+                mem_gb: f64::from(cores) * 4.0,
+                app_index: 0,
+                generation: ServerGeneration::Gen3,
+                full_node: false,
+                max_mem_util: 0.5,
+                avg_cpu_util: 0.2,
+            });
+            let t = rng.gen_range(0.0..500.0);
+            events.push(VmEvent { time_s: t, kind: VmEventKind::Arrival, vm_id: id });
+            events.push(VmEvent {
+                time_s: t + rng.gen_range(1.0..500.0),
+                kind: VmEventKind::Departure,
+                vm_id: id,
+            });
+        }
+        let trace = Trace::new(1100.0, vms, events);
+        let sim = AllocationSim::new(
+            ClusterConfig::baseline_only(cluster),
+            PlacementPolicy::BestFit,
+        );
+        let out = sim.replay(&trace, &|vm: &VmSpec| PlacementRequest::baseline_only(vm));
+        // Every arrival is either placed or rejected, exactly once.
+        prop_assert_eq!(out.placed_baseline + out.placed_green + out.rejected, n_vms);
+        prop_assert_eq!(out.placed_green, 0);
+        // Densities are valid fractions.
+        let d = out.metrics.baseline.mean_core_density();
+        prop_assert!((0.0..=1.0).contains(&d));
+    }
+
+    #[test]
+    fn trace_codec_roundtrip(
+        n_vms in 0usize..40,
+        seed in 0u64..1000,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut vms = Vec::new();
+        let mut events = Vec::new();
+        for id in 0..n_vms as u64 {
+            vms.push(VmSpec {
+                id,
+                cores: rng.gen_range(1..64),
+                mem_gb: rng.gen_range(1.0..512.0),
+                app_index: rng.gen_range(0..20),
+                generation: *[
+                    ServerGeneration::Gen1,
+                    ServerGeneration::Gen2,
+                    ServerGeneration::Gen3,
+                ]
+                .get(rng.gen_range(0..3))
+                .unwrap(),
+                full_node: rng.gen_bool(0.05),
+                max_mem_util: rng.gen_range(0.05..1.0),
+                avg_cpu_util: rng.gen_range(0.01..1.0),
+            });
+            let t = rng.gen_range(0.0..100.0);
+            events.push(VmEvent { time_s: t, kind: VmEventKind::Arrival, vm_id: id });
+            events.push(VmEvent {
+                time_s: t + rng.gen_range(0.1..100.0),
+                kind: VmEventKind::Departure,
+                vm_id: id,
+            });
+        }
+        let trace = Trace::new(250.0, vms, events);
+        let decoded = Trace::decode(trace.encode()).unwrap();
+        prop_assert_eq!(trace, decoded);
+    }
+
+    #[test]
+    fn cdf_eval_monotone(samples in prop::collection::vec(-100.0..100.0f64, 0..100)) {
+        let cdf = EmpiricalCdf::from_samples(samples);
+        let mut prev = 0.0;
+        for i in -20..=20 {
+            let x = f64::from(i) * 5.0;
+            let y = cdf.eval(x);
+            prop_assert!((0.0..=1.0).contains(&y));
+            prop_assert!(y >= prev);
+            prev = y;
+        }
+    }
+
+    #[test]
+    fn rack_packing_monotone_in_power(
+        base_power in 100.0..1000.0f64,
+        extra in 1.0..500.0f64,
+    ) {
+        use greensku::carbon::rack::RackFill;
+        use greensku::carbon::params::RackParams;
+        let server = |p: f64| {
+            ServerSpec::builder("s", 64, 1)
+                .component(
+                    ComponentSpec::new(
+                        "c",
+                        ComponentClass::Other,
+                        1.0,
+                        Watts::new(p),
+                        KgCo2e::new(100.0),
+                    )
+                    .unwrap(),
+                )
+                .build()
+                .unwrap()
+        };
+        let params = RackParams::open_source();
+        let lo = RackFill::pack(&server(base_power), &params).unwrap();
+        let hi = RackFill::pack(&server(base_power + extra), &params).unwrap();
+        prop_assert!(hi.servers() <= lo.servers());
+    }
+}
