@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus lint gates. Run from the repo root.
+set -euo pipefail
+
+cargo fmt --check
+cargo clippy --workspace -- -D warnings
+cargo build --release
+cargo test -q

@@ -23,9 +23,7 @@ fn baseline_transform(vm: &VmSpec) -> PlacementRequest {
 fn ablation_placement_policy(c: &mut Criterion) {
     let trace = bench_trace();
     let mut group = c.benchmark_group("ablation_placement_policy");
-    for policy in
-        [PlacementPolicy::BestFit, PlacementPolicy::FirstFit, PlacementPolicy::WorstFit]
-    {
+    for policy in [PlacementPolicy::BestFit, PlacementPolicy::FirstFit, PlacementPolicy::WorstFit] {
         // Print the quality outcome once per policy.
         let out = AllocationSim::new(ClusterConfig::baseline_only(24), policy)
             .replay(&trace, &baseline_transform);
@@ -36,7 +34,7 @@ fn ablation_placement_policy(c: &mut Criterion) {
         );
         group.bench_function(policy.to_string(), |b| {
             b.iter(|| {
-                let sim = AllocationSim::new(ClusterConfig::baseline_only(24), policy);
+                let mut sim = AllocationSim::new(ClusterConfig::baseline_only(24), policy);
                 black_box(sim.replay(&trace, &baseline_transform))
             })
         });
@@ -108,9 +106,7 @@ fn ablation_des_vs_analytic(c: &mut Criterion) {
             black_box(simulate(&config, &mut rng))
         })
     });
-    group.bench_function("analytic_mmc", |b| {
-        b.iter(|| black_box(queue.p95_response_ms()))
-    });
+    group.bench_function("analytic_mmc", |b| b.iter(|| black_box(queue.p95_response_ms())));
     group.finish();
 }
 
@@ -136,12 +132,62 @@ fn ablation_buffer_fraction(c: &mut Criterion) {
     group.finish();
 }
 
+/// Ablation: assessment cache on/off for a single pipeline evaluation
+/// (the cache serves the design + Gen1–Gen3 baseline assessments that
+/// `evaluate_at` needs on every call).
+fn ablation_eval_cache(c: &mut Criterion) {
+    use gsf_carbon::units::CarbonIntensity;
+    use gsf_core::{EvalContext, GreenSkuDesign, GsfPipeline, PipelineConfig};
+    use std::sync::Arc;
+    let trace = bench_trace();
+    let design = GreenSkuDesign::full();
+    let mut group = c.benchmark_group("ablation_eval_cache");
+    group.bench_function("uncached", |b| {
+        let pipeline =
+            GsfPipeline::with_context(PipelineConfig::default(), Arc::new(EvalContext::uncached()));
+        b.iter(|| {
+            black_box(pipeline.evaluate_at(&design, &trace, CarbonIntensity::new(0.1)).unwrap())
+        })
+    });
+    group.bench_function("cached", |b| {
+        let pipeline = GsfPipeline::new(PipelineConfig::default());
+        b.iter(|| {
+            black_box(pipeline.evaluate_at(&design, &trace, CarbonIntensity::new(0.1)).unwrap())
+        })
+    });
+    group.finish();
+}
+
+/// Ablation: fresh simulator per replay vs reset-reuse (what the sizing
+/// binary searches do on every feasibility probe).
+fn ablation_sim_reuse(c: &mut Criterion) {
+    let trace = bench_trace();
+    let config = ClusterConfig::baseline_only(24);
+    let mut group = c.benchmark_group("ablation_sim_reuse");
+    group.bench_function("fresh_each_replay", |b| {
+        b.iter(|| {
+            let mut sim = AllocationSim::new(config, PlacementPolicy::BestFit);
+            black_box(sim.replay(&trace, &baseline_transform))
+        })
+    });
+    group.bench_function("reset_reuse", |b| {
+        let mut sim = AllocationSim::new(config, PlacementPolicy::BestFit);
+        b.iter(|| {
+            sim.reset(config);
+            black_box(sim.replay(&trace, &baseline_transform))
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     ablation_placement_policy,
     ablation_fip_effectiveness,
     ablation_cxl_cards,
     ablation_des_vs_analytic,
-    ablation_buffer_fraction
+    ablation_buffer_fraction,
+    ablation_eval_cache,
+    ablation_sim_reuse
 );
 criterion_main!(benches);

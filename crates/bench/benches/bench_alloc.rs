@@ -5,9 +5,7 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use gsf_bench::{bench_seeds, bench_trace, bench_trace_large};
 use gsf_cluster::sizing::right_size_baseline_only;
 use gsf_maintenance::{FailureSim, FailureSimParams};
-use gsf_vmalloc::{
-    AllocationSim, ClusterConfig, PlacementPolicy, PlacementRequest, ServerShape,
-};
+use gsf_vmalloc::{AllocationSim, ClusterConfig, PlacementPolicy, PlacementRequest, ServerShape};
 use gsf_workloads::{Trace, TraceGenerator, TraceParams, VmSpec};
 
 fn baseline_transform(vm: &VmSpec) -> PlacementRequest {
@@ -19,7 +17,7 @@ fn fig9_replay(c: &mut Criterion) {
     let trace = bench_trace();
     c.bench_function("fig9_replay_500vm_trace", |b| {
         b.iter(|| {
-            let sim =
+            let mut sim =
                 AllocationSim::new(ClusterConfig::baseline_only(24), PlacementPolicy::BestFit);
             black_box(sim.replay(&trace, &baseline_transform))
         })

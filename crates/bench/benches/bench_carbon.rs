@@ -5,8 +5,7 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use gsf_carbon::breakdown::{FleetModel, DEFAULT_RENEWABLE_FRACTION};
 use gsf_carbon::datasets::open_source;
 use gsf_carbon::equivalence::{
-    efficiency_gain_for_savings, lifetime_extension_for_savings,
-    renewables_increase_for_savings,
+    efficiency_gain_for_savings, lifetime_extension_for_savings, renewables_increase_for_savings,
 };
 use gsf_carbon::{CarbonModel, ModelParams};
 
@@ -47,8 +46,7 @@ fn sec7_equivalence(c: &mut Criterion) {
     c.bench_function("sec7_equivalence_solvers", |b| {
         b.iter(|| {
             black_box(
-                renewables_increase_for_savings(&fleet, DEFAULT_RENEWABLE_FRACTION, 0.07)
-                    .unwrap(),
+                renewables_increase_for_savings(&fleet, DEFAULT_RENEWABLE_FRACTION, 0.07).unwrap(),
             );
             black_box(
                 efficiency_gain_for_savings(&fleet, DEFAULT_RENEWABLE_FRACTION, 0.07).unwrap(),

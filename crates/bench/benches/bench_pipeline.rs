@@ -18,11 +18,7 @@ fn fig12_pipeline_point(c: &mut Criterion) {
     let design = GreenSkuDesign::full();
     c.bench_function("fig12_pipeline_evaluate", |b| {
         b.iter(|| {
-            black_box(
-                pipeline
-                    .evaluate_at(&design, &trace, CarbonIntensity::new(0.1))
-                    .unwrap(),
-            )
+            black_box(pipeline.evaluate_at(&design, &trace, CarbonIntensity::new(0.1)).unwrap())
         })
     });
 }
@@ -63,9 +59,7 @@ fn maintenance_coos(c: &mut Criterion) {
 fn adoption_cxl_tolerance(c: &mut Criterion) {
     let apps = catalog::applications();
     c.bench_function("adoption_cxl_tolerance_scan", |b| {
-        b.iter(|| {
-            black_box(apps.iter().filter(|a| a.tolerates_full_cxl()).count())
-        })
+        b.iter(|| black_box(apps.iter().filter(|a| a.tolerates_full_cxl()).count()))
     });
 }
 
@@ -97,9 +91,7 @@ fn sec8_autoscaler(c: &mut Criterion) {
         AutoscaleConfig::new(10.0),
     );
     let load = diurnal_load(2500.0, 0.6, 48.0, 5.0);
-    c.bench_function("sec8_autoscaler_48h_run", |b| {
-        b.iter(|| black_box(scaler.run(&load)))
-    });
+    c.bench_function("sec8_autoscaler_48h_run", |b| b.iter(|| black_box(scaler.run(&load))));
 }
 
 /// §IX temporal stacking: schedule a 50-job batch across a solar region.
@@ -117,8 +109,7 @@ fn temporal_batch_scheduling(c: &mut Criterion) {
 fn sec7a_tco(c: &mut Criterion) {
     use gsf_carbon::cost::{CostModel, CostParams};
     use gsf_carbon::datasets::open_source;
-    let model =
-        CostModel::new(ModelParams::default_open_source(), CostParams::public_estimates());
+    let model = CostModel::new(ModelParams::default_open_source(), CostParams::public_estimates());
     let skus = open_source::table_viii_skus();
     c.bench_function("sec7a_tco_assess_all_skus", |b| {
         b.iter(|| {
@@ -129,6 +120,65 @@ fn sec7a_tco(c: &mut Criterion) {
     });
 }
 
+/// Fig. 12: the 20-point savings sweep — the serial uncached evaluation
+/// (the pre-optimization hot path) vs the cached, parallel one.
+fn fig12_sweep_serial_vs_parallel(c: &mut Criterion) {
+    use gsf_cluster::parallel::default_workers;
+    use gsf_core::EvalContext;
+    use std::sync::Arc;
+    let trace = bench_trace();
+    let design = GreenSkuDesign::full();
+    let intensities: Vec<f64> = (0..20).map(|i| 0.02 + f64::from(i) * 0.025).collect();
+    let mut group = c.benchmark_group("fig12_savings_sweep_20pt");
+    group.bench_function("serial_uncached", |b| {
+        let pipeline =
+            GsfPipeline::with_context(PipelineConfig::default(), Arc::new(EvalContext::uncached()));
+        b.iter(|| {
+            black_box(
+                pipeline.savings_sweep_with_workers(&design, &trace, &intensities, 1).unwrap(),
+            )
+        })
+    });
+    group.bench_function("parallel_cached", |b| {
+        let pipeline = GsfPipeline::new(PipelineConfig::default());
+        b.iter(|| {
+            black_box(
+                pipeline
+                    .savings_sweep_with_workers(&design, &trace, &intensities, default_workers())
+                    .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+/// §VIII design-space search over a 16-candidate sub-space — serial and
+/// uncached vs parallel with a persistent assessment cache.
+fn sec8_search_serial_vs_parallel(c: &mut Criterion) {
+    use gsf_cluster::parallel::default_workers;
+    use gsf_core::search::{evaluate_space_with, CandidateSpace, CpuChoice};
+    use gsf_core::EvalContext;
+    let space = CandidateSpace {
+        cpus: vec![CpuChoice::Genoa, CpuChoice::Bergamo],
+        mem_per_core_gb: vec![6.0, 9.6],
+        cxl_shares: vec![0.0, 0.5],
+        reused_ssd_shares: vec![0.0, 1.0],
+        ssd_total_tb: 20.0,
+    };
+    let params = ModelParams::default_open_source();
+    let mut group = c.benchmark_group("sec8_search_16_candidates");
+    group.bench_function("serial_uncached", |b| {
+        b.iter(|| {
+            black_box(evaluate_space_with(&space, params, &EvalContext::uncached(), 1).unwrap())
+        })
+    });
+    group.bench_function("parallel_cached", |b| {
+        let ctx = EvalContext::new();
+        b.iter(|| black_box(evaluate_space_with(&space, params, &ctx, default_workers()).unwrap()))
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     fig12_pipeline_point,
@@ -137,6 +187,8 @@ criterion_group!(
     maintenance_coos,
     adoption_cxl_tolerance,
     sec8_design_search,
+    fig12_sweep_serial_vs_parallel,
+    sec8_search_serial_vs_parallel,
     sec8_autoscaler,
     temporal_batch_scheduling,
     sec7a_tco

@@ -274,8 +274,14 @@ mod tests {
 
     #[test]
     fn invalid_params_rejected() {
-        assert!(ComponentSpec::new("x", ComponentClass::Other, -1.0, Watts::new(1.0), KgCo2e::new(1.0))
-            .is_err());
+        assert!(ComponentSpec::new(
+            "x",
+            ComponentClass::Other,
+            -1.0,
+            Watts::new(1.0),
+            KgCo2e::new(1.0)
+        )
+        .is_err());
         assert!(cpu().with_derate(1.5).is_err());
         assert!(cpu().with_derate(-0.1).is_err());
         assert!(cpu().with_loss_factor(0.9).is_err());
@@ -291,8 +297,14 @@ mod tests {
 
     #[test]
     fn embodied_scales_with_quantity() {
-        let ssd = ComponentSpec::new("SSD", ComponentClass::Ssd, 20.0, Watts::new(5.6), KgCo2e::new(17.3))
-            .unwrap();
+        let ssd = ComponentSpec::new(
+            "SSD",
+            ComponentClass::Ssd,
+            20.0,
+            Watts::new(5.6),
+            KgCo2e::new(17.3),
+        )
+        .unwrap();
         assert!((ssd.embodied().get() - 346.0).abs() < 1e-9);
         assert!((ssd.nameplate_power().get() - 112.0).abs() < 1e-9);
     }

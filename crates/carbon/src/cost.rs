@@ -104,11 +104,7 @@ impl CostModel {
 
     /// Server capital cost (sum over the bill of materials).
     pub fn server_capex(&self, server: &ServerSpec) -> f64 {
-        server
-            .components()
-            .iter()
-            .map(|c| self.costs.capex_per_unit(c) * c.quantity())
-            .sum()
+        server.components().iter().map(|c| self.costs.capex_per_unit(c) * c.quantity()).sum()
     }
 
     /// Assesses a SKU per core at rack level, mirroring
@@ -123,11 +119,9 @@ impl CostModel {
         let cores = f64::from(fill.cores());
         let capex_rack =
             self.server_capex(server) * f64::from(fill.servers()) + self.costs.rack_misc;
-        let it_power = fill.rack_power()
-            + self.params.overheads.network_storage_power_per_rack;
-        let energy_kwh = it_power.get() * self.params.overheads.pue
-            * self.params.lifetime.hours()
-            / 1000.0;
+        let it_power = fill.rack_power() + self.params.overheads.network_storage_power_per_rack;
+        let energy_kwh =
+            it_power.get() * self.params.overheads.pue * self.params.lifetime.hours() / 1000.0;
         Ok(CostAssessment {
             capex_per_core: capex_rack / cores,
             energy_per_core: energy_kwh * self.costs.energy_per_kwh / cores,
@@ -139,11 +133,7 @@ impl CostModel {
     /// # Errors
     ///
     /// Propagates assessment errors.
-    pub fn savings(
-        &self,
-        baseline: &ServerSpec,
-        green: &ServerSpec,
-    ) -> Result<f64, CarbonError> {
+    pub fn savings(&self, baseline: &ServerSpec, green: &ServerSpec) -> Result<f64, CarbonError> {
         let b = self.assess(baseline)?.total_per_core();
         let g = self.assess(green)?.total_per_core();
         Ok(1.0 - g / b)
@@ -162,9 +152,8 @@ mod tests {
     #[test]
     fn greensku_is_also_cheaper_per_core() {
         // Reuse + more cores per socket lowers TCO per core too.
-        let s = model()
-            .savings(&open_source::baseline_gen3(), &open_source::greensku_full())
-            .unwrap();
+        let s =
+            model().savings(&open_source::baseline_gen3(), &open_source::greensku_full()).unwrap();
         assert!(s > 0.0, "TCO savings {s}");
     }
 
@@ -196,8 +185,7 @@ mod tests {
     #[test]
     fn energy_cost_scales_with_lifetime() {
         let short = CostModel::new(
-            ModelParams::default_open_source()
-                .with_lifetime(crate::units::Years::new(3.0)),
+            ModelParams::default_open_source().with_lifetime(crate::units::Years::new(3.0)),
             CostParams::public_estimates(),
         );
         let long = model();

@@ -93,11 +93,7 @@ pub fn table_i() -> [CpuCharacteristics; 4] {
 /// Estimated grid carbon intensities (kg CO₂e/kWh) for the three Azure
 /// regions annotated in Figs. 11/12, ordered low → high.
 pub fn region_carbon_intensities() -> [(&'static str, f64); 3] {
-    [
-        ("Azure-us-south", 0.04),
-        ("Azure-us-central", 0.10),
-        ("Azure-europe-north", 0.33),
-    ]
+    [("Azure-us-south", 0.04), ("Azure-us-central", 0.10), ("Azure-europe-north", 0.33)]
 }
 
 /// Open-source component data (the paper's Table V) and the SKU
@@ -252,11 +248,7 @@ pub mod open_source {
         build(
             "Baseline (Gen1)",
             64,
-            vec![
-                cpu("AMD Rome", 240.0, 25.0),
-                ddr5(512.0, 16),
-                ssd_new(4.0, 4),
-            ],
+            vec![cpu("AMD Rome", 240.0, 25.0), ddr5(512.0, 16), ssd_new(4.0, 4)],
         )
     }
 
@@ -266,11 +258,7 @@ pub mod open_source {
         build(
             "Baseline (Gen2)",
             64,
-            vec![
-                cpu("AMD Milan", 280.0, 27.0),
-                ddr5(512.0, 16),
-                ssd_new(8.0, 4),
-            ],
+            vec![cpu("AMD Milan", 280.0, 27.0), ddr5(512.0, 16), ssd_new(8.0, 4)],
         )
     }
 

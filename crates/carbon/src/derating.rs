@@ -152,9 +152,8 @@ mod tests {
         // uniform power scale is equivalent to scaling CI.
         let model_40 = CarbonModel::new(ModelParams::default_open_source());
         let model_60 = CarbonModel::new(
-            ModelParams::default_open_source().with_carbon_intensity(
-                crate::units::CarbonIntensity::new(0.1 * scale),
-            ),
+            ModelParams::default_open_source()
+                .with_carbon_intensity(crate::units::CarbonIntensity::new(0.1 * scale)),
         );
         let b = open_source::baseline_gen3();
         let g = open_source::greensku_full();

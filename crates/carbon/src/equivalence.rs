@@ -35,9 +35,7 @@ pub fn bisect_decreasing(
     if target > f_lo || target < f_hi {
         return Err(CarbonError::SearchFailed {
             analysis,
-            reason: format!(
-                "target {target} not bracketed by f({lo})={f_lo}, f({hi})={f_hi}"
-            ),
+            reason: format!("target {target} not bracketed by f({lo})={f_lo}, f({hi})={f_hi}"),
         });
     }
     let (mut lo, mut hi) = (lo, hi);
@@ -70,14 +68,7 @@ pub fn renewables_increase_for_savings(
     let base_total = fleet.breakdown(base_renewables).total();
     let target = base_total * (1.0 - target_savings);
     let f = |frac: f64| fleet.breakdown(frac).total();
-    let frac = bisect_decreasing(
-        "renewables increase",
-        f,
-        base_renewables,
-        1.0,
-        target,
-        1e-6,
-    )?;
+    let frac = bisect_decreasing("renewables increase", f, base_renewables, 1.0, target, 1e-6)?;
     Ok(frac - base_renewables)
 }
 
@@ -162,17 +153,8 @@ pub fn lifetime_extension_for_savings(
     let base_rate =
         (base.total() - compute_emb) / base_lifetime_years + compute_emb / base_lifetime_years;
     let target = base_rate * (1.0 - target_savings);
-    let rate_at = |l: f64| {
-        (base.total() - compute_emb) / base_lifetime_years + compute_emb / l
-    };
-    bisect_decreasing(
-        "lifetime extension",
-        rate_at,
-        base_lifetime_years,
-        100.0,
-        target,
-        1e-6,
-    )
+    let rate_at = |l: f64| (base.total() - compute_emb) / base_lifetime_years + compute_emb / l;
+    bisect_decreasing("lifetime extension", rate_at, base_lifetime_years, 100.0, target, 1e-6)
 }
 
 #[cfg(test)]
@@ -209,9 +191,7 @@ mod tests {
 
     #[test]
     fn renewables_cannot_reach_extreme_savings() {
-        assert!(
-            renewables_increase_for_savings(&fleet(), DEFAULT_RENEWABLE_FRACTION, 0.9).is_err()
-        );
+        assert!(renewables_increase_for_savings(&fleet(), DEFAULT_RENEWABLE_FRACTION, 0.9).is_err());
     }
 
     #[test]
@@ -240,10 +220,10 @@ mod tests {
         let g1 = efficiency_gain_for_savings(&fleet(), DEFAULT_RENEWABLE_FRACTION, 0.04).unwrap();
         let g2 = efficiency_gain_for_savings(&fleet(), DEFAULT_RENEWABLE_FRACTION, 0.08).unwrap();
         assert!(g2 > g1);
-        let l1 =
-            lifetime_extension_for_savings(&fleet(), DEFAULT_RENEWABLE_FRACTION, 6.0, 0.04).unwrap();
-        let l2 =
-            lifetime_extension_for_savings(&fleet(), DEFAULT_RENEWABLE_FRACTION, 6.0, 0.08).unwrap();
+        let l1 = lifetime_extension_for_savings(&fleet(), DEFAULT_RENEWABLE_FRACTION, 6.0, 0.04)
+            .unwrap();
+        let l2 = lifetime_extension_for_savings(&fleet(), DEFAULT_RENEWABLE_FRACTION, 6.0, 0.08)
+            .unwrap();
         assert!(l2 > l1);
     }
 }

@@ -34,9 +34,7 @@ impl RegionGrid {
     /// Effective carbon intensity averaged over the year.
     pub fn average_ci(&self) -> CarbonIntensity {
         let renewable = self.renewable_fraction;
-        CarbonIntensity::new(
-            (1.0 - renewable) * self.grid_ci + renewable * RENEWABLE_LIFECYCLE_CI,
-        )
+        CarbonIntensity::new((1.0 - renewable) * self.grid_ci + renewable * RENEWABLE_LIFECYCLE_CI)
     }
 
     /// Effective carbon intensity at `hour` of day (0–24): solar
@@ -80,14 +78,44 @@ pub fn regions() -> Vec<RegionGrid> {
     vec![
         RegionGrid { name: "us-south", grid_ci: 0.38, renewable_fraction: 0.92, solar_share: 0.5 },
         RegionGrid { name: "us-west", grid_ci: 0.30, renewable_fraction: 0.75, solar_share: 0.6 },
-        RegionGrid { name: "us-central", grid_ci: 0.45, renewable_fraction: 0.80, solar_share: 0.4 },
+        RegionGrid {
+            name: "us-central",
+            grid_ci: 0.45,
+            renewable_fraction: 0.80,
+            solar_share: 0.4,
+        },
         RegionGrid { name: "us-east", grid_ci: 0.42, renewable_fraction: 0.65, solar_share: 0.3 },
-        RegionGrid { name: "europe-west", grid_ci: 0.35, renewable_fraction: 0.60, solar_share: 0.3 },
-        RegionGrid { name: "europe-north", grid_ci: 0.47, renewable_fraction: 0.32, solar_share: 0.2 },
+        RegionGrid {
+            name: "europe-west",
+            grid_ci: 0.35,
+            renewable_fraction: 0.60,
+            solar_share: 0.3,
+        },
+        RegionGrid {
+            name: "europe-north",
+            grid_ci: 0.47,
+            renewable_fraction: 0.32,
+            solar_share: 0.2,
+        },
         RegionGrid { name: "asia-east", grid_ci: 0.55, renewable_fraction: 0.45, solar_share: 0.5 },
-        RegionGrid { name: "asia-south", grid_ci: 0.65, renewable_fraction: 0.50, solar_share: 0.6 },
-        RegionGrid { name: "australia-east", grid_ci: 0.60, renewable_fraction: 0.55, solar_share: 0.7 },
-        RegionGrid { name: "brazil-south", grid_ci: 0.15, renewable_fraction: 0.85, solar_share: 0.3 },
+        RegionGrid {
+            name: "asia-south",
+            grid_ci: 0.65,
+            renewable_fraction: 0.50,
+            solar_share: 0.6,
+        },
+        RegionGrid {
+            name: "australia-east",
+            grid_ci: 0.60,
+            renewable_fraction: 0.55,
+            solar_share: 0.7,
+        },
+        RegionGrid {
+            name: "brazil-south",
+            grid_ci: 0.15,
+            renewable_fraction: 0.85,
+            solar_share: 0.3,
+        },
     ]
 }
 
@@ -138,8 +166,7 @@ mod tests {
                 (0..240).map(|i| r.ci_at_hour(f64::from(i) / 10.0).get()).sum::<f64>() / 240.0;
             let annual = r.average_ci().get();
             let flat = r.renewable_fraction * (1.0 - r.solar_share);
-            let no_solar =
-                (1.0 - flat) * r.grid_ci + flat * RENEWABLE_LIFECYCLE_CI;
+            let no_solar = (1.0 - flat) * r.grid_ci + flat * RENEWABLE_LIFECYCLE_CI;
             assert!(hourly >= annual - 1e-9, "{}: hourly {hourly} < annual {annual}", r.name);
             assert!(hourly <= no_solar + 1e-9, "{}: hourly {hourly} > no-solar {no_solar}", r.name);
         }

@@ -59,11 +59,7 @@ impl ComponentLifetimes {
     /// deployment are charged proportionally more (they get replaced);
     /// components rated longer are charged in full (first-life
     /// accounting).
-    pub fn normalized_embodied(
-        &self,
-        component: &ComponentSpec,
-        server_lifetime: Years,
-    ) -> KgCo2e {
+    pub fn normalized_embodied(&self, component: &ComponentSpec, server_lifetime: Years) -> KgCo2e {
         let rating = self.rating_for(component);
         let factor = (server_lifetime.get() / rating).max(1.0);
         component.embodied() * factor
@@ -75,11 +71,7 @@ impl ComponentLifetimes {
         server: &ServerSpec,
         server_lifetime: Years,
     ) -> KgCo2e {
-        server
-            .components()
-            .iter()
-            .map(|c| self.normalized_embodied(c, server_lifetime))
-            .sum()
+        server.components().iter().map(|c| self.normalized_embodied(c, server_lifetime)).sum()
     }
 
     /// The extra embodied emissions a lifetime *extension* to
@@ -108,8 +100,7 @@ mod tests {
         // the paper's standard deployment, so the golden numbers hold.
         let lifetimes = ComponentLifetimes::paper_observed();
         let sku = open_source::greensku_cxl_example();
-        let normalized =
-            lifetimes.normalized_server_embodied(&sku, Years::new(6.0));
+        let normalized = lifetimes.normalized_server_embodied(&sku, Years::new(6.0));
         assert!((normalized.get() - sku.embodied().get()).abs() < 1e-9);
     }
 
@@ -130,8 +121,7 @@ mod tests {
     fn extension_penalty_zero_within_ratings() {
         let lifetimes = ComponentLifetimes::paper_observed();
         let sku = open_source::baseline_gen3();
-        let penalty =
-            lifetimes.extension_penalty(&sku, Years::new(6.0), Years::new(9.0));
+        let penalty = lifetimes.extension_penalty(&sku, Years::new(6.0), Years::new(9.0));
         assert_eq!(penalty, KgCo2e::ZERO);
     }
 
@@ -139,8 +129,7 @@ mod tests {
     fn extension_penalty_positive_beyond_ratings() {
         let lifetimes = ComponentLifetimes::paper_observed();
         let sku = open_source::baseline_gen3();
-        let penalty =
-            lifetimes.extension_penalty(&sku, Years::new(6.0), Years::new(13.0));
+        let penalty = lifetimes.extension_penalty(&sku, Years::new(6.0), Years::new(13.0));
         assert!(penalty.get() > 0.0);
         // At 13 years the CPU (10 y) and DRAM (12 y) need pro-rata
         // replacement: ~5-15 % extra embodied for the baseline SKU —
@@ -156,8 +145,7 @@ mod tests {
         // zero.
         let lifetimes = ComponentLifetimes::paper_observed();
         let sku = open_source::greensku_full();
-        let normalized =
-            lifetimes.normalized_server_embodied(&sku, Years::new(20.0));
+        let normalized = lifetimes.normalized_server_embodied(&sku, Years::new(20.0));
         let cxl_dram_share: KgCo2e = sku
             .components()
             .iter()

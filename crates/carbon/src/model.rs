@@ -153,8 +153,8 @@ impl CarbonModel {
         let o = &self.params.overheads;
         let it_power = fill.rack_power() + o.network_storage_power_per_rack;
         let dc_power = it_power * o.pue;
-        let op_rack = dc_power
-            .operational_emissions(self.params.lifetime, self.params.carbon_intensity);
+        let op_rack =
+            dc_power.operational_emissions(self.params.lifetime, self.params.carbon_intensity);
         let emb_rack = fill.rack_embodied() + o.embodied_per_rack();
         let cores = f64::from(fill.cores());
         Ok(Assessment {
@@ -259,8 +259,8 @@ mod tests {
 
     #[test]
     fn zero_carbon_intensity_zeroes_operational() {
-        let params = ModelParams::default_open_source()
-            .with_carbon_intensity(CarbonIntensity::ZERO);
+        let params =
+            ModelParams::default_open_source().with_carbon_intensity(CarbonIntensity::ZERO);
         let model = CarbonModel::new(params);
         let a = model.assess(&simple_server("x", 400.0, 1500.0, 100)).unwrap();
         assert_eq!(a.op_per_core(), KgCo2e::ZERO);

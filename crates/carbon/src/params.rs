@@ -191,9 +191,7 @@ impl ModelParams {
             });
         }
         if !self.lifetime.is_valid() || self.lifetime.get() <= 0.0 {
-            return Err(CarbonError::InvalidParams {
-                reason: "lifetime must be positive".into(),
-            });
+            return Err(CarbonError::InvalidParams { reason: "lifetime must be positive".into() });
         }
         self.rack.validate()?;
         self.overheads.validate()

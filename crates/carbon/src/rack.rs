@@ -56,14 +56,10 @@ impl RackFill {
                 ),
             });
         }
-        let constraint = if by_space <= by_power {
-            RackConstraint::Space
-        } else {
-            RackConstraint::Power
-        };
+        let constraint =
+            if by_space <= by_power { RackConstraint::Space } else { RackConstraint::Power };
         let rack_power = server_power * f64::from(servers) + params.misc_power;
-        let rack_embodied =
-            server.embodied() * f64::from(servers) + params.misc_embodied;
+        let rack_embodied = server.embodied() * f64::from(servers) + params.misc_embodied;
         Ok(Self {
             servers,
             constraint,
@@ -114,8 +110,14 @@ mod tests {
     fn server(power_w: f64, form_u: u32, cores: u32) -> ServerSpec {
         ServerSpec::builder("s", cores, form_u)
             .component(
-                ComponentSpec::new("all", ComponentClass::Other, 1.0, Watts::new(power_w), KgCo2e::new(1000.0))
-                    .unwrap(),
+                ComponentSpec::new(
+                    "all",
+                    ComponentClass::Other,
+                    1.0,
+                    Watts::new(power_w),
+                    KgCo2e::new(1000.0),
+                )
+                .unwrap(),
             )
             .build()
             .unwrap()

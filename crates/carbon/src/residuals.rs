@@ -56,11 +56,7 @@ fn with_extra(
 /// Propagates component-construction failures (none for the shipped
 /// constants).
 pub fn greensku_full_with_new_nic() -> Result<ServerSpec, CarbonError> {
-    with_extra(
-        open_source::greensku_full(),
-        "GreenSKU-Full + new NIC",
-        vec![nic(false)?],
-    )
+    with_extra(open_source::greensku_full(), "GreenSKU-Full + new NIC", vec![nic(false)?])
 }
 
 /// Second-generation candidate: GreenSKU-Full with a **reused** NIC.
@@ -69,11 +65,7 @@ pub fn greensku_full_with_new_nic() -> Result<ServerSpec, CarbonError> {
 ///
 /// See [`greensku_full_with_new_nic`].
 pub fn greensku_gen2_nic_reuse() -> Result<ServerSpec, CarbonError> {
-    with_extra(
-        open_source::greensku_full(),
-        "GreenSKU-Gen2 (NIC reuse)",
-        vec![nic(true)?],
-    )
+    with_extra(open_source::greensku_full(), "GreenSKU-Gen2 (NIC reuse)", vec![nic(true)?])
 }
 
 /// Second-generation candidate: GreenSKU-Efficient with its DDR5
@@ -84,7 +76,8 @@ pub fn greensku_gen2_nic_reuse() -> Result<ServerSpec, CarbonError> {
 /// Propagates component-construction failures.
 pub fn greensku_gen2_lpddr() -> Result<ServerSpec, CarbonError> {
     let base = open_source::greensku_efficient();
-    let mut builder = ServerSpec::builder("GreenSKU-Gen2 (LPDDR)", base.cores(), base.form_factor_u());
+    let mut builder =
+        ServerSpec::builder("GreenSKU-Gen2 (LPDDR)", base.cores(), base.form_factor_u());
     for c in base.components() {
         if c.class() == ComponentClass::Dram {
             builder = builder.component(

@@ -23,12 +23,7 @@ impl ServerSpec {
     /// Starts building a server with the given name, core count, and rack
     /// form factor in U.
     pub fn builder(name: impl Into<String>, cores: u32, form_factor_u: u32) -> ServerSpecBuilder {
-        ServerSpecBuilder {
-            name: name.into(),
-            cores,
-            form_factor_u,
-            components: Vec::new(),
-        }
+        ServerSpecBuilder { name: name.into(), cores, form_factor_u, components: Vec::new() }
     }
 
     /// The SKU name.
@@ -70,11 +65,7 @@ impl ServerSpec {
     /// Embodied emissions avoided by reuse: what the reused components
     /// would have cost if bought new.
     pub fn embodied_avoided_by_reuse(&self) -> KgCo2e {
-        self.components
-            .iter()
-            .filter(|c| c.is_reused())
-            .map(ComponentSpec::embodied_if_new)
-            .sum()
+        self.components.iter().filter(|c| c.is_reused()).map(ComponentSpec::embodied_if_new).sum()
     }
 
     /// Average power drawn by components of one class.
@@ -88,11 +79,7 @@ impl ServerSpec {
 
     /// Embodied emissions of components of one class.
     pub fn embodied_by_class(&self, class: ComponentClass) -> KgCo2e {
-        self.components
-            .iter()
-            .filter(|c| c.class() == class)
-            .map(ComponentSpec::embodied)
-            .sum()
+        self.components.iter().filter(|c| c.class() == class).map(ComponentSpec::embodied).sum()
     }
 
     /// Total DRAM capacity (direct + CXL-attached).
@@ -134,11 +121,7 @@ impl ServerSpec {
     /// Number of physical devices of a class (e.g. DIMM or SSD count),
     /// used by the maintenance model's AFR accounting.
     pub fn device_count(&self, class: ComponentClass) -> u32 {
-        self.components
-            .iter()
-            .filter(|c| c.class() == class)
-            .map(ComponentSpec::device_count)
-            .sum()
+        self.components.iter().filter(|c| c.class() == class).map(ComponentSpec::device_count).sum()
     }
 
     /// Memory:core ratio in GB per core (the paper contrasts 9.6 for the
@@ -217,40 +200,70 @@ mod tests {
     fn sample_server() -> ServerSpec {
         ServerSpec::builder("test", 128, 2)
             .component(
-                ComponentSpec::new("CPU", ComponentClass::Cpu, 1.0, Watts::new(400.0), KgCo2e::new(28.3))
-                    .unwrap()
-                    .with_derate(0.44)
-                    .unwrap()
-                    .with_loss_factor(1.05)
-                    .unwrap(),
+                ComponentSpec::new(
+                    "CPU",
+                    ComponentClass::Cpu,
+                    1.0,
+                    Watts::new(400.0),
+                    KgCo2e::new(28.3),
+                )
+                .unwrap()
+                .with_derate(0.44)
+                .unwrap()
+                .with_loss_factor(1.05)
+                .unwrap(),
             )
             .component(
-                ComponentSpec::new("DDR5", ComponentClass::Dram, 768.0, Watts::new(0.37), KgCo2e::new(1.65))
-                    .unwrap()
-                    .with_derate(0.44)
-                    .unwrap()
-                    .with_device_count(12),
+                ComponentSpec::new(
+                    "DDR5",
+                    ComponentClass::Dram,
+                    768.0,
+                    Watts::new(0.37),
+                    KgCo2e::new(1.65),
+                )
+                .unwrap()
+                .with_derate(0.44)
+                .unwrap()
+                .with_device_count(12),
             )
             .component(
-                ComponentSpec::new("DDR4-CXL", ComponentClass::CxlDram, 256.0, Watts::new(0.37), KgCo2e::new(1.65))
-                    .unwrap()
-                    .with_derate(0.44)
-                    .unwrap()
-                    .reused()
-                    .with_device_count(8),
+                ComponentSpec::new(
+                    "DDR4-CXL",
+                    ComponentClass::CxlDram,
+                    256.0,
+                    Watts::new(0.37),
+                    KgCo2e::new(1.65),
+                )
+                .unwrap()
+                .with_derate(0.44)
+                .unwrap()
+                .reused()
+                .with_device_count(8),
             )
             .component(
-                ComponentSpec::new("SSD", ComponentClass::Ssd, 20.0, Watts::new(5.6), KgCo2e::new(17.3))
-                    .unwrap()
-                    .with_derate(0.44)
-                    .unwrap()
-                    .with_device_count(5),
+                ComponentSpec::new(
+                    "SSD",
+                    ComponentClass::Ssd,
+                    20.0,
+                    Watts::new(5.6),
+                    KgCo2e::new(17.3),
+                )
+                .unwrap()
+                .with_derate(0.44)
+                .unwrap()
+                .with_device_count(5),
             )
             .component(
-                ComponentSpec::new("CXL ctrl", ComponentClass::CxlController, 1.0, Watts::new(5.8), KgCo2e::new(2.5))
-                    .unwrap()
-                    .with_derate(0.44)
-                    .unwrap(),
+                ComponentSpec::new(
+                    "CXL ctrl",
+                    ComponentClass::CxlController,
+                    1.0,
+                    Watts::new(5.8),
+                    KgCo2e::new(2.5),
+                )
+                .unwrap()
+                .with_derate(0.44)
+                .unwrap(),
             )
             .build()
             .unwrap()
@@ -292,15 +305,27 @@ mod tests {
     fn builder_validation() {
         assert!(ServerSpec::builder("x", 0, 2)
             .component(
-                ComponentSpec::new("c", ComponentClass::Other, 1.0, Watts::new(1.0), KgCo2e::new(1.0))
-                    .unwrap()
+                ComponentSpec::new(
+                    "c",
+                    ComponentClass::Other,
+                    1.0,
+                    Watts::new(1.0),
+                    KgCo2e::new(1.0)
+                )
+                .unwrap()
             )
             .build()
             .is_err());
         assert!(ServerSpec::builder("x", 8, 0)
             .component(
-                ComponentSpec::new("c", ComponentClass::Other, 1.0, Watts::new(1.0), KgCo2e::new(1.0))
-                    .unwrap()
+                ComponentSpec::new(
+                    "c",
+                    ComponentClass::Other,
+                    1.0,
+                    Watts::new(1.0),
+                    KgCo2e::new(1.0)
+                )
+                .unwrap()
             )
             .build()
             .is_err());

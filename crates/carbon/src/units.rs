@@ -227,8 +227,8 @@ mod tests {
     #[test]
     fn operational_emissions_unit_math() {
         // 1000 W for 1 year at 1 kg/kWh = 8760 kg.
-        let e = Watts::new(1000.0)
-            .operational_emissions(Years::new(1.0), CarbonIntensity::new(1.0));
+        let e =
+            Watts::new(1000.0).operational_emissions(Years::new(1.0), CarbonIntensity::new(1.0));
         assert!((e.get() - 8760.0).abs() < 1e-9);
     }
 

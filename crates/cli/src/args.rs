@@ -97,10 +97,9 @@ impl Args {
     pub fn get_num<T: std::str::FromStr>(&self, flag: &str, default: T) -> Result<T, ArgError> {
         match self.get(flag) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| ArgError::BadValue {
-                flag: flag.to_string(),
-                value: v.to_string(),
-            }),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError::BadValue { flag: flag.to_string(), value: v.to_string() }),
         }
     }
 }
@@ -121,10 +120,7 @@ mod tests {
     #[test]
     fn rejects_malformed_input() {
         assert_eq!(Args::parse(Vec::<String>::new()), Err(ArgError::MissingCommand));
-        assert_eq!(
-            Args::parse(["cmd", "--flag"]),
-            Err(ArgError::MissingValue("flag".into()))
-        );
+        assert_eq!(Args::parse(["cmd", "--flag"]), Err(ArgError::MissingValue("flag".into())));
         assert_eq!(
             Args::parse(["cmd", "stray"]),
             Err(ArgError::UnexpectedPositional("stray".into()))

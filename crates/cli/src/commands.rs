@@ -6,8 +6,8 @@ use gsf_carbon::datasets::open_source;
 use gsf_carbon::units::{CarbonIntensity, Years};
 use gsf_carbon::{CarbonModel, ModelParams, ServerSpec};
 use gsf_core::report::deployment_report;
-use gsf_core::search::{evaluate_space, pareto_front, CandidateSpace};
-use gsf_core::{GreenSkuDesign, GsfError, GsfPipeline, PipelineConfig};
+use gsf_core::search::{evaluate_space_with, pareto_front, CandidateSpace};
+use gsf_core::{EvalContext, GreenSkuDesign, GsfError, GsfPipeline, PipelineConfig};
 use gsf_stats::rng::SeedFactory;
 use gsf_stats::table::{fmt_f, fmt_pct, Table};
 use gsf_workloads::{Trace, TraceCodecError, TraceGenerator, TraceParams};
@@ -157,7 +157,7 @@ pub fn help() -> String {
          \u{20}  compare   --green NAME [--baseline NAME] [--ci X]\n\
          \u{20}  sweep     --green NAME [--from X] [--to Y] [--points N]\n\
          \u{20}  report    --design efficient|cxl|full [--hours H] [--arrivals A] [--seed S]\n\
-         \u{20}  search                             design-space exploration + Pareto front\n\
+         \u{20}  search    [--workers N]            design-space exploration + Pareto front\n\
          \u{20}  tco                                TCO model over the SKU set\n\
          \u{20}  gen-trace --out FILE [--hours H] [--arrivals A] [--seed S] [--diurnal A]\n\
          \u{20}  replay    --trace FILE --design NAME\n\
@@ -184,7 +184,7 @@ pub fn run_command(args: &Args) -> Result<String, CliError> {
         "compare" => compare(args),
         "sweep" => sweep(args),
         "report" => report(args),
-        "search" => search(),
+        "search" => search(args),
         "tco" => tco(),
         "gen-trace" => gen_trace(args),
         "replay" => replay(args),
@@ -196,7 +196,8 @@ pub fn run_command(args: &Args) -> Result<String, CliError> {
 }
 
 fn list_skus() -> Result<String, CliError> {
-    let mut t = Table::new(vec!["Name", "Cores", "Memory (GB)", "CXL (GB)", "SSD (TB)", "Power (W)"]);
+    let mut t =
+        Table::new(vec!["Name", "Cores", "Memory (GB)", "CXL (GB)", "SSD (TB)", "Power (W)"]);
     for name in SKU_NAMES {
         let sku = sku_by_name(name)?;
         t.row(vec![
@@ -287,12 +288,18 @@ fn report(args: &Args) -> Result<String, CliError> {
     Ok(deployment_report(&pipeline, &design, &trace)?)
 }
 
-fn search() -> Result<String, CliError> {
-    let results =
-        evaluate_space(&CandidateSpace::paper_neighborhood(), ModelParams::default_open_source())?;
+fn search(args: &Args) -> Result<String, CliError> {
+    let workers = args.get_num("workers", gsf_cluster::parallel::default_workers())?;
+    let results = evaluate_space_with(
+        &CandidateSpace::paper_neighborhood(),
+        ModelParams::default_open_source(),
+        &EvalContext::new(),
+        workers.max(1),
+    )?;
     let front: std::collections::HashSet<String> =
         pareto_front(&results).iter().map(|r| r.name.clone()).collect();
-    let mut t = Table::new(vec!["Rank", "Candidate", "kg/core", "Adoption", "Effective savings", ""]);
+    let mut t =
+        Table::new(vec!["Rank", "Candidate", "kg/core", "Adoption", "Effective savings", ""]);
     for (i, r) in results.iter().enumerate().take(12) {
         t.row(vec![
             (i + 1).to_string(),
@@ -307,8 +314,7 @@ fn search() -> Result<String, CliError> {
 }
 
 fn tco() -> Result<String, CliError> {
-    let model =
-        CostModel::new(ModelParams::default_open_source(), CostParams::public_estimates());
+    let model = CostModel::new(ModelParams::default_open_source(), CostParams::public_estimates());
     let mut t = Table::new(vec!["SKU", "Capex $/core", "Energy $/core", "TCO $/core"]);
     for name in SKU_NAMES {
         let sku = sku_by_name(name)?;
@@ -324,10 +330,7 @@ fn tco() -> Result<String, CliError> {
 }
 
 fn gen_trace(args: &Args) -> Result<String, CliError> {
-    let out_path = args
-        .get("out")
-        .ok_or_else(|| ArgError::MissingValue("out".into()))?
-        .to_string();
+    let out_path = args.get("out").ok_or_else(|| ArgError::MissingValue("out".into()))?.to_string();
     let trace = trace_from(args)?;
     std::fs::write(&out_path, trace.encode())?;
     Ok(format!(
@@ -339,10 +342,7 @@ fn gen_trace(args: &Args) -> Result<String, CliError> {
 }
 
 fn replay(args: &Args) -> Result<String, CliError> {
-    let path = args
-        .get("trace")
-        .ok_or_else(|| ArgError::MissingValue("trace".into()))?
-        .to_string();
+    let path = args.get("trace").ok_or_else(|| ArgError::MissingValue("trace".into()))?.to_string();
     let bytes = std::fs::read(&path)?;
     let trace = Trace::decode(bytes::Bytes::from(bytes))?;
     let design = design_by_name(args.get_or("design", "full"))?;
@@ -420,8 +420,16 @@ fn defer_cmd(args: &Args) -> Result<String, CliError> {
         kind: "region",
         name: region_name.to_string(),
         options: vec![
-            "us-south", "us-west", "us-central", "us-east", "europe-west", "europe-north",
-            "asia-east", "asia-south", "australia-east", "brazil-south",
+            "us-south",
+            "us-west",
+            "us-central",
+            "us-east",
+            "europe-west",
+            "europe-north",
+            "asia-east",
+            "asia-south",
+            "australia-east",
+            "brazil-south",
         ],
     })?;
     let runtime = args.get_num("runtime", 2.0)?;
@@ -505,10 +513,8 @@ mod tests {
     fn gen_trace_and_replay_roundtrip() {
         let path = std::env::temp_dir().join(format!("gsf-cli-{}.bin", std::process::id()));
         let path_str = path.to_str().unwrap();
-        let out = run(&[
-            "gen-trace", "--out", path_str, "--hours", "8", "--arrivals", "40",
-        ])
-        .unwrap();
+        let out =
+            run(&["gen-trace", "--out", path_str, "--hours", "8", "--arrivals", "40"]).unwrap();
         assert!(out.contains("wrote"));
         let out = run(&["replay", "--trace", path_str, "--design", "full"]).unwrap();
         assert!(out.contains("cluster savings"), "{out}");

@@ -6,6 +6,12 @@
 
 use parking_lot::Mutex;
 
+/// The default worker count for parallel sweeps: the machine's
+/// available parallelism, or 1 when that cannot be determined.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
 /// Applies `f` to every trace-like item on a pool of worker threads and
 /// returns results in input order.
 ///
@@ -21,6 +27,12 @@ where
         return Vec::new();
     }
     let workers = workers.clamp(1, items.len());
+    if workers == 1 {
+        // Run inline: a single worker gains nothing from a scoped
+        // thread, and skipping the spawn keeps serial sweeps (and
+        // 1-CPU machines) free of threading overhead.
+        return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
+    }
     let next = Mutex::new(0usize);
     let results: Vec<Mutex<Option<R>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
     crossbeam::scope(|scope| {
@@ -41,10 +53,7 @@ where
         }
     })
     .expect("worker threads do not panic");
-    results
-        .into_iter()
-        .map(|slot| slot.into_inner().expect("every index was processed"))
-        .collect()
+    results.into_iter().map(|slot| slot.into_inner().expect("every index was processed")).collect()
 }
 
 #[cfg(test)]
@@ -77,6 +86,60 @@ mod tests {
         let a = map_parallel(&items, 1, |_, &x| x + 1);
         let b = map_parallel(&items, 16, |_, &x| x + 1);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn more_workers_than_items() {
+        // The worker count clamps to the item count; no worker may
+        // double-process or skip an index.
+        let items = vec![10u32, 20, 30];
+        let out = map_parallel(&items, 64, |i, &x| (i, x));
+        assert_eq!(out, vec![(0, 10), (1, 20), (2, 30)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker threads do not panic")]
+    fn panicking_closure_propagates() {
+        let items: Vec<u32> = (0..8).collect();
+        let _ = map_parallel(&items, 4, |_, &x| {
+            if x == 5 {
+                panic!("closure failed on purpose");
+            }
+            x
+        });
+    }
+
+    #[test]
+    fn order_preserved_under_contention() {
+        // Items deliberately take inverted amounts of work so late
+        // indices finish before early ones; results must still come
+        // back in input order.
+        let items: Vec<u64> = (0..64).collect();
+        let out = map_parallel(&items, 16, |_, &x| {
+            let spins = (64 - x) * 2_000;
+            let mut acc = x;
+            for i in 0..spins {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+            }
+            (x, acc)
+        });
+        let ids: Vec<u64> = out.iter().map(|(x, _)| *x).collect();
+        assert_eq!(ids, items);
+        // And the computed values match a serial run exactly.
+        let serial = map_parallel(&items, 1, |_, &x| {
+            let spins = (64 - x) * 2_000;
+            let mut acc = x;
+            for i in 0..spins {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+            }
+            (x, acc)
+        });
+        assert_eq!(out, serial);
+    }
+
+    #[test]
+    fn default_workers_positive() {
+        assert!(default_workers() >= 1);
     }
 
     #[test]

@@ -8,11 +8,7 @@ use gsf_carbon::Assessment;
 /// Lifetime emissions of a cluster given per-server assessments for the
 /// two SKUs (per-server = per-core × cores per server, at whatever
 /// carbon intensity the assessments were computed with).
-pub fn cluster_emissions(
-    plan: &ClusterPlan,
-    baseline: &Assessment,
-    green: &Assessment,
-) -> KgCo2e {
+pub fn cluster_emissions(plan: &ClusterPlan, baseline: &Assessment, green: &Assessment) -> KgCo2e {
     baseline.total_per_server() * f64::from(plan.baseline)
         + green.total_per_server() * f64::from(plan.green)
 }
@@ -57,8 +53,7 @@ mod tests {
         let green = assessment("green", 420.0, 1600.0, 128);
         let plan = ClusterPlan { baseline: 2, green: 3 };
         let total = cluster_emissions(&plan, &base, &green);
-        let expected =
-            base.total_per_server().get() * 2.0 + green.total_per_server().get() * 3.0;
+        let expected = base.total_per_server().get() * 2.0 + green.total_per_server().get() * 3.0;
         assert!((total.get() - expected).abs() < 1e-9);
     }
 

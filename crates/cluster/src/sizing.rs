@@ -53,12 +53,13 @@ impl fmt::Display for SizingError {
 impl std::error::Error for SizingError {}
 
 fn feasible(
+    sim: &mut AllocationSim,
     trace: &Trace,
     transform: &VmTransform<'_>,
     config: ClusterConfig,
-    policy: PlacementPolicy,
 ) -> bool {
-    AllocationSim::new(config, policy).replay(trace, transform).no_rejections()
+    sim.reset(config);
+    sim.replay(trace, transform).no_rejections()
 }
 
 /// Smallest `n` in `[lo, hi]` with `pred(n)` true, assuming monotone
@@ -92,8 +93,7 @@ pub fn right_size_baseline_only(
     baseline_shape: ServerShape,
     policy: PlacementPolicy,
 ) -> Result<u32, SizingError> {
-    let transform =
-        |vm: &gsf_workloads::VmSpec| gsf_vmalloc::PlacementRequest::baseline_only(vm);
+    let transform = |vm: &gsf_workloads::VmSpec| gsf_vmalloc::PlacementRequest::baseline_only(vm);
     let (peak_cores, peak_mem) = trace.peak_demand();
     let by_cores = peak_cores.div_ceil(u64::from(baseline_shape.cores));
     let by_mem = (peak_mem / baseline_shape.mem_gb).ceil() as u64;
@@ -105,7 +105,8 @@ pub fn right_size_baseline_only(
         green_count: 0,
         green_shape: ServerShape::greensku(),
     };
-    binary_search_min(lower, bound, |n| feasible(trace, &transform, config(n), policy))
+    let mut sim = AllocationSim::new(config(0), policy);
+    binary_search_min(lower, bound, |n| feasible(&mut sim, trace, &transform, config(n)))
         .ok_or(SizingError::Infeasible { bound })
 }
 
@@ -131,10 +132,13 @@ pub fn right_size_mixed(
     let n0 = right_size_baseline_only(trace, baseline_shape, policy)?;
     // A green server is at least as large as a baseline server in both
     // dimensions for the standard shapes; scale the green cap by the
-    // shape ratio plus slack for scaling-factor inflation.
+    // shape ratio plus slack for scaling-factor inflation. The 1.6×
+    // slack covers scaling factors up to ~1.6; beyond that the cap
+    // doubles adaptively below.
     let cap_ratio = (f64::from(baseline_shape.cores) / f64::from(green_shape.cores))
         .max(baseline_shape.mem_gb / green_shape.mem_gb);
-    let green_cap = ((f64::from(n0) * cap_ratio * 1.6).ceil() as u32).max(8);
+    let mut green_cap = ((f64::from(n0) * cap_ratio * 1.6).ceil() as u32).max(8);
+    let cap_limit = green_cap.saturating_mul(64);
 
     let config = |b: u32, g: u32| ClusterConfig {
         baseline_count: b,
@@ -142,18 +146,42 @@ pub fn right_size_mixed(
         green_count: g,
         green_shape,
     };
+    let mut sim = AllocationSim::new(config(0, 0), policy);
 
     // Fewest baseline servers first (the residual pool for non-adopting
-    // and full-node VMs)...
-    let b_min = binary_search_min(0, n0, |b| {
-        feasible(trace, transform, config(b, green_cap), policy)
-    })
-    .ok_or(SizingError::Infeasible { bound: n0 })?;
+    // and full-node VMs). When even the full baseline pool rejects at
+    // the current green cap, the cap itself is the constraint (large
+    // scaling factors, packing anomalies) — double it and retry.
+    let mut b_min = loop {
+        let found = binary_search_min(0, n0, |b| {
+            feasible(&mut sim, trace, transform, config(b, green_cap))
+        });
+        if let Some(b) = found {
+            break b;
+        }
+        if green_cap >= cap_limit {
+            return Err(SizingError::Infeasible { bound: n0 + green_cap });
+        }
+        green_cap = green_cap.saturating_mul(2).min(cap_limit);
+    };
+    // A capped green pool can also pin baseline servers a larger pool
+    // would free; keep doubling while that shrinks the baseline count.
+    while b_min > 0 && green_cap < cap_limit {
+        let doubled = green_cap.saturating_mul(2).min(cap_limit);
+        match binary_search_min(0, b_min - 1, |b| {
+            feasible(&mut sim, trace, transform, config(b, doubled))
+        }) {
+            Some(b) => {
+                green_cap = doubled;
+                b_min = b;
+            }
+            None => break,
+        }
+    }
     // ...then the fewest GreenSKUs given that baseline pool.
-    let g_min = binary_search_min(0, green_cap, |g| {
-        feasible(trace, transform, config(b_min, g), policy)
-    })
-    .expect("green_cap was feasible in the previous search");
+    let g_min =
+        binary_search_min(0, green_cap, |g| feasible(&mut sim, trace, transform, config(b_min, g)))
+            .expect("green_cap was feasible in the previous search");
     Ok(ClusterPlan { baseline: b_min, green: g_min })
 }
 
@@ -288,6 +316,27 @@ mod tests {
         .unwrap();
         let plan_cores = plan.baseline * 80 + plan.green * 128;
         assert!(plan_cores <= 2 * n0 * 80, "plan {plan:?} vs baseline {n0}");
+    }
+
+    #[test]
+    fn large_scaling_factor_still_goes_fully_green() {
+        // Scaling factor 2.0 exceeds the green cap's built-in 1.6×
+        // slack: 200 VMs × 8 cores need n0 = 20 baseline servers but
+        // 200 × 16 = 3200 green cores = 25 GreenSKUs, above the initial
+        // cap of ceil(20 × 0.75 × 1.6) = 24. The adaptive cap must
+        // still find the all-green plan instead of pinning baseline
+        // servers (or reporting the trace infeasible).
+        let transform = |v: &VmSpec| PlacementRequest::prefer_green(v, 2.0);
+        let plan = right_size_mixed(
+            &concurrent_trace(200),
+            &transform,
+            ServerShape::baseline_gen3(),
+            ServerShape::greensku(),
+            PlacementPolicy::BestFit,
+        )
+        .unwrap();
+        assert_eq!(plan.baseline, 0, "plan {plan:?}");
+        assert_eq!(plan.green, 25);
     }
 
     #[test]

@@ -23,23 +23,14 @@ fn best_fit_never_needs_more_servers_than_worst_fit() {
     let mut worst_total = 0u32;
     for seed in 0..4 {
         let t = trace(seed);
-        best_total += right_size_baseline_only(
-            &t,
-            ServerShape::baseline_gen3(),
-            PlacementPolicy::BestFit,
-        )
-        .unwrap();
-        worst_total += right_size_baseline_only(
-            &t,
-            ServerShape::baseline_gen3(),
-            PlacementPolicy::WorstFit,
-        )
-        .unwrap();
+        best_total +=
+            right_size_baseline_only(&t, ServerShape::baseline_gen3(), PlacementPolicy::BestFit)
+                .unwrap();
+        worst_total +=
+            right_size_baseline_only(&t, ServerShape::baseline_gen3(), PlacementPolicy::WorstFit)
+                .unwrap();
     }
-    assert!(
-        best_total <= worst_total,
-        "best-fit {best_total} vs worst-fit {worst_total}"
-    );
+    assert!(best_total <= worst_total, "best-fit {best_total} vs worst-fit {worst_total}");
 }
 
 #[test]
@@ -48,14 +39,11 @@ fn worst_fit_pays_a_real_but_bounded_packing_tax() {
     // this trace) while worst-fit needs ~25 % more (30) — real waste,
     // but bounded; a pathological packer would blow far past 1.5×.
     let t = trace(9);
-    let sizes: Vec<u32> = [
-        PlacementPolicy::BestFit,
-        PlacementPolicy::FirstFit,
-        PlacementPolicy::WorstFit,
-    ]
-    .iter()
-    .map(|&p| right_size_baseline_only(&t, ServerShape::baseline_gen3(), p).unwrap())
-    .collect();
+    let sizes: Vec<u32> =
+        [PlacementPolicy::BestFit, PlacementPolicy::FirstFit, PlacementPolicy::WorstFit]
+            .iter()
+            .map(|&p| right_size_baseline_only(&t, ServerShape::baseline_gen3(), p).unwrap())
+            .collect();
     assert_eq!(sizes[0], sizes[1], "best-fit vs first-fit: {sizes:?}");
     assert!(sizes[2] > sizes[0], "worst-fit should waste servers: {sizes:?}");
     assert!(

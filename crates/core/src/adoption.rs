@@ -70,8 +70,7 @@ impl AdoptionModel {
         let green_per_core = carbon.assess(green)?.total_per_core().get();
         let mut baseline_per_core = HashMap::new();
         for (generation, sku) in baselines {
-            baseline_per_core
-                .insert(*generation, carbon.assess(sku)?.total_per_core().get());
+            baseline_per_core.insert(*generation, carbon.assess(sku)?.total_per_core().get());
         }
         Ok(Self { green_per_core, baseline_per_core })
     }
@@ -212,11 +211,7 @@ mod tests {
             &[(ServerGeneration::Gen3, open_source::baseline_gen3())],
         )
         .unwrap();
-        let d = m.decide(
-            &perf(),
-            &catalog::by_name("Moses").unwrap(),
-            ServerGeneration::Gen3,
-        );
+        let d = m.decide(&perf(), &catalog::by_name("Moses").unwrap(), ServerGeneration::Gen3);
         assert_eq!(d, AdoptionDecision::RejectCarbon { factor: 1.25 });
         assert!(!d.adopts());
         assert_eq!(d.factor(), None);

@@ -130,22 +130,19 @@ mod tests {
     #[test]
     fn attribution_sums_and_orders() {
         let (b, g) = assessments();
-        let report =
-            AttributionReport::new(&ledger(), &catalog::applications(), &b, &g, 52_560.0);
+        let report = AttributionReport::new(&ledger(), &catalog::applications(), &b, &g, 52_560.0);
         assert_eq!(report.apps.len(), 2);
         // Moses consumed more green core-hours: attributed more carbon.
         assert_eq!(report.apps[0].app, "Moses");
-        let manual: f64 = 80.0 * report.baseline_rate
-            + 80.0 * report.green_rate
-            + 200.0 * report.green_rate;
+        let manual: f64 =
+            80.0 * report.baseline_rate + 80.0 * report.green_rate + 200.0 * report.green_rate;
         assert!((report.total_kg() - manual).abs() < 1e-9);
     }
 
     #[test]
     fn green_rate_below_baseline_rate() {
         let (b, g) = assessments();
-        let report =
-            AttributionReport::new(&ledger(), &catalog::applications(), &b, &g, 52_560.0);
+        let report = AttributionReport::new(&ledger(), &catalog::applications(), &b, &g, 52_560.0);
         assert!(report.green_rate < report.baseline_rate);
         // So attributed savings are positive for green-hosted usage.
         assert!(report.attributed_savings() > 0.0);
@@ -154,8 +151,7 @@ mod tests {
     #[test]
     fn counterfactual_uses_baseline_rate_for_everything() {
         let (b, g) = assessments();
-        let report =
-            AttributionReport::new(&ledger(), &catalog::applications(), &b, &g, 52_560.0);
+        let report = AttributionReport::new(&ledger(), &catalog::applications(), &b, &g, 52_560.0);
         let expected = (80.0 + 80.0 + 200.0) * report.baseline_rate;
         assert!((report.counterfactual_all_baseline_kg() - expected).abs() < 1e-9);
     }
@@ -163,13 +159,8 @@ mod tests {
     #[test]
     fn empty_ledger_empty_report() {
         let (b, g) = assessments();
-        let report = AttributionReport::new(
-            &UsageLedger::new(),
-            &catalog::applications(),
-            &b,
-            &g,
-            52_560.0,
-        );
+        let report =
+            AttributionReport::new(&UsageLedger::new(), &catalog::applications(), &b, &g, 52_560.0);
         assert!(report.apps.is_empty());
         assert_eq!(report.total_kg(), 0.0);
         assert_eq!(report.attributed_savings(), 0.0);

@@ -150,10 +150,7 @@ mod tests {
             MemoryPlacement::LocalOnly,
         );
         let redis = catalog::by_name("Redis").unwrap();
-        assert_eq!(
-            perf.scaling_factor(&redis, ServerGeneration::Gen3),
-            ScalingFactor::One
-        );
+        assert_eq!(perf.scaling_factor(&redis, ServerGeneration::Gen3), ScalingFactor::One);
         let silo = catalog::by_name("Silo").unwrap();
         assert_eq!(
             perf.scaling_factor(&silo, ServerGeneration::Gen3),

@@ -1,0 +1,520 @@
+//! Shared evaluation context: a thread-safe carbon-assessment cache.
+//!
+//! Every GSF evaluation needs the same handful of assessments — the
+//! Gen1–Gen3 baselines and the design under test — and the hot paths
+//! (`GsfPipeline::evaluate_at`, `search::evaluate_space`, the Fig. 11/12
+//! sweeps) used to recompute them several times per call: once inside
+//! [`crate::pipeline::VmRouter`], once for the pipeline's own emission
+//! accounting, and once per candidate for the shared baseline. The
+//! [`EvalContext`] memoizes assessments keyed by the exact
+//! `(ModelParams, ServerSpec)` pair, so each SKU is assessed once per
+//! parameter set no matter how many pipeline stages or worker threads
+//! ask for it.
+//!
+//! The context also memoizes the *sizing stage* — the two right-sizing
+//! binary searches plus the final buffered replay, which dominate
+//! `evaluate_at` wall-clock. Sizing depends on the grid carbon
+//! intensity only through the router's adoption decisions, so a Fig.
+//! 11/12 sweep whose intensities route identically runs the expensive
+//! searches once per distinct decision table instead of once per point
+//! (see [`EvalContext::sizing`]).
+//!
+//! Keys are *structural*: every `f64` field is keyed by its bit pattern
+//! (`f64::to_bits`), so a cache hit is only possible when the inputs are
+//! bitwise identical — cached and uncached evaluations therefore produce
+//! bitwise-identical outcomes.
+
+use crate::components::{CarbonComponent, DefaultCarbon};
+use gsf_carbon::{Assessment, CarbonError, ModelParams, ServerSpec};
+use gsf_cluster::sizing::ClusterPlan;
+use gsf_vmalloc::{PlacementPolicy, ServerShape, SimOutcome};
+use gsf_workloads::{ServerGeneration, Trace};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Structural cache key: the bit-exact content of a
+/// `(ModelParams, ServerSpec)` pair, flattened into words.
+///
+/// Equality of keys is equality of every field bit pattern — there are
+/// no hash-collision false hits because the full encoding is the key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct AssessmentKey(Vec<u64>);
+
+impl AssessmentKey {
+    fn of(params: &ModelParams, sku: &ServerSpec) -> Self {
+        let mut w = KeyWriter::default();
+        // ModelParams (all Copy fields).
+        w.f64(params.carbon_intensity.get());
+        w.f64(params.lifetime.get());
+        w.u64(u64::from(params.rack.space_u));
+        w.f64(params.rack.power_capacity.get());
+        w.f64(params.rack.misc_power.get());
+        w.f64(params.rack.misc_embodied.get());
+        w.f64(params.overheads.pue);
+        w.f64(params.overheads.network_storage_power_per_rack.get());
+        w.f64(params.overheads.network_storage_embodied_per_rack.get());
+        w.f64(params.overheads.building_embodied_per_rack.get());
+        // ServerSpec.
+        w.str(sku.name());
+        w.u64(u64::from(sku.cores()));
+        w.u64(u64::from(sku.form_factor_u()));
+        w.u64(sku.components().len() as u64);
+        for c in sku.components() {
+            w.str(c.name());
+            w.u64(c.class() as u64);
+            w.f64(c.quantity());
+            w.u64(u64::from(c.is_reused()));
+            w.u64(u64::from(c.device_count()));
+            w.u64(u64::from(c.pcie_lanes()));
+            // The derived per-component numbers pin down TDP, derate,
+            // loss factor, and embodied-per-unit exactly (they are the
+            // only way those fields enter an assessment).
+            w.f64(c.nameplate_power().get());
+            w.f64(c.average_power().get());
+            w.f64(c.embodied().get());
+            w.f64(c.embodied_if_new().get());
+        }
+        Self(w.words)
+    }
+}
+
+/// Packs mixed fields into `u64` words with unambiguous framing.
+#[derive(Default)]
+struct KeyWriter {
+    words: Vec<u64>,
+}
+
+impl KeyWriter {
+    fn u64(&mut self, v: u64) {
+        self.words.push(v);
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.words.push(v.to_bits());
+    }
+
+    fn str(&mut self, s: &str) {
+        self.bytes(s.as_bytes());
+    }
+
+    fn bytes(&mut self, b: &[u8]) {
+        // Length prefix keeps concatenated buffers unambiguous.
+        self.words.push(b.len() as u64);
+        for chunk in b.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.words.push(u64::from_le_bytes(buf));
+        }
+    }
+}
+
+/// Structural key for the memoized sizing searches: the exact trace
+/// encoding plus everything the sizing + replay stage depends on — the
+/// router's per-(application, generation) decision table, both server
+/// shapes, the placement policy, and the growth-buffer fraction.
+///
+/// The carbon intensity is deliberately *not* part of the key: sizing
+/// depends on the grid only through the adoption decisions, so two
+/// intensities that route identically share one sizing computation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct SizingKey(Vec<u64>);
+
+impl SizingKey {
+    #[allow(clippy::too_many_arguments)]
+    fn of(
+        trace: &Trace,
+        decision_signature: &[u64],
+        baseline_shape: ServerShape,
+        green_shape: ServerShape,
+        policy: PlacementPolicy,
+        buffer_fraction: f64,
+    ) -> Self {
+        let mut w = KeyWriter::default();
+        w.bytes(&trace.encode());
+        w.u64(decision_signature.len() as u64);
+        for &word in decision_signature {
+            w.u64(word);
+        }
+        w.u64(u64::from(baseline_shape.cores));
+        w.f64(baseline_shape.mem_gb);
+        w.u64(u64::from(green_shape.cores));
+        w.f64(green_shape.mem_gb);
+        w.u64(match policy {
+            PlacementPolicy::BestFit => 0,
+            PlacementPolicy::FirstFit => 1,
+            PlacementPolicy::WorstFit => 2,
+        });
+        w.f64(buffer_fraction);
+        Self(w.words)
+    }
+}
+
+/// The trace-dependent heavy half of one pipeline evaluation: the two
+/// right-sizing binary searches plus the final replay on the buffered
+/// mixed cluster. These dominate `evaluate_at` wall-clock and are
+/// independent of the carbon intensity given a fixed routing decision
+/// table, so [`EvalContext`] memoizes them under a [`SizingKey`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SizingOutcome {
+    /// Right-sized all-baseline cluster (no buffer).
+    pub baseline_only: u32,
+    /// Right-sized mixed cluster (no buffer).
+    pub plan: ClusterPlan,
+    /// Replay statistics on the buffered mixed cluster.
+    pub replay: SimOutcome,
+}
+
+/// Cache effectiveness counters (see [`EvalContext::stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: usize,
+    /// Lookups that had to run the carbon model.
+    pub misses: usize,
+    /// Distinct `(ModelParams, ServerSpec)` pairs currently cached.
+    pub entries: usize,
+    /// Sizing lookups answered from the cache.
+    pub sizing_hits: usize,
+    /// Sizing lookups that had to run the binary searches.
+    pub sizing_misses: usize,
+    /// Distinct sizing keys currently cached.
+    pub sizing_entries: usize,
+}
+
+impl CacheStats {
+    /// Hit fraction in `[0, 1]`; zero when nothing was looked up.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Thread-safe assessment cache shared across pipeline stages, design
+/// candidates, and worker threads.
+///
+/// Construct one [`EvalContext::new`] per program (or share via `Arc`)
+/// and pass it to [`crate::pipeline::GsfPipeline::with_context`] /
+/// [`crate::search::evaluate_space_with`]. [`EvalContext::uncached`]
+/// builds a pass-through context that always recomputes — the reference
+/// path for A/B tests and benches.
+#[derive(Debug, Default)]
+pub struct EvalContext {
+    /// `None` disables caching (pass-through mode).
+    cache: Option<Mutex<HashMap<AssessmentKey, Arc<Assessment>>>>,
+    /// Memoized sizing searches + replays; `None` in pass-through mode.
+    sizing: Option<Mutex<HashMap<SizingKey, Arc<SizingOutcome>>>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+    sizing_hits: AtomicUsize,
+    sizing_misses: AtomicUsize,
+}
+
+impl EvalContext {
+    /// A caching context.
+    pub fn new() -> Self {
+        Self {
+            cache: Some(Mutex::new(HashMap::new())),
+            sizing: Some(Mutex::new(HashMap::new())),
+            ..Self::default()
+        }
+    }
+
+    /// A pass-through context that recomputes every assessment and
+    /// sizing search (the uncached reference path).
+    pub fn uncached() -> Self {
+        Self::default()
+    }
+
+    /// Whether this context caches.
+    pub fn is_caching(&self) -> bool {
+        self.cache.is_some()
+    }
+
+    /// Assesses `sku` under `params`, returning the cached assessment
+    /// when the bit-identical pair was assessed before.
+    ///
+    /// # Errors
+    ///
+    /// Propagates carbon-model failures (never cached).
+    pub fn assess(
+        &self,
+        params: &ModelParams,
+        sku: &ServerSpec,
+    ) -> Result<Arc<Assessment>, CarbonError> {
+        let Some(cache) = &self.cache else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::new(DefaultCarbon::new(*params).assess(sku)?));
+        };
+        let key = AssessmentKey::of(params, sku);
+        if let Some(hit) = cache.lock().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(hit));
+        }
+        // Assess outside the lock: misses are the expensive path and
+        // other workers should not serialize behind them. A racing
+        // duplicate computes the same value bit-for-bit, so last-write
+        // -wins insertion is harmless.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let assessment = Arc::new(DefaultCarbon::new(*params).assess(sku)?);
+        cache.lock().insert(key, Arc::clone(&assessment));
+        Ok(assessment)
+    }
+
+    /// The Gen1–Gen3 baseline assessments under `params`, each served
+    /// from the cache after the first call.
+    ///
+    /// # Errors
+    ///
+    /// Propagates carbon-model failures.
+    pub fn baselines(
+        &self,
+        params: &ModelParams,
+    ) -> Result<Vec<(ServerGeneration, Arc<Assessment>)>, CarbonError> {
+        use gsf_carbon::datasets::open_source;
+        Ok(vec![
+            (ServerGeneration::Gen1, self.assess(params, &open_source::baseline_gen1())?),
+            (ServerGeneration::Gen2, self.assess(params, &open_source::baseline_gen2())?),
+            (ServerGeneration::Gen3, self.assess(params, &open_source::baseline_gen3())?),
+        ])
+    }
+
+    /// The Gen3 baseline assessment under `params` (cached).
+    ///
+    /// # Errors
+    ///
+    /// Propagates carbon-model failures.
+    pub fn gen3(&self, params: &ModelParams) -> Result<Arc<Assessment>, CarbonError> {
+        self.assess(params, &gsf_carbon::datasets::open_source::baseline_gen3())
+    }
+
+    /// Runs (or replays) the sizing + replay stage for one pipeline
+    /// evaluation, memoized by the exact `(trace, decision table,
+    /// shapes, policy, buffer)` inputs.
+    ///
+    /// `compute` must be a pure function of those inputs — it is run on
+    /// a miss and its result is shared with every later bit-identical
+    /// lookup, so cached and uncached contexts stay bitwise-identical.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `compute` failures (never cached).
+    #[allow(clippy::too_many_arguments)]
+    pub fn sizing<E>(
+        &self,
+        trace: &Trace,
+        decision_signature: &[u64],
+        baseline_shape: ServerShape,
+        green_shape: ServerShape,
+        policy: PlacementPolicy,
+        buffer_fraction: f64,
+        compute: impl FnOnce() -> Result<SizingOutcome, E>,
+    ) -> Result<Arc<SizingOutcome>, E> {
+        let Some(sizing) = &self.sizing else {
+            self.sizing_misses.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::new(compute()?));
+        };
+        let key = SizingKey::of(
+            trace,
+            decision_signature,
+            baseline_shape,
+            green_shape,
+            policy,
+            buffer_fraction,
+        );
+        if let Some(hit) = sizing.lock().get(&key) {
+            self.sizing_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(hit));
+        }
+        // Compute outside the lock (see `assess`): racing duplicates
+        // produce the same value bit-for-bit.
+        self.sizing_misses.fetch_add(1, Ordering::Relaxed);
+        let outcome = Arc::new(compute()?);
+        sizing.lock().insert(key, Arc::clone(&outcome));
+        Ok(outcome)
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.cache.as_ref().map_or(0, |c| c.lock().len()),
+            sizing_hits: self.sizing_hits.load(Ordering::Relaxed),
+            sizing_misses: self.sizing_misses.load(Ordering::Relaxed),
+            sizing_entries: self.sizing.as_ref().map_or(0, |c| c.lock().len()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsf_carbon::datasets::open_source;
+    use gsf_carbon::units::CarbonIntensity;
+
+    fn params() -> ModelParams {
+        ModelParams::default_open_source()
+    }
+
+    #[test]
+    fn second_assessment_is_a_hit_and_identical() {
+        let ctx = EvalContext::new();
+        let p = params();
+        let sku = open_source::baseline_gen3();
+        let a = ctx.assess(&p, &sku).unwrap();
+        let b = ctx.assess(&p, &sku).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "hit must return the cached Arc");
+        let s = ctx.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn different_params_miss() {
+        let ctx = EvalContext::new();
+        let sku = open_source::baseline_gen3();
+        let a = ctx.assess(&params(), &sku).unwrap();
+        let p2 = params().with_carbon_intensity(CarbonIntensity::new(0.2));
+        let b = ctx.assess(&p2, &sku).unwrap();
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_ne!(
+            a.total_per_core().get().to_bits(),
+            b.total_per_core().get().to_bits(),
+            "different CI must change the assessment"
+        );
+        assert_eq!(ctx.stats().entries, 2);
+    }
+
+    #[test]
+    fn different_skus_miss() {
+        let ctx = EvalContext::new();
+        let p = params();
+        ctx.assess(&p, &open_source::baseline_gen2()).unwrap();
+        ctx.assess(&p, &open_source::baseline_gen3()).unwrap();
+        assert_eq!(ctx.stats().misses, 2);
+    }
+
+    #[test]
+    fn cached_equals_uncached_bitwise() {
+        let cached = EvalContext::new();
+        let uncached = EvalContext::uncached();
+        let p = params();
+        for sku in open_source::table_viii_skus() {
+            let a = cached.assess(&p, &sku).unwrap();
+            let b = uncached.assess(&p, &sku).unwrap();
+            assert_eq!(
+                a.total_per_core().get().to_bits(),
+                b.total_per_core().get().to_bits(),
+                "{}",
+                sku.name()
+            );
+            assert_eq!(*a, *b);
+        }
+        assert_eq!(uncached.stats().hits, 0);
+        assert_eq!(uncached.stats().entries, 0);
+        assert!(!uncached.is_caching() && cached.is_caching());
+    }
+
+    #[test]
+    fn baselines_cached_across_calls() {
+        let ctx = EvalContext::new();
+        let p = params();
+        let first = ctx.baselines(&p).unwrap();
+        let again = ctx.baselines(&p).unwrap();
+        assert_eq!(first.len(), 3);
+        for ((g1, a1), (g2, a2)) in first.iter().zip(&again) {
+            assert_eq!(g1, g2);
+            assert!(Arc::ptr_eq(a1, a2));
+        }
+        let s = ctx.stats();
+        assert_eq!((s.hits, s.misses), (3, 3));
+    }
+
+    #[test]
+    fn key_distinguishes_name_framing() {
+        // "ab" + "c" must not collide with "a" + "bc".
+        let mut w1 = KeyWriter::default();
+        w1.str("ab");
+        w1.str("c");
+        let mut w2 = KeyWriter::default();
+        w2.str("a");
+        w2.str("bc");
+        assert_ne!(w1.words, w2.words);
+    }
+
+    #[test]
+    fn sizing_cache_hits_and_passthrough() {
+        use gsf_stats::rng::SeedFactory;
+        use gsf_workloads::{TraceGenerator, TraceParams};
+        let trace = TraceGenerator::new(TraceParams {
+            duration_hours: 2.0,
+            arrivals_per_hour: 10.0,
+            ..TraceParams::default()
+        })
+        .generate(&SeedFactory::new(5), 0);
+        let replay = {
+            let mut sim = gsf_vmalloc::AllocationSim::new(
+                gsf_vmalloc::ClusterConfig::baseline_only(4),
+                PlacementPolicy::BestFit,
+            );
+            sim.replay(&trace, &|vm| gsf_vmalloc::PlacementRequest::baseline_only(vm))
+        };
+        let outcome = || {
+            Ok::<_, CarbonError>(SizingOutcome {
+                baseline_only: 7,
+                plan: ClusterPlan { baseline: 3, green: 5 },
+                replay: replay.clone(),
+            })
+        };
+        let sig = [1u64, 2, 3];
+        let shape = ServerShape { cores: 80, mem_gb: 768.0 };
+        let ctx = EvalContext::new();
+        let a =
+            ctx.sizing(&trace, &sig, shape, shape, PlacementPolicy::BestFit, 0.1, outcome).unwrap();
+        let b =
+            ctx.sizing(&trace, &sig, shape, shape, PlacementPolicy::BestFit, 0.1, outcome).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second lookup must be a hit");
+        // Any changed input misses: decision table, policy, buffer.
+        ctx.sizing(&trace, &[9u64], shape, shape, PlacementPolicy::BestFit, 0.1, outcome).unwrap();
+        ctx.sizing(&trace, &sig, shape, shape, PlacementPolicy::FirstFit, 0.1, outcome).unwrap();
+        ctx.sizing(&trace, &sig, shape, shape, PlacementPolicy::BestFit, 0.2, outcome).unwrap();
+        let s = ctx.stats();
+        assert_eq!((s.sizing_hits, s.sizing_misses, s.sizing_entries), (1, 4, 4));
+
+        let passthrough = EvalContext::uncached();
+        let c = passthrough
+            .sizing(&trace, &sig, shape, shape, PlacementPolicy::BestFit, 0.1, outcome)
+            .unwrap();
+        let d = passthrough
+            .sizing(&trace, &sig, shape, shape, PlacementPolicy::BestFit, 0.1, outcome)
+            .unwrap();
+        assert!(!Arc::ptr_eq(&c, &d), "uncached context recomputes");
+        assert_eq!(passthrough.stats().sizing_entries, 0);
+    }
+
+    #[test]
+    fn concurrent_assessments_share_entries() {
+        let ctx = std::sync::Arc::new(EvalContext::new());
+        let p = params();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let ctx = std::sync::Arc::clone(&ctx);
+                s.spawn(move || {
+                    for _ in 0..8 {
+                        ctx.assess(&p, &open_source::baseline_gen3()).unwrap();
+                    }
+                });
+            }
+        });
+        let stats = ctx.stats();
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.hits + stats.misses, 32);
+        assert!(stats.hits >= 28, "at most one miss per racing thread: {stats:?}");
+    }
+}

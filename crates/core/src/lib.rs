@@ -47,6 +47,7 @@
 pub mod adoption;
 pub mod attribution;
 pub mod components;
+pub mod context;
 pub mod design;
 pub mod error;
 pub mod pipeline;
@@ -55,7 +56,8 @@ pub mod search;
 pub mod temporal;
 
 pub use adoption::{AdoptionDecision, AdoptionModel};
+pub use attribution::AttributionReport;
+pub use context::{CacheStats, EvalContext, SizingOutcome};
 pub use design::GreenSkuDesign;
 pub use error::GsfError;
-pub use attribution::AttributionReport;
 pub use pipeline::{FleetOutcome, GsfPipeline, PipelineConfig, PipelineOutcome, VmRouter};

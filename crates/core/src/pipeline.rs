@@ -2,10 +2,8 @@
 //! baselines, applications) → data-center emissions and savings.
 
 use crate::adoption::AdoptionModel;
-use crate::components::{
-    CarbonComponent, DefaultCarbon, DefaultMaintenance, DefaultPerformance,
-    MaintenanceComponent,
-};
+use crate::components::{DefaultMaintenance, DefaultPerformance, MaintenanceComponent};
+use crate::context::EvalContext;
 use crate::design::GreenSkuDesign;
 use crate::error::GsfError;
 use gsf_carbon::breakdown::{FleetCategory, FleetModel, DEFAULT_RENEWABLE_FRACTION};
@@ -22,6 +20,7 @@ use gsf_vmalloc::{
 };
 use gsf_workloads::{catalog, ApplicationModel, FleetMix, ServerGeneration, Trace, VmSpec};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Pipeline configuration: the GSF inputs that are not the trace or the
 /// design itself.
@@ -58,7 +57,11 @@ impl Default for PipelineConfig {
 }
 
 /// What the pipeline produces for one (design, trace) evaluation.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// Equality is exact (bitwise on the floating-point fields): the
+/// pipeline is deterministic, so cached and uncached contexts — and any
+/// worker count — must produce identical outcomes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PipelineOutcome {
     /// The evaluated design's name.
     pub design: String,
@@ -104,24 +107,50 @@ pub struct VmRouter {
 }
 
 impl VmRouter {
-    /// Builds a router for `design` under `params`.
+    /// Builds a router for `design` under `params`, assessing the design
+    /// and the Gen1–Gen3 baselines through a throwaway [`EvalContext`].
+    ///
+    /// Prefer [`Self::with_context`] when a shared context exists — the
+    /// pipeline uses it so each SKU is assessed exactly once per
+    /// parameter set instead of once per stage.
     ///
     /// # Errors
     ///
     /// Propagates carbon-assessment failures.
     pub fn new(params: ModelParams, design: &GreenSkuDesign) -> Result<Self, GsfError> {
-        let carbon = DefaultCarbon::new(params);
-        let green = carbon.assess(&design.carbon)?;
-        let baselines = vec![
-            (ServerGeneration::Gen1, carbon.assess(&open_source::baseline_gen1())?),
-            (ServerGeneration::Gen2, carbon.assess(&open_source::baseline_gen2())?),
-            (ServerGeneration::Gen3, carbon.assess(&open_source::baseline_gen3())?),
-        ];
-        Ok(Self {
-            adoption: AdoptionModel::from_assessments(&green, &baselines),
+        Self::with_context(&EvalContext::uncached(), params, design)
+    }
+
+    /// Builds a router for `design` under `params`, serving assessments
+    /// from `ctx`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates carbon-assessment failures.
+    pub fn with_context(
+        ctx: &EvalContext,
+        params: ModelParams,
+        design: &GreenSkuDesign,
+    ) -> Result<Self, GsfError> {
+        let green = ctx.assess(&params, &design.carbon)?;
+        let baselines = ctx.baselines(&params)?;
+        Ok(Self::from_assessments(&green, &baselines, design))
+    }
+
+    /// Builds a router from already-computed assessments (no carbon
+    /// model runs).
+    pub fn from_assessments(
+        green: &Assessment,
+        baselines: &[(ServerGeneration, Arc<Assessment>)],
+        design: &GreenSkuDesign,
+    ) -> Self {
+        let owned: Vec<(ServerGeneration, Assessment)> =
+            baselines.iter().map(|(g, a)| (*g, (**a).clone())).collect();
+        Self {
+            adoption: AdoptionModel::from_assessments(green, &owned),
             perf: DefaultPerformance::new(design.perf.clone(), design.placement),
             apps: catalog::applications(),
-        })
+        }
     }
 
     /// The placement request for one VM.
@@ -141,6 +170,32 @@ impl VmRouter {
         &self.adoption
     }
 
+    /// Structural fingerprint of every placement decision this router
+    /// can make: the scaling factor (or a baseline-only marker) for
+    /// each (application, generation) pair, bit-exact.
+    ///
+    /// Two routers with equal signatures produce identical
+    /// [`PlacementRequest`]s for every VM — [`Self::request`] depends
+    /// only on `full_node`, `app_index`, and `generation` — so the
+    /// signature keys the sizing memoization in [`EvalContext`].
+    pub fn decision_signature(&self) -> Vec<u64> {
+        // Real scaling factors are finite, so they never collide with
+        // the NaN bit pattern used to mark baseline-only decisions.
+        const BASELINE_ONLY: u64 = u64::MAX;
+        let generations = [ServerGeneration::Gen1, ServerGeneration::Gen2, ServerGeneration::Gen3];
+        let mut sig = Vec::with_capacity(self.apps.len() * generations.len() + 1);
+        sig.push(self.apps.len() as u64);
+        for app in &self.apps {
+            for generation in generations {
+                sig.push(match self.adoption.decide(&self.perf, app, generation).factor() {
+                    Some(factor) => factor.to_bits(),
+                    None => BASELINE_ONLY,
+                });
+            }
+        }
+        sig
+    }
+
     /// Core-hour-weighted Gen3 adoption rate of the standard fleet mix.
     pub fn adoption_rate_gen3(&self) -> f64 {
         self.adoption.adoption_rate(&self.perf, &FleetMix::standard(), ServerGeneration::Gen3)
@@ -149,7 +204,7 @@ impl VmRouter {
 
 /// Aggregated pipeline outcomes across a fleet of cluster traces (the
 /// data-center view: many clusters, one design decision).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FleetOutcome {
     /// Per-trace outcomes, in input order.
     pub per_trace: Vec<PipelineOutcome>,
@@ -166,12 +221,23 @@ pub struct FleetOutcome {
 /// The GSF pipeline.
 pub struct GsfPipeline {
     config: PipelineConfig,
+    ctx: Arc<EvalContext>,
 }
 
 impl GsfPipeline {
-    /// Creates a pipeline with the standard application catalog.
+    /// Creates a pipeline with the standard application catalog and a
+    /// fresh caching [`EvalContext`].
     pub fn new(config: PipelineConfig) -> Self {
-        Self { config }
+        Self::with_context(config, Arc::new(EvalContext::new()))
+    }
+
+    /// Creates a pipeline sharing an existing evaluation context — use
+    /// this to reuse assessments across pipelines (e.g. the experiments
+    /// registry evaluating many designs under the same parameters), or
+    /// pass [`EvalContext::uncached`] for the recompute-everything
+    /// reference path.
+    pub fn with_context(config: PipelineConfig, ctx: Arc<EvalContext>) -> Self {
+        Self { config, ctx }
     }
 
     /// The pipeline configuration.
@@ -179,18 +245,9 @@ impl GsfPipeline {
         &self.config
     }
 
-    fn assessments(
-        &self,
-        carbon: &dyn CarbonComponent,
-        design: &GreenSkuDesign,
-    ) -> Result<(Assessment, Vec<(ServerGeneration, Assessment)>), GsfError> {
-        let green = carbon.assess(&design.carbon)?;
-        let baselines = vec![
-            (ServerGeneration::Gen1, carbon.assess(&open_source::baseline_gen1())?),
-            (ServerGeneration::Gen2, carbon.assess(&open_source::baseline_gen2())?),
-            (ServerGeneration::Gen3, carbon.assess(&open_source::baseline_gen3())?),
-        ];
-        Ok((green, baselines))
+    /// The shared evaluation context (cache statistics live here).
+    pub fn context(&self) -> &Arc<EvalContext> {
+        &self.ctx
     }
 
     /// Runs the full pipeline for one design and one trace.
@@ -222,9 +279,11 @@ impl GsfPipeline {
         ci: CarbonIntensity,
     ) -> Result<PipelineOutcome, GsfError> {
         let params = self.config.carbon_params.with_carbon_intensity(ci);
-        let carbon = DefaultCarbon::new(params);
-        let router = VmRouter::new(params, design)?;
-        let (green_a, baseline_a) = self.assessments(&carbon, design)?;
+        // One assessment per SKU per parameter set: the router and the
+        // emission accounting below share the same cached assessments.
+        let green_a = self.ctx.assess(&params, &design.carbon)?;
+        let baseline_a = self.ctx.baselines(&params)?;
+        let router = VmRouter::from_assessments(&green_a, &baseline_a, design);
         let gen3_a = &baseline_a
             .iter()
             .find(|(g, _)| *g == ServerGeneration::Gen3)
@@ -238,16 +297,45 @@ impl GsfPipeline {
         };
         let transform = |vm: &VmSpec| router.request(vm);
 
-        // Cluster sizing (§IV-D): baseline-only right-sizing, then the
-        // incremental replacement search.
-        let n0 = right_size_baseline_only(trace, baseline_shape, self.config.policy)?;
-        let plan = right_size_mixed(
+        // Cluster sizing (§IV-D) and the final replay, memoized by the
+        // routing decision table: sizing sees the carbon intensity only
+        // through the router, so sweep points that route identically
+        // share one run of the binary searches.
+        let sizing = self.ctx.sizing(
             trace,
-            &transform,
+            &router.decision_signature(),
             baseline_shape,
             green_shape,
             self.config.policy,
+            self.config.buffer.capacity_fraction,
+            || -> Result<crate::context::SizingOutcome, GsfError> {
+                let n0 = right_size_baseline_only(trace, baseline_shape, self.config.policy)?;
+                let plan = right_size_mixed(
+                    trace,
+                    &transform,
+                    baseline_shape,
+                    green_shape,
+                    self.config.policy,
+                )?;
+                let plan_buffered =
+                    self.config.buffer.apply(&plan, baseline_shape.cores, green_shape.cores);
+                // Final replay on the buffered mixed cluster for
+                // packing stats.
+                let mut sim = AllocationSim::new(
+                    ClusterConfig {
+                        baseline_count: plan_buffered.baseline,
+                        baseline_shape,
+                        green_count: plan_buffered.green,
+                        green_shape,
+                    },
+                    self.config.policy,
+                );
+                let replay = sim.replay(trace, &transform);
+                Ok(crate::context::SizingOutcome { baseline_only: n0, plan, replay })
+            },
         )?;
+        let n0 = sizing.baseline_only;
+        let plan = sizing.plan;
 
         // Maintenance (§IV-B): out-of-service servers need spare
         // capacity; inflate each pool by its OOS fraction (Little's law
@@ -255,8 +343,7 @@ impl GsfPipeline {
         use gsf_carbon::component::ComponentClass;
         let device_counts = |sku: &gsf_carbon::ServerSpec| {
             (
-                sku.device_count(ComponentClass::Dram)
-                    + sku.device_count(ComponentClass::CxlDram),
+                sku.device_count(ComponentClass::Dram) + sku.device_count(ComponentClass::CxlDram),
                 sku.device_count(ComponentClass::Ssd),
             )
         };
@@ -293,18 +380,6 @@ impl GsfPipeline {
             .category_share(FleetCategory::ComputeServers);
         let dc_savings = cluster_savings * compute_share;
 
-        // Final replay on the buffered mixed cluster for packing stats.
-        let replay = AllocationSim::new(
-            ClusterConfig {
-                baseline_count: plan_buffered.baseline,
-                baseline_shape,
-                green_count: plan_buffered.green,
-                green_shape,
-            },
-            self.config.policy,
-        )
-        .replay(trace, &transform);
-
         let adoption_rate = router.adoption_rate_gen3();
         Ok(PipelineOutcome {
             design: design.name().to_string(),
@@ -319,7 +394,7 @@ impl GsfPipeline {
             oos_green,
             cluster_savings,
             dc_savings,
-            replay,
+            replay: sizing.replay.clone(),
         })
     }
 
@@ -341,15 +416,13 @@ impl GsfPipeline {
             gsf_cluster::parallel::map_parallel(traces, workers, |_, trace| {
                 self.evaluate(design, trace)
             });
-        let per_trace: Vec<PipelineOutcome> =
-            results.into_iter().collect::<Result<_, _>>()?;
+        let per_trace: Vec<PipelineOutcome> = results.into_iter().collect::<Result<_, _>>()?;
         if per_trace.is_empty() {
             return Err(GsfError::InvalidConfig("no traces supplied".into()));
         }
         let savings: Vec<f64> = per_trace.iter().map(|o| o.cluster_savings).collect();
         let mean = savings.iter().sum::<f64>() / savings.len() as f64;
-        let dc_mean =
-            per_trace.iter().map(|o| o.dc_savings).sum::<f64>() / per_trace.len() as f64;
+        let dc_mean = per_trace.iter().map(|o| o.dc_savings).sum::<f64>() / per_trace.len() as f64;
         Ok(FleetOutcome {
             mean_cluster_savings: mean,
             min_cluster_savings: savings.iter().cloned().fold(f64::INFINITY, f64::min),
@@ -360,7 +433,7 @@ impl GsfPipeline {
     }
 
     /// The Fig. 11/12 sweep: cluster savings of `design` across grid
-    /// carbon intensities.
+    /// carbon intensities, evaluated on all available cores.
     ///
     /// # Errors
     ///
@@ -371,13 +444,34 @@ impl GsfPipeline {
         trace: &Trace,
         intensities: &[f64],
     ) -> Result<Vec<(f64, f64)>, GsfError> {
-        intensities
-            .iter()
-            .map(|&ci| {
-                self.evaluate_at(design, trace, CarbonIntensity::new(ci))
-                    .map(|o| (ci, o.cluster_savings))
-            })
-            .collect()
+        self.savings_sweep_with_workers(
+            design,
+            trace,
+            intensities,
+            gsf_cluster::parallel::default_workers(),
+        )
+    }
+
+    /// [`Self::savings_sweep`] with an explicit worker count. Results
+    /// are in input order and identical for any worker count (each
+    /// intensity's evaluation is independent and deterministic).
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::evaluate`].
+    pub fn savings_sweep_with_workers(
+        &self,
+        design: &GreenSkuDesign,
+        trace: &Trace,
+        intensities: &[f64],
+        workers: usize,
+    ) -> Result<Vec<(f64, f64)>, GsfError> {
+        gsf_cluster::parallel::map_parallel(intensities, workers, |_, &ci| {
+            self.evaluate_at(design, trace, CarbonIntensity::new(ci))
+                .map(|o| (ci, o.cluster_savings))
+        })
+        .into_iter()
+        .collect()
     }
 }
 

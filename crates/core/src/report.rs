@@ -104,8 +104,7 @@ fn render(
     let _ = writeln!(
         w,
         "- placement: {} VMs on GreenSKUs, {} on baseline ({} overflowed); {} rejections",
-        o.replay.placed_green, o.replay.placed_baseline, o.replay.green_overflow,
-        o.replay.rejected
+        o.replay.placed_green, o.replay.placed_baseline, o.replay.green_overflow, o.replay.rejected
     );
     let _ = writeln!(
         w,
@@ -161,8 +160,7 @@ mod tests {
     #[test]
     fn report_contains_every_section() {
         let pipeline = GsfPipeline::new(PipelineConfig::default());
-        let report =
-            deployment_report(&pipeline, &GreenSkuDesign::full(), &trace()).unwrap();
+        let report = deployment_report(&pipeline, &GreenSkuDesign::full(), &trace()).unwrap();
         for heading in
             ["# GSF deployment report", "## SKU", "## Workload", "## Cluster plan", "## Savings"]
         {

@@ -17,13 +17,15 @@
 //! 4. [`pareto_front`] keeps the designs that are not dominated on
 //!    (effective savings, adoption rate).
 
-use crate::components::{DefaultCarbon, DefaultPerformance, PerformanceComponent, CarbonComponent};
+use crate::components::{DefaultPerformance, PerformanceComponent};
+use crate::context::EvalContext;
 use crate::design::GreenSkuDesign;
 use crate::error::GsfError;
 use gsf_carbon::component::{ComponentClass, ComponentSpec};
 use gsf_carbon::datasets::open_source as data;
 use gsf_carbon::units::{KgCo2e, Watts};
 use gsf_carbon::{ModelParams, ServerSpec};
+use gsf_cluster::parallel::{default_workers, map_parallel};
 use gsf_perf::{MemoryPlacement, SkuPerfProfile};
 use gsf_workloads::{FleetMix, ServerGeneration};
 use serde::{Deserialize, Serialize};
@@ -92,9 +94,7 @@ impl SkuConfig {
             || self.mem_per_core_gb <= 0.0
             || self.ssd_total_tb <= 0.0
         {
-            return Err(GsfError::InvalidConfig(format!(
-                "out-of-range candidate: {self:?}"
-            )));
+            return Err(GsfError::InvalidConfig(format!("out-of-range candidate: {self:?}")));
         }
         let cores = self.cpu.cores();
         let total_gb = self.mem_per_core_gb * f64::from(cores);
@@ -192,11 +192,8 @@ impl SkuConfig {
             (CpuChoice::Bergamo, false) => SkuPerfProfile::greensku_efficient(),
             (CpuChoice::Bergamo, true) => SkuPerfProfile::greensku_cxl(),
         };
-        let placement = if self.cxl_share > 0.0 {
-            MemoryPlacement::Pond
-        } else {
-            MemoryPlacement::LocalOnly
-        };
+        let placement =
+            if self.cxl_share > 0.0 { MemoryPlacement::Pond } else { MemoryPlacement::LocalOnly };
         Ok(GreenSkuDesign { carbon, perf, placement })
     }
 }
@@ -269,6 +266,10 @@ pub struct SearchResult {
 
 /// Evaluates every candidate in `space` against the Gen3 baseline.
 ///
+/// Uses a private assessment cache and the machine's full parallelism;
+/// see [`evaluate_space_with`] to share a cache across calls or pin the
+/// worker count.
+///
 /// # Errors
 ///
 /// Propagates candidate construction and carbon-assessment failures.
@@ -276,15 +277,33 @@ pub fn evaluate_space(
     space: &CandidateSpace,
     params: ModelParams,
 ) -> Result<Vec<SearchResult>, GsfError> {
-    let carbon = DefaultCarbon::new(params);
-    let baseline = carbon.assess(&data::baseline_gen3())?;
+    evaluate_space_with(space, params, &EvalContext::new(), default_workers())
+}
+
+/// [`evaluate_space`] against a caller-supplied assessment cache and
+/// worker count.
+///
+/// Candidates are scored on `workers` threads; the result order (stable
+/// sort by effective savings, ties in enumeration order) is identical
+/// for any worker count and for cached vs. uncached contexts.
+///
+/// # Errors
+///
+/// Propagates candidate construction and carbon-assessment failures.
+pub fn evaluate_space_with(
+    space: &CandidateSpace,
+    params: ModelParams,
+    ctx: &EvalContext,
+    workers: usize,
+) -> Result<Vec<SearchResult>, GsfError> {
+    let baseline = ctx.gen3(&params)?;
     let base_pc = baseline.total_per_core().get();
     let mix = FleetMix::standard();
 
-    let mut results = Vec::new();
-    for config in space.candidates() {
+    let candidates = space.candidates();
+    let mut results = map_parallel(&candidates, workers, |_, config| -> Result<_, GsfError> {
         let design = config.build()?;
-        let assessment = carbon.assess(&design.carbon)?;
+        let assessment = ctx.assess(&params, &design.carbon)?;
         let green_pc = assessment.total_per_core().get();
         let perf = DefaultPerformance::new(design.perf.clone(), design.placement);
 
@@ -301,18 +320,18 @@ pub fn evaluate_space(
                 }
             }
         }
-        results.push(SearchResult {
+        Ok(SearchResult {
             name: config.name(),
-            config,
+            config: *config,
             per_core_kg: green_pc,
             adoption_rate: adoption,
             effective_savings: effective,
-        });
-    }
+        })
+    })
+    .into_iter()
+    .collect::<Result<Vec<_>, _>>()?;
     results.sort_by(|a, b| {
-        b.effective_savings
-            .partial_cmp(&a.effective_savings)
-            .expect("finite scores")
+        b.effective_savings.partial_cmp(&a.effective_savings).expect("finite scores")
     });
     Ok(results)
 }
@@ -337,11 +356,8 @@ mod tests {
     use super::*;
 
     fn results() -> Vec<SearchResult> {
-        evaluate_space(
-            &CandidateSpace::paper_neighborhood(),
-            ModelParams::default_open_source(),
-        )
-        .unwrap()
+        evaluate_space(&CandidateSpace::paper_neighborhood(), ModelParams::default_open_source())
+            .unwrap()
     }
 
     #[test]
@@ -387,11 +403,8 @@ mod tests {
             .fold(f64::NEG_INFINITY, f64::max);
         assert!(best_genoa < rs[0].effective_savings);
         // And Genoa's adoption is total (it *is* the baseline CPU).
-        let genoa_adoption = rs
-            .iter()
-            .find(|r| r.config.cpu == CpuChoice::Genoa)
-            .unwrap()
-            .adoption_rate;
+        let genoa_adoption =
+            rs.iter().find(|r| r.config.cpu == CpuChoice::Genoa).unwrap().adoption_rate;
         assert!((genoa_adoption - 1.0).abs() < 1e-9);
     }
 

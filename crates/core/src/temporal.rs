@@ -26,12 +26,7 @@ pub struct BatchJob {
 impl BatchJob {
     /// A fully flexible job released at midnight.
     pub fn flexible(runtime_hours: f64, cores: u32) -> Self {
-        Self {
-            runtime_hours,
-            cores,
-            release_hour: 0.0,
-            deadline_hours_after_release: 24.0,
-        }
+        Self { runtime_hours, cores, release_hour: 0.0, deadline_hours_after_release: 24.0 }
     }
 }
 
@@ -71,8 +66,7 @@ fn window_ci(region: &RegionGrid, start: f64, duration: f64) -> f64 {
 /// feasible window) minimizing the mean carbon intensity over the job's
 /// runtime.
 pub fn schedule_job(region: &RegionGrid, job: &BatchJob) -> ScheduledJob {
-    let latest_start =
-        (job.deadline_hours_after_release - job.runtime_hours).max(0.0);
+    let latest_start = (job.deadline_hours_after_release - job.runtime_hours).max(0.0);
     let immediate_ci = window_ci(region, job.release_hour, job.runtime_hours);
     let mut best = (job.release_hour, immediate_ci);
     let steps = (latest_start * 4.0).ceil() as usize;
@@ -92,10 +86,8 @@ pub fn schedule_job(region: &RegionGrid, job: &BatchJob) -> ScheduledJob {
 pub fn schedule_batch(region: &RegionGrid, jobs: &[BatchJob]) -> (Vec<ScheduledJob>, f64) {
     let scheduled: Vec<ScheduledJob> = jobs.iter().map(|j| schedule_job(region, j)).collect();
     let weight = |j: &BatchJob| f64::from(j.cores) * j.runtime_hours;
-    let immediate: f64 =
-        jobs.iter().zip(&scheduled).map(|(j, s)| weight(j) * s.immediate_ci).sum();
-    let deferred: f64 =
-        jobs.iter().zip(&scheduled).map(|(j, s)| weight(j) * s.scheduled_ci).sum();
+    let immediate: f64 = jobs.iter().zip(&scheduled).map(|(j, s)| weight(j) * s.immediate_ci).sum();
+    let deferred: f64 = jobs.iter().zip(&scheduled).map(|(j, s)| weight(j) * s.scheduled_ci).sum();
     let savings = if immediate > 0.0 { 1.0 - deferred / immediate } else { 0.0 };
     (scheduled, savings)
 }
@@ -155,12 +147,8 @@ mod tests {
     fn flat_grids_offer_nothing() {
         // A grid with no solar component has no diurnal structure, so
         // deferral cannot help at all.
-        let flat = RegionGrid {
-            name: "flat",
-            grid_ci: 0.4,
-            renewable_fraction: 0.5,
-            solar_share: 0.0,
-        };
+        let flat =
+            RegionGrid { name: "flat", grid_ci: 0.4, renewable_fraction: 0.5, solar_share: 0.0 };
         let s = schedule_job(&flat, &BatchJob::flexible(2.0, 8));
         assert!(s.savings().abs() < 1e-9, "savings {}", s.savings());
     }
@@ -168,11 +156,8 @@ mod tests {
     #[test]
     fn solar_heavy_grids_offer_more_than_wind_heavy_ones() {
         let solar = schedule_job(&solar_region(), &BatchJob::flexible(2.0, 8)).savings();
-        let wind = schedule_job(
-            &region("europe-north").unwrap(),
-            &BatchJob::flexible(2.0, 8),
-        )
-        .savings();
+        let wind =
+            schedule_job(&region("europe-north").unwrap(), &BatchJob::flexible(2.0, 8)).savings();
         assert!(solar > wind, "solar {solar} vs wind {wind}");
     }
 
@@ -187,9 +172,8 @@ mod tests {
         let model = CarbonModel::new(
             ModelParams::default_open_source().with_carbon_intensity(r.average_ci()),
         );
-        let hardware = model
-            .savings(&open_source::baseline_gen3(), &open_source::greensku_full())
-            .unwrap();
+        let hardware =
+            model.savings(&open_source::baseline_gen3(), &open_source::greensku_full()).unwrap();
         let temporal = schedule_job(&r, &BatchJob::flexible(2.0, 8)).savings();
         // Combined operational factor: (1-op_savings)·(1-temporal) —
         // strictly better than either alone.

@@ -1,0 +1,95 @@
+//! Determinism guarantees of the evaluation hot path: the assessment
+//! cache and the parallel sweeps are pure optimizations — outcomes must
+//! be bitwise-identical with the cache on or off and for any worker
+//! count.
+
+use gsf_carbon::units::CarbonIntensity;
+use gsf_carbon::ModelParams;
+use gsf_core::design::GreenSkuDesign;
+use gsf_core::pipeline::{GsfPipeline, PipelineConfig};
+use gsf_core::search::{evaluate_space_with, CandidateSpace};
+use gsf_core::EvalContext;
+use gsf_stats::rng::SeedFactory;
+use gsf_workloads::{Trace, TraceGenerator, TraceParams};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn trace(seed: u64) -> Trace {
+    TraceGenerator::new(TraceParams {
+        duration_hours: 8.0,
+        arrivals_per_hour: 40.0,
+        ..TraceParams::default()
+    })
+    .generate(&SeedFactory::new(seed), 0)
+}
+
+fn designs() -> [GreenSkuDesign; 3] {
+    [GreenSkuDesign::efficient(), GreenSkuDesign::cxl(), GreenSkuDesign::full()]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// A caching pipeline and an uncached (recompute-everything)
+    /// pipeline produce bitwise-identical outcomes for random traces,
+    /// designs, and carbon intensities.
+    #[test]
+    fn cached_and_uncached_pipelines_agree(
+        seed in 0u64..1000,
+        design_index in 0usize..3,
+        ci in 0.02..0.5f64,
+    ) {
+        let t = trace(seed);
+        let design = &designs()[design_index];
+        let ci = CarbonIntensity::new(ci);
+
+        let cached = GsfPipeline::new(PipelineConfig::default());
+        let uncached = GsfPipeline::with_context(
+            PipelineConfig::default(),
+            Arc::new(EvalContext::uncached()),
+        );
+        let a = cached.evaluate_at(design, &t, ci).unwrap();
+        let b = uncached.evaluate_at(design, &t, ci).unwrap();
+        prop_assert_eq!(&a, &b);
+
+        // A second evaluation is served from the cache (4 SKUs per
+        // parameter set: the design plus the Gen1-Gen3 baselines) and
+        // still matches.
+        let c = cached.evaluate_at(design, &t, ci).unwrap();
+        prop_assert_eq!(&a, &c);
+        let stats = cached.context().stats();
+        prop_assert_eq!(stats.entries, 4);
+        prop_assert!(stats.hits >= 4, "hits {}", stats.hits);
+        prop_assert_eq!(uncached.context().stats().entries, 0);
+    }
+}
+
+#[test]
+fn sweep_identical_for_any_worker_count() {
+    let t = trace(7);
+    let intensities = [0.02, 0.05, 0.1, 0.18, 0.3, 0.5];
+    let pipeline = GsfPipeline::new(PipelineConfig::default());
+    let serial =
+        pipeline.savings_sweep_with_workers(&GreenSkuDesign::full(), &t, &intensities, 1).unwrap();
+    let parallel =
+        pipeline.savings_sweep_with_workers(&GreenSkuDesign::full(), &t, &intensities, 8).unwrap();
+    assert_eq!(serial, parallel);
+    let ordered: Vec<f64> = serial.iter().map(|(ci, _)| *ci).collect();
+    assert_eq!(ordered, intensities.to_vec());
+}
+
+#[test]
+fn search_identical_cached_uncached_and_any_workers() {
+    let space = CandidateSpace::paper_neighborhood();
+    let params = ModelParams::default_open_source();
+    let reference = evaluate_space_with(&space, params, &EvalContext::uncached(), 1).unwrap();
+    let cached_parallel = evaluate_space_with(&space, params, &EvalContext::new(), 8).unwrap();
+    assert_eq!(reference, cached_parallel);
+
+    // Each of the 54 candidates is assessed exactly once; the shared
+    // Gen3 baseline is cached after its first use.
+    let ctx = EvalContext::new();
+    let _ = evaluate_space_with(&space, params, &ctx, 4).unwrap();
+    let stats = ctx.stats();
+    assert_eq!(stats.entries, space.candidates().len() + 1);
+}

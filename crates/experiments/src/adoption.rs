@@ -88,8 +88,7 @@ fn attribution_report(ctx: &ExpContext) -> Result<(), ExpError> {
     let pipeline = GsfPipeline::new(PipelineConfig::default());
     let outcome = pipeline.evaluate(&design, &trace)?;
     let carbon = DefaultCarbon::new(pipeline.config().carbon_params);
-    let baseline =
-        carbon.assess(&gsf_carbon::datasets::open_source::baseline_gen3())?;
+    let baseline = carbon.assess(&gsf_carbon::datasets::open_source::baseline_gen3())?;
     let green = carbon.assess(&design.carbon)?;
     let lifetime_h = pipeline.config().carbon_params.lifetime.hours();
     let report = AttributionReport::new(
@@ -100,14 +99,9 @@ fn attribution_report(ctx: &ExpContext) -> Result<(), ExpError> {
         lifetime_h,
     );
 
-    let mut t = Table::new(vec![
-        "Application",
-        "Baseline core-h",
-        "GreenSKU core-h",
-        "kg CO2e",
-        "Share",
-    ])
-    .with_title("Per-application carbon attribution (GreenSKU-Full cluster)");
+    let mut t =
+        Table::new(vec!["Application", "Baseline core-h", "GreenSKU core-h", "kg CO2e", "Share"])
+            .with_title("Per-application carbon attribution (GreenSKU-Full cluster)");
     let total = report.total_kg().max(f64::MIN_POSITIVE);
     for row in report.apps.iter().take(10) {
         t.row(vec![

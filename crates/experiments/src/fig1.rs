@@ -30,11 +30,12 @@ pub fn run(ctx: &ExpContext) -> Result<(), ExpError> {
         ]);
         ctx.write_table(&format!("fig1_categories_{label}"), &t)?;
 
-        let mut tc = Table::new(vec!["Compute component", "Operational", "Embodied", "Share of compute"])
-            .with_title(format!(
-                "Fig. 1 — compute-server components at {:.0}% renewables",
-                mix * 100.0
-            ));
+        let mut tc =
+            Table::new(vec!["Compute component", "Operational", "Embodied", "Share of compute"])
+                .with_title(format!(
+                    "Fig. 1 — compute-server components at {:.0}% renewables",
+                    mix * 100.0
+                ));
         for c in &b.compute_components {
             tc.row(vec![
                 c.class.label().to_string(),
@@ -58,11 +59,9 @@ pub fn run(ctx: &ExpContext) -> Result<(), ExpError> {
     let b = fleet.breakdown(DEFAULT_RENEWABLE_FRACTION);
     let mut shares = Table::new(vec!["Component", "Reproduced", "Paper"])
         .with_title("Fig. 1 — compute component shares vs paper");
-    for (class, paper) in [
-        (ComponentClass::Dram, 0.35),
-        (ComponentClass::Ssd, 0.28),
-        (ComponentClass::Cpu, 0.24),
-    ] {
+    for (class, paper) in
+        [(ComponentClass::Dram, 0.35), (ComponentClass::Ssd, 0.28), (ComponentClass::Cpu, 0.24)]
+    {
         shares.row(vec![
             class.label().to_string(),
             fmt_pct(b.compute_component_share(class), 1),

@@ -17,8 +17,7 @@ pub fn run(ctx: &ExpContext) -> Result<(), ExpError> {
 
     let baseline =
         EmpiricalCdf::from_samples(stats.iter().map(|s| s.baseline_max_mem_util).collect());
-    let green =
-        EmpiricalCdf::from_samples(stats.iter().map(|s| s.green_max_mem_util).collect());
+    let green = EmpiricalCdf::from_samples(stats.iter().map(|s| s.green_max_mem_util).collect());
     for (name, cdf) in [("baseline", &baseline), ("greensku_cxl", &green)] {
         let rows: Vec<Vec<f64>> = cdf.series().iter().map(|&(x, y)| vec![x, y]).collect();
         ctx.write_series(
@@ -30,8 +29,8 @@ pub fn run(ctx: &ExpContext) -> Result<(), ExpError> {
 
     // The shaded region of the figure: memory above (1 − CXL fraction)
     // of capacity would spill onto CXL.
-    let cxl_fraction = design.carbon.cxl_memory_capacity().get()
-        / design.carbon.memory_capacity().get();
+    let cxl_fraction =
+        design.carbon.cxl_memory_capacity().get() / design.carbon.memory_capacity().get();
     let local_boundary = 1.0 - cxl_fraction;
     let traces_needing_cxl = 1.0 - green.eval(local_boundary);
     ctx.write_text(
@@ -65,8 +64,8 @@ mod tests {
     #[test]
     fn cxl_fraction_is_a_quarter() {
         let design = GreenSkuDesign::cxl();
-        let frac = design.carbon.cxl_memory_capacity().get()
-            / design.carbon.memory_capacity().get();
+        let frac =
+            design.carbon.cxl_memory_capacity().get() / design.carbon.memory_capacity().get();
         assert!((frac - 0.25).abs() < 1e-9);
     }
 

@@ -75,10 +75,8 @@ pub fn run(ctx: &ExpContext) -> Result<(), ExpError> {
     let eff = skus[0].1;
     let full = skus[2].1;
     let cross = crossover((eff[0], eff[1]), (full[0], full[1]));
-    let regions: Vec<String> = region_carbon_intensities()
-        .iter()
-        .map(|(name, ci)| format!("{name}={ci}"))
-        .collect();
+    let regions: Vec<String> =
+        region_carbon_intensities().iter().map(|(name, ci)| format!("{name}={ci}")).collect();
     ctx.note(&format!(
         "fig11: Efficient/Full crossover at CI = {} kg/kWh; region markers: {} \
          (paper: Efficient wins at europe-north, Full at us-south)",

@@ -3,8 +3,8 @@
 //! allocation → sizing → growth buffer → emissions).
 
 use crate::context::{ExpContext, ExpError};
-use gsf_core::{GreenSkuDesign, GsfPipeline, PipelineConfig};
 use gsf_carbon::datasets::region_carbon_intensities;
+use gsf_core::{GreenSkuDesign, GsfPipeline, PipelineConfig};
 use gsf_stats::rng::SeedFactory;
 use gsf_stats::table::fmt_pct;
 use gsf_workloads::{Trace, TraceGenerator, TraceParams};
@@ -123,8 +123,7 @@ mod tests {
         run(&ctx).unwrap();
         let csv = std::fs::read_to_string(dir.join("fig12_cluster_savings_open.csv")).unwrap();
         for line in csv.lines().skip(1) {
-            let cells: Vec<f64> =
-                line.split(',').map(|c| c.parse().unwrap()).collect();
+            let cells: Vec<f64> = line.split(',').map(|c| c.parse().unwrap()).collect();
             for s in &cells[1..] {
                 assert!(*s > 0.0 && *s < 0.5, "{line}");
             }

@@ -7,23 +7,15 @@ use gsf_maintenance::{FailureSim, FailureSimParams};
 /// moving average, normalized to the plateau (the paper's y-axis is
 /// normalized failure rate).
 pub fn run(ctx: &ExpContext) -> Result<(), ExpError> {
-    let params = FailureSimParams {
-        population: ctx.scaled(10_000, 50_000),
-        ..FailureSimParams::default()
-    };
+    let params =
+        FailureSimParams { population: ctx.scaled(10_000, 50_000), ..FailureSimParams::default() };
     let plateau = params.plateau_afr;
     let sim = FailureSim::new(params);
     let mut rng = ctx.seeds().stream("fig2");
     let points = sim.run(&mut rng);
     let rows: Vec<Vec<f64>> = points
         .iter()
-        .map(|p| {
-            vec![
-                f64::from(p.month),
-                p.raw_afr / plateau,
-                p.smoothed_afr / plateau,
-            ]
-        })
+        .map(|p| vec![f64::from(p.month), p.raw_afr / plateau, p.smoothed_afr / plateau])
         .collect();
     ctx.write_series(
         "fig2_ddr4_failure_rates.csv",
@@ -33,9 +25,9 @@ pub fn run(ctx: &ExpContext) -> Result<(), ExpError> {
 
     // Paper's qualitative claims: early elevation, then flat for 7y.
     let early = points[3].smoothed_afr / plateau;
-    let late: f64 =
-        points[60..].iter().map(|p| p.smoothed_afr).sum::<f64>() / (points.len() - 60) as f64
-            / plateau;
+    let late: f64 = points[60..].iter().map(|p| p.smoothed_afr).sum::<f64>()
+        / (points.len() - 60) as f64
+        / plateau;
     ctx.note(&format!(
         "fig2: smoothed AFR at month 4 = {early:.2}x plateau; years 6-7 mean = {late:.2}x \
          (paper: early spike, then constant over the 7-year window)"

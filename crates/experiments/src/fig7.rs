@@ -21,9 +21,8 @@ pub fn run(ctx: &ExpContext) -> Result<(), ExpError> {
         let loads = LoadSweep::standard_loads(slo.baseline_peak_qps);
         let mut columns: Vec<(String, Vec<Option<f64>>, Vec<f64>)> = Vec::new();
 
-        let base_sweep =
-            LoadSweep::new(app.clone(), gen3.clone(), MemoryPlacement::LocalOnly, 8)
-                .with_requests(requests);
+        let base_sweep = LoadSweep::new(app.clone(), gen3.clone(), MemoryPlacement::LocalOnly, 8)
+            .with_requests(requests);
         let base_curve = base_sweep.run(ctx.seeds(), &loads);
         columns.push((
             "gen3_8c_p95_ms".into(),

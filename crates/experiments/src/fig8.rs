@@ -80,12 +80,8 @@ mod tests {
                 MemoryPlacement::LocalOnly,
                 10,
             );
-            let cxl = LoadSweep::new(
-                app,
-                SkuPerfProfile::greensku_cxl(),
-                MemoryPlacement::Naive,
-                10,
-            );
+            let cxl =
+                LoadSweep::new(app, SkuPerfProfile::greensku_cxl(), MemoryPlacement::Naive, 10);
             1.0 - cxl.peak_qps() / eff.peak_qps()
         };
         let moses = loss("Moses");

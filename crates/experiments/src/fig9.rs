@@ -52,21 +52,17 @@ pub fn packing_study(
 
     let policy = PlacementPolicy::BestFit;
     let baseline_shape = ServerShape::baseline_gen3();
-    let green_shape = ServerShape {
-        cores: design.carbon.cores(),
-        mem_gb: design.carbon.memory_capacity().get(),
-    };
+    let green_shape =
+        ServerShape { cores: design.carbon.cores(), mem_gb: design.carbon.memory_capacity().get() };
     let workers = std::thread::available_parallelism().map_or(4, |n| n.get());
     let results = map_parallel(&traces, workers, |_, trace| -> Result<TracePacking, ExpError> {
-        let transform_base =
-            |vm: &VmSpec| PlacementRequest::baseline_only(vm);
+        let transform_base = |vm: &VmSpec| PlacementRequest::baseline_only(vm);
         let n0 = right_size_baseline_only(trace, baseline_shape, policy)?;
         let base_outcome = AllocationSim::new(ClusterConfig::baseline_only(n0), policy)
             .replay(trace, &transform_base);
 
         let transform_green = |vm: &VmSpec| router.request(vm);
-        let plan =
-            right_size_mixed(trace, &transform_green, baseline_shape, green_shape, policy)?;
+        let plan = right_size_mixed(trace, &transform_green, baseline_shape, green_shape, policy)?;
         let mixed_outcome = AllocationSim::new(
             ClusterConfig {
                 baseline_count: plan.baseline,
@@ -94,12 +90,10 @@ pub fn packing_study(
 pub fn run(ctx: &ExpContext) -> Result<(), ExpError> {
     let n_traces = ctx.scaled(6, 35);
     let hours = ctx.scaled(12.0, 72.0);
-    let stats =
-        packing_study(ctx.seeds(), &GreenSkuDesign::full(), n_traces, hours)?;
+    let stats = packing_study(ctx.seeds(), &GreenSkuDesign::full(), n_traces, hours)?;
 
-    let cdf = |f: fn(&TracePacking) -> f64| {
-        EmpiricalCdf::from_samples(stats.iter().map(f).collect())
-    };
+    let cdf =
+        |f: fn(&TracePacking) -> f64| EmpiricalCdf::from_samples(stats.iter().map(f).collect());
     let series = [
         ("baseline_core", cdf(|s| s.baseline_core)),
         ("baseline_mem", cdf(|s| s.baseline_mem)),
@@ -145,11 +139,10 @@ mod tests {
         // (mem − core density) is larger on GreenSKUs than on baselines.
         let seeds = SeedFactory::new(34);
         let stats = packing_study(&seeds, &GreenSkuDesign::full(), 4, 10.0).unwrap();
-        let base_gap: f64 =
-            stats.iter().map(|s| s.baseline_mem - s.baseline_core).sum::<f64>()
-                / stats.len() as f64;
-        let green_gap: f64 = stats.iter().map(|s| s.green_mem - s.green_core).sum::<f64>()
+        let base_gap: f64 = stats.iter().map(|s| s.baseline_mem - s.baseline_core).sum::<f64>()
             / stats.len() as f64;
+        let green_gap: f64 =
+            stats.iter().map(|s| s.green_mem - s.green_core).sum::<f64>() / stats.len() as f64;
         assert!(green_gap > base_gap, "green {green_gap} vs base {base_gap}");
     }
 }

@@ -8,13 +8,13 @@
 //! experiments --list
 //! ```
 
-use gsf_experiments::registry::{all_experiments, run_all, run_by_id};
+use gsf_experiments::registry::{all_experiments, run_all_with_workers, run_by_id};
 use gsf_experiments::ExpContext;
 use std::process::ExitCode;
 
 fn usage() {
     eprintln!(
-        "usage: experiments [--quick] [--seed N] [--results-dir DIR] (all | --list | <id>...)"
+        "usage: experiments [--quick] [--seed N] [--workers N] [--results-dir DIR] (all | --list | <id>...)"
     );
     eprintln!("experiment ids:");
     for exp in all_experiments() {
@@ -25,6 +25,7 @@ fn usage() {
 fn main() -> ExitCode {
     let mut quick = false;
     let mut seed = 42u64;
+    let mut workers = gsf_cluster::parallel::default_workers();
     let mut results_dir = "results".to_string();
     let mut targets: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
@@ -35,6 +36,13 @@ fn main() -> ExitCode {
                 Some(v) => seed = v,
                 None => {
                     eprintln!("--seed requires an integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--workers" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v >= 1 => workers = v,
+                _ => {
+                    eprintln!("--workers requires a positive integer");
                     return ExitCode::FAILURE;
                 }
             },
@@ -76,7 +84,7 @@ fn main() -> ExitCode {
     let started = std::time::Instant::now();
     for target in &targets {
         let outcome = if target == "all" {
-            run_all(&ctx).map(|()| true)
+            run_all_with_workers(&ctx, workers).map(|()| true)
         } else {
             run_by_id(&ctx, target)
         };

@@ -1,6 +1,7 @@
 //! Registry of all experiments and the run-all driver.
 
 use crate::context::{ExpContext, ExpError};
+use gsf_cluster::parallel::{default_workers, map_parallel};
 
 /// One regenerable paper exhibit.
 pub struct Experiment {
@@ -95,11 +96,7 @@ pub fn all_experiments() -> Vec<Experiment> {
             title: "SecVI adoption statistics and low-load latency",
             run: crate::adoption::run,
         },
-        Experiment {
-            id: "sec7",
-            title: "SecVII-B equivalence analyses",
-            run: crate::sec7::run,
-        },
+        Experiment { id: "sec7", title: "SecVII-B equivalence analyses", run: crate::sec7::run },
         Experiment {
             id: "sec8",
             title: "SecVII-A TCO swap + SecVIII search/autoscaling/tiering",
@@ -126,16 +123,36 @@ pub fn run_by_id(ctx: &ExpContext, id: &str) -> Result<bool, ExpError> {
 
 /// Runs every experiment and writes the artifact manifest.
 ///
+/// Uses the machine's full parallelism; see [`run_all_with_workers`]
+/// to pin the worker count.
+///
 /// # Errors
 ///
-/// Stops at the first failing experiment.
+/// Reports the first failing experiment (in registry order).
 pub fn run_all(ctx: &ExpContext) -> Result<(), ExpError> {
-    for exp in all_experiments() {
+    run_all_with_workers(ctx, default_workers())
+}
+
+/// [`run_all`] on `workers` threads. Experiments are independent (each
+/// derives its own seed stream and writes distinct artifacts), so they
+/// run concurrently; the manifest lists artifacts sorted by name so its
+/// contents do not depend on completion order.
+///
+/// # Errors
+///
+/// Reports the first failing experiment (in registry order).
+pub fn run_all_with_workers(ctx: &ExpContext, workers: usize) -> Result<(), ExpError> {
+    let experiments = all_experiments();
+    map_parallel(&experiments, workers, |_, exp| {
         ctx.note(&format!("== {} ==", exp.title));
-        (exp.run)(ctx)?;
-    }
+        (exp.run)(ctx)
+    })
+    .into_iter()
+    .collect::<Result<(), _>>()?;
+    let mut artifacts = ctx.artifacts();
+    artifacts.sort_unstable();
     let mut manifest = String::from("artifact\n");
-    for a in ctx.artifacts() {
+    for a in artifacts {
         manifest.push_str(&a);
         manifest.push('\n');
     }

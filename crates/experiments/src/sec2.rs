@@ -62,13 +62,7 @@ mod tests {
         run(&ctx).unwrap();
         let csv = std::fs::read_to_string(dir.join("sec2_underutilization.csv")).unwrap();
         let cpu_row = csv.lines().find(|l| l.contains("25% CPU")).unwrap();
-        let pct: f64 = cpu_row
-            .split(',')
-            .nth(1)
-            .unwrap()
-            .trim_end_matches('%')
-            .parse()
-            .unwrap();
+        let pct: f64 = cpu_row.split(',').nth(1).unwrap().trim_end_matches('%').parse().unwrap();
         assert!((pct - 75.0).abs() < 8.0, "{pct}");
         std::fs::remove_dir_all(dir).ok();
     }

@@ -4,8 +4,7 @@
 use crate::context::{ExpContext, ExpError};
 use gsf_carbon::breakdown::{FleetModel, DEFAULT_RENEWABLE_FRACTION};
 use gsf_carbon::equivalence::{
-    efficiency_gain_for_savings, lifetime_extension_for_savings,
-    renewables_increase_for_savings,
+    efficiency_gain_for_savings, lifetime_extension_for_savings, renewables_increase_for_savings,
 };
 use gsf_stats::table::{fmt_pct, Table};
 
@@ -19,12 +18,8 @@ pub fn run(ctx: &ExpContext) -> Result<(), ExpError> {
         renewables_increase_for_savings(&fleet, DEFAULT_RENEWABLE_FRACTION, DC_SAVINGS_TARGET)?;
     let efficiency =
         efficiency_gain_for_savings(&fleet, DEFAULT_RENEWABLE_FRACTION, DC_SAVINGS_TARGET)?;
-    let lifetime = lifetime_extension_for_savings(
-        &fleet,
-        DEFAULT_RENEWABLE_FRACTION,
-        6.0,
-        DC_SAVINGS_TARGET,
-    )?;
+    let lifetime =
+        lifetime_extension_for_savings(&fleet, DEFAULT_RENEWABLE_FRACTION, 6.0, DC_SAVINGS_TARGET)?;
 
     let mut t = Table::new(vec!["Strategy", "Required to match GreenSKU-Full", "Paper"])
         .with_title("§VII-B — equivalent carbon levers");
@@ -33,11 +28,7 @@ pub fn run(ctx: &ExpContext) -> Result<(), ExpError> {
         format!("+{} points", fmt_pct(renewables, 1)),
         "+2.6 points".into(),
     ]);
-    t.row(vec![
-        "Improve compute energy efficiency".into(),
-        fmt_pct(efficiency, 1),
-        "28%".into(),
-    ]);
+    t.row(vec!["Improve compute energy efficiency".into(), fmt_pct(efficiency, 1), "28%".into()]);
     t.row(vec![
         "Extend compute-server lifetime".into(),
         format!("6 -> {lifetime:.1} years"),

@@ -19,10 +19,8 @@ use gsf_workloads::catalog;
 /// Design-space search (§VIII): evaluate the paper-neighborhood space
 /// and report the ranking plus the Pareto front.
 pub fn run_search(ctx: &ExpContext) -> Result<(), ExpError> {
-    let results = evaluate_space(
-        &CandidateSpace::paper_neighborhood(),
-        ModelParams::default_open_source(),
-    )?;
+    let results =
+        evaluate_space(&CandidateSpace::paper_neighborhood(), ModelParams::default_open_source())?;
     let front = pareto_front(&results);
     let front_names: std::collections::HashSet<&str> =
         front.iter().map(|r| r.name.as_str()).collect();
@@ -120,8 +118,9 @@ pub fn run_tiering(ctx: &ExpContext) -> Result<(), ExpError> {
 pub fn run_tco(ctx: &ExpContext) -> Result<(), ExpError> {
     let model = CostModel::new(ModelParams::default_open_source(), CostParams::public_estimates());
     let baseline = open_source::baseline_gen3();
-    let mut t = Table::new(vec!["SKU", "Capex $/core", "Energy $/core", "TCO $/core", "vs baseline"])
-        .with_title("§VII-A — TCO model (public price estimates)");
+    let mut t =
+        Table::new(vec!["SKU", "Capex $/core", "Energy $/core", "TCO $/core", "vs baseline"])
+            .with_title("§VII-A — TCO model (public price estimates)");
     let base_tco = model.assess(&baseline)?.total_per_core();
     for sku in open_source::table_viii_skus() {
         let a = model.assess(&sku)?;
@@ -138,8 +137,7 @@ pub fn run_tco(ctx: &ExpContext) -> Result<(), ExpError> {
     // Reuse viability: SSD wear after the first deployment.
     let wear = SsdWear::after_service(SsdEndurance::m2_2015(), 7.0, 0.3);
     let lifetimes = ComponentLifetimes::paper_observed();
-    let penalty13 =
-        lifetimes.extension_penalty(&baseline, Years::new(6.0), Years::new(13.0));
+    let penalty13 = lifetimes.extension_penalty(&baseline, Years::new(6.0), Years::new(13.0));
     ctx.write_text(
         "sec7a_reuse_viability.txt",
         &format!(
@@ -196,7 +194,9 @@ pub fn run_residuals(ctx: &ExpContext) -> Result<(), ExpError> {
         ]);
     }
     ctx.write_table("sec3_residual_levers", &t)?;
-    ctx.note("sec3: NIC reuse and LPDDR move per-core carbon by <1% — the paper's 'low returns today'");
+    ctx.note(
+        "sec3: NIC reuse and LPDDR move per-core carbon by <1% — the paper's 'low returns today'",
+    );
     Ok(())
 }
 

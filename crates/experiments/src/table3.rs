@@ -5,28 +5,19 @@
 use crate::context::{ExpContext, ExpError};
 use gsf_perf::{scaling_table, MemoryPlacement, SkuPerfProfile};
 use gsf_stats::table::{fmt_pct, Table};
-use gsf_workloads::fleet::published_table_iii;
 use gsf_workloads::catalog;
+use gsf_workloads::fleet::published_table_iii;
 
 /// Regenerates Table III and reports the agreement rate.
 pub fn run(ctx: &ExpContext) -> Result<(), ExpError> {
     let apps = catalog::applications();
-    let table = scaling_table(
-        &apps,
-        &SkuPerfProfile::greensku_efficient(),
-        MemoryPlacement::LocalOnly,
-    );
+    let table =
+        scaling_table(&apps, &SkuPerfProfile::greensku_efficient(), MemoryPlacement::LocalOnly);
     let published = published_table_iii();
 
-    let mut t = Table::new(vec![
-        "Application",
-        "Class",
-        "Gen1",
-        "Gen2",
-        "Gen3",
-        "Paper (G1/G2/G3)",
-    ])
-    .with_title("Table III — scaling factors (reproduced vs published)");
+    let mut t =
+        Table::new(vec!["Application", "Class", "Gen1", "Gen2", "Gen3", "Paper (G1/G2/G3)"])
+            .with_title("Table III — scaling factors (reproduced vs published)");
     let mut cells = 0usize;
     let mut exact = 0usize;
     for row in &table {

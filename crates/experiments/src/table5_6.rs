@@ -11,11 +11,27 @@ pub fn run(ctx: &ExpContext) -> Result<(), ExpError> {
     let mut t5 = Table::new(vec!["Component", "TDP (W)", "Embodied (kgCO2e)"])
         .with_title("Table V — open-source component data");
     let rows = [
-        ("AMD Bergamo CPU", format!("{}", os::BERGAMO_TDP_W), format!("{}", os::BERGAMO_EMBODIED_KG)),
-        ("DRAM (DDR5)", format!("{} per GB", os::DDR5_TDP_W_PER_GB), format!("{} per GB", os::DDR5_EMBODIED_KG_PER_GB)),
+        (
+            "AMD Bergamo CPU",
+            format!("{}", os::BERGAMO_TDP_W),
+            format!("{}", os::BERGAMO_EMBODIED_KG),
+        ),
+        (
+            "DRAM (DDR5)",
+            format!("{} per GB", os::DDR5_TDP_W_PER_GB),
+            format!("{} per GB", os::DDR5_EMBODIED_KG_PER_GB),
+        ),
         ("DRAM (DDR4)", format!("{} per GB", os::DDR4_TDP_W_PER_GB), "0 (reused)".to_string()),
-        ("SSD", format!("{} per TB", os::SSD_TDP_W_PER_TB), format!("{} per TB", os::SSD_EMBODIED_KG_PER_TB)),
-        ("CXL Controller", format!("{}", os::CXL_CONTROLLER_TDP_W), format!("{}", os::CXL_CONTROLLER_EMBODIED_KG)),
+        (
+            "SSD",
+            format!("{} per TB", os::SSD_TDP_W_PER_TB),
+            format!("{} per TB", os::SSD_EMBODIED_KG_PER_TB),
+        ),
+        (
+            "CXL Controller",
+            format!("{}", os::CXL_CONTROLLER_TDP_W),
+            format!("{}", os::CXL_CONTROLLER_EMBODIED_KG),
+        ),
         ("Rack misc.", "500".to_string(), "500".to_string()),
     ];
     for (name, tdp, emb) in rows {
@@ -24,8 +40,7 @@ pub fn run(ctx: &ExpContext) -> Result<(), ExpError> {
     ctx.write_table("table5_component_data", &t5)?;
 
     let params = ModelParams::default_open_source();
-    let mut t6 = Table::new(vec!["Parameter", "Value"])
-        .with_title("Table VI — model parameters");
+    let mut t6 = Table::new(vec!["Parameter", "Value"]).with_title("Table VI — model parameters");
     let rows = [
         ("Carbon intensity", format!("{} kgCO2e/kWh", params.carbon_intensity.get())),
         ("Lifetime", format!("{} years", params.lifetime.get())),

@@ -145,8 +145,7 @@ mod tests {
     fn binomial_sampler_matches_moments() {
         let mut rng = SeedFactory::new(1).stream("binom");
         let (n, p) = (50_000usize, 0.01);
-        let draws: Vec<f64> =
-            (0..200).map(|_| sample_binomial(&mut rng, n, p) as f64).collect();
+        let draws: Vec<f64> = (0..200).map(|_| sample_binomial(&mut rng, n, p) as f64).collect();
         let mean = draws.iter().sum::<f64>() / draws.len() as f64;
         assert!((mean - 500.0).abs() < 15.0, "mean {mean}");
         // Small-n exact path.
@@ -174,16 +173,14 @@ mod tests {
         let points = run_default();
         // Early smoothed AFR clearly above the late plateau.
         let early = points[3].smoothed_afr;
-        let late_avg: f64 =
-            points[60..84].iter().map(|p| p.smoothed_afr).sum::<f64>() / 24.0;
+        let late_avg: f64 = points[60..84].iter().map(|p| p.smoothed_afr).sum::<f64>() / 24.0;
         assert!(early > 1.5 * late_avg, "early {early} vs late {late_avg}");
     }
 
     #[test]
     fn plateau_matches_configured_afr() {
         let points = run_default();
-        let late_avg: f64 =
-            points[36..84].iter().map(|p| p.raw_afr).sum::<f64>() / 48.0;
+        let late_avg: f64 = points[36..84].iter().map(|p| p.raw_afr).sum::<f64>() / 48.0;
         let expected = FailureSimParams::default().plateau_afr;
         assert!(
             (late_avg - expected).abs() < expected * 0.25,

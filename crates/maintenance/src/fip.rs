@@ -30,10 +30,7 @@ impl FipPolicy {
     ///
     /// Panics if effectiveness is outside `[0, 1]`.
     pub fn repair_rate(&self, afr: &ServerAfr) -> f64 {
-        assert!(
-            (0.0..=1.0).contains(&self.effectiveness),
-            "FIP effectiveness must be in [0,1]"
-        );
+        assert!((0.0..=1.0).contains(&self.effectiveness), "FIP effectiveness must be in [0,1]");
         afr.total - self.effectiveness * afr.repairable_by_fip
     }
 }

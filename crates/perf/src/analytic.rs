@@ -180,10 +180,7 @@ mod tests {
 
     #[test]
     fn rejects_overload_and_bad_params() {
-        assert!(matches!(
-            MmcQueue::new(2, 2000.0, 1.0),
-            Err(QueueError::Overloaded { .. })
-        ));
+        assert!(matches!(MmcQueue::new(2, 2000.0, 1.0), Err(QueueError::Overloaded { .. })));
         assert!(MmcQueue::new(0, 100.0, 1.0).is_err());
         assert!(MmcQueue::new(2, -1.0, 1.0).is_err());
         assert!(MmcQueue::new(2, 100.0, 0.0).is_err());

@@ -33,13 +33,7 @@ impl AutoscaleConfig {
     /// A sensible default: 2–16 cores, 10 % headroom, 5-minute control
     /// loop.
     pub fn new(slo_p95_ms: f64) -> Self {
-        Self {
-            min_cores: 2,
-            max_cores: 16,
-            slo_p95_ms,
-            headroom: 0.9,
-            interval_minutes: 5.0,
-        }
+        Self { min_cores: 2, max_cores: 16, slo_p95_ms, headroom: 0.9, interval_minutes: 5.0 }
     }
 }
 
@@ -142,9 +136,7 @@ impl Autoscaler {
         let mut core_hours = 0.0;
         for (i, &qps) in load_qps.iter().enumerate() {
             let cores = self.cores_for(qps);
-            let p95 = MmcQueue::new(cores, qps, service)
-                .ok()
-                .map(|q| q.p95_response_ms());
+            let p95 = MmcQueue::new(cores, qps, service).ok().map(|q| q.p95_response_ms());
             if p95.is_some_and(|v| v <= self.config.slo_p95_ms) {
                 met += 1;
             }
@@ -264,8 +256,7 @@ mod tests {
         );
         let green_outcome = green.run(&load);
         let gen3_peak_cores = gen3_static.cores_for(peak);
-        let gen3_static_hours =
-            green_outcome.static_core_hours(gen3_peak_cores);
+        let gen3_static_hours = green_outcome.static_core_hours(gen3_peak_cores);
         assert!(
             green_outcome.core_hours < gen3_static_hours,
             "green autoscaled {} vs gen3 static {gen3_static_hours}",

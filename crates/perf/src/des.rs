@@ -125,9 +125,8 @@ fn run(config: &DesConfig, rng: &mut SimRng) -> (Percentiles, usize, f64) {
 
     // Min-heap of worker free times. Times in seconds as ordered f64 bits
     // (all non-negative finite, so bit ordering matches numeric order).
-    let mut free: BinaryHeap<Reverse<u64>> = (0..config.cores)
-        .map(|_| Reverse(0f64.to_bits()))
-        .collect();
+    let mut free: BinaryHeap<Reverse<u64>> =
+        (0..config.cores).map(|_| Reverse(0f64.to_bits())).collect();
 
     let warmup = ((config.requests as f64) * config.warmup_fraction) as usize;
     let mut latencies = Percentiles::with_capacity(config.requests - warmup);
@@ -176,14 +175,7 @@ mod tests {
     }
 
     fn config(cores: u32, qps: f64, dist: ServiceDist) -> DesConfig {
-        DesConfig {
-            cores,
-            qps,
-            mean_service_ms: 2.0,
-            dist,
-            requests: 60_000,
-            warmup_fraction: 0.1,
-        }
+        DesConfig { cores, qps, mean_service_ms: 2.0, dist, requests: 60_000, warmup_fraction: 0.1 }
     }
 
     #[test]
@@ -202,11 +194,7 @@ mod tests {
         for qps in [400.0, 2000.0, 3200.0, 3800.0] {
             let c = config(8, qps, ServiceDist::LogNormal { sigma: 0.8 });
             let r = simulate(&c, &mut rng("mono"));
-            assert!(
-                r.p95_ms > prev * 0.95,
-                "p95 should grow with load: {} at {qps}",
-                r.p95_ms
-            );
+            assert!(r.p95_ms > prev * 0.95, "p95 should grow with load: {} at {qps}", r.p95_ms);
             prev = r.p95_ms;
         }
     }
@@ -255,8 +243,10 @@ mod tests {
 
     #[test]
     fn more_cores_reduce_tail_latency_at_fixed_load() {
-        let slow = simulate(&config(8, 3500.0, ServiceDist::LogNormal { sigma: 0.8 }), &mut rng("c8"));
-        let fast = simulate(&config(12, 3500.0, ServiceDist::LogNormal { sigma: 0.8 }), &mut rng("c12"));
+        let slow =
+            simulate(&config(8, 3500.0, ServiceDist::LogNormal { sigma: 0.8 }), &mut rng("c8"));
+        let fast =
+            simulate(&config(12, 3500.0, ServiceDist::LogNormal { sigma: 0.8 }), &mut rng("c12"));
         assert!(fast.p95_ms < slow.p95_ms);
     }
 
@@ -264,8 +254,7 @@ mod tests {
     fn trials_produce_independent_samples() {
         let c = config(8, 3000.0, ServiceDist::LogNormal { sigma: 0.8 });
         let seeds = SeedFactory::new(9);
-        let mut rngs: Vec<SimRng> =
-            (0..3).map(|i| seeds.stream_indexed("trial", i)).collect();
+        let mut rngs: Vec<SimRng> = (0..3).map(|i| seeds.stream_indexed("trial", i)).collect();
         let samples = p95_trials(&c, &mut rngs);
         assert_eq!(samples.len(), 3);
         assert!(samples[0] != samples[1] || samples[1] != samples[2]);

@@ -78,10 +78,8 @@ pub fn median_low_load_ratio(
     placement: MemoryPlacement,
     baseline: &SkuPerfProfile,
 ) -> Option<f64> {
-    let mut ratios: Vec<f64> = apps
-        .iter()
-        .filter_map(|a| low_load_ratio(a, green, placement, baseline))
-        .collect();
+    let mut ratios: Vec<f64> =
+        apps.iter().filter_map(|a| low_load_ratio(a, green, placement, baseline)).collect();
     if ratios.is_empty() {
         return None;
     }
@@ -148,13 +146,9 @@ mod tests {
     #[test]
     fn builds_have_no_low_load_latency() {
         let php = catalog::by_name("Build-PHP").unwrap();
-        assert!(low_load_p95(
-            &php,
-            &SkuPerfProfile::gen3(),
-            MemoryPlacement::LocalOnly,
-            8,
-            1000.0,
-        )
-        .is_none());
+        assert!(
+            low_load_p95(&php, &SkuPerfProfile::gen3(), MemoryPlacement::LocalOnly, 8, 1000.0,)
+                .is_none()
+        );
     }
 }

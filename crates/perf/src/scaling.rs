@@ -190,10 +190,7 @@ mod tests {
             // WebF-Hot publishes 1.5; our calibration puts it exactly on
             // the 1.25/1.5 boundary — allow one step there only.
             if name == "WebF-Hot" {
-                assert!(
-                    got == OnePointTwoFive || got == OnePointFive,
-                    "WebF-Hot: {got}"
-                );
+                assert!(got == OnePointTwoFive || got == OnePointFive, "WebF-Hot: {got}");
             } else {
                 assert_eq!(got, want, "{name}");
             }
@@ -210,8 +207,7 @@ mod tests {
             MemoryPlacement::LocalOnly,
         );
         for row in table {
-            let vals: Vec<f64> =
-                row.factors.iter().map(|f| f.value().unwrap_or(2.0)).collect();
+            let vals: Vec<f64> = row.factors.iter().map(|f| f.value().unwrap_or(2.0)).collect();
             assert!(vals[2] >= vals[1] - 1e-9, "{}: gen3 {} < gen2 {}", row.app, vals[2], vals[1]);
             assert!(vals[1] >= vals[0] - 1e-9, "{}: gen2 {} < gen1 {}", row.app, vals[1], vals[0]);
         }
@@ -256,18 +252,8 @@ mod tests {
     fn cxl_naive_placement_increases_scaling_for_moses() {
         let moses = catalog::by_name("Moses").unwrap();
         let cxl = SkuPerfProfile::greensku_cxl();
-        let local = scaling_factor(
-            &moses,
-            &cxl,
-            MemoryPlacement::Pond,
-            &SkuPerfProfile::gen3(),
-        );
-        let naive = scaling_factor(
-            &moses,
-            &cxl,
-            MemoryPlacement::Naive,
-            &SkuPerfProfile::gen3(),
-        );
+        let local = scaling_factor(&moses, &cxl, MemoryPlacement::Pond, &SkuPerfProfile::gen3());
+        let naive = scaling_factor(&moses, &cxl, MemoryPlacement::Naive, &SkuPerfProfile::gen3());
         assert_eq!(local, ScalingFactor::OnePointTwoFive);
         // Moses's 40 % CXL slowdown pushes it from 1.25 to at least 1.5.
         assert!(

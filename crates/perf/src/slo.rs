@@ -36,8 +36,8 @@ pub fn derive_slo(app: &ApplicationModel, baseline: &SkuPerfProfile) -> Option<S
     let service_ms = base_service_ms * slowdown(app, baseline, MemoryPlacement::LocalOnly);
     let peak = 8.0 / (service_ms / 1000.0);
     let load = SLO_LOAD_FRACTION * peak;
-    let queue = MmcQueue::new(8, load, service_ms)
-        .expect("90% of peak is a stable load by construction");
+    let queue =
+        MmcQueue::new(8, load, service_ms).expect("90% of peak is a stable load by construction");
     Some(Slo { load_qps: load, p95_ms: queue.p95_response_ms(), baseline_peak_qps: peak })
 }
 

@@ -138,9 +138,12 @@ mod tests {
     fn masstree_struggles_only_against_gen3() {
         let m = app("Masstree");
         let eff = SkuPerfProfile::greensku_efficient();
-        let s_gen3 = relative_slowdown(&m, &eff, MemoryPlacement::LocalOnly, &SkuPerfProfile::gen3());
-        let s_gen1 = relative_slowdown(&m, &eff, MemoryPlacement::LocalOnly, &SkuPerfProfile::gen1());
-        let s_gen2 = relative_slowdown(&m, &eff, MemoryPlacement::LocalOnly, &SkuPerfProfile::gen2());
+        let s_gen3 =
+            relative_slowdown(&m, &eff, MemoryPlacement::LocalOnly, &SkuPerfProfile::gen3());
+        let s_gen1 =
+            relative_slowdown(&m, &eff, MemoryPlacement::LocalOnly, &SkuPerfProfile::gen1());
+        let s_gen2 =
+            relative_slowdown(&m, &eff, MemoryPlacement::LocalOnly, &SkuPerfProfile::gen2());
         assert!(s_gen3 > 1.5, "vs Gen3 {s_gen3}");
         assert!(s_gen1 <= 1.02, "vs Gen1 {s_gen1}");
         assert!(s_gen2 <= 1.02, "vs Gen2 {s_gen2}");
@@ -220,8 +223,7 @@ mod tests {
     fn build_slowdowns_match_table_ii_efficient_column() {
         // Table II: 1.15 / 1.15 / 1.17 on GreenSKU-Efficient.
         let eff = SkuPerfProfile::greensku_efficient();
-        for (name, expected) in
-            [("Build-Python", 1.15), ("Build-Wasm", 1.15), ("Build-PHP", 1.17)]
+        for (name, expected) in [("Build-Python", 1.15), ("Build-Wasm", 1.15), ("Build-PHP", 1.17)]
         {
             let s = slowdown(&app(name), &eff, MemoryPlacement::LocalOnly);
             assert!((s - expected).abs() < 0.02, "{name}: {s} vs {expected}");
@@ -232,8 +234,7 @@ mod tests {
     fn build_slowdowns_match_table_ii_gen2_column() {
         // Table II: Gen2 slowdowns 1.13 / 1.19 / 1.11 vs Gen3.
         let gen2 = SkuPerfProfile::gen2();
-        for (name, expected) in
-            [("Build-Python", 1.13), ("Build-Wasm", 1.19), ("Build-PHP", 1.11)]
+        for (name, expected) in [("Build-Python", 1.13), ("Build-Wasm", 1.19), ("Build-PHP", 1.11)]
         {
             let s = slowdown(&app(name), &gen2, MemoryPlacement::LocalOnly);
             assert!((s - expected).abs() < 0.02, "{name}: {s} vs {expected}");

@@ -70,10 +70,7 @@ impl LoadSweep {
         cores: u32,
     ) -> Self {
         assert!(cores > 0, "cores must be positive");
-        assert!(
-            !app.is_throughput_only(),
-            "throughput-only apps have no latency curve"
-        );
+        assert!(!app.is_throughput_only(), "throughput-only apps have no latency curve");
         Self { app, sku, placement, cores, trials: 3, requests: 40_000 }
     }
 

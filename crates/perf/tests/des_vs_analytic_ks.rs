@@ -69,10 +69,7 @@ fn lognormal_service_deviates_from_mmc_as_expected() {
     // grossly wrong model.
     let queue = MmcQueue::new(8, 2000.0, 2.0).unwrap();
     let mut rng = SeedFactory::new(77).stream("ks-logn");
-    let cfg = DesConfig {
-        dist: ServiceDist::LogNormal { sigma: 0.8 },
-        ..config(8, 2000.0)
-    };
+    let cfg = DesConfig { dist: ServiceDist::LogNormal { sigma: 0.8 }, ..config(8, 2000.0) };
     let samples = response_samples(&cfg, &mut rng);
     let r = ks_one_sample(&samples, |t| 1.0 - queue.response_survival(t)).unwrap();
     let (d_exp, _) = ks_statistic(8, 2000.0, "ks-mid");

@@ -52,10 +52,7 @@ fn masstree_fails_even_with_twelve_cores() {
     // Table III: Masstree is ">1.5" vs Gen3 — even 12 cores saturate
     // below the SLO load (12 / 1.56 < 8 effective cores).
     let (p95, slo) = green_p95_at_slo_load("Masstree", 12);
-    assert!(
-        p95 > slo,
-        "Masstree should violate the SLO at 12 cores: p95 {p95} vs SLO {slo}"
-    );
+    assert!(p95 > slo, "Masstree should violate the SLO at 12 cores: p95 {p95} vs SLO {slo}");
 }
 
 #[test]
@@ -75,9 +72,7 @@ fn moses_cxl_naive_fails_where_pond_succeeds() {
     let p95_of = |placement| {
         let sweep = LoadSweep::new(app.clone(), SkuPerfProfile::greensku_cxl(), placement, 10)
             .with_requests(30_000);
-        sweep.run(&seeds(), &[slo.load_qps]).points[0]
-            .p95_ms
-            .unwrap_or(f64::INFINITY)
+        sweep.run(&seeds(), &[slo.load_qps]).points[0].p95_ms.unwrap_or(f64::INFINITY)
     };
     let pond = p95_of(MemoryPlacement::Pond);
     let naive = p95_of(MemoryPlacement::Naive);

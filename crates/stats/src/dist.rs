@@ -204,10 +204,7 @@ impl Pareto {
     /// Returns an error if either parameter is not strictly positive and
     /// finite.
     pub fn new(x_min: f64, alpha: f64) -> Result<Self, DistError> {
-        Ok(Self {
-            x_min: check_positive("x_min", x_min)?,
-            alpha: check_positive("alpha", alpha)?,
-        })
+        Ok(Self { x_min: check_positive("x_min", x_min)?, alpha: check_positive("alpha", alpha)? })
     }
 
     /// Analytic mean; infinite when `alpha <= 1`.

@@ -247,18 +247,15 @@ impl StreamingQuantile {
         let p = &self.positions;
         let h = &self.heights;
         let term1 = sign / (p[i + 1] - p[i - 1]);
-        let term2 =
-            (p[i] - p[i - 1] + sign) * (h[i + 1] - h[i]) / (p[i + 1] - p[i]);
-        let term3 =
-            (p[i + 1] - p[i] - sign) * (h[i] - h[i - 1]) / (p[i] - p[i - 1]);
+        let term2 = (p[i] - p[i - 1] + sign) * (h[i + 1] - h[i]) / (p[i + 1] - p[i]);
+        let term3 = (p[i + 1] - p[i] - sign) * (h[i] - h[i - 1]) / (p[i] - p[i - 1]);
         h[i] + term1 * (term2 + term3)
     }
 
     fn linear(&self, i: usize, sign: f64) -> f64 {
         let j = (i as f64 + sign) as usize;
         self.heights[i]
-            + sign * (self.heights[j] - self.heights[i])
-                / (self.positions[j] - self.positions[i])
+            + sign * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
     }
 
     /// Current estimate of the quantile; `None` before any observation.
@@ -320,8 +317,7 @@ mod tests {
 
     #[test]
     fn quantiles_are_monotone_in_q() {
-        let mut p: Percentiles =
-            (0..1000).map(|i| ((i * 37) % 997) as f64).collect();
+        let mut p: Percentiles = (0..1000).map(|i| ((i * 37) % 997) as f64).collect();
         let q50 = p.quantile(0.5).unwrap();
         let q95 = p.quantile(0.95).unwrap();
         let q99 = p.quantile(0.99).unwrap();

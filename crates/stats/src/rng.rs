@@ -98,8 +98,10 @@ mod tests {
     #[test]
     fn same_label_reproduces() {
         let f = SeedFactory::new(123);
-        let a: Vec<u64> = f.stream("x").sample_iter(rand::distributions::Standard).take(8).collect();
-        let b: Vec<u64> = f.stream("x").sample_iter(rand::distributions::Standard).take(8).collect();
+        let a: Vec<u64> =
+            f.stream("x").sample_iter(rand::distributions::Standard).take(8).collect();
+        let b: Vec<u64> =
+            f.stream("x").sample_iter(rand::distributions::Standard).take(8).collect();
         assert_eq!(a, b);
     }
 

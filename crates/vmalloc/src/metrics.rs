@@ -89,10 +89,7 @@ mod tests {
     fn loaded_server(cores: u32) -> ServerState {
         let mut s = ServerState::new(ServerShape { cores: 80, mem_gb: 768.0 });
         if cores > 0 {
-            s.place(
-                1,
-                PlacedVm { cores, mem_gb: f64::from(cores) * 9.6, max_mem_util: 0.5 },
-            );
+            s.place(1, PlacedVm { cores, mem_gb: f64::from(cores) * 9.6, max_mem_util: 0.5 });
         }
         s
     }

@@ -25,9 +25,7 @@ impl PlacementPolicy {
     /// `servers`, or `None` if nothing fits.
     pub fn choose(&self, servers: &[ServerState], cores: u32, mem_gb: f64) -> Option<usize> {
         match self {
-            PlacementPolicy::FirstFit => {
-                servers.iter().position(|s| s.fits(cores, mem_gb))
-            }
+            PlacementPolicy::FirstFit => servers.iter().position(|s| s.fits(cores, mem_gb)),
             PlacementPolicy::BestFit | PlacementPolicy::WorstFit => {
                 let mut best: Option<(usize, (bool, f64))> = None;
                 for (i, s) in servers.iter().enumerate() {
@@ -36,15 +34,11 @@ impl PlacementPolicy {
                     }
                     // Leftover score: normalized free space after
                     // placement, combining both dimensions.
-                    let core_left =
-                        f64::from(s.free_cores() - cores) / f64::from(s.shape().cores);
+                    let core_left = f64::from(s.free_cores() - cores) / f64::from(s.shape().cores);
                     let mem_left = (s.free_mem_gb() - mem_gb) / s.shape().mem_gb;
                     let leftover = core_left + mem_left;
-                    let leftover = if *self == PlacementPolicy::WorstFit {
-                        -leftover
-                    } else {
-                        leftover
-                    };
+                    let leftover =
+                        if *self == PlacementPolicy::WorstFit { -leftover } else { leftover };
                     // Key: (is_empty, leftover) lexicographically — the
                     // non-empty preference dominates the fit score.
                     let key = (s.is_empty(), leftover);
@@ -84,8 +78,7 @@ mod tests {
         loads
             .iter()
             .map(|&used| {
-                let mut s =
-                    ServerState::new(ServerShape { cores: 16, mem_gb: 128.0 });
+                let mut s = ServerState::new(ServerShape { cores: 16, mem_gb: 128.0 });
                 if used > 0 {
                     s.place(
                         1000 + u64::from(used),

@@ -2,7 +2,7 @@
 
 use crate::cluster::ServerShape;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A VM as placed on a server (possibly scaled relative to its trace
 /// request).
@@ -17,23 +17,37 @@ pub struct PlacedVm {
 }
 
 /// Allocation state of one server.
+///
+/// VMs live in a `BTreeMap` keyed by id so every float reduction over
+/// them (e.g. [`Self::max_touched_mem_fraction`]) accumulates in a
+/// fixed order — a `HashMap` here made outcomes differ in the last bits
+/// between otherwise identical runs.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServerState {
     shape: ServerShape,
     cores_allocated: u32,
     mem_allocated_gb: f64,
-    vms: HashMap<u64, PlacedVm>,
+    vms: BTreeMap<u64, PlacedVm>,
 }
 
 impl ServerState {
     /// Creates an empty server of the given shape.
     pub fn new(shape: ServerShape) -> Self {
-        Self { shape, cores_allocated: 0, mem_allocated_gb: 0.0, vms: HashMap::new() }
+        Self { shape, cores_allocated: 0, mem_allocated_gb: 0.0, vms: BTreeMap::new() }
     }
 
     /// The server's shape.
     pub fn shape(&self) -> ServerShape {
         self.shape
+    }
+
+    /// Empties the server and re-shapes it, so repeated simulations
+    /// reuse the server (and its pool slot) instead of re-allocating.
+    pub fn reset(&mut self, shape: ServerShape) {
+        self.shape = shape;
+        self.cores_allocated = 0;
+        self.mem_allocated_gb = 0.0;
+        self.vms.clear();
     }
 
     /// Currently allocated cores.

@@ -2,9 +2,9 @@
 
 use crate::cluster::ClusterConfig;
 use crate::metrics::PackingMetrics;
-use crate::usage::UsageLedger;
 use crate::policy::PlacementPolicy;
 use crate::server::{PlacedVm, ServerState};
+use crate::usage::UsageLedger;
 use gsf_workloads::{Trace, VmEventKind, VmSpec};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -129,9 +129,7 @@ impl AllocationSim {
             baseline: (0..config.baseline_count)
                 .map(|_| ServerState::new(config.baseline_shape))
                 .collect(),
-            green: (0..config.green_count)
-                .map(|_| ServerState::new(config.green_shape))
-                .collect(),
+            green: (0..config.green_count).map(|_| ServerState::new(config.green_shape)).collect(),
             policy,
             snapshot_interval_s: 3600.0,
         }
@@ -143,12 +141,35 @@ impl AllocationSim {
         self
     }
 
+    /// Re-shapes the cluster to `config` and empties every server,
+    /// reusing the pool vectors and per-server VM maps. A reset
+    /// simulator replays exactly like a freshly constructed one; the
+    /// sizing searches call this between feasibility probes instead of
+    /// rebuilding the simulator.
+    pub fn reset(&mut self, config: ClusterConfig) {
+        fn resize_pool(pool: &mut Vec<ServerState>, count: u32, shape: crate::ServerShape) {
+            let count = count as usize;
+            pool.truncate(count);
+            for server in pool.iter_mut() {
+                server.reset(shape);
+            }
+            while pool.len() < count {
+                pool.push(ServerState::new(shape));
+            }
+        }
+        resize_pool(&mut self.baseline, config.baseline_count, config.baseline_shape);
+        resize_pool(&mut self.green, config.green_count, config.green_shape);
+    }
+
     /// Replays `trace`, resolving each VM through `transform`.
     ///
     /// Rejected VMs are counted and dropped (their later departure is a
     /// no-op); the cluster-sizing search treats any rejection as "this
     /// cluster is too small".
-    pub fn replay(mut self, trace: &Trace, transform: &VmTransform<'_>) -> SimOutcome {
+    ///
+    /// Leaves the simulator holding the end-of-trace allocation state;
+    /// call [`Self::reset`] before replaying again.
+    pub fn replay(&mut self, trace: &Trace, transform: &VmTransform<'_>) -> SimOutcome {
         let mut placements: HashMap<u64, ActiveVm> = HashMap::new();
         let mut usage = UsageLedger::new();
         let mut metrics = PackingMetrics::new();
@@ -311,7 +332,7 @@ mod tests {
         // One baseline server: 80 cores. Eleven 8-core VMs: ten fit.
         let vms: Vec<VmSpec> = (0..11).map(|i| vm(i, 8, 32.0, false)).collect();
         let events: Vec<VmEvent> = (0..11).map(|i| arrive(i, f64::from(i as u32))).collect();
-        let sim = AllocationSim::new(ClusterConfig::baseline_only(1), PlacementPolicy::BestFit);
+        let mut sim = AllocationSim::new(ClusterConfig::baseline_only(1), PlacementPolicy::BestFit);
         let out = sim.replay(&trace(vms, events), &baseline_transform);
         assert_eq!(out.placed_baseline, 10);
         assert_eq!(out.rejected, 1);
@@ -320,8 +341,9 @@ mod tests {
     #[test]
     fn departures_free_capacity() {
         let vms: Vec<VmSpec> = (0..3).map(|i| vm(i, 80, 768.0, false)).collect();
-        let events = vec![arrive(0, 1.0), depart(0, 2.0), arrive(1, 3.0), depart(1, 4.0), arrive(2, 5.0)];
-        let sim = AllocationSim::new(ClusterConfig::baseline_only(1), PlacementPolicy::BestFit);
+        let events =
+            vec![arrive(0, 1.0), depart(0, 2.0), arrive(1, 3.0), depart(1, 4.0), arrive(2, 5.0)];
+        let mut sim = AllocationSim::new(ClusterConfig::baseline_only(1), PlacementPolicy::BestFit);
         let out = sim.replay(&trace(vms, events), &baseline_transform);
         assert_eq!(out.rejected, 0);
         assert_eq!(out.placed_baseline, 3);
@@ -335,7 +357,7 @@ mod tests {
         // 13th overflows to baseline at original 8 cores.
         let vms: Vec<VmSpec> = (0..13).map(|i| vm(i, 8, 32.0, false)).collect();
         let events: Vec<VmEvent> = (0..13).map(|i| arrive(i, f64::from(i as u32))).collect();
-        let sim = AllocationSim::new(ClusterConfig::mixed(1, 1), PlacementPolicy::BestFit);
+        let mut sim = AllocationSim::new(ClusterConfig::mixed(1, 1), PlacementPolicy::BestFit);
         let out = sim.replay(&trace(vms, events), &transform);
         assert_eq!(out.placed_green, 12);
         assert_eq!(out.placed_baseline, 1);
@@ -354,7 +376,7 @@ mod tests {
         };
         let vms = vec![vm(0, 80, 768.0, true), vm(1, 8, 32.0, false)];
         let events = vec![arrive(0, 1.0), arrive(1, 2.0)];
-        let sim = AllocationSim::new(ClusterConfig::mixed(1, 1), PlacementPolicy::BestFit);
+        let mut sim = AllocationSim::new(ClusterConfig::mixed(1, 1), PlacementPolicy::BestFit);
         let out = sim.replay(&trace(vms, events), &transform);
         assert_eq!(out.placed_baseline, 1);
         assert_eq!(out.placed_green, 1);
@@ -367,7 +389,7 @@ mod tests {
         // cores would fit.
         let vms = vec![vm(0, 8, 400.0, false), vm(1, 8, 400.0, false)];
         let events = vec![arrive(0, 1.0), arrive(1, 2.0)];
-        let sim = AllocationSim::new(ClusterConfig::baseline_only(1), PlacementPolicy::BestFit);
+        let mut sim = AllocationSim::new(ClusterConfig::baseline_only(1), PlacementPolicy::BestFit);
         let out = sim.replay(&trace(vms, events), &baseline_transform);
         assert_eq!(out.placed_baseline, 1);
         assert_eq!(out.rejected, 1);
@@ -378,7 +400,7 @@ mod tests {
         let vms: Vec<VmSpec> = (0..4).map(|i| vm(i, 8, 32.0, false)).collect();
         let events: Vec<VmEvent> =
             (0..4).map(|i| arrive(i, f64::from(i as u32) * 4000.0)).collect();
-        let sim = AllocationSim::new(ClusterConfig::baseline_only(2), PlacementPolicy::BestFit)
+        let mut sim = AllocationSim::new(ClusterConfig::baseline_only(2), PlacementPolicy::BestFit)
             .with_snapshot_interval(3600.0);
         let out = sim.replay(&trace(vms, events), &baseline_transform);
         assert!(out.metrics.snapshots() >= 3);
@@ -406,17 +428,40 @@ mod tests {
                 PlacementRequest::prefer_green(v, 1.25)
             }
         };
-        let sim = AllocationSim::new(ClusterConfig::mixed(1, 1), PlacementPolicy::BestFit);
+        let mut sim = AllocationSim::new(ClusterConfig::mixed(1, 1), PlacementPolicy::BestFit);
         let out = sim.replay(&trace, &transform);
         assert!((out.usage.baseline_core_hours(0) - 16.0).abs() < 1e-9);
         assert!((out.usage.green_core_hours(0) - 10.0 * 10_000.0 / 3600.0).abs() < 1e-9);
     }
 
     #[test]
+    fn reset_replays_like_a_fresh_simulator() {
+        let vms: Vec<VmSpec> = (0..20).map(|i| vm(i, 8, 32.0, false)).collect();
+        let events: Vec<VmEvent> = (0..20).map(|i| arrive(i, f64::from(i as u32))).collect();
+        let t = trace(vms, events);
+        let transform = |v: &VmSpec| PlacementRequest::prefer_green(v, 1.25);
+
+        // One simulator reset across growing, shrinking, and re-shaped
+        // configs must match a fresh simulator at every step.
+        let mut reused = AllocationSim::new(ClusterConfig::mixed(1, 1), PlacementPolicy::BestFit);
+        for config in [
+            ClusterConfig::mixed(1, 1),
+            ClusterConfig::mixed(3, 2),
+            ClusterConfig::baseline_only(2),
+            ClusterConfig::mixed(0, 2),
+        ] {
+            reused.reset(config);
+            let out = reused.replay(&t, &transform);
+            let fresh = AllocationSim::new(config, PlacementPolicy::BestFit).replay(&t, &transform);
+            assert_eq!(out, fresh);
+        }
+    }
+
+    #[test]
     fn rejected_vm_departure_is_noop() {
         let vms = vec![vm(0, 200, 32.0, false)]; // cannot fit anywhere
         let events = vec![arrive(0, 1.0), depart(0, 2.0)];
-        let sim = AllocationSim::new(ClusterConfig::baseline_only(1), PlacementPolicy::BestFit);
+        let mut sim = AllocationSim::new(ClusterConfig::baseline_only(1), PlacementPolicy::BestFit);
         let out = sim.replay(&trace(vms, events), &baseline_transform);
         assert_eq!(out.rejected, 1);
         assert_eq!(out.placed_baseline, 0);

@@ -20,14 +20,12 @@ impl UsageLedger {
 
     /// Records a completed residency on the baseline pool.
     pub fn record_baseline(&mut self, app_index: u16, cores: u32, seconds: f64) {
-        *self.baseline_core_s.entry(app_index).or_default() +=
-            f64::from(cores) * seconds.max(0.0);
+        *self.baseline_core_s.entry(app_index).or_default() += f64::from(cores) * seconds.max(0.0);
     }
 
     /// Records a completed residency on the green pool.
     pub fn record_green(&mut self, app_index: u16, cores: u32, seconds: f64) {
-        *self.green_core_s.entry(app_index).or_default() +=
-            f64::from(cores) * seconds.max(0.0);
+        *self.green_core_s.entry(app_index).or_default() += f64::from(cores) * seconds.max(0.0);
     }
 
     /// Core-hours an application consumed on baseline servers.
@@ -52,12 +50,8 @@ impl UsageLedger {
 
     /// Application indices with any recorded usage, ascending.
     pub fn app_indices(&self) -> Vec<u16> {
-        let mut idx: Vec<u16> = self
-            .baseline_core_s
-            .keys()
-            .chain(self.green_core_s.keys())
-            .copied()
-            .collect();
+        let mut idx: Vec<u16> =
+            self.baseline_core_s.keys().chain(self.green_core_s.keys()).copied().collect();
         idx.sort_unstable();
         idx.dedup();
         idx

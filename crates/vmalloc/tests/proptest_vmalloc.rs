@@ -13,7 +13,8 @@ fn random_trace(n_vms: usize, seed: u64, full_node_pct: f64) -> Trace {
     let mut events = Vec::new();
     for id in 0..n_vms as u64 {
         let full_node = rng.gen_bool(full_node_pct);
-        let cores = if full_node { 80 } else { *[1u32, 2, 4, 8, 16].get(rng.gen_range(0..5)).unwrap() };
+        let cores =
+            if full_node { 80 } else { *[1u32, 2, 4, 8, 16].get(rng.gen_range(0..5)).unwrap() };
         let mem = if full_node { 768.0 } else { f64::from(cores) * rng.gen_range(2.0..10.0) };
         vms.push(VmSpec {
             id,

@@ -41,12 +41,7 @@ fn lc(
 }
 
 /// Shorthand constructor for a throughput-only (build) app entry.
-fn tp(
-    name: &'static str,
-    runtime_s: f64,
-    mem_gb: f64,
-    s: HardwareSensitivity,
-) -> ApplicationModel {
+fn tp(name: &'static str, runtime_s: f64, mem_gb: f64, s: HardwareSensitivity) -> ApplicationModel {
     ApplicationModel::new(
         name,
         AppClass::DevOps,
@@ -86,74 +81,190 @@ pub fn applications() -> Vec<ApplicationModel> {
         // ----- Big Data (32 % of core-hours) -----
         // Redis: network-bound in-memory KV store; scales onto efficient
         // cores with no penalty.
-        lc("Redis", AppClass::BigData, 0.10, 0.9, 40.0, false,
-           sens(0.05, 0.0, 0.0, 0.0, 0.0, 1.0, 0.50, 0.30)),
+        lc(
+            "Redis",
+            AppClass::BigData,
+            0.10,
+            0.9,
+            40.0,
+            false,
+            sens(0.05, 0.0, 0.0, 0.0, 0.0, 1.0, 0.50, 0.30),
+        ),
         // Masstree: socket-level working set fits Genoa's 384 MiB LLC but
         // not the 256 MiB of the other SKUs — struggles only vs Gen3.
-        lc("Masstree", AppClass::BigData, 1.10, 1.0, 48.0, false,
-           sens(0.10, 300.0, 3.60, 0.0, 0.0, 3.0, 0.70, 0.40)),
+        lc(
+            "Masstree",
+            AppClass::BigData,
+            1.10,
+            1.0,
+            48.0,
+            false,
+            sens(0.10, 300.0, 3.60, 0.0, 0.0, 3.0, 0.70, 0.40),
+        ),
         // Silo: OLTP with a hot per-core working set above Bergamo's
         // 2 MiB/core — struggles against every generation.
-        lc("Silo", AppClass::BigData, 0.80, 0.9, 32.0, false,
-           sens(0.40, 0.0, 0.0, 3.8, 1.80, 2.0, 0.60, 0.30)),
+        lc(
+            "Silo",
+            AppClass::BigData,
+            0.80,
+            0.9,
+            32.0,
+            false,
+            sens(0.40, 0.0, 0.0, 3.8, 1.80, 2.0, 0.60, 0.30),
+        ),
         // Shore: disk-bound OLTP; insensitive to the CPU swap and
         // CXL-tolerant.
-        lc("Shore", AppClass::BigData, 1.50, 1.0, 24.0, false,
-           sens(0.02, 0.0, 0.0, 0.0, 0.0, 0.5, 0.05, 0.10)),
+        lc(
+            "Shore",
+            AppClass::BigData,
+            1.50,
+            1.0,
+            24.0,
+            false,
+            sens(0.02, 0.0, 0.0, 0.0, 0.0, 0.5, 0.05, 0.10),
+        ),
         // ----- Web App (27 %) -----
         // Xapian: search with a large shared index; Genoa's LLC helps.
-        lc("Xapian", AppClass::WebApp, 2.00, 0.9, 16.0, false,
-           sens(0.15, 340.0, 1.10, 0.0, 0.0, 2.0, 0.40, 0.25)),
+        lc(
+            "Xapian",
+            AppClass::WebApp,
+            2.00,
+            0.9,
+            16.0,
+            false,
+            sens(0.15, 340.0, 1.10, 0.0, 0.0, 2.0, 0.40, 0.25),
+        ),
         // WebF-Dynamic: production web framework, frequency-sensitive.
-        lc("WebF-Dynamic", AppClass::WebApp, 4.00, 1.0, 16.0, true,
-           sens(0.50, 0.0, 0.0, 0.0, 0.0, 1.0, 0.35, 0.20)),
+        lc(
+            "WebF-Dynamic",
+            AppClass::WebApp,
+            4.00,
+            1.0,
+            16.0,
+            true,
+            sens(0.50, 0.0, 0.0, 0.0, 0.0, 1.0, 0.35, 0.20),
+        ),
         // WebF-Hot: hot code paths with cache affinity.
-        lc("WebF-Hot", AppClass::WebApp, 3.00, 1.0, 20.0, true,
-           sens(0.35, 300.0, 1.18, 0.0, 0.0, 1.5, 0.40, 0.20)),
+        lc(
+            "WebF-Hot",
+            AppClass::WebApp,
+            3.00,
+            1.0,
+            20.0,
+            true,
+            sens(0.35, 300.0, 1.18, 0.0, 0.0, 1.5, 0.40, 0.20),
+        ),
         // WebF-Cold: cold paths dominated by backend waits; tolerant.
-        lc("WebF-Cold", AppClass::WebApp, 6.00, 1.1, 12.0, true,
-           sens(0.03, 0.0, 0.0, 0.0, 0.0, 0.5, 0.05, 0.10)),
+        lc(
+            "WebF-Cold",
+            AppClass::WebApp,
+            6.00,
+            1.1,
+            12.0,
+            true,
+            sens(0.03, 0.0, 0.0, 0.0, 0.0, 0.5, 0.05, 0.10),
+        ),
         // ----- Real-Time Communication (24 %) -----
         // Moses: statistical MT with large language models; strongly
         // memory-latency-bound (the Fig. 8 high-penalty example).
-        lc("Moses", AppClass::Rtc, 2.90, 0.8, 50.0, false,
-           sens(0.10, 280.0, 0.60, 0.0, 0.0, 2.5, 0.80, 0.50)),
+        lc(
+            "Moses",
+            AppClass::Rtc,
+            2.90,
+            0.8,
+            50.0,
+            false,
+            sens(0.10, 280.0, 0.60, 0.0, 0.0, 2.5, 0.80, 0.50),
+        ),
         // Sphinx: speech recognition, compute/frequency-bound.
-        lc("Sphinx", AppClass::Rtc, 25.0, 0.7, 20.0, false,
-           sens(0.55, 0.0, 0.0, 0.0, 0.0, 1.5, 0.50, 0.30)),
+        lc(
+            "Sphinx",
+            AppClass::Rtc,
+            25.0,
+            0.7,
+            20.0,
+            false,
+            sens(0.55, 0.0, 0.0, 0.0, 0.0, 1.5, 0.50, 0.30),
+        ),
         // ----- ML Inference (11 %) -----
         // Img-DNN: vectorized inference, scales out cleanly.
-        lc("Img-DNN", AppClass::MlInference, 3.20, 0.6, 24.0, false,
-           sens(0.00, 0.0, 0.0, 0.0, 0.0, 2.0, 0.30, 0.20)),
+        lc(
+            "Img-DNN",
+            AppClass::MlInference,
+            3.20,
+            0.6,
+            24.0,
+            false,
+            sens(0.00, 0.0, 0.0, 0.0, 0.0, 2.0, 0.30, 0.20),
+        ),
         // ----- Web Proxy (4 %) -----
-        lc("Nginx", AppClass::WebProxy, 0.27, 1.0, 6.0, false,
-           sens(0.10, 290.0, 0.75, 0.0, 0.0, 0.5, 0.05, 0.10)),
-        lc("Caddy", AppClass::WebProxy, 0.30, 1.0, 6.0, false,
-           sens(0.02, 0.0, 0.0, 0.0, 0.0, 0.5, 0.05, 0.10)),
-        lc("Envoy", AppClass::WebProxy, 0.25, 1.0, 6.0, false,
-           sens(0.04, 0.0, 0.0, 0.0, 0.0, 0.5, 0.05, 0.10)),
+        lc(
+            "Nginx",
+            AppClass::WebProxy,
+            0.27,
+            1.0,
+            6.0,
+            false,
+            sens(0.10, 290.0, 0.75, 0.0, 0.0, 0.5, 0.05, 0.10),
+        ),
+        lc(
+            "Caddy",
+            AppClass::WebProxy,
+            0.30,
+            1.0,
+            6.0,
+            false,
+            sens(0.02, 0.0, 0.0, 0.0, 0.0, 0.5, 0.05, 0.10),
+        ),
+        lc(
+            "Envoy",
+            AppClass::WebProxy,
+            0.25,
+            1.0,
+            6.0,
+            false,
+            sens(0.04, 0.0, 0.0, 0.0, 0.0, 0.5, 0.05, 0.10),
+        ),
         // HAProxy: compute/network bound; the Fig. 8 low-penalty example
         // (~11 % peak loss under naive CXL placement).
-        lc("HAProxy", AppClass::WebProxy, 0.20, 1.0, 4.0, false,
-           sens(0.08, 290.0, 0.70, 0.0, 0.0, 0.5, 0.55, 0.20)),
+        lc(
+            "HAProxy",
+            AppClass::WebProxy,
+            0.20,
+            1.0,
+            4.0,
+            false,
+            sens(0.08, 290.0, 0.70, 0.0, 0.0, 0.5, 0.55, 0.20),
+        ),
         // ----- DevOps (1 %) -----
         // Traefik appears under DevOps in the paper's Table III.
-        lc("Traefik", AppClass::DevOps, 0.30, 1.0, 6.0, false,
-           sens(0.12, 290.0, 0.80, 0.0, 0.0, 0.5, 0.05, 0.10)),
+        lc(
+            "Traefik",
+            AppClass::DevOps,
+            0.30,
+            1.0,
+            6.0,
+            false,
+            sens(0.12, 290.0, 0.80, 0.0, 0.0, 0.5, 0.05, 0.10),
+        ),
         // Builds: throughput-only; frequency/cache terms calibrated
         // against Table II's Gen1/Gen2/GreenSKU-Efficient columns, CXL
         // terms against its GreenSKU-CXL column (PHP 1.38, Python 1.21,
         // Wasm 1.28 vs Gen3).
-        tp("Build-Python", 180.0, 12.0,
-           sens(0.26, 280.0, 0.99, 0.0, 0.0, 0.8, 0.17, 0.30)),
-        tp("Build-Wasm", 240.0, 16.0,
-           sens(0.03, 280.0, 1.66, 0.0, 0.0, 0.8, 0.37, 0.30)),
-        tp("Build-PHP", 150.0, 8.0,
-           sens(0.42, 280.0, 0.76, 0.0, 0.0, 0.8, 0.60, 0.30)),
+        tp("Build-Python", 180.0, 12.0, sens(0.26, 280.0, 0.99, 0.0, 0.0, 0.8, 0.17, 0.30)),
+        tp("Build-Wasm", 240.0, 16.0, sens(0.03, 280.0, 1.66, 0.0, 0.0, 0.8, 0.37, 0.30)),
+        tp("Build-PHP", 150.0, 8.0, sens(0.42, 280.0, 0.76, 0.0, 0.0, 0.8, 0.60, 0.30)),
         // WebF-Mix: the fourth production web service §V lists (Table
         // III omits it); a blend of the hot/cold/dynamic behaviours.
-        lc("WebF-Mix", AppClass::WebApp, 4.50, 1.0, 16.0, true,
-           sens(0.30, 300.0, 0.50, 0.0, 0.0, 1.0, 0.25, 0.20)),
+        lc(
+            "WebF-Mix",
+            AppClass::WebApp,
+            4.50,
+            1.0,
+            16.0,
+            true,
+            sens(0.30, 300.0, 0.50, 0.0, 0.0, 1.0, 0.25, 0.20),
+        ),
     ]
 }
 
@@ -211,11 +322,8 @@ mod tests {
 
     #[test]
     fn production_apps_are_the_webf_family() {
-        let prod: Vec<_> = applications()
-            .into_iter()
-            .filter(|a| a.is_production())
-            .map(|a| a.name())
-            .collect();
+        let prod: Vec<_> =
+            applications().into_iter().filter(|a| a.is_production()).map(|a| a.name()).collect();
         assert_eq!(prod, vec!["WebF-Dynamic", "WebF-Hot", "WebF-Cold", "WebF-Mix"]);
     }
 
@@ -231,10 +339,13 @@ mod tests {
     fn moses_heavily_cxl_penalized_haproxy_mildly() {
         let moses = by_name("Moses").unwrap();
         let haproxy = by_name("HAProxy").unwrap();
-        let m = moses.sensitivity().cxl_slowdown(
-            moses.sensitivity().cxl_naive_fraction, 140.0, 280.0);
+        let m =
+            moses.sensitivity().cxl_slowdown(moses.sensitivity().cxl_naive_fraction, 140.0, 280.0);
         let h = haproxy.sensitivity().cxl_slowdown(
-            haproxy.sensitivity().cxl_naive_fraction, 140.0, 280.0);
+            haproxy.sensitivity().cxl_naive_fraction,
+            140.0,
+            280.0,
+        );
         assert!(m > 1.3, "Moses CXL slowdown {m}");
         assert!((h - 1.11).abs() < 0.02, "HAProxy CXL slowdown {h}");
     }

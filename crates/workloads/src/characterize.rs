@@ -97,12 +97,9 @@ pub fn characterize(trace: &Trace) -> TraceProfile {
     }
     let mut class_core_hour_share: Vec<(AppClass, f64)> = AppClass::all()
         .iter()
-        .map(|&c| {
-            (c, class_hours.get(&c).copied().unwrap_or(0.0) / total_core_hours.max(1e-12))
-        })
+        .map(|&c| (c, class_hours.get(&c).copied().unwrap_or(0.0) / total_core_hours.max(1e-12)))
         .collect();
-    class_core_hour_share
-        .sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite shares"));
+    class_core_hour_share.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite shares"));
 
     let life_cdf = EmpiricalCdf::from_samples(lifetimes);
     let mem_cdf = EmpiricalCdf::from_samples(mem_utils.clone());
@@ -197,9 +194,8 @@ mod tests {
         // (big data 32 %, web 27 %, RTC 24 % ...), noting lifetimes add
         // variance.
         let p = profile();
-        let share = |c: AppClass| {
-            p.class_core_hour_share.iter().find(|(cc, _)| *cc == c).unwrap().1
-        };
+        let share =
+            |c: AppClass| p.class_core_hour_share.iter().find(|(cc, _)| *cc == c).unwrap().1;
         assert!(share(AppClass::BigData) > 0.15);
         assert!(share(AppClass::DevOps) < 0.25);
         let total: f64 = p.class_core_hour_share.iter().map(|(_, s)| s).sum();

@@ -60,12 +60,7 @@ impl FleetMix {
     /// satisfies `pred` (e.g. "tolerates full-CXL backing").
     pub fn weighted_fraction(&self, pred: impl Fn(&ApplicationModel) -> bool) -> f64 {
         let total: f64 = self.weights.iter().sum();
-        self.apps
-            .iter()
-            .zip(&self.weights)
-            .filter(|(a, _)| pred(a))
-            .map(|(_, w)| w)
-            .sum::<f64>()
+        self.apps.iter().zip(&self.weights).filter(|(a, _)| pred(a)).map(|(_, w)| w).sum::<f64>()
             / total
     }
 }
@@ -87,7 +82,12 @@ pub struct PublishedScaling {
 /// The published Table III scaling-factor matrix (reference data, not an
 /// input to the simulator). `None` encodes the paper's “>1.5” cells.
 pub fn published_table_iii() -> Vec<PublishedScaling> {
-    fn row(app: &'static str, g1: Option<f64>, g2: Option<f64>, g3: Option<f64>) -> PublishedScaling {
+    fn row(
+        app: &'static str,
+        g1: Option<f64>,
+        g2: Option<f64>,
+        g3: Option<f64>,
+    ) -> PublishedScaling {
         PublishedScaling { app, gen1: g1, gen2: g2, gen3: g3 }
     }
     vec![
@@ -140,10 +140,7 @@ mod tests {
         for class in AppClass::all() {
             let expected = class.core_hour_share_pct() / 99.0;
             let actual = *class_counts.get(&class).unwrap_or(&0) as f64 / n as f64;
-            assert!(
-                (actual - expected).abs() < 0.01,
-                "{class}: {actual} vs {expected}"
-            );
+            assert!((actual - expected).abs() < 0.01, "{class}: {actual} vs {expected}");
         }
     }
 

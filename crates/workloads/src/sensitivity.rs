@@ -133,10 +133,8 @@ mod tests {
 
     #[test]
     fn cxl_slowdown_degenerate_latencies() {
-        let s = HardwareSensitivity {
-            cxl_latency_weight: 1.0,
-            ..HardwareSensitivity::insensitive()
-        };
+        let s =
+            HardwareSensitivity { cxl_latency_weight: 1.0, ..HardwareSensitivity::insensitive() };
         assert_eq!(s.cxl_slowdown(1.0, 0.0, 280.0), 1.0);
         assert_eq!(s.cxl_slowdown(1.0, 140.0, 140.0), 1.0);
         assert_eq!(s.cxl_slowdown(1.0, 140.0, 100.0), 1.0);
@@ -144,10 +142,8 @@ mod tests {
 
     #[test]
     fn fraction_clamped() {
-        let s = HardwareSensitivity {
-            cxl_latency_weight: 1.0,
-            ..HardwareSensitivity::insensitive()
-        };
+        let s =
+            HardwareSensitivity { cxl_latency_weight: 1.0, ..HardwareSensitivity::insensitive() };
         assert_eq!(s.cxl_slowdown(2.0, 140.0, 280.0), s.cxl_slowdown(1.0, 140.0, 280.0));
     }
 

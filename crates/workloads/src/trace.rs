@@ -340,20 +340,14 @@ mod tests {
         let mut dangling = raw.to_vec();
         let n = dangling.len();
         dangling[n - 1] = 0xEE;
-        assert!(matches!(
-            Trace::decode(Bytes::from(dangling)),
-            Err(TraceCodecError::Corrupt(_))
-        ));
+        assert!(matches!(Trace::decode(Bytes::from(dangling)), Err(TraceCodecError::Corrupt(_))));
         // Corrupt an event time to NaN (event times start after the
         // VM block: header 22 + 2 VMs × 48 bytes).
         let mut nan_time = raw.to_vec();
         let event_time_off = 22 + 2 * 48;
         nan_time[event_time_off..event_time_off + 8]
             .copy_from_slice(&f64::NAN.to_bits().to_be_bytes());
-        assert!(matches!(
-            Trace::decode(Bytes::from(nan_time)),
-            Err(TraceCodecError::Corrupt(_))
-        ));
+        assert!(matches!(Trace::decode(Bytes::from(nan_time)), Err(TraceCodecError::Corrupt(_))));
     }
 
     #[test]

@@ -70,14 +70,7 @@ impl Default for TraceParams {
         Self {
             duration_hours: 24.0 * 7.0,
             arrivals_per_hour: 120.0,
-            size_classes: vec![
-                (1, 0.28),
-                (2, 0.26),
-                (4, 0.22),
-                (8, 0.14),
-                (16, 0.07),
-                (32, 0.03),
-            ],
+            size_classes: vec![(1, 0.28), (2, 0.26), (4, 0.22), (8, 0.14), (16, 0.07), (32, 0.03)],
             // Mean ≈ 6.6 GB/core: comfortably below the baseline's
             // 9.6 GB/core but, after scaling-factor inflation, close to
             // the GreenSKU's 8 GB/core — so memory packs tightly on the
@@ -129,14 +122,12 @@ impl TraceGenerator {
 
         let inter_arrival =
             Exponential::with_mean(3600.0 / p.arrivals_per_hour).expect("positive arrival rate");
-        let size_dist = Categorical::new(
-            &p.size_classes.iter().map(|(_, w)| *w).collect::<Vec<_>>(),
-        )
-        .expect("size weights valid");
-        let mem_dist = Categorical::new(
-            &p.mem_per_core_classes.iter().map(|(_, w)| *w).collect::<Vec<_>>(),
-        )
-        .expect("memory weights valid");
+        let size_dist =
+            Categorical::new(&p.size_classes.iter().map(|(_, w)| *w).collect::<Vec<_>>())
+                .expect("size weights valid");
+        let mem_dist =
+            Categorical::new(&p.mem_per_core_classes.iter().map(|(_, w)| *w).collect::<Vec<_>>())
+                .expect("memory weights valid");
         let gen_dist = Categorical::new(&p.generation_weights).expect("generation weights valid");
         let short_life =
             Exponential::with_mean(p.short_lifetime_hours * 3600.0).expect("positive lifetime");
@@ -169,8 +160,7 @@ impl TraceGenerator {
                 break;
             }
             if amplitude > 0.0 {
-                let rate_frac = (1.0
-                    + amplitude * (2.0 * std::f64::consts::PI * t / day_s).sin())
+                let rate_frac = (1.0 + amplitude * (2.0 * std::f64::consts::PI * t / day_s).sin())
                     / (1.0 + amplitude);
                 if rng.gen::<f64>() >= rate_frac {
                     continue;
@@ -233,11 +223,8 @@ pub fn standard_suite() -> Vec<TraceParams> {
         // Tilt the memory mix: traces alternate between lean and
         // memory-hungry clusters.
         let tilt = f64::from(i % 7) / 6.0; // 0..1
-        p.mem_per_core_classes = vec![
-            (4.0, 0.60 - 0.15 * tilt),
-            (8.0, 0.35),
-            (16.0, 0.05 + 0.15 * tilt),
-        ];
+        p.mem_per_core_classes =
+            vec![(4.0, 0.60 - 0.15 * tilt), (8.0, 0.35), (16.0, 0.05 + 0.15 * tilt)];
         // Lifetime mix: 80–92 % short-lived.
         p.short_lived_fraction = 0.80 + 0.004 * f64::from(i % 30);
         // Memory-utilization heterogeneity: some clusters run hot
@@ -256,7 +243,6 @@ mod tests {
     fn small_params() -> TraceParams {
         TraceParams { duration_hours: 24.0, arrivals_per_hour: 60.0, ..TraceParams::default() }
     }
-
 
     #[test]
     fn generation_is_deterministic() {
@@ -340,8 +326,7 @@ mod tests {
     fn mem_util_mostly_below_60pct() {
         let g = TraceGenerator::new(small_params());
         let trace = g.generate(&SeedFactory::new(7), 0);
-        let below: usize =
-            trace.vms().iter().filter(|v| v.max_mem_util < 0.6).count();
+        let below: usize = trace.vms().iter().filter(|v| v.max_mem_util < 0.6).count();
         assert!(below as f64 / trace.vms().len() as f64 > 0.55);
     }
 
@@ -366,10 +351,7 @@ mod tests {
                 }
             }
         }
-        assert!(
-            peak as f64 > 1.5 * trough as f64,
-            "peak {peak} vs trough {trough}"
-        );
+        assert!(peak as f64 > 1.5 * trough as f64, "peak {peak} vs trough {trough}");
     }
 
     #[test]

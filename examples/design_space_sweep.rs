@@ -91,8 +91,8 @@ fn candidate(mem_per_core: f64, cxl_share: f64) -> Result<ServerSpec, CarbonErro
 
 fn main() -> Result<(), CarbonError> {
     for ci in [0.04, 0.33] {
-        let params = ModelParams::default_open_source()
-            .with_carbon_intensity(CarbonIntensity::new(ci));
+        let params =
+            ModelParams::default_open_source().with_carbon_intensity(CarbonIntensity::new(ci));
         let model = CarbonModel::new(params);
         println!("== grid carbon intensity {ci} kgCO2e/kWh ==");
         let mut best: Option<(String, f64)> = None;

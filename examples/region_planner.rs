@@ -32,8 +32,7 @@ fn main() -> Result<(), GsfError> {
     for (region, ci) in region_carbon_intensities() {
         let mut savings = Vec::new();
         for design in GreenSkuDesign::all_three() {
-            let outcome =
-                pipeline.evaluate_at(&design, &trace, CarbonIntensity::new(ci))?;
+            let outcome = pipeline.evaluate_at(&design, &trace, CarbonIntensity::new(ci))?;
             savings.push((design.name().to_string(), outcome.cluster_savings));
         }
         let best = savings

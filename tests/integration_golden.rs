@@ -44,9 +44,7 @@ fn maintenance_chain() {
 fn table_viii_headline() {
     // GreenSKU-Full: 14 % / 38 % / 26 % in the published open-data run.
     let model = CarbonModel::new(ModelParams::default_open_source());
-    let s = model
-        .savings(&open_source::baseline_gen3(), &open_source::greensku_full())
-        .unwrap();
+    let s = model.savings(&open_source::baseline_gen3(), &open_source::greensku_full()).unwrap();
     assert!((s.operational - 0.14).abs() < 0.02);
     assert!((s.embodied - 0.38).abs() < 0.03);
     assert!((s.total - 0.26).abs() < 0.02);

@@ -58,10 +58,7 @@ fn savings_monotone_response_to_intensity_per_design() {
     let pipeline = GsfPipeline::new(PipelineConfig::default());
     let t = trace();
     let at = |design: &GreenSkuDesign, ci: f64| {
-        pipeline
-            .evaluate_at(design, &t, CarbonIntensity::new(ci))
-            .unwrap()
-            .cluster_savings
+        pipeline.evaluate_at(design, &t, CarbonIntensity::new(ci)).unwrap().cluster_savings
     };
     let eff = GreenSkuDesign::efficient();
     let full = GreenSkuDesign::full();

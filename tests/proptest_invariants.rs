@@ -8,9 +8,7 @@ use greensku::perf::analytic::MmcQueue;
 use greensku::perf::slowdown::slowdown_from_sensitivity;
 use greensku::perf::{MemoryPlacement, SkuPerfProfile};
 use greensku::stats::cdf::EmpiricalCdf;
-use greensku::vmalloc::{
-    AllocationSim, ClusterConfig, PlacementPolicy, PlacementRequest,
-};
+use greensku::vmalloc::{AllocationSim, ClusterConfig, PlacementPolicy, PlacementRequest};
 use greensku::workloads::{
     HardwareSensitivity, ServerGeneration, Trace, VmEvent, VmEventKind, VmSpec,
 };
@@ -149,7 +147,7 @@ proptest! {
             });
         }
         let trace = Trace::new(1100.0, vms, events);
-        let sim = AllocationSim::new(
+        let mut sim = AllocationSim::new(
             ClusterConfig::baseline_only(cluster),
             PlacementPolicy::BestFit,
         );

@@ -1,0 +1,211 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides `Criterion::bench_function`, `benchmark_group`,
+//! `Bencher::iter`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros. Measurement is a simple wall-clock mean
+//! (warm-up then timed batches) — adequate for the before/after ratio
+//! comparisons the workspace's benches make, with no plotting,
+//! statistics, or saved baselines.
+//!
+//! CLI behaviour matches what cargo drives: `--test` (passed by
+//! `cargo test` to harness-less bench targets) runs every benchmark
+//! body once without timing; the first non-flag argument is a
+//! substring filter on benchmark ids.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const WARMUP: Duration = Duration::from_millis(80);
+const MEASURE: Duration = Duration::from_millis(400);
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    test_mode: bool,
+    /// Mean wall-clock time per iteration from the last `iter` call.
+    last_mean_ns: f64,
+}
+
+impl Bencher {
+    /// Times `f`, storing the mean nanoseconds per iteration. In test
+    /// mode (`--test`) runs `f` exactly once, untimed.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            self.last_mean_ns = 0.0;
+            return;
+        }
+        // Warm-up: also estimates per-iteration cost to size batches.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < WARMUP {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let batch = ((MEASURE.as_secs_f64() / 10.0 / per_iter).ceil() as u64).max(1);
+
+        let mut total_iters: u64 = 0;
+        let measure_start = Instant::now();
+        while measure_start.elapsed() < MEASURE {
+            for _ in 0..batch {
+                black_box(f());
+            }
+            total_iters += batch;
+        }
+        self.last_mean_ns = measure_start.elapsed().as_secs_f64() * 1e9 / total_iters as f64;
+    }
+}
+
+/// Benchmark registry/driver, constructed per `criterion_group!`.
+pub struct Criterion {
+    filter: Option<String>,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+impl Criterion {
+    /// Builds a driver from the process arguments cargo passed.
+    pub fn from_env() -> Self {
+        let mut filter = None;
+        let mut test_mode = false;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                a if a.starts_with('-') => {}
+                a => {
+                    if filter.is_none() {
+                        filter = Some(a.to_string());
+                    }
+                }
+            }
+        }
+        Self { filter, test_mode }
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        if !self.matches(&id) {
+            return self;
+        }
+        let mut b = Bencher { test_mode: self.test_mode, last_mean_ns: 0.0 };
+        f(&mut b);
+        if self.test_mode {
+            println!("{id}: ok (test mode)");
+        } else {
+            println!("{id}: {}", format_ns(b.last_mean_ns));
+        }
+        self
+    }
+
+    /// Starts a named group; benchmark ids are prefixed `name/`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into() }
+    }
+}
+
+/// A group of related benchmarks sharing an id prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        self.criterion.bench_function(full, f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s/iter", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms/iter", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs/iter", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns/iter")
+    }
+}
+
+/// Defines a group function `fn $name()` that runs the listed
+/// benchmark functions against a fresh [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::from_env();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Defines `main()` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_times_cheap_closure() {
+        let mut b = Bencher { test_mode: false, last_mean_ns: 0.0 };
+        b.iter(|| black_box(1u64 + 1));
+        assert!(b.last_mean_ns > 0.0);
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut calls = 0u32;
+        let mut b = Bencher { test_mode: true, last_mean_ns: 1.0 };
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 1);
+        assert_eq!(b.last_mean_ns, 0.0);
+    }
+
+    #[test]
+    fn filter_matches_substring() {
+        let c = Criterion { filter: Some("pipe".into()), test_mode: true };
+        assert!(c.matches("fig12_pipeline_point"));
+        assert!(!c.matches("sizing_search"));
+        let all = Criterion { filter: None, test_mode: true };
+        assert!(all.matches("anything"));
+    }
+
+    #[test]
+    fn format_ns_picks_unit() {
+        assert!(format_ns(12.0).ends_with("ns/iter"));
+        assert!(format_ns(12_000.0).ends_with("µs/iter"));
+        assert!(format_ns(12_000_000.0).ends_with("ms/iter"));
+        assert!(format_ns(2e9).ends_with("s/iter"));
+    }
+}

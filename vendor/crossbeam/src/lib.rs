@@ -1,0 +1,107 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Implements `crossbeam::scope` — the only API the workspace uses — on
+//! top of `std::thread::scope`. Matching `crossbeam` 0.8 semantics:
+//! spawned closures receive a `&Scope` argument, and panics in worker
+//! threads surface as the `Err` variant of the scope result instead of
+//! propagating.
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Panic payload of a worker thread.
+pub type Panic = Box<dyn Any + Send + 'static>;
+
+/// A scope in which worker threads can be spawned.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+    panics: Arc<Mutex<Vec<Panic>>>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a worker thread. The closure receives this scope (so
+    /// workers can spawn more workers, as in `crossbeam`).
+    ///
+    /// Panics inside the closure are caught and reported through the
+    /// enclosing [`scope`] call's return value.
+    pub fn spawn<F, T>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let handle = Scope { inner: self.inner, panics: Arc::clone(&self.panics) };
+        self.inner.spawn(move || {
+            if let Err(p) = catch_unwind(AssertUnwindSafe(|| f(&handle))) {
+                handle.panics.lock().unwrap_or_else(PoisonError::into_inner).push(p);
+            }
+        });
+    }
+}
+
+/// Runs `f` with a [`Scope`]; joins every spawned thread before
+/// returning. Returns `Err` with the first worker panic payload if any
+/// worker panicked, `Ok` with the closure's result otherwise.
+///
+/// # Errors
+///
+/// Returns the panic payload of the first worker thread that panicked.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Panic>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    let panics: Arc<Mutex<Vec<Panic>>> = Arc::new(Mutex::new(Vec::new()));
+    let result = std::thread::scope(|s| {
+        let scope = Scope { inner: s, panics: Arc::clone(&panics) };
+        f(&scope)
+    });
+    let mut collected =
+        std::mem::take(&mut *panics.lock().unwrap_or_else(PoisonError::into_inner));
+    if collected.is_empty() {
+        Ok(result)
+    } else {
+        Err(collected.swap_remove(0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn workers_run_and_join() {
+        let counter = AtomicUsize::new(0);
+        let out = scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| counter.fetch_add(1, Ordering::SeqCst));
+            }
+            42
+        })
+        .unwrap();
+        assert_eq!(out, 42);
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn worker_panic_becomes_err() {
+        let r = scope(|s| {
+            s.spawn(|_| panic!("worker exploded"));
+        });
+        let payload = r.expect_err("panic must surface");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert!(msg.contains("exploded"), "{msg}");
+    }
+
+    #[test]
+    fn nested_spawn_from_worker() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| counter.fetch_add(1, Ordering::SeqCst));
+            });
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+    }
+}

@@ -1,0 +1,377 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the proptest API the workspace's property
+//! tests use: the [`proptest!`] macro (with an optional
+//! `#![proptest_config(..)]` header), numeric range strategies, tuple
+//! strategies with [`Strategy::prop_map`], `prop::collection::vec`,
+//! [`arbitrary::any`], and the `prop_assert*`/`prop_assume!` macros.
+//!
+//! Differences from real proptest, deliberate for an offline build:
+//! no shrinking (a failing case panics with the regular assert
+//! message), and cases are generated from a deterministic per-test
+//! seed derived from the test name, so failures reproduce exactly.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use rand::distributions::uniform::{SampleRange, SampleUniform};
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    impl<T> Strategy for std::ops::Range<T>
+    where
+        T: SampleUniform + PartialOrd + Copy,
+        std::ops::Range<T>: SampleRange<T> + Clone,
+    {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl<T> Strategy for std::ops::RangeInclusive<T>
+    where
+        T: SampleUniform + PartialOrd + Copy,
+        std::ops::RangeInclusive<T>: SampleRange<T> + Clone,
+    {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+    impl_tuple_strategy!(A, B, C, D, E, F, G);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Strategy producing `Vec`s whose length is drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    /// Generates vectors of values from `element` with a length in
+    /// `size` (half-open, like proptest's `0..n` size ranges).
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = if self.size.start + 1 >= self.size.end {
+                self.size.start
+            } else {
+                rng.gen_range(self.size.clone())
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` support for primitives.
+
+    use super::strategy::Strategy;
+    use rand::distributions::{Distribution, Standard};
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Types with a canonical whole-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// The canonical strategy for the type.
+        fn arbitrary() -> AnyStrategy<Self>;
+    }
+
+    /// Strategy returned by [`any`].
+    pub struct AnyStrategy<T> {
+        _marker: std::marker::PhantomData<T>,
+    }
+
+    impl<T> Strategy for AnyStrategy<T>
+    where
+        Standard: Distribution<T>,
+    {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            rng.gen()
+        }
+    }
+
+    impl<T> Arbitrary for T
+    where
+        Standard: Distribution<T>,
+    {
+        fn arbitrary() -> AnyStrategy<T> {
+            AnyStrategy { _marker: std::marker::PhantomData }
+        }
+    }
+
+    /// The canonical strategy for `T` (uniform over the whole domain
+    /// for integers, unit interval for floats, fair coin for bool).
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        T::arbitrary()
+    }
+}
+
+pub mod test_runner {
+    //! Runner configuration.
+
+    /// Configuration accepted by `#![proptest_config(..)]`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` generated cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+}
+
+/// Deterministic per-test RNG: FNV-1a over the test name.
+#[doc(hidden)]
+pub fn __seed_rng(name: &str) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...)` runs
+/// its body for `cases` generated inputs (default 256, overridable via
+/// a leading `#![proptest_config(..)]`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng = $crate::__seed_rng(stringify!($name));
+            for __case in 0..__config.cases {
+                let _ = __case;
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_fns!(($cfg) $($rest)*);
+    };
+}
+
+/// Boolean assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Equality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Inequality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Skips the current generated case when the precondition fails.
+/// Must appear at the top level of the test body (it expands to
+/// `continue` targeting the case loop).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+pub mod prelude {
+    //! One-stop import mirroring `proptest::prelude`.
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Map, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Mirror of the `prop` module alias from real proptest's prelude.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct Point {
+        x: f64,
+        y: f64,
+    }
+
+    fn arb_point() -> impl Strategy<Value = Point> {
+        (0.0..10.0f64, -5.0..5.0f64).prop_map(|(x, y)| Point { x, y })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(a in 1u64..100, b in -2.0..3.0f64, n in 1usize..10) {
+            prop_assert!((1..100).contains(&a));
+            prop_assert!((-2.0..3.0).contains(&b));
+            prop_assert!((1..10).contains(&n));
+        }
+
+        #[test]
+        fn vec_respects_size_and_element_ranges(xs in prop::collection::vec(0.0..1.0f64, 2..30)) {
+            prop_assert!(xs.len() >= 2 && xs.len() < 30);
+            prop_assert!(xs.iter().all(|x| (0.0..1.0).contains(x)));
+        }
+
+        #[test]
+        fn mapped_tuple_strategy_builds_structs(p in arb_point(), scale in 1.0..2.0f64) {
+            prop_assert!(p.x >= 0.0 && p.y.abs() <= 5.0);
+            prop_assert_ne!(scale, 0.0);
+            prop_assert_eq!(p.clone(), p);
+        }
+
+        #[test]
+        fn assume_skips_cases(x in 0u32..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn any_u8_covers_domain(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+            prop_assert!(bytes.len() < 64);
+        }
+    }
+
+    #[test]
+    fn runner_is_deterministic() {
+        let mut a = crate::__seed_rng("some_test");
+        let mut b = crate::__seed_rng("some_test");
+        let s = 0.0..1.0f64;
+        for _ in 0..16 {
+            let (x, y) = (
+                crate::strategy::Strategy::generate(&s, &mut a),
+                crate::strategy::Strategy::generate(&s, &mut b),
+            );
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+}

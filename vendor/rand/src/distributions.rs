@@ -1,0 +1,251 @@
+//! Distributions: the `Standard` distribution and uniform range
+//! sampling, mirroring `rand::distributions`.
+
+use crate::{Rng, RngCore};
+use std::marker::PhantomData;
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Draws one sample using `rng`.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+impl<T, D: Distribution<T> + ?Sized> Distribution<T> for &D {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T {
+        (**self).sample(rng)
+    }
+}
+
+/// Iterator of samples from a distribution (returned by
+/// [`Rng::sample_iter`]).
+#[derive(Debug)]
+pub struct DistIter<D, R, T> {
+    distr: D,
+    rng: R,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<D, R, T> DistIter<D, R, T> {
+    pub(crate) fn new(distr: D, rng: R) -> Self {
+        Self { distr, rng, _marker: PhantomData }
+    }
+}
+
+impl<D, R, T> Iterator for DistIter<D, R, T>
+where
+    D: Distribution<T>,
+    R: RngCore,
+{
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        Some(self.distr.sample(&mut self.rng))
+    }
+}
+
+/// The "natural" uniform distribution for a type: full range for
+/// integers, `[0, 1)` for floats, fair coin for `bool`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Standard;
+
+impl Distribution<f64> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Standard {
+            #[allow(clippy::cast_possible_truncation)]
+            fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+pub mod uniform {
+    //! Uniform sampling over ranges.
+
+    use crate::RngCore;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Types that can be sampled uniformly from a range.
+    pub trait SampleUniform: PartialOrd + Copy {
+        /// A sample from `[lo, hi)` (`hi` inclusive when `inclusive`).
+        fn sample_between<R: RngCore + ?Sized>(
+            rng: &mut R,
+            lo: Self,
+            hi: Self,
+            inclusive: bool,
+        ) -> Self;
+    }
+
+    /// Unbiased draw from `[0, span]` via Lemire-style rejection;
+    /// `span == u64::MAX` degenerates to a raw draw.
+    fn draw_u64<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+        if span == u64::MAX {
+            return rng.next_u64();
+        }
+        let m = span + 1;
+        // Rejection zone keeps the modulo unbiased.
+        let zone = u64::MAX - (u64::MAX - m + 1) % m;
+        loop {
+            let v = rng.next_u64();
+            if v <= zone {
+                return v % m;
+            }
+        }
+    }
+
+    macro_rules! impl_uniform_uint {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                #[allow(clippy::cast_possible_truncation)]
+                fn sample_between<R: RngCore + ?Sized>(
+                    rng: &mut R,
+                    lo: Self,
+                    hi: Self,
+                    inclusive: bool,
+                ) -> Self {
+                    let span = (hi as u64) - (lo as u64) - u64::from(!inclusive);
+                    lo + draw_u64(rng, span) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_uniform_uint!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_uniform_int {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                fn sample_between<R: RngCore + ?Sized>(
+                    rng: &mut R,
+                    lo: Self,
+                    hi: Self,
+                    inclusive: bool,
+                ) -> Self {
+                    // Shift into unsigned offset space to avoid overflow.
+                    let span = (hi as i64).wrapping_sub(lo as i64) as u64
+                        - u64::from(!inclusive);
+                    lo.wrapping_add(draw_u64(rng, span) as $t)
+                }
+            }
+        )*};
+    }
+
+    impl_uniform_int!(i8, i16, i32, i64, isize);
+
+    macro_rules! impl_uniform_float {
+        ($($t:ty, $bits:expr);*) => {$(
+            impl SampleUniform for $t {
+                fn sample_between<R: RngCore + ?Sized>(
+                    rng: &mut R,
+                    lo: Self,
+                    hi: Self,
+                    _inclusive: bool,
+                ) -> Self {
+                    let unit =
+                        (rng.next_u64() >> (64 - $bits)) as $t * (1.0 / (1u64 << $bits) as $t);
+                    lo + unit * (hi - lo)
+                }
+            }
+        )*};
+    }
+
+    impl_uniform_float!(f64, 53; f32, 24);
+
+    /// Ranges that [`crate::Rng::gen_range`] accepts.
+    pub trait SampleRange<T> {
+        /// Draws one sample from the range.
+        ///
+        /// # Panics
+        ///
+        /// Panics if the range is empty.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for Range<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            assert!(self.start < self.end, "cannot sample from an empty range");
+            T::sample_between(rng, self.start, self.end, false)
+        }
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            let (lo, hi) = self.into_inner();
+            assert!(lo <= hi, "cannot sample from an empty range");
+            T::sample_between(rng, lo, hi, true)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::uniform::SampleRange;
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn unbiased_small_modulus() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut counts = [0usize; 5];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[(0u64..5).sample_single(&mut rng) as usize] += 1;
+        }
+        for &c in &counts {
+            let p = c as f64 / n as f64;
+            assert!((p - 0.2).abs() < 0.01, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn inclusive_range_hits_endpoints() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut seen = [false; 3];
+        for _ in 0..1000 {
+            seen[(0u8..=2).sample_single(&mut rng) as usize] = true;
+        }
+        assert_eq!(seen, [true, true, true]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let _ = (5u32..5).sample_single(&mut rng);
+    }
+
+    #[test]
+    fn signed_ranges_cover_negative_values() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let mut saw_negative = false;
+        for _ in 0..1000 {
+            let v = (-10i64..10).sample_single(&mut rng);
+            assert!((-10..10).contains(&v));
+            saw_negative |= v < 0;
+        }
+        assert!(saw_negative);
+    }
+}

@@ -1,0 +1,154 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate implements exactly the API subset the workspace uses, with the
+//! same module paths and trait shapes as `rand` 0.8:
+//!
+//! - [`RngCore`] / [`Rng`] / [`SeedableRng`]
+//! - [`rngs::StdRng`] (xoshiro256** seeded via SplitMix64 — *not* the
+//!   upstream ChaCha12 stream; the workspace only relies on determinism
+//!   within a build, never on the exact stream)
+//! - [`distributions::Distribution`], [`distributions::Standard`], and
+//!   uniform range sampling via [`Rng::gen_range`]
+//!
+//! Streams are deterministic for a given seed, portable across
+//! platforms, and statistically sound for the simulation workloads here
+//! (xoshiro256** passes BigCrush). Cryptographic use is out of scope.
+
+pub mod distributions;
+pub mod rngs;
+
+/// Low-level source of randomness: a 64-bit generator.
+pub trait RngCore {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniformly random bits (upper half of [`Self::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A generator that can be constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed (expanded internally).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// User-facing randomness methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` from the [`distributions::Standard`]
+    /// distribution (uniform over the type's natural range; `[0, 1)` for
+    /// floats).
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+    {
+        use distributions::Distribution;
+        distributions::Standard.sample(self)
+    }
+
+    /// Samples uniformly from a range (`lo..hi` or `lo..=hi`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::uniform::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+
+    /// Samples from an explicit distribution.
+    fn sample<T, D: distributions::Distribution<T>>(&mut self, distr: D) -> T {
+        distr.sample(self)
+    }
+
+    /// Converts the generator into an iterator of samples.
+    fn sample_iter<T, D>(self, distr: D) -> distributions::DistIter<D, Self, T>
+    where
+        D: distributions::Distribution<T>,
+        Self: Sized,
+    {
+        distributions::DistIter::new(distr, self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::{Distribution, Standard};
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a: Vec<u64> = StdRng::seed_from_u64(7).sample_iter(Standard).take(4).collect();
+        let b: Vec<u64> = StdRng::seed_from_u64(7).sample_iter(Standard).take(4).collect();
+        assert_eq!(a, b);
+        let c: u64 = StdRng::seed_from_u64(8).gen();
+        assert_ne!(a[0], c);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(3u32..17);
+            assert!((3..17).contains(&x));
+            let y = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&y));
+            let z = rng.gen_range(0.25..4.0f64);
+            assert!((0.25..4.0).contains(&z));
+        }
+    }
+
+    #[test]
+    fn gen_bool_matches_probability() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| rng.gen_bool(0.3)).count();
+        let p = hits as f64 / n as f64;
+        assert!((p - 0.3).abs() < 0.01, "p = {p}");
+    }
+
+    #[test]
+    fn distribution_by_reference() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let d = Standard;
+        let _: f64 = (&d).sample(&mut rng);
+        let _: f64 = rng.sample(&d);
+    }
+
+    #[test]
+    fn u64_mean_near_midpoint() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 50_000u64;
+        // Average the top 16 bits to avoid overflow.
+        let mean: f64 = (0..n).map(|_| f64::from(rng.gen::<u64>() >> 48)).sum::<f64>() / n as f64;
+        assert!((mean / 65_536.0 - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

@@ -1,0 +1,48 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` purely as
+//! forward-compatibility markers; no serializer backend exists in this
+//! build. The traits here are blanket-implemented for every type so the
+//! derive (a no-op in the stand-in `serde_derive`) and any `T:
+//! Serialize` bounds both compile.
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait mirroring `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Owned-deserialization marker mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T> DeserializeOwned for T {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Mirror of `serde::de` with the owned-deserialization marker.
+pub mod de {
+    pub use super::DeserializeOwned;
+}
+
+#[cfg(test)]
+mod tests {
+    fn assert_serialize<T: super::Serialize>() {}
+
+    #[derive(super::Serialize, super::Deserialize, Debug, PartialEq)]
+    struct Probe {
+        x: f64,
+        name: String,
+    }
+
+    #[test]
+    fn derive_compiles_and_bounds_hold() {
+        assert_serialize::<Probe>();
+        assert_serialize::<Vec<u32>>();
+        let p = Probe { x: 1.0, name: "a".into() };
+        assert_eq!(p, Probe { x: 1.0, name: "a".into() });
+    }
+}

@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace only ever applies `#[derive(Serialize, Deserialize)]`
+//! as a forward-compatibility marker — nothing serializes at runtime —
+//! so both derives expand to nothing. The `serde` stand-in crate
+//! provides blanket trait impls, keeping `T: Serialize` bounds valid.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
