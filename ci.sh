@@ -3,6 +3,15 @@
 set -euo pipefail
 
 cargo fmt --check
-cargo clippy --workspace -- -D warnings
+# --all-targets extends the gates (including clippy::unwrap_used, which
+# every library crate warns on) to tests and benches; test modules
+# allow-list unwrap explicitly.
+cargo clippy --workspace --all-targets -- -D warnings
 cargo build --release
-cargo test -q
+# --workspace: a bare `cargo test` from the root only tests the root
+# package (integration suites), silently skipping every crate.
+cargo test -q --workspace
+# Fault-injection determinism is a hard guarantee (FaultModel::none()
+# bit-identical; enabled models seed-deterministic): run its suite
+# explicitly so a filtered or partial test run cannot mask a drift.
+cargo test -q -p gsf-core --test fault_determinism

@@ -38,6 +38,7 @@ pub fn bench_seeds() -> SeedFactory {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -285,6 +285,7 @@ impl FleetBreakdown {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

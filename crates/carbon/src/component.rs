@@ -238,6 +238,7 @@ impl ComponentSpec {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

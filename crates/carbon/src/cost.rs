@@ -141,6 +141,7 @@ impl CostModel {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::datasets::open_source;

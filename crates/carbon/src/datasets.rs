@@ -376,6 +376,7 @@ pub mod open_source {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::open_source::*;
     use super::*;

@@ -82,6 +82,7 @@ impl Default for DeratingCurve {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -158,6 +158,7 @@ pub fn lifetime_extension_for_savings(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::breakdown::DEFAULT_RENEWABLE_FRACTION;

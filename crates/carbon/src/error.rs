@@ -67,6 +67,7 @@ impl fmt::Display for CarbonError {
 impl std::error::Error for CarbonError {}
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -125,6 +125,7 @@ pub fn region(name: &str) -> Option<RegionGrid> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -32,6 +32,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
 
 pub mod breakdown;
 pub mod component;

@@ -90,6 +90,7 @@ impl ComponentLifetimes {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::datasets::open_source;

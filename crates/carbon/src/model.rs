@@ -184,6 +184,7 @@ impl CarbonModel {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::component::{ComponentClass, ComponentSpec};

@@ -177,6 +177,25 @@ impl ModelParams {
         self
     }
 
+    /// Validating constructor: assembles and checks the full parameter
+    /// set in one step, so a `ModelParams` built this way is known-good
+    /// before it reaches the model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CarbonError::InvalidParams`] naming the offending field
+    /// when any input is NaN, negative, or out of range.
+    pub fn try_new(
+        carbon_intensity: CarbonIntensity,
+        lifetime: Years,
+        rack: RackParams,
+        overheads: DataCenterOverheads,
+    ) -> Result<Self, CarbonError> {
+        let params = Self { carbon_intensity, lifetime, rack, overheads };
+        params.validate()?;
+        Ok(params)
+    }
+
     /// Validates all parameters.
     ///
     /// # Errors
@@ -199,6 +218,7 @@ impl ModelParams {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 
@@ -229,6 +249,41 @@ mod tests {
         let mut p = ModelParams::default_open_source();
         p.rack.misc_power = Watts::new(20_000.0);
         assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn try_new_accepts_paper_inputs_and_rejects_bad_ones() {
+        let good = ModelParams::default_open_source();
+        let built =
+            ModelParams::try_new(good.carbon_intensity, good.lifetime, good.rack, good.overheads)
+                .unwrap();
+        assert_eq!(built, good);
+
+        // NaN carbon intensity.
+        let e = ModelParams::try_new(
+            CarbonIntensity::new(f64::NAN),
+            good.lifetime,
+            good.rack,
+            good.overheads,
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("carbon intensity"), "{e}");
+
+        // Negative lifetime.
+        let e = ModelParams::try_new(
+            good.carbon_intensity,
+            Years::new(-1.0),
+            good.rack,
+            good.overheads,
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("lifetime"), "{e}");
+
+        // Sub-validator: rack misc power above capacity.
+        let mut rack = good.rack;
+        rack.misc_power = Watts::new(1e9);
+        assert!(ModelParams::try_new(good.carbon_intensity, good.lifetime, rack, good.overheads)
+            .is_err());
     }
 
     #[test]

@@ -102,6 +102,7 @@ impl RackFill {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::component::{ComponentClass, ComponentSpec};

@@ -99,6 +99,7 @@ pub fn greensku_gen2_lpddr() -> Result<ServerSpec, CarbonError> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::model::CarbonModel;

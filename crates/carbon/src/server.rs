@@ -194,6 +194,7 @@ impl ServerSpecBuilder {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -37,6 +37,8 @@ pub enum CliError {
     Io(std::io::Error),
     /// Trace decoding failure.
     Trace(TraceCodecError),
+    /// Invalid fault-model parameter.
+    Maintenance(gsf_maintenance::MaintenanceError),
 }
 
 impl fmt::Display for CliError {
@@ -51,6 +53,7 @@ impl fmt::Display for CliError {
             CliError::Gsf(e) => write!(f, "{e}"),
             CliError::Io(e) => write!(f, "{e}"),
             CliError::Trace(e) => write!(f, "{e}"),
+            CliError::Maintenance(e) => write!(f, "{e}"),
         }
     }
 }
@@ -80,6 +83,11 @@ impl From<std::io::Error> for CliError {
 impl From<TraceCodecError> for CliError {
     fn from(e: TraceCodecError) -> Self {
         CliError::Trace(e)
+    }
+}
+impl From<gsf_maintenance::MaintenanceError> for CliError {
+    fn from(e: gsf_maintenance::MaintenanceError) -> Self {
+        CliError::Maintenance(e)
     }
 }
 
@@ -163,7 +171,9 @@ pub fn help() -> String {
          \u{20}  replay    --trace FILE --design NAME\n\
          \u{20}  characterize [--trace FILE | --hours H --arrivals A --seed S]\n\
          \u{20}  regions                            per-region CI and best design\n\
-         \u{20}  defer     --region NAME [--runtime H] [--cores N]\n\nSKUs: ",
+         \u{20}  defer     --region NAME [--runtime H] [--cores N]\n\
+         \u{20}  faults    --design NAME [--afr-scale X] [--fip F] [--years Y] [--fault-seed S]\n\
+         \u{20}  fleet     --design NAME [--traces N] [--workers N] [--hours H] [--seed S]\n\nSKUs: ",
     );
     out.push_str(&SKU_NAMES.join(", "));
     out.push('\n');
@@ -191,6 +201,8 @@ pub fn run_command(args: &Args) -> Result<String, CliError> {
         "characterize" => characterize_cmd(args),
         "regions" => regions_cmd(),
         "defer" => defer_cmd(args),
+        "faults" => faults_cmd(args),
+        "fleet" => fleet_cmd(args),
         other => Err(CliError::UnknownCommand(other.to_string())),
     }
 }
@@ -445,7 +457,103 @@ fn defer_cmd(args: &Args) -> Result<String, CliError> {
     ))
 }
 
+fn faults_cmd(args: &Args) -> Result<String, CliError> {
+    use gsf_maintenance::{ComponentAfrs, FaultModel, FipPolicy};
+    let design = design_by_name(args.get_or("design", "full"))?;
+    let trace = trace_from(args)?;
+    let afr_scale = args.get_num("afr-scale", 1.0)?;
+    let fip = args.get_num("fip", 0.75)?;
+    let years = args.get_num("years", 1.0)?;
+    let fault_seed = args.get_num("fault-seed", 7u64)?;
+    let paper = FaultModel::paper(fault_seed);
+    let model = FaultModel::new(
+        ComponentAfrs::paper(),
+        FipPolicy { effectiveness: fip },
+        afr_scale,
+        years,
+        paper.degrade_core_fraction,
+        paper.degrade_mem_fraction,
+        paper.max_evac_passes,
+        fault_seed,
+    )?;
+    let clean = GsfPipeline::new(PipelineConfig::default());
+    let faulted = GsfPipeline::new(PipelineConfig { faults: model, ..PipelineConfig::default() });
+    let c = clean.evaluate(&design, &trace)?;
+    let f = faulted.evaluate(&design, &trace)?;
+    let mut t = Table::new(vec!["Metric", "Fault-free", "Faulted"]);
+    let plan = |o: &gsf_core::PipelineOutcome| {
+        format!(
+            "{} + {} (buffered {} + {})",
+            o.plan.baseline, o.plan.green, o.plan_buffered.baseline, o.plan_buffered.green
+        )
+    };
+    t.row(vec!["plan (baseline + green)".into(), plan(&c), plan(&f)]);
+    t.row(vec![
+        "cluster savings".into(),
+        fmt_pct(c.cluster_savings, 1),
+        fmt_pct(f.cluster_savings, 1),
+    ]);
+    t.row(vec![
+        "expected capacity loss".into(),
+        fmt_pct(c.expected_capacity_loss, 2),
+        fmt_pct(f.expected_capacity_loss, 2),
+    ]);
+    t.row(vec![
+        "full failures / partial degrades".into(),
+        format!("{} / {}", c.faults.full_failures, c.faults.partial_degrades),
+        format!("{} / {}", f.faults.full_failures, f.faults.partial_degrades),
+    ]);
+    t.row(vec![
+        "VMs displaced / evacuated".into(),
+        format!("{} / {}", c.faults.displaced, c.faults.evacuated),
+        format!("{} / {}", f.faults.displaced, f.faults.evacuated),
+    ]);
+    t.row(vec![
+        "evacuation failures".into(),
+        c.faults.evacuation_failures.to_string(),
+        f.faults.evacuation_failures.to_string(),
+    ]);
+    Ok(format!(
+        "{} — AFR×{:.2}, FIP {:.0}%, {:.1} y horizon, seed {}\n{}",
+        f.design,
+        afr_scale,
+        fip * 100.0,
+        years,
+        fault_seed,
+        t.render_text()
+    ))
+}
+
+fn fleet_cmd(args: &Args) -> Result<String, CliError> {
+    let design = design_by_name(args.get_or("design", "full"))?;
+    let n: usize = args.get_num("traces", 4usize)?;
+    let workers: usize = args.get_num("workers", gsf_cluster::parallel::default_workers())?;
+    let hours = args.get_num("hours", 24.0)?;
+    let arrivals = args.get_num("arrivals", 80.0)?;
+    let seed = args.get_num("seed", 42u64)?;
+    let gen = TraceGenerator::new(TraceParams {
+        duration_hours: hours,
+        arrivals_per_hour: arrivals,
+        ..TraceParams::default()
+    });
+    let factory = SeedFactory::new(seed);
+    let traces: Vec<Trace> = (0..n.max(1) as u64).map(|i| gen.generate(&factory, i)).collect();
+    let pipeline = GsfPipeline::new(PipelineConfig::default());
+    let o = pipeline.evaluate_fleet(&design, &traces, workers.max(1))?;
+    Ok(format!(
+        "{} across {} traces ({} workers):\n  cluster savings: mean {}  min {}  max {}\n  DC savings:      mean {}\n",
+        design.name(),
+        traces.len(),
+        workers.max(1),
+        fmt_pct(o.mean_cluster_savings, 1),
+        fmt_pct(o.min_cluster_savings, 1),
+        fmt_pct(o.max_cluster_savings, 1),
+        fmt_pct(o.mean_dc_savings, 1),
+    ))
+}
+
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 
@@ -552,8 +660,72 @@ mod tests {
     #[test]
     fn help_lists_commands() {
         let h = run(&["help"]).unwrap();
-        for cmd in ["assess", "compare", "sweep", "report", "gen-trace", "replay"] {
+        for cmd in
+            ["assess", "compare", "sweep", "report", "gen-trace", "replay", "faults", "fleet"]
+        {
             assert!(h.contains(cmd), "{cmd}");
         }
+    }
+
+    #[test]
+    fn faults_compares_clean_and_faulted_runs() {
+        let out = run(&[
+            "faults",
+            "--design",
+            "full",
+            "--hours",
+            "6",
+            "--arrivals",
+            "30",
+            "--afr-scale",
+            "20",
+        ])
+        .unwrap();
+        assert!(out.contains("expected capacity loss"), "{out}");
+        assert!(out.contains("evacuation failures"), "{out}");
+        // The fault-free column reports a zero-event summary.
+        assert!(out.contains("0 / 0"), "{out}");
+    }
+
+    #[test]
+    fn faults_rejects_invalid_fip() {
+        let e = run(&["faults", "--fip", "1.5", "--hours", "2"]).unwrap_err();
+        assert!(matches!(e, CliError::Maintenance(_)), "{e}");
+    }
+
+    #[test]
+    fn fleet_reports_mean_savings_and_honors_workers() {
+        let serial = run(&[
+            "fleet",
+            "--design",
+            "full",
+            "--traces",
+            "2",
+            "--hours",
+            "4",
+            "--arrivals",
+            "30",
+            "--workers",
+            "1",
+        ])
+        .unwrap();
+        let parallel = run(&[
+            "fleet",
+            "--design",
+            "full",
+            "--traces",
+            "2",
+            "--hours",
+            "4",
+            "--arrivals",
+            "30",
+            "--workers",
+            "4",
+        ])
+        .unwrap();
+        assert!(serial.contains("cluster savings"), "{serial}");
+        // Worker count must not change the numbers, only the schedule.
+        let tail = |s: &str| s.split(':').skip(1).collect::<String>();
+        assert_eq!(tail(&serial), tail(&parallel));
     }
 }

@@ -14,9 +14,12 @@
 //! gsf tco
 //! gsf gen-trace --out trace.bin [--hours 24] [--arrivals 80] [--seed 42]
 //! gsf replay --trace trace.bin --design full
+//! gsf faults --design full [--afr-scale 1] [--fip 0.75] [--years 1] [--fault-seed 7]
+//! gsf fleet --design full [--traces 4] [--workers N] [--hours 24] [--seed 42]
 //! ```
 
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
 
 pub mod args;
 pub mod commands;

@@ -68,6 +68,7 @@ impl Default for GrowthBufferPolicy {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -12,6 +12,7 @@
 //!   packing study of Figs. 9/10).
 
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
 
 pub mod buffer;
 pub mod parallel;
@@ -20,4 +21,7 @@ pub mod sizing;
 
 pub use buffer::GrowthBufferPolicy;
 pub use savings::{cluster_emissions, savings_fraction};
-pub use sizing::{right_size_baseline_only, right_size_mixed, ClusterPlan, SizingError};
+pub use sizing::{
+    right_size_baseline_only, right_size_baseline_only_faulted, right_size_mixed,
+    right_size_mixed_faulted, ClusterPlan, FaultInjection, SizingError,
+};

@@ -24,6 +24,7 @@ pub fn savings_fraction(mixed: KgCo2e, baseline_only: KgCo2e) -> f64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use gsf_carbon::component::{ComponentClass, ComponentSpec};

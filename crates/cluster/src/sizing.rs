@@ -8,10 +8,37 @@
 //! baseline pool. Both steps are monotone feasibility searches, so they
 //! run as binary searches over simulator replays.
 
-use gsf_vmalloc::{AllocationSim, ClusterConfig, PlacementPolicy, ServerShape, VmTransform};
+use gsf_maintenance::{FaultModel, PoolDevices};
+use gsf_vmalloc::{
+    AllocationSim, ClusterConfig, FaultPlan, PlacementPolicy, ServerShape, VmTransform,
+};
 use gsf_workloads::Trace;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+
+/// Fault injection as seen by the sizing searches: a model plus the
+/// per-pool device counts it needs to derive server AFRs. When present,
+/// "feasible" tightens from "no rejections" to "no rejections *and*
+/// every fault-displaced VM found a new home" — sizing then provisions
+/// enough slack to ride out the sampled failures.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultInjection<'a> {
+    /// The fault model (must be enabled; a disabled model is the same
+    /// as passing `None`).
+    pub model: &'a FaultModel,
+    /// Device counts per baseline server.
+    pub baseline_devices: PoolDevices,
+    /// Device counts per GreenSKU server.
+    pub green_devices: PoolDevices,
+}
+
+impl FaultInjection<'_> {
+    /// The fault plan this injection schedules for one candidate
+    /// cluster configuration.
+    pub fn plan_for(&self, config: &ClusterConfig, duration_s: f64) -> FaultPlan {
+        self.model.plan(config, self.baseline_devices, self.green_devices, duration_s)
+    }
+}
 
 /// The sized cluster: how many of each SKU the workload needs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -57,9 +84,19 @@ fn feasible(
     trace: &Trace,
     transform: &VmTransform<'_>,
     config: ClusterConfig,
+    faults: Option<&FaultInjection<'_>>,
 ) -> bool {
     sim.reset(config);
-    sim.replay(trace, transform).no_rejections()
+    match faults {
+        // The fault-free path must stay bit-identical to the pre-fault
+        // code: plain replay, plain predicate.
+        None => sim.replay(trace, transform).no_rejections(),
+        Some(inj) => {
+            let plan = inj.plan_for(&config, trace.duration_s());
+            let (outcome, summary) = sim.replay_faulted(trace, transform, &plan);
+            outcome.no_rejections() && summary.all_evacuated()
+        }
+    }
 }
 
 /// Smallest `n` in `[lo, hi]` with `pred(n)` true, assuming monotone
@@ -93,6 +130,25 @@ pub fn right_size_baseline_only(
     baseline_shape: ServerShape,
     policy: PlacementPolicy,
 ) -> Result<u32, SizingError> {
+    right_size_baseline_only_faulted(trace, baseline_shape, policy, None)
+}
+
+/// [`right_size_baseline_only`] under fault injection: each candidate
+/// count is probed with that configuration's fault plan, and a size is
+/// feasible only if no VM is rejected *and* every fault-displaced VM is
+/// successfully evacuated. `None` (or a disabled model) is exactly the
+/// plain search.
+///
+/// # Errors
+///
+/// Returns [`SizingError::Infeasible`] as the plain search does.
+pub fn right_size_baseline_only_faulted(
+    trace: &Trace,
+    baseline_shape: ServerShape,
+    policy: PlacementPolicy,
+    faults: Option<&FaultInjection<'_>>,
+) -> Result<u32, SizingError> {
+    let faults = faults.filter(|f| !f.model.is_none());
     let transform = |vm: &gsf_workloads::VmSpec| gsf_vmalloc::PlacementRequest::baseline_only(vm);
     let (peak_cores, peak_mem) = trace.peak_demand();
     let by_cores = peak_cores.div_ceil(u64::from(baseline_shape.cores));
@@ -106,7 +162,7 @@ pub fn right_size_baseline_only(
         green_shape: ServerShape::greensku(),
     };
     let mut sim = AllocationSim::new(config(0), policy);
-    binary_search_min(lower, bound, |n| feasible(&mut sim, trace, &transform, config(n)))
+    binary_search_min(lower, bound, |n| feasible(&mut sim, trace, &transform, config(n), faults))
         .ok_or(SizingError::Infeasible { bound })
 }
 
@@ -129,7 +185,26 @@ pub fn right_size_mixed(
     green_shape: ServerShape,
     policy: PlacementPolicy,
 ) -> Result<ClusterPlan, SizingError> {
-    let n0 = right_size_baseline_only(trace, baseline_shape, policy)?;
+    right_size_mixed_faulted(trace, transform, baseline_shape, green_shape, policy, None)
+}
+
+/// [`right_size_mixed`] under fault injection; see
+/// [`right_size_baseline_only_faulted`] for the tightened feasibility
+/// predicate. `None` (or a disabled model) is exactly the plain search.
+///
+/// # Errors
+///
+/// Returns [`SizingError::Infeasible`] as the plain search does.
+pub fn right_size_mixed_faulted(
+    trace: &Trace,
+    transform: &VmTransform<'_>,
+    baseline_shape: ServerShape,
+    green_shape: ServerShape,
+    policy: PlacementPolicy,
+    faults: Option<&FaultInjection<'_>>,
+) -> Result<ClusterPlan, SizingError> {
+    let faults = faults.filter(|f| !f.model.is_none());
+    let n0 = right_size_baseline_only_faulted(trace, baseline_shape, policy, faults)?;
     // A green server is at least as large as a baseline server in both
     // dimensions for the standard shapes; scale the green cap by the
     // shape ratio plus slack for scaling-factor inflation. The 1.6×
@@ -154,7 +229,7 @@ pub fn right_size_mixed(
     // scaling factors, packing anomalies) — double it and retry.
     let mut b_min = loop {
         let found = binary_search_min(0, n0, |b| {
-            feasible(&mut sim, trace, transform, config(b, green_cap))
+            feasible(&mut sim, trace, transform, config(b, green_cap), faults)
         });
         if let Some(b) = found {
             break b;
@@ -169,7 +244,7 @@ pub fn right_size_mixed(
     while b_min > 0 && green_cap < cap_limit {
         let doubled = green_cap.saturating_mul(2).min(cap_limit);
         match binary_search_min(0, b_min - 1, |b| {
-            feasible(&mut sim, trace, transform, config(b, doubled))
+            feasible(&mut sim, trace, transform, config(b, doubled), faults)
         }) {
             Some(b) => {
                 green_cap = doubled;
@@ -178,14 +253,20 @@ pub fn right_size_mixed(
             None => break,
         }
     }
-    // ...then the fewest GreenSKUs given that baseline pool.
-    let g_min =
-        binary_search_min(0, green_cap, |g| feasible(&mut sim, trace, transform, config(b_min, g)))
-            .expect("green_cap was feasible in the previous search");
+    // ...then the fewest GreenSKUs given that baseline pool. The cap
+    // itself was feasible with `b_min` in the searches above, and the
+    // probes are deterministic, so this search cannot come up empty —
+    // but report Infeasible rather than panicking if that invariant is
+    // ever broken.
+    let g_min = binary_search_min(0, green_cap, |g| {
+        feasible(&mut sim, trace, transform, config(b_min, g), faults)
+    })
+    .ok_or(SizingError::Infeasible { bound: n0 + green_cap })?;
     Ok(ClusterPlan { baseline: b_min, green: g_min })
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use gsf_vmalloc::PlacementRequest;
@@ -337,6 +418,101 @@ mod tests {
         .unwrap();
         assert_eq!(plan.baseline, 0, "plan {plan:?}");
         assert_eq!(plan.green, 25);
+    }
+
+    #[test]
+    fn disabled_fault_model_sizes_identically() {
+        let trace = concurrent_trace(30);
+        let model = FaultModel::none();
+        let inj = FaultInjection {
+            model: &model,
+            baseline_devices: PoolDevices::baseline(),
+            green_devices: PoolDevices::greensku_full(),
+        };
+        let plain = right_size_baseline_only(
+            &trace,
+            ServerShape::baseline_gen3(),
+            PlacementPolicy::BestFit,
+        )
+        .unwrap();
+        let faulted = right_size_baseline_only_faulted(
+            &trace,
+            ServerShape::baseline_gen3(),
+            PlacementPolicy::BestFit,
+            Some(&inj),
+        )
+        .unwrap();
+        assert_eq!(plain, faulted);
+    }
+
+    #[test]
+    fn fault_injection_never_shrinks_the_cluster() {
+        // Aggressive failure injection: the sized cluster must be at
+        // least as large as the fault-free one, and large enough that
+        // replaying its own fault plan causes no violations.
+        let trace = concurrent_trace(30);
+        let mut model = FaultModel::paper(13);
+        model.afr_scale = 40.0;
+        let inj = FaultInjection {
+            model: &model,
+            baseline_devices: PoolDevices::baseline(),
+            green_devices: PoolDevices::greensku_full(),
+        };
+        let shape = ServerShape::baseline_gen3();
+        let plain = right_size_baseline_only(&trace, shape, PlacementPolicy::BestFit).unwrap();
+        let faulted =
+            right_size_baseline_only_faulted(&trace, shape, PlacementPolicy::BestFit, Some(&inj))
+                .unwrap();
+        assert!(faulted >= plain, "faulted {faulted} < plain {plain}");
+        let config = ClusterConfig {
+            baseline_count: faulted,
+            baseline_shape: shape,
+            green_count: 0,
+            green_shape: ServerShape::greensku(),
+        };
+        let plan = inj.plan_for(&config, trace.duration_s());
+        assert!(!plan.is_empty(), "at 40x AFR the plan should contain faults");
+        let mut sim = AllocationSim::new(config, PlacementPolicy::BestFit);
+        let (out, summary) =
+            sim.replay_faulted(&trace, &|vm: &VmSpec| PlacementRequest::baseline_only(vm), &plan);
+        assert!(out.no_rejections());
+        assert!(summary.all_evacuated());
+    }
+
+    #[test]
+    fn faulted_mixed_sizing_is_deterministic() {
+        let trace = concurrent_trace(24);
+        let mut model = FaultModel::paper(21);
+        model.afr_scale = 30.0;
+        let inj = FaultInjection {
+            model: &model,
+            baseline_devices: PoolDevices::baseline(),
+            green_devices: PoolDevices::greensku_full(),
+        };
+        let transform = |v: &VmSpec| PlacementRequest::prefer_green(v, 1.25);
+        let run = || {
+            right_size_mixed_faulted(
+                &trace,
+                &transform,
+                ServerShape::baseline_gen3(),
+                ServerShape::greensku(),
+                PlacementPolicy::BestFit,
+                Some(&inj),
+            )
+            .unwrap()
+        };
+        let a = run();
+        assert_eq!(a, run());
+        // And at least the fault-free capacity.
+        let plain = right_size_mixed(
+            &trace,
+            &transform,
+            ServerShape::baseline_gen3(),
+            ServerShape::greensku(),
+            PlacementPolicy::BestFit,
+        )
+        .unwrap();
+        assert!(a.total() >= plain.total(), "faulted {a:?} vs plain {plain:?}");
     }
 
     #[test]

@@ -136,6 +136,7 @@ impl AdoptionModel {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::components::{DefaultCarbon, DefaultPerformance};

@@ -104,6 +104,7 @@ impl AttributionReport {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::components::{CarbonComponent, DefaultCarbon};

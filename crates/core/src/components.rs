@@ -129,6 +129,7 @@ impl MaintenanceComponent for DefaultMaintenance {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use gsf_carbon::datasets::open_source;

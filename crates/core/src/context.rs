@@ -27,7 +27,7 @@
 use crate::components::{CarbonComponent, DefaultCarbon};
 use gsf_carbon::{Assessment, CarbonError, ModelParams, ServerSpec};
 use gsf_cluster::sizing::ClusterPlan;
-use gsf_vmalloc::{PlacementPolicy, ServerShape, SimOutcome};
+use gsf_vmalloc::{FaultSummary, PlacementPolicy, ServerShape, SimOutcome};
 use gsf_workloads::{ServerGeneration, Trace};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -113,7 +113,10 @@ impl KeyWriter {
 /// Structural key for the memoized sizing searches: the exact trace
 /// encoding plus everything the sizing + replay stage depends on — the
 /// router's per-(application, generation) decision table, both server
-/// shapes, the placement policy, and the growth-buffer fraction.
+/// shapes, the placement policy, the growth-buffer fraction, and the
+/// fault-model signature (so fault-injected and fault-free evaluations
+/// never share an entry, keeping cached and uncached paths
+/// bit-identical in both modes).
 ///
 /// The carbon intensity is deliberately *not* part of the key: sizing
 /// depends on the grid only through the adoption decisions, so two
@@ -130,6 +133,7 @@ impl SizingKey {
         green_shape: ServerShape,
         policy: PlacementPolicy,
         buffer_fraction: f64,
+        fault_signature: &[u64],
     ) -> Self {
         let mut w = KeyWriter::default();
         w.bytes(&trace.encode());
@@ -147,6 +151,10 @@ impl SizingKey {
             PlacementPolicy::WorstFit => 2,
         });
         w.f64(buffer_fraction);
+        w.u64(fault_signature.len() as u64);
+        for &word in fault_signature {
+            w.u64(word);
+        }
         Self(w.words)
     }
 }
@@ -164,6 +172,9 @@ pub struct SizingOutcome {
     pub plan: ClusterPlan,
     /// Replay statistics on the buffered mixed cluster.
     pub replay: SimOutcome,
+    /// Fault-injection statistics of that replay (all-zero when fault
+    /// injection is disabled).
+    pub faults: FaultSummary,
 }
 
 /// Cache effectiveness counters (see [`EvalContext::stats`]).
@@ -313,6 +324,7 @@ impl EvalContext {
         green_shape: ServerShape,
         policy: PlacementPolicy,
         buffer_fraction: f64,
+        fault_signature: &[u64],
         compute: impl FnOnce() -> Result<SizingOutcome, E>,
     ) -> Result<Arc<SizingOutcome>, E> {
         let Some(sizing) = &self.sizing else {
@@ -326,6 +338,7 @@ impl EvalContext {
             green_shape,
             policy,
             buffer_fraction,
+            fault_signature,
         );
         if let Some(hit) = sizing.lock().get(&key) {
             self.sizing_hits.fetch_add(1, Ordering::Relaxed);
@@ -353,6 +366,7 @@ impl EvalContext {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use gsf_carbon::datasets::open_source;
@@ -470,29 +484,40 @@ mod tests {
                 baseline_only: 7,
                 plan: ClusterPlan { baseline: 3, green: 5 },
                 replay: replay.clone(),
+                faults: FaultSummary::default(),
             })
         };
         let sig = [1u64, 2, 3];
+        let none = gsf_maintenance::FaultModel::none().signature();
         let shape = ServerShape { cores: 80, mem_gb: 768.0 };
         let ctx = EvalContext::new();
-        let a =
-            ctx.sizing(&trace, &sig, shape, shape, PlacementPolicy::BestFit, 0.1, outcome).unwrap();
-        let b =
-            ctx.sizing(&trace, &sig, shape, shape, PlacementPolicy::BestFit, 0.1, outcome).unwrap();
+        let a = ctx
+            .sizing(&trace, &sig, shape, shape, PlacementPolicy::BestFit, 0.1, &none, outcome)
+            .unwrap();
+        let b = ctx
+            .sizing(&trace, &sig, shape, shape, PlacementPolicy::BestFit, 0.1, &none, outcome)
+            .unwrap();
         assert!(Arc::ptr_eq(&a, &b), "second lookup must be a hit");
-        // Any changed input misses: decision table, policy, buffer.
-        ctx.sizing(&trace, &[9u64], shape, shape, PlacementPolicy::BestFit, 0.1, outcome).unwrap();
-        ctx.sizing(&trace, &sig, shape, shape, PlacementPolicy::FirstFit, 0.1, outcome).unwrap();
-        ctx.sizing(&trace, &sig, shape, shape, PlacementPolicy::BestFit, 0.2, outcome).unwrap();
+        // Any changed input misses: decision table, policy, buffer,
+        // fault model.
+        ctx.sizing(&trace, &[9u64], shape, shape, PlacementPolicy::BestFit, 0.1, &none, outcome)
+            .unwrap();
+        ctx.sizing(&trace, &sig, shape, shape, PlacementPolicy::FirstFit, 0.1, &none, outcome)
+            .unwrap();
+        ctx.sizing(&trace, &sig, shape, shape, PlacementPolicy::BestFit, 0.2, &none, outcome)
+            .unwrap();
+        let faulted = gsf_maintenance::FaultModel::paper(3).signature();
+        ctx.sizing(&trace, &sig, shape, shape, PlacementPolicy::BestFit, 0.1, &faulted, outcome)
+            .unwrap();
         let s = ctx.stats();
-        assert_eq!((s.sizing_hits, s.sizing_misses, s.sizing_entries), (1, 4, 4));
+        assert_eq!((s.sizing_hits, s.sizing_misses, s.sizing_entries), (1, 5, 5));
 
         let passthrough = EvalContext::uncached();
         let c = passthrough
-            .sizing(&trace, &sig, shape, shape, PlacementPolicy::BestFit, 0.1, outcome)
+            .sizing(&trace, &sig, shape, shape, PlacementPolicy::BestFit, 0.1, &none, outcome)
             .unwrap();
         let d = passthrough
-            .sizing(&trace, &sig, shape, shape, PlacementPolicy::BestFit, 0.1, outcome)
+            .sizing(&trace, &sig, shape, shape, PlacementPolicy::BestFit, 0.1, &none, outcome)
             .unwrap();
         assert!(!Arc::ptr_eq(&c, &d), "uncached context recomputes");
         assert_eq!(passthrough.stats().sizing_entries, 0);

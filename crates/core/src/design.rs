@@ -63,6 +63,7 @@ impl GreenSkuDesign {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -46,6 +46,7 @@ impl From<gsf_cluster::SizingError> for GsfError {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

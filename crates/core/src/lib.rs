@@ -43,6 +43,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
 
 pub mod adoption;
 pub mod attribution;

@@ -13,10 +13,14 @@ use gsf_carbon::{Assessment, ModelParams};
 use gsf_cluster::{
     buffer::GrowthBufferPolicy,
     savings::savings_fraction,
-    sizing::{right_size_baseline_only, right_size_mixed, ClusterPlan},
+    sizing::{
+        right_size_baseline_only_faulted, right_size_mixed_faulted, ClusterPlan, FaultInjection,
+    },
 };
+use gsf_maintenance::{FaultModel, PoolDevices};
 use gsf_vmalloc::{
-    AllocationSim, ClusterConfig, PlacementPolicy, PlacementRequest, ServerShape, SimOutcome,
+    AllocationSim, ClusterConfig, FaultSummary, PlacementPolicy, PlacementRequest, ServerShape,
+    SimOutcome,
 };
 use gsf_workloads::{catalog, ApplicationModel, FleetMix, ServerGeneration, Trace, VmSpec};
 use serde::{Deserialize, Serialize};
@@ -41,6 +45,13 @@ pub struct PipelineConfig {
     /// fraction inflates cluster sizes (the Fig. 6 maintenance → cluster
     /// sizing edge).
     pub maintenance: DefaultMaintenance,
+    /// Fault-injection model. [`FaultModel::none`] (the default) is a
+    /// strict identity: sizing, replay, and every outcome field are
+    /// bit-for-bit what they were before fault injection existed. An
+    /// enabled model injects server failures into every sizing probe
+    /// and the final replay, so plans provision against failure-induced
+    /// capacity loss.
+    pub faults: FaultModel,
 }
 
 impl Default for PipelineConfig {
@@ -52,6 +63,7 @@ impl Default for PipelineConfig {
             fleet: FleetModel::azure_calibrated(),
             renewable_fraction: DEFAULT_RENEWABLE_FRACTION,
             maintenance: DefaultMaintenance::paper(),
+            faults: FaultModel::none(),
         }
     }
 }
@@ -92,6 +104,14 @@ pub struct PipelineOutcome {
     /// Allocation statistics from replaying the trace on the final
     /// buffered cluster.
     pub replay: SimOutcome,
+    /// First-order expected fraction of cluster core capacity lost to
+    /// failures over the fault model's horizon (0 when fault injection
+    /// is disabled) — the failure analogue of the growth buffer's
+    /// capacity fraction.
+    pub expected_capacity_loss: f64,
+    /// Fault-injection statistics from the final buffered replay
+    /// (all-zero when fault injection is disabled).
+    pub faults: FaultSummary,
 }
 
 /// Routes VMs to pools: the adoption component packaged as the per-VM
@@ -287,7 +307,7 @@ impl GsfPipeline {
         let gen3_a = &baseline_a
             .iter()
             .find(|(g, _)| *g == ServerGeneration::Gen3)
-            .expect("Gen3 always assessed")
+            .ok_or_else(|| GsfError::InvalidConfig("Gen3 baseline assessment missing".to_string()))?
             .1;
 
         let baseline_shape = ServerShape::baseline_gen3();
@@ -297,49 +317,8 @@ impl GsfPipeline {
         };
         let transform = |vm: &VmSpec| router.request(vm);
 
-        // Cluster sizing (§IV-D) and the final replay, memoized by the
-        // routing decision table: sizing sees the carbon intensity only
-        // through the router, so sweep points that route identically
-        // share one run of the binary searches.
-        let sizing = self.ctx.sizing(
-            trace,
-            &router.decision_signature(),
-            baseline_shape,
-            green_shape,
-            self.config.policy,
-            self.config.buffer.capacity_fraction,
-            || -> Result<crate::context::SizingOutcome, GsfError> {
-                let n0 = right_size_baseline_only(trace, baseline_shape, self.config.policy)?;
-                let plan = right_size_mixed(
-                    trace,
-                    &transform,
-                    baseline_shape,
-                    green_shape,
-                    self.config.policy,
-                )?;
-                let plan_buffered =
-                    self.config.buffer.apply(&plan, baseline_shape.cores, green_shape.cores);
-                // Final replay on the buffered mixed cluster for
-                // packing stats.
-                let mut sim = AllocationSim::new(
-                    ClusterConfig {
-                        baseline_count: plan_buffered.baseline,
-                        baseline_shape,
-                        green_count: plan_buffered.green,
-                        green_shape,
-                    },
-                    self.config.policy,
-                );
-                let replay = sim.replay(trace, &transform);
-                Ok(crate::context::SizingOutcome { baseline_only: n0, plan, replay })
-            },
-        )?;
-        let n0 = sizing.baseline_only;
-        let plan = sizing.plan;
-
-        // Maintenance (§IV-B): out-of-service servers need spare
-        // capacity; inflate each pool by its OOS fraction (Little's law
-        // over post-FIP repair rates).
+        // Device counts feed both the maintenance OOS fractions and the
+        // fault model's per-pool server AFRs.
         use gsf_carbon::component::ComponentClass;
         let device_counts = |sku: &gsf_carbon::ServerSpec| {
             (
@@ -349,6 +328,75 @@ impl GsfPipeline {
         };
         let (b_dimms, b_ssds) = device_counts(&open_source::baseline_gen3());
         let (g_dimms, g_ssds) = device_counts(&design.carbon);
+        let fault_model = &self.config.faults;
+        let baseline_devices = PoolDevices { dimms: b_dimms, ssds: b_ssds };
+        let green_devices = PoolDevices { dimms: g_dimms, ssds: g_ssds };
+
+        // Cluster sizing (§IV-D) and the final replay, memoized by the
+        // routing decision table: sizing sees the carbon intensity only
+        // through the router, so sweep points that route identically
+        // share one run of the binary searches. The fault-model
+        // signature is part of the key, so fault-injected and
+        // fault-free evaluations never share an entry.
+        let sizing = self.ctx.sizing(
+            trace,
+            &router.decision_signature(),
+            baseline_shape,
+            green_shape,
+            self.config.policy,
+            self.config.buffer.capacity_fraction,
+            &fault_model.signature(),
+            || -> Result<crate::context::SizingOutcome, GsfError> {
+                let injection =
+                    FaultInjection { model: fault_model, baseline_devices, green_devices };
+                let faults = (!fault_model.is_none()).then_some(&injection);
+                let n0 = right_size_baseline_only_faulted(
+                    trace,
+                    baseline_shape,
+                    self.config.policy,
+                    faults,
+                )?;
+                let plan = right_size_mixed_faulted(
+                    trace,
+                    &transform,
+                    baseline_shape,
+                    green_shape,
+                    self.config.policy,
+                    faults,
+                )?;
+                let plan_buffered =
+                    self.config.buffer.apply(&plan, baseline_shape.cores, green_shape.cores);
+                // Final replay on the buffered mixed cluster for
+                // packing stats (fault-injected when a model is
+                // configured).
+                let config = ClusterConfig {
+                    baseline_count: plan_buffered.baseline,
+                    baseline_shape,
+                    green_count: plan_buffered.green,
+                    green_shape,
+                };
+                let mut sim = AllocationSim::new(config, self.config.policy);
+                let (replay, fault_summary) = match faults {
+                    None => (sim.replay(trace, &transform), FaultSummary::default()),
+                    Some(inj) => {
+                        let fault_plan = inj.plan_for(&config, trace.duration_s());
+                        sim.replay_faulted(trace, &transform, &fault_plan)
+                    }
+                };
+                Ok(crate::context::SizingOutcome {
+                    baseline_only: n0,
+                    plan,
+                    replay,
+                    faults: fault_summary,
+                })
+            },
+        )?;
+        let n0 = sizing.baseline_only;
+        let plan = sizing.plan;
+
+        // Maintenance (§IV-B): out-of-service servers need spare
+        // capacity; inflate each pool by its OOS fraction (Little's law
+        // over post-FIP repair rates).
         let m = &self.config.maintenance;
         let oos_baseline = m.oos_fraction(m.repair_rate(b_dimms, b_ssds));
         let oos_green = m.oos_fraction(m.repair_rate(g_dimms, g_ssds));
@@ -380,6 +428,20 @@ impl GsfPipeline {
             .category_share(FleetCategory::ComputeServers);
         let dc_savings = cluster_savings * compute_share;
 
+        // Expected failure-induced capacity loss over the fault horizon
+        // (0.0 when fault injection is disabled), reported alongside
+        // the growth buffer so operators can compare the two reserves.
+        let expected_capacity_loss = fault_model.expected_capacity_loss(
+            &ClusterConfig {
+                baseline_count: plan_buffered.baseline,
+                baseline_shape,
+                green_count: plan_buffered.green,
+                green_shape,
+            },
+            baseline_devices,
+            green_devices,
+        );
+
         let adoption_rate = router.adoption_rate_gen3();
         Ok(PipelineOutcome {
             design: design.name().to_string(),
@@ -394,6 +456,8 @@ impl GsfPipeline {
             oos_green,
             cluster_savings,
             dc_savings,
+            expected_capacity_loss,
+            faults: sizing.faults,
             replay: sizing.replay.clone(),
         })
     }
@@ -476,6 +540,7 @@ impl GsfPipeline {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use gsf_stats::rng::SeedFactory;

@@ -142,6 +142,7 @@ fn render(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::pipeline::PipelineConfig;

@@ -352,6 +352,7 @@ pub fn pareto_front(results: &[SearchResult]) -> Vec<&SearchResult> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -93,6 +93,7 @@ pub fn schedule_batch(region: &RegionGrid, jobs: &[BatchJob]) -> (Vec<ScheduledJ
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use gsf_carbon::grid::region;

@@ -1,0 +1,141 @@
+//! Determinism guarantees of fault injection.
+//!
+//! Two properties gate this subsystem:
+//! 1. `FaultModel::none()` is a strict identity — a pipeline configured
+//!    with it produces bitwise-identical outcomes to the default
+//!    pipeline, cached or uncached.
+//! 2. An enabled fault model is seed-deterministic — repeated
+//!    evaluations, cached vs uncached contexts, and any worker count
+//!    all produce bitwise-identical outcomes.
+
+use gsf_carbon::units::CarbonIntensity;
+use gsf_core::design::GreenSkuDesign;
+use gsf_core::pipeline::{GsfPipeline, PipelineConfig};
+use gsf_core::EvalContext;
+use gsf_maintenance::FaultModel;
+use gsf_stats::rng::SeedFactory;
+use gsf_workloads::{Trace, TraceGenerator, TraceParams};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn trace(seed: u64) -> Trace {
+    TraceGenerator::new(TraceParams {
+        duration_hours: 8.0,
+        arrivals_per_hour: 40.0,
+        ..TraceParams::default()
+    })
+    .generate(&SeedFactory::new(seed), 0)
+}
+
+fn designs() -> [GreenSkuDesign; 3] {
+    [GreenSkuDesign::efficient(), GreenSkuDesign::cxl(), GreenSkuDesign::full()]
+}
+
+fn faulted_config(fault_seed: u64, afr_scale: f64) -> PipelineConfig {
+    let mut model = FaultModel::paper(fault_seed);
+    model.afr_scale = afr_scale;
+    PipelineConfig { faults: model, ..PipelineConfig::default() }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// `FaultModel::none()` reproduces the fault-free pipeline
+    /// bit-for-bit: same plans, same replay statistics, same savings,
+    /// on both the cached and uncached context paths.
+    #[test]
+    fn none_model_is_bit_identical_to_baseline(
+        seed in 0u64..1000,
+        design_index in 0usize..3,
+        ci in 0.02..0.5f64,
+    ) {
+        let t = trace(seed);
+        let design = &designs()[design_index];
+        let ci = CarbonIntensity::new(ci);
+
+        let baseline = GsfPipeline::new(PipelineConfig::default());
+        let none = GsfPipeline::new(PipelineConfig {
+            faults: FaultModel::none(),
+            ..PipelineConfig::default()
+        });
+        let none_uncached = GsfPipeline::with_context(
+            PipelineConfig { faults: FaultModel::none(), ..PipelineConfig::default() },
+            Arc::new(EvalContext::uncached()),
+        );
+
+        let a = baseline.evaluate_at(design, &t, ci).unwrap();
+        let b = none.evaluate_at(design, &t, ci).unwrap();
+        let c = none_uncached.evaluate_at(design, &t, ci).unwrap();
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(&a, &c);
+        prop_assert_eq!(a.faults, gsf_vmalloc::FaultSummary::default());
+        prop_assert_eq!(a.expected_capacity_loss, 0.0);
+    }
+
+    /// A fault-injected evaluation is a pure function of
+    /// (trace, design, CI, fault model): repeated runs, fresh
+    /// pipelines, and uncached contexts agree bit-for-bit.
+    #[test]
+    fn faulted_evaluation_is_seed_deterministic(
+        seed in 0u64..1000,
+        fault_seed in 0u64..1000,
+        design_index in 0usize..3,
+    ) {
+        let t = trace(seed);
+        let design = &designs()[design_index];
+        let ci = CarbonIntensity::new(0.1);
+        let config = faulted_config(fault_seed, 10.0);
+
+        let cached = GsfPipeline::new(config.clone());
+        let a = cached.evaluate_at(design, &t, ci).unwrap();
+        // Second run hits the sizing cache and must not drift.
+        let b = cached.evaluate_at(design, &t, ci).unwrap();
+        // Fresh pipeline, uncached context: everything recomputed.
+        let uncached = GsfPipeline::with_context(
+            config.clone(),
+            Arc::new(EvalContext::uncached()),
+        );
+        let c = uncached.evaluate_at(design, &t, ci).unwrap();
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(&a, &c);
+
+        // A different fault seed must key a different cache entry (no
+        // cross-contamination), even if outcomes happen to coincide.
+        let other = GsfPipeline::new(faulted_config(fault_seed.wrapping_add(1), 10.0));
+        let _ = other.evaluate_at(design, &t, ci).unwrap();
+    }
+}
+
+/// Fleet evaluation with fault injection is identical for any worker
+/// count — the fault plans are derived per (pool, server index), never
+/// from scheduling order.
+#[test]
+fn faulted_fleet_identical_for_any_worker_count() {
+    let traces: Vec<Trace> = (0..4).map(trace).collect();
+    let design = GreenSkuDesign::full();
+    let config = faulted_config(7, 10.0);
+
+    let serial = GsfPipeline::new(config.clone()).evaluate_fleet(&design, &traces, 1).unwrap();
+    let parallel = GsfPipeline::new(config).evaluate_fleet(&design, &traces, 8).unwrap();
+    assert_eq!(serial.per_trace, parallel.per_trace);
+    assert_eq!(serial.mean_cluster_savings.to_bits(), parallel.mean_cluster_savings.to_bits());
+}
+
+/// An enabled model actually injects faults at a high AFR scale — the
+/// identity property above is not vacuous.
+#[test]
+fn enabled_model_injects_observable_faults() {
+    let t = trace(3);
+    let design = GreenSkuDesign::full();
+    let ci = CarbonIntensity::new(0.1);
+    let faulted = GsfPipeline::new(faulted_config(7, 20.0)).evaluate_at(&design, &t, ci).unwrap();
+    assert!(
+        faulted.faults.full_failures + faulted.faults.partial_degrades > 0,
+        "{:?}",
+        faulted.faults
+    );
+    assert!(faulted.expected_capacity_loss > 0.0);
+    // The sized plan absorbs the injected failures: no VM is lost.
+    assert_eq!(faulted.faults.evacuation_failures, 0);
+    assert!(faulted.replay.no_rejections(), "{:?}", faulted.replay);
+}

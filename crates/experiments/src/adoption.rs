@@ -123,6 +123,7 @@ fn attribution_report(ctx: &ExpContext) -> Result<(), ExpError> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -113,6 +113,7 @@ pub fn run(ctx: &ExpContext) -> Result<(), ExpError> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

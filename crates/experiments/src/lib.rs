@@ -28,6 +28,7 @@
 
 pub mod adoption;
 pub mod context;
+pub mod faults;
 pub mod fig1;
 pub mod fig10;
 pub mod fig11;

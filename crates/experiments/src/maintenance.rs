@@ -55,6 +55,7 @@ pub fn run(ctx: &ExpContext) -> Result<(), ExpError> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -92,6 +92,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             run: crate::maintenance::run,
         },
         Experiment {
+            id: "faults",
+            title: "Fault-injection robustness sweep (AFR scale x FIP effectiveness)",
+            run: crate::faults::run,
+        },
+        Experiment {
             id: "adoption",
             title: "SecVI adoption statistics and low-load latency",
             run: crate::adoption::run,
@@ -160,6 +165,7 @@ pub fn run_all_with_workers(ctx: &ExpContext, workers: usize) -> Result<(), ExpE
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 
@@ -168,7 +174,7 @@ mod tests {
         let exps = all_experiments();
         let ids: std::collections::HashSet<_> = exps.iter().map(|e| e.id).collect();
         assert_eq!(ids.len(), exps.len());
-        assert_eq!(exps.len(), 18);
+        assert_eq!(exps.len(), 19);
     }
 
     #[test]

@@ -26,6 +26,20 @@ impl ComponentAfrs {
     pub fn paper() -> Self {
         Self { per_dimm: 0.1, per_ssd: 0.2, other: 2.4 }
     }
+
+    /// Validating constructor: every rate must be finite and
+    /// non-negative (an AFR of NaN or −0.1 silently corrupts every
+    /// downstream repair-rate and fault-plan computation).
+    pub fn try_new(
+        per_dimm: f64,
+        per_ssd: f64,
+        other: f64,
+    ) -> Result<Self, crate::error::MaintenanceError> {
+        crate::error::check_non_negative("per_dimm", per_dimm)?;
+        crate::error::check_non_negative("per_ssd", per_ssd)?;
+        crate::error::check_non_negative("other", other)?;
+        Ok(Self { per_dimm, per_ssd, other })
+    }
 }
 
 impl Default for ComponentAfrs {
@@ -66,6 +80,7 @@ impl ServerAfr {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 
@@ -99,5 +114,16 @@ mod tests {
         let afr = ServerAfr::new(&ComponentAfrs::paper(), 0, 0);
         assert!((afr.total - 2.4).abs() < 1e-12);
         assert_eq!(afr.repairable_by_fip, 0.0);
+    }
+
+    #[test]
+    fn try_new_rejects_nan_and_negative() {
+        assert!(ComponentAfrs::try_new(f64::NAN, 0.2, 2.4).is_err());
+        assert!(ComponentAfrs::try_new(0.1, f64::INFINITY, 2.4).is_err());
+        assert!(ComponentAfrs::try_new(0.1, 0.2, -2.4).is_err());
+        let ok = ComponentAfrs::try_new(0.1, 0.2, 2.4).unwrap();
+        assert_eq!(ok, ComponentAfrs::paper());
+        // Zero is a valid rate (a component that never fails).
+        assert!(ComponentAfrs::try_new(0.0, 0.0, 0.0).is_ok());
     }
 }

@@ -1,0 +1,49 @@
+//! Typed errors for maintenance-model construction.
+
+use std::fmt;
+
+/// Error constructing a maintenance model from invalid parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MaintenanceError {
+    /// A numeric parameter violated its constraint.
+    InvalidParam {
+        /// Human-readable parameter name.
+        param: &'static str,
+        /// The offending value.
+        value: f64,
+        /// What the parameter must satisfy.
+        requirement: &'static str,
+    },
+}
+
+impl fmt::Display for MaintenanceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MaintenanceError::InvalidParam { param, value, requirement } => {
+                write!(f, "parameter `{param}` must be {requirement}, got {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MaintenanceError {}
+
+/// Checks that `value` is finite and non-negative.
+pub(crate) fn check_non_negative(param: &'static str, value: f64) -> Result<f64, MaintenanceError> {
+    if !value.is_finite() || value < 0.0 {
+        return Err(MaintenanceError::InvalidParam {
+            param,
+            value,
+            requirement: "finite and non-negative",
+        });
+    }
+    Ok(value)
+}
+
+/// Checks that `value` is a fraction in `[0, 1]`.
+pub(crate) fn check_fraction(param: &'static str, value: f64) -> Result<f64, MaintenanceError> {
+    if !value.is_finite() || !(0.0..=1.0).contains(&value) {
+        return Err(MaintenanceError::InvalidParam { param, value, requirement: "in [0, 1]" });
+    }
+    Ok(value)
+}

@@ -137,6 +137,7 @@ fn sample_binomial(rng: &mut SimRng, n: usize, p: f64) -> usize {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use gsf_stats::rng::SeedFactory;

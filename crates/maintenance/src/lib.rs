@@ -15,15 +15,20 @@
 //!   ~7-year plateau).
 
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
 
 pub mod afr;
+pub mod error;
 pub mod failure_sim;
+pub mod faults;
 pub mod fip;
 pub mod oos;
 pub mod ssd_wear;
 
 pub use afr::{ComponentAfrs, ServerAfr};
+pub use error::MaintenanceError;
 pub use failure_sim::{FailureSim, FailureSimParams};
+pub use faults::{FaultModel, PoolDevices};
 pub use fip::FipPolicy;
 pub use oos::{oos_fraction, CoosComparison};
 pub use ssd_wear::{SsdEndurance, SsdWear};

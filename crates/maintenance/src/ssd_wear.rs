@@ -91,6 +91,7 @@ impl SsdWear {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -169,6 +169,7 @@ pub fn diurnal_load(base_qps: f64, amplitude: f64, hours: f64, interval_minutes:
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use gsf_workloads::catalog;

@@ -165,6 +165,7 @@ pub fn p95_trials(config: &DesConfig, rngs: &mut [SimRng]) -> Vec<f64> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::analytic::MmcQueue;

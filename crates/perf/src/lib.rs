@@ -19,6 +19,7 @@
 //! the low-load latency comparison ([`lowload`]).
 
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
 
 pub mod analytic;
 pub mod autoscale;

@@ -88,6 +88,7 @@ pub fn median_low_load_ratio(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use gsf_workloads::catalog;

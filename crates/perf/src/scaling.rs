@@ -133,6 +133,7 @@ pub fn scaling_for_generation(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use gsf_workloads::catalog;

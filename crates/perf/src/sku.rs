@@ -157,6 +157,7 @@ impl SkuPerfProfile {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -63,6 +63,7 @@ pub fn meets_slo(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use gsf_workloads::catalog;

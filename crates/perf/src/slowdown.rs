@@ -102,6 +102,7 @@ pub fn relative_slowdown(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use gsf_workloads::catalog;

@@ -161,6 +161,7 @@ impl LoadSweep {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use gsf_workloads::catalog;

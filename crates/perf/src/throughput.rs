@@ -48,6 +48,7 @@ pub fn table_ii() -> Vec<BuildSlowdownRow> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -113,6 +113,7 @@ impl FromIterator<f64> for EmpiricalCdf {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -372,6 +372,7 @@ impl Distribution<usize> for Categorical {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::rng::SeedFactory;

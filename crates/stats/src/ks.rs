@@ -73,6 +73,7 @@ pub fn ks_two_sample(a: &[f64], b: &[f64]) -> Option<KsResult> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::dist::Exponential;

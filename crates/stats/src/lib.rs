@@ -26,6 +26,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
 
 pub mod cdf;
 pub mod ci;

@@ -93,6 +93,7 @@ impl Ewma {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -273,6 +273,7 @@ impl StreamingQuantile {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::dist::LogNormal;

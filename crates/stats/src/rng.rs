@@ -91,6 +91,7 @@ impl SeedFactory {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use rand::Rng;

@@ -130,6 +130,7 @@ impl FromIterator<f64> for Summary {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

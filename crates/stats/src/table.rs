@@ -158,6 +158,7 @@ pub fn fmt_pct(ratio: f64, digits: usize) -> String {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

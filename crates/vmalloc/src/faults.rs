@@ -1,0 +1,176 @@
+//! Fault-plan data types consumed by the faulted replay.
+//!
+//! A [`FaultPlan`] is a time-ordered list of server-level failure
+//! events. Plans are *data only*: the stochastic generator that samples
+//! them from AFR models lives in `gsf-maintenance` (which depends on
+//! this crate), keeping the simulator itself deterministic and free of
+//! randomness. An empty plan is the identity — replaying with it is
+//! bit-for-bit the same as the plain replay path.
+
+use serde::{Deserialize, Serialize};
+
+/// Which server pool a fault strikes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum FaultPool {
+    /// The baseline (Gen3) pool.
+    Baseline,
+    /// The GreenSKU pool.
+    Green,
+}
+
+/// What a fault does to the server it strikes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// The whole server goes offline for the rest of the trace
+    /// (fail-in-place: no mid-trace repair). Every hosted VM is
+    /// displaced and must be evacuated.
+    FullFailure,
+    /// A component failure absorbed in place (FIP): the server keeps
+    /// serving with reduced capacity. Only VMs that no longer fit are
+    /// displaced.
+    PartialDegrade {
+        /// Usable cores removed from the server's shape.
+        cores_lost: u32,
+        /// Usable memory removed from the server's shape, GB.
+        mem_lost_gb: f64,
+    },
+}
+
+/// One failure event against one server.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// Trace time at which the fault strikes, seconds.
+    pub time_s: f64,
+    /// Pool of the struck server.
+    pub pool: FaultPool,
+    /// Index of the struck server within its pool.
+    pub server: u32,
+    /// Effect of the fault.
+    pub kind: FaultKind,
+}
+
+/// A time-ordered fault schedule for one replay.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+    max_evac_passes: u32,
+}
+
+impl FaultPlan {
+    /// Builds a plan, sorting events by (time, pool, server) so replay
+    /// order is independent of generation order. `max_evac_passes`
+    /// bounds the re-placement retry loop per fault (at least 1).
+    pub fn new(mut events: Vec<FaultEvent>, max_evac_passes: u32) -> Self {
+        events.sort_by(|a, b| {
+            a.time_s.total_cmp(&b.time_s).then(a.pool.cmp(&b.pool)).then(a.server.cmp(&b.server))
+        });
+        Self { events, max_evac_passes: max_evac_passes.max(1) }
+    }
+
+    /// The empty plan: replaying with it is the identity.
+    pub fn empty() -> Self {
+        Self { events: Vec::new(), max_evac_passes: 1 }
+    }
+
+    /// Whether the plan schedules no faults.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// The events in replay order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Bound on evacuation re-placement passes per fault.
+    pub fn max_evac_passes(&self) -> u32 {
+        self.max_evac_passes
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+/// What fault injection did to one replay.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct FaultSummary {
+    /// Servers taken fully offline.
+    pub full_failures: usize,
+    /// Partial (FIP-absorbed) capacity-degradation events applied.
+    pub partial_degrades: usize,
+    /// VMs displaced from their server by a fault.
+    pub displaced: usize,
+    /// Displaced VMs successfully re-placed elsewhere.
+    pub evacuated: usize,
+    /// Displaced VMs that could not be re-placed — counted as
+    /// violations by the fault-aware sizing searches.
+    pub evacuation_failures: usize,
+    /// Total usable cores removed from the cluster by faults.
+    pub cores_lost: u64,
+    /// Total usable memory removed from the cluster by faults, GB.
+    pub mem_lost_gb: f64,
+}
+
+impl FaultSummary {
+    /// Whether every displaced VM found a new home.
+    pub fn all_evacuated(&self) -> bool {
+        self.evacuation_failures == 0
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    fn ev(time_s: f64, pool: FaultPool, server: u32) -> FaultEvent {
+        FaultEvent { time_s, pool, server, kind: FaultKind::FullFailure }
+    }
+
+    #[test]
+    fn plan_sorts_by_time_pool_server() {
+        let plan = FaultPlan::new(
+            vec![
+                ev(5.0, FaultPool::Green, 1),
+                ev(1.0, FaultPool::Baseline, 2),
+                ev(5.0, FaultPool::Baseline, 0),
+                ev(5.0, FaultPool::Green, 0),
+            ],
+            3,
+        );
+        let order: Vec<(f64, FaultPool, u32)> =
+            plan.events().iter().map(|e| (e.time_s, e.pool, e.server)).collect();
+        assert_eq!(
+            order,
+            vec![
+                (1.0, FaultPool::Baseline, 2),
+                (5.0, FaultPool::Baseline, 0),
+                (5.0, FaultPool::Green, 0),
+                (5.0, FaultPool::Green, 1),
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_plan_is_identity_shaped() {
+        let plan = FaultPlan::empty();
+        assert!(plan.is_empty());
+        assert_eq!(plan.len(), 0);
+        assert_eq!(plan.max_evac_passes(), 1);
+        assert_eq!(plan, FaultPlan::default());
+    }
+
+    #[test]
+    fn evac_passes_floor_at_one() {
+        let plan = FaultPlan::new(Vec::new(), 0);
+        assert_eq!(plan.max_evac_passes(), 1);
+    }
+}

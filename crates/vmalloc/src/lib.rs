@@ -14,8 +14,10 @@
 //! (which drive the cluster-sizing search in `gsf-cluster`).
 
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
 
 pub mod cluster;
+pub mod faults;
 pub mod metrics;
 pub mod policy;
 pub mod server;
@@ -23,6 +25,7 @@ pub mod simulator;
 pub mod usage;
 
 pub use cluster::{ClusterConfig, ServerShape};
+pub use faults::{FaultEvent, FaultKind, FaultPlan, FaultPool, FaultSummary};
 pub use metrics::{PackingMetrics, PoolMetrics};
 pub use policy::PlacementPolicy;
 pub use server::ServerState;

@@ -81,6 +81,7 @@ impl PackingMetrics {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::cluster::ServerShape;

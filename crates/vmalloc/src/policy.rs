@@ -69,6 +69,7 @@ impl std::fmt::Display for PlacementPolicy {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::cluster::ServerShape;

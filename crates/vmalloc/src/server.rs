@@ -28,12 +28,19 @@ pub struct ServerState {
     cores_allocated: u32,
     mem_allocated_gb: f64,
     vms: BTreeMap<u64, PlacedVm>,
+    offline: bool,
 }
 
 impl ServerState {
     /// Creates an empty server of the given shape.
     pub fn new(shape: ServerShape) -> Self {
-        Self { shape, cores_allocated: 0, mem_allocated_gb: 0.0, vms: BTreeMap::new() }
+        Self {
+            shape,
+            cores_allocated: 0,
+            mem_allocated_gb: 0.0,
+            vms: BTreeMap::new(),
+            offline: false,
+        }
     }
 
     /// The server's shape.
@@ -48,6 +55,7 @@ impl ServerState {
         self.cores_allocated = 0;
         self.mem_allocated_gb = 0.0;
         self.vms.clear();
+        self.offline = false;
     }
 
     /// Currently allocated cores.
@@ -80,9 +88,44 @@ impl ServerState {
         self.shape.mem_gb - self.mem_allocated_gb
     }
 
-    /// Whether a request of `cores`/`mem_gb` fits.
+    /// Whether a request of `cores`/`mem_gb` fits. An offline server
+    /// fits nothing.
     pub fn fits(&self, cores: u32, mem_gb: f64) -> bool {
-        self.free_cores() >= cores && self.free_mem_gb() >= mem_gb - 1e-9
+        !self.offline && self.free_cores() >= cores && self.free_mem_gb() >= mem_gb - 1e-9
+    }
+
+    /// Whether the server has been taken offline by a full failure.
+    pub fn is_offline(&self) -> bool {
+        self.offline
+    }
+
+    /// Fully fails the server: it goes offline for good (fail-in-place,
+    /// no mid-trace repair) and every hosted VM is displaced. Returns
+    /// the displaced VM ids in ascending order.
+    pub fn fail(&mut self) -> Vec<u64> {
+        self.offline = true;
+        let displaced: Vec<u64> = self.vms.keys().copied().collect();
+        self.vms.clear();
+        self.cores_allocated = 0;
+        self.mem_allocated_gb = 0.0;
+        displaced
+    }
+
+    /// Shrinks the server's usable shape in place (an FIP-absorbed
+    /// partial failure), evicting the newest VMs (highest id first)
+    /// until the remaining allocation fits. Returns the evicted ids.
+    pub fn degrade(&mut self, cores_lost: u32, mem_lost_gb: f64) -> Vec<u64> {
+        self.shape.cores = self.shape.cores.saturating_sub(cores_lost);
+        self.shape.mem_gb = (self.shape.mem_gb - mem_lost_gb.max(0.0)).max(0.0);
+        let mut evicted = Vec::new();
+        while self.cores_allocated > self.shape.cores
+            || self.mem_allocated_gb > self.shape.mem_gb + 1e-9
+        {
+            let Some((&id, _)) = self.vms.last_key_value() else { break };
+            self.remove(id);
+            evicted.push(id);
+        }
+        evicted
     }
 
     /// Core packing density `allocated / allocatable`.
@@ -127,6 +170,7 @@ impl ServerState {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 
@@ -176,6 +220,50 @@ mod tests {
         let mut s = ServerState::new(shape());
         s.place(1, vm(2));
         s.place(1, vm(2));
+    }
+
+    #[test]
+    fn fail_takes_server_offline_and_displaces_all() {
+        let mut s = ServerState::new(shape());
+        s.place(3, vm(8));
+        s.place(1, vm(4));
+        let displaced = s.fail();
+        assert_eq!(displaced, vec![1, 3]);
+        assert!(s.is_offline());
+        assert!(s.is_empty());
+        assert_eq!(s.cores_allocated(), 0);
+        assert!(!s.fits(1, 1.0), "offline server must not accept VMs");
+        s.reset(shape());
+        assert!(!s.is_offline(), "reset brings the server back");
+        assert!(s.fits(1, 1.0));
+    }
+
+    #[test]
+    fn degrade_evicts_newest_until_fit() {
+        let mut s = ServerState::new(ServerShape { cores: 16, mem_gb: 64.0 });
+        s.place(1, PlacedVm { cores: 6, mem_gb: 24.0, max_mem_util: 0.5 });
+        s.place(2, PlacedVm { cores: 6, mem_gb: 24.0, max_mem_util: 0.5 });
+        // Lose half the cores: 12 allocated > 8 remaining, so the
+        // newest VM (id 2) is evicted; id 1 (6 <= 8) stays.
+        let evicted = s.degrade(8, 0.0);
+        assert_eq!(evicted, vec![2]);
+        assert_eq!(s.shape().cores, 8);
+        assert_eq!(s.cores_allocated(), 6);
+        assert!(!s.is_offline());
+        assert!(s.fits(2, 8.0));
+        assert!(!s.fits(3, 8.0));
+    }
+
+    #[test]
+    fn degrade_clamps_at_zero_capacity() {
+        let mut s = ServerState::new(ServerShape { cores: 4, mem_gb: 16.0 });
+        s.place(1, PlacedVm { cores: 2, mem_gb: 8.0, max_mem_util: 0.5 });
+        let evicted = s.degrade(100, 1000.0);
+        assert_eq!(evicted, vec![1]);
+        assert_eq!(s.shape().cores, 0);
+        assert_eq!(s.shape().mem_gb, 0.0);
+        assert!(s.is_empty());
+        assert!(!s.fits(1, 0.0));
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The allocation simulator: replays a trace against a two-pool cluster.
 
 use crate::cluster::ClusterConfig;
+use crate::faults::{FaultEvent, FaultKind, FaultPlan, FaultPool, FaultSummary};
 use crate::metrics::PackingMetrics;
 use crate::policy::PlacementPolicy;
 use crate::server::{PlacedVm, ServerState};
@@ -170,6 +171,27 @@ impl AllocationSim {
     /// Leaves the simulator holding the end-of-trace allocation state;
     /// call [`Self::reset`] before replaying again.
     pub fn replay(&mut self, trace: &Trace, transform: &VmTransform<'_>) -> SimOutcome {
+        self.replay_faulted(trace, transform, &FaultPlan::empty()).0
+    }
+
+    /// Replays `trace` while injecting the failures scheduled in
+    /// `plan`.
+    ///
+    /// Faults due at time `t` are applied before any trace event at
+    /// `t`. A full failure takes the server offline for the rest of the
+    /// trace and displaces every hosted VM; a partial degrade shrinks
+    /// the server in place and displaces only VMs that no longer fit.
+    /// Displaced VMs are re-placed through the policy (in ascending id
+    /// order, with a bounded number of retry passes); those that cannot
+    /// be re-placed anywhere are counted as
+    /// [`FaultSummary::evacuation_failures`]. An empty plan makes this
+    /// bit-identical to [`Self::replay`].
+    pub fn replay_faulted(
+        &mut self,
+        trace: &Trace,
+        transform: &VmTransform<'_>,
+        plan: &FaultPlan,
+    ) -> (SimOutcome, FaultSummary) {
         let mut placements: HashMap<u64, ActiveVm> = HashMap::new();
         let mut usage = UsageLedger::new();
         let mut metrics = PackingMetrics::new();
@@ -178,8 +200,23 @@ impl AllocationSim {
         let mut placed_baseline = 0usize;
         let mut green_overflow = 0usize;
         let mut next_snapshot = self.snapshot_interval_s;
+        let mut summary = FaultSummary::default();
+        let faults = plan.events();
+        let mut next_fault = 0usize;
 
         for event in trace.events() {
+            while next_fault < faults.len() && faults[next_fault].time_s <= event.time_s {
+                self.apply_fault(
+                    &faults[next_fault],
+                    plan.max_evac_passes(),
+                    trace,
+                    transform,
+                    &mut placements,
+                    &mut usage,
+                    &mut summary,
+                );
+                next_fault += 1;
+            }
             while event.time_s >= next_snapshot {
                 metrics.snapshot(&self.baseline, &self.green);
                 next_snapshot += self.snapshot_interval_s;
@@ -237,6 +274,20 @@ impl AllocationSim {
                 }
             }
         }
+        // Faults past the last trace event but within the horizon still
+        // strike (their evacuation failures count).
+        while next_fault < faults.len() && faults[next_fault].time_s <= trace.duration_s() {
+            self.apply_fault(
+                &faults[next_fault],
+                plan.max_evac_passes(),
+                trace,
+                transform,
+                &mut placements,
+                &mut usage,
+                &mut summary,
+            );
+            next_fault += 1;
+        }
         metrics.snapshot(&self.baseline, &self.green);
         // VMs still resident at the horizon are charged to the end of
         // the trace.
@@ -251,7 +302,115 @@ impl AllocationSim {
                 }
             }
         }
-        SimOutcome { rejected, placed_green, placed_baseline, green_overflow, metrics, usage }
+        (
+            SimOutcome { rejected, placed_green, placed_baseline, green_overflow, metrics, usage },
+            summary,
+        )
+    }
+
+    /// Applies one fault: degrades or offlines the struck server,
+    /// settles usage for displaced VMs up to the fault time, then tries
+    /// to re-place them (ascending id order) with bounded retry passes.
+    #[allow(clippy::too_many_arguments)]
+    fn apply_fault(
+        &mut self,
+        fault: &FaultEvent,
+        max_passes: u32,
+        trace: &Trace,
+        transform: &VmTransform<'_>,
+        placements: &mut HashMap<u64, ActiveVm>,
+        usage: &mut UsageLedger,
+        summary: &mut FaultSummary,
+    ) {
+        let pool = match fault.pool {
+            FaultPool::Baseline => &mut self.baseline,
+            FaultPool::Green => &mut self.green,
+        };
+        // A plan generated for a larger cluster may address servers this
+        // configuration does not have; those faults strike nothing.
+        let Some(server) = pool.get_mut(fault.server as usize) else {
+            return;
+        };
+        if server.is_offline() {
+            return;
+        }
+        let displaced = match fault.kind {
+            FaultKind::FullFailure => {
+                summary.full_failures += 1;
+                summary.cores_lost += u64::from(server.shape().cores);
+                summary.mem_lost_gb += server.shape().mem_gb;
+                server.fail()
+            }
+            FaultKind::PartialDegrade { cores_lost, mem_lost_gb } => {
+                summary.partial_degrades += 1;
+                let before = server.shape();
+                let evicted = server.degrade(cores_lost, mem_lost_gb);
+                let after = server.shape();
+                summary.cores_lost += u64::from(before.cores - after.cores);
+                summary.mem_lost_gb += before.mem_gb - after.mem_gb;
+                evicted
+            }
+        };
+        if displaced.is_empty() {
+            return;
+        }
+        summary.displaced += displaced.len();
+        let mut pending = displaced;
+        pending.sort_unstable();
+        // Close out the displaced VMs' residency on their old server.
+        for id in &pending {
+            if let Some(active) = placements.remove(id) {
+                let dwell = fault.time_s - active.arrival_s;
+                match active.placement {
+                    Placement::Baseline(_) => {
+                        usage.record_baseline(active.app_index, active.cores, dwell);
+                    }
+                    Placement::Green(_) => {
+                        usage.record_green(active.app_index, active.cores, dwell);
+                    }
+                }
+            }
+        }
+        // Bounded re-placement: each pass retries the still-homeless
+        // VMs; a pass that places nothing ends the loop early (nothing
+        // will change on the next pass either).
+        for _ in 0..max_passes {
+            if pending.is_empty() {
+                break;
+            }
+            let mut unplaced = Vec::new();
+            for &id in &pending {
+                let Some(vm) = trace.vm(id) else {
+                    continue;
+                };
+                let request = transform(vm);
+                match self.place(vm, &request) {
+                    Some(p) => {
+                        summary.evacuated += 1;
+                        let cores = match p {
+                            Placement::Green(_) => request.green_cores,
+                            Placement::Baseline(_) => request.baseline_cores,
+                        };
+                        placements.insert(
+                            id,
+                            ActiveVm {
+                                placement: p,
+                                arrival_s: fault.time_s,
+                                cores,
+                                app_index: vm.app_index,
+                            },
+                        );
+                    }
+                    None => unplaced.push(id),
+                }
+            }
+            let progressed = unplaced.len() < pending.len();
+            pending = unplaced;
+            if !progressed {
+                break;
+            }
+        }
+        summary.evacuation_failures += pending.len();
     }
 
     fn place(&mut self, vm: &VmSpec, request: &PlacementRequest) -> Option<Placement> {
@@ -294,6 +453,7 @@ impl AllocationSim {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use gsf_workloads::{ServerGeneration, VmEvent};
@@ -455,6 +615,160 @@ mod tests {
             let fresh = AllocationSim::new(config, PlacementPolicy::BestFit).replay(&t, &transform);
             assert_eq!(out, fresh);
         }
+    }
+
+    fn full_fault(time_s: f64, pool: FaultPool, server: u32) -> FaultEvent {
+        FaultEvent { time_s, pool, server, kind: FaultKind::FullFailure }
+    }
+
+    #[test]
+    fn empty_fault_plan_is_bit_identical_to_plain_replay() {
+        let vms: Vec<VmSpec> = (0..30).map(|i| vm(i, 8, 32.0, false)).collect();
+        let mut events: Vec<VmEvent> = (0..30).map(|i| arrive(i, f64::from(i as u32))).collect();
+        events.extend((0..10).map(|i| depart(i, 500.0 + f64::from(i as u32))));
+        let t = trace(vms, events);
+        let transform = |v: &VmSpec| PlacementRequest::prefer_green(v, 1.25);
+        let config = ClusterConfig::mixed(2, 2);
+
+        let plain = AllocationSim::new(config, PlacementPolicy::BestFit).replay(&t, &transform);
+        let (faulted, summary) = AllocationSim::new(config, PlacementPolicy::BestFit)
+            .replay_faulted(&t, &transform, &FaultPlan::empty());
+        assert_eq!(plain, faulted);
+        assert_eq!(summary, FaultSummary::default());
+    }
+
+    #[test]
+    fn full_failure_evacuates_to_surviving_servers() {
+        // Two baseline servers, four 8-core VMs. Server 0 fails at
+        // t=10: its VMs must move to server 1.
+        let vms: Vec<VmSpec> = (0..4).map(|i| vm(i, 8, 32.0, false)).collect();
+        let events: Vec<VmEvent> = (0..4).map(|i| arrive(i, f64::from(i as u32))).collect();
+        let t = trace(vms, events);
+        let plan = FaultPlan::new(vec![full_fault(10.0, FaultPool::Baseline, 0)], 3);
+        let mut sim = AllocationSim::new(ClusterConfig::baseline_only(2), PlacementPolicy::BestFit);
+        let (out, summary) = sim.replay_faulted(&t, &baseline_transform, &plan);
+        assert_eq!(out.rejected, 0);
+        assert_eq!(summary.full_failures, 1);
+        assert!(summary.displaced > 0);
+        assert_eq!(summary.evacuated, summary.displaced);
+        assert_eq!(summary.evacuation_failures, 0);
+        assert_eq!(summary.cores_lost, 80);
+    }
+
+    #[test]
+    fn evacuation_fails_and_terminates_on_saturated_cluster() {
+        // One server, fully packed. It fails: nowhere to evacuate. The
+        // retry loop must terminate and count every VM as a failure.
+        let vms: Vec<VmSpec> = (0..10).map(|i| vm(i, 8, 32.0, false)).collect();
+        let events: Vec<VmEvent> = (0..10).map(|i| arrive(i, f64::from(i as u32))).collect();
+        let t = trace(vms, events);
+        let plan = FaultPlan::new(vec![full_fault(100.0, FaultPool::Baseline, 0)], 1000);
+        let mut sim = AllocationSim::new(ClusterConfig::baseline_only(1), PlacementPolicy::BestFit);
+        let (out, summary) = sim.replay_faulted(&t, &baseline_transform, &plan);
+        assert_eq!(summary.displaced, 10);
+        assert_eq!(summary.evacuated, 0);
+        assert_eq!(summary.evacuation_failures, 10);
+        assert!(!summary.all_evacuated());
+        // Arrival placements happened before the fault.
+        assert_eq!(out.placed_baseline, 10);
+    }
+
+    #[test]
+    fn partial_degrade_displaces_only_what_no_longer_fits() {
+        // One server (80 cores) with five 8-core VMs (40 allocated).
+        // Losing 48 cores leaves 32: exactly one VM (the newest) must
+        // be displaced, and with no second server it fails evacuation.
+        let vms: Vec<VmSpec> = (0..5).map(|i| vm(i, 8, 32.0, false)).collect();
+        let events: Vec<VmEvent> = (0..5).map(|i| arrive(i, f64::from(i as u32))).collect();
+        let t = trace(vms, events);
+        let plan = FaultPlan::new(
+            vec![FaultEvent {
+                time_s: 50.0,
+                pool: FaultPool::Baseline,
+                server: 0,
+                kind: FaultKind::PartialDegrade { cores_lost: 48, mem_lost_gb: 0.0 },
+            }],
+            3,
+        );
+        let mut sim = AllocationSim::new(ClusterConfig::baseline_only(1), PlacementPolicy::BestFit);
+        let (_, summary) = sim.replay_faulted(&t, &baseline_transform, &plan);
+        assert_eq!(summary.partial_degrades, 1);
+        assert_eq!(summary.displaced, 1);
+        assert_eq!(summary.evacuation_failures, 1);
+        assert_eq!(summary.cores_lost, 48);
+    }
+
+    #[test]
+    fn faulted_replay_is_deterministic() {
+        let vms: Vec<VmSpec> = (0..40).map(|i| vm(i, 8, 32.0, false)).collect();
+        let events: Vec<VmEvent> = (0..40).map(|i| arrive(i, f64::from(i as u32) * 10.0)).collect();
+        let t = trace(vms, events);
+        let transform = |v: &VmSpec| PlacementRequest::prefer_green(v, 1.25);
+        let plan = FaultPlan::new(
+            vec![
+                full_fault(100.0, FaultPool::Green, 0),
+                FaultEvent {
+                    time_s: 200.0,
+                    pool: FaultPool::Baseline,
+                    server: 1,
+                    kind: FaultKind::PartialDegrade { cores_lost: 40, mem_lost_gb: 384.0 },
+                },
+            ],
+            3,
+        );
+        let config = ClusterConfig::mixed(3, 2);
+        let run = || {
+            AllocationSim::new(config, PlacementPolicy::BestFit)
+                .replay_faulted(&t, &transform, &plan)
+        };
+        let (a_out, a_sum) = run();
+        let (b_out, b_sum) = run();
+        assert_eq!(a_out, b_out);
+        assert_eq!(a_sum, b_sum);
+    }
+
+    #[test]
+    fn fault_on_missing_server_index_is_ignored() {
+        let vms = vec![vm(0, 8, 32.0, false)];
+        let events = vec![arrive(0, 1.0)];
+        let t = trace(vms, events);
+        let plan = FaultPlan::new(vec![full_fault(5.0, FaultPool::Baseline, 7)], 3);
+        let mut sim = AllocationSim::new(ClusterConfig::baseline_only(1), PlacementPolicy::BestFit);
+        let (out, summary) = sim.replay_faulted(&t, &baseline_transform, &plan);
+        assert_eq!(summary, FaultSummary::default());
+        assert_eq!(out.rejected, 0);
+    }
+
+    #[test]
+    fn double_fault_on_same_server_applies_once() {
+        let vms: Vec<VmSpec> = (0..4).map(|i| vm(i, 8, 32.0, false)).collect();
+        let events: Vec<VmEvent> = (0..4).map(|i| arrive(i, f64::from(i as u32))).collect();
+        let t = trace(vms, events);
+        let plan = FaultPlan::new(
+            vec![
+                full_fault(10.0, FaultPool::Baseline, 0),
+                full_fault(20.0, FaultPool::Baseline, 0),
+            ],
+            3,
+        );
+        let mut sim = AllocationSim::new(ClusterConfig::baseline_only(2), PlacementPolicy::BestFit);
+        let (_, summary) = sim.replay_faulted(&t, &baseline_transform, &plan);
+        assert_eq!(summary.full_failures, 1);
+    }
+
+    #[test]
+    fn evacuated_vm_usage_splits_across_servers() {
+        // One VM (8 cores) arrives at t=0 on server 0, which fails at
+        // t=3600; the VM moves to server 1 until the 7200 s horizon.
+        // Usage must total 8 cores × 2 h regardless of the move.
+        let vms = vec![vm(0, 8, 32.0, false)];
+        let events = vec![arrive(0, 0.0)];
+        let t = Trace::new(7200.0, vms, events);
+        let plan = FaultPlan::new(vec![full_fault(3600.0, FaultPool::Baseline, 0)], 3);
+        let mut sim = AllocationSim::new(ClusterConfig::baseline_only(2), PlacementPolicy::BestFit);
+        let (out, summary) = sim.replay_faulted(&t, &baseline_transform, &plan);
+        assert_eq!(summary.evacuated, 1);
+        assert!((out.usage.baseline_core_hours(0) - 16.0).abs() < 1e-9);
     }
 
     #[test]

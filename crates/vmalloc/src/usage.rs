@@ -59,6 +59,7 @@ impl UsageLedger {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -96,6 +96,7 @@ impl ApplicationModel {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

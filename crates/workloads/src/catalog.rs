@@ -288,6 +288,7 @@ pub fn figure7_representatives() -> Vec<ApplicationModel> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

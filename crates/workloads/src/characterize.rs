@@ -166,6 +166,7 @@ impl TraceProfile {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::tracegen::{TraceGenerator, TraceParams};

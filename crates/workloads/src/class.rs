@@ -65,6 +65,7 @@ impl std::fmt::Display for AppClass {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -114,6 +114,7 @@ pub fn published_table_iii() -> Vec<PublishedScaling> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::class::AppClass;

@@ -16,6 +16,7 @@
 //!    ([`trace`]).
 
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
 
 pub mod app;
 pub mod catalog;

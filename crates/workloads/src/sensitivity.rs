@@ -107,6 +107,7 @@ impl Default for HardwareSensitivity {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -79,6 +79,53 @@ impl Trace {
         Self { duration_s, vms, events }
     }
 
+    /// Validating constructor for externally-sourced traces (file
+    /// loading, decoding): rejects non-finite or negative numbers, empty
+    /// VM lists, and events referencing unknown VMs, instead of letting
+    /// them poison a replay later.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceCodecError::Corrupt`] describing the first failed
+    /// check.
+    pub fn try_new(
+        duration_s: f64,
+        vms: Vec<VmSpec>,
+        events: Vec<VmEvent>,
+    ) -> Result<Self, TraceCodecError> {
+        if !duration_s.is_finite() || duration_s < 0.0 {
+            return Err(TraceCodecError::Corrupt("duration is not a finite non-negative number"));
+        }
+        if vms.is_empty() {
+            return Err(TraceCodecError::Corrupt("trace has no VMs"));
+        }
+        for vm in &vms {
+            if !vm.mem_gb.is_finite() || vm.mem_gb < 0.0 {
+                return Err(TraceCodecError::Corrupt("VM memory is not finite non-negative"));
+            }
+            if !vm.max_mem_util.is_finite()
+                || vm.max_mem_util < 0.0
+                || !vm.avg_cpu_util.is_finite()
+                || vm.avg_cpu_util < 0.0
+            {
+                return Err(TraceCodecError::Corrupt("VM utilization is not finite non-negative"));
+            }
+        }
+        let ids: std::collections::HashSet<u64> = vms.iter().map(|v| v.id).collect();
+        if ids.len() != vms.len() {
+            return Err(TraceCodecError::Corrupt("duplicate VM ids"));
+        }
+        for e in &events {
+            if !e.time_s.is_finite() {
+                return Err(TraceCodecError::Corrupt("event time is not finite"));
+            }
+            if !ids.contains(&e.vm_id) {
+                return Err(TraceCodecError::Corrupt("event references an unknown VM"));
+            }
+        }
+        Ok(Self::new(duration_s, vms, events))
+    }
+
     /// Trace horizon in seconds.
     pub fn duration_s(&self) -> f64 {
         self.duration_s
@@ -187,9 +234,6 @@ impl Trace {
             return Err(TraceCodecError::BadVersion(version));
         }
         let duration_s = buf.get_f64();
-        if !duration_s.is_finite() || duration_s < 0.0 {
-            return Err(TraceCodecError::Corrupt("duration is not a finite non-negative number"));
-        }
         let n_vms = buf.get_u32() as usize;
         let n_events = buf.get_u32() as usize;
         need(&buf, n_vms * 48)?;
@@ -220,25 +264,20 @@ impl Trace {
             });
         }
         need(&buf, n_events * 17)?;
-        let ids: std::collections::HashSet<u64> = vms.iter().map(|v| v.id).collect();
         let mut events = Vec::with_capacity(n_events);
         for _ in 0..n_events {
             let time_s = buf.get_f64();
-            if !time_s.is_finite() {
-                return Err(TraceCodecError::Corrupt("event time is not finite"));
-            }
             let kind = match buf.get_u8() {
                 0 => VmEventKind::Arrival,
                 1 => VmEventKind::Departure,
                 d => return Err(TraceCodecError::BadDiscriminant(d)),
             };
             let vm_id = buf.get_u64();
-            if !ids.contains(&vm_id) {
-                return Err(TraceCodecError::Corrupt("event references an unknown VM"));
-            }
             events.push(VmEvent { time_s, kind, vm_id });
         }
-        Ok(Trace::new(duration_s, vms, events))
+        // Semantic validation (finite numbers, known VM ids) lives in
+        // `try_new`, so hand-built and decoded traces face one gate.
+        Trace::try_new(duration_s, vms, events)
     }
 }
 
@@ -251,6 +290,7 @@ fn departure_first(kind: VmEventKind) -> u8 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 
@@ -348,6 +388,52 @@ mod tests {
         nan_time[event_time_off..event_time_off + 8]
             .copy_from_slice(&f64::NAN.to_bits().to_be_bytes());
         assert!(matches!(Trace::decode(Bytes::from(nan_time)), Err(TraceCodecError::Corrupt(_))));
+    }
+
+    #[test]
+    fn try_new_rejects_each_bad_input() {
+        let good = sample_trace();
+        // Identity on valid input.
+        let ok = Trace::try_new(good.duration_s, good.vms.clone(), good.events.clone()).unwrap();
+        assert_eq!(ok, good);
+
+        // NaN duration.
+        let e = Trace::try_new(f64::NAN, good.vms.clone(), vec![]).unwrap_err();
+        assert!(matches!(e, TraceCodecError::Corrupt(m) if m.contains("duration")));
+        // Negative duration.
+        assert!(Trace::try_new(-1.0, good.vms.clone(), vec![]).is_err());
+        // Empty VM list.
+        let e = Trace::try_new(10.0, vec![], vec![]).unwrap_err();
+        assert!(matches!(e, TraceCodecError::Corrupt(m) if m.contains("no VMs")));
+        // NaN VM memory.
+        let mut bad_vm = vm(0, 4);
+        bad_vm.mem_gb = f64::NAN;
+        let e = Trace::try_new(10.0, vec![bad_vm], vec![]).unwrap_err();
+        assert!(matches!(e, TraceCodecError::Corrupt(m) if m.contains("memory")));
+        // Negative utilization.
+        let mut bad_vm = vm(0, 4);
+        bad_vm.avg_cpu_util = -0.5;
+        let e = Trace::try_new(10.0, vec![bad_vm], vec![]).unwrap_err();
+        assert!(matches!(e, TraceCodecError::Corrupt(m) if m.contains("utilization")));
+        // Duplicate ids.
+        let e = Trace::try_new(10.0, vec![vm(0, 4), vm(0, 8)], vec![]).unwrap_err();
+        assert!(matches!(e, TraceCodecError::Corrupt(m) if m.contains("duplicate")));
+        // Non-finite event time.
+        let e = Trace::try_new(
+            10.0,
+            vec![vm(0, 4)],
+            vec![VmEvent { time_s: f64::INFINITY, kind: VmEventKind::Arrival, vm_id: 0 }],
+        )
+        .unwrap_err();
+        assert!(matches!(e, TraceCodecError::Corrupt(m) if m.contains("event time")));
+        // Dangling event.
+        let e = Trace::try_new(
+            10.0,
+            vec![vm(0, 4)],
+            vec![VmEvent { time_s: 1.0, kind: VmEventKind::Arrival, vm_id: 9 }],
+        )
+        .unwrap_err();
+        assert!(matches!(e, TraceCodecError::Corrupt(m) if m.contains("unknown VM")));
     }
 
     #[test]

@@ -237,6 +237,7 @@ pub fn standard_suite() -> Vec<TraceParams> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -162,7 +162,10 @@ proptest! {
 
     #[test]
     fn trace_codec_roundtrip(
-        n_vms in 0usize..40,
+        // `Trace::try_new` (the decode gate) rejects empty VM lists, so
+        // the roundtrip property quantifies over non-empty traces; the
+        // empty case is pinned by `empty_trace_fails_decode` below.
+        n_vms in 1usize..40,
         seed in 0u64..1000,
     ) {
         use rand::{Rng, SeedableRng};
@@ -239,4 +242,10 @@ proptest! {
         let hi = RackFill::pack(&server(base_power + extra), &params).unwrap();
         prop_assert!(hi.servers() <= lo.servers());
     }
+}
+
+#[test]
+fn empty_trace_fails_decode() {
+    let empty = Trace::new(250.0, vec![], vec![]);
+    assert!(Trace::decode(empty.encode()).is_err());
 }
