@@ -15,3 +15,7 @@ cargo test -q --workspace
 # bit-identical; enabled models seed-deterministic): run its suite
 # explicitly so a filtered or partial test run cannot mask a drift.
 cargo test -q -p gsf-core --test fault_determinism
+# Replay-engine equivalence is equally hard: the prepared engine every
+# sizing probe and sweep point runs on must stay bit-identical to the
+# unprepared reference engine, faulted and fault-free.
+cargo test -q -p gsf-cluster --test prepared_equivalence

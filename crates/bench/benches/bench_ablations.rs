@@ -158,6 +158,81 @@ fn ablation_eval_cache(c: &mut Criterion) {
     group.finish();
 }
 
+/// Ablation: prepared vs unprepared replay on the sizing path — the
+/// mixed-cluster binary search with a realistic adoption router, where
+/// the prepared engine resolves each VM's placement request once per
+/// call instead of once per event per probe.
+fn ablation_prepared_replay(c: &mut Criterion) {
+    use gsf_cluster::sizing::{right_size_mixed, right_size_mixed_unprepared};
+    use gsf_core::{GreenSkuDesign, VmRouter};
+    use std::time::Instant;
+    let trace = bench_trace();
+    let router =
+        VmRouter::new(ModelParams::default_open_source(), &GreenSkuDesign::full()).unwrap();
+    let transform = |vm: &VmSpec| router.request(vm);
+    let baseline_shape = ServerShape::baseline_gen3();
+    let green_shape = ServerShape::greensku();
+
+    // Print the A/B outcome once: identical plans, measured speedup.
+    let t0 = Instant::now();
+    let prepared_plan =
+        right_size_mixed(&trace, &transform, baseline_shape, green_shape, PlacementPolicy::BestFit)
+            .unwrap();
+    let prepared_elapsed = t0.elapsed();
+    let t1 = Instant::now();
+    let unprepared_plan = right_size_mixed_unprepared(
+        &trace,
+        &transform,
+        baseline_shape,
+        green_shape,
+        PlacementPolicy::BestFit,
+        None,
+    )
+    .unwrap();
+    let unprepared_elapsed = t1.elapsed();
+    assert_eq!(prepared_plan, unprepared_plan, "the two engines must size identically");
+    println!(
+        "[ablation] prepared sizing {:.1} ms vs unprepared {:.1} ms ({:.2}x), plan {}b+{}g",
+        prepared_elapsed.as_secs_f64() * 1e3,
+        unprepared_elapsed.as_secs_f64() * 1e3,
+        unprepared_elapsed.as_secs_f64() / prepared_elapsed.as_secs_f64(),
+        prepared_plan.baseline,
+        prepared_plan.green,
+    );
+
+    let mut group = c.benchmark_group("ablation_prepared_replay");
+    group.bench_function("prepared_sizing", |b| {
+        b.iter(|| {
+            black_box(
+                right_size_mixed(
+                    &trace,
+                    &transform,
+                    baseline_shape,
+                    green_shape,
+                    PlacementPolicy::BestFit,
+                )
+                .unwrap(),
+            )
+        })
+    });
+    group.bench_function("unprepared_sizing", |b| {
+        b.iter(|| {
+            black_box(
+                right_size_mixed_unprepared(
+                    &trace,
+                    &transform,
+                    baseline_shape,
+                    green_shape,
+                    PlacementPolicy::BestFit,
+                    None,
+                )
+                .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
 /// Ablation: fresh simulator per replay vs reset-reuse (what the sizing
 /// binary searches do on every feasibility probe).
 fn ablation_sim_reuse(c: &mut Criterion) {
@@ -188,6 +263,7 @@ criterion_group!(
     ablation_des_vs_analytic,
     ablation_buffer_fraction,
     ablation_eval_cache,
+    ablation_prepared_replay,
     ablation_sim_reuse
 );
 criterion_main!(benches);

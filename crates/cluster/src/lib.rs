@@ -22,6 +22,8 @@ pub mod sizing;
 pub use buffer::GrowthBufferPolicy;
 pub use savings::{cluster_emissions, savings_fraction};
 pub use sizing::{
-    right_size_baseline_only, right_size_baseline_only_faulted, right_size_mixed,
-    right_size_mixed_faulted, ClusterPlan, FaultInjection, SizingError,
+    right_size_baseline_only, right_size_baseline_only_faulted, right_size_baseline_only_prepared,
+    right_size_baseline_only_unprepared, right_size_mixed, right_size_mixed_faulted,
+    right_size_mixed_prepared, right_size_mixed_unprepared, ClusterPlan, FaultInjection,
+    SizingError,
 };

@@ -10,7 +10,8 @@
 
 use gsf_maintenance::{FaultModel, PoolDevices};
 use gsf_vmalloc::{
-    AllocationSim, ClusterConfig, FaultPlan, PlacementPolicy, ServerShape, VmTransform,
+    AllocationSim, ClusterConfig, FaultPlan, PlacementPolicy, PreparedTrace, ServerShape,
+    VmTransform,
 };
 use gsf_workloads::Trace;
 use serde::{Deserialize, Serialize};
@@ -79,7 +80,28 @@ impl fmt::Display for SizingError {
 
 impl std::error::Error for SizingError {}
 
-fn feasible(
+/// Feasibility probe on the prepared replay engine: the plan is built
+/// once per sizing call and replayed across every probe.
+fn feasible_prepared(
+    sim: &mut AllocationSim,
+    prepared: &PreparedTrace,
+    config: ClusterConfig,
+    faults: Option<&FaultInjection<'_>>,
+) -> bool {
+    sim.reset(config);
+    match faults {
+        None => sim.replay_prepared(prepared).no_rejections(),
+        Some(inj) => {
+            let plan = inj.plan_for(&config, prepared.duration_s());
+            let (outcome, summary) = sim.replay_prepared_faulted(prepared, &plan);
+            outcome.no_rejections() && summary.all_evacuated()
+        }
+    }
+}
+
+/// Feasibility probe on the unprepared reference engine; bit-identical
+/// to [`feasible_prepared`] by the replay-equivalence contract.
+fn feasible_unprepared(
     sim: &mut AllocationSim,
     trace: &Trace,
     transform: &VmTransform<'_>,
@@ -88,20 +110,23 @@ fn feasible(
 ) -> bool {
     sim.reset(config);
     match faults {
-        // The fault-free path must stay bit-identical to the pre-fault
-        // code: plain replay, plain predicate.
-        None => sim.replay(trace, transform).no_rejections(),
+        None => sim.replay_unprepared(trace, transform).no_rejections(),
         Some(inj) => {
             let plan = inj.plan_for(&config, trace.duration_s());
-            let (outcome, summary) = sim.replay_faulted(trace, transform, &plan);
+            let (outcome, summary) = sim.replay_faulted_unprepared(trace, transform, &plan);
             outcome.no_rejections() && summary.all_evacuated()
         }
     }
 }
 
 /// Smallest `n` in `[lo, hi]` with `pred(n)` true, assuming monotone
-/// feasibility; `None` if even `hi` fails.
+/// feasibility; `None` if the range is empty or even `hi` fails.
 fn binary_search_min(lo: u32, hi: u32, mut pred: impl FnMut(u32) -> bool) -> Option<u32> {
+    // An empty range has no feasible point; without this guard the
+    // search would return `Some(lo)` without ever evaluating `pred(lo)`.
+    if lo > hi {
+        return None;
+    }
     if !pred(hi) {
         return None;
     }
@@ -115,6 +140,94 @@ fn binary_search_min(lo: u32, hi: u32, mut pred: impl FnMut(u32) -> bool) -> Opt
         }
     }
     Some(lo)
+}
+
+/// The baseline-only search skeleton: peak-demand lower bound, 4× upper
+/// bound (minimum 8), binary search over `probe`.
+fn baseline_search(
+    peak_demand: (u64, f64),
+    baseline_shape: ServerShape,
+    policy: PlacementPolicy,
+    mut probe: impl FnMut(&mut AllocationSim, ClusterConfig) -> bool,
+) -> Result<u32, SizingError> {
+    let (peak_cores, peak_mem) = peak_demand;
+    let by_cores = peak_cores.div_ceil(u64::from(baseline_shape.cores));
+    let by_mem = (peak_mem / baseline_shape.mem_gb).ceil() as u64;
+    let lower = by_cores.max(by_mem).max(1) as u32;
+    let bound = lower.saturating_mul(4).max(8);
+    let config = |n: u32| ClusterConfig {
+        baseline_count: n,
+        baseline_shape,
+        green_count: 0,
+        green_shape: ServerShape::greensku(),
+    };
+    let mut sim = AllocationSim::new(config(0), policy);
+    binary_search_min(lower, bound, |n| probe(&mut sim, config(n)))
+        .ok_or(SizingError::Infeasible { bound })
+}
+
+/// The mixed-cluster search skeleton given a right-sized baseline-only
+/// count `n0`: fewest baseline servers first (with an adaptively
+/// doubling green cap), then fewest GreenSKUs.
+fn mixed_search(
+    n0: u32,
+    baseline_shape: ServerShape,
+    green_shape: ServerShape,
+    policy: PlacementPolicy,
+    mut probe: impl FnMut(&mut AllocationSim, ClusterConfig) -> bool,
+) -> Result<ClusterPlan, SizingError> {
+    // A green server is at least as large as a baseline server in both
+    // dimensions for the standard shapes; scale the green cap by the
+    // shape ratio plus slack for scaling-factor inflation. The 1.6×
+    // slack covers scaling factors up to ~1.6; beyond that the cap
+    // doubles adaptively below.
+    let cap_ratio = (f64::from(baseline_shape.cores) / f64::from(green_shape.cores))
+        .max(baseline_shape.mem_gb / green_shape.mem_gb);
+    let mut green_cap = ((f64::from(n0) * cap_ratio * 1.6).ceil() as u32).max(8);
+    let cap_limit = green_cap.saturating_mul(64);
+
+    let config = |b: u32, g: u32| ClusterConfig {
+        baseline_count: b,
+        baseline_shape,
+        green_count: g,
+        green_shape,
+    };
+    let mut sim = AllocationSim::new(config(0, 0), policy);
+
+    // Fewest baseline servers first (the residual pool for non-adopting
+    // and full-node VMs). When even the full baseline pool rejects at
+    // the current green cap, the cap itself is the constraint (large
+    // scaling factors, packing anomalies) — double it and retry.
+    let mut b_min = loop {
+        let found = binary_search_min(0, n0, |b| probe(&mut sim, config(b, green_cap)));
+        if let Some(b) = found {
+            break b;
+        }
+        if green_cap >= cap_limit {
+            return Err(SizingError::Infeasible { bound: n0 + green_cap });
+        }
+        green_cap = green_cap.saturating_mul(2).min(cap_limit);
+    };
+    // A capped green pool can also pin baseline servers a larger pool
+    // would free; keep doubling while that shrinks the baseline count.
+    while b_min > 0 && green_cap < cap_limit {
+        let doubled = green_cap.saturating_mul(2).min(cap_limit);
+        match binary_search_min(0, b_min - 1, |b| probe(&mut sim, config(b, doubled))) {
+            Some(b) => {
+                green_cap = doubled;
+                b_min = b;
+            }
+            None => break,
+        }
+    }
+    // ...then the fewest GreenSKUs given that baseline pool. The cap
+    // itself was feasible with `b_min` in the searches above, and the
+    // probes are deterministic, so this search cannot come up empty —
+    // but report Infeasible rather than panicking if that invariant is
+    // ever broken.
+    let g_min = binary_search_min(0, green_cap, |g| probe(&mut sim, config(b_min, g)))
+        .ok_or(SizingError::Infeasible { bound: n0 + green_cap })?;
+    Ok(ClusterPlan { baseline: b_min, green: g_min })
 }
 
 /// Right-sizes a baseline-only cluster: the minimum number of
@@ -148,22 +261,51 @@ pub fn right_size_baseline_only_faulted(
     policy: PlacementPolicy,
     faults: Option<&FaultInjection<'_>>,
 ) -> Result<u32, SizingError> {
+    let transform = |vm: &gsf_workloads::VmSpec| gsf_vmalloc::PlacementRequest::baseline_only(vm);
+    let prepared = PreparedTrace::new(trace, &transform);
+    right_size_baseline_only_prepared(&prepared, baseline_shape, policy, faults)
+}
+
+/// [`right_size_baseline_only_faulted`] over an already-prepared plan,
+/// so every binary-search probe replays the same precomputation.
+/// `prepared` must have been built with the baseline-only transform
+/// (every request at its original size); the `EvalContext` prepared
+/// cache in `gsf-core` shares one such plan across all sweep points.
+///
+/// # Errors
+///
+/// Returns [`SizingError::Infeasible`] as the plain search does.
+pub fn right_size_baseline_only_prepared(
+    prepared: &PreparedTrace,
+    baseline_shape: ServerShape,
+    policy: PlacementPolicy,
+    faults: Option<&FaultInjection<'_>>,
+) -> Result<u32, SizingError> {
+    let faults = faults.filter(|f| !f.model.is_none());
+    baseline_search(prepared.peak_demand(), baseline_shape, policy, |sim, config| {
+        feasible_prepared(sim, prepared, config, faults)
+    })
+}
+
+/// Reference baseline-only sizing on the unprepared replay engine:
+/// re-resolves every event on every probe. Bit-identical to
+/// [`right_size_baseline_only_faulted`]; kept for the equivalence suite
+/// and the `ablation_prepared_replay` bench.
+///
+/// # Errors
+///
+/// Returns [`SizingError::Infeasible`] as the plain search does.
+pub fn right_size_baseline_only_unprepared(
+    trace: &Trace,
+    baseline_shape: ServerShape,
+    policy: PlacementPolicy,
+    faults: Option<&FaultInjection<'_>>,
+) -> Result<u32, SizingError> {
     let faults = faults.filter(|f| !f.model.is_none());
     let transform = |vm: &gsf_workloads::VmSpec| gsf_vmalloc::PlacementRequest::baseline_only(vm);
-    let (peak_cores, peak_mem) = trace.peak_demand();
-    let by_cores = peak_cores.div_ceil(u64::from(baseline_shape.cores));
-    let by_mem = (peak_mem / baseline_shape.mem_gb).ceil() as u64;
-    let lower = by_cores.max(by_mem).max(1) as u32;
-    let bound = lower.saturating_mul(4).max(8);
-    let config = |n: u32| ClusterConfig {
-        baseline_count: n,
-        baseline_shape,
-        green_count: 0,
-        green_shape: ServerShape::greensku(),
-    };
-    let mut sim = AllocationSim::new(config(0), policy);
-    binary_search_min(lower, bound, |n| feasible(&mut sim, trace, &transform, config(n), faults))
-        .ok_or(SizingError::Infeasible { bound })
+    baseline_search(trace.peak_demand(), baseline_shape, policy, |sim, config| {
+        feasible_unprepared(sim, trace, &transform, config, faults)
+    })
 }
 
 /// The §V mixed-cluster search: starting from a right-sized
@@ -203,66 +345,65 @@ pub fn right_size_mixed_faulted(
     policy: PlacementPolicy,
     faults: Option<&FaultInjection<'_>>,
 ) -> Result<ClusterPlan, SizingError> {
-    let faults = faults.filter(|f| !f.model.is_none());
-    let n0 = right_size_baseline_only_faulted(trace, baseline_shape, policy, faults)?;
-    // A green server is at least as large as a baseline server in both
-    // dimensions for the standard shapes; scale the green cap by the
-    // shape ratio plus slack for scaling-factor inflation. The 1.6×
-    // slack covers scaling factors up to ~1.6; beyond that the cap
-    // doubles adaptively below.
-    let cap_ratio = (f64::from(baseline_shape.cores) / f64::from(green_shape.cores))
-        .max(baseline_shape.mem_gb / green_shape.mem_gb);
-    let mut green_cap = ((f64::from(n0) * cap_ratio * 1.6).ceil() as u32).max(8);
-    let cap_limit = green_cap.saturating_mul(64);
-
-    let config = |b: u32, g: u32| ClusterConfig {
-        baseline_count: b,
+    let prepared = PreparedTrace::new(trace, transform);
+    let baseline_transform =
+        |vm: &gsf_workloads::VmSpec| gsf_vmalloc::PlacementRequest::baseline_only(vm);
+    let prepared_baseline = PreparedTrace::new(trace, &baseline_transform);
+    right_size_mixed_prepared(
+        &prepared,
+        &prepared_baseline,
         baseline_shape,
-        green_count: g,
         green_shape,
-    };
-    let mut sim = AllocationSim::new(config(0, 0), policy);
+        policy,
+        faults,
+    )
+}
 
-    // Fewest baseline servers first (the residual pool for non-adopting
-    // and full-node VMs). When even the full baseline pool rejects at
-    // the current green cap, the cap itself is the constraint (large
-    // scaling factors, packing anomalies) — double it and retry.
-    let mut b_min = loop {
-        let found = binary_search_min(0, n0, |b| {
-            feasible(&mut sim, trace, transform, config(b, green_cap), faults)
-        });
-        if let Some(b) = found {
-            break b;
-        }
-        if green_cap >= cap_limit {
-            return Err(SizingError::Infeasible { bound: n0 + green_cap });
-        }
-        green_cap = green_cap.saturating_mul(2).min(cap_limit);
-    };
-    // A capped green pool can also pin baseline servers a larger pool
-    // would free; keep doubling while that shrinks the baseline count.
-    while b_min > 0 && green_cap < cap_limit {
-        let doubled = green_cap.saturating_mul(2).min(cap_limit);
-        match binary_search_min(0, b_min - 1, |b| {
-            feasible(&mut sim, trace, transform, config(b, doubled), faults)
-        }) {
-            Some(b) => {
-                green_cap = doubled;
-                b_min = b;
-            }
-            None => break,
-        }
-    }
-    // ...then the fewest GreenSKUs given that baseline pool. The cap
-    // itself was feasible with `b_min` in the searches above, and the
-    // probes are deterministic, so this search cannot come up empty —
-    // but report Infeasible rather than panicking if that invariant is
-    // ever broken.
-    let g_min = binary_search_min(0, green_cap, |g| {
-        feasible(&mut sim, trace, transform, config(b_min, g), faults)
+/// [`right_size_mixed_faulted`] over already-prepared plans: `prepared`
+/// carries the routed (adoption-transformed) requests the mixed search
+/// probes with, `prepared_baseline` the baseline-only requests seeding
+/// the `n0` search. Both are built once per (trace, routing decision)
+/// and shared across every probe — and, via the `EvalContext` cache,
+/// across every sweep point with the same routing signature.
+///
+/// # Errors
+///
+/// Returns [`SizingError::Infeasible`] as the plain search does.
+pub fn right_size_mixed_prepared(
+    prepared: &PreparedTrace,
+    prepared_baseline: &PreparedTrace,
+    baseline_shape: ServerShape,
+    green_shape: ServerShape,
+    policy: PlacementPolicy,
+    faults: Option<&FaultInjection<'_>>,
+) -> Result<ClusterPlan, SizingError> {
+    let faults = faults.filter(|f| !f.model.is_none());
+    let n0 = right_size_baseline_only_prepared(prepared_baseline, baseline_shape, policy, faults)?;
+    mixed_search(n0, baseline_shape, green_shape, policy, |sim, config| {
+        feasible_prepared(sim, prepared, config, faults)
     })
-    .ok_or(SizingError::Infeasible { bound: n0 + green_cap })?;
-    Ok(ClusterPlan { baseline: b_min, green: g_min })
+}
+
+/// Reference mixed sizing on the unprepared replay engine; bit-identical
+/// to [`right_size_mixed_faulted`], kept for the equivalence suite and
+/// the `ablation_prepared_replay` bench.
+///
+/// # Errors
+///
+/// Returns [`SizingError::Infeasible`] as the plain search does.
+pub fn right_size_mixed_unprepared(
+    trace: &Trace,
+    transform: &VmTransform<'_>,
+    baseline_shape: ServerShape,
+    green_shape: ServerShape,
+    policy: PlacementPolicy,
+    faults: Option<&FaultInjection<'_>>,
+) -> Result<ClusterPlan, SizingError> {
+    let faults = faults.filter(|f| !f.model.is_none());
+    let n0 = right_size_baseline_only_unprepared(trace, baseline_shape, policy, faults)?;
+    mixed_search(n0, baseline_shape, green_shape, policy, |sim, config| {
+        feasible_unprepared(sim, trace, transform, config, faults)
+    })
 }
 
 #[cfg(test)]
@@ -521,5 +662,64 @@ mod tests {
         assert_eq!(binary_search_min(0, 10, |_| true), Some(0));
         assert_eq!(binary_search_min(0, 10, |_| false), None);
         assert_eq!(binary_search_min(3, 3, |n| n == 3), Some(3));
+    }
+
+    #[test]
+    fn binary_search_min_empty_range_is_none_without_probing() {
+        // lo > hi used to return Some(lo) without ever evaluating
+        // pred(lo) — an unvetted "feasible" answer. The empty range must
+        // be None, and the predicate must never run.
+        let mut calls = 0usize;
+        let result = binary_search_min(5, 4, |_| {
+            calls += 1;
+            true
+        });
+        assert_eq!(result, None);
+        assert_eq!(calls, 0);
+        // One-past inverted and far-inverted ranges alike.
+        assert_eq!(binary_search_min(u32::MAX, 0, |_| true), None);
+    }
+
+    #[test]
+    fn prepared_sizing_matches_unprepared() {
+        let trace = concurrent_trace(30);
+        let shape = ServerShape::baseline_gen3();
+        let transform = |v: &VmSpec| PlacementRequest::prefer_green(v, 1.25);
+        let mut model = FaultModel::paper(13);
+        model.afr_scale = 40.0;
+        let inj = FaultInjection {
+            model: &model,
+            baseline_devices: PoolDevices::baseline(),
+            green_devices: PoolDevices::greensku_full(),
+        };
+        for faults in [None, Some(&inj)] {
+            assert_eq!(
+                right_size_baseline_only_faulted(&trace, shape, PlacementPolicy::BestFit, faults),
+                right_size_baseline_only_unprepared(
+                    &trace,
+                    shape,
+                    PlacementPolicy::BestFit,
+                    faults
+                ),
+            );
+            assert_eq!(
+                right_size_mixed_faulted(
+                    &trace,
+                    &transform,
+                    shape,
+                    ServerShape::greensku(),
+                    PlacementPolicy::BestFit,
+                    faults,
+                ),
+                right_size_mixed_unprepared(
+                    &trace,
+                    &transform,
+                    shape,
+                    ServerShape::greensku(),
+                    PlacementPolicy::BestFit,
+                    faults,
+                ),
+            );
+        }
     }
 }

@@ -27,7 +27,7 @@
 use crate::components::{CarbonComponent, DefaultCarbon};
 use gsf_carbon::{Assessment, CarbonError, ModelParams, ServerSpec};
 use gsf_cluster::sizing::ClusterPlan;
-use gsf_vmalloc::{FaultSummary, PlacementPolicy, ServerShape, SimOutcome};
+use gsf_vmalloc::{FaultSummary, PlacementPolicy, PreparedTrace, ServerShape, SimOutcome};
 use gsf_workloads::{ServerGeneration, Trace};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -159,6 +159,27 @@ impl SizingKey {
     }
 }
 
+/// Structural key for the prepared-trace cache: the exact trace
+/// encoding plus the routing decision table the plan was resolved
+/// against. A [`PreparedTrace`] depends on nothing else — not the
+/// cluster shapes, policy, buffer, or fault model — so one plan serves
+/// every sizing probe, buffer level, and fault configuration of a
+/// routing-identical sweep.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct PreparedKey(Vec<u64>);
+
+impl PreparedKey {
+    fn of(trace: &Trace, decision_signature: &[u64]) -> Self {
+        let mut w = KeyWriter::default();
+        w.bytes(&trace.encode());
+        w.u64(decision_signature.len() as u64);
+        for &word in decision_signature {
+            w.u64(word);
+        }
+        Self(w.words)
+    }
+}
+
 /// The trace-dependent heavy half of one pipeline evaluation: the two
 /// right-sizing binary searches plus the final replay on the buffered
 /// mixed cluster. These dominate `evaluate_at` wall-clock and are
@@ -192,6 +213,12 @@ pub struct CacheStats {
     pub sizing_misses: usize,
     /// Distinct sizing keys currently cached.
     pub sizing_entries: usize,
+    /// Prepared-trace lookups answered from the cache.
+    pub prepared_hits: usize,
+    /// Prepared-trace lookups that had to build the plan.
+    pub prepared_misses: usize,
+    /// Distinct prepared plans currently cached.
+    pub prepared_entries: usize,
 }
 
 impl CacheStats {
@@ -220,10 +247,14 @@ pub struct EvalContext {
     cache: Option<Mutex<HashMap<AssessmentKey, Arc<Assessment>>>>,
     /// Memoized sizing searches + replays; `None` in pass-through mode.
     sizing: Option<Mutex<HashMap<SizingKey, Arc<SizingOutcome>>>>,
+    /// Memoized prepared replay plans; `None` in pass-through mode.
+    prepared: Option<Mutex<HashMap<PreparedKey, Arc<PreparedTrace>>>>,
     hits: AtomicUsize,
     misses: AtomicUsize,
     sizing_hits: AtomicUsize,
     sizing_misses: AtomicUsize,
+    prepared_hits: AtomicUsize,
+    prepared_misses: AtomicUsize,
 }
 
 impl EvalContext {
@@ -232,6 +263,7 @@ impl EvalContext {
         Self {
             cache: Some(Mutex::new(HashMap::new())),
             sizing: Some(Mutex::new(HashMap::new())),
+            prepared: Some(Mutex::new(HashMap::new())),
             ..Self::default()
         }
     }
@@ -352,6 +384,39 @@ impl EvalContext {
         Ok(outcome)
     }
 
+    /// Builds (or replays) the prepared trace plan for one
+    /// (trace, routing decision) pair, memoized by the exact trace
+    /// encoding and decision table. All sweep points whose intensities
+    /// route identically share one plan — the same key granularity as
+    /// [`Self::sizing`], minus everything a [`PreparedTrace`] does not
+    /// depend on.
+    ///
+    /// `build` must be a pure function of those inputs (the adoption
+    /// transform is a pure function of the `VmSpec` given a decision
+    /// table), so cached and uncached contexts stay bitwise-identical.
+    pub fn prepared(
+        &self,
+        trace: &Trace,
+        decision_signature: &[u64],
+        build: impl FnOnce() -> PreparedTrace,
+    ) -> Arc<PreparedTrace> {
+        let Some(prepared) = &self.prepared else {
+            self.prepared_misses.fetch_add(1, Ordering::Relaxed);
+            return Arc::new(build());
+        };
+        let key = PreparedKey::of(trace, decision_signature);
+        if let Some(hit) = prepared.lock().get(&key) {
+            self.prepared_hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(hit);
+        }
+        // Build outside the lock (see `assess`): racing duplicates
+        // produce the same plan bit-for-bit.
+        self.prepared_misses.fetch_add(1, Ordering::Relaxed);
+        let plan = Arc::new(build());
+        prepared.lock().insert(key, Arc::clone(&plan));
+        plan
+    }
+
     /// Current counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
@@ -361,6 +426,9 @@ impl EvalContext {
             sizing_hits: self.sizing_hits.load(Ordering::Relaxed),
             sizing_misses: self.sizing_misses.load(Ordering::Relaxed),
             sizing_entries: self.sizing.as_ref().map_or(0, |c| c.lock().len()),
+            prepared_hits: self.prepared_hits.load(Ordering::Relaxed),
+            prepared_misses: self.prepared_misses.load(Ordering::Relaxed),
+            prepared_entries: self.prepared.as_ref().map_or(0, |c| c.lock().len()),
         }
     }
 }
@@ -521,6 +589,37 @@ mod tests {
             .unwrap();
         assert!(!Arc::ptr_eq(&c, &d), "uncached context recomputes");
         assert_eq!(passthrough.stats().sizing_entries, 0);
+    }
+
+    #[test]
+    fn prepared_cache_hits_and_passthrough() {
+        use gsf_stats::rng::SeedFactory;
+        use gsf_workloads::{TraceGenerator, TraceParams};
+        let trace = TraceGenerator::new(TraceParams {
+            duration_hours: 2.0,
+            arrivals_per_hour: 10.0,
+            ..TraceParams::default()
+        })
+        .generate(&SeedFactory::new(5), 0);
+        let build =
+            || PreparedTrace::new(&trace, &|vm| gsf_vmalloc::PlacementRequest::baseline_only(vm));
+        let sig = [1u64, 2, 3];
+        let ctx = EvalContext::new();
+        let a = ctx.prepared(&trace, &sig, build);
+        let b = ctx.prepared(&trace, &sig, build);
+        assert!(Arc::ptr_eq(&a, &b), "second lookup must be a hit");
+        // A different decision table misses (even on the same trace).
+        let c = ctx.prepared(&trace, &[9u64], build);
+        assert!(!Arc::ptr_eq(&a, &c));
+        let s = ctx.stats();
+        assert_eq!((s.prepared_hits, s.prepared_misses, s.prepared_entries), (1, 2, 2));
+
+        let passthrough = EvalContext::uncached();
+        let d = passthrough.prepared(&trace, &sig, build);
+        let e = passthrough.prepared(&trace, &sig, build);
+        assert!(!Arc::ptr_eq(&d, &e), "uncached context rebuilds");
+        assert_eq!(*d, *e, "...but the plans are identical");
+        assert_eq!(passthrough.stats().prepared_entries, 0);
     }
 
     #[test]

@@ -14,13 +14,13 @@ use gsf_cluster::{
     buffer::GrowthBufferPolicy,
     savings::savings_fraction,
     sizing::{
-        right_size_baseline_only_faulted, right_size_mixed_faulted, ClusterPlan, FaultInjection,
+        right_size_baseline_only_prepared, right_size_mixed_prepared, ClusterPlan, FaultInjection,
     },
 };
 use gsf_maintenance::{FaultModel, PoolDevices};
 use gsf_vmalloc::{
-    AllocationSim, ClusterConfig, FaultSummary, PlacementPolicy, PlacementRequest, ServerShape,
-    SimOutcome,
+    AllocationSim, ClusterConfig, FaultSummary, PlacementPolicy, PlacementRequest, PreparedTrace,
+    ServerShape, SimOutcome,
 };
 use gsf_workloads::{catalog, ApplicationModel, FleetMix, ServerGeneration, Trace, VmSpec};
 use serde::{Deserialize, Serialize};
@@ -338,9 +338,10 @@ impl GsfPipeline {
         // share one run of the binary searches. The fault-model
         // signature is part of the key, so fault-injected and
         // fault-free evaluations never share an entry.
+        let decision_signature = router.decision_signature();
         let sizing = self.ctx.sizing(
             trace,
-            &router.decision_signature(),
+            &decision_signature,
             baseline_shape,
             green_shape,
             self.config.policy,
@@ -350,15 +351,27 @@ impl GsfPipeline {
                 let injection =
                     FaultInjection { model: fault_model, baseline_devices, green_devices };
                 let faults = (!fault_model.is_none()).then_some(&injection);
-                let n0 = right_size_baseline_only_faulted(
-                    trace,
+                // Prepared replay plans, built only on a sizing-memo
+                // miss and cached by (trace, decision table) — shared
+                // with every other fault/buffer configuration of a
+                // routing-identical sweep. The empty signature marks
+                // the baseline-only plan; routed signatures always
+                // start with the catalog length, so they never collide.
+                let prepared = self
+                    .ctx
+                    .prepared(trace, &decision_signature, || PreparedTrace::new(trace, &transform));
+                let prepared_baseline = self.ctx.prepared(trace, &[], || {
+                    PreparedTrace::new(trace, &|vm: &VmSpec| PlacementRequest::baseline_only(vm))
+                });
+                let n0 = right_size_baseline_only_prepared(
+                    &prepared_baseline,
                     baseline_shape,
                     self.config.policy,
                     faults,
                 )?;
-                let plan = right_size_mixed_faulted(
-                    trace,
-                    &transform,
+                let plan = right_size_mixed_prepared(
+                    &prepared,
+                    &prepared_baseline,
                     baseline_shape,
                     green_shape,
                     self.config.policy,
@@ -377,10 +390,10 @@ impl GsfPipeline {
                 };
                 let mut sim = AllocationSim::new(config, self.config.policy);
                 let (replay, fault_summary) = match faults {
-                    None => (sim.replay(trace, &transform), FaultSummary::default()),
+                    None => (sim.replay_prepared(&prepared), FaultSummary::default()),
                     Some(inj) => {
                         let fault_plan = inj.plan_for(&config, trace.duration_s());
-                        sim.replay_faulted(trace, &transform, &fault_plan)
+                        sim.replay_prepared_faulted(&prepared, &fault_plan)
                     }
                 };
                 Ok(crate::context::SizingOutcome {

@@ -20,6 +20,7 @@ pub mod cluster;
 pub mod faults;
 pub mod metrics;
 pub mod policy;
+pub mod prepared;
 pub mod server;
 pub mod simulator;
 pub mod usage;
@@ -28,6 +29,7 @@ pub use cluster::{ClusterConfig, ServerShape};
 pub use faults::{FaultEvent, FaultKind, FaultPlan, FaultPool, FaultSummary};
 pub use metrics::{PackingMetrics, PoolMetrics};
 pub use policy::PlacementPolicy;
+pub use prepared::PreparedTrace;
 pub use server::ServerState;
 pub use simulator::{AllocationSim, PlacementRequest, SimOutcome, TargetPool, VmTransform};
 pub use usage::UsageLedger;

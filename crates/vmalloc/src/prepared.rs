@@ -1,0 +1,220 @@
+//! Prepared-trace replay: per-(trace, routing decision) precomputation.
+//!
+//! Every sizing feasibility probe replays the same trace with the same
+//! placement transform — only the candidate cluster changes. The
+//! unprepared path re-resolves each event's VM (a by-id lookup) and
+//! recomputes its [`PlacementRequest`] on every probe even though
+//! neither depends on the cluster. A [`PreparedTrace`] does that work
+//! once: every event carries its VM's dense slot, every VM carries its
+//! precomputed request, arrivals are paired with departures (via
+//! [`gsf_workloads::Trace::index`]) so dwell times are known up front,
+//! and the peak concurrent demand that seeds the sizing bounds is
+//! precomputed.
+//!
+//! The prepared engine ([`crate::AllocationSim::replay_prepared`] /
+//! [`crate::AllocationSim::replay_prepared_faulted`]) is pinned
+//! bit-identical to the unprepared reference path by the
+//! `prepared_equivalence` suite in `gsf-cluster` (a `ci.sh` gate):
+//! same `SimOutcome`, same `FaultSummary`, faulted and fault-free.
+
+use crate::simulator::{PlacementRequest, VmTransform};
+use gsf_workloads::{Trace, VmEventKind};
+
+/// One trace event with its VM resolved to a dense slot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct PreparedEvent {
+    /// Event time, seconds.
+    pub time_s: f64,
+    /// Arrival or departure.
+    pub kind: VmEventKind,
+    /// Index into [`PreparedTrace::vms`].
+    pub slot: u32,
+    /// End of the residency this event opens (arrivals: the paired
+    /// departure time, or the horizon; departures: their own time).
+    pub end_time_s: f64,
+}
+
+/// One VM with its placement request resolved once.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct PreparedVm {
+    /// The VM's trace id (servers and fault evacuation address VMs by
+    /// id).
+    pub id: u64,
+    /// Index into the application catalog, for usage attribution.
+    pub app_index: u16,
+    /// Maximum fraction of allocated memory the VM touches.
+    pub max_mem_util: f64,
+    /// The transform's placement request for this VM.
+    pub request: PlacementRequest,
+}
+
+/// A trace resolved against one routing decision: every event indexed,
+/// every request precomputed, shared across `reset()` cycles and
+/// sizing probes.
+///
+/// Bit-exactness contract: replaying a `PreparedTrace` built from
+/// `(trace, transform)` is bitwise identical to replaying
+/// `(trace, transform)` through the unprepared reference path, provided
+/// `transform` is a pure function of the `VmSpec` (every transform in
+/// this workspace is).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PreparedTrace {
+    duration_s: f64,
+    events: Vec<PreparedEvent>,
+    vms: Vec<PreparedVm>,
+    /// VM slots in ascending-id order: the horizon settlement order,
+    /// and the index the by-id lookup binary-searches.
+    slots_by_id: Vec<u32>,
+    peak_demand: (u64, f64),
+}
+
+impl PreparedTrace {
+    /// Resolves `trace` against `transform` once.
+    pub fn new(trace: &Trace, transform: &VmTransform<'_>) -> Self {
+        let index = trace.index();
+        let vms: Vec<PreparedVm> = trace
+            .vms()
+            .iter()
+            .map(|vm| PreparedVm {
+                id: vm.id,
+                app_index: vm.app_index,
+                max_mem_util: vm.max_mem_util,
+                request: transform(vm),
+            })
+            .collect();
+        let events: Vec<PreparedEvent> = trace
+            .events()
+            .iter()
+            .enumerate()
+            .map(|(i, e)| PreparedEvent {
+                time_s: e.time_s,
+                kind: e.kind,
+                slot: index.vm_slot(i),
+                end_time_s: index.end_time_s(i),
+            })
+            .collect();
+        let mut slots_by_id: Vec<u32> = (0..vms.len() as u32).collect();
+        slots_by_id.sort_unstable_by_key(|&s| vms[s as usize].id);
+        Self {
+            duration_s: trace.duration_s(),
+            events,
+            vms,
+            slots_by_id,
+            peak_demand: trace.peak_demand(),
+        }
+    }
+
+    /// Trace horizon in seconds.
+    pub fn duration_s(&self) -> f64 {
+        self.duration_s
+    }
+
+    /// Number of events.
+    pub fn event_count(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Number of VMs.
+    pub fn vm_count(&self) -> usize {
+        self.vms.len()
+    }
+
+    /// Peak concurrent demand in (cores, memory GB) at original VM
+    /// sizes — the same lower bound [`Trace::peak_demand`] computes,
+    /// cached here so sizing searches stop re-walking the event list.
+    pub fn peak_demand(&self) -> (u64, f64) {
+        self.peak_demand
+    }
+
+    /// End of the residency event `event_idx` belongs to: for an
+    /// arrival, the paired departure time (or the horizon if the VM
+    /// never departs); for a departure, its own time.
+    pub fn event_end_time_s(&self, event_idx: usize) -> f64 {
+        self.events[event_idx].end_time_s
+    }
+
+    pub(crate) fn events(&self) -> &[PreparedEvent] {
+        &self.events
+    }
+
+    pub(crate) fn vm(&self, slot: u32) -> &PreparedVm {
+        &self.vms[slot as usize]
+    }
+
+    /// VM slots in ascending-id order (the settlement order).
+    pub(crate) fn slots_by_id(&self) -> &[u32] {
+        &self.slots_by_id
+    }
+
+    /// Resolves a VM id (as servers report them) back to its slot.
+    pub(crate) fn slot_of_id(&self, id: u64) -> Option<u32> {
+        self.slots_by_id
+            .binary_search_by_key(&id, |&s| self.vms[s as usize].id)
+            .ok()
+            .map(|i| self.slots_by_id[i])
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use gsf_workloads::{ServerGeneration, VmEvent, VmSpec};
+
+    fn vm(id: u64, cores: u32) -> VmSpec {
+        VmSpec {
+            id,
+            cores,
+            mem_gb: f64::from(cores) * 4.0,
+            app_index: (id % 5) as u16,
+            generation: ServerGeneration::Gen3,
+            full_node: false,
+            max_mem_util: 0.5,
+            avg_cpu_util: 0.2,
+        }
+    }
+
+    fn sample() -> Trace {
+        Trace::new(
+            1000.0,
+            vec![vm(5, 4), vm(2, 8), vm(9, 2)],
+            vec![
+                VmEvent { time_s: 10.0, kind: VmEventKind::Arrival, vm_id: 5 },
+                VmEvent { time_s: 20.0, kind: VmEventKind::Arrival, vm_id: 2 },
+                VmEvent { time_s: 30.0, kind: VmEventKind::Departure, vm_id: 5 },
+                VmEvent { time_s: 40.0, kind: VmEventKind::Arrival, vm_id: 9 },
+            ],
+        )
+    }
+
+    #[test]
+    fn prepares_slots_requests_and_pairing() {
+        let t = sample();
+        let p = PreparedTrace::new(&t, &|v: &VmSpec| PlacementRequest::prefer_green(v, 1.25));
+        assert_eq!(p.event_count(), 4);
+        assert_eq!(p.vm_count(), 3);
+        assert_eq!(p.duration_s(), 1000.0);
+        // Event 0 refers to VM id 5, stored at slot 0.
+        assert_eq!(p.events()[0].slot, 0);
+        assert_eq!(p.vm(p.events()[0].slot).id, 5);
+        // Requests precomputed through the transform.
+        assert_eq!(p.vm(0).request, PlacementRequest::prefer_green(&vm(5, 4), 1.25));
+        // Pairing: VM 5 arrives at 10, departs at 30; VM 2 runs to the
+        // horizon.
+        assert_eq!(p.events()[0].end_time_s, 30.0);
+        assert_eq!(p.events()[1].end_time_s, 1000.0);
+        // Peak demand matches the trace's own computation bit-for-bit.
+        assert_eq!(p.peak_demand(), t.peak_demand());
+    }
+
+    #[test]
+    fn id_lookup_round_trips_sparse_ids() {
+        let t = sample();
+        let p = PreparedTrace::new(&t, &|v: &VmSpec| PlacementRequest::baseline_only(v));
+        assert_eq!(p.slots_by_id().iter().map(|&s| p.vm(s).id).collect::<Vec<_>>(), vec![2, 5, 9]);
+        for id in [2u64, 5, 9] {
+            assert_eq!(p.vm(p.slot_of_id(id).unwrap()).id, id);
+        }
+        assert_eq!(p.slot_of_id(7), None);
+    }
+}

@@ -1,9 +1,29 @@
 //! The allocation simulator: replays a trace against a two-pool cluster.
+//!
+//! Two replay engines share the same semantics and are pinned bitwise
+//! identical to each other (the `prepared_equivalence` suite in
+//! `gsf-cluster` is a CI gate):
+//!
+//! - the **prepared** engine ([`AllocationSim::replay_prepared`],
+//!   [`AllocationSim::replay_prepared_faulted`]) consumes a
+//!   [`PreparedTrace`] — events carry dense VM slots and precomputed
+//!   [`PlacementRequest`]s, so a sizing search replays the same plan
+//!   across every probe without re-resolving anything;
+//! - the **unprepared** reference engine
+//!   ([`AllocationSim::replay_unprepared`],
+//!   [`AllocationSim::replay_faulted_unprepared`]) resolves VMs and
+//!   requests on the fly, per event. It exists as the independent
+//!   reference the equivalence suite and the
+//!   `ablation_prepared_replay` bench compare against.
+//!
+//! [`AllocationSim::replay`] / [`AllocationSim::replay_faulted`] build
+//! a [`PreparedTrace`] and route through the prepared engine.
 
 use crate::cluster::ClusterConfig;
 use crate::faults::{FaultEvent, FaultKind, FaultPlan, FaultPool, FaultSummary};
 use crate::metrics::PackingMetrics;
 use crate::policy::PlacementPolicy;
+use crate::prepared::PreparedTrace;
 use crate::server::{PlacedVm, ServerState};
 use crate::usage::UsageLedger;
 use gsf_workloads::{Trace, VmEventKind, VmSpec};
@@ -168,25 +188,189 @@ impl AllocationSim {
     /// no-op); the cluster-sizing search treats any rejection as "this
     /// cluster is too small".
     ///
+    /// Builds a [`PreparedTrace`] and routes through
+    /// [`Self::replay_prepared`]; callers replaying the same
+    /// (trace, transform) repeatedly should build the plan once
+    /// themselves.
+    ///
     /// Leaves the simulator holding the end-of-trace allocation state;
     /// call [`Self::reset`] before replaying again.
     pub fn replay(&mut self, trace: &Trace, transform: &VmTransform<'_>) -> SimOutcome {
-        self.replay_faulted(trace, transform, &FaultPlan::empty()).0
+        let prepared = PreparedTrace::new(trace, transform);
+        self.replay_prepared(&prepared)
     }
 
     /// Replays `trace` while injecting the failures scheduled in
-    /// `plan`.
+    /// `plan`. Routes through [`Self::replay_prepared_faulted`]; see
+    /// there for fault semantics.
+    pub fn replay_faulted(
+        &mut self,
+        trace: &Trace,
+        transform: &VmTransform<'_>,
+        plan: &FaultPlan,
+    ) -> (SimOutcome, FaultSummary) {
+        let prepared = PreparedTrace::new(trace, transform);
+        self.replay_prepared_faulted(&prepared, plan)
+    }
+
+    /// Replays a prepared plan with no faults.
+    pub fn replay_prepared(&mut self, prepared: &PreparedTrace) -> SimOutcome {
+        self.replay_prepared_faulted(prepared, &FaultPlan::empty()).0
+    }
+
+    /// Replays a prepared plan while injecting the failures scheduled
+    /// in `plan`.
     ///
     /// Faults due at time `t` are applied before any trace event at
-    /// `t`. A full failure takes the server offline for the rest of the
-    /// trace and displaces every hosted VM; a partial degrade shrinks
-    /// the server in place and displaces only VMs that no longer fit.
-    /// Displaced VMs are re-placed through the policy (in ascending id
-    /// order, with a bounded number of retry passes); those that cannot
-    /// be re-placed anywhere are counted as
+    /// `t`, and after any metrics snapshot due at `t` (the snapshot
+    /// samples the pre-fault cluster). A full failure takes the server
+    /// offline for the rest of the trace and displaces every hosted VM;
+    /// a partial degrade shrinks the server in place and displaces only
+    /// VMs that no longer fit. Displaced VMs are re-placed through the
+    /// policy (in ascending id order, with a bounded number of retry
+    /// passes); those that cannot be re-placed anywhere are counted as
     /// [`FaultSummary::evacuation_failures`]. An empty plan makes this
-    /// bit-identical to [`Self::replay`].
-    pub fn replay_faulted(
+    /// bit-identical to [`Self::replay_prepared`].
+    pub fn replay_prepared_faulted(
+        &mut self,
+        prepared: &PreparedTrace,
+        plan: &FaultPlan,
+    ) -> (SimOutcome, FaultSummary) {
+        let mut placements: Vec<Option<ActiveVm>> = vec![None; prepared.vm_count()];
+        let mut usage = UsageLedger::new();
+        let mut metrics = PackingMetrics::new();
+        let mut rejected = 0usize;
+        let mut placed_green = 0usize;
+        let mut placed_baseline = 0usize;
+        let mut green_overflow = 0usize;
+        let mut next_snapshot = self.snapshot_interval_s;
+        let mut summary = FaultSummary::default();
+        let faults = plan.events();
+        let mut next_fault = 0usize;
+        let duration_s = prepared.duration_s();
+
+        for event in prepared.events() {
+            while next_fault < faults.len() && faults[next_fault].time_s <= event.time_s {
+                self.drain_snapshots(
+                    &mut metrics,
+                    &mut next_snapshot,
+                    faults[next_fault].time_s,
+                    duration_s,
+                );
+                self.apply_fault_prepared(
+                    &faults[next_fault],
+                    plan.max_evac_passes(),
+                    prepared,
+                    &mut placements,
+                    &mut usage,
+                    &mut summary,
+                );
+                next_fault += 1;
+            }
+            self.drain_snapshots(&mut metrics, &mut next_snapshot, event.time_s, duration_s);
+            let vm = prepared.vm(event.slot);
+            match event.kind {
+                VmEventKind::Arrival => {
+                    let request = &vm.request;
+                    match self.place(vm.id, vm.max_mem_util, request) {
+                        Some(p @ Placement::Green(_)) => {
+                            placed_green += 1;
+                            placements[event.slot as usize] = Some(ActiveVm {
+                                placement: p,
+                                arrival_s: event.time_s,
+                                cores: request.green_cores,
+                                app_index: vm.app_index,
+                            });
+                        }
+                        Some(p @ Placement::Baseline(_)) => {
+                            placed_baseline += 1;
+                            if request.target == TargetPool::PreferGreen {
+                                green_overflow += 1;
+                            }
+                            placements[event.slot as usize] = Some(ActiveVm {
+                                placement: p,
+                                arrival_s: event.time_s,
+                                cores: request.baseline_cores,
+                                app_index: vm.app_index,
+                            });
+                        }
+                        None => rejected += 1,
+                    }
+                }
+                VmEventKind::Departure => {
+                    // A miss means the VM was rejected on arrival.
+                    if let Some(active) = placements[event.slot as usize].take() {
+                        let dwell = event.time_s - active.arrival_s;
+                        match active.placement {
+                            Placement::Baseline(i) => {
+                                self.baseline[i].remove(vm.id);
+                                usage.record_baseline(active.app_index, active.cores, dwell);
+                            }
+                            Placement::Green(i) => {
+                                self.green[i].remove(vm.id);
+                                usage.record_green(active.app_index, active.cores, dwell);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Faults past the last trace event but within the horizon still
+        // strike (their evacuation failures count).
+        while next_fault < faults.len() && faults[next_fault].time_s <= duration_s {
+            self.drain_snapshots(
+                &mut metrics,
+                &mut next_snapshot,
+                faults[next_fault].time_s,
+                duration_s,
+            );
+            self.apply_fault_prepared(
+                &faults[next_fault],
+                plan.max_evac_passes(),
+                prepared,
+                &mut placements,
+                &mut usage,
+                &mut summary,
+            );
+            next_fault += 1;
+        }
+        // Interim snapshots run to the horizon even when the trace tail
+        // is event-free, then the horizon itself is sampled once.
+        self.drain_snapshots(&mut metrics, &mut next_snapshot, duration_s, duration_s);
+        metrics.snapshot(&self.baseline, &self.green);
+        // VMs still resident at the horizon are charged to the end of
+        // the trace, in ascending VM-id order so the per-app float
+        // accumulation is reproducible.
+        for &slot in prepared.slots_by_id() {
+            if let Some(active) = placements[slot as usize].take() {
+                let dwell = duration_s - active.arrival_s;
+                match active.placement {
+                    Placement::Baseline(_) => {
+                        usage.record_baseline(active.app_index, active.cores, dwell);
+                    }
+                    Placement::Green(_) => {
+                        usage.record_green(active.app_index, active.cores, dwell);
+                    }
+                }
+            }
+        }
+        (
+            SimOutcome { rejected, placed_green, placed_baseline, green_overflow, metrics, usage },
+            summary,
+        )
+    }
+
+    /// Reference replay that resolves each VM through `transform` per
+    /// event, without a [`PreparedTrace`]. Bit-identical to
+    /// [`Self::replay`]; kept as the independent path the equivalence
+    /// suite and the prepared-replay ablation compare against.
+    pub fn replay_unprepared(&mut self, trace: &Trace, transform: &VmTransform<'_>) -> SimOutcome {
+        self.replay_faulted_unprepared(trace, transform, &FaultPlan::empty()).0
+    }
+
+    /// Reference faulted replay without a [`PreparedTrace`];
+    /// bit-identical to [`Self::replay_faulted`].
+    pub fn replay_faulted_unprepared(
         &mut self,
         trace: &Trace,
         transform: &VmTransform<'_>,
@@ -203,9 +387,16 @@ impl AllocationSim {
         let mut summary = FaultSummary::default();
         let faults = plan.events();
         let mut next_fault = 0usize;
+        let duration_s = trace.duration_s();
 
         for event in trace.events() {
             while next_fault < faults.len() && faults[next_fault].time_s <= event.time_s {
+                self.drain_snapshots(
+                    &mut metrics,
+                    &mut next_snapshot,
+                    faults[next_fault].time_s,
+                    duration_s,
+                );
                 self.apply_fault(
                     &faults[next_fault],
                     plan.max_evac_passes(),
@@ -217,15 +408,12 @@ impl AllocationSim {
                 );
                 next_fault += 1;
             }
-            while event.time_s >= next_snapshot {
-                metrics.snapshot(&self.baseline, &self.green);
-                next_snapshot += self.snapshot_interval_s;
-            }
+            self.drain_snapshots(&mut metrics, &mut next_snapshot, event.time_s, duration_s);
             let vm = trace.vm(event.vm_id).expect("trace events reference known VMs");
             match event.kind {
                 VmEventKind::Arrival => {
                     let request = transform(vm);
-                    match self.place(vm, &request) {
+                    match self.place(vm.id, vm.max_mem_util, &request) {
                         Some(p @ Placement::Green(_)) => {
                             placed_green += 1;
                             placements.insert(
@@ -276,7 +464,13 @@ impl AllocationSim {
         }
         // Faults past the last trace event but within the horizon still
         // strike (their evacuation failures count).
-        while next_fault < faults.len() && faults[next_fault].time_s <= trace.duration_s() {
+        while next_fault < faults.len() && faults[next_fault].time_s <= duration_s {
+            self.drain_snapshots(
+                &mut metrics,
+                &mut next_snapshot,
+                faults[next_fault].time_s,
+                duration_s,
+            );
             self.apply_fault(
                 &faults[next_fault],
                 plan.max_evac_passes(),
@@ -288,11 +482,16 @@ impl AllocationSim {
             );
             next_fault += 1;
         }
+        self.drain_snapshots(&mut metrics, &mut next_snapshot, duration_s, duration_s);
         metrics.snapshot(&self.baseline, &self.green);
         // VMs still resident at the horizon are charged to the end of
-        // the trace.
-        for active in placements.values() {
-            let dwell = trace.duration_s() - active.arrival_s;
+        // the trace. Settle in ascending VM-id order — iterating the
+        // HashMap directly made the per-app `+=` accumulation order (and
+        // thus the low bits of usage totals) vary run-to-run.
+        let mut remaining: Vec<(u64, ActiveVm)> = placements.into_iter().collect();
+        remaining.sort_unstable_by_key(|&(id, _)| id);
+        for (_, active) in remaining {
+            let dwell = duration_s - active.arrival_s;
             match active.placement {
                 Placement::Baseline(_) => {
                     usage.record_baseline(active.app_index, active.cores, dwell);
@@ -308,33 +507,37 @@ impl AllocationSim {
         )
     }
 
-    /// Applies one fault: degrades or offlines the struck server,
-    /// settles usage for displaced VMs up to the fault time, then tries
-    /// to re-place them (ascending id order) with bounded retry passes.
-    #[allow(clippy::too_many_arguments)]
-    fn apply_fault(
-        &mut self,
-        fault: &FaultEvent,
-        max_passes: u32,
-        trace: &Trace,
-        transform: &VmTransform<'_>,
-        placements: &mut HashMap<u64, ActiveVm>,
-        usage: &mut UsageLedger,
-        summary: &mut FaultSummary,
+    /// Takes every metrics snapshot due at or before `upto`, leaving
+    /// the horizon sample (taken unconditionally once per replay) to
+    /// the caller.
+    fn drain_snapshots(
+        &self,
+        metrics: &mut PackingMetrics,
+        next_snapshot: &mut f64,
+        upto: f64,
+        duration_s: f64,
     ) {
+        while *next_snapshot <= upto && *next_snapshot < duration_s {
+            metrics.snapshot(&self.baseline, &self.green);
+            *next_snapshot += self.snapshot_interval_s;
+        }
+    }
+
+    /// Applies the capacity loss of one fault to the struck server and
+    /// updates the loss accounting. Returns the displaced VM ids in
+    /// ascending order, or `None` when the fault strikes nothing (the
+    /// plan addresses a server this configuration does not have, or one
+    /// already offline).
+    fn strike(&mut self, fault: &FaultEvent, summary: &mut FaultSummary) -> Option<Vec<u64>> {
         let pool = match fault.pool {
             FaultPool::Baseline => &mut self.baseline,
             FaultPool::Green => &mut self.green,
         };
-        // A plan generated for a larger cluster may address servers this
-        // configuration does not have; those faults strike nothing.
-        let Some(server) = pool.get_mut(fault.server as usize) else {
-            return;
-        };
+        let server = pool.get_mut(fault.server as usize)?;
         if server.is_offline() {
-            return;
+            return None;
         }
-        let displaced = match fault.kind {
+        let mut displaced = match fault.kind {
             FaultKind::FullFailure => {
                 summary.full_failures += 1;
                 summary.cores_lost += u64::from(server.shape().cores);
@@ -351,12 +554,105 @@ impl AllocationSim {
                 evicted
             }
         };
-        if displaced.is_empty() {
+        displaced.sort_unstable();
+        Some(displaced)
+    }
+
+    /// Applies one fault on the prepared path: strikes the server,
+    /// settles usage for displaced VMs up to the fault time, then tries
+    /// to re-place them (ascending id order) with bounded retry passes.
+    fn apply_fault_prepared(
+        &mut self,
+        fault: &FaultEvent,
+        max_passes: u32,
+        prepared: &PreparedTrace,
+        placements: &mut [Option<ActiveVm>],
+        usage: &mut UsageLedger,
+        summary: &mut FaultSummary,
+    ) {
+        let Some(mut pending) = self.strike(fault, summary) else {
+            return;
+        };
+        if pending.is_empty() {
             return;
         }
-        summary.displaced += displaced.len();
-        let mut pending = displaced;
-        pending.sort_unstable();
+        summary.displaced += pending.len();
+        // Close out the displaced VMs' residency on their old server.
+        for id in &pending {
+            let Some(slot) = prepared.slot_of_id(*id) else {
+                continue;
+            };
+            if let Some(active) = placements[slot as usize].take() {
+                let dwell = fault.time_s - active.arrival_s;
+                match active.placement {
+                    Placement::Baseline(_) => {
+                        usage.record_baseline(active.app_index, active.cores, dwell);
+                    }
+                    Placement::Green(_) => {
+                        usage.record_green(active.app_index, active.cores, dwell);
+                    }
+                }
+            }
+        }
+        // Bounded re-placement: each pass retries the still-homeless
+        // VMs; a pass that places nothing ends the loop early (nothing
+        // will change on the next pass either).
+        for _ in 0..max_passes {
+            if pending.is_empty() {
+                break;
+            }
+            let mut unplaced = Vec::new();
+            for &id in &pending {
+                let Some(slot) = prepared.slot_of_id(id) else {
+                    continue;
+                };
+                let vm = prepared.vm(slot);
+                match self.place(vm.id, vm.max_mem_util, &vm.request) {
+                    Some(p) => {
+                        summary.evacuated += 1;
+                        let cores = match p {
+                            Placement::Green(_) => vm.request.green_cores,
+                            Placement::Baseline(_) => vm.request.baseline_cores,
+                        };
+                        placements[slot as usize] = Some(ActiveVm {
+                            placement: p,
+                            arrival_s: fault.time_s,
+                            cores,
+                            app_index: vm.app_index,
+                        });
+                    }
+                    None => unplaced.push(id),
+                }
+            }
+            let progressed = unplaced.len() < pending.len();
+            pending = unplaced;
+            if !progressed {
+                break;
+            }
+        }
+        summary.evacuation_failures += pending.len();
+    }
+
+    /// Applies one fault on the unprepared path; mirrors
+    /// [`Self::apply_fault_prepared`] exactly.
+    #[allow(clippy::too_many_arguments)]
+    fn apply_fault(
+        &mut self,
+        fault: &FaultEvent,
+        max_passes: u32,
+        trace: &Trace,
+        transform: &VmTransform<'_>,
+        placements: &mut HashMap<u64, ActiveVm>,
+        usage: &mut UsageLedger,
+        summary: &mut FaultSummary,
+    ) {
+        let Some(mut pending) = self.strike(fault, summary) else {
+            return;
+        };
+        if pending.is_empty() {
+            return;
+        }
+        summary.displaced += pending.len();
         // Close out the displaced VMs' residency on their old server.
         for id in &pending {
             if let Some(active) = placements.remove(id) {
@@ -384,7 +680,7 @@ impl AllocationSim {
                     continue;
                 };
                 let request = transform(vm);
-                match self.place(vm, &request) {
+                match self.place(vm.id, vm.max_mem_util, &request) {
                     Some(p) => {
                         summary.evacuated += 1;
                         let cores = match p {
@@ -413,7 +709,12 @@ impl AllocationSim {
         summary.evacuation_failures += pending.len();
     }
 
-    fn place(&mut self, vm: &VmSpec, request: &PlacementRequest) -> Option<Placement> {
+    fn place(
+        &mut self,
+        vm_id: u64,
+        max_mem_util: f64,
+        request: &PlacementRequest,
+    ) -> Option<Placement> {
         let placement = match request.target {
             TargetPool::BaselineOnly => self
                 .policy
@@ -431,20 +732,16 @@ impl AllocationSim {
         };
         match placement {
             Some(Placement::Baseline(i)) => self.baseline[i].place(
-                vm.id,
+                vm_id,
                 PlacedVm {
                     cores: request.baseline_cores,
                     mem_gb: request.baseline_mem_gb,
-                    max_mem_util: vm.max_mem_util,
+                    max_mem_util,
                 },
             ),
             Some(Placement::Green(i)) => self.green[i].place(
-                vm.id,
-                PlacedVm {
-                    cores: request.green_cores,
-                    mem_gb: request.green_mem_gb,
-                    max_mem_util: vm.max_mem_util,
-                },
+                vm_id,
+                PlacedVm { cores: request.green_cores, mem_gb: request.green_mem_gb, max_mem_util },
             ),
             None => {}
         }
@@ -569,6 +866,87 @@ mod tests {
     }
 
     #[test]
+    fn sparse_tail_trace_keeps_snapshotting() {
+        // All events land in the first interval; the horizon is ten
+        // intervals out. Interim snapshots must keep firing across the
+        // event-free tail: nine interim (3600..32400) plus the horizon
+        // sample.
+        let vms = vec![vm(0, 8, 32.0, false)];
+        let events = vec![arrive(0, 10.0)];
+        let t = Trace::new(36_000.0, vms, events);
+        for prepared in [false, true] {
+            let mut sim =
+                AllocationSim::new(ClusterConfig::baseline_only(1), PlacementPolicy::BestFit)
+                    .with_snapshot_interval(3600.0);
+            let out = if prepared {
+                sim.replay(&t, &baseline_transform)
+            } else {
+                sim.replay_unprepared(&t, &baseline_transform)
+            };
+            assert_eq!(out.metrics.snapshots(), 10);
+            // The VM stays resident, so every snapshot samples it.
+            assert_eq!(out.metrics.baseline.samples(), 10);
+        }
+    }
+
+    #[test]
+    fn snapshot_due_at_fault_time_samples_pre_fault_state() {
+        // One server hosting a 40-core VM; a full failure lands exactly
+        // when the first snapshot is due (t=3600). The snapshot must
+        // sample the pre-fault cluster (one loaded server, density
+        // 0.5), not the post-fault wreckage (offline and empty, zero
+        // samples).
+        let vms = vec![vm(0, 40, 32.0, false)];
+        let events = vec![arrive(0, 0.0)];
+        let t = Trace::new(7200.0, vms, events);
+        let plan = FaultPlan::new(vec![full_fault(3600.0, FaultPool::Baseline, 0)], 3);
+        for prepared in [false, true] {
+            let mut sim =
+                AllocationSim::new(ClusterConfig::baseline_only(1), PlacementPolicy::BestFit)
+                    .with_snapshot_interval(3600.0);
+            let (out, summary) = if prepared {
+                sim.replay_faulted(&t, &baseline_transform, &plan)
+            } else {
+                sim.replay_faulted_unprepared(&t, &baseline_transform, &plan)
+            };
+            assert_eq!(summary.full_failures, 1);
+            // t=3600 interim + horizon sample.
+            assert_eq!(out.metrics.snapshots(), 2);
+            // Only the interim snapshot saw a non-empty server.
+            assert_eq!(out.metrics.baseline.samples(), 1);
+            assert!((out.metrics.baseline.mean_core_density() - 0.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn horizon_settlement_is_ascending_id_bitwise() {
+        // Dwell magnitudes chosen so the per-app accumulation order is
+        // observable in the low bits: settling 1e16 first absorbs the
+        // two 1.0s ((1e16 + 1) + 1 == 1e16), settling it last does not
+        // ((1 + 1) + 1e16 == 1e16 + 2). Both engines must settle in
+        // ascending VM-id order, bit-for-bit.
+        let d = 1e16;
+        let vms: Vec<VmSpec> = (0..3).map(|i| vm(i, 1, 4.0, false)).collect();
+        let events = vec![arrive(0, 0.0), arrive(1, d - 1.0), arrive(2, d - 1.0)];
+        let t = Trace::new(d, vms, events);
+        let expected = (((d - 0.0) + 1.0) + 1.0) / 3600.0;
+        assert_ne!(expected.to_bits(), (((1.0 + 1.0) + d) / 3600.0).to_bits());
+        for prepared in [false, true] {
+            // Snapshot interval = horizon, or the drain loop would walk
+            // ~3e12 hourly snapshots across the 1e16 s trace.
+            let mut sim =
+                AllocationSim::new(ClusterConfig::baseline_only(1), PlacementPolicy::BestFit)
+                    .with_snapshot_interval(d);
+            let out = if prepared {
+                sim.replay(&t, &baseline_transform)
+            } else {
+                sim.replay_unprepared(&t, &baseline_transform)
+            };
+            assert_eq!(out.usage.total_baseline_core_hours().to_bits(), expected.to_bits());
+        }
+    }
+
+    #[test]
     fn usage_ledger_tracks_core_hours() {
         // One VM: 8 cores for 7200 s on baseline = 16 core-hours; one
         // green-preferring VM scaled 1.25 (8 -> 10 cores) resident from
@@ -617,6 +995,24 @@ mod tests {
         }
     }
 
+    #[test]
+    fn prepared_trace_is_reusable_across_resets() {
+        let vms: Vec<VmSpec> = (0..20).map(|i| vm(i, 8, 32.0, false)).collect();
+        let events: Vec<VmEvent> = (0..20).map(|i| arrive(i, f64::from(i as u32))).collect();
+        let t = trace(vms, events);
+        let transform = |v: &VmSpec| PlacementRequest::prefer_green(v, 1.25);
+        let prepared = PreparedTrace::new(&t, &transform);
+
+        let mut sim = AllocationSim::new(ClusterConfig::mixed(1, 1), PlacementPolicy::BestFit);
+        for config in [ClusterConfig::mixed(1, 1), ClusterConfig::mixed(3, 2)] {
+            sim.reset(config);
+            let out = sim.replay_prepared(&prepared);
+            let fresh = AllocationSim::new(config, PlacementPolicy::BestFit)
+                .replay_unprepared(&t, &transform);
+            assert_eq!(out, fresh);
+        }
+    }
+
     fn full_fault(time_s: f64, pool: FaultPool, server: u32) -> FaultEvent {
         FaultEvent { time_s, pool, server, kind: FaultKind::FullFailure }
     }
@@ -635,6 +1031,35 @@ mod tests {
             .replay_faulted(&t, &transform, &FaultPlan::empty());
         assert_eq!(plain, faulted);
         assert_eq!(summary, FaultSummary::default());
+    }
+
+    #[test]
+    fn prepared_matches_unprepared_under_faults() {
+        let vms: Vec<VmSpec> = (0..40).map(|i| vm(i, 8, 32.0, false)).collect();
+        let mut events: Vec<VmEvent> =
+            (0..40).map(|i| arrive(i, f64::from(i as u32) * 10.0)).collect();
+        events.extend((0..15).map(|i| depart(i, 1000.0 + f64::from(i as u32))));
+        let t = trace(vms, events);
+        let transform = |v: &VmSpec| PlacementRequest::prefer_green(v, 1.25);
+        let plan = FaultPlan::new(
+            vec![
+                full_fault(100.0, FaultPool::Green, 0),
+                FaultEvent {
+                    time_s: 200.0,
+                    pool: FaultPool::Baseline,
+                    server: 1,
+                    kind: FaultKind::PartialDegrade { cores_lost: 40, mem_lost_gb: 384.0 },
+                },
+            ],
+            3,
+        );
+        let config = ClusterConfig::mixed(3, 2);
+        let (a_out, a_sum) = AllocationSim::new(config, PlacementPolicy::BestFit)
+            .replay_faulted(&t, &transform, &plan);
+        let (b_out, b_sum) = AllocationSim::new(config, PlacementPolicy::BestFit)
+            .replay_faulted_unprepared(&t, &transform, &plan);
+        assert_eq!(a_out, b_out);
+        assert_eq!(a_sum, b_sum);
     }
 
     #[test]

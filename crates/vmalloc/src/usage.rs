@@ -3,13 +3,20 @@
 //! VMs").
 
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Core-seconds consumed per application index, split by pool.
+///
+/// The per-pool maps are `BTreeMap`s so every float reduction over them
+/// ([`Self::total_baseline_core_hours`] and friends) accumulates in
+/// ascending app-index order — a `HashMap` here summed `values()` in a
+/// per-instance random order, so totals differed in the last bits
+/// between otherwise identical runs (the same bug class `ServerState`'s
+/// VM map had).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
 pub struct UsageLedger {
-    baseline_core_s: HashMap<u16, f64>,
-    green_core_s: HashMap<u16, f64>,
+    baseline_core_s: BTreeMap<u16, f64>,
+    green_core_s: BTreeMap<u16, f64>,
 }
 
 impl UsageLedger {
@@ -80,6 +87,31 @@ mod tests {
         let mut l = UsageLedger::new();
         l.record_green(1, 8, -5.0);
         assert_eq!(l.total_green_core_hours(), 0.0);
+    }
+
+    #[test]
+    fn totals_bitwise_independent_of_recording_order() {
+        // Magnitudes chosen so float addition is order-sensitive:
+        // 1e16 + 1.0 + 1.0 summed left-to-right loses one unit
+        // ((1e16 + 1.0) == 1e16) while (1.0 + 1.0) + 1e16 does not.
+        // The ledger must therefore fix the summation order (ascending
+        // app index), making totals bitwise equal no matter the order
+        // apps were recorded in.
+        let contributions: [(u16, f64); 3] = [(0, 1e16), (1, 1.0), (2, 1.0)];
+        let total_of = |order: &[usize]| {
+            let mut l = UsageLedger::new();
+            for &i in order {
+                let (app, secs) = contributions[i];
+                l.record_baseline(app, 1, secs);
+            }
+            l.total_baseline_core_hours().to_bits()
+        };
+        let reference = total_of(&[0, 1, 2]);
+        for order in [[1, 0, 2], [2, 1, 0], [1, 2, 0], [2, 0, 1], [0, 2, 1]] {
+            assert_eq!(total_of(&order), reference);
+        }
+        // And the fixed order is ascending app index: 1e16 first.
+        assert_eq!(f64::from_bits(reference), (1e16 + 1.0 + 1.0) / 3600.0);
     }
 
     #[test]

@@ -33,6 +33,6 @@ pub use characterize::{characterize, TraceProfile};
 pub use class::AppClass;
 pub use fleet::FleetMix;
 pub use sensitivity::HardwareSensitivity;
-pub use trace::{Trace, TraceCodecError};
+pub use trace::{Trace, TraceCodecError, TraceIndex};
 pub use tracegen::{TraceGenerator, TraceParams};
 pub use vm::{ServerGeneration, VmEvent, VmEventKind, VmSpec};

@@ -100,6 +100,12 @@ impl Trace {
             return Err(TraceCodecError::Corrupt("trace has no VMs"));
         }
         for vm in &vms {
+            if vm.cores == 0 {
+                // A zero-core VM poisons replay later: the green-scaled
+                // request divides by `cores`, yielding NaN memory and a
+                // zero-core placement.
+                return Err(TraceCodecError::Corrupt("VM has zero cores"));
+            }
             if !vm.mem_gb.is_finite() || vm.mem_gb < 0.0 {
                 return Err(TraceCodecError::Corrupt("VM memory is not finite non-negative"));
             }
@@ -119,9 +125,19 @@ impl Trace {
             if !e.time_s.is_finite() {
                 return Err(TraceCodecError::Corrupt("event time is not finite"));
             }
+            if e.time_s < 0.0 {
+                return Err(TraceCodecError::Corrupt("event time is negative"));
+            }
             if !ids.contains(&e.vm_id) {
                 return Err(TraceCodecError::Corrupt("event references an unknown VM"));
             }
+        }
+        // The replay fault-merge loop assumes time-sorted events.
+        // `Trace::new` would silently sort, but an externally-sourced
+        // trace arriving unsorted is evidence of corruption (the codec
+        // always writes sorted events), so reject rather than repair.
+        if events.windows(2).any(|w| w[1].time_s < w[0].time_s) {
+            return Err(TraceCodecError::Corrupt("events are not time-sorted"));
         }
         Ok(Self::new(duration_s, vms, events))
     }
@@ -139,6 +155,43 @@ impl Trace {
     /// Time-sorted events.
     pub fn events(&self) -> &[VmEvent] {
         &self.events
+    }
+
+    /// Precomputes the per-event resolution of this trace: each event's
+    /// VM resolved to its index in [`Self::vms`] once, and every arrival
+    /// paired with its departure so dwell times are known up front.
+    ///
+    /// Replay engines that walk the trace many times (the sizing binary
+    /// searches probe dozens of cluster candidates against one trace)
+    /// build this once instead of re-resolving `vm(id)` per event per
+    /// probe.
+    pub fn index(&self) -> TraceIndex {
+        let slot_of_id: std::collections::HashMap<u64, u32> =
+            self.vms.iter().enumerate().map(|(i, v)| (v.id, i as u32)).collect();
+        let vm_slot: Vec<u32> = self
+            .events
+            .iter()
+            .map(|e| *slot_of_id.get(&e.vm_id).expect("trace events reference known VMs"))
+            .collect();
+        // Pair arrivals with departures FIFO per VM (a VM that arrives
+        // twice before departing pairs its first arrival first); an
+        // arrival with no departure runs to the horizon.
+        let mut end_time_s = vec![self.duration_s; self.events.len()];
+        let mut open: Vec<std::collections::VecDeque<usize>> =
+            vec![std::collections::VecDeque::new(); self.vms.len()];
+        for (i, e) in self.events.iter().enumerate() {
+            let slot = vm_slot[i] as usize;
+            match e.kind {
+                VmEventKind::Arrival => open[slot].push_back(i),
+                VmEventKind::Departure => {
+                    end_time_s[i] = e.time_s;
+                    if let Some(arrival) = open[slot].pop_front() {
+                        end_time_s[arrival] = e.time_s;
+                    }
+                }
+            }
+        }
+        TraceIndex { vm_slot, end_time_s }
     }
 
     /// Looks up a VM by id (ids are dense in generated traces, but the
@@ -278,6 +331,35 @@ impl Trace {
         // Semantic validation (finite numbers, known VM ids) lives in
         // `try_new`, so hand-built and decoded traces face one gate.
         Trace::try_new(duration_s, vms, events)
+    }
+}
+
+/// Precomputed per-event resolution of a [`Trace`] (see
+/// [`Trace::index`]): the VM slot each event refers to, and the end
+/// time of each residency.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceIndex {
+    vm_slot: Vec<u32>,
+    end_time_s: Vec<f64>,
+}
+
+impl TraceIndex {
+    /// Index into [`Trace::vms`] of the VM that event `event_idx`
+    /// (an index into [`Trace::events`]) refers to.
+    pub fn vm_slot(&self, event_idx: usize) -> u32 {
+        self.vm_slot[event_idx]
+    }
+
+    /// All per-event VM slots, in event order.
+    pub fn vm_slots(&self) -> &[u32] {
+        &self.vm_slot
+    }
+
+    /// For an arrival event, the time its residency ends: the paired
+    /// departure's timestamp, or the trace horizon if the VM never
+    /// departs. For a departure event, its own timestamp.
+    pub fn end_time_s(&self, event_idx: usize) -> f64 {
+        self.end_time_s[event_idx]
     }
 }
 
@@ -434,6 +516,77 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(e, TraceCodecError::Corrupt(m) if m.contains("unknown VM")));
+    }
+
+    #[test]
+    fn try_new_rejects_zero_core_vm() {
+        let mut bad_vm = vm(0, 4);
+        bad_vm.cores = 0;
+        let e = Trace::try_new(10.0, vec![bad_vm], vec![]).unwrap_err();
+        assert!(matches!(e, TraceCodecError::Corrupt(m) if m.contains("zero cores")));
+    }
+
+    #[test]
+    fn try_new_rejects_negative_event_time() {
+        let e = Trace::try_new(
+            10.0,
+            vec![vm(0, 4)],
+            vec![VmEvent { time_s: -1.0, kind: VmEventKind::Arrival, vm_id: 0 }],
+        )
+        .unwrap_err();
+        assert!(matches!(e, TraceCodecError::Corrupt(m) if m.contains("negative")));
+    }
+
+    #[test]
+    fn try_new_rejects_unsorted_events() {
+        let e = Trace::try_new(
+            10.0,
+            vec![vm(0, 4)],
+            vec![
+                VmEvent { time_s: 5.0, kind: VmEventKind::Arrival, vm_id: 0 },
+                VmEvent { time_s: 1.0, kind: VmEventKind::Departure, vm_id: 0 },
+            ],
+        )
+        .unwrap_err();
+        assert!(matches!(e, TraceCodecError::Corrupt(m) if m.contains("time-sorted")));
+        // Sorted input is accepted (equal timestamps are fine).
+        assert!(Trace::try_new(
+            10.0,
+            vec![vm(0, 4)],
+            vec![
+                VmEvent { time_s: 1.0, kind: VmEventKind::Arrival, vm_id: 0 },
+                VmEvent { time_s: 1.0, kind: VmEventKind::Departure, vm_id: 0 },
+            ],
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn index_resolves_slots_and_pairs_dwells() {
+        let t = sample_trace();
+        let idx = t.index();
+        // Events: arrive(0)@10, arrive(1)@20, depart(0)@100.
+        assert_eq!(idx.vm_slots(), &[0, 1, 0]);
+        assert_eq!(idx.end_time_s(0), 100.0, "vm 0 departs at 100");
+        assert_eq!(idx.end_time_s(1), 3600.0, "vm 1 runs to the horizon");
+        assert_eq!(idx.end_time_s(2), 100.0, "a departure's end is itself");
+    }
+
+    #[test]
+    fn index_handles_sparse_ids_and_rearrivals() {
+        let vms = vec![vm(7, 2), vm(3, 4)];
+        let events = vec![
+            VmEvent { time_s: 1.0, kind: VmEventKind::Arrival, vm_id: 3 },
+            VmEvent { time_s: 2.0, kind: VmEventKind::Departure, vm_id: 3 },
+            VmEvent { time_s: 5.0, kind: VmEventKind::Arrival, vm_id: 3 },
+            VmEvent { time_s: 6.0, kind: VmEventKind::Arrival, vm_id: 7 },
+        ];
+        let t = Trace::new(10.0, vms, events);
+        let idx = t.index();
+        assert_eq!(idx.vm_slots(), &[1, 1, 1, 0]);
+        assert_eq!(idx.end_time_s(0), 2.0, "first residency pairs the departure");
+        assert_eq!(idx.end_time_s(2), 10.0, "second residency runs to the horizon");
+        assert_eq!(idx.end_time_s(3), 10.0);
     }
 
     #[test]
