@@ -19,3 +19,7 @@ cargo test -q -p gsf-core --test fault_determinism
 # sizing probe and sweep point runs on must stay bit-identical to the
 # unprepared reference engine, faulted and fault-free.
 cargo test -q -p gsf-cluster --test prepared_equivalence
+# Placement-index equivalence: indexed server selection must stay
+# bit-identical to the linear reference scan across policies, fault
+# plans, reset reuse, and both sizing searches.
+cargo test -q -p gsf-cluster --test index_equivalence

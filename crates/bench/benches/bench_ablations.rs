@@ -233,6 +233,147 @@ fn ablation_prepared_replay(c: &mut Criterion) {
     group.finish();
 }
 
+/// Ablation: indexed vs linear server selection at fleet scale — the
+/// mixed-cluster sizing search and a single replay on a ≥1024-server
+/// cluster, with the placement index on (production) and off (linear
+/// reference scan). Emits `results/BENCH_pr4.json` so later PRs can
+/// track the perf trajectory.
+fn ablation_indexed_placement(c: &mut Criterion) {
+    use gsf_bench::bench_trace_fleet;
+    use gsf_cluster::sizing::{right_size_mixed_prepared, right_size_mixed_prepared_linear};
+    use gsf_vmalloc::PreparedTrace;
+    use std::time::{Duration, Instant};
+
+    // Under `cargo test` the whole body runs once; fleet-scale linear
+    // sizing is multi-second, so test mode exercises the same code on
+    // the small fixture and skips the JSON artifact.
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let trace = if test_mode { bench_trace() } else { bench_trace_fleet() };
+    let transform = |vm: &VmSpec| {
+        if vm.full_node {
+            PlacementRequest::baseline_only(vm)
+        } else {
+            PlacementRequest::prefer_green(vm, 1.25)
+        }
+    };
+    let prepared = PreparedTrace::new(&trace, &transform);
+    let prepared_baseline = PreparedTrace::new(&trace, &baseline_transform);
+    let baseline_shape = ServerShape::baseline_gen3();
+    let green_shape = ServerShape::greensku();
+
+    // The sizing A/B is timed manually: one linear call at fleet scale
+    // is far beyond what the iter driver's measurement window fits.
+    let t0 = Instant::now();
+    let plan_indexed = right_size_mixed_prepared(
+        &prepared,
+        &prepared_baseline,
+        baseline_shape,
+        green_shape,
+        PlacementPolicy::BestFit,
+        None,
+    )
+    .unwrap();
+    let sizing_indexed = t0.elapsed();
+    let t1 = Instant::now();
+    let plan_linear = right_size_mixed_prepared_linear(
+        &prepared,
+        &prepared_baseline,
+        baseline_shape,
+        green_shape,
+        PlacementPolicy::BestFit,
+        None,
+    )
+    .unwrap();
+    let sizing_linear = t1.elapsed();
+    assert_eq!(plan_indexed, plan_linear, "the two selection paths must size identically");
+    if !test_mode {
+        assert!(
+            plan_indexed.total() >= 1024,
+            "fleet fixture must size above 1024 servers, got {plan_indexed:?}"
+        );
+    }
+    println!(
+        "[ablation] indexed sizing {:.1} ms vs linear {:.1} ms ({:.2}x), plan {}b+{}g ({} servers)",
+        sizing_indexed.as_secs_f64() * 1e3,
+        sizing_linear.as_secs_f64() * 1e3,
+        sizing_linear.as_secs_f64() / sizing_indexed.as_secs_f64(),
+        plan_indexed.baseline,
+        plan_indexed.green,
+        plan_indexed.total(),
+    );
+
+    // A single replay of the sized cluster — the per-probe unit of work
+    // every search and sweep repeats — timed manually for the JSON
+    // artifact (best of `reps`) and registered with the iter driver
+    // below for `cargo bench` output.
+    let config = ClusterConfig {
+        baseline_count: plan_indexed.baseline,
+        baseline_shape,
+        green_count: plan_indexed.green,
+        green_shape,
+    };
+    let time_replay = |linear: bool, reps: u32| -> Duration {
+        let mut sim = AllocationSim::new(config, PlacementPolicy::BestFit);
+        if linear {
+            sim = sim.with_linear_selection();
+        }
+        (0..reps)
+            .map(|_| {
+                sim.reset(config);
+                let t = Instant::now();
+                black_box(sim.replay_prepared(&prepared));
+                t.elapsed()
+            })
+            .min()
+            .unwrap()
+    };
+    let replay_indexed = time_replay(false, 5);
+    let replay_linear = time_replay(true, 3);
+    println!(
+        "[ablation] indexed replay {:.1} ms vs linear {:.1} ms ({:.2}x) at {} servers",
+        replay_indexed.as_secs_f64() * 1e3,
+        replay_linear.as_secs_f64() * 1e3,
+        replay_linear.as_secs_f64() / replay_indexed.as_secs_f64(),
+        config.baseline_count + config.green_count,
+    );
+
+    if !test_mode {
+        let json = format!(
+            "{{\n  \"bench\": \"ablation_indexed_placement\",\n  \"trace\": {{\"vms\": {}}},\n  \"plan\": {{\"baseline\": {}, \"green\": {}, \"total\": {}}},\n  \"ns_per_iter\": {{\n    \"mixed_sizing_linear\": {:.0},\n    \"mixed_sizing_indexed\": {:.0},\n    \"replay_linear\": {:.0},\n    \"replay_indexed\": {:.0}\n  }},\n  \"speedup\": {{\n    \"mixed_sizing\": {:.2},\n    \"replay\": {:.2}\n  }}\n}}\n",
+            trace.vms().len(),
+            plan_indexed.baseline,
+            plan_indexed.green,
+            plan_indexed.total(),
+            sizing_linear.as_secs_f64() * 1e9,
+            sizing_indexed.as_secs_f64() * 1e9,
+            replay_linear.as_secs_f64() * 1e9,
+            replay_indexed.as_secs_f64() * 1e9,
+            sizing_linear.as_secs_f64() / sizing_indexed.as_secs_f64(),
+            replay_linear.as_secs_f64() / replay_indexed.as_secs_f64(),
+        );
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/BENCH_pr4.json");
+        std::fs::write(path, json).expect("write results/BENCH_pr4.json");
+        println!("[ablation] wrote {path}");
+    }
+
+    let mut group = c.benchmark_group("ablation_indexed_placement");
+    group.bench_function("indexed_replay", |b| {
+        let mut sim = AllocationSim::new(config, PlacementPolicy::BestFit);
+        b.iter(|| {
+            sim.reset(config);
+            black_box(sim.replay_prepared(&prepared))
+        })
+    });
+    group.bench_function("linear_replay", |b| {
+        let mut sim = AllocationSim::new(config, PlacementPolicy::BestFit).with_linear_selection();
+        b.iter(|| {
+            sim.reset(config);
+            black_box(sim.replay_prepared(&prepared))
+        })
+    });
+    group.finish();
+}
+
 /// Ablation: fresh simulator per replay vs reset-reuse (what the sizing
 /// binary searches do on every feasibility probe).
 fn ablation_sim_reuse(c: &mut Criterion) {
@@ -264,6 +405,7 @@ criterion_group!(
     ablation_buffer_fraction,
     ablation_eval_cache,
     ablation_prepared_replay,
+    ablation_indexed_placement,
     ablation_sim_reuse
 );
 criterion_main!(benches);

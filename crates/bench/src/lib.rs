@@ -32,6 +32,22 @@ pub fn bench_trace_large() -> Trace {
     .generate(&SeedFactory::new(BENCH_SEED), 1)
 }
 
+/// A fleet-scale trace (~24k VMs, large size classes) whose mixed
+/// sizing lands above 1024 servers — the scale the placement-index
+/// ablation measures. Memory classes stay at or below 8 GB/core so the
+/// 64-core class fits both server shapes even after scaling-factor
+/// inflation.
+pub fn bench_trace_fleet() -> Trace {
+    TraceGenerator::new(TraceParams {
+        duration_hours: 24.0,
+        arrivals_per_hour: 1000.0,
+        size_classes: vec![(8, 0.4), (16, 0.3), (32, 0.2), (64, 0.1)],
+        mem_per_core_classes: vec![(4.0, 0.6), (8.0, 0.4)],
+        ..TraceParams::default()
+    })
+    .generate(&SeedFactory::new(BENCH_SEED), 2)
+}
+
 /// The seed factory benches derive their streams from.
 pub fn bench_seeds() -> SeedFactory {
     SeedFactory::new(BENCH_SEED)

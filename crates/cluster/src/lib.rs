@@ -23,7 +23,8 @@ pub use buffer::GrowthBufferPolicy;
 pub use savings::{cluster_emissions, savings_fraction};
 pub use sizing::{
     right_size_baseline_only, right_size_baseline_only_faulted, right_size_baseline_only_prepared,
-    right_size_baseline_only_unprepared, right_size_mixed, right_size_mixed_faulted,
-    right_size_mixed_prepared, right_size_mixed_unprepared, ClusterPlan, FaultInjection,
+    right_size_baseline_only_prepared_linear, right_size_baseline_only_unprepared,
+    right_size_mixed, right_size_mixed_faulted, right_size_mixed_prepared,
+    right_size_mixed_prepared_linear, right_size_mixed_unprepared, ClusterPlan, FaultInjection,
     SizingError,
 };

@@ -143,11 +143,14 @@ fn binary_search_min(lo: u32, hi: u32, mut pred: impl FnMut(u32) -> bool) -> Opt
 }
 
 /// The baseline-only search skeleton: peak-demand lower bound, 4× upper
-/// bound (minimum 8), binary search over `probe`.
+/// bound (minimum 8), binary search over `probe`. `linear_selection`
+/// switches the probe simulator to the linear reference scan instead of
+/// the placement index (see [`AllocationSim::with_linear_selection`]).
 fn baseline_search(
     peak_demand: (u64, f64),
     baseline_shape: ServerShape,
     policy: PlacementPolicy,
+    linear_selection: bool,
     mut probe: impl FnMut(&mut AllocationSim, ClusterConfig) -> bool,
 ) -> Result<u32, SizingError> {
     let (peak_cores, peak_mem) = peak_demand;
@@ -162,6 +165,9 @@ fn baseline_search(
         green_shape: ServerShape::greensku(),
     };
     let mut sim = AllocationSim::new(config(0), policy);
+    if linear_selection {
+        sim = sim.with_linear_selection();
+    }
     binary_search_min(lower, bound, |n| probe(&mut sim, config(n)))
         .ok_or(SizingError::Infeasible { bound })
 }
@@ -174,6 +180,7 @@ fn mixed_search(
     baseline_shape: ServerShape,
     green_shape: ServerShape,
     policy: PlacementPolicy,
+    linear_selection: bool,
     mut probe: impl FnMut(&mut AllocationSim, ClusterConfig) -> bool,
 ) -> Result<ClusterPlan, SizingError> {
     // A green server is at least as large as a baseline server in both
@@ -193,6 +200,9 @@ fn mixed_search(
         green_shape,
     };
     let mut sim = AllocationSim::new(config(0, 0), policy);
+    if linear_selection {
+        sim = sim.with_linear_selection();
+    }
 
     // Fewest baseline servers first (the residual pool for non-adopting
     // and full-node VMs). When even the full baseline pool rejects at
@@ -281,16 +291,51 @@ pub fn right_size_baseline_only_prepared(
     policy: PlacementPolicy,
     faults: Option<&FaultInjection<'_>>,
 ) -> Result<u32, SizingError> {
-    let faults = faults.filter(|f| !f.model.is_none());
-    baseline_search(prepared.peak_demand(), baseline_shape, policy, |sim, config| {
-        feasible_prepared(sim, prepared, config, faults)
-    })
+    baseline_only_prepared_impl(prepared, baseline_shape, policy, faults, false)
 }
 
-/// Reference baseline-only sizing on the unprepared replay engine:
-/// re-resolves every event on every probe. Bit-identical to
-/// [`right_size_baseline_only_faulted`]; kept for the equivalence suite
-/// and the `ablation_prepared_replay` bench.
+/// [`right_size_baseline_only_prepared`] with server selection through
+/// the linear reference scan instead of the placement index. Everything
+/// else (prepared engine, probes, bounds) is identical, so comparing
+/// this against the indexed search isolates the selection path alone —
+/// the `index_equivalence` suite and the `ablation_indexed_placement`
+/// bench both lean on that.
+///
+/// # Errors
+///
+/// Returns [`SizingError::Infeasible`] as the plain search does.
+pub fn right_size_baseline_only_prepared_linear(
+    prepared: &PreparedTrace,
+    baseline_shape: ServerShape,
+    policy: PlacementPolicy,
+    faults: Option<&FaultInjection<'_>>,
+) -> Result<u32, SizingError> {
+    baseline_only_prepared_impl(prepared, baseline_shape, policy, faults, true)
+}
+
+fn baseline_only_prepared_impl(
+    prepared: &PreparedTrace,
+    baseline_shape: ServerShape,
+    policy: PlacementPolicy,
+    faults: Option<&FaultInjection<'_>>,
+    linear_selection: bool,
+) -> Result<u32, SizingError> {
+    let faults = faults.filter(|f| !f.model.is_none());
+    baseline_search(
+        prepared.peak_demand(),
+        baseline_shape,
+        policy,
+        linear_selection,
+        |sim, config| feasible_prepared(sim, prepared, config, faults),
+    )
+}
+
+/// Reference baseline-only sizing on the unprepared replay engine with
+/// linear server selection: re-resolves every event on every probe and
+/// scans the whole pool per placement. Bit-identical to
+/// [`right_size_baseline_only_faulted`] by the replay- and
+/// index-equivalence contracts; kept for the equivalence suites and the
+/// ablation benches.
 ///
 /// # Errors
 ///
@@ -303,7 +348,7 @@ pub fn right_size_baseline_only_unprepared(
 ) -> Result<u32, SizingError> {
     let faults = faults.filter(|f| !f.model.is_none());
     let transform = |vm: &gsf_workloads::VmSpec| gsf_vmalloc::PlacementRequest::baseline_only(vm);
-    baseline_search(trace.peak_demand(), baseline_shape, policy, |sim, config| {
+    baseline_search(trace.peak_demand(), baseline_shape, policy, true, |sim, config| {
         feasible_unprepared(sim, trace, &transform, config, faults)
     })
 }
@@ -377,16 +422,70 @@ pub fn right_size_mixed_prepared(
     policy: PlacementPolicy,
     faults: Option<&FaultInjection<'_>>,
 ) -> Result<ClusterPlan, SizingError> {
+    mixed_prepared_impl(
+        prepared,
+        prepared_baseline,
+        baseline_shape,
+        green_shape,
+        policy,
+        faults,
+        false,
+    )
+}
+
+/// [`right_size_mixed_prepared`] with server selection through the
+/// linear reference scan instead of the placement index; see
+/// [`right_size_baseline_only_prepared_linear`].
+///
+/// # Errors
+///
+/// Returns [`SizingError::Infeasible`] as the plain search does.
+pub fn right_size_mixed_prepared_linear(
+    prepared: &PreparedTrace,
+    prepared_baseline: &PreparedTrace,
+    baseline_shape: ServerShape,
+    green_shape: ServerShape,
+    policy: PlacementPolicy,
+    faults: Option<&FaultInjection<'_>>,
+) -> Result<ClusterPlan, SizingError> {
+    mixed_prepared_impl(
+        prepared,
+        prepared_baseline,
+        baseline_shape,
+        green_shape,
+        policy,
+        faults,
+        true,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn mixed_prepared_impl(
+    prepared: &PreparedTrace,
+    prepared_baseline: &PreparedTrace,
+    baseline_shape: ServerShape,
+    green_shape: ServerShape,
+    policy: PlacementPolicy,
+    faults: Option<&FaultInjection<'_>>,
+    linear_selection: bool,
+) -> Result<ClusterPlan, SizingError> {
     let faults = faults.filter(|f| !f.model.is_none());
-    let n0 = right_size_baseline_only_prepared(prepared_baseline, baseline_shape, policy, faults)?;
-    mixed_search(n0, baseline_shape, green_shape, policy, |sim, config| {
+    let n0 = baseline_only_prepared_impl(
+        prepared_baseline,
+        baseline_shape,
+        policy,
+        faults,
+        linear_selection,
+    )?;
+    mixed_search(n0, baseline_shape, green_shape, policy, linear_selection, |sim, config| {
         feasible_prepared(sim, prepared, config, faults)
     })
 }
 
-/// Reference mixed sizing on the unprepared replay engine; bit-identical
-/// to [`right_size_mixed_faulted`], kept for the equivalence suite and
-/// the `ablation_prepared_replay` bench.
+/// Reference mixed sizing on the unprepared replay engine with linear
+/// server selection; bit-identical to [`right_size_mixed_faulted`] by
+/// the replay- and index-equivalence contracts, kept for the
+/// equivalence suites and the ablation benches.
 ///
 /// # Errors
 ///
@@ -401,7 +500,7 @@ pub fn right_size_mixed_unprepared(
 ) -> Result<ClusterPlan, SizingError> {
     let faults = faults.filter(|f| !f.model.is_none());
     let n0 = right_size_baseline_only_unprepared(trace, baseline_shape, policy, faults)?;
-    mixed_search(n0, baseline_shape, green_shape, policy, |sim, config| {
+    mixed_search(n0, baseline_shape, green_shape, policy, true, |sim, config| {
         feasible_unprepared(sim, trace, transform, config, faults)
     })
 }

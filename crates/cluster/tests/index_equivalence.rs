@@ -1,22 +1,26 @@
-//! Property suite pinning the prepared replay engine to the unprepared
-//! reference engine, bit for bit.
+//! Property suite pinning indexed server selection to the linear
+//! reference scan, bit for bit.
 //!
-//! The sizing searches and the pipeline run every feasibility probe on
-//! [`PreparedTrace`] plans; the unprepared path is kept as the
-//! executable specification, and here it also runs with linear server
-//! selection (`with_linear_selection`) so the comparison is production
-//! (prepared + indexed) vs. full reference (unprepared + linear scan) —
-//! `index_equivalence.rs` isolates the selection axis on its own.
-//! These tests assert the two engines agree
-//! exactly — same `SimOutcome` (including metrics and the usage
-//! ledger's float totals, compared via `to_bits`) and same
-//! `FaultSummary` — across random traces, random cluster shapes,
-//! hand-built fault plans, and sampled AFR-model plans, and that the
-//! sizing searches built on top of them return identical cluster plans.
+//! `AllocationSim` selects servers through the incrementally maintained
+//! [`gsf_vmalloc::PlacementIndex`]; `PlacementPolicy::choose_linear`
+//! (a full O(N) pool scan) is kept as the executable specification, and
+//! [`AllocationSim::with_linear_selection`] runs a simulator on it.
+//! These tests replay identical inputs through both selection paths and
+//! assert the outcomes agree exactly — same `SimOutcome` (including
+//! metrics and the usage ledger's float totals, compared via `to_bits`)
+//! and same `FaultSummary` — across random traces, random cluster
+//! shapes, all three policies, sampled fault plans, `reset()` reuse,
+//! and both sizing searches.
+//!
+//! Two layers of checking compound here: the indexed runs below execute
+//! in debug mode, so every single selection is also cross-checked
+//! against `choose_linear` (and the whole index revalidated) by the
+//! `debug_assert`s in the simulator — a per-request pin far stronger
+//! than end-of-run outcome equality alone.
 
 use gsf_cluster::sizing::{
-    right_size_baseline_only_faulted, right_size_baseline_only_unprepared,
-    right_size_mixed_faulted, right_size_mixed_unprepared, FaultInjection,
+    right_size_baseline_only_faulted, right_size_baseline_only_prepared_linear,
+    right_size_mixed_faulted, right_size_mixed_prepared_linear, FaultInjection,
 };
 use gsf_maintenance::{FaultModel, PoolDevices};
 use gsf_vmalloc::{
@@ -26,6 +30,9 @@ use gsf_vmalloc::{
 use gsf_workloads::{ServerGeneration, Trace, VmEvent, VmEventKind, VmSpec};
 use proptest::prelude::*;
 use rand::{Rng, SeedableRng};
+
+const POLICIES: [PlacementPolicy; 3] =
+    [PlacementPolicy::BestFit, PlacementPolicy::FirstFit, PlacementPolicy::WorstFit];
 
 fn random_trace(n_vms: usize, seed: u64, full_node_pct: f64) -> Trace {
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
@@ -48,8 +55,8 @@ fn random_trace(n_vms: usize, seed: u64, full_node_pct: f64) -> Trace {
         });
         let t = rng.gen_range(0.0..1000.0);
         events.push(VmEvent { time_s: t, kind: VmEventKind::Arrival, vm_id: id });
-        // Leave some VMs resident at the horizon so settlement order is
-        // exercised, not just the departure path.
+        // Leave some VMs resident at the horizon so placements keep
+        // competing for fragmented capacity, not just empty servers.
         if rng.gen_bool(0.8) {
             events.push(VmEvent {
                 time_s: t + rng.gen_range(1.0..1500.0),
@@ -70,8 +77,7 @@ fn mixed_transform(vm: &VmSpec) -> PlacementRequest {
 }
 
 /// `SimOutcome` equality plus bit-level equality on the usage ledger's
-/// accumulated floats — `PartialEq` on `f64` would let `-0.0 == 0.0`
-/// slide, and determinism here means the *bits* match.
+/// accumulated floats.
 fn assert_bitwise(a: &SimOutcome, b: &SimOutcome) {
     assert_eq!(a, b);
     assert_eq!(
@@ -87,9 +93,9 @@ fn assert_bitwise(a: &SimOutcome, b: &SimOutcome) {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
-    /// Fault-free: `replay` (prepared) == `replay_unprepared`.
+    /// Fault-free, all three policies: indexed selection == linear scan.
     #[test]
-    fn prepared_matches_unprepared_fault_free(
+    fn indexed_matches_linear_fault_free(
         n_vms in 1usize..60,
         baseline in 1u32..6,
         green in 0u32..4,
@@ -97,21 +103,21 @@ proptest! {
     ) {
         let trace = random_trace(n_vms, seed, 0.03);
         let config = ClusterConfig::mixed(baseline, green);
-        for policy in
-            [PlacementPolicy::BestFit, PlacementPolicy::FirstFit, PlacementPolicy::WorstFit]
-        {
-            let prepared = AllocationSim::new(config, policy).replay(&trace, &mixed_transform);
-            let unprepared = AllocationSim::new(config, policy)
+        for policy in POLICIES {
+            let indexed = AllocationSim::new(config, policy).replay(&trace, &mixed_transform);
+            let linear = AllocationSim::new(config, policy)
                 .with_linear_selection()
-                .replay_unprepared(&trace, &mixed_transform);
-            assert_bitwise(&prepared, &unprepared);
+                .replay(&trace, &mixed_transform);
+            assert_bitwise(&indexed, &linear);
         }
     }
 
-    /// Faulted, AFR-sampled plans: `replay_faulted` (prepared) ==
-    /// `replay_faulted_unprepared`, outcome and `FaultSummary` alike.
+    /// Faulted, AFR-sampled plans, all three policies: fail/degrade
+    /// strikes and the evacuation re-placements they trigger pick
+    /// identical servers indexed vs. linear, so outcome and
+    /// `FaultSummary` match exactly.
     #[test]
-    fn prepared_matches_unprepared_under_sampled_faults(
+    fn indexed_matches_linear_under_sampled_faults(
         n_vms in 1usize..60,
         baseline in 2u32..6,
         green in 1u32..4,
@@ -129,42 +135,45 @@ proptest! {
             green_devices: PoolDevices::greensku_full(),
         };
         let plan = inj.plan_for(&config, trace.duration_s());
-        let (out_p, sum_p) = AllocationSim::new(config, PlacementPolicy::BestFit)
-            .replay_faulted(&trace, &mixed_transform, &plan);
-        let (out_u, sum_u) = AllocationSim::new(config, PlacementPolicy::BestFit)
-            .with_linear_selection()
-            .replay_faulted_unprepared(&trace, &mixed_transform, &plan);
-        assert_bitwise(&out_p, &out_u);
-        assert_eq!(sum_p, sum_u);
+        for policy in POLICIES {
+            let (out_i, sum_i) = AllocationSim::new(config, policy)
+                .replay_faulted(&trace, &mixed_transform, &plan);
+            let (out_l, sum_l) = AllocationSim::new(config, policy)
+                .with_linear_selection()
+                .replay_faulted(&trace, &mixed_transform, &plan);
+            assert_bitwise(&out_i, &out_l);
+            assert_eq!(sum_i, sum_l);
+        }
     }
 
-    /// One `PreparedTrace` replayed across many `reset()` cycles (the
-    /// sizing-probe pattern) stays pinned to a fresh unprepared run at
-    /// every cluster size.
+    /// One indexed simulator reused across `reset()` cycles (the
+    /// sizing-probe pattern, including shrinking pools) stays pinned to
+    /// fresh linear runs at every cluster size — `rebuild` must leave no
+    /// stale leaves behind.
     #[test]
-    fn prepared_plan_reuse_across_resets_matches_fresh_runs(
+    fn indexed_reset_reuse_matches_fresh_linear_runs(
         n_vms in 1usize..40,
         seed in 0u64..400,
     ) {
         let trace = random_trace(n_vms, seed, 0.02);
         let prepared = PreparedTrace::new(&trace, &mixed_transform);
-        let mut sim =
-            AllocationSim::new(ClusterConfig::mixed(1, 1), PlacementPolicy::BestFit);
+        let mut sim = AllocationSim::new(ClusterConfig::mixed(1, 1), PlacementPolicy::BestFit);
         for (b, g) in [(1u32, 0u32), (4, 2), (2, 3), (1, 0)] {
             let config = ClusterConfig::mixed(b, g);
             sim.reset(config);
-            let out_p = sim.replay_prepared(&prepared);
-            let out_u = AllocationSim::new(config, PlacementPolicy::BestFit)
+            let out_i = sim.replay_prepared(&prepared);
+            let out_l = AllocationSim::new(config, PlacementPolicy::BestFit)
                 .with_linear_selection()
                 .replay_unprepared(&trace, &mixed_transform);
-            assert_bitwise(&out_p, &out_u);
+            assert_bitwise(&out_i, &out_l);
         }
     }
 
-    /// The sizing searches built on each engine return identical plans
-    /// (and identical errors), faulted and fault-free.
+    /// Both sizing searches return identical plans (and identical
+    /// errors) on the indexed and linear selection paths, faulted and
+    /// fault-free.
     #[test]
-    fn sizing_agrees_between_engines(
+    fn sizing_agrees_between_selection_paths(
         n_vms in 1usize..40,
         seed in 0u64..200,
         model_seed in 0u64..32,
@@ -172,6 +181,9 @@ proptest! {
         let trace = random_trace(n_vms, seed, 0.0);
         let shape = ServerShape::baseline_gen3();
         let green = ServerShape::greensku();
+        let baseline_transform = |vm: &VmSpec| PlacementRequest::baseline_only(vm);
+        let prepared_baseline = PreparedTrace::new(&trace, &baseline_transform);
+        let prepared_mixed = PreparedTrace::new(&trace, &mixed_transform);
         let mut model = FaultModel::paper(model_seed);
         model.afr_scale = 30.0;
         let inj = FaultInjection {
@@ -182,7 +194,12 @@ proptest! {
         for faults in [None, Some(&inj)] {
             prop_assert_eq!(
                 right_size_baseline_only_faulted(&trace, shape, PlacementPolicy::BestFit, faults),
-                right_size_baseline_only_unprepared(&trace, shape, PlacementPolicy::BestFit, faults)
+                right_size_baseline_only_prepared_linear(
+                    &prepared_baseline,
+                    shape,
+                    PlacementPolicy::BestFit,
+                    faults,
+                )
             );
             prop_assert_eq!(
                 right_size_mixed_faulted(
@@ -193,9 +210,9 @@ proptest! {
                     PlacementPolicy::BestFit,
                     faults,
                 ),
-                right_size_mixed_unprepared(
-                    &trace,
-                    &mixed_transform,
+                right_size_mixed_prepared_linear(
+                    &prepared_mixed,
+                    &prepared_baseline,
                     shape,
                     green,
                     PlacementPolicy::BestFit,
@@ -206,9 +223,10 @@ proptest! {
     }
 }
 
-/// Hand-built plan covering both fault kinds, a fault landing exactly
-/// on a snapshot boundary, and a strike against an already-offline
-/// server — the orderings the snapshot-drain fix pinned down.
+/// Hand-built plan covering both fault kinds, repeat strikes on a dead
+/// server, and heavy degradation that forces evictions — the index must
+/// track every one of those mutations to keep choosing the linear
+/// scan's server.
 #[test]
 fn hand_built_fault_plan_matches_bitwise() {
     let trace = random_trace(40, 7, 0.0);
@@ -221,20 +239,25 @@ fn hand_built_fault_plan_matches_bitwise() {
                 server: 0,
                 kind: FaultKind::PartialDegrade { cores_lost: 40, mem_lost_gb: 256.0 },
             },
-            // Exactly on the snapshot boundary: the snapshot due at
-            // t=600 must sample pre-fault state in both engines.
             FaultEvent {
                 time_s: 600.0,
                 pool: FaultPool::Green,
                 server: 1,
                 kind: FaultKind::FullFailure,
             },
-            // Second strike on a dead server: a no-op in both engines.
+            // Second strike on a dead server: a no-op for both paths.
             FaultEvent {
                 time_s: 900.0,
                 pool: FaultPool::Green,
                 server: 1,
                 kind: FaultKind::FullFailure,
+            },
+            // Degrade to near-zero: evicts everything resident.
+            FaultEvent {
+                time_s: 1200.0,
+                pool: FaultPool::Baseline,
+                server: 1,
+                kind: FaultKind::PartialDegrade { cores_lost: 79, mem_lost_gb: 760.0 },
             },
             FaultEvent {
                 time_s: 1500.0,
@@ -245,40 +268,14 @@ fn hand_built_fault_plan_matches_bitwise() {
         ],
         3,
     );
-    let (out_p, sum_p) = AllocationSim::new(config, PlacementPolicy::BestFit)
-        .with_snapshot_interval(600.0)
-        .replay_faulted(&trace, &mixed_transform, &plan);
-    let (out_u, sum_u) = AllocationSim::new(config, PlacementPolicy::BestFit)
-        .with_snapshot_interval(600.0)
-        .with_linear_selection()
-        .replay_faulted_unprepared(&trace, &mixed_transform, &plan);
-    assert_bitwise(&out_p, &out_u);
-    assert_eq!(sum_p, sum_u);
-    assert!(sum_p.full_failures >= 1, "plan should land at least one full failure");
-}
-
-/// The empty fault plan is the identity on both engines, and both
-/// match the plain replay entry points.
-#[test]
-fn empty_fault_plan_is_identity_on_both_engines() {
-    let trace = random_trace(30, 11, 0.05);
-    let config = ClusterConfig::mixed(3, 2);
-    let plain_p =
-        AllocationSim::new(config, PlacementPolicy::BestFit).replay(&trace, &mixed_transform);
-    let plain_u = AllocationSim::new(config, PlacementPolicy::BestFit)
-        .with_linear_selection()
-        .replay_unprepared(&trace, &mixed_transform);
-    let (faulted_p, sum_p) = AllocationSim::new(config, PlacementPolicy::BestFit).replay_faulted(
-        &trace,
-        &mixed_transform,
-        &FaultPlan::empty(),
-    );
-    let (faulted_u, sum_u) = AllocationSim::new(config, PlacementPolicy::BestFit)
-        .with_linear_selection()
-        .replay_faulted_unprepared(&trace, &mixed_transform, &FaultPlan::empty());
-    assert_bitwise(&plain_p, &plain_u);
-    assert_bitwise(&plain_p, &faulted_p);
-    assert_bitwise(&plain_p, &faulted_u);
-    assert_eq!(sum_p, sum_u);
-    assert_eq!(sum_p.displaced, 0);
+    for policy in POLICIES {
+        let (out_i, sum_i) =
+            AllocationSim::new(config, policy).replay_faulted(&trace, &mixed_transform, &plan);
+        let (out_l, sum_l) = AllocationSim::new(config, policy)
+            .with_linear_selection()
+            .replay_faulted(&trace, &mixed_transform, &plan);
+        assert_bitwise(&out_i, &out_l);
+        assert_eq!(sum_i, sum_l);
+        assert!(sum_i.full_failures >= 1, "plan should land at least one full failure");
+    }
 }

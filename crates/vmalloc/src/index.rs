@@ -1,0 +1,381 @@
+//! Free-capacity placement index: sub-linear server selection.
+//!
+//! [`PlacementPolicy::choose_linear`] scans the whole pool on every
+//! placement, so replay cost is O(events × servers) — the dominant term
+//! in the sizing binary searches once pools reach fleet scale. The
+//! [`PlacementIndex`] is a segment tree over server index keyed by free
+//! cores, split into two lanes (non-empty / empty servers, because the
+//! production heuristic's tie-break makes any feasible non-empty server
+//! beat every feasible empty one), maintained incrementally by
+//! [`crate::AllocationSim`] on every `place`/`remove`/`fail`/`degrade`/
+//! `reset`. Selection then touches **only core-feasible servers**:
+//!
+//! - FirstFit descends to the leftmost leaf with
+//!   `free_cores ≥ request` in O(log N) per candidate, skipping whole
+//!   subtrees of full servers;
+//! - BestFit/WorstFit enumerate the core-feasible servers of the
+//!   non-empty lane (falling back to the empty lane only when nothing
+//!   non-empty fits) in index order, evaluating memory feasibility and
+//!   the `(is_empty, leftover)` key exactly as the linear scan does.
+//!
+//! Exact-equivalence contract (DESIGN.md §9): for every pool state and
+//! request, [`PlacementIndex::choose`] returns the same server index as
+//! [`PlacementPolicy::choose_linear`] — same `fits()` predicate
+//! (including the `1e-9` memory epsilon), same float expression for the
+//! leftover score, same strict-`<` first-index tie-break, same
+//! non-empty-beats-empty lexicographic order. The simulator cross-checks
+//! this on every selection in debug builds, and the
+//! `index_equivalence` suite in `gsf-cluster` pins it end to end.
+
+use crate::policy::PlacementPolicy;
+use crate::server::ServerState;
+
+/// Which leaf lane a tree walk consults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Lane {
+    /// Online servers currently hosting at least one VM.
+    NonEmpty,
+    /// Online servers hosting nothing.
+    Empty,
+    /// Union of both lanes (FirstFit ignores emptiness).
+    Either,
+}
+
+/// Encodes one server's lane values: `free_cores + 1` in the lane it
+/// belongs to, 0 elsewhere. The +1 sentinel keeps "absent" (0) distinct
+/// from "present with zero free cores", so a walk for `cores + 1` never
+/// visits servers outside the lane — even for a zero-core request.
+fn lane_values(s: &ServerState) -> (u64, u64) {
+    if s.is_offline() {
+        (0, 0)
+    } else {
+        let v = u64::from(s.free_cores()) + 1;
+        if s.is_empty() {
+            (0, v)
+        } else {
+            (v, 0)
+        }
+    }
+}
+
+/// Incrementally maintained free-capacity index over one server pool.
+///
+/// Two max-segment-trees share one node layout: leaf `size + i` holds
+/// server `i`'s lane value, internal node `k` holds the max of its
+/// children `2k` / `2k+1`. Padding leaves (`n..size`) stay 0 and are
+/// never feasible.
+#[derive(Debug, Clone)]
+pub struct PlacementIndex {
+    /// Number of indexed servers.
+    n: usize,
+    /// Leaf span: smallest power of two ≥ max(n, 1).
+    size: usize,
+    /// Non-empty-lane tree, length `2 * size`.
+    nonempty: Vec<u64>,
+    /// Empty-lane tree, length `2 * size`.
+    empty: Vec<u64>,
+}
+
+impl PlacementIndex {
+    /// Builds the index for the current state of `servers`.
+    pub fn new(servers: &[ServerState]) -> Self {
+        let n = servers.len();
+        let size = n.next_power_of_two().max(1);
+        let mut index = Self { n, size, nonempty: vec![0; 2 * size], empty: vec![0; 2 * size] };
+        index.fill(servers);
+        index
+    }
+
+    /// Rebuilds in place for `servers` (after a pool-wide `reset`),
+    /// reusing the allocations when the pool size is unchanged.
+    pub fn rebuild(&mut self, servers: &[ServerState]) {
+        if servers.len() != self.n {
+            *self = Self::new(servers);
+            return;
+        }
+        self.fill(servers);
+    }
+
+    fn fill(&mut self, servers: &[ServerState]) {
+        for (i, s) in servers.iter().enumerate() {
+            let (ne, e) = lane_values(s);
+            self.nonempty[self.size + i] = ne;
+            self.empty[self.size + i] = e;
+        }
+        for leaf in self.n..self.size {
+            self.nonempty[self.size + leaf] = 0;
+            self.empty[self.size + leaf] = 0;
+        }
+        for node in (1..self.size).rev() {
+            self.nonempty[node] = self.nonempty[2 * node].max(self.nonempty[2 * node + 1]);
+            self.empty[node] = self.empty[2 * node].max(self.empty[2 * node + 1]);
+        }
+    }
+
+    /// Re-reads server `i`'s state into its leaf and repairs the path to
+    /// the root — called after every mutation of that server.
+    pub fn refresh(&mut self, i: usize, server: &ServerState) {
+        debug_assert!(i < self.n, "refresh({i}) beyond indexed pool of {}", self.n);
+        let (ne, e) = lane_values(server);
+        let mut node = self.size + i;
+        self.nonempty[node] = ne;
+        self.empty[node] = e;
+        node /= 2;
+        while node >= 1 {
+            self.nonempty[node] = self.nonempty[2 * node].max(self.nonempty[2 * node + 1]);
+            self.empty[node] = self.empty[2 * node].max(self.empty[2 * node + 1]);
+            node /= 2;
+        }
+    }
+
+    fn node_val(&self, lane: Lane, node: usize) -> u64 {
+        match lane {
+            Lane::NonEmpty => self.nonempty[node],
+            Lane::Empty => self.empty[node],
+            Lane::Either => self.nonempty[node].max(self.empty[node]),
+        }
+    }
+
+    /// Visits, in ascending server order, every leaf whose `lane` value
+    /// is ≥ `want`; `f` returns `false` to stop early. Returns whether
+    /// the walk ran to completion.
+    fn walk(&self, lane: Lane, want: u64, f: &mut impl FnMut(usize) -> bool) -> bool {
+        if self.n == 0 {
+            return true;
+        }
+        self.walk_node(1, lane, want, f)
+    }
+
+    fn walk_node(
+        &self,
+        node: usize,
+        lane: Lane,
+        want: u64,
+        f: &mut impl FnMut(usize) -> bool,
+    ) -> bool {
+        if self.node_val(lane, node) < want {
+            return true;
+        }
+        if node >= self.size {
+            return f(node - self.size);
+        }
+        self.walk_node(2 * node, lane, want, f) && self.walk_node(2 * node + 1, lane, want, f)
+    }
+
+    /// Chooses a server for a `cores`/`mem_gb` request exactly as
+    /// [`PlacementPolicy::choose_linear`] would, touching only
+    /// core-feasible servers.
+    ///
+    /// `servers` must be the pool this index is maintained against.
+    pub fn choose(
+        &self,
+        policy: PlacementPolicy,
+        servers: &[ServerState],
+        cores: u32,
+        mem_gb: f64,
+    ) -> Option<usize> {
+        debug_assert_eq!(servers.len(), self.n, "index maintained for a different pool");
+        let want = u64::from(cores) + 1;
+        match policy {
+            PlacementPolicy::FirstFit => {
+                let mut found = None;
+                self.walk(Lane::Either, want, &mut |i| {
+                    if servers[i].fits(cores, mem_gb) {
+                        found = Some(i);
+                        false
+                    } else {
+                        true
+                    }
+                });
+                found
+            }
+            PlacementPolicy::BestFit | PlacementPolicy::WorstFit => {
+                // The linear scan's key is (is_empty, leftover)
+                // lexicographic: any feasible non-empty server beats
+                // every feasible empty one, so the empty lane is
+                // consulted only when the non-empty lane has no fit.
+                // Within one lane the key degenerates to the leftover
+                // score with strict-< (first index wins ties) — the
+                // same comparison, restricted to equal first elements.
+                self.best_in_lane(Lane::NonEmpty, policy, servers, cores, mem_gb, want).or_else(
+                    || self.best_in_lane(Lane::Empty, policy, servers, cores, mem_gb, want),
+                )
+            }
+        }
+    }
+
+    fn best_in_lane(
+        &self,
+        lane: Lane,
+        policy: PlacementPolicy,
+        servers: &[ServerState],
+        cores: u32,
+        mem_gb: f64,
+        want: u64,
+    ) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        self.walk(lane, want, &mut |i| {
+            let s = &servers[i];
+            if s.fits(cores, mem_gb) {
+                let leftover = policy.leftover_key(s, cores, mem_gb);
+                let better = match best {
+                    None => true,
+                    Some((_, best_leftover)) => leftover < best_leftover,
+                };
+                if better {
+                    best = Some((i, leftover));
+                }
+            }
+            true
+        });
+        best.map(|(i, _)| i)
+    }
+
+    /// Full-rescan consistency check: every leaf matches the lane values
+    /// of its server, padding leaves are 0, and every internal node is
+    /// the max of its children. The simulator `debug_assert`s this on
+    /// every selection, so a mutation path that forgets to [`Self::refresh`]
+    /// fails loudly in tests rather than silently diverging.
+    pub fn validate(&self, servers: &[ServerState]) -> bool {
+        if servers.len() != self.n {
+            return false;
+        }
+        for (i, s) in servers.iter().enumerate() {
+            if (self.nonempty[self.size + i], self.empty[self.size + i]) != lane_values(s) {
+                return false;
+            }
+        }
+        for leaf in self.n..self.size {
+            if self.nonempty[self.size + leaf] != 0 || self.empty[self.size + leaf] != 0 {
+                return false;
+            }
+        }
+        for node in 1..self.size {
+            if self.nonempty[node] != self.nonempty[2 * node].max(self.nonempty[2 * node + 1])
+                || self.empty[node] != self.empty[2 * node].max(self.empty[2 * node + 1])
+            {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use crate::cluster::ServerShape;
+    use crate::server::PlacedVm;
+
+    fn servers_with_loads(loads: &[u32]) -> Vec<ServerState> {
+        loads
+            .iter()
+            .map(|&used| {
+                let mut s = ServerState::new(ServerShape { cores: 16, mem_gb: 128.0 });
+                if used > 0 {
+                    s.place(
+                        1000 + u64::from(used),
+                        PlacedVm { cores: used, mem_gb: f64::from(used) * 8.0, max_mem_util: 0.5 },
+                    );
+                }
+                s
+            })
+            .collect()
+    }
+
+    const POLICIES: [PlacementPolicy; 3] =
+        [PlacementPolicy::BestFit, PlacementPolicy::FirstFit, PlacementPolicy::WorstFit];
+
+    #[test]
+    fn matches_linear_on_mixed_loads() {
+        let servers = servers_with_loads(&[0, 8, 14, 16, 2, 0, 15]);
+        let index = PlacementIndex::new(&servers);
+        assert!(index.validate(&servers));
+        for policy in POLICIES {
+            for cores in 0..=17u32 {
+                for mem in [0.0, 8.0, 64.0, 120.0, 129.0] {
+                    assert_eq!(
+                        index.choose(policy, &servers, cores, mem),
+                        policy.choose_linear(&servers, cores, mem),
+                        "{policy} cores={cores} mem={mem}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn refresh_tracks_place_remove_fail_degrade() {
+        let mut servers = servers_with_loads(&[0, 4, 8, 12]);
+        let mut index = PlacementIndex::new(&servers);
+
+        servers[0].place(1, PlacedVm { cores: 6, mem_gb: 24.0, max_mem_util: 0.5 });
+        index.refresh(0, &servers[0]);
+        assert!(index.validate(&servers));
+
+        servers[1].remove(1004).unwrap();
+        index.refresh(1, &servers[1]);
+        assert!(index.validate(&servers));
+
+        servers[2].fail();
+        index.refresh(2, &servers[2]);
+        assert!(index.validate(&servers));
+
+        servers[3].degrade(10, 0.0);
+        index.refresh(3, &servers[3]);
+        assert!(index.validate(&servers));
+
+        for policy in POLICIES {
+            for cores in 1..=16u32 {
+                assert_eq!(
+                    index.choose(policy, &servers, cores, 4.0),
+                    policy.choose_linear(&servers, cores, 4.0),
+                    "{policy} cores={cores}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn offline_servers_are_never_chosen() {
+        let mut servers = servers_with_loads(&[0, 0]);
+        servers[0].fail();
+        let index = PlacementIndex::new(&servers);
+        for policy in POLICIES {
+            assert_eq!(index.choose(policy, &servers, 1, 1.0), Some(1), "{policy}");
+        }
+    }
+
+    #[test]
+    fn empty_pool_chooses_nothing() {
+        let servers: Vec<ServerState> = Vec::new();
+        let index = PlacementIndex::new(&servers);
+        for policy in POLICIES {
+            assert_eq!(index.choose(policy, &servers, 1, 1.0), None, "{policy}");
+        }
+        assert!(index.validate(&servers));
+    }
+
+    #[test]
+    fn rebuild_resizes_with_the_pool() {
+        let servers = servers_with_loads(&[4, 0, 9]);
+        let mut index = PlacementIndex::new(&servers);
+        let grown = servers_with_loads(&[0, 0, 2, 15, 16]);
+        index.rebuild(&grown);
+        assert!(index.validate(&grown));
+        let shrunk = servers_with_loads(&[16]);
+        index.rebuild(&shrunk);
+        assert!(index.validate(&shrunk));
+        assert_eq!(index.choose(PlacementPolicy::FirstFit, &shrunk, 1, 1.0), None);
+    }
+
+    #[test]
+    fn validate_detects_a_stale_leaf() {
+        let mut servers = servers_with_loads(&[0, 8]);
+        let index = PlacementIndex::new(&servers);
+        // Mutate a server without refreshing: the validator must notice.
+        servers[1].remove(1008).unwrap();
+        assert!(!index.validate(&servers));
+    }
+}

@@ -18,6 +18,7 @@
 
 pub mod cluster;
 pub mod faults;
+pub mod index;
 pub mod metrics;
 pub mod policy;
 pub mod prepared;
@@ -27,6 +28,7 @@ pub mod usage;
 
 pub use cluster::{ClusterConfig, ServerShape};
 pub use faults::{FaultEvent, FaultKind, FaultPlan, FaultPool, FaultSummary};
+pub use index::PlacementIndex;
 pub use metrics::{PackingMetrics, PoolMetrics};
 pub use policy::PlacementPolicy;
 pub use prepared::PreparedTrace;

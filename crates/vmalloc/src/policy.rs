@@ -3,6 +3,14 @@
 //! The production scheduler uses best-fit with a preference for
 //! non-empty servers; first-fit and worst-fit are provided for the
 //! ablation benches.
+//!
+//! [`PlacementPolicy::choose_linear`] is the executable reference
+//! specification: a full O(N) scan of the pool. The production path
+//! selects through the incrementally maintained
+//! [`crate::index::PlacementIndex`], which is pinned bit-identical to
+//! this scan (same chosen index on every request) by a per-selection
+//! `debug_assert` in the simulator and the `index_equivalence` property
+//! suite in `gsf-cluster`.
 
 use crate::server::ServerState;
 use serde::{Deserialize, Serialize};
@@ -21,9 +29,27 @@ pub enum PlacementPolicy {
 }
 
 impl PlacementPolicy {
+    /// The fit score a feasible server competes on: normalized free
+    /// space after placement, combining both dimensions (negated for
+    /// worst-fit so smaller is always better). Shared verbatim between
+    /// the linear scan and the placement index so the two paths compute
+    /// bit-identical floats.
+    pub(crate) fn leftover_key(&self, s: &ServerState, cores: u32, mem_gb: f64) -> f64 {
+        let core_left = f64::from(s.free_cores() - cores) / f64::from(s.shape().cores);
+        let mem_left = (s.free_mem_gb() - mem_gb) / s.shape().mem_gb;
+        let leftover = core_left + mem_left;
+        if *self == PlacementPolicy::WorstFit {
+            -leftover
+        } else {
+            leftover
+        }
+    }
+
     /// Chooses a server index for a `cores`/`mem_gb` request among
-    /// `servers`, or `None` if nothing fits.
-    pub fn choose(&self, servers: &[ServerState], cores: u32, mem_gb: f64) -> Option<usize> {
+    /// `servers`, or `None` if nothing fits, by scanning the whole pool
+    /// in index order — the reference spec the placement index is
+    /// pinned against.
+    pub fn choose_linear(&self, servers: &[ServerState], cores: u32, mem_gb: f64) -> Option<usize> {
         match self {
             PlacementPolicy::FirstFit => servers.iter().position(|s| s.fits(cores, mem_gb)),
             PlacementPolicy::BestFit | PlacementPolicy::WorstFit => {
@@ -32,13 +58,7 @@ impl PlacementPolicy {
                     if !s.fits(cores, mem_gb) {
                         continue;
                     }
-                    // Leftover score: normalized free space after
-                    // placement, combining both dimensions.
-                    let core_left = f64::from(s.free_cores() - cores) / f64::from(s.shape().cores);
-                    let mem_left = (s.free_mem_gb() - mem_gb) / s.shape().mem_gb;
-                    let leftover = core_left + mem_left;
-                    let leftover =
-                        if *self == PlacementPolicy::WorstFit { -leftover } else { leftover };
+                    let leftover = self.leftover_key(s, cores, mem_gb);
                     // Key: (is_empty, leftover) lexicographically — the
                     // non-empty preference dominates the fit score.
                     let key = (s.is_empty(), leftover);
@@ -96,7 +116,7 @@ mod tests {
         // Loads: empty, half, nearly full. Request 2 cores: the nearly
         // full server is the tightest fit.
         let servers = servers_with_loads(&[0, 8, 14]);
-        let choice = PlacementPolicy::BestFit.choose(&servers, 2, 16.0);
+        let choice = PlacementPolicy::BestFit.choose_linear(&servers, 2, 16.0);
         assert_eq!(choice, Some(2));
     }
 
@@ -104,27 +124,27 @@ mod tests {
     fn best_fit_prefers_non_empty_over_tighter_empty() {
         // An empty server can never beat a non-empty one that fits.
         let servers = servers_with_loads(&[0, 2]);
-        let choice = PlacementPolicy::BestFit.choose(&servers, 4, 32.0);
+        let choice = PlacementPolicy::BestFit.choose_linear(&servers, 4, 32.0);
         assert_eq!(choice, Some(1));
     }
 
     #[test]
     fn best_fit_uses_empty_when_nothing_else_fits() {
         let servers = servers_with_loads(&[0, 14, 14]);
-        let choice = PlacementPolicy::BestFit.choose(&servers, 8, 64.0);
+        let choice = PlacementPolicy::BestFit.choose_linear(&servers, 8, 64.0);
         assert_eq!(choice, Some(0));
     }
 
     #[test]
     fn first_fit_takes_first() {
         let servers = servers_with_loads(&[0, 8, 14]);
-        assert_eq!(PlacementPolicy::FirstFit.choose(&servers, 2, 16.0), Some(0));
+        assert_eq!(PlacementPolicy::FirstFit.choose_linear(&servers, 2, 16.0), Some(0));
     }
 
     #[test]
     fn worst_fit_takes_loosest_non_empty() {
         let servers = servers_with_loads(&[0, 8, 14]);
-        assert_eq!(PlacementPolicy::WorstFit.choose(&servers, 2, 16.0), Some(1));
+        assert_eq!(PlacementPolicy::WorstFit.choose_linear(&servers, 2, 16.0), Some(1));
     }
 
     #[test]
@@ -133,7 +153,7 @@ mod tests {
         for policy in
             [PlacementPolicy::BestFit, PlacementPolicy::FirstFit, PlacementPolicy::WorstFit]
         {
-            assert_eq!(policy.choose(&servers, 8, 64.0), None, "{policy}");
+            assert_eq!(policy.choose_linear(&servers, 8, 64.0), None, "{policy}");
         }
     }
 }

@@ -161,10 +161,18 @@ impl ServerState {
     }
 
     /// Removes a VM; returns the placement if it was present.
+    ///
+    /// When the last VM leaves, the memory counter is reset to exactly
+    /// zero instead of trusting the running `+=`/`-=` sum: repeated
+    /// place/remove cycles accumulate float error (the `.max(0.0)`
+    /// clamp only hides the negative half of it), and a drifted counter
+    /// would skew every `free_mem_gb()` comparison [`Self::fits`] and
+    /// the placement index share for the rest of the replay.
     pub fn remove(&mut self, vm_id: u64) -> Option<PlacedVm> {
         let vm = self.vms.remove(&vm_id)?;
         self.cores_allocated -= vm.cores;
-        self.mem_allocated_gb = (self.mem_allocated_gb - vm.mem_gb).max(0.0);
+        self.mem_allocated_gb =
+            if self.vms.is_empty() { 0.0 } else { (self.mem_allocated_gb - vm.mem_gb).max(0.0) };
         Some(vm)
     }
 }
@@ -264,6 +272,38 @@ mod tests {
         assert_eq!(s.shape().mem_gb, 0.0);
         assert!(s.is_empty());
         assert!(!s.fits(1, 0.0));
+    }
+
+    #[test]
+    fn mem_counter_does_not_drift_across_place_remove_cycles() {
+        // Fractional memory sizes whose running sum is not exactly
+        // representable: a long alternating place/remove sequence must
+        // end with the counter at exactly zero once the server empties,
+        // not at an accumulated ±ε the `.max(0.0)` clamp half-hides.
+        let shape = ServerShape { cores: 64, mem_gb: 768.0 };
+        let mut s = ServerState::new(shape);
+        let mut state: u64 = 0x9e37_79b9_7f4a_7c15;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for round in 0..500u64 {
+            // Up to four residents at a time, sizes like 0.1·k GB that
+            // sum inexactly in binary floating point.
+            let residents: Vec<u64> = (0..(next() % 4 + 1)).map(|k| round * 10 + k).collect();
+            for &id in &residents {
+                let mem = 0.1 * (next() % 400 + 1) as f64;
+                s.place(id, PlacedVm { cores: 1, mem_gb: mem, max_mem_util: 0.5 });
+            }
+            for &id in &residents {
+                s.remove(id).unwrap();
+            }
+            assert!(s.is_empty());
+            // Exact equality, not an epsilon band: the regression this
+            // pins is precisely the sub-epsilon drift.
+            assert_eq!(s.mem_allocated_gb(), 0.0, "drift after round {round}");
+            assert_eq!(s.free_mem_gb(), shape.mem_gb, "free-mem drift after round {round}");
+        }
     }
 
     #[test]

@@ -18,9 +18,20 @@
 //!
 //! [`AllocationSim::replay`] / [`AllocationSim::replay_faulted`] build
 //! a [`PreparedTrace`] and route through the prepared engine.
+//!
+//! Server selection likewise has two pinned-equivalent paths: the
+//! default **indexed** selection routes every `choose` through a
+//! [`PlacementIndex`] per pool (maintained incrementally across
+//! `place`/`remove`/`fail`/`degrade`/`reset`), while
+//! [`AllocationSim::with_linear_selection`] keeps the original O(N)
+//! [`PlacementPolicy::choose_linear`] scan as the reference engine. The
+//! two are bit-identical on every request (debug builds assert it per
+//! selection; the `index_equivalence` suite in `gsf-cluster` is the CI
+//! gate).
 
 use crate::cluster::ClusterConfig;
 use crate::faults::{FaultEvent, FaultKind, FaultPlan, FaultPool, FaultSummary};
+use crate::index::PlacementIndex;
 use crate::metrics::PackingMetrics;
 use crate::policy::PlacementPolicy;
 use crate::prepared::PreparedTrace;
@@ -141,24 +152,40 @@ pub struct AllocationSim {
     green: Vec<ServerState>,
     policy: PlacementPolicy,
     snapshot_interval_s: f64,
+    /// Free-capacity index per pool; `None` selects through the linear
+    /// reference scan (and skips all index maintenance).
+    baseline_index: Option<PlacementIndex>,
+    green_index: Option<PlacementIndex>,
 }
 
 impl AllocationSim {
-    /// Creates a simulator for `config` with the given policy.
+    /// Creates a simulator for `config` with the given policy, selecting
+    /// servers through the placement index.
     pub fn new(config: ClusterConfig, policy: PlacementPolicy) -> Self {
-        Self {
-            baseline: (0..config.baseline_count)
-                .map(|_| ServerState::new(config.baseline_shape))
-                .collect(),
-            green: (0..config.green_count).map(|_| ServerState::new(config.green_shape)).collect(),
-            policy,
-            snapshot_interval_s: 3600.0,
-        }
+        let baseline: Vec<ServerState> =
+            (0..config.baseline_count).map(|_| ServerState::new(config.baseline_shape)).collect();
+        let green: Vec<ServerState> =
+            (0..config.green_count).map(|_| ServerState::new(config.green_shape)).collect();
+        let baseline_index = Some(PlacementIndex::new(&baseline));
+        let green_index = Some(PlacementIndex::new(&green));
+        Self { baseline, green, policy, snapshot_interval_s: 3600.0, baseline_index, green_index }
     }
 
     /// Overrides the metrics snapshot interval (default hourly).
     pub fn with_snapshot_interval(mut self, seconds: f64) -> Self {
         self.snapshot_interval_s = seconds.max(1.0);
+        self
+    }
+
+    /// Switches to the linear full-scan reference selection
+    /// ([`PlacementPolicy::choose_linear`]) and drops the placement
+    /// indexes, so no maintenance cost is paid either. Placement
+    /// decisions are bit-identical to the indexed default; this mode
+    /// exists as the executable spec for the `index_equivalence` suite
+    /// and the `ablation_indexed_placement` bench.
+    pub fn with_linear_selection(mut self) -> Self {
+        self.baseline_index = None;
+        self.green_index = None;
         self
     }
 
@@ -180,6 +207,12 @@ impl AllocationSim {
         }
         resize_pool(&mut self.baseline, config.baseline_count, config.baseline_shape);
         resize_pool(&mut self.green, config.green_count, config.green_shape);
+        if let Some(index) = &mut self.baseline_index {
+            index.rebuild(&self.baseline);
+        }
+        if let Some(index) = &mut self.green_index {
+            index.rebuild(&self.green);
+        }
     }
 
     /// Replays `trace`, resolving each VM through `transform`.
@@ -301,13 +334,12 @@ impl AllocationSim {
                     // A miss means the VM was rejected on arrival.
                     if let Some(active) = placements[event.slot as usize].take() {
                         let dwell = event.time_s - active.arrival_s;
+                        self.remove_placed(active.placement, vm.id);
                         match active.placement {
-                            Placement::Baseline(i) => {
-                                self.baseline[i].remove(vm.id);
+                            Placement::Baseline(_) => {
                                 usage.record_baseline(active.app_index, active.cores, dwell);
                             }
-                            Placement::Green(i) => {
-                                self.green[i].remove(vm.id);
+                            Placement::Green(_) => {
                                 usage.record_green(active.app_index, active.cores, dwell);
                             }
                         }
@@ -448,13 +480,12 @@ impl AllocationSim {
                     // A miss means the VM was rejected on arrival.
                     if let Some(active) = placements.remove(&vm.id) {
                         let dwell = event.time_s - active.arrival_s;
+                        self.remove_placed(active.placement, vm.id);
                         match active.placement {
-                            Placement::Baseline(i) => {
-                                self.baseline[i].remove(vm.id);
+                            Placement::Baseline(_) => {
                                 usage.record_baseline(active.app_index, active.cores, dwell);
                             }
-                            Placement::Green(i) => {
-                                self.green[i].remove(vm.id);
+                            Placement::Green(_) => {
                                 usage.record_green(active.app_index, active.cores, dwell);
                             }
                         }
@@ -529,11 +560,12 @@ impl AllocationSim {
     /// plan addresses a server this configuration does not have, or one
     /// already offline).
     fn strike(&mut self, fault: &FaultEvent, summary: &mut FaultSummary) -> Option<Vec<u64>> {
-        let pool = match fault.pool {
-            FaultPool::Baseline => &mut self.baseline,
-            FaultPool::Green => &mut self.green,
+        let (pool, index) = match fault.pool {
+            FaultPool::Baseline => (&mut self.baseline, &mut self.baseline_index),
+            FaultPool::Green => (&mut self.green, &mut self.green_index),
         };
-        let server = pool.get_mut(fault.server as usize)?;
+        let struck = fault.server as usize;
+        let server = pool.get_mut(struck)?;
         if server.is_offline() {
             return None;
         }
@@ -554,6 +586,9 @@ impl AllocationSim {
                 evicted
             }
         };
+        if let Some(index) = index.as_mut() {
+            index.refresh(struck, server);
+        }
         displaced.sort_unstable();
         Some(displaced)
     }
@@ -709,43 +744,112 @@ impl AllocationSim {
         summary.evacuation_failures += pending.len();
     }
 
+    /// Removes a VM from the server it occupies, keeping that pool's
+    /// index in sync.
+    fn remove_placed(&mut self, placement: Placement, vm_id: u64) {
+        match placement {
+            Placement::Baseline(i) => {
+                self.baseline[i].remove(vm_id);
+                if let Some(index) = &mut self.baseline_index {
+                    index.refresh(i, &self.baseline[i]);
+                }
+            }
+            Placement::Green(i) => {
+                self.green[i].remove(vm_id);
+                if let Some(index) = &mut self.green_index {
+                    index.refresh(i, &self.green[i]);
+                }
+            }
+        }
+    }
+
     fn place(
         &mut self,
         vm_id: u64,
         max_mem_util: f64,
         request: &PlacementRequest,
     ) -> Option<Placement> {
+        let choose_baseline = |sim: &Self| {
+            choose_in(
+                sim.policy,
+                &sim.baseline,
+                sim.baseline_index.as_ref(),
+                request.baseline_cores,
+                request.baseline_mem_gb,
+            )
+        };
         let placement = match request.target {
-            TargetPool::BaselineOnly => self
-                .policy
-                .choose(&self.baseline, request.baseline_cores, request.baseline_mem_gb)
-                .map(Placement::Baseline),
-            TargetPool::PreferGreen => self
-                .policy
-                .choose(&self.green, request.green_cores, request.green_mem_gb)
-                .map(Placement::Green)
-                .or_else(|| {
-                    self.policy
-                        .choose(&self.baseline, request.baseline_cores, request.baseline_mem_gb)
-                        .map(Placement::Baseline)
-                }),
+            TargetPool::BaselineOnly => choose_baseline(self).map(Placement::Baseline),
+            TargetPool::PreferGreen => choose_in(
+                self.policy,
+                &self.green,
+                self.green_index.as_ref(),
+                request.green_cores,
+                request.green_mem_gb,
+            )
+            .map(Placement::Green)
+            .or_else(|| choose_baseline(self).map(Placement::Baseline)),
         };
         match placement {
-            Some(Placement::Baseline(i)) => self.baseline[i].place(
-                vm_id,
-                PlacedVm {
-                    cores: request.baseline_cores,
-                    mem_gb: request.baseline_mem_gb,
-                    max_mem_util,
-                },
-            ),
-            Some(Placement::Green(i)) => self.green[i].place(
-                vm_id,
-                PlacedVm { cores: request.green_cores, mem_gb: request.green_mem_gb, max_mem_util },
-            ),
+            Some(Placement::Baseline(i)) => {
+                self.baseline[i].place(
+                    vm_id,
+                    PlacedVm {
+                        cores: request.baseline_cores,
+                        mem_gb: request.baseline_mem_gb,
+                        max_mem_util,
+                    },
+                );
+                if let Some(index) = &mut self.baseline_index {
+                    index.refresh(i, &self.baseline[i]);
+                }
+            }
+            Some(Placement::Green(i)) => {
+                self.green[i].place(
+                    vm_id,
+                    PlacedVm {
+                        cores: request.green_cores,
+                        mem_gb: request.green_mem_gb,
+                        max_mem_util,
+                    },
+                );
+                if let Some(index) = &mut self.green_index {
+                    index.refresh(i, &self.green[i]);
+                }
+            }
             None => {}
         }
         placement
+    }
+}
+
+/// Selects a server for one request: through the pool's placement index
+/// when one is maintained, through the linear reference scan otherwise.
+///
+/// Debug builds cross-check every indexed selection against
+/// [`PlacementPolicy::choose_linear`] *and* re-validate the whole index
+/// against the pool, so any mutation path that forgets to refresh the
+/// index fails loudly in tests instead of silently diverging.
+fn choose_in(
+    policy: PlacementPolicy,
+    servers: &[ServerState],
+    index: Option<&PlacementIndex>,
+    cores: u32,
+    mem_gb: f64,
+) -> Option<usize> {
+    match index {
+        Some(index) => {
+            debug_assert!(index.validate(servers), "placement index out of sync with its pool");
+            let chosen = index.choose(policy, servers, cores, mem_gb);
+            debug_assert_eq!(
+                chosen,
+                policy.choose_linear(servers, cores, mem_gb),
+                "indexed selection diverged from the linear reference \
+                 ({policy}, cores={cores}, mem_gb={mem_gb})"
+            );
+            chosen
+        }
+        None => policy.choose_linear(servers, cores, mem_gb),
     }
 }
 

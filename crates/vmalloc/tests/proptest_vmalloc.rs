@@ -138,7 +138,7 @@ proptest! {
         for policy in
             [PlacementPolicy::BestFit, PlacementPolicy::FirstFit, PlacementPolicy::WorstFit]
         {
-            if let Some(i) = policy.choose(&servers, cores, mem) {
+            if let Some(i) = policy.choose_linear(&servers, cores, mem) {
                 prop_assert!(servers[i].fits(cores, mem), "{} chose a non-fitting server", policy);
             } else {
                 // None means genuinely nothing fits.
