@@ -6,7 +6,13 @@ cargo fmt --check
 # --all-targets extends the gates (including clippy::unwrap_used, which
 # every library crate warns on) to tests and benches; test modules
 # allow-list unwrap explicitly.
-cargo clippy --workspace --all-targets -- -D warnings
+cargo clippy --workspace --all-targets -- -D warnings -D clippy::dbg_macro -D clippy::todo
+# Static invariant catalog (DESIGN.md §10): determinism and numeric
+# safety — no HashMap/HashSet or wall-clock/entropy in model code, no
+# NaN-panicking comparators, no float-literal equality, no panic!-family
+# macros in library code. Runs before the test gates: a lint violation
+# is cheaper to report than a flaked property suite is to debug.
+cargo run -q -p gsf-lint --release
 cargo build --release
 # --workspace: a bare `cargo test` from the root only tests the root
 # package (integration suites), silently skipping every crate.

@@ -65,7 +65,7 @@ impl RegionGrid {
     pub fn cleanest_hour(&self) -> f64 {
         (0..24)
             .map(|h| (f64::from(h), self.ci_at_hour(f64::from(h)).get()))
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite CI"))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
             .map(|(h, _)| h)
             .unwrap_or(12.0)
     }

@@ -86,6 +86,7 @@ impl SavingsReport {
     /// Computes savings of `green` relative to `baseline`.
     pub fn relative(baseline: &Assessment, green: &Assessment) -> Self {
         fn frac(base: KgCo2e, new: KgCo2e) -> f64 {
+            // gsf-lint: allow(N2) -- exact division-by-zero sentinel: only a bitwise zero base makes the ratio below undefined
             if base.get() == 0.0 {
                 0.0
             } else {

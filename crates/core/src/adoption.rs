@@ -12,7 +12,7 @@ use gsf_carbon::{Assessment, CarbonError, ServerSpec};
 use gsf_perf::ScalingFactor;
 use gsf_workloads::{ApplicationModel, ServerGeneration};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// The outcome of an adoption decision.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -52,7 +52,7 @@ impl AdoptionDecision {
 /// scaling factors.
 pub struct AdoptionModel {
     green_per_core: f64,
-    baseline_per_core: HashMap<ServerGeneration, f64>,
+    baseline_per_core: BTreeMap<ServerGeneration, f64>,
 }
 
 impl AdoptionModel {
@@ -68,7 +68,7 @@ impl AdoptionModel {
         baselines: &[(ServerGeneration, ServerSpec)],
     ) -> Result<Self, CarbonError> {
         let green_per_core = carbon.assess(green)?.total_per_core().get();
-        let mut baseline_per_core = HashMap::new();
+        let mut baseline_per_core = BTreeMap::new();
         for (generation, sku) in baselines {
             baseline_per_core.insert(*generation, carbon.assess(sku)?.total_per_core().get());
         }
@@ -109,6 +109,7 @@ impl AdoptionModel {
         let base_per_core = *self
             .baseline_per_core
             .get(&generation)
+            // gsf-lint: allow(P1) -- documented "# Panics" contract: a generation missing at construction is a caller bug, not a model state
             .unwrap_or_else(|| panic!("no baseline assessment for {generation}"));
         match perf.scaling_factor(app, generation) {
             ScalingFactor::MoreThanOnePointFive => AdoptionDecision::RejectPerformance,

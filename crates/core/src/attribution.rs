@@ -70,7 +70,7 @@ impl AttributionReport {
                 }
             })
             .collect();
-        rows.sort_by(|a, b| b.kg_co2e.partial_cmp(&a.kg_co2e).expect("finite emissions"));
+        rows.sort_by(|a, b| b.kg_co2e.total_cmp(&a.kg_co2e));
         Self { apps: rows, baseline_rate, green_rate }
     }
 

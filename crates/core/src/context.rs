@@ -30,6 +30,9 @@ use gsf_cluster::sizing::ClusterPlan;
 use gsf_vmalloc::{FaultSummary, PlacementPolicy, PreparedTrace, ServerShape, SimOutcome};
 use gsf_workloads::{ServerGeneration, Trace};
 use parking_lot::Mutex;
+// gsf-lint: allow-file(D1) -- the memo caches below are pure point lookups
+// keyed by bit-exact hashes; they are never iterated, so their order cannot
+// reach any model output (CacheStats only reads lengths and counters).
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;

@@ -330,9 +330,7 @@ pub fn evaluate_space_with(
     })
     .into_iter()
     .collect::<Result<Vec<_>, _>>()?;
-    results.sort_by(|a, b| {
-        b.effective_savings.partial_cmp(&a.effective_savings).expect("finite scores")
-    });
+    results.sort_by(|a, b| b.effective_savings.total_cmp(&a.effective_savings));
     Ok(results)
 }
 

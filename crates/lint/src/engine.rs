@@ -1,0 +1,320 @@
+//! Analysis driver: test-exemption regions, suppression directives,
+//! per-file analysis, and the workspace walk.
+
+use crate::rules::{self, FileCtx, RuleId};
+use crate::tokenizer::{self, Tok, TokKind};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One reportable diagnostic.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Workspace-relative path (e.g. `crates/stats/src/cdf.rs`).
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Rule identifier (`D1`, `D2`, `N1`, `N2`, `P1`, `A0`).
+    pub rule: RuleId,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Finding {
+    /// Renders the classic `file:line:col: rule: message` diagnostic.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}:{}: {}: {}",
+            self.file,
+            self.line,
+            self.col,
+            self.rule.as_str(),
+            self.message
+        )
+    }
+}
+
+/// A parsed suppression directive.
+#[derive(Debug)]
+struct Allow {
+    line: u32,
+    rules: Vec<RuleId>,
+    /// `allow-file(..)` suppresses for the whole file.
+    file_scope: bool,
+}
+
+const DIRECTIVE: &str = "gsf-lint:";
+
+/// Extracts suppression directives: comments carrying the `gsf-lint`
+/// marker followed by `allow(<rules>) -- <reason>` (or `allow-file`).
+///
+/// Malformed directives (unparseable form, unknown rule id, missing
+/// reason) produce an `A0` finding instead of silently suppressing
+/// nothing — a typo in an allow must not reopen the gate.
+fn parse_allows(comments: &[tokenizer::Comment], bad: &mut Vec<rules::RawFinding>) -> Vec<Allow> {
+    let mut allows = Vec::new();
+    for c in comments {
+        let Some(at) = c.text.find(DIRECTIVE) else {
+            continue;
+        };
+        let rest = c.text[at + DIRECTIVE.len()..].trim_start();
+        let malformed = |msg: &str| rules::RawFinding {
+            rule: RuleId::A0,
+            line: c.line,
+            col: 1,
+            message: format!(
+                "malformed gsf-lint directive ({msg}); expected \
+                 `gsf-lint: allow(<rule>[, <rule>]) -- <reason>`"
+            ),
+        };
+        let file_scope = rest.starts_with("allow-file");
+        let rest = if file_scope {
+            &rest["allow-file".len()..]
+        } else if let Some(r) = rest.strip_prefix("allow") {
+            r
+        } else {
+            bad.push(malformed("unknown directive"));
+            continue;
+        };
+        let rest = rest.trim_start();
+        let Some(rest) = rest.strip_prefix('(') else {
+            bad.push(malformed("missing rule list"));
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            bad.push(malformed("unclosed rule list"));
+            continue;
+        };
+        let mut rule_ids = Vec::new();
+        let mut unknown = false;
+        for id in rest[..close].split(',') {
+            match RuleId::parse(id.trim()) {
+                Some(r) => rule_ids.push(r),
+                None => {
+                    bad.push(malformed(&format!("unknown rule id `{}`", id.trim())));
+                    unknown = true;
+                }
+            }
+        }
+        if unknown || rule_ids.is_empty() {
+            if rule_ids.is_empty() && !unknown {
+                bad.push(malformed("empty rule list"));
+            }
+            continue;
+        }
+        let reason = rest[close + 1..].trim_start();
+        let Some(reason) = reason.strip_prefix("--") else {
+            bad.push(malformed("missing `-- <reason>`"));
+            continue;
+        };
+        if reason.trim().is_empty() {
+            bad.push(malformed("empty reason after `--`"));
+            continue;
+        }
+        allows.push(Allow { line: c.line, rules: rule_ids, file_scope });
+    }
+    allows
+}
+
+/// Marks the tokens of `#[cfg(test)]` / `#[test]` items (and, for a
+/// `#![cfg(test)]` inner attribute, the whole file) as rule-exempt.
+fn exempt_mask(tokens: &[Tok]) -> Vec<bool> {
+    let mut exempt = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !punct_at(tokens, i, "#") {
+            i += 1;
+            continue;
+        }
+        let inner = punct_at(tokens, i + 1, "!");
+        let open = if inner { i + 2 } else { i + 1 };
+        if !punct_at(tokens, open, "[") {
+            i += 1;
+            continue;
+        }
+        let Some(close) = matching(tokens, open, "[", "]") else {
+            break;
+        };
+        if !attr_is_test(&tokens[open + 1..close]) {
+            i = close + 1;
+            continue;
+        }
+        if inner {
+            // `#![cfg(test)]`: the entire file is test-only.
+            exempt.iter_mut().for_each(|e| *e = true);
+            return exempt;
+        }
+        // Skip any further attributes, then exempt through the end of
+        // the annotated item (first top-level `;`, or the matching
+        // brace of its body).
+        let mut j = close + 1;
+        while punct_at(tokens, j, "#") && punct_at(tokens, j + 1, "[") {
+            match matching(tokens, j + 1, "[", "]") {
+                Some(c) => j = c + 1,
+                None => break,
+            }
+        }
+        let end = item_end(tokens, j);
+        for e in exempt.iter_mut().take(end + 1).skip(i) {
+            *e = true;
+        }
+        i = end + 1;
+    }
+    exempt
+}
+
+fn punct_at(tokens: &[Tok], i: usize, text: &str) -> bool {
+    tokens.get(i).is_some_and(|t| t.kind == TokKind::Punct && t.text == text)
+}
+
+/// Index of the close delimiter matching the open one at `open`.
+fn matching(tokens: &[Tok], open: usize, od: &str, cd: &str) -> Option<usize> {
+    let mut depth = 0usize;
+    for (j, t) in tokens.iter().enumerate().skip(open) {
+        if t.kind == TokKind::Punct {
+            if t.text == od {
+                depth += 1;
+            } else if t.text == cd {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Whether attribute body tokens make the following item test-only:
+/// `#[test]`, or any `cfg`/`cfg_attr` mentioning the `test` predicate.
+/// `cfg(not(test))` is the *live* branch, so a `not` disqualifies.
+fn attr_is_test(body: &[Tok]) -> bool {
+    let first_is_test = body.first().is_some_and(|t| t.kind == TokKind::Ident && t.text == "test");
+    if first_is_test && body.len() == 1 {
+        return true;
+    }
+    let has = |name: &str| body.iter().any(|t| t.kind == TokKind::Ident && t.text == name);
+    (has("cfg") || has("cfg_attr")) && has("test") && !has("not")
+}
+
+/// The index of the last token of the item starting at `start`: the
+/// matching brace of the first top-level `{`, or the first top-level
+/// `;` if no body precedes it.
+fn item_end(tokens: &[Tok], start: usize) -> usize {
+    let mut depth = 0isize;
+    for (j, t) in tokens.iter().enumerate().skip(start) {
+        if t.kind != TokKind::Punct {
+            continue;
+        }
+        match t.text.as_str() {
+            "{" if depth == 0 => {
+                return matching(tokens, j, "{", "}").unwrap_or(tokens.len() - 1);
+            }
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            ";" if depth == 0 => return j,
+            _ => {}
+        }
+    }
+    tokens.len().saturating_sub(1)
+}
+
+/// Analyzes one source file in the given crate context.
+///
+/// `file` is only recorded into the findings; the rule scoping is
+/// driven by `ctx`.
+pub fn analyze_source(file: &str, ctx: FileCtx<'_>, source: &str) -> Vec<Finding> {
+    let lexed = tokenizer::lex(source);
+    let exempt = exempt_mask(&lexed.tokens);
+    let mut raw = rules::run(ctx, &lexed.tokens, &exempt);
+    let allows = parse_allows(&lexed.comments, &mut raw);
+    let suppressed = |f: &rules::RawFinding| {
+        f.rule != RuleId::A0
+            && allows.iter().any(|a| {
+                a.rules.contains(&f.rule)
+                    && (a.file_scope || a.line == f.line || a.line + 1 == f.line)
+            })
+    };
+    let mut out: Vec<Finding> = raw
+        .into_iter()
+        .filter(|f| !suppressed(f))
+        .map(|f| Finding {
+            file: file.to_string(),
+            line: f.line,
+            col: f.col,
+            rule: f.rule,
+            message: f.message,
+        })
+        .collect();
+    out.sort_by_key(|a| (a.line, a.col, a.rule));
+    out
+}
+
+/// Walks `root/crates/*/src` and analyzes every `.rs` file.
+///
+/// Findings come back sorted by path, then position — the output order
+/// is itself deterministic.
+///
+/// # Errors
+///
+/// Propagates I/O failures reading the tree; a missing `crates/`
+/// directory is reported as such rather than passing an empty scan off
+/// as a clean one.
+pub fn analyze_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    let crates_dir = root.join("crates");
+    if !crates_dir.is_dir() {
+        return Err(io::Error::new(
+            io::ErrorKind::NotFound,
+            format!("no crates/ directory under {}", root.display()),
+        ));
+    }
+    let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    let mut findings = Vec::new();
+    for crate_dir in crate_dirs {
+        let crate_name =
+            crate_dir.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default();
+        let src = crate_dir.join("src");
+        if !src.is_dir() {
+            continue;
+        }
+        let mut files = Vec::new();
+        collect_rs_files(&src, &mut files)?;
+        files.sort();
+        for path in files {
+            let source = fs::read_to_string(&path)?;
+            let file_name =
+                path.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default();
+            let label = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace(std::path::MAIN_SEPARATOR, "/");
+            let ctx = FileCtx { crate_name: &crate_name, file_name: &file_name };
+            findings.extend(analyze_source(&label, ctx, &source));
+        }
+    }
+    findings.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.col, a.rule).cmp(&(b.file.as_str(), b.line, b.col, b.rule))
+    });
+    Ok(findings)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,90 @@
+//! Diagnostic rendering: human text and machine-readable JSON.
+//!
+//! JSON is hand-rolled (the crate is dependency-free by design); the
+//! escaper covers everything the diagnostics can contain.
+
+use crate::engine::Finding;
+use std::fmt::Write as _;
+
+/// Renders findings one-per-line as `file:line:col: rule: message`,
+/// with a trailing summary line.
+pub fn text(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        let _ = writeln!(out, "{}", f.render());
+    }
+    if findings.is_empty() {
+        let _ = writeln!(out, "gsf-lint: clean");
+    } else {
+        let _ = writeln!(out, "gsf-lint: {} finding(s)", findings.len());
+    }
+    out
+}
+
+/// Renders findings as a JSON object:
+/// `{"findings":[{"file":..,"line":..,"col":..,"rule":..,"message":..}],"count":N}`.
+pub fn json(findings: &[Finding]) -> String {
+    let mut out = String::from("{\"findings\":[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"file\":\"{}\",\"line\":{},\"col\":{},\"rule\":\"{}\",\"message\":\"{}\"}}",
+            escape(&f.file),
+            f.line,
+            f.col,
+            f.rule.as_str(),
+            escape(&f.message)
+        );
+    }
+    let _ = write!(out, "],\"count\":{}}}", findings.len());
+    out.push('\n');
+    out
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::RuleId;
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let findings = vec![Finding {
+            file: "a\\b.rs".into(),
+            line: 3,
+            col: 7,
+            rule: RuleId::D1,
+            message: "say \"no\"\n".into(),
+        }];
+        let j = json(&findings);
+        assert!(j.contains("\"file\":\"a\\\\b.rs\""));
+        assert!(j.contains("\"rule\":\"D1\""));
+        assert!(j.contains("say \\\"no\\\"\\n"));
+        assert!(j.ends_with("\"count\":1}\n"));
+    }
+
+    #[test]
+    fn clean_text() {
+        assert_eq!(text(&[]), "gsf-lint: clean\n");
+    }
+}

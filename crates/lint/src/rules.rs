@@ -1,0 +1,247 @@
+//! The static invariant catalog (DESIGN.md §10) as token-pattern rules.
+//!
+//! Each rule exists because this workspace shipped — and then had to
+//! fix — the bug class it now forbids:
+//!
+//! * **D1** `HashMap`/`HashSet` in model-crate library code. Iteration
+//!   order is nondeterministic per process; PR 1 (`ServerState.vms`)
+//!   and PR 3 (`UsageLedger`) both chased last-bit float drift back to
+//!   exactly this. Use `BTreeMap`/`BTreeSet`, or suppress with a
+//!   justification when the map is provably never iterated.
+//! * **D2** wall-clock / entropy (`Instant::now`, `SystemTime`,
+//!   `thread_rng`, `from_entropy`) outside benches, binary mains, and
+//!   test modules. Model outputs must be a pure function of explicit
+//!   seeds and inputs or the carbon numbers are unauditable.
+//! * **N1** `partial_cmp(..).unwrap()/.expect(..)` comparator chains.
+//!   They panic on NaN *and* depend on `PartialOrd`'s partial order;
+//!   `f64::total_cmp` is panic-free and a deterministic total order.
+//! * **N2** `==`/`!=` against a float literal in model-crate library
+//!   code. Accumulated floats are almost never bit-equal to a written
+//!   constant; use an epsilon/bit-equality helper or justify exactness.
+//! * **P1** `panic!`/`todo!`/`unimplemented!` in non-test library code
+//!   (the macro face of the existing `clippy::unwrap_used` gate).
+
+use crate::tokenizer::{Tok, TokKind};
+
+/// Machine-readable rule identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RuleId {
+    /// Nondeterministic-iteration collections in model code.
+    D1,
+    /// Wall-clock / entropy outside benches, mains, and tests.
+    D2,
+    /// NaN-panicking `partial_cmp` comparator chains.
+    N1,
+    /// Float-literal `==`/`!=` in model code.
+    N2,
+    /// `panic!`-family macros in library code.
+    P1,
+    /// Malformed suppression directive (not itself suppressible).
+    A0,
+}
+
+impl RuleId {
+    /// All suppressible rules, in catalog order.
+    pub const CATALOG: [RuleId; 5] = [RuleId::D1, RuleId::D2, RuleId::N1, RuleId::N2, RuleId::P1];
+
+    /// The id as written in diagnostics and `allow(..)` directives.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RuleId::D1 => "D1",
+            RuleId::D2 => "D2",
+            RuleId::N1 => "N1",
+            RuleId::N2 => "N2",
+            RuleId::P1 => "P1",
+            RuleId::A0 => "A0",
+        }
+    }
+
+    /// Parses an id as written in an `allow(..)` directive.
+    pub fn parse(s: &str) -> Option<RuleId> {
+        RuleId::CATALOG.into_iter().find(|r| r.as_str() == s)
+    }
+}
+
+/// Crates whose library code models the system (carbon accounting,
+/// placement, sizing): D1/N2 apply here and nowhere else.
+pub const MODEL_CRATES: [&str; 8] =
+    ["carbon", "cluster", "core", "vmalloc", "workloads", "maintenance", "perf", "stats"];
+
+/// Where a file sits in the workspace, for rule applicability.
+#[derive(Debug, Clone, Copy)]
+pub struct FileCtx<'a> {
+    /// Crate directory name under `crates/` (e.g. `"vmalloc"`).
+    pub crate_name: &'a str,
+    /// File name within the crate's `src/` (e.g. `"main.rs"`).
+    pub file_name: &'a str,
+}
+
+impl FileCtx<'_> {
+    fn is_model(&self) -> bool {
+        MODEL_CRATES.contains(&self.crate_name)
+    }
+
+    /// D2 exempts the bench crate wholesale and the binary mains of the
+    /// driver crates (a progress timer in `main` is not model state).
+    fn d2_exempt(&self) -> bool {
+        self.crate_name == "bench"
+            || (matches!(self.crate_name, "cli" | "experiments") && self.file_name == "main.rs")
+    }
+}
+
+/// One diagnostic, prior to suppression filtering.
+#[derive(Debug, Clone)]
+pub struct RawFinding {
+    /// Which rule fired.
+    pub rule: RuleId,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human-readable explanation with the suggested fix.
+    pub message: String,
+}
+
+fn finding(rule: RuleId, tok: &Tok, message: impl Into<String>) -> RawFinding {
+    RawFinding { rule, line: tok.line, col: tok.col, message: message.into() }
+}
+
+fn ident_is(tok: Option<&Tok>, text: &str) -> bool {
+    tok.is_some_and(|t| t.kind == TokKind::Ident && t.text == text)
+}
+
+fn punct_is(tok: Option<&Tok>, text: &str) -> bool {
+    tok.is_some_and(|t| t.kind == TokKind::Punct && t.text == text)
+}
+
+/// Runs every applicable rule over the token stream.
+///
+/// `exempt[i]` marks tokens inside `#[cfg(test)]` / `#[test]` items,
+/// which no rule fires on.
+pub fn run(ctx: FileCtx<'_>, tokens: &[Tok], exempt: &[bool]) -> Vec<RawFinding> {
+    let mut out = Vec::new();
+    for (i, tok) in tokens.iter().enumerate() {
+        if exempt.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        match tok.kind {
+            TokKind::Ident => {
+                if ctx.is_model() && (tok.text == "HashMap" || tok.text == "HashSet") {
+                    out.push(finding(
+                        RuleId::D1,
+                        tok,
+                        format!(
+                            "`{}` iterates in nondeterministic order; model code must use \
+                             `BTreeMap`/`BTreeSet` (or justify a never-iterated map with an \
+                             allow)",
+                            tok.text
+                        ),
+                    ));
+                }
+                if !ctx.d2_exempt() {
+                    d2(&mut out, tokens, i, tok);
+                }
+                n1(&mut out, tokens, i, tok);
+                p1(&mut out, tokens, i, tok);
+            }
+            TokKind::Punct if ctx.is_model() => n2(&mut out, tokens, i, tok),
+            _ => {}
+        }
+    }
+    out
+}
+
+fn d2(out: &mut Vec<RawFinding>, tokens: &[Tok], i: usize, tok: &Tok) {
+    let wall_clock = (tok.text == "Instant"
+        && punct_is(tokens.get(i + 1), "::")
+        && ident_is(tokens.get(i + 2), "now"))
+        || tok.text == "SystemTime";
+    let entropy = tok.text == "thread_rng" || tok.text == "from_entropy";
+    if wall_clock || entropy {
+        out.push(finding(
+            RuleId::D2,
+            tok,
+            format!(
+                "`{}` injects {} into model code; results must be a pure function of explicit \
+                 seeds and inputs (benches, binary mains, and test modules are exempt)",
+                tok.text,
+                if entropy { "ambient entropy" } else { "wall-clock time" }
+            ),
+        ));
+    }
+}
+
+fn n1(out: &mut Vec<RawFinding>, tokens: &[Tok], i: usize, tok: &Tok) {
+    if tok.text != "partial_cmp" || !punct_is(tokens.get(i + 1), "(") {
+        return;
+    }
+    // Skip the argument list to the matching close paren.
+    let mut depth = 0usize;
+    let mut j = i + 1;
+    while let Some(t) = tokens.get(j) {
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" => depth += 1,
+                ")" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    if punct_is(tokens.get(j + 1), ".")
+        && (ident_is(tokens.get(j + 2), "unwrap") || ident_is(tokens.get(j + 2), "expect"))
+    {
+        out.push(finding(
+            RuleId::N1,
+            tok,
+            "`partial_cmp(..).unwrap()/.expect(..)` panics on NaN and is only a partial order; \
+             use `f64::total_cmp` (deterministic total order, panic-free)",
+        ));
+    }
+}
+
+fn n2(out: &mut Vec<RawFinding>, tokens: &[Tok], i: usize, tok: &Tok) {
+    if tok.text != "==" && tok.text != "!=" {
+        return;
+    }
+    let prev_float = tokens.get(i.wrapping_sub(1)).is_some_and(|t| t.kind == TokKind::Float);
+    // Allow a unary minus before the literal (`x == -1.0`).
+    let next = match tokens.get(i + 1) {
+        Some(t) if t.kind == TokKind::Punct && t.text == "-" => tokens.get(i + 2),
+        t => t,
+    };
+    let next_float = next.is_some_and(|t| t.kind == TokKind::Float);
+    if prev_float || next_float {
+        out.push(finding(
+            RuleId::N2,
+            tok,
+            format!(
+                "`{}` against a float literal: accumulated floats are rarely bit-equal to a \
+                 written constant; compare through an epsilon/bit-equality helper or justify \
+                 the exact sentinel with an allow",
+                tok.text
+            ),
+        ));
+    }
+}
+
+fn p1(out: &mut Vec<RawFinding>, tokens: &[Tok], i: usize, tok: &Tok) {
+    if matches!(tok.text.as_str(), "panic" | "todo" | "unimplemented")
+        && punct_is(tokens.get(i + 1), "!")
+    {
+        out.push(finding(
+            RuleId::P1,
+            tok,
+            format!(
+                "`{}!` in library code aborts the whole evaluation; return an error (or justify \
+                 a documented contract panic with an allow)",
+                tok.text
+            ),
+        ));
+    }
+}

@@ -1,0 +1,489 @@
+//! A small, self-contained Rust tokenizer.
+//!
+//! The analyzer needs just enough lexical structure to be sound about
+//! *where* an identifier occurs: identifiers inside strings, comments,
+//! and doc comments must never fire a rule, and comments must be
+//! captured separately so suppression directives can be parsed out of
+//! them. Full `syn`-style parsing is deliberately out of scope — the
+//! rules in [`crate::rules`] are token-pattern matchers.
+//!
+//! Every token carries a 1-based `line` and `col` so diagnostics point
+//! at the offending spot.
+
+/// The lexical class of a token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw identifiers `r#type`).
+    Ident,
+    /// Integer literal (decimal, hex, octal, binary).
+    Int,
+    /// Float literal (`1.0`, `1.`, `1e-9`, `2f64`).
+    Float,
+    /// String literal (plain, raw, byte, byte-raw).
+    Str,
+    /// Character or byte literal (`'a'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Punctuation; `==`, `!=` and `::` are single tokens, everything
+    /// else is one character.
+    Punct,
+}
+
+/// One token with its source position.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Lexical class.
+    pub kind: TokKind,
+    /// Raw text as written (identifiers and punctuation are matched on
+    /// this; literal bodies are kept only for debugging).
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column (in characters).
+    pub col: u32,
+}
+
+/// One comment (line or block, doc or plain) with its starting line.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Full comment text including the `//` / `/*` introducer.
+    pub text: String,
+}
+
+/// The result of lexing one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Tok>,
+    /// Comments in source order, kept out of the token stream.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `source` into tokens and comments.
+///
+/// The lexer is total: malformed input (an unterminated string, a stray
+/// byte) never aborts the pass — it degrades to single-character punct
+/// tokens so the analyzer still reports on the rest of the file.
+pub fn lex(source: &str) -> Lexed {
+    Lexer::new(source).run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+    out: Lexed,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+impl Lexer {
+    fn new(source: &str) -> Self {
+        Self { chars: source.chars().collect(), pos: 0, line: 1, col: 1, out: Lexed::default() }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    /// Consumes one character, tracking line/column.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32, col: u32) {
+        self.out.tokens.push(Tok { kind, text, line, col });
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            let (line, col) = (self.line, self.col);
+            if c.is_whitespace() {
+                self.bump();
+            } else if c == '/' && self.peek(1) == Some('/') {
+                self.line_comment(line);
+            } else if c == '/' && self.peek(1) == Some('*') {
+                self.block_comment(line);
+            } else if is_ident_start(c) {
+                self.ident_or_prefixed_literal(line, col);
+            } else if c.is_ascii_digit() {
+                self.number(line, col);
+            } else if c == '"' {
+                self.string(line, col);
+            } else if c == '\'' {
+                self.char_or_lifetime(line, col);
+            } else {
+                self.punct(c, line, col);
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.out.comments.push(Comment { line, text });
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth = depth.saturating_sub(1);
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.out.comments.push(Comment { line, text });
+    }
+
+    /// An identifier, or one of the literal prefixes `r"`/`r#"`/`b"`/
+    /// `br"`/`b'`/`r#ident`.
+    fn ident_or_prefixed_literal(&mut self, line: u32, col: u32) {
+        // Raw string `r"..."` / `r#"..."#` (and `br`-prefixed).
+        let c = self.peek(0).unwrap_or(' ');
+        if c == 'r' || c == 'b' {
+            let mut ahead = 1;
+            if c == 'b' && self.peek(1) == Some('r') {
+                ahead = 2;
+            }
+            let mut hashes = 0usize;
+            while self.peek(ahead + hashes) == Some('#') {
+                hashes += 1;
+            }
+            if self.peek(ahead + hashes) == Some('"') && (c != 'b' || ahead == 2 || hashes == 0) {
+                // `r#foo` (raw identifier) falls through because the
+                // char after the hashes is not a quote.
+                for _ in 0..(ahead + hashes) {
+                    self.bump();
+                }
+                self.bump(); // opening quote
+                self.raw_string_body(hashes, line, col);
+                return;
+            }
+            if c == 'b' && self.peek(1) == Some('\'') {
+                self.bump(); // b
+                self.bump(); // '
+                self.char_body(line, col);
+                return;
+            }
+        }
+        let mut text = String::new();
+        if c == 'r' && self.peek(1) == Some('#') && self.peek(2).is_some_and(is_ident_start) {
+            // Raw identifier: keep only the name so `r#type` matches
+            // rules the same as `type`.
+            self.bump();
+            self.bump();
+        }
+        while let Some(c) = self.peek(0) {
+            if is_ident_continue(c) {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Ident, text, line, col);
+    }
+
+    fn raw_string_body(&mut self, hashes: usize, line: u32, col: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.bump() {
+            if c == '"' {
+                let mut matched = 0usize;
+                while matched < hashes && self.peek(0) == Some('#') {
+                    self.bump();
+                    matched += 1;
+                }
+                if matched == hashes {
+                    break;
+                }
+                text.push('"');
+                for _ in 0..matched {
+                    text.push('#');
+                }
+            } else {
+                text.push(c);
+            }
+        }
+        self.push(TokKind::Str, text, line, col);
+    }
+
+    fn number(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        let mut float = false;
+        if self.peek(0) == Some('0') && matches!(self.peek(1), Some('x' | 'o' | 'b')) {
+            // Non-decimal integer: consume prefix plus digits/suffix.
+            text.push(self.bump().unwrap_or('0'));
+            text.push(self.bump().unwrap_or('x'));
+            while let Some(c) = self.peek(0) {
+                if c.is_ascii_alphanumeric() || c == '_' {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(TokKind::Int, text, line, col);
+            return;
+        }
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_digit() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if self.peek(0) == Some('.') {
+            // `1.0` and a trailing `1.` are floats; `1.max(2)` is an int
+            // followed by a method call and `0..n` is a range.
+            let consume = match self.peek(1) {
+                None => true,
+                Some(c) if c.is_ascii_digit() => true,
+                Some(c) if is_ident_start(c) || c == '.' => false,
+                Some(_) => true,
+            };
+            if consume {
+                text.push('.');
+                self.bump();
+                float = true;
+                while let Some(c) = self.peek(0) {
+                    if c.is_ascii_digit() || c == '_' {
+                        text.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+        if matches!(self.peek(0), Some('e' | 'E')) {
+            let (sign, digit) = (self.peek(1), self.peek(2));
+            let exp = match sign {
+                Some('+' | '-') => digit.is_some_and(|c| c.is_ascii_digit()),
+                Some(c) => c.is_ascii_digit(),
+                None => false,
+            };
+            if exp {
+                float = true;
+                text.push(self.bump().unwrap_or('e'));
+                if matches!(self.peek(0), Some('+' | '-')) {
+                    text.push(self.bump().unwrap_or('+'));
+                }
+                while let Some(c) = self.peek(0) {
+                    if c.is_ascii_digit() || c == '_' {
+                        text.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+        let mut suffix = String::new();
+        while let Some(c) = self.peek(0) {
+            if is_ident_continue(c) {
+                suffix.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if suffix == "f32" || suffix == "f64" {
+            float = true;
+        }
+        text.push_str(&suffix);
+        self.push(if float { TokKind::Float } else { TokKind::Int }, text, line, col);
+    }
+
+    fn string(&mut self, line: u32, col: u32) {
+        self.bump(); // opening quote
+        let mut text = String::new();
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    // Keep the pass total on escapes: consume the
+                    // escaped character blindly.
+                    if let Some(e) = self.bump() {
+                        text.push('\\');
+                        text.push(e);
+                    }
+                }
+                '"' => break,
+                _ => text.push(c),
+            }
+        }
+        self.push(TokKind::Str, text, line, col);
+    }
+
+    fn char_or_lifetime(&mut self, line: u32, col: u32) {
+        self.bump(); // opening quote
+        let first = self.peek(0);
+        // `'a` followed by anything but a closing quote is a lifetime.
+        if first.is_some_and(is_ident_start) && self.peek(1) != Some('\'') {
+            let mut text = String::from("'");
+            while let Some(c) = self.peek(0) {
+                if is_ident_continue(c) {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(TokKind::Lifetime, text, line, col);
+            return;
+        }
+        self.char_body(line, col);
+    }
+
+    /// The body of a char/byte literal, after the opening quote.
+    fn char_body(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    if let Some(e) = self.bump() {
+                        text.push('\\');
+                        text.push(e);
+                        if e == 'u' {
+                            // `\u{...}` — consume through the brace.
+                            while let Some(u) = self.bump() {
+                                text.push(u);
+                                if u == '}' {
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                }
+                '\'' => break,
+                _ => text.push(c),
+            }
+        }
+        self.push(TokKind::Char, text, line, col);
+    }
+
+    fn punct(&mut self, c: char, line: u32, col: u32) {
+        // Only the compounds the rules match on are fused; every other
+        // punctuation sequence stays one character per token.
+        let two = match (c, self.peek(1)) {
+            ('=', Some('=')) => Some("=="),
+            ('!', Some('=')) => Some("!="),
+            (':', Some(':')) => Some("::"),
+            _ => None,
+        };
+        if let Some(two) = two {
+            self.bump();
+            self.bump();
+            self.push(TokKind::Punct, two.to_string(), line, col);
+        } else {
+            self.bump();
+            self.push(TokKind::Punct, c.to_string(), line, col);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).tokens.into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn floats_vs_ints_vs_ranges() {
+        let toks = kinds("1.0 1. 1e-9 2f64 3u32 0xFF 0..10 1.max(2)");
+        let floats: Vec<_> =
+            toks.iter().filter(|(k, _)| *k == TokKind::Float).map(|(_, t)| t.clone()).collect();
+        assert_eq!(floats, vec!["1.0", "1.", "1e-9", "2f64"]);
+        assert!(toks.contains(&(TokKind::Int, "3u32".into())));
+        assert!(toks.contains(&(TokKind::Int, "0xFF".into())));
+        assert!(toks.contains(&(TokKind::Int, "0".into())));
+        assert!(toks.contains(&(TokKind::Int, "10".into())));
+        // `1.max(2)` is an integer receiver, not a float.
+        assert!(toks.contains(&(TokKind::Int, "1".into())));
+        assert!(toks.contains(&(TokKind::Ident, "max".into())));
+    }
+
+    #[test]
+    fn strings_and_comments_hide_identifiers() {
+        let lexed = lex("let x = \"HashMap\"; // HashMap\n/* HashMap */ let y = 1;");
+        assert!(!lexed.tokens.iter().any(|t| t.kind == TokKind::Ident && t.text == "HashMap"));
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(lexed.comments[0].text.contains("HashMap"));
+    }
+
+    #[test]
+    fn raw_strings_and_raw_idents() {
+        let toks = kinds("r\"panic!\" r#\"x \"# r#type b\"s\" br#\"y\"#");
+        let strs = toks.iter().filter(|(k, _)| *k == TokKind::Str).count();
+        assert_eq!(strs, 4);
+        assert!(toks.contains(&(TokKind::Ident, "type".into())));
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let toks = kinds("&'a str 'x' '\\n' b'z' 'static");
+        assert!(toks.contains(&(TokKind::Lifetime, "'a".into())));
+        assert!(toks.contains(&(TokKind::Lifetime, "'static".into())));
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Char).count(), 3);
+    }
+
+    #[test]
+    fn compound_punct_and_positions() {
+        let lexed = lex("a == b\nc != 1.0");
+        let eq = &lexed.tokens[1];
+        assert_eq!((eq.kind, eq.text.as_str(), eq.line, eq.col), (TokKind::Punct, "==", 1, 3));
+        let ne = &lexed.tokens[4];
+        assert_eq!((ne.kind, ne.text.as_str(), ne.line, ne.col), (TokKind::Punct, "!=", 2, 3));
+        // `<=` must not fuse into anything the N2 rule matches.
+        let le = lex("a <= 1.0");
+        assert!(le.tokens.iter().all(|t| t.text != "=="));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let lexed = lex("/* a /* b */ c */ let z = 2;");
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed.tokens.iter().any(|t| t.text == "z"));
+    }
+}

@@ -1,0 +1,26 @@
+//! D1 fixture: every hazard is either migrated, suppressed with a
+//! reason, or confined to a test module.
+use std::collections::BTreeMap;
+// gsf-lint: allow(D1) -- cache is keyed lookup only, never iterated
+use std::collections::HashMap;
+
+pub fn accumulate(xs: &[(u64, f64)]) -> f64 {
+    let mut per_id: BTreeMap<u64, f64> = BTreeMap::new();
+    for (id, v) in xs {
+        *per_id.entry(*id).or_default() += v;
+    }
+    let cache: HashMap<u64, f64> = per_id.iter().map(|(k, v)| (*k, *v)).collect(); // gsf-lint: allow(D1) -- point lookups only
+    per_id.values().sum::<f64>() + cache.get(&0).copied().unwrap_or(0.0) * 0.0
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn test_helpers_may_hash() {
+        let mut m: HashMap<u32, u32> = HashMap::new();
+        m.insert(1, 2);
+        assert_eq!(m.len(), 1);
+    }
+}

@@ -1,0 +1,11 @@
+//! D1 fixture: nondeterministic collections in model-crate code.
+use std::collections::HashMap;
+
+pub fn accumulate(xs: &[(u64, f64)]) -> f64 {
+    let mut per_id: HashMap<u64, f64> = HashMap::new();
+    for (id, v) in xs {
+        *per_id.entry(*id).or_default() += v;
+    }
+    let keep: std::collections::HashSet<u64> = xs.iter().map(|(id, _)| *id).collect();
+    per_id.values().filter(|_| !keep.is_empty()).sum()
+}

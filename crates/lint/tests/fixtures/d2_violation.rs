@@ -1,0 +1,10 @@
+//! D2 fixture: ambient time and entropy in library code.
+use std::time::{Instant, SystemTime};
+
+pub fn jittered_seed() -> u64 {
+    let t0 = Instant::now();
+    let wall = SystemTime::now();
+    let mut rng = rand::thread_rng();
+    let extra = SmallRng::from_entropy().gen::<u64>();
+    t0.elapsed().as_nanos() as u64 ^ rng.gen::<u64>() ^ extra ^ (wall.elapsed().unwrap().as_nanos() as u64)
+}

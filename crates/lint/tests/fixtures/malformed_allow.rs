@@ -1,0 +1,13 @@
+//! A0 fixture: every directive below is malformed, so none of them
+//! suppress the D1 finding — and each raises its own A0 diagnostic.
+
+// gsf-lint: allow(D9) -- no such rule
+// gsf-lint: allow(D1)
+// gsf-lint: allow(D1) --
+// gsf-lint: allow() -- empty rule list
+// gsf-lint: permit(D1) -- unknown directive
+use std::collections::HashMap;
+
+pub fn m() -> HashMap<u32, u32> {
+    HashMap::new()
+}

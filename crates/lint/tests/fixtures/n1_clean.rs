@@ -1,0 +1,16 @@
+//! N1 fixture: total-order comparators, and `partial_cmp` used
+//! guardedly (no unwrap/expect chain) stays legal.
+use std::cmp::Ordering;
+
+pub fn rank(mut xs: Vec<f64>) -> Vec<f64> {
+    xs.sort_by(f64::total_cmp);
+    xs
+}
+
+pub fn best(xs: &[(u32, f64)]) -> Option<u32> {
+    xs.iter().max_by(|a, b| a.1.total_cmp(&b.1)).map(|(id, _)| *id)
+}
+
+pub fn tolerant(a: f64, b: f64) -> Ordering {
+    a.partial_cmp(&b).unwrap_or(Ordering::Equal)
+}

@@ -1,0 +1,10 @@
+//! N1 fixture: NaN-panicking comparator chains.
+
+pub fn rank(mut xs: Vec<f64>) -> Vec<f64> {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    xs
+}
+
+pub fn best(xs: &[(u32, f64)]) -> Option<u32> {
+    xs.iter().max_by(|a, b| a.1.partial_cmp(&b.1).unwrap()).map(|(id, _)| *id)
+}

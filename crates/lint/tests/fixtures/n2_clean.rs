@@ -1,0 +1,17 @@
+//! N2 fixture: epsilon helpers, integer equality, and a justified
+//! exact sentinel.
+
+const EPS: f64 = 1e-9;
+
+pub fn classify(x: f64, y: f64, n: u32) -> u32 {
+    if x.abs() < EPS {
+        return 0;
+    }
+    if (y - 1.5).abs() > EPS && n == 3 {
+        return 1;
+    }
+    if x.to_bits() == y.to_bits() {
+        return 2;
+    }
+    if x == 0.0 { 4 } else { 3 } // gsf-lint: allow(N2) -- exact sentinel: only bitwise zero divides badly below
+}

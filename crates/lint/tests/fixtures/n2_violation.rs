@@ -1,0 +1,14 @@
+//! N2 fixture: float-literal equality in model code.
+
+pub fn classify(x: f64, y: f64) -> u32 {
+    if x == 0.0 {
+        return 0;
+    }
+    if y != -1.5 {
+        return 1;
+    }
+    if 2.5e-3 == x {
+        return 2;
+    }
+    3
+}

@@ -1,0 +1,21 @@
+//! P1 fixture: errors are returned, and test modules may panic.
+
+pub fn lookup(xs: &[u32], i: usize) -> Result<u32, String> {
+    xs.get(i).copied().ok_or_else(|| format!("index {i} out of range"))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn panics_in_tests_are_fine() {
+        if super::lookup(&[1], 5).is_ok() {
+            panic!("expected an error");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn attribute_form_too() {
+        panic!("asserted panic");
+    }
+}

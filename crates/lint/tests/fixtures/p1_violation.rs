@@ -1,0 +1,16 @@
+//! P1 fixture: aborting macros in library code.
+
+pub fn lookup(xs: &[u32], i: usize) -> u32 {
+    if i >= xs.len() {
+        panic!("index {i} out of range");
+    }
+    xs[i]
+}
+
+pub fn later() -> u32 {
+    todo!()
+}
+
+pub fn never() -> u32 {
+    unimplemented!("not part of the model")
+}

@@ -1,0 +1,22 @@
+//! The live workspace must be lint-clean: this is the same gate
+//! `ci.sh` runs via the binary, wired into `cargo test` so a filtered
+//! or partial CI run cannot mask a regression.
+
+use std::path::Path;
+
+#[test]
+fn live_workspace_has_zero_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("lint crate sits at <root>/crates/lint");
+    let findings = match gsf_lint::analyze_workspace(root) {
+        Ok(f) => f,
+        Err(e) => panic!("workspace walk failed: {e}"),
+    };
+    assert!(
+        findings.is_empty(),
+        "workspace is not lint-clean:\n{}",
+        findings.iter().map(|f| f.render()).collect::<Vec<_>>().join("\n")
+    );
+}

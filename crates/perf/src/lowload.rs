@@ -83,7 +83,7 @@ pub fn median_low_load_ratio(
     if ratios.is_empty() {
         return None;
     }
-    ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite ratios"));
+    ratios.sort_by(f64::total_cmp);
     gsf_stats::percentile::percentile_sorted(&ratios, 0.5)
 }
 

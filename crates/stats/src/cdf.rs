@@ -25,7 +25,7 @@ impl EmpiricalCdf {
     /// Builds a CDF from samples; non-finite samples are dropped.
     pub fn from_samples(mut samples: Vec<f64>) -> Self {
         samples.retain(|x| x.is_finite());
-        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        samples.sort_by(f64::total_cmp);
         Self { sorted: samples }
     }
 

@@ -292,7 +292,7 @@ impl Zipf {
 impl Distribution<usize> for Zipf {
     fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         let u: f64 = rng.gen();
-        match self.cumulative.binary_search_by(|c| c.partial_cmp(&u).expect("finite")) {
+        match self.cumulative.binary_search_by(|c| c.total_cmp(&u)) {
             Ok(i) => (i + 1).min(self.cumulative.len() - 1),
             Err(i) => i.min(self.cumulative.len() - 1),
         }
@@ -364,7 +364,7 @@ impl Categorical {
 impl Distribution<usize> for Categorical {
     fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         let u: f64 = rng.gen();
-        match self.cumulative.binary_search_by(|c| c.partial_cmp(&u).expect("finite")) {
+        match self.cumulative.binary_search_by(|c| c.total_cmp(&u)) {
             Ok(i) => (i + 1).min(self.cumulative.len() - 1),
             Err(i) => i.min(self.cumulative.len() - 1),
         }

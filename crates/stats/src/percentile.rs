@@ -113,7 +113,7 @@ impl Percentiles {
 
     fn ensure_sorted(&mut self) {
         if !self.sorted {
-            self.samples.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+            self.samples.sort_by(f64::total_cmp);
             self.sorted = true;
         }
     }
@@ -191,7 +191,7 @@ impl StreamingQuantile {
         if self.initial.len() < 5 {
             self.initial.push(x);
             if self.initial.len() == 5 {
-                self.initial.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                self.initial.sort_by(f64::total_cmp);
                 for (h, v) in self.heights.iter_mut().zip(&self.initial) {
                     *h = *v;
                 }
@@ -265,7 +265,7 @@ impl StreamingQuantile {
         }
         if self.initial.len() < 5 {
             let mut buf = self.initial.clone();
-            buf.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            buf.sort_by(f64::total_cmp);
             return percentile_sorted(&buf, self.q);
         }
         Some(self.heights[2])

@@ -1,0 +1,78 @@
+//! Regression pin for the N1 migration (ISSUE 5): every comparator
+//! that moved from `partial_cmp(..).expect(..)` to `f64::total_cmp`
+//! must order finite inputs identically to the old code, and must no
+//! longer panic on NaN.
+//!
+//! On finite, non-zero-signed inputs the two comparators agree exactly;
+//! the only divergences `total_cmp` introduces are the ones we want:
+//! a deterministic `-0.0 < 0.0` and NaN sorted to the ends instead of
+//! a panic.
+
+use gsf_stats::cdf::EmpiricalCdf;
+use proptest::prelude::*;
+
+proptest! {
+    /// The headline guarantee: for finite inputs, sorting by
+    /// `total_cmp` is bitwise the same permutation the old
+    /// `partial_cmp().expect()` comparator produced.
+    #[test]
+    fn total_cmp_sort_matches_partial_cmp_on_finite(
+        xs in prop::collection::vec(-1e12..1e12f64, 0..300),
+    ) {
+        let mut new = xs.clone();
+        new.sort_by(f64::total_cmp);
+        let mut old = xs;
+        old.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let same_bits =
+            new.iter().zip(&old).all(|(a, b)| a.to_bits() == b.to_bits());
+        prop_assert!(same_bits, "orderings diverged: {new:?} vs {old:?}");
+    }
+
+    /// Descending comparators (search ranking, attribution tables)
+    /// agree the same way.
+    #[test]
+    fn descending_total_cmp_matches(
+        xs in prop::collection::vec(-1e9..1e9f64, 0..200),
+    ) {
+        let mut new = xs.clone();
+        new.sort_by(|a, b| b.total_cmp(a));
+        let mut old = xs;
+        old.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
+        let same_bits =
+            new.iter().zip(&old).all(|(a, b)| a.to_bits() == b.to_bits());
+        prop_assert!(same_bits);
+    }
+
+    /// `min_by`/`max_by` call sites (cleanest-hour argmin) pick the
+    /// same element.
+    #[test]
+    fn min_max_by_total_cmp_match(
+        xs in prop::collection::vec(-1e9..1e9f64, 1..100),
+    ) {
+        let min_new = xs.iter().copied().min_by(|a, b| a.total_cmp(b));
+        let min_old =
+            xs.iter().copied().min_by(|a, b| a.partial_cmp(b).expect("finite"));
+        prop_assert_eq!(min_new.map(f64::to_bits), min_old.map(f64::to_bits));
+        let max_new = xs.iter().copied().max_by(|a, b| a.total_cmp(b));
+        let max_old =
+            xs.iter().copied().max_by(|a, b| a.partial_cmp(b).expect("finite"));
+        prop_assert_eq!(max_new.map(f64::to_bits), max_old.map(f64::to_bits));
+    }
+}
+
+/// The other half of the migration's point: NaN input no longer panics
+/// the sorts (the old comparator aborted the whole evaluation).
+#[test]
+fn nan_input_no_longer_panics() {
+    let mut xs = [3.0, f64::NAN, 1.0, 2.0, f64::NAN];
+    xs.sort_by(f64::total_cmp);
+    // total_cmp sorts (positive) NaN above every finite value.
+    assert_eq!(xs[0], 1.0);
+    assert_eq!(xs[1], 2.0);
+    assert_eq!(xs[2], 3.0);
+    assert!(xs[3].is_nan() && xs[4].is_nan());
+    // The CDF constructor keeps dropping non-finite samples before the
+    // sort, so quantiles stay NaN-free end to end.
+    let cdf = EmpiricalCdf::from_samples(vec![1.0, f64::NAN, 2.0]);
+    assert_eq!(cdf.len(), 2);
+}

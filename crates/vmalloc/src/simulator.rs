@@ -39,7 +39,7 @@ use crate::server::{PlacedVm, ServerState};
 use crate::usage::UsageLedger;
 use gsf_workloads::{Trace, VmEventKind, VmSpec};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Which pool(s) a VM may be placed on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -408,7 +408,7 @@ impl AllocationSim {
         transform: &VmTransform<'_>,
         plan: &FaultPlan,
     ) -> (SimOutcome, FaultSummary) {
-        let mut placements: HashMap<u64, ActiveVm> = HashMap::new();
+        let mut placements: BTreeMap<u64, ActiveVm> = BTreeMap::new();
         let mut usage = UsageLedger::new();
         let mut metrics = PackingMetrics::new();
         let mut rejected = 0usize;
@@ -516,12 +516,12 @@ impl AllocationSim {
         self.drain_snapshots(&mut metrics, &mut next_snapshot, duration_s, duration_s);
         metrics.snapshot(&self.baseline, &self.green);
         // VMs still resident at the horizon are charged to the end of
-        // the trace. Settle in ascending VM-id order — iterating the
-        // HashMap directly made the per-app `+=` accumulation order (and
-        // thus the low bits of usage totals) vary run-to-run.
-        let mut remaining: Vec<(u64, ActiveVm)> = placements.into_iter().collect();
-        remaining.sort_unstable_by_key(|&(id, _)| id);
-        for (_, active) in remaining {
+        // the trace. Settlement must run in ascending VM-id order — a
+        // `HashMap` here once made the per-app `+=` accumulation order
+        // (and thus the low bits of usage totals) vary run-to-run; the
+        // `BTreeMap` iterates ascending by id, which is exactly that
+        // order.
+        for (_, active) in placements {
             let dwell = duration_s - active.arrival_s;
             match active.placement {
                 Placement::Baseline(_) => {
@@ -677,7 +677,7 @@ impl AllocationSim {
         max_passes: u32,
         trace: &Trace,
         transform: &VmTransform<'_>,
-        placements: &mut HashMap<u64, ActiveVm>,
+        placements: &mut BTreeMap<u64, ActiveVm>,
         usage: &mut UsageLedger,
         summary: &mut FaultSummary,
     ) {

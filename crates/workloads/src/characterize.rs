@@ -13,7 +13,7 @@ use crate::trace::Trace;
 use crate::vm::VmEventKind;
 use gsf_stats::cdf::EmpiricalCdf;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Summary statistics of one trace.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -48,9 +48,9 @@ pub struct TraceProfile {
 /// Characterizes a trace.
 pub fn characterize(trace: &Trace) -> TraceProfile {
     let apps = catalog::applications();
-    let mut arrivals: HashMap<u64, f64> = HashMap::new();
+    let mut arrivals: BTreeMap<u64, f64> = BTreeMap::new();
     let mut lifetimes: Vec<f64> = Vec::new();
-    let mut core_hours_by_vm: HashMap<u64, f64> = HashMap::new();
+    let mut core_hours_by_vm: BTreeMap<u64, f64> = BTreeMap::new();
     for e in trace.events() {
         match e.kind {
             VmEventKind::Arrival => {
@@ -67,7 +67,7 @@ pub fn characterize(trace: &Trace) -> TraceProfile {
         }
     }
 
-    let mut size_histogram: HashMap<u32, usize> = HashMap::new();
+    let mut size_histogram: BTreeMap<u32, usize> = BTreeMap::new();
     let mut mem_utils = Vec::new();
     let mut cpu_below_25 = 0usize;
     for vm in trace.vms() {
@@ -88,7 +88,7 @@ pub fn characterize(trace: &Trace) -> TraceProfile {
         .filter_map(|v| core_hours_by_vm.get(&v.id))
         .sum();
 
-    let mut class_hours: HashMap<AppClass, f64> = HashMap::new();
+    let mut class_hours: BTreeMap<AppClass, f64> = BTreeMap::new();
     for vm in trace.vms() {
         if let Some(ch) = core_hours_by_vm.get(&vm.id) {
             let app = &apps[usize::from(vm.app_index) % apps.len()];
@@ -99,7 +99,7 @@ pub fn characterize(trace: &Trace) -> TraceProfile {
         .iter()
         .map(|&c| (c, class_hours.get(&c).copied().unwrap_or(0.0) / total_core_hours.max(1e-12)))
         .collect();
-    class_core_hour_share.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite shares"));
+    class_core_hour_share.sort_by(|a, b| b.1.total_cmp(&a.1));
 
     let life_cdf = EmpiricalCdf::from_samples(lifetimes);
     let mem_cdf = EmpiricalCdf::from_samples(mem_utils.clone());

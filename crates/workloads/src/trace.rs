@@ -65,15 +65,14 @@ impl Trace {
     pub fn new(duration_s: f64, vms: Vec<VmSpec>, mut events: Vec<VmEvent>) -> Self {
         #[cfg(debug_assertions)]
         {
-            let ids: std::collections::HashSet<u64> = vms.iter().map(|v| v.id).collect();
+            let ids: std::collections::BTreeSet<u64> = vms.iter().map(|v| v.id).collect();
             for e in &events {
                 debug_assert!(ids.contains(&e.vm_id), "event references unknown VM {}", e.vm_id);
             }
         }
         events.sort_by(|a, b| {
             a.time_s
-                .partial_cmp(&b.time_s)
-                .expect("finite event times")
+                .total_cmp(&b.time_s)
                 .then_with(|| departure_first(a.kind).cmp(&departure_first(b.kind)))
         });
         Self { duration_s, vms, events }
@@ -117,7 +116,7 @@ impl Trace {
                 return Err(TraceCodecError::Corrupt("VM utilization is not finite non-negative"));
             }
         }
-        let ids: std::collections::HashSet<u64> = vms.iter().map(|v| v.id).collect();
+        let ids: std::collections::BTreeSet<u64> = vms.iter().map(|v| v.id).collect();
         if ids.len() != vms.len() {
             return Err(TraceCodecError::Corrupt("duplicate VM ids"));
         }
@@ -166,7 +165,7 @@ impl Trace {
     /// build this once instead of re-resolving `vm(id)` per event per
     /// probe.
     pub fn index(&self) -> TraceIndex {
-        let slot_of_id: std::collections::HashMap<u64, u32> =
+        let slot_of_id: std::collections::BTreeMap<u64, u32> =
             self.vms.iter().enumerate().map(|(i, v)| (v.id, i as u32)).collect();
         let vm_slot: Vec<u32> = self
             .events
