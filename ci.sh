@@ -29,3 +29,9 @@ cargo test -q -p gsf-cluster --test prepared_equivalence
 # bit-identical to the linear reference scan across policies, fault
 # plans, reset reuse, and both sizing searches.
 cargo test -q -p gsf-cluster --test index_equivalence
+# Sharded-replay equivalence: the parallel shard driver must stay
+# bit-identical to its serial reference for every worker count (and
+# one shard must stay bit-identical to the unsharded engine), across
+# policies, shard-boundary fault plans, reset reuse, and the sharded
+# sizing searches.
+cargo test -q -p gsf-cluster --test shard_equivalence

@@ -374,6 +374,170 @@ fn ablation_indexed_placement(c: &mut Criterion) {
     group.finish();
 }
 
+/// Ablation: sharded vs unsharded fleet replay — one replay of the
+/// sized ≥1024-server cluster through the unsharded engine, the
+/// 1-shard sharded engine (its overhead budget is ≤5 %), and K-shard
+/// serial vs parallel drivers. Asserts the bit-identity chain
+/// (unsharded == 1-shard; serial == parallel per K) on every rep it
+/// times, and emits `results/BENCH_pr6.json`.
+fn ablation_sharded_replay(c: &mut Criterion) {
+    use gsf_bench::bench_trace_fleet;
+    use gsf_cluster::parallel::default_workers;
+    use gsf_cluster::sharded::replay_sharded;
+    use gsf_cluster::sizing::right_size_mixed_prepared;
+    use gsf_vmalloc::{FaultPlan, PreparedTrace, ShardedSim};
+    use std::time::{Duration, Instant};
+
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let trace = if test_mode { bench_trace() } else { bench_trace_fleet() };
+    let transform = |vm: &VmSpec| {
+        if vm.full_node {
+            PlacementRequest::baseline_only(vm)
+        } else {
+            PlacementRequest::prefer_green(vm, 1.25)
+        }
+    };
+    let prepared = PreparedTrace::new(&trace, &transform);
+    let prepared_baseline = PreparedTrace::new(&trace, &baseline_transform);
+    let baseline_shape = ServerShape::baseline_gen3();
+    let green_shape = ServerShape::greensku();
+
+    // Size once (unsharded) and replay that fixed cluster under every
+    // engine, so the ablation isolates replay cost from sizing.
+    let plan = right_size_mixed_prepared(
+        &prepared,
+        &prepared_baseline,
+        baseline_shape,
+        green_shape,
+        PlacementPolicy::BestFit,
+        None,
+    )
+    .unwrap();
+    let config = ClusterConfig {
+        baseline_count: plan.baseline,
+        baseline_shape,
+        green_count: plan.green,
+        green_shape,
+    };
+    let workers = default_workers();
+
+    let unsharded_outcome = {
+        let mut sim = AllocationSim::new(config, PlacementPolicy::BestFit);
+        sim.replay_prepared(&prepared)
+    };
+    let time_unsharded = |reps: u32| -> Duration {
+        let mut sim = AllocationSim::new(config, PlacementPolicy::BestFit);
+        (0..reps)
+            .map(|_| {
+                sim.reset(config);
+                let t = Instant::now();
+                black_box(sim.replay_prepared(&prepared));
+                t.elapsed()
+            })
+            .min()
+            .unwrap()
+    };
+    // Each timed rep also re-verifies determinism: the parallel result
+    // must equal the serial reference of the same shard count.
+    let time_sharded = |shards: usize, run_workers: usize, reps: u32| -> Duration {
+        let mut sim = ShardedSim::new(config, PlacementPolicy::BestFit, shards);
+        let serial = ShardedSim::new(config, PlacementPolicy::BestFit, shards)
+            .replay_prepared_faulted(&prepared, &FaultPlan::empty());
+        (0..reps)
+            .map(|_| {
+                sim.reset(config);
+                let t = Instant::now();
+                let got = black_box(replay_sharded(
+                    &mut sim,
+                    &prepared,
+                    &FaultPlan::empty(),
+                    run_workers,
+                ));
+                let elapsed = t.elapsed();
+                assert_eq!(got, serial, "parallel != serial at K={shards}");
+                if shards == 1 {
+                    assert_eq!(got.0, unsharded_outcome, "1 shard != unsharded engine");
+                }
+                elapsed
+            })
+            .min()
+            .unwrap()
+    };
+
+    let replay_unsharded = time_unsharded(5);
+    let replay_one_shard = time_sharded(1, 1, 5);
+    let one_shard_overhead = replay_one_shard.as_secs_f64() / replay_unsharded.as_secs_f64();
+    println!(
+        "[ablation] unsharded replay {:.1} ms vs 1-shard {:.1} ms ({:.3}x overhead) at {} servers",
+        replay_unsharded.as_secs_f64() * 1e3,
+        replay_one_shard.as_secs_f64() * 1e3,
+        one_shard_overhead,
+        config.total_servers(),
+    );
+
+    let mut multi = Vec::new();
+    for shards in [2usize, 4, 8] {
+        let serial = time_sharded(shards, 1, 3);
+        let parallel = time_sharded(shards, workers, 3);
+        println!(
+            "[ablation] K={shards}: serial {:.1} ms, parallel({} workers) {:.1} ms ({:.2}x)",
+            serial.as_secs_f64() * 1e3,
+            workers,
+            parallel.as_secs_f64() * 1e3,
+            serial.as_secs_f64() / parallel.as_secs_f64(),
+        );
+        multi.push((shards, serial, parallel));
+    }
+
+    if !test_mode {
+        let per_shard = multi
+            .iter()
+            .map(|(k, s, p)| {
+                format!(
+                    "    \"shards_{k}\": {{\"serial\": {:.0}, \"parallel\": {:.0}}}",
+                    s.as_secs_f64() * 1e9,
+                    p.as_secs_f64() * 1e9,
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n");
+        let json = format!(
+            "{{\n  \"bench\": \"ablation_sharded_replay\",\n  \"trace\": {{\"vms\": {}}},\n  \"plan\": {{\"baseline\": {}, \"green\": {}, \"total\": {}}},\n  \"workers\": {},\n  \"ns_per_iter\": {{\n    \"replay_unsharded\": {:.0},\n    \"replay_shards_1\": {:.0},\n{}\n  }},\n  \"one_shard_overhead\": {:.3}\n}}\n",
+            trace.vms().len(),
+            plan.baseline,
+            plan.green,
+            plan.total(),
+            workers,
+            replay_unsharded.as_secs_f64() * 1e9,
+            replay_one_shard.as_secs_f64() * 1e9,
+            per_shard,
+            one_shard_overhead,
+        );
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/BENCH_pr6.json");
+        std::fs::write(path, json).expect("write results/BENCH_pr6.json");
+        println!("[ablation] wrote {path}");
+    }
+
+    let mut group = c.benchmark_group("ablation_sharded_replay");
+    group.bench_function("unsharded", |b| {
+        let mut sim = AllocationSim::new(config, PlacementPolicy::BestFit);
+        b.iter(|| {
+            sim.reset(config);
+            black_box(sim.replay_prepared(&prepared))
+        })
+    });
+    for shards in [1usize, 4] {
+        group.bench_function(format!("sharded_k{shards}"), |b| {
+            let mut sim = ShardedSim::new(config, PlacementPolicy::BestFit, shards);
+            b.iter(|| {
+                sim.reset(config);
+                black_box(replay_sharded(&mut sim, &prepared, &FaultPlan::empty(), workers))
+            })
+        });
+    }
+    group.finish();
+}
+
 /// Ablation: fresh simulator per replay vs reset-reuse (what the sizing
 /// binary searches do on every feasibility probe).
 fn ablation_sim_reuse(c: &mut Criterion) {
@@ -406,6 +570,7 @@ criterion_group!(
     ablation_eval_cache,
     ablation_prepared_replay,
     ablation_indexed_placement,
+    ablation_sharded_replay,
     ablation_sim_reuse
 );
 criterion_main!(benches);

@@ -173,7 +173,7 @@ pub fn help() -> String {
          \u{20}  regions                            per-region CI and best design\n\
          \u{20}  defer     --region NAME [--runtime H] [--cores N]\n\
          \u{20}  faults    --design NAME [--afr-scale X] [--fip F] [--years Y] [--fault-seed S]\n\
-         \u{20}  fleet     --design NAME [--traces N] [--workers N] [--hours H] [--seed S]\n\nSKUs: ",
+         \u{20}  fleet     --design NAME [--traces N] [--workers N] [--shards K] [--hours H] [--seed S]\n\nSKUs: ",
     );
     out.push_str(&SKU_NAMES.join(", "));
     out.push('\n');
@@ -528,6 +528,7 @@ fn fleet_cmd(args: &Args) -> Result<String, CliError> {
     let design = design_by_name(args.get_or("design", "full"))?;
     let n: usize = args.get_num("traces", 4usize)?;
     let workers: usize = args.get_num("workers", gsf_cluster::parallel::default_workers())?;
+    let shards: usize = args.get_num("shards", 1usize)?;
     let hours = args.get_num("hours", 24.0)?;
     let arrivals = args.get_num("arrivals", 80.0)?;
     let seed = args.get_num("seed", 42u64)?;
@@ -538,13 +539,16 @@ fn fleet_cmd(args: &Args) -> Result<String, CliError> {
     });
     let factory = SeedFactory::new(seed);
     let traces: Vec<Trace> = (0..n.max(1) as u64).map(|i| gen.generate(&factory, i)).collect();
-    let pipeline = GsfPipeline::new(PipelineConfig::default());
+    let pipeline =
+        GsfPipeline::new(PipelineConfig { shards: shards.max(1), ..PipelineConfig::default() });
     let o = pipeline.evaluate_fleet(&design, &traces, workers.max(1))?;
     Ok(format!(
-        "{} across {} traces ({} workers):\n  cluster savings: mean {}  min {}  max {}\n  DC savings:      mean {}\n",
+        "{} across {} traces ({} workers, {} shard{}):\n  cluster savings: mean {}  min {}  max {}\n  DC savings:      mean {}\n",
         design.name(),
         traces.len(),
         workers.max(1),
+        shards.max(1),
+        if shards.max(1) == 1 { "" } else { "s" },
         fmt_pct(o.mean_cluster_savings, 1),
         fmt_pct(o.min_cluster_savings, 1),
         fmt_pct(o.max_cluster_savings, 1),
@@ -727,5 +731,28 @@ mod tests {
         // Worker count must not change the numbers, only the schedule.
         let tail = |s: &str| s.split(':').skip(1).collect::<String>();
         assert_eq!(tail(&serial), tail(&parallel));
+    }
+
+    #[test]
+    fn fleet_accepts_shards_flag() {
+        let base = ["--design", "full", "--traces", "1", "--hours", "4", "--arrivals", "30"];
+        let argv = |extra: &[&'static str]| -> Vec<&'static str> {
+            let mut v = vec!["fleet"];
+            v.extend_from_slice(&base);
+            v.extend_from_slice(extra);
+            v
+        };
+        // --shards 1 is the unsharded engine: identical numbers to the
+        // flagless invocation.
+        let flagless = run(&argv(&[])).unwrap();
+        let one = run(&argv(&["--shards", "1"])).unwrap();
+        assert!(one.contains("1 shard)"), "{one}");
+        let tail = |s: &str| s.split(':').skip(1).collect::<String>();
+        assert_eq!(tail(&flagless), tail(&one));
+        // Multi-shard runs report the shard count and still size a
+        // working cluster (savings line present).
+        let sharded = run(&argv(&["--shards", "3"])).unwrap();
+        assert!(sharded.contains("3 shards)"), "{sharded}");
+        assert!(sharded.contains("cluster savings"), "{sharded}");
     }
 }

@@ -9,7 +9,9 @@
 //! - [`savings`] — cluster-level emissions and the savings-vs-carbon-
 //!   intensity sweep behind Figs. 11/12;
 //! - [`parallel`] — runs per-trace work across threads (the 35-trace
-//!   packing study of Figs. 9/10).
+//!   packing study of Figs. 9/10);
+//! - [`sharded`] — the multi-worker driver and sizing knobs for the
+//!   sharded replay engine (parallelism *within* one simulation).
 
 #![warn(missing_docs)]
 #![warn(clippy::unwrap_used)]
@@ -17,10 +19,14 @@
 pub mod buffer;
 pub mod parallel;
 pub mod savings;
+pub mod sharded;
 pub mod sizing;
 
 pub use buffer::GrowthBufferPolicy;
 pub use savings::{cluster_emissions, savings_fraction};
+pub use sharded::{
+    replay_sharded, right_size_baseline_only_prepared_sharded, right_size_mixed_prepared_sharded,
+};
 pub use sizing::{
     right_size_baseline_only, right_size_baseline_only_faulted, right_size_baseline_only_prepared,
     right_size_baseline_only_prepared_linear, right_size_baseline_only_unprepared,

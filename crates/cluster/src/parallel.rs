@@ -56,6 +56,52 @@ where
     results.into_iter().map(|slot| slot.into_inner().expect("every index was processed")).collect()
 }
 
+/// Applies `f` to every item with **exclusive** access, on a pool of
+/// worker threads, returning results in input order. The sharded replay
+/// driver runs `&mut` shard tasks through this; like [`map_parallel`],
+/// a single worker runs inline and work is claimed from a shared index,
+/// so the result vector is identical for any worker count whenever `f`
+/// is deterministic per item.
+pub fn map_parallel_mut<T, R, F>(items: &mut [T], workers: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut T) -> R + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, items.len());
+    if workers == 1 {
+        return items.iter_mut().enumerate().map(|(i, item)| f(i, item)).collect();
+    }
+    let n = items.len();
+    let next = Mutex::new(0usize);
+    // Each slot hands its `&mut T` to exactly one worker.
+    let slots: Vec<Mutex<Option<&mut T>>> =
+        items.iter_mut().map(|item| Mutex::new(Some(item))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = {
+                    let mut guard = next.lock();
+                    let i = *guard;
+                    if i >= n {
+                        break;
+                    }
+                    *guard += 1;
+                    i
+                };
+                let item = slots[i].lock().take().expect("each index is claimed once");
+                *results[i].lock() = Some(f(i, item));
+            });
+        }
+    })
+    .expect("worker threads do not panic");
+    results.into_iter().map(|slot| slot.into_inner().expect("every index was processed")).collect()
+}
+
 #[cfg(test)]
 #[allow(clippy::unwrap_used)]
 mod tests {
@@ -136,6 +182,38 @@ mod tests {
             (x, acc)
         });
         assert_eq!(out, serial);
+    }
+
+    #[test]
+    fn mut_variant_mutates_and_preserves_order() {
+        let mut items: Vec<u64> = (0..40).collect();
+        let out = map_parallel_mut(&mut items, 8, |i, x| {
+            *x += 100;
+            (i, *x)
+        });
+        assert_eq!(out, (0..40).map(|i| (i as usize, i as u64 + 100)).collect::<Vec<_>>());
+        assert_eq!(items, (100..140).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn mut_variant_worker_count_invariant() {
+        let run = |workers: usize| {
+            let mut items: Vec<u64> = (0..33).collect();
+            map_parallel_mut(&mut items, workers, |_, x| {
+                *x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                *x
+            })
+        };
+        let serial = run(1);
+        for workers in [2, 4, 16, 64] {
+            assert_eq!(run(workers), serial);
+        }
+    }
+
+    #[test]
+    fn mut_variant_empty_input() {
+        let out: Vec<u64> = map_parallel_mut(&mut Vec::<u64>::new(), 4, |_, &mut x| x);
+        assert!(out.is_empty());
     }
 
     #[test]

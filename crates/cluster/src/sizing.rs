@@ -143,15 +143,14 @@ fn binary_search_min(lo: u32, hi: u32, mut pred: impl FnMut(u32) -> bool) -> Opt
 }
 
 /// The baseline-only search skeleton: peak-demand lower bound, 4× upper
-/// bound (minimum 8), binary search over `probe`. `linear_selection`
-/// switches the probe simulator to the linear reference scan instead of
-/// the placement index (see [`AllocationSim::with_linear_selection`]).
-fn baseline_search(
+/// bound (minimum 8), binary search over `probe`. The probe captures
+/// its own simulator (indexed, linear, or sharded — the skeleton is
+/// engine-agnostic) and answers whether one candidate configuration
+/// hosts the trace.
+pub(crate) fn baseline_search(
     peak_demand: (u64, f64),
     baseline_shape: ServerShape,
-    policy: PlacementPolicy,
-    linear_selection: bool,
-    mut probe: impl FnMut(&mut AllocationSim, ClusterConfig) -> bool,
+    mut probe: impl FnMut(ClusterConfig) -> bool,
 ) -> Result<u32, SizingError> {
     let (peak_cores, peak_mem) = peak_demand;
     let by_cores = peak_cores.div_ceil(u64::from(baseline_shape.cores));
@@ -164,24 +163,17 @@ fn baseline_search(
         green_count: 0,
         green_shape: ServerShape::greensku(),
     };
-    let mut sim = AllocationSim::new(config(0), policy);
-    if linear_selection {
-        sim = sim.with_linear_selection();
-    }
-    binary_search_min(lower, bound, |n| probe(&mut sim, config(n)))
-        .ok_or(SizingError::Infeasible { bound })
+    binary_search_min(lower, bound, |n| probe(config(n))).ok_or(SizingError::Infeasible { bound })
 }
 
 /// The mixed-cluster search skeleton given a right-sized baseline-only
 /// count `n0`: fewest baseline servers first (with an adaptively
 /// doubling green cap), then fewest GreenSKUs.
-fn mixed_search(
+pub(crate) fn mixed_search(
     n0: u32,
     baseline_shape: ServerShape,
     green_shape: ServerShape,
-    policy: PlacementPolicy,
-    linear_selection: bool,
-    mut probe: impl FnMut(&mut AllocationSim, ClusterConfig) -> bool,
+    mut probe: impl FnMut(ClusterConfig) -> bool,
 ) -> Result<ClusterPlan, SizingError> {
     // A green server is at least as large as a baseline server in both
     // dimensions for the standard shapes; scale the green cap by the
@@ -199,17 +191,13 @@ fn mixed_search(
         green_count: g,
         green_shape,
     };
-    let mut sim = AllocationSim::new(config(0, 0), policy);
-    if linear_selection {
-        sim = sim.with_linear_selection();
-    }
 
     // Fewest baseline servers first (the residual pool for non-adopting
     // and full-node VMs). When even the full baseline pool rejects at
     // the current green cap, the cap itself is the constraint (large
     // scaling factors, packing anomalies) — double it and retry.
     let mut b_min = loop {
-        let found = binary_search_min(0, n0, |b| probe(&mut sim, config(b, green_cap)));
+        let found = binary_search_min(0, n0, |b| probe(config(b, green_cap)));
         if let Some(b) = found {
             break b;
         }
@@ -222,7 +210,7 @@ fn mixed_search(
     // would free; keep doubling while that shrinks the baseline count.
     while b_min > 0 && green_cap < cap_limit {
         let doubled = green_cap.saturating_mul(2).min(cap_limit);
-        match binary_search_min(0, b_min - 1, |b| probe(&mut sim, config(b, doubled))) {
+        match binary_search_min(0, b_min - 1, |b| probe(config(b, doubled))) {
             Some(b) => {
                 green_cap = doubled;
                 b_min = b;
@@ -235,7 +223,7 @@ fn mixed_search(
     // probes are deterministic, so this search cannot come up empty —
     // but report Infeasible rather than panicking if that invariant is
     // ever broken.
-    let g_min = binary_search_min(0, green_cap, |g| probe(&mut sim, config(b_min, g)))
+    let g_min = binary_search_min(0, green_cap, |g| probe(config(b_min, g)))
         .ok_or(SizingError::Infeasible { bound: n0 + green_cap })?;
     Ok(ClusterPlan { baseline: b_min, green: g_min })
 }
@@ -321,13 +309,13 @@ fn baseline_only_prepared_impl(
     linear_selection: bool,
 ) -> Result<u32, SizingError> {
     let faults = faults.filter(|f| !f.model.is_none());
-    baseline_search(
-        prepared.peak_demand(),
-        baseline_shape,
-        policy,
-        linear_selection,
-        |sim, config| feasible_prepared(sim, prepared, config, faults),
-    )
+    let mut sim = AllocationSim::new(ClusterConfig::baseline_only(0), policy);
+    if linear_selection {
+        sim = sim.with_linear_selection();
+    }
+    baseline_search(prepared.peak_demand(), baseline_shape, |config| {
+        feasible_prepared(&mut sim, prepared, config, faults)
+    })
 }
 
 /// Reference baseline-only sizing on the unprepared replay engine with
@@ -348,8 +336,10 @@ pub fn right_size_baseline_only_unprepared(
 ) -> Result<u32, SizingError> {
     let faults = faults.filter(|f| !f.model.is_none());
     let transform = |vm: &gsf_workloads::VmSpec| gsf_vmalloc::PlacementRequest::baseline_only(vm);
-    baseline_search(trace.peak_demand(), baseline_shape, policy, true, |sim, config| {
-        feasible_unprepared(sim, trace, &transform, config, faults)
+    let mut sim =
+        AllocationSim::new(ClusterConfig::baseline_only(0), policy).with_linear_selection();
+    baseline_search(trace.peak_demand(), baseline_shape, |config| {
+        feasible_unprepared(&mut sim, trace, &transform, config, faults)
     })
 }
 
@@ -477,8 +467,12 @@ fn mixed_prepared_impl(
         faults,
         linear_selection,
     )?;
-    mixed_search(n0, baseline_shape, green_shape, policy, linear_selection, |sim, config| {
-        feasible_prepared(sim, prepared, config, faults)
+    let mut sim = AllocationSim::new(ClusterConfig::baseline_only(0), policy);
+    if linear_selection {
+        sim = sim.with_linear_selection();
+    }
+    mixed_search(n0, baseline_shape, green_shape, |config| {
+        feasible_prepared(&mut sim, prepared, config, faults)
     })
 }
 
@@ -500,8 +494,10 @@ pub fn right_size_mixed_unprepared(
 ) -> Result<ClusterPlan, SizingError> {
     let faults = faults.filter(|f| !f.model.is_none());
     let n0 = right_size_baseline_only_unprepared(trace, baseline_shape, policy, faults)?;
-    mixed_search(n0, baseline_shape, green_shape, policy, true, |sim, config| {
-        feasible_unprepared(sim, trace, transform, config, faults)
+    let mut sim =
+        AllocationSim::new(ClusterConfig::baseline_only(0), policy).with_linear_selection();
+    mixed_search(n0, baseline_shape, green_shape, |config| {
+        feasible_unprepared(&mut sim, trace, transform, config, faults)
     })
 }
 

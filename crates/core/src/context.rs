@@ -113,13 +113,25 @@ impl KeyWriter {
     }
 }
 
-/// Structural key for the memoized sizing searches: the exact trace
-/// encoding plus everything the sizing + replay stage depends on — the
-/// router's per-(application, generation) decision table, both server
-/// shapes, the placement policy, the growth-buffer fraction, and the
-/// fault-model signature (so fault-injected and fault-free evaluations
-/// never share an entry, keeping cached and uncached paths
-/// bit-identical in both modes).
+/// Structural key for the memoized sizing searches: the trace's 128-bit
+/// [`Trace::content_hash`] plus everything the sizing + replay stage
+/// depends on — the router's per-(application, generation) decision
+/// table, both server shapes, the placement policy, the growth-buffer
+/// fraction, the fault-model signature (so fault-injected and
+/// fault-free evaluations never share an entry, keeping cached and
+/// uncached paths bit-identical in both modes), and the shard
+/// signature `(shards, SHARD_ROUTING_VERSION)` — sharded and unsharded
+/// sizings have different semantics and must never share an entry.
+///
+/// The key used to embed the *entire trace byte stream*
+/// (`w.bytes(&trace.encode())`), making every cache probe O(trace) to
+/// build, hash, and compare — on fleet-sized traces the key machinery
+/// cost more than some of the probes it memoized. The content hash
+/// keeps the key O(1)-sized; hashing still walks the trace once, but
+/// without allocating the encode buffer, and equality checks are now
+/// constant-time. The hash covers every encoded field bit-for-bit, so
+/// the only behavior change from byte-stream keys would be a 128-bit
+/// collision between distinct traces.
 ///
 /// The carbon intensity is deliberately *not* part of the key: sizing
 /// depends on the grid only through the adoption decisions, so two
@@ -137,9 +149,14 @@ impl SizingKey {
         policy: PlacementPolicy,
         buffer_fraction: f64,
         fault_signature: &[u64],
+        shards: usize,
     ) -> Self {
         let mut w = KeyWriter::default();
-        w.bytes(&trace.encode());
+        let (h0, h1) = trace.content_hash();
+        w.u64(h0);
+        w.u64(h1);
+        w.u64(shards.max(1) as u64);
+        w.u64(gsf_vmalloc::SHARD_ROUTING_VERSION);
         w.u64(decision_signature.len() as u64);
         for &word in decision_signature {
             w.u64(word);
@@ -162,19 +179,24 @@ impl SizingKey {
     }
 }
 
-/// Structural key for the prepared-trace cache: the exact trace
-/// encoding plus the routing decision table the plan was resolved
-/// against. A [`PreparedTrace`] depends on nothing else — not the
-/// cluster shapes, policy, buffer, or fault model — so one plan serves
-/// every sizing probe, buffer level, and fault configuration of a
-/// routing-identical sweep.
+/// Structural key for the prepared-trace cache: the trace's 128-bit
+/// [`Trace::content_hash`] plus the routing decision table the plan was
+/// resolved against. A [`PreparedTrace`] depends on nothing else — not
+/// the cluster shapes, policy, buffer, fault model, or shard count
+/// (shard routing consumes a prepared trace, it does not change one) —
+/// so one plan serves every sizing probe, buffer level, shard count,
+/// and fault configuration of a routing-identical sweep. Like
+/// [`SizingKey`], the content hash replaces the former O(trace)
+/// embedded byte stream.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct PreparedKey(Vec<u64>);
 
 impl PreparedKey {
     fn of(trace: &Trace, decision_signature: &[u64]) -> Self {
         let mut w = KeyWriter::default();
-        w.bytes(&trace.encode());
+        let (h0, h1) = trace.content_hash();
+        w.u64(h0);
+        w.u64(h1);
         w.u64(decision_signature.len() as u64);
         for &word in decision_signature {
             w.u64(word);
@@ -341,7 +363,8 @@ impl EvalContext {
 
     /// Runs (or replays) the sizing + replay stage for one pipeline
     /// evaluation, memoized by the exact `(trace, decision table,
-    /// shapes, policy, buffer)` inputs.
+    /// shapes, policy, buffer, faults, shards)` inputs. `shards <= 1`
+    /// keys identically to `1` — both select the unsharded semantics.
     ///
     /// `compute` must be a pure function of those inputs — it is run on
     /// a miss and its result is shared with every later bit-identical
@@ -360,6 +383,7 @@ impl EvalContext {
         policy: PlacementPolicy,
         buffer_fraction: f64,
         fault_signature: &[u64],
+        shards: usize,
         compute: impl FnOnce() -> Result<SizingOutcome, E>,
     ) -> Result<Arc<SizingOutcome>, E> {
         let Some(sizing) = &self.sizing else {
@@ -374,6 +398,7 @@ impl EvalContext {
             policy,
             buffer_fraction,
             fault_signature,
+            shards,
         );
         if let Some(hit) = sizing.lock().get(&key) {
             self.sizing_hits.fetch_add(1, Ordering::Relaxed);
@@ -563,32 +588,32 @@ mod tests {
         let shape = ServerShape { cores: 80, mem_gb: 768.0 };
         let ctx = EvalContext::new();
         let a = ctx
-            .sizing(&trace, &sig, shape, shape, PlacementPolicy::BestFit, 0.1, &none, outcome)
+            .sizing(&trace, &sig, shape, shape, PlacementPolicy::BestFit, 0.1, &none, 1, outcome)
             .unwrap();
         let b = ctx
-            .sizing(&trace, &sig, shape, shape, PlacementPolicy::BestFit, 0.1, &none, outcome)
+            .sizing(&trace, &sig, shape, shape, PlacementPolicy::BestFit, 0.1, &none, 1, outcome)
             .unwrap();
         assert!(Arc::ptr_eq(&a, &b), "second lookup must be a hit");
         // Any changed input misses: decision table, policy, buffer,
         // fault model.
-        ctx.sizing(&trace, &[9u64], shape, shape, PlacementPolicy::BestFit, 0.1, &none, outcome)
+        ctx.sizing(&trace, &[9u64], shape, shape, PlacementPolicy::BestFit, 0.1, &none, 1, outcome)
             .unwrap();
-        ctx.sizing(&trace, &sig, shape, shape, PlacementPolicy::FirstFit, 0.1, &none, outcome)
+        ctx.sizing(&trace, &sig, shape, shape, PlacementPolicy::FirstFit, 0.1, &none, 1, outcome)
             .unwrap();
-        ctx.sizing(&trace, &sig, shape, shape, PlacementPolicy::BestFit, 0.2, &none, outcome)
+        ctx.sizing(&trace, &sig, shape, shape, PlacementPolicy::BestFit, 0.2, &none, 1, outcome)
             .unwrap();
         let faulted = gsf_maintenance::FaultModel::paper(3).signature();
-        ctx.sizing(&trace, &sig, shape, shape, PlacementPolicy::BestFit, 0.1, &faulted, outcome)
+        ctx.sizing(&trace, &sig, shape, shape, PlacementPolicy::BestFit, 0.1, &faulted, 1, outcome)
             .unwrap();
         let s = ctx.stats();
         assert_eq!((s.sizing_hits, s.sizing_misses, s.sizing_entries), (1, 5, 5));
 
         let passthrough = EvalContext::uncached();
         let c = passthrough
-            .sizing(&trace, &sig, shape, shape, PlacementPolicy::BestFit, 0.1, &none, outcome)
+            .sizing(&trace, &sig, shape, shape, PlacementPolicy::BestFit, 0.1, &none, 1, outcome)
             .unwrap();
         let d = passthrough
-            .sizing(&trace, &sig, shape, shape, PlacementPolicy::BestFit, 0.1, &none, outcome)
+            .sizing(&trace, &sig, shape, shape, PlacementPolicy::BestFit, 0.1, &none, 1, outcome)
             .unwrap();
         assert!(!Arc::ptr_eq(&c, &d), "uncached context recomputes");
         assert_eq!(passthrough.stats().sizing_entries, 0);
@@ -623,6 +648,127 @@ mod tests {
         assert!(!Arc::ptr_eq(&d, &e), "uncached context rebuilds");
         assert_eq!(*d, *e, "...but the plans are identical");
         assert_eq!(passthrough.stats().prepared_entries, 0);
+    }
+
+    #[test]
+    fn sizing_key_includes_shard_signature() {
+        use gsf_stats::rng::SeedFactory;
+        use gsf_workloads::{TraceGenerator, TraceParams};
+        let trace = TraceGenerator::new(TraceParams {
+            duration_hours: 1.0,
+            arrivals_per_hour: 5.0,
+            ..TraceParams::default()
+        })
+        .generate(&SeedFactory::new(3), 0);
+        let replay = {
+            let mut sim = gsf_vmalloc::AllocationSim::new(
+                gsf_vmalloc::ClusterConfig::baseline_only(4),
+                PlacementPolicy::BestFit,
+            );
+            sim.replay(&trace, &|vm| gsf_vmalloc::PlacementRequest::baseline_only(vm))
+        };
+        let outcome = |n: u32| {
+            let replay = replay.clone();
+            move || {
+                Ok::<_, CarbonError>(SizingOutcome {
+                    baseline_only: n,
+                    plan: ClusterPlan { baseline: n, green: 0 },
+                    replay: replay.clone(),
+                    faults: FaultSummary::default(),
+                })
+            }
+        };
+        let sig = [1u64];
+        let none = gsf_maintenance::FaultModel::none().signature();
+        let shape = ServerShape { cores: 80, mem_gb: 768.0 };
+        let ctx = EvalContext::new();
+        let run = |shards: usize, n: u32| {
+            ctx.sizing(
+                &trace,
+                &sig,
+                shape,
+                shape,
+                PlacementPolicy::BestFit,
+                0.1,
+                &none,
+                shards,
+                outcome(n),
+            )
+            .unwrap()
+        };
+        let a = run(1, 7);
+        // shards = 0 and shards = 1 both mean "unsharded" and share an
+        // entry; any larger count is a distinct semantics and must miss.
+        assert!(Arc::ptr_eq(&a, &run(0, 99)), "0 and 1 key identically");
+        let b = run(4, 11);
+        assert!(!Arc::ptr_eq(&a, &b), "shard counts must not share entries");
+        assert_eq!(b.baseline_only, 11);
+        let s = ctx.stats();
+        assert_eq!((s.sizing_hits, s.sizing_misses, s.sizing_entries), (1, 2, 2));
+    }
+
+    #[test]
+    fn content_hash_keys_preserve_hit_miss_behavior() {
+        // The content-hash keys must hit exactly when the byte-stream
+        // keys hit: a structurally identical trace (rebuilt through the
+        // codec, different allocation) hits; any field change misses.
+        use gsf_stats::rng::SeedFactory;
+        use gsf_workloads::{TraceGenerator, TraceParams};
+        let trace = TraceGenerator::new(TraceParams {
+            duration_hours: 1.0,
+            arrivals_per_hour: 8.0,
+            ..TraceParams::default()
+        })
+        .generate(&SeedFactory::new(9), 0);
+        let rebuilt = Trace::decode(trace.encode()).unwrap();
+        let other = TraceGenerator::new(TraceParams {
+            duration_hours: 1.0,
+            arrivals_per_hour: 8.0,
+            ..TraceParams::default()
+        })
+        .generate(&SeedFactory::new(9), 1);
+        assert_eq!(trace, rebuilt);
+        assert_ne!(trace, other);
+
+        let sig = [1u64];
+        let ctx = EvalContext::new();
+        let build = |t: &Trace| {
+            let t = t.clone();
+            move || PreparedTrace::new(&t, &|vm| gsf_vmalloc::PlacementRequest::baseline_only(vm))
+        };
+        let a = ctx.prepared(&trace, &sig, build(&trace));
+        let b = ctx.prepared(&rebuilt, &sig, build(&rebuilt));
+        assert!(Arc::ptr_eq(&a, &b), "identical content must hit across allocations");
+        let c = ctx.prepared(&other, &sig, build(&other));
+        assert!(!Arc::ptr_eq(&a, &c), "different trace must miss");
+        let s = ctx.stats();
+        assert_eq!((s.prepared_hits, s.prepared_misses, s.prepared_entries), (1, 2, 2));
+
+        // Same discrimination for the sizing cache.
+        let replay = {
+            let mut sim = gsf_vmalloc::AllocationSim::new(
+                gsf_vmalloc::ClusterConfig::baseline_only(4),
+                PlacementPolicy::BestFit,
+            );
+            sim.replay(&trace, &|vm| gsf_vmalloc::PlacementRequest::baseline_only(vm))
+        };
+        let outcome = || {
+            Ok::<_, CarbonError>(SizingOutcome {
+                baseline_only: 1,
+                plan: ClusterPlan { baseline: 1, green: 0 },
+                replay: replay.clone(),
+                faults: FaultSummary::default(),
+            })
+        };
+        let none = gsf_maintenance::FaultModel::none().signature();
+        let shape = ServerShape { cores: 80, mem_gb: 768.0 };
+        let run = |t: &Trace| {
+            ctx.sizing(t, &sig, shape, shape, PlacementPolicy::BestFit, 0.1, &none, 1, outcome)
+                .unwrap()
+        };
+        let x = run(&trace);
+        assert!(Arc::ptr_eq(&x, &run(&rebuilt)));
+        assert!(!Arc::ptr_eq(&x, &run(&other)));
     }
 
     #[test]

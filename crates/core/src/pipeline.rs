@@ -13,14 +13,18 @@ use gsf_carbon::{Assessment, ModelParams};
 use gsf_cluster::{
     buffer::GrowthBufferPolicy,
     savings::savings_fraction,
+    sharded::{
+        replay_sharded, right_size_baseline_only_prepared_sharded,
+        right_size_mixed_prepared_sharded,
+    },
     sizing::{
         right_size_baseline_only_prepared, right_size_mixed_prepared, ClusterPlan, FaultInjection,
     },
 };
 use gsf_maintenance::{FaultModel, PoolDevices};
 use gsf_vmalloc::{
-    AllocationSim, ClusterConfig, FaultSummary, PlacementPolicy, PlacementRequest, PreparedTrace,
-    ServerShape, SimOutcome,
+    AllocationSim, ClusterConfig, FaultPlan, FaultSummary, PlacementPolicy, PlacementRequest,
+    PreparedTrace, ServerShape, ShardedSim, SimOutcome,
 };
 use gsf_workloads::{catalog, ApplicationModel, FleetMix, ServerGeneration, Trace, VmSpec};
 use serde::{Deserialize, Serialize};
@@ -52,6 +56,14 @@ pub struct PipelineConfig {
     /// and the final replay, so plans provision against failure-induced
     /// capacity loss.
     pub faults: FaultModel,
+    /// Shard count for the replay engine. `<= 1` (the default) uses the
+    /// unsharded engine bit-for-bit. `> 1` partitions every cluster into
+    /// that many shards, routes each VM to a home shard by a stable hash
+    /// (see `gsf_vmalloc::shard`), and replays shards on
+    /// `gsf_cluster::parallel::default_workers()` threads — a *different*
+    /// (deterministic) semantics from the unsharded engine, never a mere
+    /// execution detail, which is why the sizing cache keys on it.
+    pub shards: usize,
 }
 
 impl Default for PipelineConfig {
@@ -64,6 +76,7 @@ impl Default for PipelineConfig {
             renewable_fraction: DEFAULT_RENEWABLE_FRACTION,
             maintenance: DefaultMaintenance::paper(),
             faults: FaultModel::none(),
+            shards: 1,
         }
     }
 }
@@ -347,6 +360,7 @@ impl GsfPipeline {
             self.config.policy,
             self.config.buffer.capacity_fraction,
             &fault_model.signature(),
+            self.config.shards,
             || -> Result<crate::context::SizingOutcome, GsfError> {
                 let injection =
                     FaultInjection { model: fault_model, baseline_devices, green_devices };
@@ -363,6 +377,53 @@ impl GsfPipeline {
                 let prepared_baseline = self.ctx.prepared(trace, &[], || {
                     PreparedTrace::new(trace, &|vm: &VmSpec| PlacementRequest::baseline_only(vm))
                 });
+                let shards = self.config.shards;
+                if shards > 1 {
+                    // Sharded semantics: same searches, sharded probes,
+                    // per-shard replay on worker threads. The result is
+                    // deterministic for any worker count; only `shards`
+                    // changes what is computed.
+                    let workers = gsf_cluster::parallel::default_workers();
+                    let n0 = right_size_baseline_only_prepared_sharded(
+                        &prepared_baseline,
+                        baseline_shape,
+                        self.config.policy,
+                        faults,
+                        shards,
+                        workers,
+                    )?;
+                    let plan = right_size_mixed_prepared_sharded(
+                        &prepared,
+                        &prepared_baseline,
+                        baseline_shape,
+                        green_shape,
+                        self.config.policy,
+                        faults,
+                        shards,
+                        workers,
+                    )?;
+                    let plan_buffered =
+                        self.config.buffer.apply(&plan, baseline_shape.cores, green_shape.cores);
+                    let config = ClusterConfig {
+                        baseline_count: plan_buffered.baseline,
+                        baseline_shape,
+                        green_count: plan_buffered.green,
+                        green_shape,
+                    };
+                    let mut sim = ShardedSim::new(config, self.config.policy, shards);
+                    let fault_plan = match faults {
+                        None => FaultPlan::empty(),
+                        Some(inj) => inj.plan_for(&config, trace.duration_s()),
+                    };
+                    let (replay, fault_summary) =
+                        replay_sharded(&mut sim, &prepared, &fault_plan, workers);
+                    return Ok(crate::context::SizingOutcome {
+                        baseline_only: n0,
+                        plan,
+                        replay,
+                        faults: fault_summary,
+                    });
+                }
                 let n0 = right_size_baseline_only_prepared(
                     &prepared_baseline,
                     baseline_shape,

@@ -12,6 +12,12 @@
 //!   `thread_rng`, `from_entropy`) outside benches, binary mains, and
 //!   test modules. Model outputs must be a pure function of explicit
 //!   seeds and inputs or the carbon numbers are unauditable.
+//! * **D3** `thread::spawn` in model-crate library code. Unscoped
+//!   ad-hoc threads are how nondeterministic scheduling leaks into
+//!   model results; all model parallelism must route through the
+//!   order-preserving drivers in `cluster/src/parallel.rs` (the one
+//!   file exempt from this rule), whose results are identical for any
+//!   worker count.
 //! * **N1** `partial_cmp(..).unwrap()/.expect(..)` comparator chains.
 //!   They panic on NaN *and* depend on `PartialOrd`'s partial order;
 //!   `f64::total_cmp` is panic-free and a deterministic total order.
@@ -30,6 +36,8 @@ pub enum RuleId {
     D1,
     /// Wall-clock / entropy outside benches, mains, and tests.
     D2,
+    /// `thread::spawn` in model code outside `parallel.rs`.
+    D3,
     /// NaN-panicking `partial_cmp` comparator chains.
     N1,
     /// Float-literal `==`/`!=` in model code.
@@ -42,13 +50,15 @@ pub enum RuleId {
 
 impl RuleId {
     /// All suppressible rules, in catalog order.
-    pub const CATALOG: [RuleId; 5] = [RuleId::D1, RuleId::D2, RuleId::N1, RuleId::N2, RuleId::P1];
+    pub const CATALOG: [RuleId; 6] =
+        [RuleId::D1, RuleId::D2, RuleId::D3, RuleId::N1, RuleId::N2, RuleId::P1];
 
     /// The id as written in diagnostics and `allow(..)` directives.
     pub fn as_str(self) -> &'static str {
         match self {
             RuleId::D1 => "D1",
             RuleId::D2 => "D2",
+            RuleId::D3 => "D3",
             RuleId::N1 => "N1",
             RuleId::N2 => "N2",
             RuleId::P1 => "P1",
@@ -141,6 +151,12 @@ pub fn run(ctx: FileCtx<'_>, tokens: &[Tok], exempt: &[bool]) -> Vec<RawFinding>
                 if !ctx.d2_exempt() {
                     d2(&mut out, tokens, i, tok);
                 }
+                // `parallel.rs` is the one sanctioned home for model
+                // threading: its drivers return results in input order
+                // for any worker count.
+                if ctx.is_model() && ctx.file_name != "parallel.rs" {
+                    d3(&mut out, tokens, i, tok);
+                }
                 n1(&mut out, tokens, i, tok);
                 p1(&mut out, tokens, i, tok);
             }
@@ -167,6 +183,25 @@ fn d2(out: &mut Vec<RawFinding>, tokens: &[Tok], i: usize, tok: &Tok) {
                 tok.text,
                 if entropy { "ambient entropy" } else { "wall-clock time" }
             ),
+        ));
+    }
+}
+
+fn d3(out: &mut Vec<RawFinding>, tokens: &[Tok], i: usize, tok: &Tok) {
+    // Matches the token sequence `thread :: spawn` (so both
+    // `std::thread::spawn(..)` and a `use`-imported `thread::spawn`).
+    // Scoped-pool spawns (`scope.spawn`, crossbeam's `s.spawn`) do not
+    // match: those are the sanctioned shape, inside `parallel.rs`.
+    if tok.text == "thread"
+        && punct_is(tokens.get(i + 1), "::")
+        && ident_is(tokens.get(i + 2), "spawn")
+    {
+        out.push(finding(
+            RuleId::D3,
+            tok,
+            "`thread::spawn` in model code schedules work nondeterministically; route \
+             parallelism through the order-preserving drivers in `cluster/src/parallel.rs` \
+             (exempt from this rule) so results are identical for any worker count",
         ));
     }
 }

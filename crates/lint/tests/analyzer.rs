@@ -78,6 +78,31 @@ fn d2_exempts_bench_and_binary_mains() {
 }
 
 #[test]
+fn d3_fires_on_both_spawn_spellings() {
+    let f = run(MODEL, "d3_violation.rs");
+    // `thread::spawn` and `std::thread::spawn`, one per line.
+    assert_eq!(rules_of(&f), vec![RuleId::D3; 2]);
+    assert_eq!(f.iter().map(|x| x.line).collect::<Vec<_>>(), vec![5, 6]);
+    assert!(f[0].message.contains("parallel.rs"), "{}", f[0].message);
+}
+
+#[test]
+fn d3_clean_scoped_suppressed_and_test_exempt() {
+    assert!(run(MODEL, "d3_clean.rs").is_empty());
+}
+
+#[test]
+fn d3_exempts_parallel_rs_and_non_model_crates() {
+    let parallel = FileCtx { crate_name: "cluster", file_name: "parallel.rs" };
+    assert!(run(parallel, "d3_violation.rs").is_empty());
+    let cli = FileCtx { crate_name: "cli", file_name: "commands.rs" };
+    assert!(run(cli, "d3_violation.rs").is_empty());
+    // The same code elsewhere in a model crate still fires.
+    let elsewhere = FileCtx { crate_name: "cluster", file_name: "sharded.rs" };
+    assert_eq!(run(elsewhere, "d3_violation.rs").len(), 2);
+}
+
+#[test]
 fn n1_fires_on_expect_and_unwrap_chains() {
     let f = run(MODEL, "n1_violation.rs");
     assert_eq!(rules_of(&f), vec![RuleId::N1; 2]);

@@ -1,0 +1,10 @@
+//! D3 fixture: ad-hoc threads in library code.
+use std::thread;
+
+pub fn fan_out(xs: Vec<u64>) -> Vec<u64> {
+    let handle = thread::spawn(move || xs.iter().map(|x| x * 2).collect::<Vec<_>>());
+    let more = std::thread::spawn(|| 7u64);
+    let mut out = handle.join().unwrap_or_default();
+    out.push(more.join().unwrap_or(0));
+    out
+}

@@ -23,6 +23,7 @@ pub mod metrics;
 pub mod policy;
 pub mod prepared;
 pub mod server;
+pub mod shard;
 pub mod simulator;
 pub mod usage;
 
@@ -33,5 +34,6 @@ pub use metrics::{PackingMetrics, PoolMetrics};
 pub use policy::PlacementPolicy;
 pub use prepared::PreparedTrace;
 pub use server::ServerState;
+pub use shard::{merge_outcomes, ShardPlan, ShardTask, ShardedSim, SHARD_ROUTING_VERSION};
 pub use simulator::{AllocationSim, PlacementRequest, SimOutcome, TargetPool, VmTransform};
 pub use usage::UsageLedger;

@@ -49,6 +49,14 @@ impl PoolMetrics {
     pub fn samples(&self) -> usize {
         self.core_density.count()
     }
+
+    /// Merges another pool's summaries (the sharded replay's
+    /// fixed-order reduction; see [`crate::shard`]).
+    pub(crate) fn merge(&mut self, other: &PoolMetrics) {
+        self.core_density.merge(&other.core_density);
+        self.mem_density.merge(&other.mem_density);
+        self.max_mem_util.merge(&other.max_mem_util);
+    }
 }
 
 /// Metrics for both pools of a cluster.
@@ -77,6 +85,14 @@ impl PackingMetrics {
     /// Number of snapshots taken.
     pub fn snapshots(&self) -> usize {
         self.snapshots
+    }
+
+    /// Merges another cluster's metrics; shard snapshots are summed,
+    /// so a K-shard replay reports K× the per-shard snapshot count.
+    pub(crate) fn merge(&mut self, other: &PackingMetrics) {
+        self.baseline.merge(&other.baseline);
+        self.green.merge(&other.green);
+        self.snapshots += other.snapshots;
     }
 }
 

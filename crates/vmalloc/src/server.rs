@@ -4,6 +4,27 @@ use crate::cluster::ServerShape;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
+/// Tolerance on memory-feasibility comparisons, GB. Placement sizes are
+/// products of trace memory and scaling factors, so requests that
+/// logically equal the free capacity can differ from it in the last
+/// bits; comparisons allow this much slack.
+pub(crate) const MEM_EPSILON_GB: f64 = 1e-9;
+
+/// The one memory-feasibility predicate: `free_gb` accommodates a
+/// `mem_gb` request when it covers it to within [`MEM_EPSILON_GB`].
+///
+/// Both admission ([`ServerState::fits`]) and violation detection
+/// ([`ServerState::degrade`]'s eviction loop, via a zero-size request)
+/// must route through this function. They previously used two
+/// independently written comparisons (`free >= mem - 1e-9` vs
+/// `allocated > capacity + 1e-9`), which tolerated a band where a
+/// server the admission side would call over-committed survived a
+/// degrade un-evicted; one shared predicate makes that drift
+/// impossible.
+pub(crate) fn mem_fits(free_gb: f64, mem_gb: f64) -> bool {
+    free_gb >= mem_gb - MEM_EPSILON_GB
+}
+
 /// A VM as placed on a server (possibly scaled relative to its trace
 /// request).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -91,7 +112,7 @@ impl ServerState {
     /// Whether a request of `cores`/`mem_gb` fits. An offline server
     /// fits nothing.
     pub fn fits(&self, cores: u32, mem_gb: f64) -> bool {
-        !self.offline && self.free_cores() >= cores && self.free_mem_gb() >= mem_gb - 1e-9
+        !self.offline && self.free_cores() >= cores && mem_fits(self.free_mem_gb(), mem_gb)
     }
 
     /// Whether the server has been taken offline by a full failure.
@@ -113,14 +134,15 @@ impl ServerState {
 
     /// Shrinks the server's usable shape in place (an FIP-absorbed
     /// partial failure), evicting the newest VMs (highest id first)
-    /// until the remaining allocation fits. Returns the evicted ids.
+    /// until the remaining allocation fits — "fits" judged by the same
+    /// [`mem_fits`] predicate admission uses (as a zero-size request
+    /// against the shrunken free capacity), so the eviction loop stops
+    /// exactly where [`Self::fits`] would start admitting again.
     pub fn degrade(&mut self, cores_lost: u32, mem_lost_gb: f64) -> Vec<u64> {
         self.shape.cores = self.shape.cores.saturating_sub(cores_lost);
         self.shape.mem_gb = (self.shape.mem_gb - mem_lost_gb.max(0.0)).max(0.0);
         let mut evicted = Vec::new();
-        while self.cores_allocated > self.shape.cores
-            || self.mem_allocated_gb > self.shape.mem_gb + 1e-9
-        {
+        while self.cores_allocated > self.shape.cores || !mem_fits(self.free_mem_gb(), 0.0) {
             let Some((&id, _)) = self.vms.last_key_value() else { break };
             self.remove(id);
             evicted.push(id);
@@ -303,6 +325,47 @@ mod tests {
             // pins is precisely the sub-epsilon drift.
             assert_eq!(s.mem_allocated_gb(), 0.0, "drift after round {round}");
             assert_eq!(s.free_mem_gb(), shape.mem_gb, "free-mem drift after round {round}");
+        }
+    }
+
+    #[test]
+    fn admission_and_eviction_share_one_memory_epsilon() {
+        // The drift this pins: `fits` and `degrade` previously wrote
+        // their memory comparisons independently (`free >= mem - 1e-9`
+        // vs `allocated > capacity + 1e-9`); both now route through
+        // `mem_fits`, so the eviction threshold sits exactly at the
+        // admission threshold. Probe both sides of the shared band.
+        let shape = ServerShape { cores: 16, mem_gb: 32.0 };
+
+        // Admission tolerates a request half an epsilon over the free
+        // capacity; the resulting over-commit is *feasible*, so a
+        // zero-loss degrade must not evict.
+        let mut s = ServerState::new(shape);
+        assert!(s.fits(1, 32.0 + 0.5 * MEM_EPSILON_GB));
+        s.place(1, PlacedVm { cores: 1, mem_gb: 32.0 + 0.5 * MEM_EPSILON_GB, max_mem_util: 0.5 });
+        assert!(s.degrade(0, 0.0).is_empty(), "within-epsilon over-commit must survive");
+        assert!(mem_fits(s.free_mem_gb(), 0.0));
+
+        // An over-commit of 2 epsilon (reachable only through a shape
+        // shrink, never through admission) violates the same predicate
+        // and must be evicted.
+        let mut s = ServerState::new(shape);
+        s.place(1, PlacedVm { cores: 1, mem_gb: 31.0, max_mem_util: 0.5 });
+        let evicted = s.degrade(0, 1.0 + 2.0 * MEM_EPSILON_GB);
+        assert_eq!(evicted, vec![1], "past-epsilon over-commit must evict");
+
+        // Invariant across the boundary: after any degrade, whatever
+        // survives satisfies the admission predicate for a zero-size
+        // request — the two call sites agree on what "fits" means.
+        for extra in [0.0, 0.5 * MEM_EPSILON_GB, 2.0 * MEM_EPSILON_GB, 0.3, 1.0] {
+            let mut s = ServerState::new(shape);
+            s.place(1, PlacedVm { cores: 2, mem_gb: 20.0, max_mem_util: 0.5 });
+            s.place(2, PlacedVm { cores: 2, mem_gb: 10.0, max_mem_util: 0.5 });
+            s.degrade(0, 2.0 + extra);
+            assert!(
+                s.is_empty() || s.fits(0, 0.0),
+                "degrade(0, {extra}) left an allocation the admission predicate rejects"
+            );
         }
     }
 

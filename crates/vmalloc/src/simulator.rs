@@ -34,7 +34,7 @@ use crate::faults::{FaultEvent, FaultKind, FaultPlan, FaultPool, FaultSummary};
 use crate::index::PlacementIndex;
 use crate::metrics::PackingMetrics;
 use crate::policy::PlacementPolicy;
-use crate::prepared::PreparedTrace;
+use crate::prepared::{PreparedEvent, PreparedTrace};
 use crate::server::{PlacedVm, ServerState};
 use crate::usage::UsageLedger;
 use gsf_workloads::{Trace, VmEventKind, VmSpec};
@@ -269,6 +269,22 @@ impl AllocationSim {
         prepared: &PreparedTrace,
         plan: &FaultPlan,
     ) -> (SimOutcome, FaultSummary) {
+        self.replay_prepared_events(prepared, prepared.events(), plan)
+    }
+
+    /// Replays an explicit event slice of `prepared` — the whole trace
+    /// ([`Self::replay_prepared_faulted`] passes `prepared.events()`) or
+    /// one shard's share of it (see [`crate::shard`]). `events` must be
+    /// a time-sorted subsequence of `prepared.events()`; slots resolve
+    /// against the full prepared trace either way, so the horizon
+    /// settlement walks the global ascending-id order and simply skips
+    /// VMs this replay never placed.
+    pub(crate) fn replay_prepared_events(
+        &mut self,
+        prepared: &PreparedTrace,
+        events: &[PreparedEvent],
+        plan: &FaultPlan,
+    ) -> (SimOutcome, FaultSummary) {
         let mut placements: Vec<Option<ActiveVm>> = vec![None; prepared.vm_count()];
         let mut usage = UsageLedger::new();
         let mut metrics = PackingMetrics::new();
@@ -282,7 +298,7 @@ impl AllocationSim {
         let mut next_fault = 0usize;
         let duration_s = prepared.duration_s();
 
-        for event in prepared.events() {
+        for event in events {
             while next_fault < faults.len() && faults[next_fault].time_s <= event.time_s {
                 self.drain_snapshots(
                     &mut metrics,
@@ -639,6 +655,13 @@ impl AllocationSim {
             let mut unplaced = Vec::new();
             for &id in &pending {
                 let Some(slot) = prepared.slot_of_id(id) else {
+                    // A displaced id the prepared trace cannot resolve
+                    // has no request to re-place with. Keep it pending
+                    // so it lands in `evacuation_failures` below — a
+                    // plain `continue` once dropped it out of the
+                    // accounting entirely (the no-progress check ends
+                    // the retry loop, so this cannot spin).
+                    unplaced.push(id);
                     continue;
                 };
                 let vm = prepared.vm(slot);
@@ -712,6 +735,10 @@ impl AllocationSim {
             let mut unplaced = Vec::new();
             for &id in &pending {
                 let Some(vm) = trace.vm(id) else {
+                    // Mirror of the prepared path: an unresolvable
+                    // displaced id must still be counted as an
+                    // evacuation failure, not silently dropped.
+                    unplaced.push(id);
                     continue;
                 };
                 let request = transform(vm);
@@ -1298,6 +1325,37 @@ mod tests {
         let (out, summary) = sim.replay_faulted(&t, &baseline_transform, &plan);
         assert_eq!(summary.evacuated, 1);
         assert!((out.usage.baseline_core_hours(0) - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn displaced_vm_unknown_to_the_trace_counts_as_evacuation_failure() {
+        // Replay a first trace without resetting, leaving VM 100
+        // resident, then replay a *different* trace whose fault strikes
+        // its server. The displaced id resolves through neither the new
+        // prepared trace nor the new raw trace, so it can never be
+        // re-placed — it must still be counted as an evacuation
+        // failure. (It used to be `continue`d out of the retry pass and
+        // vanish from the accounting entirely.)
+        let stale = trace(vec![vm(100, 8, 32.0, false)], vec![arrive(100, 0.0)]);
+        let fresh = trace(vec![vm(0, 4, 16.0, false)], vec![arrive(0, 5.0)]);
+        let plan = FaultPlan::new(vec![full_fault(1.0, FaultPool::Baseline, 0)], 3);
+
+        let mut sim = AllocationSim::new(ClusterConfig::baseline_only(1), PlacementPolicy::BestFit);
+        sim.replay(&stale, &baseline_transform);
+        let prepared = PreparedTrace::new(&fresh, &baseline_transform);
+        let (_, summary) = sim.replay_prepared_faulted(&prepared, &plan);
+        assert_eq!(summary.displaced, 1);
+        assert_eq!(summary.evacuated, 0);
+        assert_eq!(
+            summary.evacuation_failures, 1,
+            "a displaced id missing from the prepared trace must still be accounted"
+        );
+
+        // The unprepared mirror has the same accounting duty.
+        let mut sim = AllocationSim::new(ClusterConfig::baseline_only(1), PlacementPolicy::BestFit);
+        sim.replay(&stale, &baseline_transform);
+        let (_, summary) = sim.replay_faulted_unprepared(&fresh, &baseline_transform, &plan);
+        assert_eq!((summary.displaced, summary.evacuation_failures), (1, 1));
     }
 
     #[test]

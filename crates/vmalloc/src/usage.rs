@@ -55,6 +55,20 @@ impl UsageLedger {
         self.green_core_s.values().sum::<f64>() / 3600.0
     }
 
+    /// Merges another ledger into this one, per-app in ascending app
+    /// order on both pools — the sharded replay's fixed-order
+    /// reduction (see [`crate::shard`]). Merging into an empty ledger
+    /// reproduces `other` bit-for-bit (`0.0 + x == x` for the
+    /// non-negative core-seconds recorded here).
+    pub(crate) fn merge(&mut self, other: &UsageLedger) {
+        for (&app, &core_s) in &other.baseline_core_s {
+            *self.baseline_core_s.entry(app).or_default() += core_s;
+        }
+        for (&app, &core_s) in &other.green_core_s {
+            *self.green_core_s.entry(app).or_default() += core_s;
+        }
+    }
+
     /// Application indices with any recorded usage, ascending.
     pub fn app_indices(&self) -> Vec<u16> {
         let mut idx: Vec<u16> =

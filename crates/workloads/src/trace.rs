@@ -230,6 +230,49 @@ impl Trace {
         (peak_cores.max(0) as u64, peak_mem.max(0.0))
     }
 
+    /// A 128-bit structural content hash over the same canonical field
+    /// layout as [`Self::encode`], computed without materializing the
+    /// byte buffer. Two traces hash equal iff their encodings are
+    /// byte-identical (floats compare by bit pattern), so the hash
+    /// stands in for the encoded stream wherever only identity matters
+    /// — the `EvalContext` caches in `gsf-core` key on it instead of
+    /// embedding O(trace) bytes into every cache entry.
+    pub fn content_hash(&self) -> (u64, u64) {
+        let mut h = ContentHasher::new();
+        h.absorb(u64::from(MAGIC) << 16 | u64::from(VERSION));
+        h.absorb(self.duration_s.to_bits());
+        h.absorb((self.vms.len() as u64) << 32 | self.events.len() as u64);
+        for vm in &self.vms {
+            h.absorb(vm.id);
+            let generation = match vm.generation {
+                ServerGeneration::Gen1 => 1u64,
+                ServerGeneration::Gen2 => 2,
+                ServerGeneration::Gen3 => 3,
+            };
+            h.absorb(
+                u64::from(vm.cores) << 32
+                    | u64::from(vm.app_index) << 16
+                    | generation << 8
+                    | u64::from(vm.full_node),
+            );
+            h.absorb(vm.mem_gb.to_bits());
+            h.absorb(vm.max_mem_util.to_bits());
+            h.absorb(vm.avg_cpu_util.to_bits());
+        }
+        for e in &self.events {
+            h.absorb(e.time_s.to_bits());
+            h.absorb(
+                match e.kind {
+                    VmEventKind::Arrival => 0u64,
+                    VmEventKind::Departure => 1,
+                } << 63
+                    | e.vm_id >> 1,
+            );
+            h.absorb(e.vm_id);
+        }
+        h.finish()
+    }
+
     /// Serializes the trace to a compact binary buffer.
     pub fn encode(&self) -> Bytes {
         let mut buf = BytesMut::with_capacity(16 + self.vms.len() * 48 + self.events.len() * 17);
@@ -333,6 +376,41 @@ impl Trace {
     }
 }
 
+/// Streaming 128-bit hasher behind [`Trace::content_hash`]: two
+/// independent multiply-rotate lanes absorbing one `u64` word at a
+/// time. Not cryptographic — it only needs to make accidental
+/// collisions between distinct traces vanishingly unlikely for cache
+/// keying, and to change whenever any encoded field changes.
+struct ContentHasher {
+    a: u64,
+    b: u64,
+}
+
+impl ContentHasher {
+    fn new() -> Self {
+        // Fractional bits of sqrt(2) and sqrt(3): arbitrary distinct
+        // non-zero lane seeds.
+        Self { a: 0x6A09_E667_F3BC_C908, b: 0xBB67_AE85_84CA_A73B }
+    }
+
+    fn absorb(&mut self, word: u64) {
+        self.a = (self.a ^ word).wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(27);
+        self.b =
+            (self.b ^ word.rotate_left(32)).wrapping_mul(0xC2B2_AE3D_27D4_EB4F).rotate_left(31);
+    }
+
+    fn finish(self) -> (u64, u64) {
+        // splitmix64-style finalizers so trailing zero words still
+        // avalanche into every output bit.
+        fn mix(mut z: u64) -> u64 {
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+        (mix(self.a ^ self.b.rotate_left(17)), mix(self.b ^ self.a.rotate_left(43)))
+    }
+}
+
 /// Precomputed per-event resolution of a [`Trace`] (see
 /// [`Trace::index`]): the VM slot each event refers to, and the end
 /// time of each residency.
@@ -421,6 +499,62 @@ mod tests {
         let t = sample_trace();
         let decoded = Trace::decode(t.encode()).unwrap();
         assert_eq!(t, decoded);
+    }
+
+    #[test]
+    fn content_hash_is_stable_across_clone_and_codec() {
+        let t = sample_trace();
+        let h = t.content_hash();
+        assert_eq!(h, t.content_hash(), "hashing is pure");
+        assert_eq!(h, t.clone().content_hash());
+        assert_eq!(h, Trace::decode(t.encode()).unwrap().content_hash());
+        assert_ne!(h, (0, 0));
+    }
+
+    #[test]
+    fn content_hash_distinguishes_every_field() {
+        let base = sample_trace();
+        let h0 = base.content_hash();
+        let mut variants: Vec<Trace> = Vec::new();
+
+        // Duration.
+        variants.push(Trace::new(3601.0, base.vms.clone(), base.events.clone()));
+        // Each scalar VM field, one at a time.
+        let mutate_vm = |f: &dyn Fn(&mut VmSpec)| {
+            let mut vms = base.vms.clone();
+            f(&mut vms[0]);
+            Trace::new(base.duration_s, vms, base.events.clone())
+        };
+        variants.push(mutate_vm(&|v| v.cores += 1));
+        variants.push(mutate_vm(&|v| v.mem_gb += 0.5));
+        variants.push(mutate_vm(&|v| v.app_index += 1));
+        variants.push(mutate_vm(&|v| v.generation = ServerGeneration::Gen3));
+        variants.push(mutate_vm(&|v| v.full_node = true));
+        variants.push(mutate_vm(&|v| v.max_mem_util += 0.1));
+        variants.push(mutate_vm(&|v| v.avg_cpu_util += 0.1));
+        // Event time, kind, and target.
+        let mutate_event = |f: &dyn Fn(&mut VmEvent)| {
+            let mut events = base.events.clone();
+            f(&mut events[2]);
+            Trace::new(base.duration_s, base.vms.clone(), events)
+        };
+        variants.push(mutate_event(&|e| e.time_s += 1.0));
+        variants.push(mutate_event(&|e| e.kind = VmEventKind::Arrival));
+        variants.push(mutate_event(&|e| e.vm_id = 1));
+        // Dropping an event entirely.
+        variants.push(Trace::new(base.duration_s, base.vms.clone(), base.events[..2].to_vec()));
+
+        let mut seen = vec![h0];
+        for (i, v) in variants.iter().enumerate() {
+            let h = v.content_hash();
+            assert!(!seen.contains(&h), "variant {i} collided");
+            seen.push(h);
+        }
+        // Hash agrees with encoded-bytes equality in both directions.
+        for v in &variants {
+            assert_ne!(v.encode(), base.encode());
+        }
+        assert_eq!(h0, Trace::decode(base.encode()).unwrap().content_hash());
     }
 
     #[test]
