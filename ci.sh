@@ -35,3 +35,12 @@ cargo test -q -p gsf-cluster --test index_equivalence
 # policies, shard-boundary fault plans, reset reuse, and the sharded
 # sizing searches.
 cargo test -q -p gsf-cluster --test shard_equivalence
+# Availability-layer equivalence: flat topology + repairs off must stay
+# bit-identical to the pre-repair model (signature, plans, replays,
+# sizing, reset reuse); domain faults, revivals, and retry-queue drains
+# must replay identically sharded and serial; horizon-edge events, SLO
+# monotonicity, and the Little's-law OOS consistency check live here.
+cargo test -q -p gsf-cluster --test availability_equivalence
+# Docs must build clean: public-API rustdoc (broken intra-doc links,
+# malformed HTML) is a release gate, not a warning.
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q

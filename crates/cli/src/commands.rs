@@ -173,6 +173,7 @@ pub fn help() -> String {
          \u{20}  regions                            per-region CI and best design\n\
          \u{20}  defer     --region NAME [--runtime H] [--cores N]\n\
          \u{20}  faults    --design NAME [--afr-scale X] [--fip F] [--years Y] [--fault-seed S]\n\
+         \u{20}            [--topology N] [--domain-rate R] [--repair-days D] [--slo M] [--format text|json]\n\
          \u{20}  fleet     --design NAME [--traces N] [--workers N] [--shards K] [--hours H] [--seed S]\n\nSKUs: ",
     );
     out.push_str(&SKU_NAMES.join(", "));
@@ -457,16 +458,84 @@ fn defer_cmd(args: &Args) -> Result<String, CliError> {
     ))
 }
 
+/// Escapes a string for embedding in the hand-rolled JSON output
+/// (same escaping rules as `gsf-lint`'s report).
+fn json_escape(s: &str) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One pipeline outcome as a JSON object fragment for `gsf faults
+/// --format json` (no trailing newline, no surrounding braces' key).
+fn faults_json_outcome(o: &gsf_core::PipelineOutcome) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("{");
+    let _ = write!(
+        out,
+        "\"plan\":{{\"baseline\":{},\"green\":{},\"buffered_baseline\":{},\"buffered_green\":{}}},",
+        o.plan.baseline, o.plan.green, o.plan_buffered.baseline, o.plan_buffered.green
+    );
+    let _ = write!(
+        out,
+        "\"cluster_savings\":{},\"expected_capacity_loss\":{},",
+        o.cluster_savings, o.expected_capacity_loss
+    );
+    let _ = write!(
+        out,
+        "\"faults\":{{\"full_failures\":{},\"partial_degrades\":{},\"revivals\":{},\
+         \"displaced\":{},\"evacuated\":{},\"evacuation_failures\":{}}},",
+        o.faults.full_failures,
+        o.faults.partial_degrades,
+        o.faults.revivals,
+        o.faults.displaced,
+        o.faults.evacuated,
+        o.faults.evacuation_failures
+    );
+    let a = &o.availability;
+    let _ = write!(
+        out,
+        "\"availability\":{{\"vm_minutes_lost\":{},\"availability\":{},\"nines\":{},\
+         \"max_simultaneous_displaced\":{},\"blast_radius_servers\":{},\"server_down_seconds\":{}}}",
+        a.vm_minutes_lost(),
+        a.availability(),
+        a.nines(),
+        a.max_simultaneous_displaced,
+        a.blast_radius_servers,
+        a.server_down_seconds
+    );
+    out.push('}');
+    out
+}
+
 fn faults_cmd(args: &Args) -> Result<String, CliError> {
-    use gsf_maintenance::{ComponentAfrs, FaultModel, FipPolicy};
+    use gsf_maintenance::{ComponentAfrs, FaultModel, FaultTopology, FipPolicy};
     let design = design_by_name(args.get_or("design", "full"))?;
     let trace = trace_from(args)?;
     let afr_scale = args.get_num("afr-scale", 1.0)?;
     let fip = args.get_num("fip", 0.75)?;
     let years = args.get_num("years", 1.0)?;
     let fault_seed = args.get_num("fault-seed", 7u64)?;
+    let topology: u32 = args.get_num("topology", 0u32)?;
+    let domain_rate = args.get_num("domain-rate", 1.0)?;
+    let repair_days = args.get_num("repair-days", 0.0)?;
+    let slo: f64 = args.get_num("slo", -1.0)?;
+    let format = args.get_or("format", "text");
     let paper = FaultModel::paper(fault_seed);
-    let model = FaultModel::new(
+    let mut model = FaultModel::new(
         ComponentAfrs::paper(),
         FipPolicy { effectiveness: fip },
         afr_scale,
@@ -476,10 +545,34 @@ fn faults_cmd(args: &Args) -> Result<String, CliError> {
         paper.max_evac_passes,
         fault_seed,
     )?;
+    if topology > 0 {
+        model = model.with_topology(FaultTopology {
+            domain_size: topology,
+            domain_events_per_100: domain_rate,
+        })?;
+    }
+    if repair_days > 0.0 {
+        model = model.with_repair_days(repair_days)?;
+    }
+    let availability_slo = (slo >= 0.0).then_some(slo);
     let clean = GsfPipeline::new(PipelineConfig::default());
-    let faulted = GsfPipeline::new(PipelineConfig { faults: model, ..PipelineConfig::default() });
+    let faulted = GsfPipeline::new(PipelineConfig {
+        faults: model,
+        availability_slo,
+        ..PipelineConfig::default()
+    });
     let c = clean.evaluate(&design, &trace)?;
     let f = faulted.evaluate(&design, &trace)?;
+    if format == "json" {
+        return Ok(format!(
+            "{{\"design\":\"{}\",\"afr_scale\":{afr_scale},\"fip\":{fip},\"years\":{years},\
+             \"fault_seed\":{fault_seed},\"domain_size\":{topology},\"repair_days\":{repair_days},\
+             \"clean\":{},\"faulted\":{}}}\n",
+            json_escape(&f.design),
+            faults_json_outcome(&c),
+            faults_json_outcome(&f)
+        ));
+    }
     let mut t = Table::new(vec!["Metric", "Fault-free", "Faulted"]);
     let plan = |o: &gsf_core::PipelineOutcome| {
         format!(
@@ -504,6 +597,11 @@ fn faults_cmd(args: &Args) -> Result<String, CliError> {
         format!("{} / {}", f.faults.full_failures, f.faults.partial_degrades),
     ]);
     t.row(vec![
+        "revivals (return-to-service)".into(),
+        c.faults.revivals.to_string(),
+        f.faults.revivals.to_string(),
+    ]);
+    t.row(vec![
         "VMs displaced / evacuated".into(),
         format!("{} / {}", c.faults.displaced, c.faults.evacuated),
         format!("{} / {}", f.faults.displaced, f.faults.evacuated),
@@ -513,13 +611,48 @@ fn faults_cmd(args: &Args) -> Result<String, CliError> {
         c.faults.evacuation_failures.to_string(),
         f.faults.evacuation_failures.to_string(),
     ]);
+    t.row(vec![
+        "VM-minutes lost".into(),
+        fmt_f(c.availability.vm_minutes_lost(), 2),
+        fmt_f(f.availability.vm_minutes_lost(), 2),
+    ]);
+    t.row(vec![
+        "availability (nines)".into(),
+        format!(
+            "{} ({})",
+            fmt_f(c.availability.availability(), 6),
+            fmt_f(c.availability.nines(), 2)
+        ),
+        format!(
+            "{} ({})",
+            fmt_f(f.availability.availability(), 6),
+            fmt_f(f.availability.nines(), 2)
+        ),
+    ]);
+    t.row(vec![
+        "max simultaneous displaced".into(),
+        c.availability.max_simultaneous_displaced.to_string(),
+        f.availability.max_simultaneous_displaced.to_string(),
+    ]);
+    t.row(vec![
+        "blast radius (servers)".into(),
+        c.availability.blast_radius_servers.to_string(),
+        f.availability.blast_radius_servers.to_string(),
+    ]);
+    t.row(vec![
+        "server downtime (h)".into(),
+        fmt_f(c.availability.server_down_seconds / 3600.0, 2),
+        fmt_f(f.availability.server_down_seconds / 3600.0, 2),
+    ]);
     Ok(format!(
-        "{} — AFR×{:.2}, FIP {:.0}%, {:.1} y horizon, seed {}\n{}",
+        "{} — AFR×{:.2}, FIP {:.0}%, {:.1} y horizon, seed {}, domain size {}, repair {:.1} d\n{}",
         f.design,
         afr_scale,
         fip * 100.0,
         years,
         fault_seed,
+        topology,
+        repair_days,
         t.render_text()
     ))
 }
@@ -695,6 +828,57 @@ mod tests {
     fn faults_rejects_invalid_fip() {
         let e = run(&["faults", "--fip", "1.5", "--hours", "2"]).unwrap_err();
         assert!(matches!(e, CliError::Maintenance(_)), "{e}");
+    }
+
+    #[test]
+    fn faults_topology_and_repair_render_availability() {
+        let out = run(&[
+            "faults",
+            "--design",
+            "full",
+            "--hours",
+            "6",
+            "--arrivals",
+            "30",
+            "--afr-scale",
+            "20",
+            "--topology",
+            "4",
+            "--repair-days",
+            "7",
+        ])
+        .unwrap();
+        assert!(out.contains("domain size 4, repair 7.0 d"), "{out}");
+        assert!(out.contains("VM-minutes lost"), "{out}");
+        assert!(out.contains("blast radius (servers)"), "{out}");
+        assert!(out.contains("revivals (return-to-service)"), "{out}");
+    }
+
+    #[test]
+    fn faults_json_format_is_machine_readable() {
+        let out = run(&[
+            "faults",
+            "--design",
+            "full",
+            "--hours",
+            "6",
+            "--arrivals",
+            "30",
+            "--afr-scale",
+            "20",
+            "--format",
+            "json",
+        ])
+        .unwrap();
+        assert!(out.starts_with('{') && out.ends_with("}\n"), "{out}");
+        for key in
+            ["\"design\":", "\"clean\":", "\"faulted\":", "\"availability\":", "\"revivals\":"]
+        {
+            assert!(out.contains(key), "missing {key} in {out}");
+        }
+        // Same run in text format must agree on the headline plan.
+        let braces = out.chars().fold(0i64, |n, c| n + i64::from(c == '{') - i64::from(c == '}'));
+        assert_eq!(braces, 0, "unbalanced JSON braces: {out}");
     }
 
     #[test]

@@ -29,12 +29,20 @@ pub fn replay_sharded(
 ) -> (SimOutcome, FaultSummary) {
     let mut tasks = sim.shard_tasks(prepared, faults);
     let parts = map_parallel_mut(&mut tasks, workers, |_, task| task.run(prepared));
-    merge_outcomes(parts)
+    let (out, mut summary) = merge_outcomes(parts);
+    // The blast radius comes from the *global* plan, exactly as the
+    // serial reference assigns it post-merge — per-shard replays only
+    // see their local slice of a correlated domain event.
+    if summary.faults_applied() {
+        summary.availability.blast_radius_servers = faults.max_correlated_strikes();
+    }
+    (out, summary)
 }
 
 /// Feasibility probe on the sharded engine: reset, replay on `workers`
 /// threads, require no rejections (and, under fault injection, full
-/// evacuation). The sharded analogue of the unsharded prepared probe.
+/// evacuation or the availability-SLO budget). The sharded analogue of
+/// the unsharded prepared probe.
 fn feasible_sharded(
     sim: &mut ShardedSim,
     prepared: &PreparedTrace,
@@ -48,7 +56,7 @@ fn feasible_sharded(
         Some(inj) => {
             let plan = inj.plan_for(&config, prepared.duration_s());
             let (outcome, summary) = replay_sharded(sim, prepared, &plan, workers);
-            outcome.no_rejections() && summary.all_evacuated()
+            outcome.no_rejections() && inj.admits(&summary)
         }
     }
 }

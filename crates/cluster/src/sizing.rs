@@ -17,11 +17,26 @@ use gsf_workloads::Trace;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+/// Availability SLO for the fault-aware sizing searches: instead of
+/// demanding that *every* displaced VM is immediately re-placed, allow
+/// a bounded amount of measured downtime. A tighter bound (smaller
+/// `max_vm_minutes_lost`) shrinks the feasible set, so the resulting
+/// cluster can only grow — the searches stay monotone.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AvailabilitySlo {
+    /// Maximum tolerated VM-minutes of downtime over the replay
+    /// (queue wait of displaced VMs; `0.0` is as strict as the
+    /// all-evacuated default, but additionally rejects any nonzero
+    /// wait even if the VM is eventually re-placed).
+    pub max_vm_minutes_lost: f64,
+}
+
 /// Fault injection as seen by the sizing searches: a model plus the
 /// per-pool device counts it needs to derive server AFRs. When present,
 /// "feasible" tightens from "no rejections" to "no rejections *and*
 /// every fault-displaced VM found a new home" — sizing then provisions
-/// enough slack to ride out the sampled failures.
+/// enough slack to ride out the sampled failures. An optional
+/// [`AvailabilitySlo`] relaxes the latter into a downtime budget.
 #[derive(Debug, Clone, Copy)]
 pub struct FaultInjection<'a> {
     /// The fault model (must be enabled; a disabled model is the same
@@ -31,6 +46,9 @@ pub struct FaultInjection<'a> {
     pub baseline_devices: PoolDevices,
     /// Device counts per GreenSKU server.
     pub green_devices: PoolDevices,
+    /// Downtime budget; `None` keeps the strict all-evacuated
+    /// predicate.
+    pub slo: Option<AvailabilitySlo>,
 }
 
 impl FaultInjection<'_> {
@@ -38,6 +56,15 @@ impl FaultInjection<'_> {
     /// cluster configuration.
     pub fn plan_for(&self, config: &ClusterConfig, duration_s: f64) -> FaultPlan {
         self.model.plan(config, self.baseline_devices, self.green_devices, duration_s)
+    }
+
+    /// The fault-side feasibility predicate: strict all-evacuated by
+    /// default, or the downtime budget when an SLO is set.
+    pub fn admits(&self, summary: &gsf_vmalloc::FaultSummary) -> bool {
+        match self.slo {
+            None => summary.all_evacuated(),
+            Some(slo) => summary.availability.vm_minutes_lost() <= slo.max_vm_minutes_lost,
+        }
     }
 }
 
@@ -94,7 +121,7 @@ fn feasible_prepared(
         Some(inj) => {
             let plan = inj.plan_for(&config, prepared.duration_s());
             let (outcome, summary) = sim.replay_prepared_faulted(prepared, &plan);
-            outcome.no_rejections() && summary.all_evacuated()
+            outcome.no_rejections() && inj.admits(&summary)
         }
     }
 }
@@ -114,7 +141,7 @@ fn feasible_unprepared(
         Some(inj) => {
             let plan = inj.plan_for(&config, trace.duration_s());
             let (outcome, summary) = sim.replay_faulted_unprepared(trace, transform, &plan);
-            outcome.no_rejections() && summary.all_evacuated()
+            outcome.no_rejections() && inj.admits(&summary)
         }
     }
 }
@@ -664,6 +691,7 @@ mod tests {
             model: &model,
             baseline_devices: PoolDevices::baseline(),
             green_devices: PoolDevices::greensku_full(),
+            slo: None,
         };
         let plain = right_size_baseline_only(
             &trace,
@@ -693,6 +721,7 @@ mod tests {
             model: &model,
             baseline_devices: PoolDevices::baseline(),
             green_devices: PoolDevices::greensku_full(),
+            slo: None,
         };
         let shape = ServerShape::baseline_gen3();
         let plain = right_size_baseline_only(&trace, shape, PlacementPolicy::BestFit).unwrap();
@@ -724,6 +753,7 @@ mod tests {
             model: &model,
             baseline_devices: PoolDevices::baseline(),
             green_devices: PoolDevices::greensku_full(),
+            slo: None,
         };
         let transform = |v: &VmSpec| PlacementRequest::prefer_green(v, 1.25);
         let run = || {
@@ -786,6 +816,7 @@ mod tests {
             model: &model,
             baseline_devices: PoolDevices::baseline(),
             green_devices: PoolDevices::greensku_full(),
+            slo: None,
         };
         for faults in [None, Some(&inj)] {
             assert_eq!(

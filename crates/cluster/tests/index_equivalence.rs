@@ -133,6 +133,7 @@ proptest! {
             model: &model,
             baseline_devices: PoolDevices::baseline(),
             green_devices: PoolDevices::greensku_full(),
+            slo: None,
         };
         let plan = inj.plan_for(&config, trace.duration_s());
         for policy in POLICIES {
@@ -190,6 +191,7 @@ proptest! {
             model: &model,
             baseline_devices: PoolDevices::baseline(),
             green_devices: PoolDevices::greensku_full(),
+            slo: None,
         };
         for faults in [None, Some(&inj)] {
             prop_assert_eq!(
@@ -267,7 +269,10 @@ fn hand_built_fault_plan_matches_bitwise() {
             },
         ],
         3,
-    );
+        3,
+        2,
+    )
+    .unwrap();
     for policy in POLICIES {
         let (out_i, sum_i) =
             AllocationSim::new(config, policy).replay_faulted(&trace, &mixed_transform, &plan);

@@ -127,6 +127,7 @@ proptest! {
             model: &model,
             baseline_devices: PoolDevices::baseline(),
             green_devices: PoolDevices::greensku_full(),
+            slo: None,
         };
         let plan = inj.plan_for(&config, trace.duration_s());
         let (out_p, sum_p) = AllocationSim::new(config, PlacementPolicy::BestFit)
@@ -178,6 +179,7 @@ proptest! {
             model: &model,
             baseline_devices: PoolDevices::baseline(),
             green_devices: PoolDevices::greensku_full(),
+            slo: None,
         };
         for faults in [None, Some(&inj)] {
             prop_assert_eq!(
@@ -244,7 +246,10 @@ fn hand_built_fault_plan_matches_bitwise() {
             },
         ],
         3,
-    );
+        3,
+        2,
+    )
+    .unwrap();
     let (out_p, sum_p) = AllocationSim::new(config, PlacementPolicy::BestFit)
         .with_snapshot_interval(600.0)
         .replay_faulted(&trace, &mixed_transform, &plan);

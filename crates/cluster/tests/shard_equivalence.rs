@@ -134,6 +134,7 @@ proptest! {
             model: &model,
             baseline_devices: PoolDevices::baseline(),
             green_devices: PoolDevices::greensku_full(),
+            slo: None,
         };
         let plan = inj.plan_for(&config, trace.duration_s());
         for policy in POLICIES {
@@ -215,6 +216,7 @@ proptest! {
             model: &model,
             baseline_devices: PoolDevices::baseline(),
             green_devices: PoolDevices::greensku_full(),
+            slo: None,
         };
         for faults in [None, Some(&inj)] {
             let n0_serial = right_size_baseline_only_prepared_sharded(
@@ -292,7 +294,7 @@ fn boundary_fault_plan_matches_bitwise() {
                 t += 100.0;
             }
         }
-        let plan = FaultPlan::new(events, 3);
+        let plan = FaultPlan::new(events, 3, 7, 5).unwrap();
         for policy in POLICIES {
             let (exp_out, exp_sum) =
                 ShardedSim::new(config, policy, shards).replay_prepared_faulted(&prepared, &plan);

@@ -18,13 +18,14 @@ use gsf_cluster::{
         right_size_mixed_prepared_sharded,
     },
     sizing::{
-        right_size_baseline_only_prepared, right_size_mixed_prepared, ClusterPlan, FaultInjection,
+        right_size_baseline_only_prepared, right_size_mixed_prepared, AvailabilitySlo, ClusterPlan,
+        FaultInjection,
     },
 };
 use gsf_maintenance::{FaultModel, PoolDevices};
 use gsf_vmalloc::{
-    AllocationSim, ClusterConfig, FaultPlan, FaultSummary, PlacementPolicy, PlacementRequest,
-    PreparedTrace, ServerShape, ShardedSim, SimOutcome,
+    AllocationSim, AvailabilitySummary, ClusterConfig, FaultPlan, FaultSummary, PlacementPolicy,
+    PlacementRequest, PreparedTrace, ServerShape, ShardedSim, SimOutcome,
 };
 use gsf_workloads::{catalog, ApplicationModel, FleetMix, ServerGeneration, Trace, VmSpec};
 use serde::{Deserialize, Serialize};
@@ -56,6 +57,14 @@ pub struct PipelineConfig {
     /// and the final replay, so plans provision against failure-induced
     /// capacity loss.
     pub faults: FaultModel,
+    /// Availability SLO for fault-injected sizing, in VM-minutes of
+    /// downtime per replay. `None` (the default) keeps the strict
+    /// rule — every displaced VM must re-place within the evacuation
+    /// pass budget. `Some(budget)` instead admits any cluster whose
+    /// measured [`AvailabilitySummary::vm_minutes_lost`] stays within
+    /// the budget, which lets repair-enabled fault models trade servers
+    /// against bounded downtime. Ignored when fault injection is off.
+    pub availability_slo: Option<f64>,
     /// Shard count for the replay engine. `<= 1` (the default) uses the
     /// unsharded engine bit-for-bit. `> 1` partitions every cluster into
     /// that many shards, routes each VM to a home shard by a stable hash
@@ -76,6 +85,7 @@ impl Default for PipelineConfig {
             renewable_fraction: DEFAULT_RENEWABLE_FRACTION,
             maintenance: DefaultMaintenance::paper(),
             faults: FaultModel::none(),
+            availability_slo: None,
             shards: 1,
         }
     }
@@ -125,6 +135,11 @@ pub struct PipelineOutcome {
     /// Fault-injection statistics from the final buffered replay
     /// (all-zero when fault injection is disabled).
     pub faults: FaultSummary,
+    /// Availability accounting from the final buffered replay: VM-time
+    /// lost to displacement, VM-time served, the displacement peak, and
+    /// the blast radius of the widest correlated strike (all-zero when
+    /// fault injection is disabled or the plan lands no faults).
+    pub availability: AvailabilitySummary,
 }
 
 /// Routes VMs to pools: the adoption component packaged as the per-VM
@@ -352,6 +367,16 @@ impl GsfPipeline {
         // signature is part of the key, so fault-injected and
         // fault-free evaluations never share an entry.
         let decision_signature = router.decision_signature();
+        // The SLO changes which clusters the fault-injected searches
+        // admit, so it joins the fault signature in the sizing key.
+        // Appending (rather than always reserving a slot) keeps every
+        // pre-SLO cache key bit-identical for the default `None`.
+        let mut fault_signature = fault_model.signature();
+        if let Some(budget) = self.config.availability_slo {
+            fault_signature.push(1);
+            fault_signature.push(budget.to_bits());
+        }
+        let slo = self.config.availability_slo.map(|m| AvailabilitySlo { max_vm_minutes_lost: m });
         let sizing = self.ctx.sizing(
             trace,
             &decision_signature,
@@ -359,11 +384,11 @@ impl GsfPipeline {
             green_shape,
             self.config.policy,
             self.config.buffer.capacity_fraction,
-            &fault_model.signature(),
+            &fault_signature,
             self.config.shards,
             || -> Result<crate::context::SizingOutcome, GsfError> {
                 let injection =
-                    FaultInjection { model: fault_model, baseline_devices, green_devices };
+                    FaultInjection { model: fault_model, baseline_devices, green_devices, slo };
                 let faults = (!fault_model.is_none()).then_some(&injection);
                 // Prepared replay plans, built only on a sizing-memo
                 // miss and cached by (trace, decision table) — shared
@@ -531,6 +556,7 @@ impl GsfPipeline {
             cluster_savings,
             dc_savings,
             expected_capacity_loss,
+            availability: sizing.faults.availability,
             faults: sizing.faults,
             replay: sizing.replay.clone(),
         })

@@ -121,6 +121,88 @@ fn faulted_fleet_identical_for_any_worker_count() {
     assert_eq!(serial.mean_cluster_savings.to_bits(), parallel.mean_cluster_savings.to_bits());
 }
 
+/// Explicitly setting the flat topology and a zero repair time is the
+/// identity on the whole pipeline: same outcome bit for bit as the
+/// base model, sharing its sizing-cache key on one context.
+#[test]
+fn flat_topology_and_no_repair_match_the_base_model_end_to_end() {
+    let t = trace(11);
+    let design = GreenSkuDesign::full();
+    let ci = CarbonIntensity::new(0.1);
+    let base = faulted_config(7, 15.0);
+    let mut flat = base.clone();
+    flat.faults = flat
+        .faults
+        .with_topology(gsf_maintenance::FaultTopology::flat())
+        .and_then(|m| m.with_repair_days(0.0))
+        .unwrap();
+    // One shared context: identical signatures mean the second
+    // evaluation must be served from the first's sizing entry.
+    let ctx = Arc::new(EvalContext::new());
+    let a = GsfPipeline::with_context(base, Arc::clone(&ctx)).evaluate_at(&design, &t, ci).unwrap();
+    let b = GsfPipeline::with_context(flat, Arc::clone(&ctx)).evaluate_at(&design, &t, ci).unwrap();
+    assert_eq!(a, b);
+}
+
+/// A domain-correlated, repair-enabled model exercises the whole
+/// availability ledger through the pipeline: revivals land, downtime
+/// accrues, and the blast radius reflects the domain width.
+#[test]
+fn domain_and_repair_populate_the_availability_ledger() {
+    let t = trace(13);
+    let design = GreenSkuDesign::full();
+    let ci = CarbonIntensity::new(0.1);
+    let mut config = faulted_config(7, 20.0);
+    config.faults = config
+        .faults
+        .with_topology(gsf_maintenance::FaultTopology {
+            domain_size: 4,
+            // High enough that several domains fire within the trace
+            // horizon (rack()'s default rate is too rare for a short
+            // fixture trace).
+            domain_events_per_100: 20.0,
+        })
+        .and_then(|m| m.with_repair_days(10.0))
+        .unwrap();
+    let o = GsfPipeline::new(config).evaluate_at(&design, &t, ci).unwrap();
+    assert!(o.faults.revivals > 0, "{:?}", o.faults);
+    assert!(o.availability.server_down_seconds > 0.0, "{:?}", o.availability);
+    assert!(o.availability.blast_radius_servers >= 2, "{:?}", o.availability);
+    assert!(o.availability.vm_seconds_served > 0.0, "{:?}", o.availability);
+    assert_eq!(o.availability, o.faults.availability);
+}
+
+/// The availability SLO joins the sizing-cache key: evaluating with and
+/// without a budget on one shared context must not cross-contaminate,
+/// and a generous budget can only shrink (or keep) the plan relative
+/// to the strict full-evacuation rule.
+#[test]
+fn availability_slo_keys_its_own_cache_entry() {
+    let t = trace(17);
+    let design = GreenSkuDesign::full();
+    let ci = CarbonIntensity::new(0.1);
+    let strict = faulted_config(7, 20.0);
+    let mut budgeted = strict.clone();
+    budgeted.availability_slo = Some(1e12);
+    let ctx = Arc::new(EvalContext::new());
+    let a =
+        GsfPipeline::with_context(strict.clone(), Arc::clone(&ctx)).evaluate_at(&design, &t, ci);
+    let b = GsfPipeline::with_context(budgeted, Arc::clone(&ctx)).evaluate_at(&design, &t, ci);
+    let (a, b) = (a.unwrap(), b.unwrap());
+    // An effectively unbounded budget admits every cluster the strict
+    // rule admits, so its plan can only be smaller or equal.
+    assert!(
+        b.plan.total() <= a.plan.total(),
+        "budgeted plan {:?} larger than strict plan {:?}",
+        b.plan,
+        a.plan
+    );
+    // Re-evaluating the strict config on the same context must return
+    // the strict entry, not the budgeted one.
+    let a2 = GsfPipeline::with_context(strict, ctx).evaluate_at(&design, &t, ci).unwrap();
+    assert_eq!(a, a2);
+}
+
 /// An enabled model actually injects faults at a high AFR scale — the
 /// identity property above is not vacuous.
 #[test]

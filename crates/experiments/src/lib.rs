@@ -27,6 +27,7 @@
 //! | [`sec8`] | §VII-A TCO swap + §VIII search/autoscaling/tiering |
 
 pub mod adoption;
+pub mod availability;
 pub mod context;
 pub mod faults;
 pub mod fig1;

@@ -97,6 +97,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             run: crate::faults::run,
         },
         Experiment {
+            id: "availability",
+            title: "Availability sweep (domain size x repair time x FIP)",
+            run: crate::availability::run,
+        },
+        Experiment {
             id: "adoption",
             title: "SecVI adoption statistics and low-load latency",
             run: crate::adoption::run,
@@ -174,7 +179,7 @@ mod tests {
         let exps = all_experiments();
         let ids: std::collections::HashSet<_> = exps.iter().map(|e| e.id).collect();
         assert_eq!(ids.len(), exps.len());
-        assert_eq!(exps.len(), 19);
+        assert_eq!(exps.len(), 20);
     }
 
     #[test]

@@ -28,7 +28,7 @@ pub mod ssd_wear;
 pub use afr::{ComponentAfrs, ServerAfr};
 pub use error::MaintenanceError;
 pub use failure_sim::{FailureSim, FailureSimParams};
-pub use faults::{FaultModel, PoolDevices};
+pub use faults::{FaultModel, FaultTopology, PoolDevices};
 pub use fip::FipPolicy;
 pub use oos::{oos_fraction, CoosComparison};
 pub use ssd_wear::{SsdEndurance, SsdWear};

@@ -28,7 +28,9 @@ pub mod simulator;
 pub mod usage;
 
 pub use cluster::{ClusterConfig, ServerShape};
-pub use faults::{FaultEvent, FaultKind, FaultPlan, FaultPool, FaultSummary};
+pub use faults::{
+    AvailabilitySummary, FaultEvent, FaultKind, FaultPlan, FaultPlanError, FaultPool, FaultSummary,
+};
 pub use index::PlacementIndex;
 pub use metrics::{PackingMetrics, PoolMetrics};
 pub use policy::PlacementPolicy;

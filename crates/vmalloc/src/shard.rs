@@ -228,7 +228,12 @@ impl ShardPlan {
                 by_shard[s].push(local_event);
             }
         }
-        by_shard.into_iter().map(|events| FaultPlan::new(events, plan.max_evac_passes())).collect()
+        // `presorted` skips validation: every local index came out of
+        // `locate`, so it is in range for its shard by construction.
+        by_shard
+            .into_iter()
+            .map(|events| FaultPlan::presorted(events, plan.max_evac_passes()))
+            .collect()
     }
 }
 
@@ -266,11 +271,13 @@ pub fn merge_outcomes(parts: Vec<(SimOutcome, FaultSummary)>) -> (SimOutcome, Fa
         out.usage.merge(&o.usage);
         summary.full_failures += s.full_failures;
         summary.partial_degrades += s.partial_degrades;
+        summary.revivals += s.revivals;
         summary.displaced += s.displaced;
         summary.evacuated += s.evacuated;
         summary.evacuation_failures += s.evacuation_failures;
         summary.cores_lost += s.cores_lost;
         summary.mem_lost_gb += s.mem_lost_gb;
+        summary.availability.merge(&s.availability);
     }
     (out, summary)
 }
@@ -344,7 +351,9 @@ impl ShardedSim {
 
     /// Serial reference replay: runs shard 0, 1, … in order and merges.
     /// Any parallel driver over [`Self::shard_tasks`] must be bitwise
-    /// equal to this.
+    /// equal to this — including the blast radius, which is assigned
+    /// from the *global* plan after the merge (per-shard replays only
+    /// see their local slice of a correlated domain event).
     pub fn replay_prepared_faulted(
         &mut self,
         prepared: &PreparedTrace,
@@ -354,7 +363,11 @@ impl ShardedSim {
         for task in &mut self.shard_tasks(prepared, faults) {
             parts.push(task.run(prepared));
         }
-        merge_outcomes(parts)
+        let (out, mut summary) = merge_outcomes(parts);
+        if summary.faults_applied() {
+            summary.availability.blast_radius_servers = faults.max_correlated_strikes();
+        }
+        (out, summary)
     }
 
     /// Serial reference replay without faults.
@@ -494,9 +507,11 @@ mod tests {
             kind: FaultKind::FullFailure,
         };
         // Globals 0, 4 (first of shard 1), 9 (last of shard 2), and an
-        // out-of-range 10 (dropped).
-        let split =
-            plan.split_faults(&FaultPlan::new(vec![fault(0), fault(4), fault(9), fault(10)], 7));
+        // out-of-range 10 (dropped — the plan declares an 11-server
+        // pool, but the sharded cluster only has 10).
+        let split = plan.split_faults(
+            &FaultPlan::new(vec![fault(0), fault(4), fault(9), fault(10)], 7, 11, 0).unwrap(),
+        );
         assert_eq!(split.len(), 3);
         assert_eq!(split[0].events().iter().map(|e| e.server).collect::<Vec<_>>(), vec![0]);
         assert_eq!(split[1].events().iter().map(|e| e.server).collect::<Vec<_>>(), vec![0]);
@@ -519,7 +534,10 @@ mod tests {
                 kind: FaultKind::FullFailure,
             }],
             3,
-        );
+            4,
+            3,
+        )
+        .unwrap();
         let mut flat = AllocationSim::new(config, PlacementPolicy::BestFit);
         let expected = flat.replay_prepared_faulted(&prepared, &plan);
         let mut sharded = ShardedSim::new(config, PlacementPolicy::BestFit, 1);

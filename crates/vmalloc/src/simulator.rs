@@ -30,6 +30,7 @@
 //! gate).
 
 use crate::cluster::ClusterConfig;
+use crate::cluster::ServerShape;
 use crate::faults::{FaultEvent, FaultKind, FaultPlan, FaultPool, FaultSummary};
 use crate::index::PlacementIndex;
 use crate::metrics::PackingMetrics;
@@ -156,6 +157,36 @@ pub struct AllocationSim {
     /// reference scan (and skips all index maintenance).
     baseline_index: Option<PlacementIndex>,
     green_index: Option<PlacementIndex>,
+    /// Pristine per-pool shapes, kept so a [`FaultKind::Revive`] can
+    /// restore a repaired server to its original capacity even after a
+    /// degrade took it offline-adjacent.
+    baseline_shape: ServerShape,
+    green_shape: ServerShape,
+}
+
+/// Per-replay fault bookkeeping shared by both engines: the pending
+/// re-placement queue and offline-server tracking that turn terminal
+/// evacuation failures into measured downtime once repairs exist.
+struct FaultRuntime {
+    /// VMs displaced into a saturated fleet, waiting for capacity to
+    /// return: id → time the wait began. Drained (ascending id) when a
+    /// revive brings a server back; entries still here when the VM
+    /// departs or the horizon arrives become
+    /// [`FaultSummary::evacuation_failures`].
+    pending: BTreeMap<u64, f64>,
+    /// Fully-failed servers: (pool, index) → failure time. Closed out
+    /// by the matching revive or at the horizon into
+    /// [`crate::AvailabilitySummary::server_down_seconds`].
+    down_since: BTreeMap<(FaultPool, u32), f64>,
+    /// VM-seconds of settled residency, accumulated at every usage
+    /// settlement site in exactly the order the engines settle.
+    served_s: f64,
+}
+
+impl FaultRuntime {
+    fn new() -> Self {
+        Self { pending: BTreeMap::new(), down_since: BTreeMap::new(), served_s: 0.0 }
+    }
 }
 
 impl AllocationSim {
@@ -168,7 +199,16 @@ impl AllocationSim {
             (0..config.green_count).map(|_| ServerState::new(config.green_shape)).collect();
         let baseline_index = Some(PlacementIndex::new(&baseline));
         let green_index = Some(PlacementIndex::new(&green));
-        Self { baseline, green, policy, snapshot_interval_s: 3600.0, baseline_index, green_index }
+        Self {
+            baseline,
+            green,
+            policy,
+            snapshot_interval_s: 3600.0,
+            baseline_index,
+            green_index,
+            baseline_shape: config.baseline_shape,
+            green_shape: config.green_shape,
+        }
     }
 
     /// Overrides the metrics snapshot interval (default hourly).
@@ -207,6 +247,8 @@ impl AllocationSim {
         }
         resize_pool(&mut self.baseline, config.baseline_count, config.baseline_shape);
         resize_pool(&mut self.green, config.green_count, config.green_shape);
+        self.baseline_shape = config.baseline_shape;
+        self.green_shape = config.green_shape;
         if let Some(index) = &mut self.baseline_index {
             index.rebuild(&self.baseline);
         }
@@ -257,19 +299,33 @@ impl AllocationSim {
     /// Faults due at time `t` are applied before any trace event at
     /// `t`, and after any metrics snapshot due at `t` (the snapshot
     /// samples the pre-fault cluster). A full failure takes the server
-    /// offline for the rest of the trace and displaces every hosted VM;
-    /// a partial degrade shrinks the server in place and displaces only
-    /// VMs that no longer fit. Displaced VMs are re-placed through the
-    /// policy (in ascending id order, with a bounded number of retry
-    /// passes); those that cannot be re-placed anywhere are counted as
-    /// [`FaultSummary::evacuation_failures`]. An empty plan makes this
-    /// bit-identical to [`Self::replay_prepared`].
+    /// offline and displaces every hosted VM; a partial degrade shrinks
+    /// the server in place and displaces only VMs that no longer fit.
+    /// Displaced VMs are re-placed through the policy (in ascending id
+    /// order, with a bounded number of retry passes); those that cannot
+    /// be re-placed anywhere join the pending-placement queue and wait.
+    /// A [`FaultKind::Revive`] brings an offline server back empty at
+    /// its pristine pool shape and drains the pending queue (ascending
+    /// id, single pass — placements only consume capacity, so one pass
+    /// is complete). Pending VMs that depart or reach the horizon
+    /// without ever finding a home are counted as
+    /// [`FaultSummary::evacuation_failures`], and every second a VM
+    /// spends in the queue accrues to
+    /// [`crate::AvailabilitySummary::vm_seconds_lost`]. An empty plan
+    /// makes this bit-identical to [`Self::replay_prepared`], and a
+    /// revive-free plan leaves every displaced-but-unplaceable VM
+    /// failing exactly as before (only the time at which the failure is
+    /// counted moves from the fault to the departure/horizon).
     pub fn replay_prepared_faulted(
         &mut self,
         prepared: &PreparedTrace,
         plan: &FaultPlan,
     ) -> (SimOutcome, FaultSummary) {
-        self.replay_prepared_events(prepared, prepared.events(), plan)
+        let (outcome, mut summary) = self.replay_prepared_events(prepared, prepared.events(), plan);
+        if summary.faults_applied() {
+            summary.availability.blast_radius_servers = plan.max_correlated_strikes();
+        }
+        (outcome, summary)
     }
 
     /// Replays an explicit event slice of `prepared` — the whole trace
@@ -294,12 +350,19 @@ impl AllocationSim {
         let mut green_overflow = 0usize;
         let mut next_snapshot = self.snapshot_interval_s;
         let mut summary = FaultSummary::default();
+        let mut runtime = FaultRuntime::new();
         let faults = plan.events();
         let mut next_fault = 0usize;
         let duration_s = prepared.duration_s();
 
         for event in events {
-            while next_fault < faults.len() && faults[next_fault].time_s <= event.time_s {
+            // Faults due by this event apply first — but never past the
+            // horizon, even when the trace's event tail extends beyond
+            // it (a repair completing after the horizon must not land).
+            while next_fault < faults.len()
+                && faults[next_fault].time_s <= event.time_s
+                && faults[next_fault].time_s <= duration_s
+            {
                 self.drain_snapshots(
                     &mut metrics,
                     &mut next_snapshot,
@@ -313,6 +376,7 @@ impl AllocationSim {
                     &mut placements,
                     &mut usage,
                     &mut summary,
+                    &mut runtime,
                 );
                 next_fault += 1;
             }
@@ -347,9 +411,12 @@ impl AllocationSim {
                     }
                 }
                 VmEventKind::Departure => {
-                    // A miss means the VM was rejected on arrival.
+                    // A miss means the VM was rejected on arrival — or
+                    // displaced into the pending queue, in which case
+                    // the wait ends here as a failure.
                     if let Some(active) = placements[event.slot as usize].take() {
                         let dwell = event.time_s - active.arrival_s;
+                        runtime.served_s += dwell;
                         self.remove_placed(active.placement, vm.id);
                         match active.placement {
                             Placement::Baseline(_) => {
@@ -359,6 +426,9 @@ impl AllocationSim {
                                 usage.record_green(active.app_index, active.cores, dwell);
                             }
                         }
+                    } else if let Some(since) = runtime.pending.remove(&vm.id) {
+                        summary.evacuation_failures += 1;
+                        summary.availability.vm_seconds_lost += event.time_s - since;
                     }
                 }
             }
@@ -379,6 +449,7 @@ impl AllocationSim {
                 &mut placements,
                 &mut usage,
                 &mut summary,
+                &mut runtime,
             );
             next_fault += 1;
         }
@@ -392,6 +463,7 @@ impl AllocationSim {
         for &slot in prepared.slots_by_id() {
             if let Some(active) = placements[slot as usize].take() {
                 let dwell = duration_s - active.arrival_s;
+                runtime.served_s += dwell;
                 match active.placement {
                     Placement::Baseline(_) => {
                         usage.record_baseline(active.app_index, active.cores, dwell);
@@ -402,10 +474,30 @@ impl AllocationSim {
                 }
             }
         }
+        Self::settle_fault_runtime(&mut summary, &runtime, duration_s);
         (
             SimOutcome { rejected, placed_green, placed_baseline, green_overflow, metrics, usage },
             summary,
         )
+    }
+
+    /// Horizon close-out of the fault runtime, identical for both
+    /// engines: pending VMs never re-placed become evacuation failures
+    /// with downtime to the horizon, still-offline servers accrue
+    /// down-seconds to the horizon, and the served-time denominator is
+    /// published — but only when at least one fault actually struck, so
+    /// an inert plan keeps the summary bit-identical to the default.
+    fn settle_fault_runtime(summary: &mut FaultSummary, runtime: &FaultRuntime, duration_s: f64) {
+        for since in runtime.pending.values() {
+            summary.evacuation_failures += 1;
+            summary.availability.vm_seconds_lost += duration_s - since;
+        }
+        for since in runtime.down_since.values() {
+            summary.availability.server_down_seconds += duration_s - since;
+        }
+        if summary.faults_applied() {
+            summary.availability.vm_seconds_served = runtime.served_s;
+        }
     }
 
     /// Reference replay that resolves each VM through `transform` per
@@ -433,12 +525,19 @@ impl AllocationSim {
         let mut green_overflow = 0usize;
         let mut next_snapshot = self.snapshot_interval_s;
         let mut summary = FaultSummary::default();
+        let mut runtime = FaultRuntime::new();
         let faults = plan.events();
         let mut next_fault = 0usize;
         let duration_s = trace.duration_s();
 
         for event in trace.events() {
-            while next_fault < faults.len() && faults[next_fault].time_s <= event.time_s {
+            // Faults due by this event apply first — but never past the
+            // horizon, even when the trace's event tail extends beyond
+            // it (a repair completing after the horizon must not land).
+            while next_fault < faults.len()
+                && faults[next_fault].time_s <= event.time_s
+                && faults[next_fault].time_s <= duration_s
+            {
                 self.drain_snapshots(
                     &mut metrics,
                     &mut next_snapshot,
@@ -453,6 +552,7 @@ impl AllocationSim {
                     &mut placements,
                     &mut usage,
                     &mut summary,
+                    &mut runtime,
                 );
                 next_fault += 1;
             }
@@ -493,9 +593,12 @@ impl AllocationSim {
                     }
                 }
                 VmEventKind::Departure => {
-                    // A miss means the VM was rejected on arrival.
+                    // A miss means the VM was rejected on arrival — or
+                    // displaced into the pending queue, in which case
+                    // the wait ends here as a failure.
                     if let Some(active) = placements.remove(&vm.id) {
                         let dwell = event.time_s - active.arrival_s;
+                        runtime.served_s += dwell;
                         self.remove_placed(active.placement, vm.id);
                         match active.placement {
                             Placement::Baseline(_) => {
@@ -505,6 +608,9 @@ impl AllocationSim {
                                 usage.record_green(active.app_index, active.cores, dwell);
                             }
                         }
+                    } else if let Some(since) = runtime.pending.remove(&vm.id) {
+                        summary.evacuation_failures += 1;
+                        summary.availability.vm_seconds_lost += event.time_s - since;
                     }
                 }
             }
@@ -526,6 +632,7 @@ impl AllocationSim {
                 &mut placements,
                 &mut usage,
                 &mut summary,
+                &mut runtime,
             );
             next_fault += 1;
         }
@@ -539,6 +646,7 @@ impl AllocationSim {
         // order.
         for (_, active) in placements {
             let dwell = duration_s - active.arrival_s;
+            runtime.served_s += dwell;
             match active.placement {
                 Placement::Baseline(_) => {
                     usage.record_baseline(active.app_index, active.cores, dwell);
@@ -547,6 +655,10 @@ impl AllocationSim {
                     usage.record_green(active.app_index, active.cores, dwell);
                 }
             }
+        }
+        Self::settle_fault_runtime(&mut summary, &runtime, duration_s);
+        if summary.faults_applied() {
+            summary.availability.blast_radius_servers = plan.max_correlated_strikes();
         }
         (
             SimOutcome { rejected, placed_green, placed_baseline, green_overflow, metrics, usage },
@@ -570,18 +682,35 @@ impl AllocationSim {
         }
     }
 
-    /// Applies the capacity loss of one fault to the struck server and
-    /// updates the loss accounting. Returns the displaced VM ids in
-    /// ascending order, or `None` when the fault strikes nothing (the
-    /// plan addresses a server this configuration does not have, or one
-    /// already offline).
+    /// Applies the capacity change of one fault to the struck server
+    /// and updates the loss accounting. Returns the displaced VM ids in
+    /// ascending order (always empty for a revive), or `None` when the
+    /// fault strikes nothing: the plan addresses a server this
+    /// configuration does not have, a failure lands on a server already
+    /// offline, or a revive lands on a server that is not offline (it
+    /// may have been repaired by an earlier rack-level revive already).
     fn strike(&mut self, fault: &FaultEvent, summary: &mut FaultSummary) -> Option<Vec<u64>> {
-        let (pool, index) = match fault.pool {
-            FaultPool::Baseline => (&mut self.baseline, &mut self.baseline_index),
-            FaultPool::Green => (&mut self.green, &mut self.green_index),
+        let (pool, index, pristine) = match fault.pool {
+            FaultPool::Baseline => {
+                (&mut self.baseline, &mut self.baseline_index, self.baseline_shape)
+            }
+            FaultPool::Green => (&mut self.green, &mut self.green_index, self.green_shape),
         };
         let struck = fault.server as usize;
         let server = pool.get_mut(struck)?;
+        if matches!(fault.kind, FaultKind::Revive) {
+            // Only a fully-failed server is repairable; degraded ones
+            // failed in place and stay degraded.
+            if !server.is_offline() {
+                return None;
+            }
+            server.reset(pristine);
+            summary.revivals += 1;
+            if let Some(index) = index.as_mut() {
+                index.refresh(struck, server);
+            }
+            return Some(Vec::new());
+        }
         if server.is_offline() {
             return None;
         }
@@ -601,6 +730,9 @@ impl AllocationSim {
                 summary.mem_lost_gb += before.mem_gb - after.mem_gb;
                 evicted
             }
+            // Handled by the early return above; kept total so the
+            // match needs no panic arm.
+            FaultKind::Revive => Vec::new(),
         };
         if let Some(index) = index.as_mut() {
             index.refresh(struck, server);
@@ -611,7 +743,10 @@ impl AllocationSim {
 
     /// Applies one fault on the prepared path: strikes the server,
     /// settles usage for displaced VMs up to the fault time, then tries
-    /// to re-place them (ascending id order) with bounded retry passes.
+    /// to re-place them (ascending id order) with bounded retry passes;
+    /// VMs still homeless afterwards join the pending queue. A revive
+    /// instead closes the server's downtime and drains the queue.
+    #[allow(clippy::too_many_arguments)]
     fn apply_fault_prepared(
         &mut self,
         fault: &FaultEvent,
@@ -620,14 +755,29 @@ impl AllocationSim {
         placements: &mut [Option<ActiveVm>],
         usage: &mut UsageLedger,
         summary: &mut FaultSummary,
+        runtime: &mut FaultRuntime,
     ) {
         let Some(mut pending) = self.strike(fault, summary) else {
             return;
         };
+        if matches!(fault.kind, FaultKind::Revive) {
+            if let Some(since) = runtime.down_since.remove(&(fault.pool, fault.server)) {
+                summary.availability.server_down_seconds += fault.time_s - since;
+            }
+            self.drain_pending_prepared(fault.time_s, prepared, placements, summary, runtime);
+            return;
+        }
+        if matches!(fault.kind, FaultKind::FullFailure) {
+            runtime.down_since.insert((fault.pool, fault.server), fault.time_s);
+        }
         if pending.is_empty() {
             return;
         }
         summary.displaced += pending.len();
+        summary.availability.max_simultaneous_displaced = summary
+            .availability
+            .max_simultaneous_displaced
+            .max(runtime.pending.len() + pending.len());
         // Close out the displaced VMs' residency on their old server.
         for id in &pending {
             let Some(slot) = prepared.slot_of_id(*id) else {
@@ -635,6 +785,7 @@ impl AllocationSim {
             };
             if let Some(active) = placements[slot as usize].take() {
                 let dwell = fault.time_s - active.arrival_s;
+                runtime.served_s += dwell;
                 match active.placement {
                     Placement::Baseline(_) => {
                         usage.record_baseline(active.app_index, active.cores, dwell);
@@ -688,7 +839,48 @@ impl AllocationSim {
                 break;
             }
         }
-        summary.evacuation_failures += pending.len();
+        // Still homeless: wait in the pending queue for capacity to
+        // return (a revive drains it; departure/horizon fail it).
+        for id in pending {
+            runtime.pending.insert(id, fault.time_s);
+        }
+    }
+
+    /// Drains the pending queue on the prepared path after a revive, in
+    /// ascending VM-id order. A single pass is complete: placements
+    /// only consume capacity, so a VM that does not fit now will not
+    /// fit later in the same drain. Unresolvable ids stay queued (they
+    /// have no request to re-place with) and fail at the horizon.
+    fn drain_pending_prepared(
+        &mut self,
+        now: f64,
+        prepared: &PreparedTrace,
+        placements: &mut [Option<ActiveVm>],
+        summary: &mut FaultSummary,
+        runtime: &mut FaultRuntime,
+    ) {
+        if runtime.pending.is_empty() {
+            return;
+        }
+        let ids: Vec<u64> = runtime.pending.keys().copied().collect();
+        for id in ids {
+            let Some(slot) = prepared.slot_of_id(id) else {
+                continue;
+            };
+            let vm = prepared.vm(slot);
+            if let Some(p) = self.place(vm.id, vm.max_mem_util, &vm.request) {
+                summary.evacuated += 1;
+                if let Some(since) = runtime.pending.remove(&id) {
+                    summary.availability.vm_seconds_lost += now - since;
+                }
+                let cores = match p {
+                    Placement::Green(_) => vm.request.green_cores,
+                    Placement::Baseline(_) => vm.request.baseline_cores,
+                };
+                placements[slot as usize] =
+                    Some(ActiveVm { placement: p, arrival_s: now, cores, app_index: vm.app_index });
+            }
+        }
     }
 
     /// Applies one fault on the unprepared path; mirrors
@@ -703,18 +895,34 @@ impl AllocationSim {
         placements: &mut BTreeMap<u64, ActiveVm>,
         usage: &mut UsageLedger,
         summary: &mut FaultSummary,
+        runtime: &mut FaultRuntime,
     ) {
         let Some(mut pending) = self.strike(fault, summary) else {
             return;
         };
+        if matches!(fault.kind, FaultKind::Revive) {
+            if let Some(since) = runtime.down_since.remove(&(fault.pool, fault.server)) {
+                summary.availability.server_down_seconds += fault.time_s - since;
+            }
+            self.drain_pending(fault.time_s, trace, transform, placements, summary, runtime);
+            return;
+        }
+        if matches!(fault.kind, FaultKind::FullFailure) {
+            runtime.down_since.insert((fault.pool, fault.server), fault.time_s);
+        }
         if pending.is_empty() {
             return;
         }
         summary.displaced += pending.len();
+        summary.availability.max_simultaneous_displaced = summary
+            .availability
+            .max_simultaneous_displaced
+            .max(runtime.pending.len() + pending.len());
         // Close out the displaced VMs' residency on their old server.
         for id in &pending {
             if let Some(active) = placements.remove(id) {
                 let dwell = fault.time_s - active.arrival_s;
+                runtime.served_s += dwell;
                 match active.placement {
                     Placement::Baseline(_) => {
                         usage.record_baseline(active.app_index, active.cores, dwell);
@@ -768,7 +976,47 @@ impl AllocationSim {
                 break;
             }
         }
-        summary.evacuation_failures += pending.len();
+        // Still homeless: wait in the pending queue for capacity to
+        // return (a revive drains it; departure/horizon fail it).
+        for id in pending {
+            runtime.pending.insert(id, fault.time_s);
+        }
+    }
+
+    /// Unprepared mirror of [`Self::drain_pending_prepared`].
+    fn drain_pending(
+        &mut self,
+        now: f64,
+        trace: &Trace,
+        transform: &VmTransform<'_>,
+        placements: &mut BTreeMap<u64, ActiveVm>,
+        summary: &mut FaultSummary,
+        runtime: &mut FaultRuntime,
+    ) {
+        if runtime.pending.is_empty() {
+            return;
+        }
+        let ids: Vec<u64> = runtime.pending.keys().copied().collect();
+        for id in ids {
+            let Some(vm) = trace.vm(id) else {
+                continue;
+            };
+            let request = transform(vm);
+            if let Some(p) = self.place(vm.id, vm.max_mem_util, &request) {
+                summary.evacuated += 1;
+                if let Some(since) = runtime.pending.remove(&id) {
+                    summary.availability.vm_seconds_lost += now - since;
+                }
+                let cores = match p {
+                    Placement::Green(_) => request.green_cores,
+                    Placement::Baseline(_) => request.baseline_cores,
+                };
+                placements.insert(
+                    id,
+                    ActiveVm { placement: p, arrival_s: now, cores, app_index: vm.app_index },
+                );
+            }
+        }
     }
 
     /// Removes a VM from the server it occupies, keeping that pool's
@@ -1030,7 +1278,8 @@ mod tests {
         let vms = vec![vm(0, 40, 32.0, false)];
         let events = vec![arrive(0, 0.0)];
         let t = Trace::new(7200.0, vms, events);
-        let plan = FaultPlan::new(vec![full_fault(3600.0, FaultPool::Baseline, 0)], 3);
+        let plan =
+            FaultPlan::new(vec![full_fault(3600.0, FaultPool::Baseline, 0)], 3, 1, 0).unwrap();
         for prepared in [false, true] {
             let mut sim =
                 AllocationSim::new(ClusterConfig::baseline_only(1), PlacementPolicy::BestFit)
@@ -1183,7 +1432,10 @@ mod tests {
                 },
             ],
             3,
-        );
+            3,
+            2,
+        )
+        .unwrap();
         let config = ClusterConfig::mixed(3, 2);
         let (a_out, a_sum) = AllocationSim::new(config, PlacementPolicy::BestFit)
             .replay_faulted(&t, &transform, &plan);
@@ -1200,7 +1452,7 @@ mod tests {
         let vms: Vec<VmSpec> = (0..4).map(|i| vm(i, 8, 32.0, false)).collect();
         let events: Vec<VmEvent> = (0..4).map(|i| arrive(i, f64::from(i as u32))).collect();
         let t = trace(vms, events);
-        let plan = FaultPlan::new(vec![full_fault(10.0, FaultPool::Baseline, 0)], 3);
+        let plan = FaultPlan::new(vec![full_fault(10.0, FaultPool::Baseline, 0)], 3, 2, 0).unwrap();
         let mut sim = AllocationSim::new(ClusterConfig::baseline_only(2), PlacementPolicy::BestFit);
         let (out, summary) = sim.replay_faulted(&t, &baseline_transform, &plan);
         assert_eq!(out.rejected, 0);
@@ -1218,7 +1470,8 @@ mod tests {
         let vms: Vec<VmSpec> = (0..10).map(|i| vm(i, 8, 32.0, false)).collect();
         let events: Vec<VmEvent> = (0..10).map(|i| arrive(i, f64::from(i as u32))).collect();
         let t = trace(vms, events);
-        let plan = FaultPlan::new(vec![full_fault(100.0, FaultPool::Baseline, 0)], 1000);
+        let plan =
+            FaultPlan::new(vec![full_fault(100.0, FaultPool::Baseline, 0)], 1000, 1, 0).unwrap();
         let mut sim = AllocationSim::new(ClusterConfig::baseline_only(1), PlacementPolicy::BestFit);
         let (out, summary) = sim.replay_faulted(&t, &baseline_transform, &plan);
         assert_eq!(summary.displaced, 10);
@@ -1245,7 +1498,10 @@ mod tests {
                 kind: FaultKind::PartialDegrade { cores_lost: 48, mem_lost_gb: 0.0 },
             }],
             3,
-        );
+            1,
+            0,
+        )
+        .unwrap();
         let mut sim = AllocationSim::new(ClusterConfig::baseline_only(1), PlacementPolicy::BestFit);
         let (_, summary) = sim.replay_faulted(&t, &baseline_transform, &plan);
         assert_eq!(summary.partial_degrades, 1);
@@ -1271,7 +1527,10 @@ mod tests {
                 },
             ],
             3,
-        );
+            3,
+            2,
+        )
+        .unwrap();
         let config = ClusterConfig::mixed(3, 2);
         let run = || {
             AllocationSim::new(config, PlacementPolicy::BestFit)
@@ -1288,7 +1547,9 @@ mod tests {
         let vms = vec![vm(0, 8, 32.0, false)];
         let events = vec![arrive(0, 1.0)];
         let t = trace(vms, events);
-        let plan = FaultPlan::new(vec![full_fault(5.0, FaultPool::Baseline, 7)], 3);
+        // The plan is valid for an 8-server pool, but the replayed
+        // cluster has only one server: the strike lands on nothing.
+        let plan = FaultPlan::new(vec![full_fault(5.0, FaultPool::Baseline, 7)], 3, 8, 0).unwrap();
         let mut sim = AllocationSim::new(ClusterConfig::baseline_only(1), PlacementPolicy::BestFit);
         let (out, summary) = sim.replay_faulted(&t, &baseline_transform, &plan);
         assert_eq!(summary, FaultSummary::default());
@@ -1306,7 +1567,10 @@ mod tests {
                 full_fault(20.0, FaultPool::Baseline, 0),
             ],
             3,
-        );
+            2,
+            0,
+        )
+        .unwrap();
         let mut sim = AllocationSim::new(ClusterConfig::baseline_only(2), PlacementPolicy::BestFit);
         let (_, summary) = sim.replay_faulted(&t, &baseline_transform, &plan);
         assert_eq!(summary.full_failures, 1);
@@ -1320,7 +1584,8 @@ mod tests {
         let vms = vec![vm(0, 8, 32.0, false)];
         let events = vec![arrive(0, 0.0)];
         let t = Trace::new(7200.0, vms, events);
-        let plan = FaultPlan::new(vec![full_fault(3600.0, FaultPool::Baseline, 0)], 3);
+        let plan =
+            FaultPlan::new(vec![full_fault(3600.0, FaultPool::Baseline, 0)], 3, 2, 0).unwrap();
         let mut sim = AllocationSim::new(ClusterConfig::baseline_only(2), PlacementPolicy::BestFit);
         let (out, summary) = sim.replay_faulted(&t, &baseline_transform, &plan);
         assert_eq!(summary.evacuated, 1);
@@ -1338,7 +1603,7 @@ mod tests {
         // vanish from the accounting entirely.)
         let stale = trace(vec![vm(100, 8, 32.0, false)], vec![arrive(100, 0.0)]);
         let fresh = trace(vec![vm(0, 4, 16.0, false)], vec![arrive(0, 5.0)]);
-        let plan = FaultPlan::new(vec![full_fault(1.0, FaultPool::Baseline, 0)], 3);
+        let plan = FaultPlan::new(vec![full_fault(1.0, FaultPool::Baseline, 0)], 3, 1, 0).unwrap();
 
         let mut sim = AllocationSim::new(ClusterConfig::baseline_only(1), PlacementPolicy::BestFit);
         sim.replay(&stale, &baseline_transform);
@@ -1356,6 +1621,96 @@ mod tests {
         sim.replay(&stale, &baseline_transform);
         let (_, summary) = sim.replay_faulted_unprepared(&fresh, &baseline_transform, &plan);
         assert_eq!((summary.displaced, summary.evacuation_failures), (1, 1));
+    }
+
+    fn revive(time_s: f64, pool: FaultPool, server: u32) -> FaultEvent {
+        FaultEvent { time_s, pool, server, kind: FaultKind::Revive }
+    }
+
+    #[test]
+    fn revive_restores_capacity_and_drains_pending_queue() {
+        // One server fully packed with ten 8-core VMs fails at t=100
+        // with nowhere to evacuate; a repair at t=200 brings it back
+        // and every waiting VM re-places on it.
+        let vms: Vec<VmSpec> = (0..10).map(|i| vm(i, 8, 32.0, false)).collect();
+        let events: Vec<VmEvent> = (0..10).map(|i| arrive(i, f64::from(i as u32))).collect();
+        let t = trace(vms, events);
+        let plan = FaultPlan::new(
+            vec![full_fault(100.0, FaultPool::Baseline, 0), revive(200.0, FaultPool::Baseline, 0)],
+            3,
+            1,
+            0,
+        )
+        .unwrap();
+        let run = |unprepared: bool| {
+            let mut sim =
+                AllocationSim::new(ClusterConfig::baseline_only(1), PlacementPolicy::BestFit);
+            if unprepared {
+                sim.replay_faulted_unprepared(&t, &baseline_transform, &plan)
+            } else {
+                sim.replay_faulted(&t, &baseline_transform, &plan)
+            }
+        };
+        let (p_out, p_sum) = run(false);
+        let (u_out, u_sum) = run(true);
+        assert_eq!(p_out, u_out);
+        assert_eq!(p_sum, u_sum);
+
+        assert_eq!(p_sum.full_failures, 1);
+        assert_eq!(p_sum.revivals, 1);
+        assert_eq!(p_sum.displaced, 10);
+        assert_eq!(p_sum.evacuated, 10);
+        assert_eq!(p_sum.evacuation_failures, 0);
+        assert!(p_sum.all_evacuated());
+        // Each VM waited exactly 100 s in the queue.
+        assert!((p_sum.availability.vm_seconds_lost - 10.0 * 100.0).abs() < 1e-9);
+        assert!((p_sum.availability.server_down_seconds - 100.0).abs() < 1e-9);
+        assert_eq!(p_sum.availability.max_simultaneous_displaced, 10);
+        assert_eq!(p_sum.availability.blast_radius_servers, 1);
+        assert!(p_sum.availability.vm_seconds_served > 0.0);
+        assert!(p_sum.availability.availability() < 1.0);
+        // Usage keeps flowing after the re-placement: ten 8-core VMs
+        // resident to the 1 000 000 s horizon dominate the total.
+        assert!(p_out.usage.baseline_core_hours(0) > 10.0 * 8.0 * 900_000.0 / 3600.0);
+    }
+
+    #[test]
+    fn revive_on_online_server_is_noop() {
+        let vms: Vec<VmSpec> = (0..4).map(|i| vm(i, 8, 32.0, false)).collect();
+        let events: Vec<VmEvent> = (0..4).map(|i| arrive(i, f64::from(i as u32))).collect();
+        let t = trace(vms, events);
+        let plan = FaultPlan::new(vec![revive(50.0, FaultPool::Baseline, 0)], 3, 2, 0).unwrap();
+        let plain = AllocationSim::new(ClusterConfig::baseline_only(2), PlacementPolicy::BestFit)
+            .replay(&t, &baseline_transform);
+        let (out, summary) =
+            AllocationSim::new(ClusterConfig::baseline_only(2), PlacementPolicy::BestFit)
+                .replay_faulted(&t, &baseline_transform, &plan);
+        assert_eq!(summary, FaultSummary::default());
+        assert_eq!(out, plain);
+    }
+
+    #[test]
+    fn pending_vm_departure_is_an_evacuation_failure() {
+        // The VM is displaced into a saturated fleet at t=10 and
+        // departs at t=50 still homeless: 40 s of downtime, one
+        // failure, in both engines.
+        let vms = vec![vm(0, 8, 32.0, false)];
+        let events = vec![arrive(0, 0.0), depart(0, 50.0)];
+        let t = trace(vms, events);
+        let plan = FaultPlan::new(vec![full_fault(10.0, FaultPool::Baseline, 0)], 3, 1, 0).unwrap();
+        for unprepared in [false, true] {
+            let mut sim =
+                AllocationSim::new(ClusterConfig::baseline_only(1), PlacementPolicy::BestFit);
+            let (_, summary) = if unprepared {
+                sim.replay_faulted_unprepared(&t, &baseline_transform, &plan)
+            } else {
+                sim.replay_faulted(&t, &baseline_transform, &plan)
+            };
+            assert_eq!(summary.displaced, 1);
+            assert_eq!(summary.evacuated, 0);
+            assert_eq!(summary.evacuation_failures, 1);
+            assert!((summary.availability.vm_seconds_lost - 40.0).abs() < 1e-9);
+        }
     }
 
     #[test]
