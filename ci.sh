@@ -41,6 +41,12 @@ cargo test -q -p gsf-cluster --test shard_equivalence
 # must replay identically sharded and serial; horizon-edge events, SLO
 # monotonicity, and the Little's-law OOS consistency check live here.
 cargo test -q -p gsf-cluster --test availability_equivalence
+# Streamed-replay equivalence: evaluating from a chunked trace stream
+# (bounded memory, no materialized Trace) must stay bit-identical to
+# the in-memory path and share its cache entries. --include-ignored
+# pulls in the fleet-scale 24k-VM fixture, which only runs here in
+# release (the earlier `cargo build --release` makes this cheap).
+cargo test -q --release -p gsf-core --test streamed_equivalence -- --include-ignored
 # Docs must build clean: public-API rustdoc (broken intra-doc links,
 # malformed HTML) is a release gate, not a warning.
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q

@@ -75,7 +75,7 @@ fn sec2_characterize(c: &mut Criterion) {
 /// Trace codec round trip.
 fn trace_codec(c: &mut Criterion) {
     let trace = bench_trace();
-    let encoded = trace.encode();
+    let encoded = trace.encode().unwrap();
     c.bench_function("trace_encode", |b| b.iter(|| black_box(trace.encode())));
     c.bench_function("trace_decode", |b| {
         b.iter(|| black_box(Trace::decode(encoded.clone()).unwrap()))

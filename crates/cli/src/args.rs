@@ -45,8 +45,17 @@ impl fmt::Display for ArgError {
 
 impl std::error::Error for ArgError {}
 
+/// Commands that take a sub-command word: `gsf trace synth ...` parses
+/// as the single command `"trace synth"`. Any other positional after a
+/// command is still an error.
+const COMMAND_GROUPS: [&str; 1] = ["trace"];
+
+/// Flags whose value is optional: a bare `--stream` (followed by
+/// another flag or nothing) reads as `--stream true`.
+const BOOLEAN_FLAGS: [&str; 1] = ["stream"];
+
 impl Args {
-    /// Parses `command --flag value ...`.
+    /// Parses `command [subcommand] --flag value ...`.
     ///
     /// # Errors
     ///
@@ -57,15 +66,25 @@ impl Args {
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        let mut iter = argv.into_iter().map(Into::into);
-        let command = iter.next().ok_or(ArgError::MissingCommand)?;
+        let mut iter = argv.into_iter().map(Into::into).peekable();
+        let mut command = iter.next().ok_or(ArgError::MissingCommand)?;
         if command.starts_with('-') && command != "--help" && command != "-h" {
             return Err(ArgError::UnexpectedPositional(command));
+        }
+        if COMMAND_GROUPS.contains(&command.as_str()) {
+            if let Some(sub) = iter.next_if(|a| !a.starts_with('-')) {
+                command.push(' ');
+                command.push_str(&sub);
+            }
         }
         let mut flags = HashMap::new();
         while let Some(arg) = iter.next() {
             if let Some(key) = arg.strip_prefix("--") {
-                let value = iter.next().ok_or_else(|| ArgError::MissingValue(key.into()))?;
+                let value = if BOOLEAN_FLAGS.contains(&key) {
+                    iter.next_if(|a| !a.starts_with("--")).unwrap_or_else(|| "true".to_string())
+                } else {
+                    iter.next().ok_or_else(|| ArgError::MissingValue(key.into()))?
+                };
                 flags.insert(key.to_string(), value);
             } else {
                 return Err(ArgError::UnexpectedPositional(arg));
@@ -87,6 +106,12 @@ impl Args {
     /// String flag with a default.
     pub fn get_or<'a>(&'a self, flag: &str, default: &'a str) -> &'a str {
         self.get(flag).unwrap_or(default)
+    }
+
+    /// Boolean flag: true for `--flag`, `--flag true`, `--flag 1`, or
+    /// `--flag yes`; false when absent or given any other value.
+    pub fn get_bool(&self, flag: &str) -> bool {
+        matches!(self.get(flag), Some("true" | "1" | "yes"))
     }
 
     /// Parsed numeric flag with a default.
@@ -138,5 +163,34 @@ mod tests {
     fn defaults_pass_through() {
         let a = Args::parse(["cmd"]).unwrap();
         assert_eq!(a.get_or("design", "full"), "full");
+    }
+
+    #[test]
+    fn trace_group_joins_subcommand() {
+        let a = Args::parse(["trace", "synth", "--out", "x.gst"]).unwrap();
+        assert_eq!(a.command(), "trace synth");
+        assert_eq!(a.get("out"), Some("x.gst"));
+        // A bare `trace` stays a single (unknown) command.
+        assert_eq!(Args::parse(["trace"]).unwrap().command(), "trace");
+        // Other commands still reject positionals.
+        assert_eq!(
+            Args::parse(["fleet", "synth"]),
+            Err(ArgError::UnexpectedPositional("synth".into()))
+        );
+    }
+
+    #[test]
+    fn boolean_flags_take_optional_values() {
+        let a = Args::parse(["fleet", "--stream", "--design", "full"]).unwrap();
+        assert!(a.get_bool("stream"));
+        assert_eq!(a.get("design"), Some("full"));
+        let a = Args::parse(["fleet", "--stream"]).unwrap();
+        assert!(a.get_bool("stream"));
+        let a = Args::parse(["fleet", "--stream", "false"]).unwrap();
+        assert!(!a.get_bool("stream"));
+        let a = Args::parse(["fleet"]).unwrap();
+        assert!(!a.get_bool("stream"));
+        // Non-boolean flags still require a value.
+        assert_eq!(Args::parse(["cmd", "--flag"]), Err(ArgError::MissingValue("flag".into())));
     }
 }

@@ -10,7 +10,10 @@ use gsf_core::search::{evaluate_space_with, pareto_front, CandidateSpace};
 use gsf_core::{EvalContext, GreenSkuDesign, GsfError, GsfPipeline, PipelineConfig};
 use gsf_stats::rng::SeedFactory;
 use gsf_stats::table::{fmt_f, fmt_pct, Table};
-use gsf_workloads::{Trace, TraceCodecError, TraceGenerator, TraceParams};
+use gsf_workloads::{
+    decode_chunks, sniff_chunked, Trace, TraceChunkReader, TraceCodecError, TraceGenerator,
+    TraceParams, TraceStreamError, DEFAULT_CHUNK_EVENTS,
+};
 use std::fmt;
 
 /// CLI failure modes.
@@ -37,6 +40,8 @@ pub enum CliError {
     Io(std::io::Error),
     /// Trace decoding failure.
     Trace(TraceCodecError),
+    /// Chunked trace stream failure (I/O, truncation, or corruption).
+    Stream(TraceStreamError),
     /// Invalid fault-model parameter.
     Maintenance(gsf_maintenance::MaintenanceError),
 }
@@ -53,6 +58,7 @@ impl fmt::Display for CliError {
             CliError::Gsf(e) => write!(f, "{e}"),
             CliError::Io(e) => write!(f, "{e}"),
             CliError::Trace(e) => write!(f, "{e}"),
+            CliError::Stream(e) => write!(f, "{e}"),
             CliError::Maintenance(e) => write!(f, "{e}"),
         }
     }
@@ -83,6 +89,11 @@ impl From<std::io::Error> for CliError {
 impl From<TraceCodecError> for CliError {
     fn from(e: TraceCodecError) -> Self {
         CliError::Trace(e)
+    }
+}
+impl From<TraceStreamError> for CliError {
+    fn from(e: TraceStreamError) -> Self {
+        CliError::Stream(e)
     }
 }
 impl From<gsf_maintenance::MaintenanceError> for CliError {
@@ -168,13 +179,16 @@ pub fn help() -> String {
          \u{20}  search    [--workers N]            design-space exploration + Pareto front\n\
          \u{20}  tco                                TCO model over the SKU set\n\
          \u{20}  gen-trace --out FILE [--hours H] [--arrivals A] [--seed S] [--diurnal A]\n\
+         \u{20}  trace synth   --out FILE [--hours H] [--arrivals A] [--seed S] [--diurnal A] [--chunk-events N]\n\
+         \u{20}  trace inspect --trace FILE\n\
          \u{20}  replay    --trace FILE --design NAME\n\
          \u{20}  characterize [--trace FILE | --hours H --arrivals A --seed S]\n\
          \u{20}  regions                            per-region CI and best design\n\
          \u{20}  defer     --region NAME [--runtime H] [--cores N]\n\
          \u{20}  faults    --design NAME [--afr-scale X] [--fip F] [--years Y] [--fault-seed S]\n\
          \u{20}            [--topology N] [--domain-rate R] [--repair-days D] [--slo M] [--format text|json]\n\
-         \u{20}  fleet     --design NAME [--traces N] [--workers N] [--shards K] [--hours H] [--seed S]\n\nSKUs: ",
+         \u{20}  fleet     --design NAME [--traces N] [--workers N] [--shards K] [--hours H] [--seed S]\n\
+         \u{20}            [--trace-file FILE [--stream]]   evaluate a trace file (chunked or legacy)\n\nSKUs: ",
     );
     out.push_str(&SKU_NAMES.join(", "));
     out.push('\n');
@@ -198,6 +212,9 @@ pub fn run_command(args: &Args) -> Result<String, CliError> {
         "search" => search(args),
         "tco" => tco(),
         "gen-trace" => gen_trace(args),
+        "trace synth" => trace_synth(args),
+        "trace inspect" => trace_inspect(args),
+        "trace" => Err(CliError::UnknownCommand("trace (expected synth or inspect)".to_string())),
         "replay" => replay(args),
         "characterize" => characterize_cmd(args),
         "regions" => regions_cmd(),
@@ -345,7 +362,7 @@ fn tco() -> Result<String, CliError> {
 fn gen_trace(args: &Args) -> Result<String, CliError> {
     let out_path = args.get("out").ok_or_else(|| ArgError::MissingValue("out".into()))?.to_string();
     let trace = trace_from(args)?;
-    std::fs::write(&out_path, trace.encode())?;
+    std::fs::write(&out_path, trace.encode()?)?;
     Ok(format!(
         "wrote {} VMs / {} events over {:.0} h to {out_path}\n",
         trace.vms().len(),
@@ -354,10 +371,108 @@ fn gen_trace(args: &Args) -> Result<String, CliError> {
     ))
 }
 
+/// Loads a trace file of either format, sniffed from its magic: the
+/// chunked streaming format (`trace synth`) or the legacy monolithic
+/// encoding (`gen-trace`).
+fn load_trace(path: &str) -> Result<Trace, CliError> {
+    let bytes = std::fs::read(path)?;
+    if sniff_chunked(&bytes) {
+        Ok(decode_chunks(&bytes[..])?)
+    } else {
+        Ok(Trace::decode(bytes::Bytes::from(bytes))?)
+    }
+}
+
+/// Synthesizes a trace straight to a chunked file: the generator's
+/// event stream goes through [`TraceGenerator::synthesize_streamed`],
+/// so peak memory is O(concurrency), never O(trace) — the path for
+/// fleet-scale multi-week traces.
+fn trace_synth(args: &Args) -> Result<String, CliError> {
+    use std::io::Write as _;
+    let out_path = args.get("out").ok_or_else(|| ArgError::MissingValue("out".into()))?.to_string();
+    let hours = args.get_num("hours", 24.0)?;
+    let arrivals = args.get_num("arrivals", 80.0)?;
+    let seed = args.get_num("seed", 42u64)?;
+    let diurnal = args.get_num("diurnal", 0.0)?;
+    let chunk_events: usize = args.get_num("chunk-events", DEFAULT_CHUNK_EVENTS)?;
+    let g = TraceGenerator::new(TraceParams {
+        duration_hours: hours,
+        arrivals_per_hour: arrivals,
+        diurnal_amplitude: diurnal,
+        ..TraceParams::default()
+    });
+    let mut out = std::io::BufWriter::new(std::fs::File::create(&out_path)?);
+    let digest =
+        g.synthesize_streamed(&SeedFactory::new(seed), 0, &mut out, chunk_events.max(1))?;
+    out.flush()?;
+    // Read the file back through the verifying decoder: every chunk
+    // hash and the footer digest are checked before we report success.
+    let (vms, events, _, verified) = scan_chunked(&out_path)?;
+    debug_assert_eq!(verified, digest);
+    Ok(format!(
+        "synthesized {vms} VMs / {events} events over {hours:.0} h to {out_path} \
+         (chunked, digest {:016x}{:016x}, verified)\n",
+        digest.0, digest.1
+    ))
+}
+
+/// Streams a chunked trace file end to end, returning (VMs, events,
+/// chunks, digest) after verifying every chunk hash and the footer.
+fn scan_chunked(path: &str) -> Result<(u64, u64, u64, (u64, u64)), CliError> {
+    let file = std::fs::File::open(path)?;
+    let mut reader = TraceChunkReader::new(std::io::BufReader::new(file))?;
+    let mut chunks = 0u64;
+    while let Some(_chunk) = reader.next_chunk()? {
+        chunks += 1;
+    }
+    let (vms, events) = reader.totals().unwrap_or((0, 0));
+    let digest = reader.content_hash().unwrap_or((0, 0));
+    Ok((vms, events, chunks, digest))
+}
+
+/// Reports what a trace file contains without materializing it:
+/// chunked files are streamed (and fully verified) in bounded memory;
+/// legacy files are decoded.
+fn trace_inspect(args: &Args) -> Result<String, CliError> {
+    let path = args.get("trace").ok_or_else(|| ArgError::MissingValue("trace".into()))?.to_string();
+    let mut prefix = [0u8; 8];
+    {
+        use std::io::Read as _;
+        let mut f = std::fs::File::open(&path)?;
+        let n = f.read(&mut prefix)?;
+        if sniff_chunked(&prefix[..n]) {
+            drop(f);
+            let file = std::fs::File::open(&path)?;
+            let duration_s = {
+                let reader = TraceChunkReader::new(std::io::BufReader::new(file))?;
+                reader.duration_s()
+            };
+            let (vms, events, chunks, digest) = scan_chunked(&path)?;
+            return Ok(format!(
+                "{path}: chunked trace\n  duration: {:.2} h\n  VMs:      {vms}\n  \
+                 events:   {events}\n  chunks:   {chunks}\n  digest:   {:016x}{:016x} (verified)\n",
+                duration_s / 3600.0,
+                digest.0,
+                digest.1
+            ));
+        }
+    }
+    let trace = load_trace(&path)?;
+    let digest = trace.content_hash();
+    Ok(format!(
+        "{path}: legacy trace\n  duration: {:.2} h\n  VMs:      {}\n  events:   {}\n  \
+         digest:   {:016x}{:016x}\n",
+        trace.duration_s() / 3600.0,
+        trace.vms().len(),
+        trace.events().len(),
+        digest.0,
+        digest.1
+    ))
+}
+
 fn replay(args: &Args) -> Result<String, CliError> {
     let path = args.get("trace").ok_or_else(|| ArgError::MissingValue("trace".into()))?.to_string();
-    let bytes = std::fs::read(&path)?;
-    let trace = Trace::decode(bytes::Bytes::from(bytes))?;
+    let trace = load_trace(&path)?;
     let design = design_by_name(args.get_or("design", "full"))?;
     let pipeline = GsfPipeline::new(PipelineConfig::default());
     let o = pipeline.evaluate(&design, &trace)?;
@@ -378,10 +493,7 @@ fn replay(args: &Args) -> Result<String, CliError> {
 
 fn characterize_cmd(args: &Args) -> Result<String, CliError> {
     let trace = match args.get("trace") {
-        Some(path) => {
-            let bytes = std::fs::read(path)?;
-            Trace::decode(bytes::Bytes::from(bytes))?
-        }
+        Some(path) => load_trace(path)?,
         None => trace_from(args)?,
     };
     Ok(gsf_workloads::characterize(&trace).render())
@@ -657,7 +769,47 @@ fn faults_cmd(args: &Args) -> Result<String, CliError> {
     ))
 }
 
+/// `gsf fleet --trace-file FILE [--stream]`: evaluate one on-disk
+/// trace. With `--stream` the file must be chunked and is fed to
+/// [`GsfPipeline::evaluate_streamed`] — the trace is never
+/// materialized, so multi-week fleet traces evaluate in bounded
+/// memory. Without it, either format is loaded in memory first; the
+/// two paths are bit-identical (see the `streamed_equivalence` suite).
+fn fleet_file_cmd(args: &Args, path: &str) -> Result<String, CliError> {
+    let design = design_by_name(args.get_or("design", "full"))?;
+    let shards: usize = args.get_num("shards", 1usize)?;
+    let pipeline =
+        GsfPipeline::new(PipelineConfig { shards: shards.max(1), ..PipelineConfig::default() });
+    let (o, vms, mode) = if args.get_bool("stream") {
+        let file = std::fs::File::open(path)?;
+        let mut reader = TraceChunkReader::new(std::io::BufReader::new(file))?;
+        let o = pipeline.evaluate_streamed(&design, &mut reader)?;
+        let (vms, _) = reader.totals().unwrap_or((0, 0));
+        (o, vms, "streamed")
+    } else {
+        let trace = load_trace(path)?;
+        let vms = trace.vms().len() as u64;
+        (pipeline.evaluate(&design, &trace)?, vms, "in-memory")
+    };
+    Ok(format!(
+        "{} on {path} ({vms} VMs, {mode}):\n  plan: {} baseline + {} GreenSKU (buffered {} + {})\n  \
+         adoption {:.1}%  cluster savings {:.1}%  DC savings {:.1}%\n",
+        o.design,
+        o.plan.baseline,
+        o.plan.green,
+        o.plan_buffered.baseline,
+        o.plan_buffered.green,
+        o.adoption_rate * 100.0,
+        o.cluster_savings * 100.0,
+        o.dc_savings * 100.0,
+    ))
+}
+
 fn fleet_cmd(args: &Args) -> Result<String, CliError> {
+    if let Some(path) = args.get("trace-file") {
+        let path = path.to_string();
+        return fleet_file_cmd(args, &path);
+    }
     let design = design_by_name(args.get_or("design", "full"))?;
     let n: usize = args.get_num("traces", 4usize)?;
     let workers: usize = args.get_num("workers", gsf_cluster::parallel::default_workers())?;
@@ -763,6 +915,64 @@ mod tests {
         assert!(out.contains("wrote"));
         let out = run(&["replay", "--trace", path_str, "--design", "full"]).unwrap();
         assert!(out.contains("cluster savings"), "{out}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn trace_synth_inspect_and_streamed_fleet_agree() {
+        let path = std::env::temp_dir().join(format!("gsf-cli-chunked-{}.gst", std::process::id()));
+        let p = path.to_str().unwrap();
+        let out = run(&["trace", "synth", "--out", p, "--hours", "6", "--arrivals", "30"]).unwrap();
+        assert!(out.contains("chunked"), "{out}");
+        assert!(out.contains("verified"), "{out}");
+
+        let inspect = run(&["trace", "inspect", "--trace", p]).unwrap();
+        assert!(inspect.contains("chunked trace"), "{inspect}");
+        assert!(inspect.contains("verified"), "{inspect}");
+
+        // Streamed and in-memory fleet evaluation of the same file
+        // print identical numbers.
+        let base = ["fleet", "--trace-file", p, "--design", "full"];
+        let in_memory = run(&base).unwrap();
+        let mut streamed_args = base.to_vec();
+        streamed_args.push("--stream");
+        let streamed = run(&streamed_args).unwrap();
+        assert!(in_memory.contains("in-memory"), "{in_memory}");
+        assert!(streamed.contains("streamed"), "{streamed}");
+        let tail = |s: &str| s.split(':').skip(1).collect::<String>().replace("streamed", "");
+        assert_eq!(
+            tail(&in_memory).replace("in-memory", ""),
+            tail(&streamed),
+            "{in_memory} vs {streamed}"
+        );
+
+        // The replay and characterize commands sniff the chunked
+        // format too.
+        let replayed = run(&["replay", "--trace", p, "--design", "full"]).unwrap();
+        assert!(replayed.contains("cluster savings"), "{replayed}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn trace_inspect_handles_legacy_files() {
+        let path = std::env::temp_dir().join(format!("gsf-cli-legacy-{}.bin", std::process::id()));
+        let p = path.to_str().unwrap();
+        run(&["gen-trace", "--out", p, "--hours", "4", "--arrivals", "20"]).unwrap();
+        let inspect = run(&["trace", "inspect", "--trace", p]).unwrap();
+        assert!(inspect.contains("legacy trace"), "{inspect}");
+        // A bare `trace` is an unknown command with a hint.
+        let e = run(&["trace"]).unwrap_err();
+        assert!(e.to_string().contains("synth"), "{e}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn streamed_fleet_rejects_legacy_files() {
+        let path = std::env::temp_dir().join(format!("gsf-cli-legbin-{}.bin", std::process::id()));
+        let p = path.to_str().unwrap();
+        run(&["gen-trace", "--out", p, "--hours", "2", "--arrivals", "10"]).unwrap();
+        let e = run(&["fleet", "--trace-file", p, "--stream"]).unwrap_err();
+        assert!(matches!(e, CliError::Stream(_)), "{e}");
         std::fs::remove_file(path).ok();
     }
 

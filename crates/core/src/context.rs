@@ -142,7 +142,7 @@ struct SizingKey(Vec<u64>);
 impl SizingKey {
     #[allow(clippy::too_many_arguments)]
     fn of(
-        trace: &Trace,
+        trace_hash: (u64, u64),
         decision_signature: &[u64],
         baseline_shape: ServerShape,
         green_shape: ServerShape,
@@ -152,9 +152,8 @@ impl SizingKey {
         shards: usize,
     ) -> Self {
         let mut w = KeyWriter::default();
-        let (h0, h1) = trace.content_hash();
-        w.u64(h0);
-        w.u64(h1);
+        w.u64(trace_hash.0);
+        w.u64(trace_hash.1);
         w.u64(shards.max(1) as u64);
         w.u64(gsf_vmalloc::SHARD_ROUTING_VERSION);
         w.u64(decision_signature.len() as u64);
@@ -192,11 +191,10 @@ impl SizingKey {
 struct PreparedKey(Vec<u64>);
 
 impl PreparedKey {
-    fn of(trace: &Trace, decision_signature: &[u64]) -> Self {
+    fn of(trace_hash: (u64, u64), decision_signature: &[u64]) -> Self {
         let mut w = KeyWriter::default();
-        let (h0, h1) = trace.content_hash();
-        w.u64(h0);
-        w.u64(h1);
+        w.u64(trace_hash.0);
+        w.u64(trace_hash.1);
         w.u64(decision_signature.len() as u64);
         for &word in decision_signature {
             w.u64(word);
@@ -386,12 +384,49 @@ impl EvalContext {
         shards: usize,
         compute: impl FnOnce() -> Result<SizingOutcome, E>,
     ) -> Result<Arc<SizingOutcome>, E> {
+        self.sizing_hashed(
+            trace.content_hash(),
+            decision_signature,
+            baseline_shape,
+            green_shape,
+            policy,
+            buffer_fraction,
+            fault_signature,
+            shards,
+            compute,
+        )
+    }
+
+    /// [`Self::sizing`] keyed by a precomputed
+    /// [`Trace::content_hash`] — the entry point for streamed
+    /// evaluations, which obtain the verified hash from the chunked
+    /// decoder without ever materializing a `Trace`. A streamed and an
+    /// in-memory evaluation of the same trace content share cache
+    /// entries (the incremental digest is pinned equal to the
+    /// in-memory one).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `compute` failures (never cached).
+    #[allow(clippy::too_many_arguments)]
+    pub fn sizing_hashed<E>(
+        &self,
+        trace_hash: (u64, u64),
+        decision_signature: &[u64],
+        baseline_shape: ServerShape,
+        green_shape: ServerShape,
+        policy: PlacementPolicy,
+        buffer_fraction: f64,
+        fault_signature: &[u64],
+        shards: usize,
+        compute: impl FnOnce() -> Result<SizingOutcome, E>,
+    ) -> Result<Arc<SizingOutcome>, E> {
         let Some(sizing) = &self.sizing else {
             self.sizing_misses.fetch_add(1, Ordering::Relaxed);
             return Ok(Arc::new(compute()?));
         };
         let key = SizingKey::of(
-            trace,
+            trace_hash,
             decision_signature,
             baseline_shape,
             green_shape,
@@ -428,11 +463,24 @@ impl EvalContext {
         decision_signature: &[u64],
         build: impl FnOnce() -> PreparedTrace,
     ) -> Arc<PreparedTrace> {
+        self.prepared_by_hash(trace.content_hash(), decision_signature, build)
+    }
+
+    /// [`Self::prepared`] keyed by a precomputed
+    /// [`Trace::content_hash`] — used by the streamed pipeline, which
+    /// knows the verified digest from the chunk footer before any plan
+    /// is built. Shares entries with the in-memory path.
+    pub fn prepared_by_hash(
+        &self,
+        trace_hash: (u64, u64),
+        decision_signature: &[u64],
+        build: impl FnOnce() -> PreparedTrace,
+    ) -> Arc<PreparedTrace> {
         let Some(prepared) = &self.prepared else {
             self.prepared_misses.fetch_add(1, Ordering::Relaxed);
             return Arc::new(build());
         };
-        let key = PreparedKey::of(trace, decision_signature);
+        let key = PreparedKey::of(trace_hash, decision_signature);
         if let Some(hit) = prepared.lock().get(&key) {
             self.prepared_hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(hit);
@@ -720,7 +768,7 @@ mod tests {
             ..TraceParams::default()
         })
         .generate(&SeedFactory::new(9), 0);
-        let rebuilt = Trace::decode(trace.encode()).unwrap();
+        let rebuilt = Trace::decode(trace.encode().unwrap()).unwrap();
         let other = TraceGenerator::new(TraceParams {
             duration_hours: 1.0,
             arrivals_per_hour: 8.0,

@@ -11,6 +11,8 @@ pub enum GsfError {
     Sizing(gsf_cluster::SizingError),
     /// The pipeline configuration is inconsistent.
     InvalidConfig(String),
+    /// A chunked trace stream failed to read, decode, or verify.
+    TraceStream(gsf_workloads::TraceStreamError),
 }
 
 impl fmt::Display for GsfError {
@@ -19,6 +21,7 @@ impl fmt::Display for GsfError {
             GsfError::Carbon(e) => write!(f, "carbon model error: {e}"),
             GsfError::Sizing(e) => write!(f, "cluster sizing error: {e}"),
             GsfError::InvalidConfig(msg) => write!(f, "invalid pipeline configuration: {msg}"),
+            GsfError::TraceStream(e) => write!(f, "trace stream error: {e}"),
         }
     }
 }
@@ -29,7 +32,14 @@ impl std::error::Error for GsfError {
             GsfError::Carbon(e) => Some(e),
             GsfError::Sizing(e) => Some(e),
             GsfError::InvalidConfig(_) => None,
+            GsfError::TraceStream(e) => Some(e),
         }
+    }
+}
+
+impl From<gsf_workloads::TraceStreamError> for GsfError {
+    fn from(e: gsf_workloads::TraceStreamError) -> Self {
+        GsfError::TraceStream(e)
     }
 }
 

@@ -25,9 +25,11 @@ use gsf_cluster::{
 use gsf_maintenance::{FaultModel, PoolDevices};
 use gsf_vmalloc::{
     AllocationSim, AvailabilitySummary, ClusterConfig, FaultPlan, FaultSummary, PlacementPolicy,
-    PlacementRequest, PreparedTrace, ServerShape, ShardedSim, SimOutcome,
+    PlacementRequest, PreparedTrace, PreparedTraceBuilder, ServerShape, ShardedSim, SimOutcome,
 };
-use gsf_workloads::{catalog, ApplicationModel, FleetMix, ServerGeneration, Trace, VmSpec};
+use gsf_workloads::{
+    catalog, ApplicationModel, FleetMix, ServerGeneration, Trace, TraceChunkReader, VmSpec,
+};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -266,6 +268,24 @@ pub struct FleetOutcome {
     pub mean_dc_savings: f64,
 }
 
+/// Everything one evaluation derives from `(design, carbon intensity)`
+/// before touching any trace data: assessments, the router, shapes,
+/// device counts, and the cache-key signatures. Shared verbatim between
+/// the in-memory and streamed paths so their cache keys — and therefore
+/// their outcomes — cannot drift apart.
+struct EvalSetup {
+    router: VmRouter,
+    green_a: Arc<Assessment>,
+    gen3_a: Arc<Assessment>,
+    baseline_shape: ServerShape,
+    green_shape: ServerShape,
+    baseline_devices: PoolDevices,
+    green_devices: PoolDevices,
+    decision_signature: Vec<u64>,
+    fault_signature: Vec<u64>,
+    slo: Option<AvailabilitySlo>,
+}
+
 /// The GSF pipeline.
 pub struct GsfPipeline {
     config: PipelineConfig,
@@ -326,24 +346,149 @@ impl GsfPipeline {
         trace: &Trace,
         ci: CarbonIntensity,
     ) -> Result<PipelineOutcome, GsfError> {
+        let setup = self.setup(design, ci)?;
+        let transform = |vm: &VmSpec| setup.router.request(vm);
+        // Cluster sizing (§IV-D) and the final replay, memoized by the
+        // routing decision table: sizing sees the carbon intensity only
+        // through the router, so sweep points that route identically
+        // share one run of the binary searches. The fault-model
+        // signature is part of the key, so fault-injected and
+        // fault-free evaluations never share an entry.
+        let sizing = self.ctx.sizing(
+            trace,
+            &setup.decision_signature,
+            setup.baseline_shape,
+            setup.green_shape,
+            self.config.policy,
+            self.config.buffer.capacity_fraction,
+            &setup.fault_signature,
+            self.config.shards,
+            || -> Result<crate::context::SizingOutcome, GsfError> {
+                // Prepared replay plans, built only on a sizing-memo
+                // miss and cached by (trace, decision table) — shared
+                // with every other fault/buffer configuration of a
+                // routing-identical sweep. The empty signature marks
+                // the baseline-only plan; routed signatures always
+                // start with the catalog length, so they never collide.
+                let prepared = self.ctx.prepared(trace, &setup.decision_signature, || {
+                    PreparedTrace::new(trace, &transform)
+                });
+                let prepared_baseline = self.ctx.prepared(trace, &[], || {
+                    PreparedTrace::new(trace, &|vm: &VmSpec| PlacementRequest::baseline_only(vm))
+                });
+                self.size_and_replay(&setup, &prepared, &prepared_baseline, trace.duration_s())
+            },
+        )?;
+        Ok(self.finish_outcome(design, &setup, &sizing))
+    }
+
+    /// Runs the full pipeline for one design against a chunked trace
+    /// stream, never materializing the [`Trace`]: peak memory is
+    /// O(chunk + prepared plans), independent of how the stream is
+    /// produced.
+    ///
+    /// A single bounded-memory pass over the chunks builds both replay
+    /// plans (routed and baseline-only) and verifies the stream's
+    /// running content hash. The verified footer digest — pinned equal
+    /// to [`Trace::content_hash`] — then keys the same sizing and
+    /// prepared-plan caches as the in-memory path, so streamed and
+    /// in-memory evaluations of identical content share cache entries
+    /// and produce bit-identical outcomes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GsfError::TraceStream`] if the stream is truncated,
+    /// corrupt, or fails hash verification; otherwise everything
+    /// [`Self::evaluate`] returns.
+    pub fn evaluate_streamed<R: std::io::BufRead>(
+        &self,
+        design: &GreenSkuDesign,
+        reader: &mut TraceChunkReader<R>,
+    ) -> Result<PipelineOutcome, GsfError> {
+        self.evaluate_streamed_at(design, reader, self.config.carbon_params.carbon_intensity)
+    }
+
+    /// [`Self::evaluate_streamed`] at an overridden grid carbon
+    /// intensity (see [`Self::evaluate_at`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::evaluate_streamed`].
+    pub fn evaluate_streamed_at<R: std::io::BufRead>(
+        &self,
+        design: &GreenSkuDesign,
+        reader: &mut TraceChunkReader<R>,
+        ci: CarbonIntensity,
+    ) -> Result<PipelineOutcome, GsfError> {
+        let setup = self.setup(design, ci)?;
+        let duration_s = reader.duration_s();
+        // One pass, two plans: the routed and baseline-only builders
+        // consume each verified chunk in lockstep, so the stream is
+        // read exactly once and never retained.
+        let routed_transform = |vm: &VmSpec| setup.router.request(vm);
+        let baseline_transform = |vm: &VmSpec| PlacementRequest::baseline_only(vm);
+        let mut routed = PreparedTraceBuilder::new(duration_s, &routed_transform);
+        let mut baseline = PreparedTraceBuilder::new(duration_s, &baseline_transform);
+        while let Some(chunk) = reader.next_chunk()? {
+            for vm in &chunk.vms {
+                routed.push_vm(vm);
+                baseline.push_vm(vm);
+            }
+            for e in &chunk.events {
+                routed.push_event(e.time_s, e.kind, e.slot);
+                baseline.push_event(e.time_s, e.kind, e.slot);
+            }
+        }
+        let trace_hash = reader.content_hash().ok_or_else(|| {
+            GsfError::InvalidConfig("chunked trace stream ended without a footer".into())
+        })?;
+        let routed = routed.finish();
+        let baseline = baseline.finish();
+        // Seed the prepared cache under the same keys the in-memory
+        // path uses; if another evaluation already built these plans,
+        // the freshly streamed copies are dropped in favor of the
+        // cached (bit-identical) ones.
+        let prepared =
+            self.ctx.prepared_by_hash(trace_hash, &setup.decision_signature, move || routed);
+        let prepared_baseline = self.ctx.prepared_by_hash(trace_hash, &[], move || baseline);
+        let sizing = self.ctx.sizing_hashed(
+            trace_hash,
+            &setup.decision_signature,
+            setup.baseline_shape,
+            setup.green_shape,
+            self.config.policy,
+            self.config.buffer.capacity_fraction,
+            &setup.fault_signature,
+            self.config.shards,
+            || self.size_and_replay(&setup, &prepared, &prepared_baseline, duration_s),
+        )?;
+        Ok(self.finish_outcome(design, &setup, &sizing))
+    }
+
+    /// Everything one evaluation derives from `(design, ci)` before
+    /// touching any trace data.
+    fn setup(&self, design: &GreenSkuDesign, ci: CarbonIntensity) -> Result<EvalSetup, GsfError> {
         let params = self.config.carbon_params.with_carbon_intensity(ci);
         // One assessment per SKU per parameter set: the router and the
-        // emission accounting below share the same cached assessments.
+        // emission accounting share the same cached assessments.
         let green_a = self.ctx.assess(&params, &design.carbon)?;
         let baseline_a = self.ctx.baselines(&params)?;
         let router = VmRouter::from_assessments(&green_a, &baseline_a, design);
-        let gen3_a = &baseline_a
-            .iter()
-            .find(|(g, _)| *g == ServerGeneration::Gen3)
-            .ok_or_else(|| GsfError::InvalidConfig("Gen3 baseline assessment missing".to_string()))?
-            .1;
+        let gen3_a = Arc::clone(
+            &baseline_a
+                .iter()
+                .find(|(g, _)| *g == ServerGeneration::Gen3)
+                .ok_or_else(|| {
+                    GsfError::InvalidConfig("Gen3 baseline assessment missing".to_string())
+                })?
+                .1,
+        );
 
         let baseline_shape = ServerShape::baseline_gen3();
         let green_shape = ServerShape {
             cores: design.carbon.cores(),
             mem_gb: design.carbon.memory_capacity().get(),
         };
-        let transform = |vm: &VmSpec| router.request(vm);
 
         // Device counts feed both the maintenance OOS fractions and the
         // fault model's per-pool server AFRs.
@@ -356,149 +501,154 @@ impl GsfPipeline {
         };
         let (b_dimms, b_ssds) = device_counts(&open_source::baseline_gen3());
         let (g_dimms, g_ssds) = device_counts(&design.carbon);
-        let fault_model = &self.config.faults;
-        let baseline_devices = PoolDevices { dimms: b_dimms, ssds: b_ssds };
-        let green_devices = PoolDevices { dimms: g_dimms, ssds: g_ssds };
 
-        // Cluster sizing (§IV-D) and the final replay, memoized by the
-        // routing decision table: sizing sees the carbon intensity only
-        // through the router, so sweep points that route identically
-        // share one run of the binary searches. The fault-model
-        // signature is part of the key, so fault-injected and
-        // fault-free evaluations never share an entry.
         let decision_signature = router.decision_signature();
         // The SLO changes which clusters the fault-injected searches
         // admit, so it joins the fault signature in the sizing key.
         // Appending (rather than always reserving a slot) keeps every
         // pre-SLO cache key bit-identical for the default `None`.
-        let mut fault_signature = fault_model.signature();
+        let mut fault_signature = self.config.faults.signature();
         if let Some(budget) = self.config.availability_slo {
             fault_signature.push(1);
             fault_signature.push(budget.to_bits());
         }
         let slo = self.config.availability_slo.map(|m| AvailabilitySlo { max_vm_minutes_lost: m });
-        let sizing = self.ctx.sizing(
-            trace,
-            &decision_signature,
+        Ok(EvalSetup {
+            router,
+            green_a,
+            gen3_a,
+            baseline_shape,
+            green_shape,
+            baseline_devices: PoolDevices { dimms: b_dimms, ssds: b_ssds },
+            green_devices: PoolDevices { dimms: g_dimms, ssds: g_ssds },
+            decision_signature,
+            fault_signature,
+            slo,
+        })
+    }
+
+    /// Cluster sizing plus the final buffered replay, from
+    /// already-prepared plans — the compute half of the sizing memo.
+    /// Both evaluation paths funnel through it, so a streamed and an
+    /// in-memory run execute the same searches on bit-identical plans.
+    fn size_and_replay(
+        &self,
+        setup: &EvalSetup,
+        prepared: &PreparedTrace,
+        prepared_baseline: &PreparedTrace,
+        duration_s: f64,
+    ) -> Result<crate::context::SizingOutcome, GsfError> {
+        let baseline_shape = setup.baseline_shape;
+        let green_shape = setup.green_shape;
+        let injection = FaultInjection {
+            model: &self.config.faults,
+            baseline_devices: setup.baseline_devices,
+            green_devices: setup.green_devices,
+            slo: setup.slo,
+        };
+        let faults = (!self.config.faults.is_none()).then_some(&injection);
+        let shards = self.config.shards;
+        if shards > 1 {
+            // Sharded semantics: same searches, sharded probes,
+            // per-shard replay on worker threads. The result is
+            // deterministic for any worker count; only `shards`
+            // changes what is computed.
+            let workers = gsf_cluster::parallel::default_workers();
+            let n0 = right_size_baseline_only_prepared_sharded(
+                prepared_baseline,
+                baseline_shape,
+                self.config.policy,
+                faults,
+                shards,
+                workers,
+            )?;
+            let plan = right_size_mixed_prepared_sharded(
+                prepared,
+                prepared_baseline,
+                baseline_shape,
+                green_shape,
+                self.config.policy,
+                faults,
+                shards,
+                workers,
+            )?;
+            let plan_buffered =
+                self.config.buffer.apply(&plan, baseline_shape.cores, green_shape.cores);
+            let config = ClusterConfig {
+                baseline_count: plan_buffered.baseline,
+                baseline_shape,
+                green_count: plan_buffered.green,
+                green_shape,
+            };
+            let mut sim = ShardedSim::new(config, self.config.policy, shards);
+            let fault_plan = match faults {
+                None => FaultPlan::empty(),
+                Some(inj) => inj.plan_for(&config, duration_s),
+            };
+            let (replay, fault_summary) = replay_sharded(&mut sim, prepared, &fault_plan, workers);
+            return Ok(crate::context::SizingOutcome {
+                baseline_only: n0,
+                plan,
+                replay,
+                faults: fault_summary,
+            });
+        }
+        let n0 = right_size_baseline_only_prepared(
+            prepared_baseline,
+            baseline_shape,
+            self.config.policy,
+            faults,
+        )?;
+        let plan = right_size_mixed_prepared(
+            prepared,
+            prepared_baseline,
             baseline_shape,
             green_shape,
             self.config.policy,
-            self.config.buffer.capacity_fraction,
-            &fault_signature,
-            self.config.shards,
-            || -> Result<crate::context::SizingOutcome, GsfError> {
-                let injection =
-                    FaultInjection { model: fault_model, baseline_devices, green_devices, slo };
-                let faults = (!fault_model.is_none()).then_some(&injection);
-                // Prepared replay plans, built only on a sizing-memo
-                // miss and cached by (trace, decision table) — shared
-                // with every other fault/buffer configuration of a
-                // routing-identical sweep. The empty signature marks
-                // the baseline-only plan; routed signatures always
-                // start with the catalog length, so they never collide.
-                let prepared = self
-                    .ctx
-                    .prepared(trace, &decision_signature, || PreparedTrace::new(trace, &transform));
-                let prepared_baseline = self.ctx.prepared(trace, &[], || {
-                    PreparedTrace::new(trace, &|vm: &VmSpec| PlacementRequest::baseline_only(vm))
-                });
-                let shards = self.config.shards;
-                if shards > 1 {
-                    // Sharded semantics: same searches, sharded probes,
-                    // per-shard replay on worker threads. The result is
-                    // deterministic for any worker count; only `shards`
-                    // changes what is computed.
-                    let workers = gsf_cluster::parallel::default_workers();
-                    let n0 = right_size_baseline_only_prepared_sharded(
-                        &prepared_baseline,
-                        baseline_shape,
-                        self.config.policy,
-                        faults,
-                        shards,
-                        workers,
-                    )?;
-                    let plan = right_size_mixed_prepared_sharded(
-                        &prepared,
-                        &prepared_baseline,
-                        baseline_shape,
-                        green_shape,
-                        self.config.policy,
-                        faults,
-                        shards,
-                        workers,
-                    )?;
-                    let plan_buffered =
-                        self.config.buffer.apply(&plan, baseline_shape.cores, green_shape.cores);
-                    let config = ClusterConfig {
-                        baseline_count: plan_buffered.baseline,
-                        baseline_shape,
-                        green_count: plan_buffered.green,
-                        green_shape,
-                    };
-                    let mut sim = ShardedSim::new(config, self.config.policy, shards);
-                    let fault_plan = match faults {
-                        None => FaultPlan::empty(),
-                        Some(inj) => inj.plan_for(&config, trace.duration_s()),
-                    };
-                    let (replay, fault_summary) =
-                        replay_sharded(&mut sim, &prepared, &fault_plan, workers);
-                    return Ok(crate::context::SizingOutcome {
-                        baseline_only: n0,
-                        plan,
-                        replay,
-                        faults: fault_summary,
-                    });
-                }
-                let n0 = right_size_baseline_only_prepared(
-                    &prepared_baseline,
-                    baseline_shape,
-                    self.config.policy,
-                    faults,
-                )?;
-                let plan = right_size_mixed_prepared(
-                    &prepared,
-                    &prepared_baseline,
-                    baseline_shape,
-                    green_shape,
-                    self.config.policy,
-                    faults,
-                )?;
-                let plan_buffered =
-                    self.config.buffer.apply(&plan, baseline_shape.cores, green_shape.cores);
-                // Final replay on the buffered mixed cluster for
-                // packing stats (fault-injected when a model is
-                // configured).
-                let config = ClusterConfig {
-                    baseline_count: plan_buffered.baseline,
-                    baseline_shape,
-                    green_count: plan_buffered.green,
-                    green_shape,
-                };
-                let mut sim = AllocationSim::new(config, self.config.policy);
-                let (replay, fault_summary) = match faults {
-                    None => (sim.replay_prepared(&prepared), FaultSummary::default()),
-                    Some(inj) => {
-                        let fault_plan = inj.plan_for(&config, trace.duration_s());
-                        sim.replay_prepared_faulted(&prepared, &fault_plan)
-                    }
-                };
-                Ok(crate::context::SizingOutcome {
-                    baseline_only: n0,
-                    plan,
-                    replay,
-                    faults: fault_summary,
-                })
-            },
+            faults,
         )?;
+        let plan_buffered =
+            self.config.buffer.apply(&plan, baseline_shape.cores, green_shape.cores);
+        // Final replay on the buffered mixed cluster for packing stats
+        // (fault-injected when a model is configured).
+        let config = ClusterConfig {
+            baseline_count: plan_buffered.baseline,
+            baseline_shape,
+            green_count: plan_buffered.green,
+            green_shape,
+        };
+        let mut sim = AllocationSim::new(config, self.config.policy);
+        let (replay, fault_summary) = match faults {
+            None => (sim.replay_prepared(prepared), FaultSummary::default()),
+            Some(inj) => {
+                let fault_plan = inj.plan_for(&config, duration_s);
+                sim.replay_prepared_faulted(prepared, &fault_plan)
+            }
+        };
+        Ok(crate::context::SizingOutcome { baseline_only: n0, plan, replay, faults: fault_summary })
+    }
+
+    /// Maintenance, buffering, and emission accounting downstream of
+    /// the sizing memo — pure arithmetic on the sizing outcome.
+    fn finish_outcome(
+        &self,
+        design: &GreenSkuDesign,
+        setup: &EvalSetup,
+        sizing: &crate::context::SizingOutcome,
+    ) -> PipelineOutcome {
         let n0 = sizing.baseline_only;
         let plan = sizing.plan;
+        let baseline_shape = setup.baseline_shape;
+        let green_shape = setup.green_shape;
 
         // Maintenance (§IV-B): out-of-service servers need spare
         // capacity; inflate each pool by its OOS fraction (Little's law
         // over post-FIP repair rates).
         let m = &self.config.maintenance;
-        let oos_baseline = m.oos_fraction(m.repair_rate(b_dimms, b_ssds));
-        let oos_green = m.oos_fraction(m.repair_rate(g_dimms, g_ssds));
+        let oos_baseline = m
+            .oos_fraction(m.repair_rate(setup.baseline_devices.dimms, setup.baseline_devices.ssds));
+        let oos_green =
+            m.oos_fraction(m.repair_rate(setup.green_devices.dimms, setup.green_devices.ssds));
 
         // Growth buffer: baseline-only on both sides.
         let baseline_plan = ClusterPlan { baseline: n0, green: 0 };
@@ -512,8 +662,8 @@ impl GsfPipeline {
         // keep out of rotation — fractional, since the paper finds the
         // overhead negligible rather than a whole server per cluster).
         let oos_emissions = |plan: &ClusterPlan| {
-            gen3_a.total_per_server() * (f64::from(plan.baseline) * (1.0 + oos_baseline))
-                + green_a.total_per_server() * (f64::from(plan.green) * (1.0 + oos_green))
+            setup.gen3_a.total_per_server() * (f64::from(plan.baseline) * (1.0 + oos_baseline))
+                + setup.green_a.total_per_server() * (f64::from(plan.green) * (1.0 + oos_green))
         };
         let mixed_emissions = oos_emissions(&plan_buffered);
         let baseline_emissions = oos_emissions(&baseline_buffered);
@@ -530,27 +680,27 @@ impl GsfPipeline {
         // Expected failure-induced capacity loss over the fault horizon
         // (0.0 when fault injection is disabled), reported alongside
         // the growth buffer so operators can compare the two reserves.
-        let expected_capacity_loss = fault_model.expected_capacity_loss(
+        let expected_capacity_loss = self.config.faults.expected_capacity_loss(
             &ClusterConfig {
                 baseline_count: plan_buffered.baseline,
                 baseline_shape,
                 green_count: plan_buffered.green,
                 green_shape,
             },
-            baseline_devices,
-            green_devices,
+            setup.baseline_devices,
+            setup.green_devices,
         );
 
-        let adoption_rate = router.adoption_rate_gen3();
-        Ok(PipelineOutcome {
+        let adoption_rate = setup.router.adoption_rate_gen3();
+        PipelineOutcome {
             design: design.name().to_string(),
             baseline_only_servers: n0,
             baseline_only_buffered: baseline_buffered.baseline,
             plan,
             plan_buffered,
             adoption_rate,
-            green_per_core: green_a.total_per_core().get(),
-            baseline_per_core: gen3_a.total_per_core().get(),
+            green_per_core: setup.green_a.total_per_core().get(),
+            baseline_per_core: setup.gen3_a.total_per_core().get(),
             oos_baseline,
             oos_green,
             cluster_savings,
@@ -559,7 +709,7 @@ impl GsfPipeline {
             availability: sizing.faults.availability,
             faults: sizing.faults,
             replay: sizing.replay.clone(),
-        })
+        }
     }
 
     /// Evaluates `design` against many cluster traces in parallel and

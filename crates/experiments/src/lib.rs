@@ -40,6 +40,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod maintenance;
 pub mod registry;
+pub mod scale;
 pub mod sec2;
 pub mod sec7;
 pub mod sec8;

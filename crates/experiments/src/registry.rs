@@ -106,6 +106,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             title: "SecVI adoption statistics and low-load latency",
             run: crate::adoption::run,
         },
+        Experiment {
+            id: "scale",
+            title: "Scale sweep: streamed vs in-memory evaluation",
+            run: crate::scale::run,
+        },
         Experiment { id: "sec7", title: "SecVII-B equivalence analyses", run: crate::sec7::run },
         Experiment {
             id: "sec8",
@@ -179,7 +184,7 @@ mod tests {
         let exps = all_experiments();
         let ids: std::collections::HashSet<_> = exps.iter().map(|e| e.id).collect();
         assert_eq!(ids.len(), exps.len());
-        assert_eq!(exps.len(), 20);
+        assert_eq!(exps.len(), 21);
     }
 
     #[test]

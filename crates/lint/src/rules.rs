@@ -26,6 +26,12 @@
 //!   constant; use an epsilon/bit-equality helper or justify exactness.
 //! * **P1** `panic!`/`todo!`/`unimplemented!` in non-test library code
 //!   (the macro face of the existing `clippy::unwrap_used` gate).
+//! * **F1** `std::fs` file I/O in model-crate library code. Model
+//!   results must be a pure function of explicit inputs, not ambient
+//!   filesystem state; files are read and written at the driver layer
+//!   (cli, experiments, bench) and streamed into the model through the
+//!   chunked trace codec (`workloads/src/chunks.rs`, the one exempt
+//!   module), which is generic over `io::Read`/`io::Write`.
 
 use crate::tokenizer::{Tok, TokKind};
 
@@ -44,14 +50,16 @@ pub enum RuleId {
     N2,
     /// `panic!`-family macros in library code.
     P1,
+    /// `std::fs` file I/O in model code outside the chunked codec.
+    F1,
     /// Malformed suppression directive (not itself suppressible).
     A0,
 }
 
 impl RuleId {
     /// All suppressible rules, in catalog order.
-    pub const CATALOG: [RuleId; 6] =
-        [RuleId::D1, RuleId::D2, RuleId::D3, RuleId::N1, RuleId::N2, RuleId::P1];
+    pub const CATALOG: [RuleId; 7] =
+        [RuleId::D1, RuleId::D2, RuleId::D3, RuleId::N1, RuleId::N2, RuleId::P1, RuleId::F1];
 
     /// The id as written in diagnostics and `allow(..)` directives.
     pub fn as_str(self) -> &'static str {
@@ -62,6 +70,7 @@ impl RuleId {
             RuleId::N1 => "N1",
             RuleId::N2 => "N2",
             RuleId::P1 => "P1",
+            RuleId::F1 => "F1",
             RuleId::A0 => "A0",
         }
     }
@@ -157,6 +166,12 @@ pub fn run(ctx: FileCtx<'_>, tokens: &[Tok], exempt: &[bool]) -> Vec<RawFinding>
                 if ctx.is_model() && ctx.file_name != "parallel.rs" {
                     d3(&mut out, tokens, i, tok);
                 }
+                // `chunks.rs` is the sanctioned streaming codec: it is
+                // generic over `io::Read`/`io::Write`, so even there
+                // `std::fs` names only appear in doc examples.
+                if ctx.is_model() && ctx.file_name != "chunks.rs" {
+                    f1(&mut out, tokens, i, tok);
+                }
                 n1(&mut out, tokens, i, tok);
                 p1(&mut out, tokens, i, tok);
             }
@@ -202,6 +217,21 @@ fn d3(out: &mut Vec<RawFinding>, tokens: &[Tok], i: usize, tok: &Tok) {
             "`thread::spawn` in model code schedules work nondeterministically; route \
              parallelism through the order-preserving drivers in `cluster/src/parallel.rs` \
              (exempt from this rule) so results are identical for any worker count",
+        ));
+    }
+}
+
+fn f1(out: &mut Vec<RawFinding>, tokens: &[Tok], i: usize, tok: &Tok) {
+    // Matches the token sequence `fs ::` — fires on `std::fs::read(..)`
+    // call sites and on `use std::fs::..` imports alike (a reachable
+    // handle to the filesystem in model code is the hazard).
+    if tok.text == "fs" && punct_is(tokens.get(i + 1), "::") {
+        out.push(finding(
+            RuleId::F1,
+            tok,
+            "`std::fs` in model code ties results to ambient filesystem state; do file I/O at \
+             the driver layer (cli, experiments, bench) and stream data in through the chunked \
+             codec in `workloads/src/chunks.rs` (generic over `io::Read`/`io::Write`)",
         ));
     }
 }

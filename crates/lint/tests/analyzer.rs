@@ -146,6 +146,31 @@ fn p1_clean_tests_may_panic() {
 }
 
 #[test]
+fn f1_fires_on_imports_and_call_sites() {
+    let f = run(MODEL, "f1_violation.rs");
+    // `use std::fs::File`, `std::fs::read`, and `fs::File::open`.
+    assert_eq!(rules_of(&f), vec![RuleId::F1; 3]);
+    assert_eq!(f.iter().map(|x| x.line).collect::<Vec<_>>(), vec![2, 5, 9]);
+    assert!(f[0].message.contains("chunks.rs"), "{}", f[0].message);
+}
+
+#[test]
+fn f1_clean_suppressed_and_test_exempt() {
+    assert!(run(MODEL, "f1_clean.rs").is_empty());
+}
+
+#[test]
+fn f1_exempts_codec_module_and_non_model_crates() {
+    let codec = FileCtx { crate_name: "workloads", file_name: "chunks.rs" };
+    assert!(run(codec, "f1_violation.rs").is_empty());
+    let cli = FileCtx { crate_name: "cli", file_name: "commands.rs" };
+    assert!(run(cli, "f1_violation.rs").is_empty());
+    // The same code elsewhere in a model crate still fires.
+    let elsewhere = FileCtx { crate_name: "workloads", file_name: "trace.rs" };
+    assert_eq!(run(elsewhere, "f1_violation.rs").len(), 3);
+}
+
+#[test]
 fn malformed_allows_raise_a0_and_do_not_suppress() {
     let f = run(MODEL, "malformed_allow.rs");
     let a0 = f.iter().filter(|x| x.rule == RuleId::A0).count();

@@ -1,0 +1,20 @@
+//! F1 fixture: clean — io-trait generics, a justified allow, and
+//! test-module I/O are all fine.
+use std::io::{BufRead, Write};
+
+pub fn copy<R: BufRead, W: Write>(mut r: R, mut w: W) -> std::io::Result<u64> {
+    std::io::copy(&mut r, &mut w)
+}
+
+pub fn probe(path: &str) -> bool {
+    // gsf-lint: allow(F1) -- fixture: sanctioned existence probe
+    std::fs::metadata(path).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tmp_io() {
+        let _ = std::fs::read("nonexistent");
+    }
+}

@@ -1,0 +1,10 @@
+//! F1 fixture: filesystem I/O in model library code.
+use std::fs::File;
+
+pub fn slurp(path: &str) -> Vec<u8> {
+    std::fs::read(path).unwrap_or_default()
+}
+
+pub fn open(path: &str) -> Option<File> {
+    fs::File::open(path).ok()
+}

@@ -34,7 +34,7 @@ pub use faults::{
 pub use index::PlacementIndex;
 pub use metrics::{PackingMetrics, PoolMetrics};
 pub use policy::PlacementPolicy;
-pub use prepared::PreparedTrace;
+pub use prepared::{PreparedTrace, PreparedTraceBuilder};
 pub use server::ServerState;
 pub use shard::{merge_outcomes, ShardPlan, ShardTask, ShardedSim, SHARD_ROUTING_VERSION};
 pub use simulator::{AllocationSim, PlacementRequest, SimOutcome, TargetPool, VmTransform};

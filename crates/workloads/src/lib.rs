@@ -21,6 +21,7 @@
 pub mod app;
 pub mod catalog;
 pub mod characterize;
+pub mod chunks;
 pub mod class;
 pub mod fleet;
 pub mod sensitivity;
@@ -30,9 +31,13 @@ pub mod vm;
 
 pub use app::{ApplicationModel, ServiceProfile};
 pub use characterize::{characterize, TraceProfile};
+pub use chunks::{
+    decode_chunks, sniff_chunked, write_chunks, ChunkEvent, TraceChunk, TraceChunkReader,
+    TraceChunkWriter, TraceStreamError, DEFAULT_CHUNK_EVENTS,
+};
 pub use class::AppClass;
 pub use fleet::FleetMix;
 pub use sensitivity::HardwareSensitivity;
-pub use trace::{Trace, TraceCodecError, TraceIndex};
+pub use trace::{Trace, TraceCodecError, TraceHasher, TraceIndex};
 pub use tracegen::{TraceGenerator, TraceParams};
 pub use vm::{ServerGeneration, VmEvent, VmEventKind, VmSpec};

@@ -35,6 +35,10 @@ pub enum TraceCodecError {
     /// Structurally valid but semantically corrupt data (non-finite
     /// times, events referencing unknown VMs).
     Corrupt(&'static str),
+    /// A record count exceeds the codec's `u32` length fields; encoding
+    /// would silently truncate the count and produce a buffer that
+    /// decodes "successfully" into a different trace.
+    TooLarge(&'static str),
 }
 
 impl fmt::Display for TraceCodecError {
@@ -47,6 +51,9 @@ impl fmt::Display for TraceCodecError {
                 write!(f, "invalid enum discriminant {d} in trace buffer")
             }
             TraceCodecError::Corrupt(what) => write!(f, "corrupt trace buffer: {what}"),
+            TraceCodecError::TooLarge(what) => {
+                write!(f, "trace too large to encode: {what} count exceeds u32")
+            }
         }
     }
 }
@@ -99,22 +106,7 @@ impl Trace {
             return Err(TraceCodecError::Corrupt("trace has no VMs"));
         }
         for vm in &vms {
-            if vm.cores == 0 {
-                // A zero-core VM poisons replay later: the green-scaled
-                // request divides by `cores`, yielding NaN memory and a
-                // zero-core placement.
-                return Err(TraceCodecError::Corrupt("VM has zero cores"));
-            }
-            if !vm.mem_gb.is_finite() || vm.mem_gb < 0.0 {
-                return Err(TraceCodecError::Corrupt("VM memory is not finite non-negative"));
-            }
-            if !vm.max_mem_util.is_finite()
-                || vm.max_mem_util < 0.0
-                || !vm.avg_cpu_util.is_finite()
-                || vm.avg_cpu_util < 0.0
-            {
-                return Err(TraceCodecError::Corrupt("VM utilization is not finite non-negative"));
-            }
+            validate_vm(vm)?;
         }
         let ids: std::collections::BTreeSet<u64> = vms.iter().map(|v| v.id).collect();
         if ids.len() != vms.len() {
@@ -237,73 +229,53 @@ impl Trace {
     /// stands in for the encoded stream wherever only identity matters
     /// — the `EvalContext` caches in `gsf-core` key on it instead of
     /// embedding O(trace) bytes into every cache entry.
+    ///
+    /// The digest is defined by [`TraceHasher`], which absorbs one word
+    /// per field and can therefore be fed incrementally from a chunked
+    /// stream (see [`crate::chunks`]) and still produce the same value.
     pub fn content_hash(&self) -> (u64, u64) {
-        let mut h = ContentHasher::new();
-        h.absorb(u64::from(MAGIC) << 16 | u64::from(VERSION));
-        h.absorb(self.duration_s.to_bits());
-        h.absorb((self.vms.len() as u64) << 32 | self.events.len() as u64);
+        let mut h = TraceHasher::new();
         for vm in &self.vms {
-            h.absorb(vm.id);
-            let generation = match vm.generation {
-                ServerGeneration::Gen1 => 1u64,
-                ServerGeneration::Gen2 => 2,
-                ServerGeneration::Gen3 => 3,
-            };
-            h.absorb(
-                u64::from(vm.cores) << 32
-                    | u64::from(vm.app_index) << 16
-                    | generation << 8
-                    | u64::from(vm.full_node),
-            );
-            h.absorb(vm.mem_gb.to_bits());
-            h.absorb(vm.max_mem_util.to_bits());
-            h.absorb(vm.avg_cpu_util.to_bits());
+            h.push_vm(vm);
         }
         for e in &self.events {
-            h.absorb(e.time_s.to_bits());
-            h.absorb(
-                match e.kind {
-                    VmEventKind::Arrival => 0u64,
-                    VmEventKind::Departure => 1,
-                } << 63
-                    | e.vm_id >> 1,
-            );
-            h.absorb(e.vm_id);
+            h.push_event(e.time_s, e.kind, e.vm_id);
         }
-        h.finish()
+        h.digest(self.duration_s)
     }
 
     /// Serializes the trace to a compact binary buffer.
-    pub fn encode(&self) -> Bytes {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceCodecError::TooLarge`] when a record count exceeds
+    /// the header's `u32` length fields (it would otherwise truncate
+    /// silently and decode into a different trace).
+    pub fn encode(&self) -> Result<Bytes, TraceCodecError> {
+        let n_vms = ensure_u32(self.vms.len(), "VM")?;
+        let n_events = ensure_u32(self.events.len(), "event")?;
         let mut buf = BytesMut::with_capacity(16 + self.vms.len() * 48 + self.events.len() * 17);
         buf.put_u32(MAGIC);
         buf.put_u16(VERSION);
         buf.put_f64(self.duration_s);
-        buf.put_u32(self.vms.len() as u32);
-        buf.put_u32(self.events.len() as u32);
+        buf.put_u32(n_vms);
+        buf.put_u32(n_events);
         for vm in &self.vms {
             buf.put_u64(vm.id);
             buf.put_u32(vm.cores);
             buf.put_f64(vm.mem_gb);
             buf.put_u16(vm.app_index);
-            buf.put_u8(match vm.generation {
-                ServerGeneration::Gen1 => 1,
-                ServerGeneration::Gen2 => 2,
-                ServerGeneration::Gen3 => 3,
-            });
+            buf.put_u8(generation_code(vm.generation));
             buf.put_u8(u8::from(vm.full_node));
             buf.put_f64(vm.max_mem_util);
             buf.put_f64(vm.avg_cpu_util);
         }
         for e in &self.events {
             buf.put_f64(e.time_s);
-            buf.put_u8(match e.kind {
-                VmEventKind::Arrival => 0,
-                VmEventKind::Departure => 1,
-            });
+            buf.put_u8(kind_code(e.kind));
             buf.put_u64(e.vm_id);
         }
-        buf.freeze()
+        Ok(buf.freeze())
     }
 
     /// Deserializes a trace produced by [`Trace::encode`].
@@ -376,11 +348,155 @@ impl Trace {
     }
 }
 
-/// Streaming 128-bit hasher behind [`Trace::content_hash`]: two
-/// independent multiply-rotate lanes absorbing one `u64` word at a
-/// time. Not cryptographic — it only needs to make accidental
-/// collisions between distinct traces vanishingly unlikely for cache
-/// keying, and to change whenever any encoded field changes.
+/// Checks a single VM record for the invariants `try_new` demands of
+/// externally-sourced traces; shared with the chunked codec so streamed
+/// VMs face the same gate without materializing a [`Trace`].
+pub(crate) fn validate_vm(vm: &VmSpec) -> Result<(), TraceCodecError> {
+    if vm.cores == 0 {
+        // A zero-core VM poisons replay later: the green-scaled
+        // request divides by `cores`, yielding NaN memory and a
+        // zero-core placement.
+        return Err(TraceCodecError::Corrupt("VM has zero cores"));
+    }
+    if !vm.mem_gb.is_finite() || vm.mem_gb < 0.0 {
+        return Err(TraceCodecError::Corrupt("VM memory is not finite non-negative"));
+    }
+    if !vm.max_mem_util.is_finite()
+        || vm.max_mem_util < 0.0
+        || !vm.avg_cpu_util.is_finite()
+        || vm.avg_cpu_util < 0.0
+    {
+        return Err(TraceCodecError::Corrupt("VM utilization is not finite non-negative"));
+    }
+    Ok(())
+}
+
+/// Narrows a record count to the codec's `u32` length fields, refusing
+/// (rather than truncating) counts that do not fit.
+pub(crate) fn ensure_u32(n: usize, what: &'static str) -> Result<u32, TraceCodecError> {
+    u32::try_from(n).map_err(|_| TraceCodecError::TooLarge(what))
+}
+
+/// Wire discriminant for a server generation (shared by the legacy and
+/// chunked codecs and the content hash).
+pub(crate) fn generation_code(generation: ServerGeneration) -> u8 {
+    match generation {
+        ServerGeneration::Gen1 => 1,
+        ServerGeneration::Gen2 => 2,
+        ServerGeneration::Gen3 => 3,
+    }
+}
+
+/// Wire discriminant for an event kind (0 = arrival, 1 = departure).
+pub(crate) fn kind_code(kind: VmEventKind) -> u8 {
+    match kind {
+        VmEventKind::Arrival => 0,
+        VmEventKind::Departure => 1,
+    }
+}
+
+/// Incremental form of [`Trace::content_hash`]: push VMs and events one
+/// at a time (in trace order) and ask for the digest at any point.
+///
+/// The digest over a prefix equals `Trace::content_hash` of the trace
+/// holding exactly that prefix, so a chunked stream can both carry
+/// per-chunk running hashes and arrive at the same final value as the
+/// in-memory path — the property the `EvalContext` caches rely on to
+/// share entries between streamed and materialized evaluations.
+///
+/// Every field is absorbed as its own `u64` word. Packing several
+/// narrow fields into one word (as an earlier revision did with
+/// `vms.len() << 32 | events.len()`) lets values past their lane width
+/// bleed into neighboring fields and collide; one word per field makes
+/// the absorbed stream injective in the field values.
+///
+/// VMs and events are hashed into two independent lane pairs so the
+/// digest does not depend on how pushes interleave with each other —
+/// only on the VM sequence, the event sequence, and the duration. A
+/// final combiner absorbs the format tag, duration, both counts, and
+/// the four lane words.
+#[derive(Debug, Clone)]
+pub struct TraceHasher {
+    vm_lane: ContentHasher,
+    event_lane: ContentHasher,
+    n_vms: u64,
+    n_events: u64,
+}
+
+impl TraceHasher {
+    /// Creates an empty hasher.
+    pub fn new() -> Self {
+        Self {
+            vm_lane: ContentHasher::new(),
+            event_lane: ContentHasher::new(),
+            n_vms: 0,
+            n_events: 0,
+        }
+    }
+
+    /// Absorbs one VM record (call in [`Trace::vms`] order).
+    pub fn push_vm(&mut self, vm: &VmSpec) {
+        self.vm_lane.absorb(vm.id);
+        self.vm_lane.absorb(u64::from(vm.cores));
+        self.vm_lane.absorb(u64::from(vm.app_index));
+        self.vm_lane.absorb(u64::from(generation_code(vm.generation)));
+        self.vm_lane.absorb(u64::from(vm.full_node));
+        self.vm_lane.absorb(vm.mem_gb.to_bits());
+        self.vm_lane.absorb(vm.max_mem_util.to_bits());
+        self.vm_lane.absorb(vm.avg_cpu_util.to_bits());
+        self.n_vms += 1;
+    }
+
+    /// Absorbs one event (call in [`Trace::events`] order).
+    pub fn push_event(&mut self, time_s: f64, kind: VmEventKind, vm_id: u64) {
+        self.event_lane.absorb(time_s.to_bits());
+        self.event_lane.absorb(u64::from(kind_code(kind)));
+        self.event_lane.absorb(vm_id);
+        self.n_events += 1;
+    }
+
+    /// Number of VMs absorbed so far.
+    pub fn vms_pushed(&self) -> u64 {
+        self.n_vms
+    }
+
+    /// Number of events absorbed so far.
+    pub fn events_pushed(&self) -> u64 {
+        self.n_events
+    }
+
+    /// The 128-bit digest of everything pushed so far, for a trace of
+    /// horizon `duration_s`. Non-destructive: the hasher can keep
+    /// absorbing afterwards, so chunk writers take a running digest per
+    /// chunk and one final digest from a single hasher.
+    pub fn digest(&self, duration_s: f64) -> (u64, u64) {
+        let (va, vb) = self.vm_lane.finish();
+        let (ea, eb) = self.event_lane.finish();
+        let mut h = ContentHasher::new();
+        h.absorb(u64::from(MAGIC) << 16 | u64::from(VERSION));
+        h.absorb(duration_s.to_bits());
+        h.absorb(self.n_vms);
+        h.absorb(self.n_events);
+        h.absorb(va);
+        h.absorb(vb);
+        h.absorb(ea);
+        h.absorb(eb);
+        h.finish()
+    }
+}
+
+impl Default for TraceHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Streaming 128-bit hasher behind [`TraceHasher`]: two independent
+/// multiply-rotate lanes absorbing one `u64` word at a time. Not
+/// cryptographic — it only needs to make accidental collisions between
+/// distinct traces vanishingly unlikely for cache keying, and to change
+/// whenever any encoded field changes.
+#[derive(Debug, Clone, Copy)]
 struct ContentHasher {
     a: u64,
     b: u64,
@@ -399,7 +515,7 @@ impl ContentHasher {
             (self.b ^ word.rotate_left(32)).wrapping_mul(0xC2B2_AE3D_27D4_EB4F).rotate_left(31);
     }
 
-    fn finish(self) -> (u64, u64) {
+    fn finish(&self) -> (u64, u64) {
         // splitmix64-style finalizers so trailing zero words still
         // avalanche into every output bit.
         fn mix(mut z: u64) -> u64 {
@@ -479,6 +595,34 @@ mod tests {
     }
 
     #[test]
+    fn vm_lookup_handles_dense_but_permuted_ids() {
+        // Regression: the O(1) fast path `vms[id]` must verify the
+        // record's id before trusting it. With dense-but-permuted ids
+        // (decoded traces preserve file order, which need not be id
+        // order), the unguarded fast path returned the *wrong VM's*
+        // spec — silently corrupting peak-demand and replay accounting.
+        let t = Trace::new(
+            100.0,
+            vec![vm(1, 8), vm(0, 4)], // dense ids, out of order
+            vec![
+                VmEvent { time_s: 1.0, kind: VmEventKind::Arrival, vm_id: 0 },
+                VmEvent { time_s: 2.0, kind: VmEventKind::Arrival, vm_id: 1 },
+            ],
+        );
+        assert_eq!(t.vm(0).unwrap().cores, 4);
+        assert_eq!(t.vm(1).unwrap().cores, 8);
+        assert!(t.vm(2).is_none());
+        // Sparse ids fall back to the linear scan.
+        let sparse = Trace::new(
+            100.0,
+            vec![vm(7, 2)],
+            vec![VmEvent { time_s: 1.0, kind: VmEventKind::Arrival, vm_id: 7 }],
+        );
+        assert_eq!(sparse.vm(7).unwrap().cores, 2);
+        assert!(sparse.vm(0).is_none());
+    }
+
+    #[test]
     fn events_sorted_with_departures_first_on_tie() {
         let t = Trace::new(
             100.0,
@@ -497,7 +641,7 @@ mod tests {
     #[test]
     fn roundtrip_codec() {
         let t = sample_trace();
-        let decoded = Trace::decode(t.encode()).unwrap();
+        let decoded = Trace::decode(t.encode().unwrap()).unwrap();
         assert_eq!(t, decoded);
     }
 
@@ -507,8 +651,29 @@ mod tests {
         let h = t.content_hash();
         assert_eq!(h, t.content_hash(), "hashing is pure");
         assert_eq!(h, t.clone().content_hash());
-        assert_eq!(h, Trace::decode(t.encode()).unwrap().content_hash());
+        assert_eq!(h, Trace::decode(t.encode().unwrap()).unwrap().content_hash());
         assert_ne!(h, (0, 0));
+    }
+
+    #[test]
+    fn incremental_hash_matches_in_memory_and_prefixes() {
+        let t = sample_trace();
+        let mut h = TraceHasher::new();
+        for vm in t.vms() {
+            h.push_vm(vm);
+        }
+        // Digest over the VM-only prefix equals the hash of the trace
+        // holding exactly that prefix.
+        assert_eq!(
+            h.digest(t.duration_s()),
+            Trace::new(t.duration_s(), t.vms().to_vec(), vec![]).content_hash()
+        );
+        for e in t.events() {
+            h.push_event(e.time_s, e.kind, e.vm_id);
+        }
+        assert_eq!(h.digest(t.duration_s()), t.content_hash());
+        assert_eq!(h.vms_pushed(), t.vms().len() as u64);
+        assert_eq!(h.events_pushed(), t.events().len() as u64);
     }
 
     #[test]
@@ -552,9 +717,95 @@ mod tests {
         }
         // Hash agrees with encoded-bytes equality in both directions.
         for v in &variants {
-            assert_ne!(v.encode(), base.encode());
+            assert_ne!(v.encode().unwrap(), base.encode().unwrap());
         }
-        assert_eq!(h0, Trace::decode(base.encode()).unwrap().content_hash());
+        assert_eq!(h0, Trace::decode(base.encode().unwrap()).unwrap().content_hash());
+    }
+
+    /// Regression for the packed-word hash: the old layout absorbed
+    /// `vms.len() << 32 | events.len()` and `cores << 32 | app_index <<
+    /// 16 | generation << 8 | full_node` as single words, so values at
+    /// or past a lane boundary could bleed into the neighboring field
+    /// and collide. One word per field keeps every boundary value
+    /// distinct.
+    #[test]
+    fn content_hash_distinguishes_lane_boundary_values() {
+        let with_counts = |n_vms: u64, n_events: usize| {
+            let vms: Vec<VmSpec> = (0..n_vms).map(|i| vm(i, 4)).collect();
+            let events: Vec<VmEvent> = (0..n_events)
+                .map(|i| VmEvent {
+                    time_s: i as f64,
+                    kind: VmEventKind::Arrival,
+                    vm_id: i as u64 % n_vms,
+                })
+                .collect();
+            Trace::new(100.0, vms, events).content_hash()
+        };
+        // Old layout: (2 << 32) | 1 == (1 << 32) | (1 << 32 | 1)? No —
+        // but counts interact: e.g. a length pair whose packed word
+        // matches another pair's. Directly check small count pairs all
+        // hash distinctly.
+        let pairs = [(1u64, 1usize), (1, 2), (2, 1), (2, 2), (3, 1), (1, 3)];
+        let mut seen: Vec<(u64, u64)> = Vec::new();
+        for (nv, ne) in pairs {
+            let h = with_counts(nv, ne);
+            assert!(!seen.contains(&h), "count pair ({nv},{ne}) collided");
+            seen.push(h);
+        }
+
+        // VM-field lane boundaries: each extreme perturbs the hash, and
+        // extremes of neighboring fields don't alias each other.
+        let base = sample_trace();
+        let mutate_vm = |f: &dyn Fn(&mut VmSpec)| {
+            let mut vms = base.vms().to_vec();
+            f(&mut vms[0]);
+            Trace::new(base.duration_s(), vms, base.events().to_vec()).content_hash()
+        };
+        let boundary_variants = [
+            mutate_vm(&|v| v.cores = u32::MAX),
+            mutate_vm(&|v| v.cores = 1 << 16),
+            mutate_vm(&|v| v.app_index = u16::MAX),
+            mutate_vm(&|v| v.app_index = 1 << 8),
+            mutate_vm(&|v| {
+                v.cores = u32::MAX;
+                v.app_index = 0;
+            }),
+            mutate_vm(&|v| {
+                v.cores = 0;
+                v.app_index = u16::MAX;
+            }),
+            mutate_vm(&|v| v.full_node = true),
+            mutate_vm(&|v| v.generation = ServerGeneration::Gen3),
+        ];
+        let mut seen = vec![base.content_hash()];
+        for (i, h) in boundary_variants.iter().enumerate() {
+            assert!(!seen.contains(h), "lane-boundary variant {i} collided");
+            seen.push(*h);
+        }
+        // id = u64::MAX (fills the whole word) still distinct.
+        let mut vms = base.vms().to_vec();
+        vms[0].id = u64::MAX;
+        let events: Vec<VmEvent> = base
+            .events()
+            .iter()
+            .map(|e| VmEvent {
+                vm_id: if e.vm_id == base.vms()[0].id { u64::MAX } else { e.vm_id },
+                ..*e
+            })
+            .collect();
+        let h = Trace::new(base.duration_s(), vms, events).content_hash();
+        assert!(!seen.contains(&h), "u64::MAX id collided");
+    }
+
+    #[test]
+    fn encode_rejects_oversized_counts() {
+        // A 2^32-record trace cannot be built in a test, so the length
+        // guard is exercised directly.
+        assert_eq!(ensure_u32(u32::MAX as usize, "VM"), Ok(u32::MAX));
+        assert_eq!(ensure_u32(u32::MAX as usize + 1, "VM"), Err(TraceCodecError::TooLarge("VM")));
+        assert_eq!(ensure_u32(usize::MAX, "event"), Err(TraceCodecError::TooLarge("event")));
+        let msg = TraceCodecError::TooLarge("event").to_string();
+        assert!(msg.contains("too large"), "{msg}");
     }
 
     #[test]
@@ -572,7 +823,7 @@ mod tests {
     #[test]
     fn decode_rejects_bad_version() {
         let t = sample_trace();
-        let mut raw = BytesMut::from(&t.encode()[..]);
+        let mut raw = BytesMut::from(&t.encode().unwrap()[..]);
         raw[4] = 9;
         raw[5] = 9;
         assert!(matches!(Trace::decode(raw.freeze()), Err(TraceCodecError::BadVersion(_))));
@@ -580,7 +831,7 @@ mod tests {
 
     #[test]
     fn decode_rejects_truncation_everywhere() {
-        let full = sample_trace().encode();
+        let full = sample_trace().encode().unwrap();
         for cut in 1..full.len() {
             let sliced = full.slice(0..cut);
             assert!(Trace::decode(sliced).is_err(), "cut at {cut} should fail");
@@ -590,7 +841,7 @@ mod tests {
     #[test]
     fn decode_rejects_dangling_events_and_nan_times() {
         let t = sample_trace();
-        let raw = t.encode();
+        let raw = t.encode().unwrap();
         // Corrupt the last event's vm_id (final 8 bytes).
         let mut dangling = raw.to_vec();
         let n = dangling.len();

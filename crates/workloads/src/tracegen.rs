@@ -13,6 +13,7 @@
 //! - per-VM application assignment sampled from the fleet core-hour mix
 //!   and a pre-defined baseline generation per VM (§V).
 
+use crate::chunks::{TraceChunkWriter, TraceStreamError};
 use crate::fleet::FleetMix;
 use crate::trace::Trace;
 use crate::vm::{ServerGeneration, VmEvent, VmEventKind, VmSpec};
@@ -113,31 +114,14 @@ impl TraceGenerator {
         &self.params
     }
 
-    /// Generates trace number `index` under `seeds`. The same
-    /// `(seeds, index)` always produces the same trace.
-    pub fn generate(&self, seeds: &SeedFactory, index: u64) -> Trace {
+    /// Builds the per-trace samplers once; [`Self::generate`] and
+    /// [`Self::synthesize_streamed`] share them (and the per-arrival
+    /// draw sequence in [`Self::sample_arrival`]) so both paths consume
+    /// the RNG stream identically and produce bit-identical traces.
+    fn samplers(&self) -> Samplers {
         let p = &self.params;
-        let mut rng = seeds.stream_indexed("trace", index);
-        let duration_s = p.duration_hours * 3600.0;
-
         let inter_arrival =
             Exponential::with_mean(3600.0 / p.arrivals_per_hour).expect("positive arrival rate");
-        let size_dist =
-            Categorical::new(&p.size_classes.iter().map(|(_, w)| *w).collect::<Vec<_>>())
-                .expect("size weights valid");
-        let mem_dist =
-            Categorical::new(&p.mem_per_core_classes.iter().map(|(_, w)| *w).collect::<Vec<_>>())
-                .expect("memory weights valid");
-        let gen_dist = Categorical::new(&p.generation_weights).expect("generation weights valid");
-        let short_life =
-            Exponential::with_mean(p.short_lifetime_hours * 3600.0).expect("positive lifetime");
-        let long_life = Pareto::new(p.long_lifetime_min_hours * 3600.0, p.long_lifetime_alpha)
-            .expect("valid lifetime tail");
-        let mem_util =
-            LogNormal::with_mean(p.mem_util_mean, p.mem_util_sigma).expect("valid mem-util shape");
-        let cpu_util =
-            LogNormal::with_mean(p.cpu_util_mean, p.cpu_util_sigma).expect("valid cpu-util shape");
-
         // Non-homogeneous Poisson arrivals by thinning: candidates are
         // generated at the peak rate λ(1+A) and accepted with
         // probability λ(t)/λ_max. A = 0 degenerates to the homogeneous
@@ -149,65 +133,220 @@ impl TraceGenerator {
         } else {
             inter_arrival
         };
+        Samplers {
+            duration_s: p.duration_hours * 3600.0,
+            amplitude,
+            peak_inter,
+            size_dist: Categorical::new(
+                &p.size_classes.iter().map(|(_, w)| *w).collect::<Vec<_>>(),
+            )
+            .expect("size weights valid"),
+            mem_dist: Categorical::new(
+                &p.mem_per_core_classes.iter().map(|(_, w)| *w).collect::<Vec<_>>(),
+            )
+            .expect("memory weights valid"),
+            gen_dist: Categorical::new(&p.generation_weights).expect("generation weights valid"),
+            short_life: Exponential::with_mean(p.short_lifetime_hours * 3600.0)
+                .expect("positive lifetime"),
+            long_life: Pareto::new(p.long_lifetime_min_hours * 3600.0, p.long_lifetime_alpha)
+                .expect("valid lifetime tail"),
+            mem_util: LogNormal::with_mean(p.mem_util_mean, p.mem_util_sigma)
+                .expect("valid mem-util shape"),
+            cpu_util: LogNormal::with_mean(p.cpu_util_mean, p.cpu_util_sigma)
+                .expect("valid cpu-util shape"),
+        }
+    }
+
+    /// Samples one arrival candidate at time `t`: `None` if diurnal
+    /// thinning rejects it, otherwise the VM and its departure time.
+    /// The draw order here IS the generator's determinism contract —
+    /// both the in-memory and streamed paths go through this exact
+    /// sequence.
+    fn sample_arrival(
+        &self,
+        s: &Samplers,
+        rng: &mut gsf_stats::rng::SimRng,
+        t: f64,
+        id: u64,
+    ) -> Option<(VmSpec, f64)> {
+        let p = &self.params;
         let day_s = 24.0 * 3600.0;
+        if s.amplitude > 0.0 {
+            let rate_frac = (1.0 + s.amplitude * (2.0 * std::f64::consts::PI * t / day_s).sin())
+                / (1.0 + s.amplitude);
+            if rng.gen::<f64>() >= rate_frac {
+                return None;
+            }
+        }
+        let full_node = rng.gen::<f64>() < p.full_node_fraction;
+        let cores = if full_node {
+            // Full-node VMs take a whole baseline server (80 cores).
+            80
+        } else {
+            p.size_classes[s.size_dist.sample(rng)].0
+        };
+        let mem_gb = if full_node {
+            768.0
+        } else {
+            p.mem_per_core_classes[s.mem_dist.sample(rng)].0 * f64::from(cores)
+        };
+        let lifetime_s = if full_node {
+            // Long-living by definition: at least half the horizon.
+            s.duration_s * (0.5 + 0.5 * rng.gen::<f64>())
+        } else if rng.gen::<f64>() < p.short_lived_fraction {
+            s.short_life.sample(rng)
+        } else {
+            s.long_life.sample(rng)
+        };
+        let vm = VmSpec {
+            id,
+            cores,
+            mem_gb,
+            app_index: self.mix.sample_app(rng) as u16,
+            generation: match s.gen_dist.sample(rng) {
+                0 => ServerGeneration::Gen1,
+                1 => ServerGeneration::Gen2,
+                _ => ServerGeneration::Gen3,
+            },
+            full_node,
+            max_mem_util: s.mem_util.sample(rng).clamp(0.05, 1.0),
+            avg_cpu_util: s.cpu_util.sample(rng).clamp(0.01, 1.0),
+        };
+        let departure = (t + lifetime_s).min(s.duration_s);
+        Some((vm, departure))
+    }
+
+    /// Generates trace number `index` under `seeds`. The same
+    /// `(seeds, index)` always produces the same trace.
+    pub fn generate(&self, seeds: &SeedFactory, index: u64) -> Trace {
+        let s = self.samplers();
+        let mut rng = seeds.stream_indexed("trace", index);
         let mut vms = Vec::new();
         let mut events = Vec::new();
         let mut t = 0.0;
         let mut id = 0u64;
         loop {
-            t += peak_inter.sample(&mut rng);
-            if t >= duration_s {
+            t += s.peak_inter.sample(&mut rng);
+            if t >= s.duration_s {
                 break;
             }
-            if amplitude > 0.0 {
-                let rate_frac = (1.0 + amplitude * (2.0 * std::f64::consts::PI * t / day_s).sin())
-                    / (1.0 + amplitude);
-                if rng.gen::<f64>() >= rate_frac {
-                    continue;
-                }
-            }
-            let full_node = rng.gen::<f64>() < p.full_node_fraction;
-            let cores = if full_node {
-                // Full-node VMs take a whole baseline server (80 cores).
-                80
-            } else {
-                p.size_classes[size_dist.sample(&mut rng)].0
-            };
-            let mem_gb = if full_node {
-                768.0
-            } else {
-                p.mem_per_core_classes[mem_dist.sample(&mut rng)].0 * f64::from(cores)
-            };
-            let lifetime_s = if full_node {
-                // Long-living by definition: at least half the horizon.
-                duration_s * (0.5 + 0.5 * rng.gen::<f64>())
-            } else if rng.gen::<f64>() < p.short_lived_fraction {
-                short_life.sample(&mut rng)
-            } else {
-                long_life.sample(&mut rng)
-            };
-            let vm = VmSpec {
-                id,
-                cores,
-                mem_gb,
-                app_index: self.mix.sample_app(&mut rng) as u16,
-                generation: match gen_dist.sample(&mut rng) {
-                    0 => ServerGeneration::Gen1,
-                    1 => ServerGeneration::Gen2,
-                    _ => ServerGeneration::Gen3,
-                },
-                full_node,
-                max_mem_util: mem_util.sample(&mut rng).clamp(0.05, 1.0),
-                avg_cpu_util: cpu_util.sample(&mut rng).clamp(0.01, 1.0),
+            let Some((vm, departure)) = self.sample_arrival(&s, &mut rng, t, id) else {
+                continue;
             };
             events.push(VmEvent { time_s: t, kind: VmEventKind::Arrival, vm_id: id });
-            let departure = (t + lifetime_s).min(duration_s);
             events.push(VmEvent { time_s: departure, kind: VmEventKind::Departure, vm_id: id });
             vms.push(vm);
             id += 1;
         }
-        Trace::new(duration_s, vms, events)
+        Trace::new(s.duration_s, vms, events)
     }
+
+    /// Generates trace number `index` directly into the chunked stream
+    /// `out` without materializing the whole trace, returning the final
+    /// content digest. Decoding the stream yields a trace bit-identical
+    /// to [`Self::generate`] with the same `(seeds, index)`.
+    ///
+    /// Peak memory is O(peak concurrent VMs) for the pending-departure
+    /// heap plus 8 bytes per VM for the writer's slot→id table —
+    /// independent of the event volume a multi-week horizon produces.
+    ///
+    /// Events are emitted in replay order by merging the (sorted)
+    /// arrival process with a min-heap of open departures; arrivals at
+    /// one timestamp are held back until the next strictly-later
+    /// arrival so any equal-time departures (including zero-lifetime
+    /// VMs sharing the timestamp) are emitted first, exactly as
+    /// [`Trace::new`]'s stable sort orders them.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure, or [`gsf_workloads::chunks`](crate::chunks) codec
+    /// errors (which indicate a generator bug, not bad input).
+    pub fn synthesize_streamed<W: std::io::Write>(
+        &self,
+        seeds: &SeedFactory,
+        index: u64,
+        out: W,
+        chunk_events: usize,
+    ) -> Result<(u64, u64), TraceStreamError> {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let s = self.samplers();
+        let mut rng = seeds.stream_indexed("trace", index);
+        let mut w = TraceChunkWriter::new(out, s.duration_s, chunk_events)?;
+        // Open departures keyed by (time bits, slot): times are
+        // non-negative finite, so bit order equals numeric order, and
+        // the slot tiebreak reproduces the stable sort's original-
+        // position order for equal-time departures.
+        let mut open: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+        // Arrivals buffered at the current (possibly tied) timestamp.
+        let mut pending: Vec<u32> = Vec::new();
+        let mut group_bits = 0u64;
+        let mut t = 0.0;
+        let mut id = 0u64;
+        loop {
+            t += s.peak_inter.sample(&mut rng);
+            if t >= s.duration_s {
+                break;
+            }
+            let Some((vm, departure)) = self.sample_arrival(&s, &mut rng, t, id) else {
+                continue;
+            };
+            if !pending.is_empty() && t.to_bits() != group_bits {
+                flush_group(&mut w, &mut open, &mut pending, group_bits)?;
+            }
+            let slot = w.push_vm(&vm)?;
+            open.push(Reverse((departure.to_bits(), slot)));
+            group_bits = t.to_bits();
+            pending.push(slot);
+            id += 1;
+        }
+        flush_group(&mut w, &mut open, &mut pending, group_bits)?;
+        while let Some(Reverse((bits, slot))) = open.pop() {
+            w.push_event(f64::from_bits(bits), VmEventKind::Departure, slot)?;
+        }
+        w.finish()
+    }
+}
+
+/// Emits one arrival-timestamp group in replay order: every open
+/// departure at or before the group's timestamp first (heap order =
+/// (time, slot)), then the group's arrivals in generation order.
+fn flush_group<W: std::io::Write>(
+    w: &mut TraceChunkWriter<W>,
+    open: &mut std::collections::BinaryHeap<std::cmp::Reverse<(u64, u32)>>,
+    pending: &mut Vec<u32>,
+    group_bits: u64,
+) -> Result<(), TraceStreamError> {
+    if pending.is_empty() {
+        return Ok(());
+    }
+    while let Some(&std::cmp::Reverse((bits, slot))) = open.peek() {
+        if bits > group_bits {
+            break;
+        }
+        open.pop();
+        w.push_event(f64::from_bits(bits), VmEventKind::Departure, slot)?;
+    }
+    for &slot in pending.iter() {
+        w.push_event(f64::from_bits(group_bits), VmEventKind::Arrival, slot)?;
+    }
+    pending.clear();
+    Ok(())
+}
+
+/// Per-trace sampling state shared by the in-memory and streamed
+/// generation paths.
+struct Samplers {
+    duration_s: f64,
+    amplitude: f64,
+    peak_inter: Exponential,
+    size_dist: Categorical,
+    mem_dist: Categorical,
+    gen_dist: Categorical,
+    short_life: Exponential,
+    long_life: Pareto,
+    mem_util: LogNormal,
+    cpu_util: LogNormal,
 }
 
 /// The 35 trace configurations of the packing study (Figs. 9–10):
@@ -398,10 +537,40 @@ mod tests {
     }
 
     #[test]
+    fn streamed_synthesis_matches_generate_bitwise() {
+        let g = TraceGenerator::new(small_params());
+        let seeds = SeedFactory::new(42);
+        let in_memory = g.generate(&seeds, 3);
+        for chunk_events in [7usize, 512, 1 << 20] {
+            let mut buf = Vec::new();
+            let digest = g.synthesize_streamed(&seeds, 3, &mut buf, chunk_events).unwrap();
+            let decoded = crate::chunks::decode_chunks(&buf[..]).unwrap();
+            assert_eq!(in_memory, decoded, "chunk_events={chunk_events}");
+            assert_eq!(digest, in_memory.content_hash());
+        }
+    }
+
+    #[test]
+    fn streamed_synthesis_matches_generate_with_diurnal_thinning() {
+        // Thinning consumes an extra RNG draw per candidate; the
+        // streamed path must stay in lockstep.
+        let mut params = small_params();
+        params.diurnal_amplitude = 0.7;
+        params.duration_hours = 48.0;
+        let g = TraceGenerator::new(params);
+        let seeds = SeedFactory::new(9);
+        let in_memory = g.generate(&seeds, 1);
+        let mut buf = Vec::new();
+        let digest = g.synthesize_streamed(&seeds, 1, &mut buf, 1024).unwrap();
+        assert_eq!(crate::chunks::decode_chunks(&buf[..]).unwrap(), in_memory);
+        assert_eq!(digest, in_memory.content_hash());
+    }
+
+    #[test]
     fn codec_roundtrip_on_generated_trace() {
         let g = TraceGenerator::new(small_params());
         let trace = g.generate(&SeedFactory::new(8), 2);
-        let decoded = Trace::decode(trace.encode()).unwrap();
+        let decoded = Trace::decode(trace.encode().unwrap()).unwrap();
         assert_eq!(trace, decoded);
     }
 }

@@ -59,8 +59,40 @@ proptest! {
     ) {
         let g = TraceGenerator::new(params(arrivals, 6.0, 0.3, 0.01));
         let trace = g.generate(&SeedFactory::new(seed), index);
-        let decoded = Trace::decode(trace.encode()).unwrap();
-        prop_assert_eq!(trace, decoded);
+        // Legacy: encode → decode → encode is bitwise stable.
+        let raw = trace.encode().unwrap();
+        let decoded = Trace::decode(raw.clone()).unwrap();
+        prop_assert_eq!(raw, decoded.encode().unwrap());
+        prop_assert_eq!(&trace, &decoded);
+        // Chunked: same property, at an arbitrary chunk size.
+        let chunk_events = 1 + (seed as usize % 3000);
+        let mut chunked = Vec::new();
+        let digest = gsf_workloads::write_chunks(&trace, &mut chunked, chunk_events).unwrap();
+        let from_chunks = gsf_workloads::decode_chunks(&chunked[..]).unwrap();
+        let mut reencoded = Vec::new();
+        gsf_workloads::write_chunks(&from_chunks, &mut reencoded, chunk_events).unwrap();
+        prop_assert_eq!(&chunked, &reencoded);
+        prop_assert_eq!(&trace, &from_chunks);
+        // The streamed digest is the in-memory content hash.
+        prop_assert_eq!(digest, trace.content_hash());
+    }
+
+    #[test]
+    fn streamed_synthesis_equals_in_memory_generation(
+        arrivals in 5.0..80.0f64,
+        hours in 2.0..24.0f64,
+        diurnal in 0.0..0.8f64,
+        seed in 0u64..300,
+        chunk_events in 1usize..4096,
+    ) {
+        let g = TraceGenerator::new(params(arrivals, hours, diurnal, 0.01));
+        let seeds = SeedFactory::new(seed);
+        let in_memory = g.generate(&seeds, 0);
+        let mut buf = Vec::new();
+        let digest = g.synthesize_streamed(&seeds, 0, &mut buf, chunk_events).unwrap();
+        let decoded = gsf_workloads::decode_chunks(&buf[..]).unwrap();
+        prop_assert_eq!(&in_memory, &decoded);
+        prop_assert_eq!(digest, in_memory.content_hash());
     }
 
     #[test]
@@ -114,7 +146,7 @@ proptest! {
     ) {
         let g = TraceGenerator::new(params(arrivals, 4.0, 0.0, 0.0));
         let trace = g.generate(&SeedFactory::new(seed), 0);
-        let mut raw = trace.encode().to_vec();
+        let mut raw = trace.encode().unwrap().to_vec();
         if !raw.is_empty() {
             let i = flip_at % raw.len();
             raw[i] = flip_to;

@@ -198,7 +198,7 @@ proptest! {
             });
         }
         let trace = Trace::new(250.0, vms, events);
-        let decoded = Trace::decode(trace.encode()).unwrap();
+        let decoded = Trace::decode(trace.encode().unwrap()).unwrap();
         prop_assert_eq!(trace, decoded);
     }
 
@@ -247,5 +247,5 @@ proptest! {
 #[test]
 fn empty_trace_fails_decode() {
     let empty = Trace::new(250.0, vec![], vec![]);
-    assert!(Trace::decode(empty.encode()).is_err());
+    assert!(Trace::decode(empty.encode().unwrap()).is_err());
 }
