@@ -41,6 +41,17 @@ cargo test -q -p gsf-cluster --test shard_equivalence
 # must replay identically sharded and serial; horizon-edge events, SLO
 # monotonicity, and the Little's-law OOS consistency check live here.
 cargo test -q -p gsf-cluster --test availability_equivalence
+# Arena-storage equivalence: the slot-arena replay core must keep the
+# prepared, unprepared, and sharded engines bitwise identical across
+# policies and fault shapes, stay internally consistent (occupancy vs
+# live slots, aggregate folds) after every replay, and survive reset()
+# reuse and both sizing searches unchanged.
+cargo test -q -p gsf-cluster --test arena_equivalence
+# Allocation budget: after one warming replay the steady-state event
+# loop must not allocate per event — a 10x-larger trace must allocate
+# exactly as much as the small one. Runs under a counting global
+# allocator in its own binary.
+cargo test -q -p gsf-perf --test zero_alloc_replay
 # Streamed-replay equivalence: evaluating from a chunked trace stream
 # (bounded memory, no materialized Trace) must stay bit-identical to
 # the in-memory path and share its cache entries. --include-ignored

@@ -794,6 +794,241 @@ fn ablation_sim_reuse(c: &mut Criterion) {
     group.finish();
 }
 
+/// Ablation: arena-backed replay core — the per-replay unit of work
+/// every sizing probe and sweep point repeats, timed on the sized
+/// ≥1024-server/~24k-VM fleet fixture (steady-state and faulted) and
+/// on the ~1M-VM two-week streamed trace. The PR 8 engine (BTreeMap
+/// VM storage, per-event eviction `Vec`s) no longer exists to run
+/// live, so its numbers — measured on this same fixture and machine
+/// immediately before the arena rewrite landed — are recorded as
+/// constants and carried into the emitted artifact for the
+/// before/after comparison. Emits `results/BENCH_pr9.json`.
+fn ablation_arena_replay(c: &mut Criterion) {
+    use gsf_bench::{bench_trace_fleet, BENCH_SEED};
+    use gsf_cluster::sizing::right_size_mixed_prepared;
+    use gsf_vmalloc::{FaultEvent, FaultKind, FaultPlan, FaultPool, PreparedTrace};
+    use gsf_workloads::{TraceChunkReader, TraceGenerator, TraceParams, DEFAULT_CHUNK_EVENTS};
+    use std::io::{BufReader, BufWriter, Write as _};
+    use std::time::{Duration, Instant};
+
+    /// PR 8 engine, best-of-reps ns on this fixture/machine (see doc
+    /// comment). 0 means "not yet measured" and suppresses the
+    /// speedup assertions (test mode).
+    const PR8_FLEET_REPLAY_NS: f64 = 20_009_969.0;
+    const PR8_FLEET_FAULTED_REPLAY_NS: f64 = 19_777_921.0;
+    const PR8_MILLION_REPLAY_NS: f64 = 4_841_728_354.0;
+
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let trace = if test_mode { bench_trace() } else { bench_trace_fleet() };
+    let transform = |vm: &VmSpec| {
+        if vm.full_node {
+            PlacementRequest::baseline_only(vm)
+        } else {
+            PlacementRequest::prefer_green(vm, 1.25)
+        }
+    };
+    let prepared = PreparedTrace::new(&trace, &transform);
+    let prepared_baseline = PreparedTrace::new(&trace, &baseline_transform);
+    let baseline_shape = ServerShape::baseline_gen3();
+    let green_shape = ServerShape::greensku();
+
+    // Size once and replay that fixed cluster, so the ablation
+    // isolates the inner-loop data layout from sizing.
+    let plan = right_size_mixed_prepared(
+        &prepared,
+        &prepared_baseline,
+        baseline_shape,
+        green_shape,
+        PlacementPolicy::BestFit,
+        None,
+    )
+    .unwrap();
+    if !test_mode {
+        assert!(plan.total() >= 1024, "fleet fixture must size above 1024 servers, got {plan:?}");
+    }
+    let config = ClusterConfig {
+        baseline_count: plan.baseline,
+        baseline_shape,
+        green_count: plan.green,
+        green_shape,
+    };
+
+    // A fault plan that keeps the evacuation/retry path hot: a wave of
+    // full failures mid-trace, a degrade wave, and repairs near the
+    // end, spread deterministically over both pools.
+    let duration = prepared.duration_s();
+    let mut fault_events = Vec::new();
+    for server in (0..config.baseline_count).step_by(31) {
+        fault_events.push(FaultEvent {
+            time_s: duration * 0.25,
+            pool: FaultPool::Baseline,
+            server,
+            kind: FaultKind::FullFailure,
+        });
+        fault_events.push(FaultEvent {
+            time_s: duration * 0.70,
+            pool: FaultPool::Baseline,
+            server,
+            kind: FaultKind::Revive,
+        });
+    }
+    for server in (0..config.green_count).step_by(41) {
+        fault_events.push(FaultEvent {
+            time_s: duration * 0.40,
+            pool: FaultPool::Green,
+            server,
+            kind: FaultKind::PartialDegrade { cores_lost: 16, mem_lost_gb: 64.0 },
+        });
+    }
+    let faults =
+        FaultPlan::new(fault_events, 4, config.baseline_count, config.green_count).unwrap();
+
+    let reps: u32 = if test_mode { 1 } else { 5 };
+    let mut sim = AllocationSim::new(config, PlacementPolicy::BestFit);
+    let fleet_replay = (0..reps)
+        .map(|_| {
+            sim.reset(config);
+            let t = Instant::now();
+            black_box(sim.replay_prepared(&prepared));
+            t.elapsed()
+        })
+        .min()
+        .unwrap();
+    let fleet_faulted = (0..reps)
+        .map(|_| {
+            sim.reset(config);
+            let t = Instant::now();
+            black_box(sim.replay_prepared_faulted(&prepared, &faults));
+            t.elapsed()
+        })
+        .min()
+        .unwrap();
+    println!(
+        "[ablation] arena fleet replay {:.1} ms steady, {:.1} ms faulted at {} servers / {} VMs",
+        fleet_replay.as_secs_f64() * 1e3,
+        fleet_faulted.as_secs_f64() * 1e3,
+        plan.total(),
+        prepared.vm_count(),
+    );
+    if PR8_FLEET_REPLAY_NS > 0.0 {
+        println!(
+            "[ablation] vs PR 8 engine: steady {:.2}x, faulted {:.2}x",
+            PR8_FLEET_REPLAY_NS / (fleet_replay.as_secs_f64() * 1e9),
+            PR8_FLEET_FAULTED_REPLAY_NS / (fleet_faulted.as_secs_f64() * 1e9),
+        );
+    }
+
+    // ~1M VMs over two weeks, streamed from a chunked file exactly as
+    // `gsf fleet --trace-file --stream` would replay it.
+    if !test_mode {
+        let generator = TraceGenerator::new(TraceParams {
+            duration_hours: 14.0 * 24.0,
+            arrivals_per_hour: 3000.0,
+            size_classes: vec![(8, 0.4), (16, 0.3), (32, 0.2), (64, 0.1)],
+            mem_per_core_classes: vec![(4.0, 0.6), (8.0, 0.4)],
+            ..TraceParams::default()
+        });
+        let path = std::env::temp_dir().join("gsf_ablation_arena_1m.gst");
+        {
+            let mut out = BufWriter::new(std::fs::File::create(&path).unwrap());
+            generator
+                .synthesize_streamed(
+                    &SeedFactory::new(BENCH_SEED),
+                    9,
+                    &mut out,
+                    DEFAULT_CHUNK_EVENTS,
+                )
+                .unwrap();
+            out.flush().unwrap();
+        }
+        let prepared_1m = {
+            let file = BufReader::new(std::fs::File::open(&path).unwrap());
+            let mut reader = TraceChunkReader::new(file).unwrap();
+            PreparedTrace::from_chunk_stream(&mut reader, &transform).unwrap()
+        };
+        std::fs::remove_file(&path).ok();
+        let million_vms = prepared_1m.vm_count();
+        assert!(million_vms > 900_000, "scale fixture drifted: {million_vms} VMs");
+        let (peak_cores, peak_mem_gb) = prepared_1m.peak_demand();
+        let servers = |shape: ServerShape, share: f64| -> u32 {
+            let by_cores = (peak_cores as f64 * share / f64::from(shape.cores)).ceil();
+            let by_mem = (peak_mem_gb * share / shape.mem_gb).ceil();
+            by_cores.max(by_mem) as u32 + 2
+        };
+        let config_1m = ClusterConfig {
+            baseline_count: servers(baseline_shape, 0.5),
+            baseline_shape,
+            green_count: servers(green_shape, 1.0),
+            green_shape,
+        };
+        let mut sim_1m = AllocationSim::new(config_1m, PlacementPolicy::BestFit);
+        let million_replay = (0..2u32)
+            .map(|_| {
+                sim_1m.reset(config_1m);
+                let t = Instant::now();
+                black_box(sim_1m.replay_prepared(&prepared_1m));
+                t.elapsed()
+            })
+            .min()
+            .unwrap();
+        println!(
+            "[ablation] arena 1M-scale replay {:.2} s ({} VMs, {} servers)",
+            million_replay.as_secs_f64(),
+            million_vms,
+            config_1m.baseline_count + config_1m.green_count,
+        );
+        if PR8_MILLION_REPLAY_NS > 0.0 {
+            println!(
+                "[ablation] vs PR 8 engine: 1M replay {:.2}x",
+                PR8_MILLION_REPLAY_NS / (million_replay.as_secs_f64() * 1e9),
+            );
+        }
+
+        let speedup = |pr8: f64, now: Duration| -> f64 {
+            if pr8 > 0.0 {
+                pr8 / (now.as_secs_f64() * 1e9)
+            } else {
+                0.0
+            }
+        };
+        let json = format!(
+            "{{\n  \"bench\": \"ablation_arena_replay\",\n  \"fleet\": {{\n    \"vms\": {},\n    \"servers\": {},\n    \"ns_per_iter\": {{\n      \"replay_pr8\": {:.0},\n      \"replay_arena\": {:.0},\n      \"faulted_replay_pr8\": {:.0},\n      \"faulted_replay_arena\": {:.0}\n    }},\n    \"speedup\": {{\n      \"replay\": {:.2},\n      \"faulted_replay\": {:.2}\n    }}\n  }},\n  \"million\": {{\n    \"vms\": {},\n    \"ns_per_iter\": {{\n      \"replay_pr8\": {:.0},\n      \"replay_arena\": {:.0}\n    }},\n    \"speedup\": {{\"replay\": {:.2}}}\n  }}\n}}\n",
+            prepared.vm_count(),
+            plan.total(),
+            PR8_FLEET_REPLAY_NS,
+            fleet_replay.as_secs_f64() * 1e9,
+            PR8_FLEET_FAULTED_REPLAY_NS,
+            fleet_faulted.as_secs_f64() * 1e9,
+            speedup(PR8_FLEET_REPLAY_NS, fleet_replay),
+            speedup(PR8_FLEET_FAULTED_REPLAY_NS, fleet_faulted),
+            million_vms,
+            PR8_MILLION_REPLAY_NS,
+            million_replay.as_secs_f64() * 1e9,
+            speedup(PR8_MILLION_REPLAY_NS, million_replay),
+        );
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/BENCH_pr9.json");
+        std::fs::write(path, json).expect("write results/BENCH_pr9.json");
+        println!("[ablation] wrote {path}");
+    }
+
+    let mut group = c.benchmark_group("ablation_arena_replay");
+    group.bench_function("fleet_replay", |b| {
+        let mut sim = AllocationSim::new(config, PlacementPolicy::BestFit);
+        b.iter(|| {
+            sim.reset(config);
+            black_box(sim.replay_prepared(&prepared))
+        })
+    });
+    group.bench_function("fleet_faulted_replay", |b| {
+        let mut sim = AllocationSim::new(config, PlacementPolicy::BestFit);
+        b.iter(|| {
+            sim.reset(config);
+            black_box(sim.replay_prepared_faulted(&prepared, &faults))
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     ablation_placement_policy,
@@ -806,6 +1041,7 @@ criterion_group!(
     ablation_indexed_placement,
     ablation_sharded_replay,
     ablation_streamed_trace,
-    ablation_sim_reuse
+    ablation_sim_reuse,
+    ablation_arena_replay
 );
 criterion_main!(benches);

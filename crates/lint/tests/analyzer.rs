@@ -171,6 +171,27 @@ fn f1_exempts_codec_module_and_non_model_crates() {
 }
 
 #[test]
+fn arena_idioms_stay_clean_in_model_context() {
+    // The slot-arena core's hot-path idioms (struct-of-arrays columns,
+    // LIFO free list, integer-id binary search, ascending-id float
+    // reductions) analyzed as vmalloc model code: zero findings under
+    // D1–D3 and N1–N2, with the test-module exemption honored.
+    let arena = FileCtx { crate_name: "vmalloc", file_name: "arena.rs" };
+    assert!(run(arena, "arena_clean.rs").is_empty());
+}
+
+#[test]
+fn arena_shortcut_regressions_fire() {
+    // The shortcuts the arena design explicitly rejects — hashed
+    // occupancy and a NaN-panicking float comparator for eviction
+    // order — must keep firing if they ever creep back in.
+    let arena = FileCtx { crate_name: "vmalloc", file_name: "arena.rs" };
+    let f = run(arena, "arena_violation.rs");
+    assert!(f.iter().any(|x| x.rule == RuleId::D1), "{f:#?}");
+    assert!(f.iter().any(|x| x.rule == RuleId::N1), "{f:#?}");
+}
+
+#[test]
 fn malformed_allows_raise_a0_and_do_not_suppress() {
     let f = run(MODEL, "malformed_allow.rs");
     let a0 = f.iter().filter(|x| x.rule == RuleId::A0).count();

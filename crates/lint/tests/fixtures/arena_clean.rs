@@ -1,0 +1,66 @@
+// Distilled hot-path idioms of the slot-arena replay core
+// (vmalloc/src/arena.rs + server.rs): struct-of-arrays columns, a LIFO
+// free list, and ascending-VM-id occupancy maintained by binary search
+// on integer ids. Everything here must stay clean under D1–D3 (no
+// hashed containers, wall-clock, or threads in model code) and N1–N2
+// (no partial_cmp unwraps, no float-literal equality).
+
+pub struct Arena {
+    ids: Vec<u64>,
+    mem_gb: Vec<f64>,
+    free: Vec<u32>,
+}
+
+impl Arena {
+    pub fn alloc(&mut self, id: u64, mem_gb: f64) -> u32 {
+        if let Some(slot) = self.free.pop() {
+            self.ids[slot as usize] = id;
+            self.mem_gb[slot as usize] = mem_gb;
+            return slot;
+        }
+        let slot = self.ids.len() as u32;
+        self.ids.push(id);
+        self.mem_gb.push(mem_gb);
+        slot
+    }
+
+    pub fn release(&mut self, slot: u32) {
+        self.free.push(slot);
+    }
+}
+
+pub struct Server {
+    vms: Vec<u32>,
+    mem_allocated_gb: f64,
+}
+
+impl Server {
+    // Occupancy stays sorted by VM id (integer total order — no float
+    // comparator anywhere near the search).
+    pub fn insert_sorted(&mut self, arena: &Arena, slot: u32) {
+        let id = arena.ids[slot as usize];
+        let pos = match self.vms.binary_search_by(|&s| arena.ids[s as usize].cmp(&id)) {
+            Ok(p) | Err(p) => p,
+        };
+        self.vms.insert(pos, slot);
+        self.mem_allocated_gb += arena.mem_gb[slot as usize];
+    }
+
+    // Float reduction in ascending-id order; emptiness via the integer
+    // occupancy count, not a float-literal comparison.
+    pub fn touched_mem(&self, arena: &Arena) -> f64 {
+        if self.vms.is_empty() {
+            return 0.0;
+        }
+        self.vms.iter().map(|&s| arena.mem_gb[s as usize]).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // Test modules are exempt: a float-literal equality here must not
+    // fire N2.
+    fn exact() -> bool {
+        super::Arena { ids: vec![1], mem_gb: vec![2.0], free: vec![] }.mem_gb[0] == 2.0
+    }
+}

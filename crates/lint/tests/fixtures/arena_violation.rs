@@ -1,0 +1,16 @@
+// The tempting shortcuts the arena core must never regress into:
+// hashed occupancy (iteration order would leak into float reductions)
+// and a NaN-panicking float comparator for eviction order.
+use std::collections::HashMap;
+
+pub struct Server {
+    vms: HashMap<u64, f64>,
+}
+
+impl Server {
+    pub fn evict_order(&self) -> Vec<u64> {
+        let mut ids: Vec<(u64, f64)> = self.vms.iter().map(|(k, v)| (*k, *v)).collect();
+        ids.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        ids.into_iter().map(|(k, _)| k).collect()
+    }
+}

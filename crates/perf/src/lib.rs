@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::unwrap_used)]
 
+pub mod alloc_count;
 pub mod analytic;
 pub mod autoscale;
 pub mod des;

@@ -16,6 +16,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::unwrap_used)]
 
+pub mod arena;
 pub mod cluster;
 pub mod faults;
 pub mod index;
@@ -27,6 +28,7 @@ pub mod shard;
 pub mod simulator;
 pub mod usage;
 
+pub use arena::VmArena;
 pub use cluster::{ClusterConfig, ServerShape};
 pub use faults::{
     AvailabilitySummary, FaultEvent, FaultKind, FaultPlan, FaultPlanError, FaultPool, FaultSummary,

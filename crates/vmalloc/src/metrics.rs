@@ -5,6 +5,7 @@
 //! Memory-utilization snapshots aggregate the maximum memory hosted VMs
 //! will touch per server, the statistic Fig. 10 plots per cluster.
 
+use crate::arena::VmArena;
 use crate::server::ServerState;
 use gsf_stats::summary::Summary;
 use serde::{Deserialize, Serialize};
@@ -18,15 +19,16 @@ pub struct PoolMetrics {
 }
 
 impl PoolMetrics {
-    /// Records one snapshot of a pool.
-    fn record(&mut self, servers: &[ServerState]) {
+    /// Records one snapshot of a pool; `arena` resolves the servers'
+    /// occupancy slots.
+    fn record(&mut self, servers: &[ServerState], arena: &VmArena) {
         for s in servers {
             if s.is_empty() {
                 continue;
             }
             self.core_density.push(s.core_density());
             self.mem_density.push(s.mem_density());
-            self.max_mem_util.push(s.max_touched_mem_fraction());
+            self.max_mem_util.push(s.max_touched_mem_fraction(arena));
         }
     }
 
@@ -75,10 +77,11 @@ impl PackingMetrics {
         Self::default()
     }
 
-    /// Records one snapshot of both pools.
-    pub fn snapshot(&mut self, baseline: &[ServerState], green: &[ServerState]) {
-        self.baseline.record(baseline);
-        self.green.record(green);
+    /// Records one snapshot of both pools; `arena` resolves the
+    /// servers' occupancy slots.
+    pub fn snapshot(&mut self, baseline: &[ServerState], green: &[ServerState], arena: &VmArena) {
+        self.baseline.record(baseline, arena);
+        self.green.record(green, arena);
         self.snapshots += 1;
     }
 
@@ -103,18 +106,27 @@ mod tests {
     use crate::cluster::ServerShape;
     use crate::server::PlacedVm;
 
-    fn loaded_server(cores: u32) -> ServerState {
+    fn loaded_server(arena: &mut VmArena, id: u64, cores: u32) -> ServerState {
         let mut s = ServerState::new(ServerShape { cores: 80, mem_gb: 768.0 });
         if cores > 0 {
-            s.place(1, PlacedVm { cores, mem_gb: f64::from(cores) * 9.6, max_mem_util: 0.5 });
+            s.place(
+                arena,
+                id,
+                PlacedVm { cores, mem_gb: f64::from(cores) * 9.6, max_mem_util: 0.5 },
+            );
         }
         s
     }
 
     #[test]
     fn empty_servers_excluded_from_density() {
+        let mut arena = VmArena::new();
         let mut m = PackingMetrics::new();
-        m.snapshot(&[loaded_server(40), loaded_server(0)], &[]);
+        m.snapshot(
+            &[loaded_server(&mut arena, 1, 40), loaded_server(&mut arena, 2, 0)],
+            &[],
+            &arena,
+        );
         // Only the loaded server counts: density 0.5.
         assert_eq!(m.baseline.samples(), 1);
         assert!((m.baseline.mean_core_density() - 0.5).abs() < 1e-12);
@@ -124,9 +136,18 @@ mod tests {
 
     #[test]
     fn snapshots_accumulate() {
+        let mut arena = VmArena::new();
         let mut m = PackingMetrics::new();
-        m.snapshot(&[loaded_server(20)], &[loaded_server(40)]);
-        m.snapshot(&[loaded_server(60)], &[loaded_server(40)]);
+        m.snapshot(
+            &[loaded_server(&mut arena, 1, 20)],
+            &[loaded_server(&mut arena, 2, 40)],
+            &arena,
+        );
+        m.snapshot(
+            &[loaded_server(&mut arena, 3, 60)],
+            &[loaded_server(&mut arena, 4, 40)],
+            &arena,
+        );
         assert_eq!(m.snapshots(), 2);
         assert_eq!(m.baseline.samples(), 2);
         assert!((m.baseline.mean_core_density() - 0.5).abs() < 1e-12);
@@ -135,8 +156,9 @@ mod tests {
 
     #[test]
     fn all_empty_pool_has_no_samples() {
+        let mut arena = VmArena::new();
         let mut m = PackingMetrics::new();
-        m.snapshot(&[loaded_server(0)], &[]);
+        m.snapshot(&[loaded_server(&mut arena, 1, 0)], &[], &arena);
         assert_eq!(m.baseline.samples(), 0);
         assert_eq!(m.baseline.mean_core_density(), 0.0);
     }

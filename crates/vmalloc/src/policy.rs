@@ -92,16 +92,21 @@ impl std::fmt::Display for PlacementPolicy {
 #[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
+    use crate::arena::VmArena;
     use crate::cluster::ServerShape;
     use crate::server::PlacedVm;
 
+    // Policies only read server aggregates, so the arena backing the
+    // occupancy lists can be dropped after loading.
     fn servers_with_loads(loads: &[u32]) -> Vec<ServerState> {
+        let mut arena = VmArena::new();
         loads
             .iter()
             .map(|&used| {
                 let mut s = ServerState::new(ServerShape { cores: 16, mem_gb: 128.0 });
                 if used > 0 {
                     s.place(
+                        &mut arena,
                         1000 + u64::from(used),
                         PlacedVm { cores: used, mem_gb: f64::from(used) * 8.0, max_mem_util: 0.5 },
                     );

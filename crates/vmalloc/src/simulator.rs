@@ -29,6 +29,7 @@
 //! selection; the `index_equivalence` suite in `gsf-cluster` is the CI
 //! gate).
 
+use crate::arena::VmArena;
 use crate::cluster::ClusterConfig;
 use crate::cluster::ServerShape;
 use crate::faults::{FaultEvent, FaultKind, FaultPlan, FaultPool, FaultSummary};
@@ -162,6 +163,33 @@ pub struct AllocationSim {
     /// degrade took it offline-adjacent.
     baseline_shape: ServerShape,
     green_shape: ServerShape,
+    /// Cluster-wide slot storage for every placed VM; servers hold
+    /// occupancy lists of arena slots (see [`crate::arena`]).
+    arena: VmArena,
+    /// Persistent replay buffers; see [`ReplayScratch`].
+    scratch: ReplayScratch,
+}
+
+/// Simulator-owned buffers reused across replays and events so the
+/// steady-state event loop performs no heap allocation: the active-VM
+/// table of the prepared engine plus the displaced/retry/pending-drain
+/// buffers of the fault paths. Each buffer is taken
+/// ([`std::mem::take`]) for the duration of a pass that also needs
+/// `&mut self`, then cleared and put back, which preserves its
+/// capacity for the next replay.
+#[derive(Debug, Default)]
+struct ReplayScratch {
+    /// Prepared-path active-VM table, indexed by trace slot.
+    placements: Vec<Option<ActiveVm>>,
+    /// Ids displaced by the current fault (strike output, then the
+    /// still-homeless set between retry passes).
+    displaced: Vec<u64>,
+    /// The ids a retry pass failed to place; swapped with `displaced`
+    /// between passes.
+    unplaced: Vec<u64>,
+    /// Snapshot of the pending-queue keys for a revive drain, reused
+    /// instead of collecting a fresh `Vec` per drain.
+    pending_ids: Vec<u64>,
 }
 
 /// Per-replay fault bookkeeping shared by both engines: the pending
@@ -208,7 +236,21 @@ impl AllocationSim {
             green_index,
             baseline_shape: config.baseline_shape,
             green_shape: config.green_shape,
+            arena: VmArena::new(),
+            scratch: ReplayScratch::default(),
         }
+    }
+
+    /// Whether every server's occupancy list agrees with the arena:
+    /// lists sorted ascending by VM id, per-server aggregates matching
+    /// a fresh fold over the slots, and the total occupancy equal to
+    /// the arena's live-slot count. The proptest invariant suite calls
+    /// this after random place/remove/fail/degrade/reset sequences.
+    pub fn storage_consistent(&self) -> bool {
+        let occupancy: usize =
+            self.baseline.iter().chain(&self.green).map(ServerState::vm_count).sum();
+        occupancy == self.arena.live()
+            && self.baseline.iter().chain(&self.green).all(|s| s.storage_consistent(&self.arena))
     }
 
     /// Overrides the metrics snapshot interval (default hourly).
@@ -230,7 +272,8 @@ impl AllocationSim {
     }
 
     /// Re-shapes the cluster to `config` and empties every server,
-    /// reusing the pool vectors and per-server VM maps. A reset
+    /// reusing the pool vectors, the occupancy lists, the VM arena's
+    /// columns, and the replay scratch buffers. A reset
     /// simulator replays exactly like a freshly constructed one; the
     /// sizing searches call this between feasibility probes instead of
     /// rebuilding the simulator.
@@ -247,6 +290,7 @@ impl AllocationSim {
         }
         resize_pool(&mut self.baseline, config.baseline_count, config.baseline_shape);
         resize_pool(&mut self.green, config.green_count, config.green_shape);
+        self.arena.reset();
         self.baseline_shape = config.baseline_shape;
         self.green_shape = config.green_shape;
         if let Some(index) = &mut self.baseline_index {
@@ -341,7 +385,9 @@ impl AllocationSim {
         events: &[PreparedEvent],
         plan: &FaultPlan,
     ) -> (SimOutcome, FaultSummary) {
-        let mut placements: Vec<Option<ActiveVm>> = vec![None; prepared.vm_count()];
+        let mut placements = std::mem::take(&mut self.scratch.placements);
+        placements.clear();
+        placements.resize(prepared.vm_count(), None);
         let mut usage = UsageLedger::new();
         let mut metrics = PackingMetrics::new();
         let mut rejected = 0usize;
@@ -456,7 +502,7 @@ impl AllocationSim {
         // Interim snapshots run to the horizon even when the trace tail
         // is event-free, then the horizon itself is sampled once.
         self.drain_snapshots(&mut metrics, &mut next_snapshot, duration_s, duration_s);
-        metrics.snapshot(&self.baseline, &self.green);
+        metrics.snapshot(&self.baseline, &self.green, &self.arena);
         // VMs still resident at the horizon are charged to the end of
         // the trace, in ascending VM-id order so the per-app float
         // accumulation is reproducible.
@@ -474,6 +520,8 @@ impl AllocationSim {
                 }
             }
         }
+        placements.clear();
+        self.scratch.placements = placements;
         Self::settle_fault_runtime(&mut summary, &runtime, duration_s);
         (
             SimOutcome { rejected, placed_green, placed_baseline, green_overflow, metrics, usage },
@@ -637,7 +685,7 @@ impl AllocationSim {
             next_fault += 1;
         }
         self.drain_snapshots(&mut metrics, &mut next_snapshot, duration_s, duration_s);
-        metrics.snapshot(&self.baseline, &self.green);
+        metrics.snapshot(&self.baseline, &self.green, &self.arena);
         // VMs still resident at the horizon are charged to the end of
         // the trace. Settlement must run in ascending VM-id order — a
         // `HashMap` here once made the per-app `+=` accumulation order
@@ -677,19 +725,26 @@ impl AllocationSim {
         duration_s: f64,
     ) {
         while *next_snapshot <= upto && *next_snapshot < duration_s {
-            metrics.snapshot(&self.baseline, &self.green);
+            metrics.snapshot(&self.baseline, &self.green, &self.arena);
             *next_snapshot += self.snapshot_interval_s;
         }
     }
 
     /// Applies the capacity change of one fault to the struck server
-    /// and updates the loss accounting. Returns the displaced VM ids in
-    /// ascending order (always empty for a revive), or `None` when the
-    /// fault strikes nothing: the plan addresses a server this
-    /// configuration does not have, a failure lands on a server already
-    /// offline, or a revive lands on a server that is not offline (it
-    /// may have been repaired by an earlier rack-level revive already).
-    fn strike(&mut self, fault: &FaultEvent, summary: &mut FaultSummary) -> Option<Vec<u64>> {
+    /// and updates the loss accounting. Appends the displaced VM ids to
+    /// `displaced` in ascending order (none for a revive) and returns
+    /// `Some(())`, or `None` when the fault strikes nothing: the plan
+    /// addresses a server this configuration does not have, a failure
+    /// lands on a server already offline, or a revive lands on a server
+    /// that is not offline (it may have been repaired by an earlier
+    /// rack-level revive already).
+    fn strike(
+        &mut self,
+        fault: &FaultEvent,
+        summary: &mut FaultSummary,
+        displaced: &mut Vec<u64>,
+    ) -> Option<()> {
+        let arena = &mut self.arena;
         let (pool, index, pristine) = match fault.pool {
             FaultPool::Baseline => {
                 (&mut self.baseline, &mut self.baseline_index, self.baseline_shape)
@@ -700,7 +755,8 @@ impl AllocationSim {
         let server = pool.get_mut(struck)?;
         if matches!(fault.kind, FaultKind::Revive) {
             // Only a fully-failed server is repairable; degraded ones
-            // failed in place and stay degraded.
+            // failed in place and stay degraded. (An offline server is
+            // empty, so the reset leaks no arena slots.)
             if !server.is_offline() {
                 return None;
             }
@@ -709,36 +765,35 @@ impl AllocationSim {
             if let Some(index) = index.as_mut() {
                 index.refresh(struck, server);
             }
-            return Some(Vec::new());
+            return Some(());
         }
         if server.is_offline() {
             return None;
         }
-        let mut displaced = match fault.kind {
+        match fault.kind {
             FaultKind::FullFailure => {
                 summary.full_failures += 1;
                 summary.cores_lost += u64::from(server.shape().cores);
                 summary.mem_lost_gb += server.shape().mem_gb;
-                server.fail()
+                server.fail(arena, displaced);
             }
             FaultKind::PartialDegrade { cores_lost, mem_lost_gb } => {
                 summary.partial_degrades += 1;
                 let before = server.shape();
-                let evicted = server.degrade(cores_lost, mem_lost_gb);
+                server.degrade(arena, cores_lost, mem_lost_gb, displaced);
                 let after = server.shape();
                 summary.cores_lost += u64::from(before.cores - after.cores);
                 summary.mem_lost_gb += before.mem_gb - after.mem_gb;
-                evicted
             }
             // Handled by the early return above; kept total so the
             // match needs no panic arm.
-            FaultKind::Revive => Vec::new(),
-        };
+            FaultKind::Revive => {}
+        }
         if let Some(index) = index.as_mut() {
             index.refresh(struck, server);
         }
         displaced.sort_unstable();
-        Some(displaced)
+        Some(())
     }
 
     /// Applies one fault on the prepared path: strikes the server,
@@ -757,9 +812,43 @@ impl AllocationSim {
         summary: &mut FaultSummary,
         runtime: &mut FaultRuntime,
     ) {
-        let Some(mut pending) = self.strike(fault, summary) else {
+        // The displaced/retry buffers are scratch fields, taken out so
+        // the inner pass can keep borrowing `&mut self`.
+        let mut pending = std::mem::take(&mut self.scratch.displaced);
+        let mut unplaced = std::mem::take(&mut self.scratch.unplaced);
+        self.apply_fault_prepared_buffered(
+            fault,
+            max_passes,
+            prepared,
+            placements,
+            usage,
+            summary,
+            runtime,
+            &mut pending,
+            &mut unplaced,
+        );
+        pending.clear();
+        unplaced.clear();
+        self.scratch.displaced = pending;
+        self.scratch.unplaced = unplaced;
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn apply_fault_prepared_buffered(
+        &mut self,
+        fault: &FaultEvent,
+        max_passes: u32,
+        prepared: &PreparedTrace,
+        placements: &mut [Option<ActiveVm>],
+        usage: &mut UsageLedger,
+        summary: &mut FaultSummary,
+        runtime: &mut FaultRuntime,
+        pending: &mut Vec<u64>,
+        unplaced: &mut Vec<u64>,
+    ) {
+        if self.strike(fault, summary, pending).is_none() {
             return;
-        };
+        }
         if matches!(fault.kind, FaultKind::Revive) {
             if let Some(since) = runtime.down_since.remove(&(fault.pool, fault.server)) {
                 summary.availability.server_down_seconds += fault.time_s - since;
@@ -779,7 +868,7 @@ impl AllocationSim {
             .max_simultaneous_displaced
             .max(runtime.pending.len() + pending.len());
         // Close out the displaced VMs' residency on their old server.
-        for id in &pending {
+        for id in pending.iter() {
             let Some(slot) = prepared.slot_of_id(*id) else {
                 continue;
             };
@@ -798,13 +887,14 @@ impl AllocationSim {
         }
         // Bounded re-placement: each pass retries the still-homeless
         // VMs; a pass that places nothing ends the loop early (nothing
-        // will change on the next pass either).
+        // will change on the next pass either). The pass output buffer
+        // swaps with the input instead of allocating per pass.
         for _ in 0..max_passes {
             if pending.is_empty() {
                 break;
             }
-            let mut unplaced = Vec::new();
-            for &id in &pending {
+            unplaced.clear();
+            for &id in pending.iter() {
                 let Some(slot) = prepared.slot_of_id(id) else {
                     // A displaced id the prepared trace cannot resolve
                     // has no request to re-place with. Keep it pending
@@ -834,14 +924,14 @@ impl AllocationSim {
                 }
             }
             let progressed = unplaced.len() < pending.len();
-            pending = unplaced;
+            std::mem::swap(pending, unplaced);
             if !progressed {
                 break;
             }
         }
         // Still homeless: wait in the pending queue for capacity to
         // return (a revive drains it; departure/horizon fail it).
-        for id in pending {
+        for &id in pending.iter() {
             runtime.pending.insert(id, fault.time_s);
         }
     }
@@ -862,8 +952,13 @@ impl AllocationSim {
         if runtime.pending.is_empty() {
             return;
         }
-        let ids: Vec<u64> = runtime.pending.keys().copied().collect();
-        for id in ids {
+        // Reuse the scratch id buffer instead of collect()ing a fresh
+        // Vec per drain; `pending` is a BTreeMap, so extend() yields
+        // the same ascending-id order the collect() produced.
+        let mut ids = std::mem::take(&mut self.scratch.pending_ids);
+        ids.clear();
+        ids.extend(runtime.pending.keys().copied());
+        for &id in &ids {
             let Some(slot) = prepared.slot_of_id(id) else {
                 continue;
             };
@@ -881,6 +976,8 @@ impl AllocationSim {
                     Some(ActiveVm { placement: p, arrival_s: now, cores, app_index: vm.app_index });
             }
         }
+        ids.clear();
+        self.scratch.pending_ids = ids;
     }
 
     /// Applies one fault on the unprepared path; mirrors
@@ -897,9 +994,43 @@ impl AllocationSim {
         summary: &mut FaultSummary,
         runtime: &mut FaultRuntime,
     ) {
-        let Some(mut pending) = self.strike(fault, summary) else {
+        let mut pending = std::mem::take(&mut self.scratch.displaced);
+        let mut unplaced = std::mem::take(&mut self.scratch.unplaced);
+        self.apply_fault_buffered(
+            fault,
+            max_passes,
+            trace,
+            transform,
+            placements,
+            usage,
+            summary,
+            runtime,
+            &mut pending,
+            &mut unplaced,
+        );
+        pending.clear();
+        unplaced.clear();
+        self.scratch.displaced = pending;
+        self.scratch.unplaced = unplaced;
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn apply_fault_buffered(
+        &mut self,
+        fault: &FaultEvent,
+        max_passes: u32,
+        trace: &Trace,
+        transform: &VmTransform<'_>,
+        placements: &mut BTreeMap<u64, ActiveVm>,
+        usage: &mut UsageLedger,
+        summary: &mut FaultSummary,
+        runtime: &mut FaultRuntime,
+        pending: &mut Vec<u64>,
+        unplaced: &mut Vec<u64>,
+    ) {
+        if self.strike(fault, summary, pending).is_none() {
             return;
-        };
+        }
         if matches!(fault.kind, FaultKind::Revive) {
             if let Some(since) = runtime.down_since.remove(&(fault.pool, fault.server)) {
                 summary.availability.server_down_seconds += fault.time_s - since;
@@ -919,7 +1050,7 @@ impl AllocationSim {
             .max_simultaneous_displaced
             .max(runtime.pending.len() + pending.len());
         // Close out the displaced VMs' residency on their old server.
-        for id in &pending {
+        for id in pending.iter() {
             if let Some(active) = placements.remove(id) {
                 let dwell = fault.time_s - active.arrival_s;
                 runtime.served_s += dwell;
@@ -935,13 +1066,14 @@ impl AllocationSim {
         }
         // Bounded re-placement: each pass retries the still-homeless
         // VMs; a pass that places nothing ends the loop early (nothing
-        // will change on the next pass either).
+        // will change on the next pass either). The pass output buffer
+        // swaps with the input instead of allocating per pass.
         for _ in 0..max_passes {
             if pending.is_empty() {
                 break;
             }
-            let mut unplaced = Vec::new();
-            for &id in &pending {
+            unplaced.clear();
+            for &id in pending.iter() {
                 let Some(vm) = trace.vm(id) else {
                     // Mirror of the prepared path: an unresolvable
                     // displaced id must still be counted as an
@@ -971,14 +1103,14 @@ impl AllocationSim {
                 }
             }
             let progressed = unplaced.len() < pending.len();
-            pending = unplaced;
+            std::mem::swap(pending, unplaced);
             if !progressed {
                 break;
             }
         }
         // Still homeless: wait in the pending queue for capacity to
         // return (a revive drains it; departure/horizon fail it).
-        for id in pending {
+        for &id in pending.iter() {
             runtime.pending.insert(id, fault.time_s);
         }
     }
@@ -996,8 +1128,11 @@ impl AllocationSim {
         if runtime.pending.is_empty() {
             return;
         }
-        let ids: Vec<u64> = runtime.pending.keys().copied().collect();
-        for id in ids {
+        // Same reused id buffer as the prepared drain.
+        let mut ids = std::mem::take(&mut self.scratch.pending_ids);
+        ids.clear();
+        ids.extend(runtime.pending.keys().copied());
+        for &id in &ids {
             let Some(vm) = trace.vm(id) else {
                 continue;
             };
@@ -1017,6 +1152,8 @@ impl AllocationSim {
                 );
             }
         }
+        ids.clear();
+        self.scratch.pending_ids = ids;
     }
 
     /// Removes a VM from the server it occupies, keeping that pool's
@@ -1024,13 +1161,13 @@ impl AllocationSim {
     fn remove_placed(&mut self, placement: Placement, vm_id: u64) {
         match placement {
             Placement::Baseline(i) => {
-                self.baseline[i].remove(vm_id);
+                self.baseline[i].remove(&mut self.arena, vm_id);
                 if let Some(index) = &mut self.baseline_index {
                     index.refresh(i, &self.baseline[i]);
                 }
             }
             Placement::Green(i) => {
-                self.green[i].remove(vm_id);
+                self.green[i].remove(&mut self.arena, vm_id);
                 if let Some(index) = &mut self.green_index {
                     index.refresh(i, &self.green[i]);
                 }
@@ -1068,6 +1205,7 @@ impl AllocationSim {
         match placement {
             Some(Placement::Baseline(i)) => {
                 self.baseline[i].place(
+                    &mut self.arena,
                     vm_id,
                     PlacedVm {
                         cores: request.baseline_cores,
@@ -1081,6 +1219,7 @@ impl AllocationSim {
             }
             Some(Placement::Green(i)) => {
                 self.green[i].place(
+                    &mut self.arena,
                     vm_id,
                     PlacedVm {
                         cores: request.green_cores,
@@ -1721,5 +1860,91 @@ mod tests {
         let out = sim.replay(&trace(vms, events), &baseline_transform);
         assert_eq!(out.rejected, 1);
         assert_eq!(out.placed_baseline, 0);
+    }
+
+    #[test]
+    fn pending_drain_retries_in_ascending_id_order() {
+        // Regression for the reused drain buffer: the pending queue must
+        // still be retried in ascending VM-id order. Both 80-core
+        // servers fill up and fail, queueing four VMs (20+40+40+60
+        // cores); reviving only server 0 restores 80 cores, so the
+        // drain re-places exactly the two *lowest ids* (1: 20c, 2: 40c)
+        // and leaves 4 and 9 as evacuation failures.
+        let mut vms = vec![
+            vm(9, 60, 240.0, false), // t=1 → server 0
+            vm(4, 40, 160.0, false), // t=2 → server 1 (20 free on 0)
+            vm(1, 20, 80.0, false),  // t=3 → server 0 (tightest fit), now full
+            vm(2, 40, 160.0, false), // t=4 → server 1, now full
+        ];
+        for (i, v) in vms.iter_mut().enumerate() {
+            v.app_index = u16::try_from(i).unwrap(); // 0:id9, 1:id4, 2:id1, 3:id2
+        }
+        let events = vec![arrive(9, 1.0), arrive(4, 2.0), arrive(1, 3.0), arrive(2, 4.0)];
+        let t = trace(vms, events);
+        let plan = FaultPlan::new(
+            vec![
+                full_fault(10.0, FaultPool::Baseline, 0),
+                full_fault(11.0, FaultPool::Baseline, 1),
+                revive(100.0, FaultPool::Baseline, 0),
+            ],
+            3,
+            2,
+            0,
+        )
+        .unwrap();
+        for unprepared in [false, true] {
+            let mut sim =
+                AllocationSim::new(ClusterConfig::baseline_only(2), PlacementPolicy::BestFit);
+            let (out, summary) = if unprepared {
+                sim.replay_faulted_unprepared(&t, &baseline_transform, &plan)
+            } else {
+                sim.replay_faulted(&t, &baseline_transform, &plan)
+            };
+            assert_eq!(summary.displaced, 4);
+            assert_eq!(summary.evacuated, 2);
+            assert_eq!(summary.evacuation_failures, 2);
+            // Ids 1 (app 2) and 2 (app 3) won the drain and served to
+            // the horizon; ids 9 (app 0) and 4 (app 1) only banked
+            // their pre-fault dwell.
+            assert!(out.usage.baseline_core_hours(2) > 1_000.0);
+            assert!(out.usage.baseline_core_hours(3) > 1_000.0);
+            assert!(out.usage.baseline_core_hours(0) < 1.0);
+            assert!(out.usage.baseline_core_hours(1) < 1.0);
+            assert!(sim.storage_consistent());
+        }
+    }
+
+    #[test]
+    fn arena_storage_stays_consistent_across_faulted_replays_and_reset() {
+        let vms: Vec<VmSpec> = (0..12).map(|i| vm(i, 8, 32.0, false)).collect();
+        let mut events: Vec<VmEvent> = (0..12).map(|i| arrive(i, f64::from(i as u32))).collect();
+        events.push(depart(3, 500.0));
+        events.push(depart(7, 600.0));
+        let t = trace(vms, events);
+        let plan = FaultPlan::new(
+            vec![
+                full_fault(100.0, FaultPool::Baseline, 0),
+                FaultEvent {
+                    time_s: 200.0,
+                    pool: FaultPool::Baseline,
+                    server: 1,
+                    kind: FaultKind::PartialDegrade { cores_lost: 48, mem_lost_gb: 256.0 },
+                },
+                revive(700.0, FaultPool::Baseline, 0),
+            ],
+            3,
+            3,
+            0,
+        )
+        .unwrap();
+        let config = ClusterConfig::baseline_only(3);
+        let mut sim = AllocationSim::new(config, PlacementPolicy::BestFit);
+        let (first, _) = sim.replay_faulted(&t, &baseline_transform, &plan);
+        assert!(sim.storage_consistent());
+        sim.reset(config);
+        assert!(sim.storage_consistent());
+        let (second, _) = sim.replay_faulted(&t, &baseline_transform, &plan);
+        assert!(sim.storage_consistent());
+        assert_eq!(first, second);
     }
 }

@@ -118,12 +118,15 @@ proptest! {
         mem in 1.0..128.0f64,
     ) {
         use gsf_vmalloc::server::PlacedVm;
+        use gsf_vmalloc::VmArena;
+        let mut arena = VmArena::new();
         let servers: Vec<ServerState> = loads
             .iter()
             .map(|&used| {
                 let mut s = ServerState::new(ServerShape { cores: 16, mem_gb: 128.0 });
                 if used > 0 {
                     s.place(
+                        &mut arena,
                         999,
                         PlacedVm {
                             cores: used,

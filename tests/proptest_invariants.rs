@@ -8,7 +8,9 @@ use greensku::perf::analytic::MmcQueue;
 use greensku::perf::slowdown::slowdown_from_sensitivity;
 use greensku::perf::{MemoryPlacement, SkuPerfProfile};
 use greensku::stats::cdf::EmpiricalCdf;
-use greensku::vmalloc::{AllocationSim, ClusterConfig, PlacementPolicy, PlacementRequest};
+use greensku::vmalloc::{
+    AllocationSim, ClusterConfig, PlacementPolicy, PlacementRequest, ServerState, VmArena,
+};
 use greensku::workloads::{
     HardwareSensitivity, ServerGeneration, Trace, VmEvent, VmEventKind, VmSpec,
 };
@@ -212,6 +214,72 @@ proptest! {
             prop_assert!((0.0..=1.0).contains(&y));
             prop_assert!(y >= prev);
             prev = y;
+        }
+    }
+
+    #[test]
+    fn arena_storage_consistent_under_random_ops(
+        ops in prop::collection::vec((0u8..5, 0usize..4, 0u64..40), 1..120),
+    ) {
+        use greensku::vmalloc::server::PlacedVm;
+        use greensku::vmalloc::ServerShape;
+
+        // Drive a shared arena through random place / remove / fail /
+        // degrade / reset sequences and check the DESIGN.md §13
+        // storage invariants after every step: per-server occupancy
+        // sums to the arena's live count, and each server's
+        // cores/mem aggregates match a fold over its arena slots.
+        let shape = ServerShape { cores: 16, mem_gb: 128.0 };
+        let mut arena = VmArena::new();
+        let mut servers = vec![ServerState::new(shape); 4];
+        let mut scratch = Vec::new();
+        for &(op, si, vm_id) in &ops {
+            let s = &mut servers[si];
+            match op {
+                0 | 1 => {
+                    // Place: skip ids already resident on this server
+                    // (place() treats duplicates as a scheduler bug)
+                    // and requests that do not fit.
+                    let cores = 1 + u32::try_from(vm_id % 7).unwrap();
+                    let vm = PlacedVm {
+                        cores,
+                        mem_gb: f64::from(cores) * 7.5,
+                        max_mem_util: 0.5,
+                    };
+                    if s.fits(vm.cores, vm.mem_gb)
+                        && s.remove(&mut arena, vm_id).is_none()
+                    {
+                        s.place(&mut arena, vm_id, vm);
+                    }
+                }
+                2 => {
+                    s.remove(&mut arena, vm_id);
+                }
+                3 => {
+                    scratch.clear();
+                    if vm_id % 3 == 0 {
+                        s.fail(&mut arena, &mut scratch);
+                        // A failed server is repairable: model the
+                        // return-to-service reset on pristine shape.
+                        s.reset(shape);
+                    } else {
+                        s.degrade(&mut arena, 3, 24.0, &mut scratch);
+                    }
+                }
+                _ => {
+                    // Full-cluster reset: every occupancy list and the
+                    // arena restart empty together.
+                    for srv in &mut servers {
+                        srv.reset(shape);
+                    }
+                    arena.reset();
+                }
+            }
+            let occupancy: usize = servers.iter().map(ServerState::vm_count).sum();
+            prop_assert_eq!(occupancy, arena.live());
+            for srv in &servers {
+                prop_assert!(srv.storage_consistent(&arena));
+            }
         }
     }
 
