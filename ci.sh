@@ -7,12 +7,27 @@ cargo fmt --check
 # every library crate warns on) to tests and benches; test modules
 # allow-list unwrap explicitly.
 cargo clippy --workspace --all-targets -- -D warnings -D clippy::dbg_macro -D clippy::todo
-# Static invariant catalog (DESIGN.md §10): determinism and numeric
-# safety — no HashMap/HashSet or wall-clock/entropy in model code, no
-# NaN-panicking comparators, no float-literal equality, no panic!-family
-# macros in library code. Runs before the test gates: a lint violation
-# is cheaper to report than a flaked property suite is to debug.
-cargo run -q -p gsf-lint --release
+# Static invariant catalog (DESIGN.md §10, §14): token rules (no
+# HashMap/HashSet or wall-clock/entropy in model code, no NaN-panicking
+# comparators, no float-literal equality, no panic!-family macros in
+# library code) plus the semantic pass — unit-safety over identifier
+# names (U1/U2), transitive replay determinism across crate boundaries
+# (D4), and panic-reachability from public model APIs (P2). Runs before
+# the test gates: a lint violation is cheaper to report than a flaked
+# property suite is to debug. The JSON report lands in results/ for
+# auditing; findings budgeted in lint_baseline.txt (currently none) are
+# tolerated, anything else fails the build.
+mkdir -p results
+cargo build -q -p gsf-lint --release
+if ./target/release/gsf-lint --format json --baseline lint_baseline.txt \
+    > results/lint_report.json; then
+    echo "gsf-lint: clean (report in results/lint_report.json)"
+else
+    status=$?
+    cat results/lint_report.json
+    echo "gsf-lint: non-baselined findings (see results/lint_report.json)" >&2
+    exit "$status"
+fi
 cargo build --release
 # --workspace: a bare `cargo test` from the root only tests the root
 # package (integration suites), silently skipping every crate.

@@ -17,6 +17,11 @@ pub fn default_workers() -> usize {
 ///
 /// `workers` is clamped to `[1, items.len()]`; pass
 /// `std::thread::available_parallelism()` for a full fan-out.
+///
+/// # Panics
+///
+/// Propagates a panic from `f`: when a worker thread panics, the
+/// join re-raises that panic on the calling thread.
 pub fn map_parallel<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
 where
     T: Sync,
@@ -62,6 +67,11 @@ where
 /// a single worker runs inline and work is claimed from a shared index,
 /// so the result vector is identical for any worker count whenever `f`
 /// is deterministic per item.
+///
+/// # Panics
+///
+/// Propagates a panic from `f`: when a worker thread panics, the
+/// join re-raises that panic on the calling thread.
 pub fn map_parallel_mut<T, R, F>(items: &mut [T], workers: usize, f: F) -> Vec<R>
 where
     T: Send,

@@ -1,0 +1,158 @@
+//! Baseline files: land new rules incrementally without turning off
+//! the gate.
+//!
+//! A baseline is a plain-text budget of *known* findings, one line per
+//! `(file, rule)` pair:
+//!
+//! ```text
+//! # gsf-lint baseline
+//! crates/carbon/src/model.rs: U1: 2
+//! crates/vmalloc/src/pool.rs: P2: 1
+//! ```
+//!
+//! Counts — not line numbers — key the budget, so unrelated edits that
+//! shift lines do not invalidate it, while any *new* finding of a
+//! baselined rule in that file immediately overflows the budget and
+//! fails. Shrinking is one-way by convention: regenerate with
+//! `--write-baseline` after fixing, never to admit new debt. `A0`
+//! (malformed directive) is deliberately not baselinable — a broken
+//! suppression must never be grandfathered.
+
+use crate::engine::Finding;
+use crate::rules::RuleId;
+use std::collections::BTreeMap;
+
+/// A parsed baseline: `(file, rule)` → budgeted count.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    budgets: BTreeMap<(String, String), u32>,
+}
+
+impl Baseline {
+    /// Parses baseline text; unparseable lines are reported as errors
+    /// (a corrupt baseline must not silently admit findings).
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending line text when a non-comment line does
+    /// not have the `file: RULE: count` shape or names `A0`.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut budgets = BTreeMap::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            // Split from the right: the path itself may contain none,
+            // but be conservative anyway.
+            let mut parts = line.rsplitn(3, ':').map(str::trim);
+            let (count, rule, file) = match (parts.next(), parts.next(), parts.next()) {
+                (Some(c), Some(r), Some(f)) if !f.is_empty() => (c, r, f),
+                _ => return Err(format!("malformed baseline line: `{line}`")),
+            };
+            if rule == "A0" {
+                return Err("A0 findings cannot be baselined".to_string());
+            }
+            if RuleId::parse(rule).is_none() {
+                return Err(format!("unknown rule in baseline line: `{line}`"));
+            }
+            let count: u32 =
+                count.parse().map_err(|_| format!("bad count in baseline line: `{line}`"))?;
+            *budgets.entry((file.to_string(), rule.to_string())).or_insert(0) += count;
+        }
+        Ok(Baseline { budgets })
+    }
+
+    /// Drops findings covered by the budget; anything beyond a pair's
+    /// count — and every `A0` — passes through. `findings` must be in
+    /// final sorted order so which instances are "new" is stable.
+    pub fn filter(&self, findings: Vec<Finding>) -> Vec<Finding> {
+        let mut used: BTreeMap<(String, String), u32> = BTreeMap::new();
+        findings
+            .into_iter()
+            .filter(|f| {
+                if f.rule == RuleId::A0 {
+                    return true;
+                }
+                let key = (f.file.clone(), f.rule.as_str().to_string());
+                let budget = self.budgets.get(&key).copied().unwrap_or(0);
+                let u = used.entry(key).or_insert(0);
+                if *u < budget {
+                    *u += 1;
+                    false
+                } else {
+                    true
+                }
+            })
+            .collect()
+    }
+}
+
+/// Renders findings as baseline text (for `--write-baseline`).
+pub fn render(findings: &[Finding]) -> String {
+    let mut counts: BTreeMap<(String, String), u32> = BTreeMap::new();
+    for f in findings {
+        if f.rule == RuleId::A0 {
+            continue;
+        }
+        *counts.entry((f.file.clone(), f.rule.as_str().to_string())).or_insert(0) += 1;
+    }
+    let mut out = String::from("# gsf-lint baseline: known findings budget (file: RULE: count)\n");
+    for ((file, rule), n) in counts {
+        out.push_str(&format!("{file}: {rule}: {n}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(file: &str, rule: RuleId, line: u32) -> Finding {
+        Finding { file: file.into(), line, col: 1, rule, message: String::new() }
+    }
+
+    #[test]
+    fn budget_absorbs_up_to_count_then_overflows() {
+        let b = Baseline::parse("# comment\ncrates/a/src/x.rs: U1: 2\n").unwrap_or_default();
+        let fs = vec![
+            finding("crates/a/src/x.rs", RuleId::U1, 1),
+            finding("crates/a/src/x.rs", RuleId::U1, 2),
+            finding("crates/a/src/x.rs", RuleId::U1, 3),
+            finding("crates/a/src/x.rs", RuleId::U2, 4),
+        ];
+        let left = b.filter(fs);
+        assert_eq!(left.len(), 2, "third U1 overflows, U2 unbudgeted");
+        assert_eq!(left[0].line, 3);
+        assert_eq!(left[1].rule, RuleId::U2);
+    }
+
+    #[test]
+    fn a0_never_baselinable() {
+        assert!(Baseline::parse("crates/a/src/x.rs: A0: 1\n").is_err());
+        let b = Baseline::default();
+        let left = b.filter(vec![finding("f.rs", RuleId::A0, 1)]);
+        assert_eq!(left.len(), 1);
+    }
+
+    #[test]
+    fn render_round_trips() {
+        let fs = vec![
+            finding("b.rs", RuleId::P2, 9),
+            finding("a.rs", RuleId::U1, 3),
+            finding("a.rs", RuleId::U1, 5),
+        ];
+        let text = render(&fs);
+        assert!(text.contains("a.rs: U1: 2\n"));
+        assert!(text.contains("b.rs: P2: 1\n"));
+        let b = Baseline::parse(&text).unwrap_or_default();
+        assert!(b.filter(fs).is_empty());
+    }
+
+    #[test]
+    fn malformed_lines_error() {
+        assert!(Baseline::parse("not a baseline line\n").is_err());
+        assert!(Baseline::parse("f.rs: ZZ: 1\n").is_err());
+        assert!(Baseline::parse("f.rs: U1: many\n").is_err());
+    }
+}

@@ -1,0 +1,315 @@
+//! The workspace call graph and the two transitive rules on top of it:
+//! **D4** (replay entry points must not reach fs/time/entropy in *any*
+//! crate) and **P2** (public model-crate API must not reach a panic
+//! site without a documented contract).
+//!
+//! ## Reachability, exactly
+//!
+//! An edge `f → g` exists when a call site in `f`'s body resolves to
+//! `g`. Resolution is name-based and over-approximate, with three
+//! narrowing guards that kill the false-edge classes this workspace
+//! can actually produce:
+//!
+//! 1. **Dependency cone** — `g` must live in a crate of `f`'s
+//!    transitive `[dependencies]` closure (including `f`'s own crate).
+//!    Model crates never depend on the driver crates, so driver-layer
+//!    I/O can never contaminate a model chain.
+//! 2. **Qualifier match** — `Type::name(..)` resolves only to
+//!    functions owned by `impl Type` (`Self::` uses the caller's
+//!    owner); unqualified `name(..)` resolves only to free functions
+//!    plus same-crate methods of that name; `recv.name(..)` resolves
+//!    to methods of any in-cone crate.
+//! 3. **Test exclusion** — test functions are neither entries, nor
+//!    edges, nor sites.
+//!
+//! Anything a rule flags is therefore reachable under an
+//! over-approximation; suppressions at the sink/panic site (or a
+//! `# Panics` doc for P2) record the human judgment that the chain is
+//! acceptable or spurious.
+//!
+//! D4 entry points: in a model crate, any function whose name starts
+//! with `replay`, or any method of `PreparedTrace`/`ShardedSim`. P2
+//! entry points: bare-`pub` functions of model crates.
+
+use crate::rules::{RawFinding, RuleId, MODEL_CRATES};
+use crate::symbols::{FnInfo, Workspace};
+use std::collections::BTreeMap;
+
+/// A semantic finding bound to a file (the engine merges these into
+/// the per-file suppression pipeline).
+#[derive(Debug)]
+pub struct FileFinding {
+    /// Workspace-relative path the finding anchors to.
+    pub file: String,
+    /// The finding itself.
+    pub finding: RawFinding,
+}
+
+/// Name-resolution index over the function table.
+pub struct Resolver<'w> {
+    ws: &'w Workspace,
+    /// fn name → indices, in table order.
+    by_name: BTreeMap<&'w str, Vec<usize>>,
+}
+
+impl<'w> Resolver<'w> {
+    /// Builds the index.
+    pub fn new(ws: &'w Workspace) -> Self {
+        let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        for (i, f) in ws.fns.iter().enumerate() {
+            by_name.entry(f.name.as_str()).or_default().push(i);
+        }
+        Resolver { ws, by_name }
+    }
+
+    /// All callees a call site in `caller` can resolve to.
+    fn resolve(&self, caller: &FnInfo, call: &crate::symbols::Call) -> Vec<usize> {
+        let Some(candidates) = self.by_name.get(call.name.as_str()) else {
+            return Vec::new();
+        };
+        let cone = &self.ws.crates[caller.crate_idx].cone;
+        let qualifier = match call.qualifier.as_deref() {
+            Some("Self") => caller.owner.as_deref(),
+            q => q,
+        };
+        candidates
+            .iter()
+            .copied()
+            .filter(|&gi| {
+                let g = &self.ws.fns[gi];
+                if g.is_test || !cone.contains(&g.crate_idx) {
+                    return false;
+                }
+                match (qualifier, call.is_method) {
+                    // `Type::name` — owner must match the qualifier. A
+                    // lowercase qualifier is a module path (`mod::f`),
+                    // which matches free functions.
+                    (Some(q), _) => match &g.owner {
+                        Some(o) => o == q,
+                        None => q.chars().next().is_some_and(|c| c.is_lowercase()),
+                    },
+                    // `recv.name(..)` — a method of any in-cone type.
+                    (None, true) => g.owner.is_some(),
+                    // Bare `name(..)` — free functions anywhere in the
+                    // cone, or a same-crate item (closures/local use).
+                    (None, false) => g.owner.is_none() || g.crate_idx == caller.crate_idx,
+                }
+            })
+            .collect()
+    }
+
+    /// The full adjacency list (deduplicated, sorted).
+    pub fn edges(&self) -> Vec<Vec<usize>> {
+        self.ws
+            .fns
+            .iter()
+            .map(|f| {
+                if f.is_test {
+                    return Vec::new();
+                }
+                let mut out: Vec<usize> = f.calls.iter().flat_map(|c| self.resolve(f, c)).collect();
+                out.sort_unstable();
+                out.dedup();
+                out
+            })
+            .collect()
+    }
+}
+
+fn is_model(ws: &Workspace, fi: usize) -> bool {
+    MODEL_CRATES.contains(&ws.crates[ws.fns[fi].crate_idx].name.as_str())
+}
+
+/// Multi-source BFS; returns `parent[i]` = predecessor on a shortest
+/// path from some source (sources are their own parents).
+fn bfs(edges: &[Vec<usize>], sources: &[usize]) -> Vec<Option<usize>> {
+    let mut parent: Vec<Option<usize>> = vec![None; edges.len()];
+    let mut queue: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+    for &s in sources {
+        if parent[s].is_none() {
+            parent[s] = Some(s);
+            queue.push_back(s);
+        }
+    }
+    while let Some(f) = queue.pop_front() {
+        for &g in &edges[f] {
+            if parent[g].is_none() {
+                parent[g] = Some(f);
+                queue.push_back(g);
+            }
+        }
+    }
+    parent
+}
+
+/// Renders `entry → .. → site_fn` from BFS parent pointers.
+fn chain(ws: &Workspace, parent: &[Option<usize>], mut at: usize) -> String {
+    let mut hops = vec![at];
+    while let Some(p) = parent[at] {
+        if p == at {
+            break;
+        }
+        at = p;
+        hops.push(at);
+    }
+    hops.reverse();
+    hops.iter().map(|&i| ws.fns[i].path(&ws.crates)).collect::<Vec<_>>().join(" -> ")
+}
+
+/// Runs D4: from every replay entry point, no reachable function (in
+/// any crate of the cone) may touch fs, wall-clock, or entropy APIs.
+pub fn check_d4(ws: &Workspace, edges: &[Vec<usize>], out: &mut Vec<FileFinding>) {
+    let entries: Vec<usize> = ws
+        .fns
+        .iter()
+        .enumerate()
+        .filter(|(i, f)| {
+            !f.is_test
+                && is_model(ws, *i)
+                && (f.name.starts_with("replay")
+                    || matches!(f.owner.as_deref(), Some("PreparedTrace" | "ShardedSim")))
+        })
+        .map(|(i, _)| i)
+        .collect();
+    let parent = bfs(edges, &entries);
+    for (i, f) in ws.fns.iter().enumerate() {
+        if parent[i].is_none() || f.is_test {
+            continue;
+        }
+        for sink in &f.sinks {
+            out.push(FileFinding {
+                file: f.file.clone(),
+                finding: RawFinding {
+                    rule: RuleId::D4,
+                    line: sink.line,
+                    col: sink.col,
+                    message: format!(
+                        "`{}` injects {} state into a replay path: reachable from replay entry \
+                         point via {}; deterministic replay must be a pure function of the \
+                         prepared trace and explicit seeds",
+                        sink.what,
+                        sink.kind.label(),
+                        chain(ws, &parent, i)
+                    ),
+                },
+            });
+        }
+    }
+}
+
+/// Runs P2: a panic site reachable from the public model-crate API
+/// must sit in a function documenting `# Panics` (or carry an allow).
+pub fn check_p2(ws: &Workspace, edges: &[Vec<usize>], out: &mut Vec<FileFinding>) {
+    let entries: Vec<usize> = ws
+        .fns
+        .iter()
+        .enumerate()
+        .filter(|(i, f)| f.is_pub && !f.is_test && is_model(ws, *i))
+        .map(|(i, _)| i)
+        .collect();
+    let parent = bfs(edges, &entries);
+    for (i, f) in ws.fns.iter().enumerate() {
+        if parent[i].is_none() || f.is_test || f.doc_panics || f.panics.is_empty() {
+            continue;
+        }
+        // One finding per panic site; the chain names one shortest
+        // public route in.
+        for site in &f.panics {
+            out.push(FileFinding {
+                file: f.file.clone(),
+                finding: RawFinding {
+                    rule: RuleId::P2,
+                    line: site.line,
+                    col: site.col,
+                    message: format!(
+                        "`{}` aborts a public API call: reachable via {}; return an error, \
+                         document the contract with a `# Panics` section on `{}`, or justify \
+                         with an allow",
+                        site.what,
+                        chain(ws, &parent, i),
+                        f.name
+                    ),
+                },
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser;
+    use crate::symbols::{self, SourceFile};
+    use crate::tokenizer::lex;
+    use std::collections::BTreeMap;
+
+    /// Builds a two-crate workspace: model crate `m` (with a replay
+    /// entry) depending on util crate `u` (with a timestamp helper).
+    fn two_crate_ws() -> Workspace {
+        let m_src = "pub struct PreparedTrace;\nimpl PreparedTrace {\n    pub fn replay(&self) -> f64 { stamp_run() }\n}\npub fn entry() -> f64 { inner() }\nfn inner() -> f64 { helper_panics() }\nfn helper_panics() -> f64 { panic!(\"boom\") }\n";
+        let u_src = "pub fn stamp_run() -> f64 { let _t = SystemTime::now(); 0.0 }\n";
+        let m_lex = lex(m_src);
+        let u_lex = lex(u_src);
+        let m_parsed = parser::parse(&m_lex.tokens);
+        let u_parsed = parser::parse(&u_lex.tokens);
+        let mut direct = BTreeMap::new();
+        direct.insert("carbon".to_string(), vec!["util".to_string()]);
+        direct.insert("util".to_string(), Vec::new());
+        let crates = symbols::build_crates(&direct);
+        symbols::build(
+            crates,
+            &[
+                SourceFile {
+                    label: "crates/carbon/src/lib.rs",
+                    crate_name: "carbon",
+                    tokens: &m_lex.tokens,
+                    comments: &m_lex.comments,
+                    parsed: &m_parsed,
+                },
+                SourceFile {
+                    label: "crates/util/src/lib.rs",
+                    crate_name: "util",
+                    tokens: &u_lex.tokens,
+                    comments: &u_lex.comments,
+                    parsed: &u_parsed,
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn d4_crosses_the_crate_boundary() {
+        let ws = two_crate_ws();
+        let edges = Resolver::new(&ws).edges();
+        let mut out = Vec::new();
+        check_d4(&ws, &edges, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].file, "crates/util/src/lib.rs");
+        assert!(out[0].finding.message.contains("PreparedTrace::replay"));
+        assert!(out[0].finding.message.contains("stamp_run"));
+    }
+
+    #[test]
+    fn p2_reports_chain_from_public_entry() {
+        let ws = two_crate_ws();
+        let edges = Resolver::new(&ws).edges();
+        let mut out = Vec::new();
+        check_p2(&ws, &edges, &mut out);
+        let p = out.iter().find(|f| f.finding.message.contains("helper_panics"));
+        assert!(p.is_some(), "panic chain must surface: {out:?}");
+        let msg = &p.map(|f| f.finding.message.clone()).unwrap_or_default();
+        assert!(msg.contains("carbon::entry") || msg.contains("carbon::PreparedTrace::replay"));
+    }
+
+    #[test]
+    fn dep_cone_blocks_reverse_edges() {
+        // A driver-crate fn named like a model fn must not resolve
+        // from the model side: util does not depend on carbon.
+        let ws = two_crate_ws();
+        let resolver = Resolver::new(&ws);
+        let util_fn = ws.fns.iter().position(|f| f.name == "stamp_run").unwrap_or_default();
+        let call =
+            crate::symbols::Call { name: "entry".to_string(), qualifier: None, is_method: false };
+        assert!(resolver.resolve(&ws.fns[util_fn], &call).is_empty());
+    }
+}

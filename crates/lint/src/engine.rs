@@ -1,8 +1,20 @@
 //! Analysis driver: test-exemption regions, suppression directives,
-//! per-file analysis, and the workspace walk.
+//! the two-phase workspace pipeline (per-file token/unit rules, then
+//! cross-file call-graph rules), and the workspace walk.
+//!
+//! All filesystem access in the analyzer lives in this module (and the
+//! CLI in `main.rs`): everything downstream — parser, symbols, call
+//! graph, units, fixes, baselines — is pure functions over strings, so
+//! the lint crate can hold itself to the same F1 bar as the model
+//! crates with exactly one justified suppression.
+// gsf-lint: allow-file(F1) -- the analyzer's one sanctioned I/O site: it must read the sources it lints
 
-use crate::rules::{self, FileCtx, RuleId};
+use crate::parser;
+use crate::rules::{self, FileCtx, RawFinding, RuleId};
+use crate::symbols;
 use crate::tokenizer::{self, Tok, TokKind};
+use crate::units;
+use std::collections::BTreeMap;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -16,7 +28,7 @@ pub struct Finding {
     pub line: u32,
     /// 1-based column.
     pub col: u32,
-    /// Rule identifier (`D1`, `D2`, `N1`, `N2`, `P1`, `A0`).
+    /// Rule identifier (`D1`..`P2`, `A0`).
     pub rule: RuleId,
     /// Human-readable explanation.
     pub message: String,
@@ -53,14 +65,14 @@ const DIRECTIVE: &str = "gsf-lint:";
 /// Malformed directives (unparseable form, unknown rule id, missing
 /// reason) produce an `A0` finding instead of silently suppressing
 /// nothing — a typo in an allow must not reopen the gate.
-fn parse_allows(comments: &[tokenizer::Comment], bad: &mut Vec<rules::RawFinding>) -> Vec<Allow> {
+fn parse_allows(comments: &[tokenizer::Comment], bad: &mut Vec<RawFinding>) -> Vec<Allow> {
     let mut allows = Vec::new();
     for c in comments {
         let Some(at) = c.text.find(DIRECTIVE) else {
             continue;
         };
         let rest = c.text[at + DIRECTIVE.len()..].trim_start();
-        let malformed = |msg: &str| rules::RawFinding {
+        let malformed = |msg: &str| RawFinding {
             rule: RuleId::A0,
             line: c.line,
             col: 1,
@@ -134,10 +146,10 @@ fn exempt_mask(tokens: &[Tok]) -> Vec<bool> {
             i += 1;
             continue;
         }
-        let Some(close) = matching(tokens, open, "[", "]") else {
+        let Some(close) = parser::matching_delim(tokens, open, "[", "]") else {
             break;
         };
-        if !attr_is_test(&tokens[open + 1..close]) {
+        if !parser::attr_is_test(&tokens[open + 1..close]) {
             i = close + 1;
             continue;
         }
@@ -151,7 +163,7 @@ fn exempt_mask(tokens: &[Tok]) -> Vec<bool> {
         // brace of its body).
         let mut j = close + 1;
         while punct_at(tokens, j, "#") && punct_at(tokens, j + 1, "[") {
-            match matching(tokens, j + 1, "[", "]") {
+            match parser::matching_delim(tokens, j + 1, "[", "]") {
                 Some(c) => j = c + 1,
                 None => break,
             }
@@ -169,39 +181,11 @@ fn punct_at(tokens: &[Tok], i: usize, text: &str) -> bool {
     tokens.get(i).is_some_and(|t| t.kind == TokKind::Punct && t.text == text)
 }
 
-/// Index of the close delimiter matching the open one at `open`.
-fn matching(tokens: &[Tok], open: usize, od: &str, cd: &str) -> Option<usize> {
-    let mut depth = 0usize;
-    for (j, t) in tokens.iter().enumerate().skip(open) {
-        if t.kind == TokKind::Punct {
-            if t.text == od {
-                depth += 1;
-            } else if t.text == cd {
-                depth -= 1;
-                if depth == 0 {
-                    return Some(j);
-                }
-            }
-        }
-    }
-    None
-}
-
-/// Whether attribute body tokens make the following item test-only:
-/// `#[test]`, or any `cfg`/`cfg_attr` mentioning the `test` predicate.
-/// `cfg(not(test))` is the *live* branch, so a `not` disqualifies.
-fn attr_is_test(body: &[Tok]) -> bool {
-    let first_is_test = body.first().is_some_and(|t| t.kind == TokKind::Ident && t.text == "test");
-    if first_is_test && body.len() == 1 {
-        return true;
-    }
-    let has = |name: &str| body.iter().any(|t| t.kind == TokKind::Ident && t.text == name);
-    (has("cfg") || has("cfg_attr")) && has("test") && !has("not")
-}
-
 /// The index of the last token of the item starting at `start`: the
 /// matching brace of the first top-level `{`, or the first top-level
-/// `;` if no body precedes it.
+/// `;` if no body precedes it. On unbalanced delimiters it saturates
+/// to the end of the stream — `balance_findings` reports the damage as
+/// a non-suppressible A0, so truncation is never silent.
 fn item_end(tokens: &[Tok], start: usize) -> usize {
     let mut depth = 0isize;
     for (j, t) in tokens.iter().enumerate().skip(start) {
@@ -210,7 +194,8 @@ fn item_end(tokens: &[Tok], start: usize) -> usize {
         }
         match t.text.as_str() {
             "{" if depth == 0 => {
-                return matching(tokens, j, "{", "}").unwrap_or(tokens.len() - 1);
+                return parser::matching_delim(tokens, j, "{", "}")
+                    .unwrap_or(tokens.len().saturating_sub(1));
             }
             "(" | "[" => depth += 1,
             ")" | "]" => depth -= 1,
@@ -221,16 +206,102 @@ fn item_end(tokens: &[Tok], start: usize) -> usize {
     tokens.len().saturating_sub(1)
 }
 
-/// Analyzes one source file in the given crate context.
-///
-/// `file` is only recorded into the findings; the rule scoping is
-/// driven by `ctx`.
-pub fn analyze_source(file: &str, ctx: FileCtx<'_>, source: &str) -> Vec<Finding> {
-    let lexed = tokenizer::lex(source);
-    let exempt = exempt_mask(&lexed.tokens);
-    let mut raw = rules::run(ctx, &lexed.tokens, &exempt);
-    let allows = parse_allows(&lexed.comments, &mut raw);
-    let suppressed = |f: &rules::RawFinding| {
+/// Emits a non-suppressible A0 when the file's `()`/`[]`/`{}` nesting
+/// is unbalanced: every delimiter-matching helper in the analyzer
+/// degrades to truncation on such input, so coverage claims would be
+/// silently wrong without this check. At most one finding per file —
+/// the first mismatch poisons everything after it.
+fn balance_findings(tokens: &[Tok], out: &mut Vec<RawFinding>) {
+    let mut stack: Vec<&Tok> = Vec::new();
+    for t in tokens {
+        if t.kind != TokKind::Punct {
+            continue;
+        }
+        match t.text.as_str() {
+            "(" | "[" | "{" => stack.push(t),
+            ")" | "]" | "}" => {
+                let expected = match t.text.as_str() {
+                    ")" => "(",
+                    "]" => "[",
+                    _ => "{",
+                };
+                match stack.pop() {
+                    Some(open) if open.text == expected => {}
+                    mismatch => {
+                        let context = match mismatch {
+                            Some(open) => {
+                                format!(
+                                    "`{}` opened at line {} is still open",
+                                    open.text, open.line
+                                )
+                            }
+                            None => "no delimiter is open".to_string(),
+                        };
+                        out.push(RawFinding {
+                            rule: RuleId::A0,
+                            line: t.line,
+                            col: t.col,
+                            message: format!(
+                                "unbalanced delimiters: unexpected `{}` ({context}); analysis of \
+                                 this file is unreliable past this point and findings may be \
+                                 missed — fix the delimiters (this finding is not suppressible)",
+                                t.text
+                            ),
+                        });
+                        return;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    if let Some(open) = stack.last() {
+        out.push(RawFinding {
+            rule: RuleId::A0,
+            line: open.line,
+            col: open.col,
+            message: format!(
+                "unbalanced delimiters: `{}` is never closed; analysis of this file is \
+                 unreliable past this point and findings may be missed — fix the delimiters \
+                 (this finding is not suppressible)",
+                open.text
+            ),
+        });
+    }
+}
+
+/// Runs U1/U2 over every function body in the item tree.
+fn unit_findings(
+    tokens: &[Tok],
+    exempt: &[bool],
+    items: &[parser::Item],
+    out: &mut Vec<RawFinding>,
+) {
+    let scan = units::UnitScan { tokens, exempt };
+    for item in items {
+        match &item.kind {
+            parser::ItemKind::Fn(decl) => {
+                if let Some(range) = decl.body {
+                    if !decl.is_test {
+                        units::check_u1(&scan, range, out);
+                        units::check_u2(&scan, range, out);
+                    }
+                }
+            }
+            parser::ItemKind::Mod { items, is_test, .. } if !is_test => {
+                unit_findings(tokens, exempt, items, out);
+            }
+            parser::ItemKind::Impl { items, .. } => {
+                unit_findings(tokens, exempt, items, out);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Applies suppression directives and materializes [`Finding`]s.
+fn finalize(file: &str, raw: Vec<RawFinding>, allows: &[Allow]) -> Vec<Finding> {
+    let suppressed = |f: &RawFinding| {
         f.rule != RuleId::A0
             && allows.iter().any(|a| {
                 a.rules.contains(&f.rule)
@@ -252,17 +323,41 @@ pub fn analyze_source(file: &str, ctx: FileCtx<'_>, source: &str) -> Vec<Finding
     out
 }
 
-/// Walks `root/crates/*/src` and analyzes every `.rs` file.
-///
-/// Findings come back sorted by path, then position — the output order
-/// is itself deterministic.
+/// One loaded, lexed, and parsed source file.
+pub struct LoadedFile {
+    /// Workspace-relative path (diagnostic label).
+    pub label: String,
+    /// Crate directory name under `crates/`.
+    pub crate_name: String,
+    /// File name within the crate's `src/`.
+    pub file_name: String,
+    /// Raw source text.
+    pub source: String,
+    /// Token stream and comments.
+    pub lexed: tokenizer::Lexed,
+    /// Test-exemption mask over the tokens.
+    pub exempt: Vec<bool>,
+    /// Coarse item tree.
+    pub parsed: parser::File,
+}
+
+/// The loaded workspace: every source file plus the crate dep graph.
+pub struct LoadedWorkspace {
+    /// Files in deterministic (crate, path) order.
+    pub files: Vec<LoadedFile>,
+    /// Crate dir name → direct `gsf-*` dependency dir names.
+    pub deps: BTreeMap<String, Vec<String>>,
+}
+
+/// Reads, lexes, and parses every `crates/*/src/**/*.rs` under `root`,
+/// plus each crate's `Cargo.toml` dependency list.
 ///
 /// # Errors
 ///
 /// Propagates I/O failures reading the tree; a missing `crates/`
 /// directory is reported as such rather than passing an empty scan off
 /// as a clean one.
-pub fn analyze_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+pub fn load_workspace(root: &Path) -> io::Result<LoadedWorkspace> {
     let crates_dir = root.join("crates");
     if !crates_dir.is_dir() {
         return Err(io::Error::new(
@@ -277,7 +372,8 @@ pub fn analyze_workspace(root: &Path) -> io::Result<Vec<Finding>> {
         .filter(|p| p.is_dir())
         .collect();
     crate_dirs.sort();
-    let mut findings = Vec::new();
+    let mut files = Vec::new();
+    let mut deps = BTreeMap::new();
     for crate_dir in crate_dirs {
         let crate_name =
             crate_dir.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default();
@@ -285,10 +381,14 @@ pub fn analyze_workspace(root: &Path) -> io::Result<Vec<Finding>> {
         if !src.is_dir() {
             continue;
         }
-        let mut files = Vec::new();
-        collect_rs_files(&src, &mut files)?;
-        files.sort();
-        for path in files {
+        // A missing/unreadable manifest means no resolvable deps — the
+        // analysis stays sound (cone shrinks to the crate itself).
+        let manifest = fs::read_to_string(crate_dir.join("Cargo.toml")).unwrap_or_default();
+        deps.insert(crate_name.clone(), symbols::parse_cargo_deps(&manifest));
+        let mut paths = Vec::new();
+        collect_rs_files(&src, &mut paths)?;
+        paths.sort();
+        for path in paths {
             let source = fs::read_to_string(&path)?;
             let file_name =
                 path.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default();
@@ -297,14 +397,101 @@ pub fn analyze_workspace(root: &Path) -> io::Result<Vec<Finding>> {
                 .unwrap_or(&path)
                 .to_string_lossy()
                 .replace(std::path::MAIN_SEPARATOR, "/");
-            let ctx = FileCtx { crate_name: &crate_name, file_name: &file_name };
-            findings.extend(analyze_source(&label, ctx, &source));
+            let lexed = tokenizer::lex(&source);
+            let exempt = exempt_mask(&lexed.tokens);
+            let parsed = parser::parse(&lexed.tokens);
+            files.push(LoadedFile {
+                label,
+                crate_name: crate_name.clone(),
+                file_name,
+                source,
+                lexed,
+                exempt,
+                parsed,
+            });
         }
+    }
+    Ok(LoadedWorkspace { files, deps })
+}
+
+/// Per-file analysis (token rules, balance check, unit rules) plus
+/// suppression filtering — no cross-file context.
+///
+/// `file` is only recorded into the findings; the rule scoping is
+/// driven by `ctx`.
+pub fn analyze_source(file: &str, ctx: FileCtx<'_>, source: &str) -> Vec<Finding> {
+    let lexed = tokenizer::lex(source);
+    let exempt = exempt_mask(&lexed.tokens);
+    let parsed = parser::parse(&lexed.tokens);
+    let mut raw = rules::run(ctx, &lexed.tokens, &exempt);
+    balance_findings(&lexed.tokens, &mut raw);
+    unit_findings(&lexed.tokens, &exempt, &parsed.items, &mut raw);
+    let allows = parse_allows(&lexed.comments, &mut raw);
+    finalize(file, raw, &allows)
+}
+
+/// Runs the full two-phase pipeline over a loaded workspace: phase one
+/// is per-file (token rules, balance, units), phase two builds the
+/// symbol table and call graph and runs D4/P2; both phases' findings
+/// go through the same per-file suppression directives.
+pub fn analyze_loaded(ws: &LoadedWorkspace) -> Vec<Finding> {
+    let mut raw_by_file: BTreeMap<&str, Vec<RawFinding>> = BTreeMap::new();
+    let mut allows_by_file: BTreeMap<&str, Vec<Allow>> = BTreeMap::new();
+    for f in &ws.files {
+        let ctx = FileCtx { crate_name: &f.crate_name, file_name: &f.file_name };
+        let mut raw = rules::run(ctx, &f.lexed.tokens, &f.exempt);
+        balance_findings(&f.lexed.tokens, &mut raw);
+        unit_findings(&f.lexed.tokens, &f.exempt, &f.parsed.items, &mut raw);
+        let allows = parse_allows(&f.lexed.comments, &mut raw);
+        raw_by_file.insert(&f.label, raw);
+        allows_by_file.insert(&f.label, allows);
+    }
+    // Phase two: the cross-file rules.
+    let crates = symbols::build_crates(&ws.deps);
+    let sources: Vec<symbols::SourceFile<'_>> = ws
+        .files
+        .iter()
+        .map(|f| symbols::SourceFile {
+            label: &f.label,
+            crate_name: &f.crate_name,
+            tokens: &f.lexed.tokens,
+            comments: &f.lexed.comments,
+            parsed: &f.parsed,
+        })
+        .collect();
+    let sym = symbols::build(crates, &sources);
+    let edges = crate::callgraph::Resolver::new(&sym).edges();
+    let mut semantic = Vec::new();
+    crate::callgraph::check_d4(&sym, &edges, &mut semantic);
+    crate::callgraph::check_p2(&sym, &edges, &mut semantic);
+    for ff in semantic {
+        if let Some(raw) = raw_by_file.get_mut(ff.file.as_str()) {
+            raw.push(ff.finding);
+        }
+    }
+    let mut findings = Vec::new();
+    for (label, raw) in raw_by_file {
+        let empty = Vec::new();
+        let allows = allows_by_file.get(label).unwrap_or(&empty);
+        findings.extend(finalize(label, raw, allows));
     }
     findings.sort_by(|a, b| {
         (a.file.as_str(), a.line, a.col, a.rule).cmp(&(b.file.as_str(), b.line, b.col, b.rule))
     });
-    Ok(findings)
+    findings
+}
+
+/// Walks `root/crates/*/src` and analyzes every `.rs` file with the
+/// full pipeline (token, unit, and call-graph rules).
+///
+/// Findings come back sorted by path, then position — the output order
+/// is itself deterministic.
+///
+/// # Errors
+///
+/// Propagates I/O failures from [`load_workspace`].
+pub fn analyze_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    Ok(analyze_loaded(&load_workspace(root)?))
 }
 
 fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {

@@ -1,0 +1,166 @@
+//! `--fix`: mechanical rewrites for findings with exactly one correct
+//! resolution.
+//!
+//! Two rewrites ship, both byte-precise (token spans) and idempotent:
+//!
+//! 1. **Comparator migration (N1)** —
+//!    `a.partial_cmp(&b).unwrap()` / `.expect("..")` becomes
+//!    `a.total_cmp(&b)`: same ordering on ordered floats, total (and
+//!    panic-free) on NaN, which is exactly why N1 exists.
+//! 2. **Suppression normalization** — a parseable-but-scruffy
+//!    directive (`//gsf-lint:allow( D1 )--reason`) is rewritten to the
+//!    canonical `// gsf-lint: allow(D1) -- reason` so directives stay
+//!    grep-able. Malformed directives (A0) are *not* touched: the
+//!    analyzer cannot guess which rule a typo meant.
+//!
+//! Edits are computed against token/comment byte spans and applied
+//! right-to-left so earlier spans stay valid.
+
+use crate::tokenizer::{self, Tok, TokKind};
+
+/// One byte-range replacement.
+struct Edit {
+    lo: usize,
+    hi: usize,
+    replacement: String,
+}
+
+fn punct_at(tokens: &[Tok], i: usize, text: &str) -> bool {
+    tokens.get(i).is_some_and(|t| t.kind == TokKind::Punct && t.text == text)
+}
+
+fn ident_at(tokens: &[Tok], i: usize, text: &str) -> bool {
+    tokens.get(i).is_some_and(|t| t.kind == TokKind::Ident && t.text == text)
+}
+
+/// `a.partial_cmp(&b).unwrap()` → `a.total_cmp(&b)`.
+fn comparator_edits(source: &str, tokens: &[Tok], edits: &mut Vec<Edit>) {
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokKind::Ident || t.text != "partial_cmp" || !punct_at(tokens, i + 1, "(") {
+            continue;
+        }
+        let Some(close) = crate::parser::matching_delim(tokens, i + 1, "(", ")") else {
+            continue;
+        };
+        if !punct_at(tokens, close + 1, ".")
+            || !(ident_at(tokens, close + 2, "unwrap") || ident_at(tokens, close + 2, "expect"))
+            || !punct_at(tokens, close + 3, "(")
+        {
+            continue;
+        }
+        let Some(call_close) = crate::parser::matching_delim(tokens, close + 3, "(", ")") else {
+            continue;
+        };
+        let args = &source[tokens[i + 1].lo..tokens[close].hi];
+        edits.push(Edit {
+            lo: t.lo,
+            hi: tokens[call_close].hi,
+            replacement: format!("total_cmp{args}"),
+        });
+    }
+}
+
+/// Canonicalizes well-formed suppression directives in place.
+fn directive_edits(source: &str, comments: &[tokenizer::Comment], edits: &mut Vec<Edit>) {
+    for c in comments {
+        if !c.text.starts_with("//") || c.text.starts_with("///") || c.text.starts_with("//!") {
+            continue;
+        }
+        let Some(at) = c.text.find("gsf-lint:") else { continue };
+        let rest = c.text[at + "gsf-lint:".len()..].trim_start();
+        let file_scope = rest.starts_with("allow-file");
+        let body = if file_scope {
+            &rest["allow-file".len()..]
+        } else if let Some(r) = rest.strip_prefix("allow") {
+            r
+        } else {
+            continue; // A0 territory: never guess
+        };
+        let body = body.trim_start();
+        let Some(body) = body.strip_prefix('(') else { continue };
+        let Some(close) = body.find(')') else { continue };
+        let rules: Vec<&str> =
+            body[..close].split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+        if rules.is_empty() || rules.iter().any(|r| crate::rules::RuleId::parse(r).is_none()) {
+            continue;
+        }
+        let after = body[close + 1..].trim_start();
+        let Some(reason) = after.strip_prefix("--") else { continue };
+        let reason = reason.trim();
+        if reason.is_empty() {
+            continue;
+        }
+        let canonical = format!(
+            "// gsf-lint: {}({}) -- {}",
+            if file_scope { "allow-file" } else { "allow" },
+            rules.join(", "),
+            reason
+        );
+        if source[c.lo..c.hi] != canonical {
+            edits.push(Edit { lo: c.lo, hi: c.hi, replacement: canonical });
+        }
+    }
+}
+
+/// Computes the fixed source, or `None` when nothing changes.
+pub fn fix_source(source: &str) -> Option<String> {
+    let lexed = tokenizer::lex(source);
+    let mut edits = Vec::new();
+    comparator_edits(source, &lexed.tokens, &mut edits);
+    directive_edits(source, &lexed.comments, &mut edits);
+    if edits.is_empty() {
+        return None;
+    }
+    // Right-to-left so byte offsets of earlier edits stay valid;
+    // overlapping edits cannot happen (token spans are disjoint).
+    edits.sort_by_key(|e| e.lo);
+    let mut out = source.to_string();
+    for e in edits.iter().rev() {
+        out.replace_range(e.lo..e.hi, &e.replacement);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn migrates_comparator_chains() {
+        let src = "xs.sort_by(|a, b| a.partial_cmp(b).unwrap());\n\
+                   ys.sort_by(|a, b| a.score().partial_cmp(&b.score()).expect(\"NaN\"));\n";
+        let fixed = fix_source(src).unwrap_or_default();
+        assert!(fixed.contains("a.total_cmp(b)"));
+        assert!(fixed.contains("a.score().total_cmp(&b.score())"));
+        assert!(!fixed.contains("partial_cmp"));
+        assert!(!fixed.contains("unwrap"));
+        assert!(!fixed.contains("expect"));
+    }
+
+    #[test]
+    fn normalizes_directives() {
+        let src = "//gsf-lint:allow( D1 ,N2 )--   cache never iterated\nlet x = 1;\n";
+        let fixed = fix_source(src).unwrap_or_default();
+        assert!(fixed.contains("// gsf-lint: allow(D1, N2) -- cache never iterated"));
+    }
+
+    #[test]
+    fn leaves_malformed_directives_for_a0() {
+        // Unknown rule id: the fixer must not touch it.
+        assert!(fix_source("// gsf-lint: allow(ZZ) -- whatever\n").is_none());
+        assert!(fix_source("// gsf-lint: allow(D1)\n").is_none(), "missing reason stays");
+    }
+
+    #[test]
+    fn fix_is_idempotent() {
+        let src = "//gsf-lint:allow(D1)--x\nfn f() { a.partial_cmp(&b).unwrap(); }\n";
+        let once = fix_source(src).unwrap_or_default();
+        assert!(fix_source(&once).is_none(), "second pass must be a no-op");
+    }
+
+    #[test]
+    fn untouched_source_returns_none() {
+        assert!(fix_source("fn main() { let x = 1.0_f64.total_cmp(&2.0); }\n").is_none());
+        assert!(fix_source("// gsf-lint: allow(D1) -- already canonical\n").is_none());
+    }
+}

@@ -18,6 +18,20 @@
 //! `partial_cmp` comparator chains, **N2** no float-literal `==`/`!=`
 //! in model code, **P1** no `panic!`-family macros in library code.
 //!
+//! On top of the token rules sits a semantic, cross-file pass
+//! (DESIGN.md §14): a recursive-descent [`parser`] feeds a workspace
+//! symbol table and conservative call graph ([`symbols`],
+//! [`callgraph`]), and a unit lexicon over identifier segments
+//! ([`units`]) gives quantities dimensions. Those power **U1** no
+//! cross-unit `+`/`-`/comparison, **U2** no unit-incoherent product
+//! feeding an assignment, struct field, or unit constructor, **D4** no
+//! filesystem/clock/entropy reachable from a replay entry point in
+//! *any* crate of its dependency cone, and **P2** no undocumented
+//! panic path behind a public model-crate API (a rustdoc `# Panics`
+//! section is the accepted contract). `--fix` applies the two
+//! mechanical rewrites ([`fix`]); `--baseline` stages adoption of a
+//! new rule ([`baseline`]).
+//!
 //! Findings carry `file:line:col` and a rule id; any finding makes the
 //! binary exit non-zero. A violation that is genuinely safe is
 //! suppressed inline, with a mandatory reason:
@@ -32,10 +46,16 @@
 #![warn(clippy::unwrap_used)]
 #![warn(missing_docs)]
 
+pub mod baseline;
+pub mod callgraph;
 pub mod engine;
+pub mod fix;
+pub mod parser;
 pub mod report;
 pub mod rules;
+pub mod symbols;
 pub mod tokenizer;
+pub mod units;
 
 pub use engine::{analyze_source, analyze_workspace, Finding};
 pub use rules::{FileCtx, RuleId, MODEL_CRATES};

@@ -1,0 +1,734 @@
+//! A coarse recursive-descent parser over the token stream.
+//!
+//! The semantic rules (U1/U2 unit-safety, D4 transitive determinism,
+//! P2 panic-reachability) need *structure*, not just tokens: which
+//! function a call site lives in, whether that function is public,
+//! which `impl` block owns it, what a struct's fields are named. This
+//! parser produces exactly that — a coarse item tree — and nothing
+//! more: expression grammar, patterns, generics, and trait bounds are
+//! deliberately skipped over by delimiter matching, so the parser is
+//! total on any token stream (including malformed ones; unbalanced
+//! delimiters are reported separately as `A0` by the engine's balance
+//! check, and the parser recovers by skipping).
+//!
+//! Every node carries a [`Span`] whose byte range re-slices the source
+//! to the node's exact text (pinned by the span-fidelity property test
+//! in `tests/parser_spans.rs`).
+
+use crate::tokenizer::{Tok, TokKind};
+
+/// A byte range plus the 1-based position of its first token.
+#[derive(Debug, Clone, Copy)]
+pub struct Span {
+    /// Byte offset of the node's first character.
+    pub lo: usize,
+    /// Byte offset one past the node's last character.
+    pub hi: usize,
+    /// 1-based line of the node's first token.
+    pub line: u32,
+    /// 1-based column of the node's first token.
+    pub col: u32,
+}
+
+/// One parsed source file.
+#[derive(Debug, Default)]
+pub struct File {
+    /// Top-level items in source order.
+    pub items: Vec<Item>,
+}
+
+/// One item with its span.
+#[derive(Debug)]
+pub struct Item {
+    /// What the item is.
+    pub kind: ItemKind,
+    /// Byte/line extent of the whole item, including attributes and
+    /// visibility.
+    pub span: Span,
+}
+
+/// The coarse item taxonomy the semantic rules need.
+#[derive(Debug)]
+pub enum ItemKind {
+    /// Inline module with a body: `mod m { .. }`.
+    Mod {
+        /// Module name.
+        name: String,
+        /// Whether a `#[cfg(test)]`-style attribute marks it test-only.
+        is_test: bool,
+        /// Nested items.
+        items: Vec<Item>,
+    },
+    /// Out-of-line module declaration: `mod m;`.
+    ModDecl {
+        /// Module name.
+        name: String,
+    },
+    /// A `use` declaration; the path is kept as written.
+    Use {
+        /// The imported path text (joined tokens, `::`-separated).
+        path: String,
+    },
+    /// A struct definition with its named fields (tuple and unit
+    /// structs have an empty field list).
+    Struct {
+        /// Type name.
+        name: String,
+        /// Named fields, in declaration order.
+        fields: Vec<Field>,
+    },
+    /// An `impl` block and the items inside it.
+    Impl {
+        /// The self type's head identifier (`Foo` in `impl Foo<T>`).
+        type_name: String,
+        /// For trait impls, the trait's head identifier.
+        trait_name: Option<String>,
+        /// Associated items (functions, consts, ...).
+        items: Vec<Item>,
+    },
+    /// A free or associated function.
+    Fn(FnDecl),
+    /// Anything else (enum, trait, const, static, macro, ...), kept
+    /// only for span coverage.
+    Other {
+        /// The introducing keyword, for diagnostics.
+        keyword: String,
+    },
+}
+
+/// One named struct field.
+#[derive(Debug)]
+pub struct Field {
+    /// Field name.
+    pub name: String,
+    /// The field's type as written (joined tokens).
+    pub ty: String,
+    /// Span from the field name through its type.
+    pub span: Span,
+}
+
+/// One function declaration.
+#[derive(Debug)]
+pub struct FnDecl {
+    /// Function name.
+    pub name: String,
+    /// `true` only for bare `pub` (restricted `pub(crate)`/`pub(super)`
+    /// visibility does not cross the crate boundary).
+    pub is_pub: bool,
+    /// Parameters (`self` receivers are skipped).
+    pub params: Vec<Param>,
+    /// Return type as written, if any.
+    pub ret: Option<String>,
+    /// Token-index range `[open_brace, close_brace]` of the body, if
+    /// the function has one.
+    pub body: Option<(usize, usize)>,
+    /// Whether the function (or an enclosing module) is test-only.
+    pub is_test: bool,
+}
+
+/// One function parameter.
+#[derive(Debug)]
+pub struct Param {
+    /// The binding name (first identifier of the pattern).
+    pub name: String,
+    /// The parameter's type as written (joined tokens).
+    pub ty: String,
+}
+
+/// Parses one file's token stream into a coarse item tree.
+pub fn parse(tokens: &[Tok]) -> File {
+    let mut p = Parser { t: tokens, i: 0 };
+    // A file-level `#![cfg(test)]` makes every item test-only.
+    let file_test = leading_inner_test_attr(tokens);
+    File { items: p.items(None, file_test) }
+}
+
+struct Parser<'t> {
+    t: &'t [Tok],
+    i: usize,
+}
+
+/// Whether the stream opens with `#![cfg(test)]`-style inner attrs.
+fn leading_inner_test_attr(tokens: &[Tok]) -> bool {
+    let mut i = 0usize;
+    while at_punct(tokens, i, "#") && at_punct(tokens, i + 1, "!") && at_punct(tokens, i + 2, "[") {
+        match matching_delim(tokens, i + 2, "[", "]") {
+            Some(close) => {
+                if attr_is_test(&tokens[i + 3..close]) {
+                    return true;
+                }
+                i = close + 1;
+            }
+            None => return false,
+        }
+    }
+    false
+}
+
+fn at_punct(tokens: &[Tok], i: usize, text: &str) -> bool {
+    tokens.get(i).is_some_and(|t| t.kind == TokKind::Punct && t.text == text)
+}
+
+fn at_ident(tokens: &[Tok], i: usize, text: &str) -> bool {
+    tokens.get(i).is_some_and(|t| t.kind == TokKind::Ident && t.text == text)
+}
+
+/// Index of the close delimiter matching the open one at `open`, or
+/// `None` when unbalanced (the engine's balance check reports that).
+pub fn matching_delim(tokens: &[Tok], open: usize, od: &str, cd: &str) -> Option<usize> {
+    let mut depth = 0usize;
+    for (j, t) in tokens.iter().enumerate().skip(open) {
+        if t.kind == TokKind::Punct {
+            if t.text == od {
+                depth += 1;
+            } else if t.text == cd {
+                depth = depth.checked_sub(1)?;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Whether attribute body tokens make the following item test-only
+/// (`#[test]`, or a `cfg`/`cfg_attr` mentioning `test` without `not`).
+pub fn attr_is_test(body: &[Tok]) -> bool {
+    let first_is_test = body.first().is_some_and(|t| t.kind == TokKind::Ident && t.text == "test");
+    if first_is_test && body.len() == 1 {
+        return true;
+    }
+    let has = |name: &str| body.iter().any(|t| t.kind == TokKind::Ident && t.text == name);
+    (has("cfg") || has("cfg_attr")) && has("test") && !has("not")
+}
+
+impl<'t> Parser<'t> {
+    fn peek_punct(&self, ahead: usize, text: &str) -> bool {
+        at_punct(self.t, self.i + ahead, text)
+    }
+
+    fn peek_ident_text(&self, ahead: usize) -> Option<&'t str> {
+        self.t.get(self.i + ahead).filter(|t| t.kind == TokKind::Ident).map(|t| t.text.as_str())
+    }
+
+    fn span_from(&self, start_tok: usize) -> Span {
+        let first = &self.t[start_tok];
+        let hi = if self.i > start_tok && self.i <= self.t.len() {
+            self.t[self.i - 1].hi
+        } else {
+            first.hi
+        };
+        Span { lo: first.lo, hi, line: first.line, col: first.col }
+    }
+
+    /// Parses items until end of stream or (inside a block) the close
+    /// brace at `stop`, whichever comes first.
+    fn items(&mut self, stop: Option<usize>, in_test: bool) -> Vec<Item> {
+        let mut out = Vec::new();
+        loop {
+            if self.i >= self.t.len() || stop.is_some_and(|s| self.i >= s) {
+                break;
+            }
+            match self.item(in_test) {
+                Some(item) => out.push(item),
+                // Recovery: a token no item grammar starts with (stray
+                // close delimiter, macro leftovers) — skip it.
+                None => self.i += 1,
+            }
+        }
+        out
+    }
+
+    fn item(&mut self, in_test: bool) -> Option<Item> {
+        let start = self.i;
+        let mut is_test = in_test;
+        // Attributes (outer `#[..]` and stray inner `#![..]`).
+        loop {
+            if self.peek_punct(0, "#") {
+                let open = if self.peek_punct(1, "!") { self.i + 2 } else { self.i + 1 };
+                if at_punct(self.t, open, "[") {
+                    match matching_delim(self.t, open, "[", "]") {
+                        Some(close) => {
+                            is_test |= attr_is_test(&self.t[open + 1..close]);
+                            self.i = close + 1;
+                            continue;
+                        }
+                        None => {
+                            // Unbalanced attribute: consume to EOF so the
+                            // caller does not loop; A0 reports it.
+                            self.i = self.t.len();
+                            return Some(Item {
+                                kind: ItemKind::Other { keyword: "#".into() },
+                                span: self.span_from(start),
+                            });
+                        }
+                    }
+                }
+            }
+            break;
+        }
+        // Visibility.
+        let mut is_pub = false;
+        if at_ident(self.t, self.i, "pub") {
+            if self.peek_punct(1, "(") {
+                // `pub(crate)` / `pub(super)` / `pub(in ..)`: restricted.
+                let close = matching_delim(self.t, self.i + 1, "(", ")")?;
+                self.i = close + 1;
+            } else {
+                is_pub = true;
+                self.i += 1;
+            }
+        }
+        // Qualifiers that may precede `fn` (or `impl`/`trait` for
+        // `unsafe`): `const fn`, `async fn`, `unsafe fn`, `extern "C"
+        // fn`. A `const`/`extern` that does NOT introduce a function
+        // (`const X: ..`, `extern crate ..`) falls through to `Other`.
+        loop {
+            match self.peek_ident_text(0) {
+                Some("const") if matches!(self.peek_ident_text(1), Some("fn")) => self.i += 1,
+                Some("async" | "unsafe") => self.i += 1,
+                Some("extern")
+                    if self.t.get(self.i + 1).is_some_and(|t| t.kind == TokKind::Str) =>
+                {
+                    self.i += 2;
+                }
+                _ => break,
+            }
+        }
+        let kw = self.peek_ident_text(0)?.to_string();
+        match kw.as_str() {
+            "mod" => self.mod_item(start, is_test),
+            "use" => self.use_item(start),
+            "struct" => self.struct_item(start),
+            "impl" => self.impl_item(start, is_test),
+            "fn" => self.fn_item(start, is_pub, is_test),
+            _ => self.other_item(start, kw),
+        }
+    }
+
+    fn mod_item(&mut self, start: usize, is_test: bool) -> Option<Item> {
+        self.i += 1; // `mod`
+        let name = self.peek_ident_text(0)?.to_string();
+        self.i += 1;
+        if self.peek_punct(0, ";") {
+            self.i += 1;
+            return Some(Item { kind: ItemKind::ModDecl { name }, span: self.span_from(start) });
+        }
+        if self.peek_punct(0, "{") {
+            let close = matching_delim(self.t, self.i, "{", "}").unwrap_or(self.t.len());
+            self.i += 1;
+            let items = self.items(Some(close), is_test);
+            self.i = (close + 1).min(self.t.len());
+            return Some(Item {
+                kind: ItemKind::Mod { name, is_test, items },
+                span: self.span_from(start),
+            });
+        }
+        None
+    }
+
+    fn use_item(&mut self, start: usize) -> Option<Item> {
+        self.i += 1; // `use`
+        let mut path = String::new();
+        let mut depth = 0usize;
+        while let Some(t) = self.t.get(self.i) {
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    ";" if depth == 0 => break,
+                    "{" => depth += 1,
+                    "}" => depth = depth.saturating_sub(1),
+                    _ => {}
+                }
+            }
+            path.push_str(&t.text);
+            self.i += 1;
+        }
+        if self.peek_punct(0, ";") {
+            self.i += 1;
+        }
+        Some(Item { kind: ItemKind::Use { path }, span: self.span_from(start) })
+    }
+
+    fn struct_item(&mut self, start: usize) -> Option<Item> {
+        self.i += 1; // `struct`
+        let name = self.peek_ident_text(0)?.to_string();
+        self.i += 1;
+        self.skip_generics();
+        // `where` clauses before the body.
+        while let Some(t) = self.t.get(self.i) {
+            if t.kind == TokKind::Punct && matches!(t.text.as_str(), "{" | "(" | ";") {
+                break;
+            }
+            self.i += 1;
+        }
+        let mut fields = Vec::new();
+        if self.peek_punct(0, "(") {
+            // Tuple struct: skip the unnamed fields and trailing `;`.
+            let close = matching_delim(self.t, self.i, "(", ")").unwrap_or(self.t.len());
+            self.i = (close + 1).min(self.t.len());
+            if self.peek_punct(0, ";") {
+                self.i += 1;
+            }
+        } else if self.peek_punct(0, "{") {
+            let close = matching_delim(self.t, self.i, "{", "}").unwrap_or(self.t.len());
+            self.i += 1;
+            self.fields(close, &mut fields);
+            self.i = (close + 1).min(self.t.len());
+        } else if self.peek_punct(0, ";") {
+            self.i += 1; // unit struct
+        }
+        Some(Item { kind: ItemKind::Struct { name, fields }, span: self.span_from(start) })
+    }
+
+    /// Parses named fields between the current position and `close`.
+    fn fields(&mut self, close: usize, out: &mut Vec<Field>) {
+        while self.i < close {
+            // Per-field attributes and visibility.
+            while self.peek_punct(0, "#") && self.peek_punct(1, "[") {
+                match matching_delim(self.t, self.i + 1, "[", "]") {
+                    Some(c) if c < close => self.i = c + 1,
+                    _ => return,
+                }
+            }
+            if at_ident(self.t, self.i, "pub") {
+                self.i += 1;
+                if self.peek_punct(0, "(") {
+                    match matching_delim(self.t, self.i, "(", ")") {
+                        Some(c) if c < close => self.i = c + 1,
+                        _ => return,
+                    }
+                }
+            }
+            let start = self.i;
+            let Some(name) = self.peek_ident_text(0).map(str::to_string) else {
+                self.i += 1;
+                continue;
+            };
+            if !self.peek_punct(1, ":") {
+                self.i += 1;
+                continue;
+            }
+            self.i += 2; // name `:`
+            let ty_start = self.i;
+            let mut depth = 0usize;
+            let mut angle = 0usize;
+            while self.i < close {
+                let t = &self.t[self.i];
+                if t.kind == TokKind::Punct {
+                    match t.text.as_str() {
+                        "," if depth == 0 && angle == 0 => break,
+                        "(" | "[" | "{" => depth += 1,
+                        ")" | "]" | "}" => depth = depth.saturating_sub(1),
+                        "<" => angle += 1,
+                        ">" => angle = angle.saturating_sub(1),
+                        _ => {}
+                    }
+                }
+                self.i += 1;
+            }
+            let ty = join_tokens(&self.t[ty_start..self.i]);
+            let span = self.span_from(start);
+            out.push(Field { name, ty, span });
+            if self.peek_punct(0, ",") {
+                self.i += 1;
+            }
+        }
+    }
+
+    fn impl_item(&mut self, start: usize, is_test: bool) -> Option<Item> {
+        self.i += 1; // `impl`
+                     // Header: everything up to the body brace. The self type's head
+                     // identifier is the last path ident before `{` (or before a
+                     // trailing `where` clause); a `for` splits trait from type.
+        let mut type_name = String::new();
+        let mut trait_name: Option<String> = None;
+        let mut last_ident = String::new();
+        let mut angle = 0usize;
+        while let Some(t) = self.t.get(self.i) {
+            match t.kind {
+                TokKind::Punct if t.text == "{" && angle == 0 => break,
+                TokKind::Punct if t.text == "<" => angle += 1,
+                TokKind::Punct if t.text == ">" => angle = angle.saturating_sub(1),
+                TokKind::Ident if t.text == "for" && angle == 0 => {
+                    trait_name = Some(last_ident.clone());
+                    last_ident.clear();
+                }
+                TokKind::Ident if t.text == "where" && angle == 0 => {
+                    // `where` ends the self type; bounds may contain
+                    // no braces before the body in practice.
+                }
+                TokKind::Ident if angle == 0 => last_ident = t.text.clone(),
+                _ => {}
+            }
+            self.i += 1;
+        }
+        type_name.push_str(&last_ident);
+        if !self.peek_punct(0, "{") {
+            return Some(Item {
+                kind: ItemKind::Other { keyword: "impl".into() },
+                span: self.span_from(start),
+            });
+        }
+        let close = matching_delim(self.t, self.i, "{", "}").unwrap_or(self.t.len());
+        self.i += 1;
+        let items = self.items(Some(close), is_test);
+        self.i = (close + 1).min(self.t.len());
+        Some(Item {
+            kind: ItemKind::Impl { type_name, trait_name, items },
+            span: self.span_from(start),
+        })
+    }
+
+    fn fn_item(&mut self, start: usize, is_pub: bool, is_test: bool) -> Option<Item> {
+        self.i += 1; // `fn`
+        let name = self.peek_ident_text(0)?.to_string();
+        self.i += 1;
+        self.skip_generics();
+        if !self.peek_punct(0, "(") {
+            return None;
+        }
+        let close = matching_delim(self.t, self.i, "(", ")").unwrap_or(self.t.len());
+        let params = parse_params(&self.t[self.i + 1..close.min(self.t.len())]);
+        self.i = (close + 1).min(self.t.len());
+        // Return type: `-> ty` up to `{`, `;`, or `where`.
+        let mut ret = None;
+        if self.peek_punct(0, "-") && self.peek_punct(1, ">") {
+            self.i += 2;
+            let ty_start = self.i;
+            let mut angle = 0usize;
+            while let Some(t) = self.t.get(self.i) {
+                if t.kind == TokKind::Punct {
+                    match t.text.as_str() {
+                        "{" | ";" if angle == 0 => break,
+                        "<" => angle += 1,
+                        ">" => angle = angle.saturating_sub(1),
+                        _ => {}
+                    }
+                } else if t.kind == TokKind::Ident && t.text == "where" && angle == 0 {
+                    break;
+                }
+                self.i += 1;
+            }
+            ret = Some(join_tokens(&self.t[ty_start..self.i]));
+        }
+        // `where` clause.
+        while let Some(t) = self.t.get(self.i) {
+            if t.kind == TokKind::Punct && matches!(t.text.as_str(), "{" | ";") {
+                break;
+            }
+            self.i += 1;
+        }
+        let mut body = None;
+        if self.peek_punct(0, "{") {
+            let open = self.i;
+            let end = matching_delim(self.t, open, "{", "}").unwrap_or(self.t.len() - 1);
+            body = Some((open, end));
+            self.i = (end + 1).min(self.t.len());
+        } else if self.peek_punct(0, ";") {
+            self.i += 1;
+        }
+        Some(Item {
+            kind: ItemKind::Fn(FnDecl { name, is_pub, params, ret, body, is_test }),
+            span: self.span_from(start),
+        })
+    }
+
+    fn other_item(&mut self, start: usize, keyword: String) -> Option<Item> {
+        // Skip to the end of the item: its first top-level brace block,
+        // or the first top-level `;`.
+        let mut depth = 0isize;
+        while let Some(t) = self.t.get(self.i) {
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "{" if depth == 0 => {
+                        let close =
+                            matching_delim(self.t, self.i, "{", "}").unwrap_or(self.t.len() - 1);
+                        self.i = (close + 1).min(self.t.len());
+                        return Some(Item {
+                            kind: ItemKind::Other { keyword },
+                            span: self.span_from(start),
+                        });
+                    }
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    ";" if depth == 0 => {
+                        self.i += 1;
+                        return Some(Item {
+                            kind: ItemKind::Other { keyword },
+                            span: self.span_from(start),
+                        });
+                    }
+                    _ if depth < 0 => break,
+                    _ => {}
+                }
+            }
+            self.i += 1;
+        }
+        Some(Item { kind: ItemKind::Other { keyword }, span: self.span_from(start) })
+    }
+
+    /// Skips a `<...>` generic parameter list if one starts here.
+    fn skip_generics(&mut self) {
+        if !self.peek_punct(0, "<") {
+            return;
+        }
+        let mut angle = 0usize;
+        while let Some(t) = self.t.get(self.i) {
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "<" => angle += 1,
+                    // `->` inside a bound (`F: Fn() -> T`) is an arrow,
+                    // not a closing angle.
+                    ">" if !at_punct(self.t, self.i.wrapping_sub(1), "-") => {
+                        angle -= 1;
+                        if angle == 0 {
+                            self.i += 1;
+                            return;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            self.i += 1;
+        }
+    }
+}
+
+/// Splits a parameter list's tokens on top-level commas into
+/// `name: type` pairs; `self` receivers and pure patterns are skipped.
+fn parse_params(tokens: &[Tok]) -> Vec<Param> {
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    let mut depth = 0usize;
+    let mut angle = 0usize;
+    let mut flush = |range: &[Tok]| {
+        // Drop leading `mut`/`&`/lifetimes from the pattern.
+        let mut k = 0usize;
+        while range.get(k).is_some_and(|t| {
+            (t.kind == TokKind::Ident && t.text == "mut")
+                || (t.kind == TokKind::Punct && t.text == "&")
+                || t.kind == TokKind::Lifetime
+        }) {
+            k += 1;
+        }
+        let Some(name_tok) = range.get(k) else { return };
+        if name_tok.kind != TokKind::Ident || name_tok.text == "self" {
+            return;
+        }
+        if !range.get(k + 1).is_some_and(|t| t.kind == TokKind::Punct && t.text == ":") {
+            return;
+        }
+        out.push(Param { name: name_tok.text.clone(), ty: join_tokens(&range[k + 2..]) });
+    };
+    for (j, t) in tokens.iter().enumerate() {
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "," if depth == 0 && angle == 0 => {
+                    flush(&tokens[start..j]);
+                    start = j + 1;
+                    continue;
+                }
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth = depth.saturating_sub(1),
+                "<" => angle += 1,
+                ">" => angle = angle.saturating_sub(1),
+                _ => {}
+            }
+        }
+    }
+    if start < tokens.len() {
+        flush(&tokens[start..]);
+    }
+    out
+}
+
+/// Joins token texts with single spaces (type display only).
+fn join_tokens(tokens: &[Tok]) -> String {
+    let mut s = String::new();
+    for t in tokens {
+        if !s.is_empty() && t.kind != TokKind::Punct && !s.ends_with(':') && !s.ends_with('<') {
+            s.push(' ');
+        }
+        s.push_str(&t.text);
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenizer::lex;
+
+    fn parse_src(src: &str) -> File {
+        parse(&lex(src).tokens)
+    }
+
+    #[test]
+    fn items_and_spans() {
+        let src = "use std::fmt;\n\npub struct S { pub a_kg: f64, b: Vec<f64> }\n\nimpl S {\n    pub fn total_kg(&self) -> f64 { self.a_kg }\n}\n\nfn free(x: f64, y_kwh: f64) {}\n";
+        let f = parse_src(src);
+        assert_eq!(f.items.len(), 4);
+        let ItemKind::Use { path } = &f.items[0].kind else { panic!("use") };
+        assert_eq!(path, "std::fmt");
+        let ItemKind::Struct { name, fields } = &f.items[1].kind else { panic!("struct") };
+        assert_eq!(name, "S");
+        assert_eq!(fields.len(), 2);
+        assert_eq!(fields[0].name, "a_kg");
+        assert_eq!(fields[0].ty, "f64");
+        assert_eq!(&src[fields[0].span.lo..fields[0].span.hi], "a_kg: f64");
+        let ItemKind::Impl { type_name, trait_name, items } = &f.items[2].kind else {
+            panic!("impl")
+        };
+        assert_eq!(type_name, "S");
+        assert!(trait_name.is_none());
+        let ItemKind::Fn(m) = &items[0].kind else { panic!("method") };
+        assert!(m.is_pub);
+        assert_eq!(m.name, "total_kg");
+        assert_eq!(m.ret.as_deref(), Some("f64"));
+        let ItemKind::Fn(free) = &f.items[3].kind else { panic!("fn") };
+        assert!(!free.is_pub);
+        assert_eq!(free.params.len(), 2);
+        assert_eq!(free.params[1].name, "y_kwh");
+        assert!(src[f.items[3].span.lo..f.items[3].span.hi].starts_with("fn free"));
+    }
+
+    #[test]
+    fn trait_impl_and_test_mod() {
+        let src = "impl Display for Foo { fn fmt(&self) {} }\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\n";
+        let f = parse_src(src);
+        let ItemKind::Impl { type_name, trait_name, .. } = &f.items[0].kind else { panic!("impl") };
+        assert_eq!(type_name, "Foo");
+        assert_eq!(trait_name.as_deref(), Some("Display"));
+        let ItemKind::Mod { name, is_test, items } = &f.items[1].kind else { panic!("mod") };
+        assert_eq!(name, "tests");
+        assert!(is_test);
+        let ItemKind::Fn(h) = &items[0].kind else { panic!("fn") };
+        assert!(h.is_test);
+    }
+
+    #[test]
+    fn restricted_pub_and_generics() {
+        let src = "pub(crate) fn inner<T: Clone>(xs: Vec<T>) -> Option<T> { xs.first().cloned() }";
+        let f = parse_src(src);
+        let ItemKind::Fn(d) = &f.items[0].kind else { panic!("fn") };
+        assert!(!d.is_pub, "pub(crate) must not count as public API");
+        assert_eq!(d.name, "inner");
+        assert_eq!(d.params.len(), 1);
+    }
+
+    #[test]
+    fn recovers_on_malformed_input() {
+        // Stray close braces and an unterminated fn must not loop or
+        // panic; the parser recovers and keeps what it can.
+        let f = parse_src("} } fn ok() {} struct X { a: f64, ");
+        assert!(f.items.iter().any(|i| matches!(&i.kind, ItemKind::Fn(d) if d.name == "ok")));
+    }
+
+    #[test]
+    fn file_level_cfg_test_marks_everything() {
+        let f = parse_src("#![cfg(test)]\nfn helper() {}\n");
+        let ItemKind::Fn(d) = &f.items[0].kind else { panic!("fn") };
+        assert!(d.is_test);
+    }
+}

@@ -6,11 +6,22 @@
 use crate::engine::Finding;
 use std::fmt::Write as _;
 
+/// Stable render order: (file, line, col, rule). Sorting here — not
+/// just in the engine — makes the output byte-stable for any caller,
+/// whatever order the filesystem walk or a custom pipeline produced.
+fn ordered(findings: &[Finding]) -> Vec<&Finding> {
+    let mut fs: Vec<&Finding> = findings.iter().collect();
+    fs.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.col, a.rule).cmp(&(b.file.as_str(), b.line, b.col, b.rule))
+    });
+    fs
+}
+
 /// Renders findings one-per-line as `file:line:col: rule: message`,
 /// with a trailing summary line.
 pub fn text(findings: &[Finding]) -> String {
     let mut out = String::new();
-    for f in findings {
+    for f in ordered(findings) {
         let _ = writeln!(out, "{}", f.render());
     }
     if findings.is_empty() {
@@ -25,7 +36,7 @@ pub fn text(findings: &[Finding]) -> String {
 /// `{"findings":[{"file":..,"line":..,"col":..,"rule":..,"message":..}],"count":N}`.
 pub fn json(findings: &[Finding]) -> String {
     let mut out = String::from("{\"findings\":[");
-    for (i, f) in findings.iter().enumerate() {
+    for (i, f) in ordered(findings).iter().enumerate() {
         if i > 0 {
             out.push(',');
         }

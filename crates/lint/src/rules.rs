@@ -32,6 +32,12 @@
 //!   (cli, experiments, bench) and streamed into the model through the
 //!   chunked trace codec (`workloads/src/chunks.rs`, the one exempt
 //!   module), which is generic over `io::Read`/`io::Write`.
+//!
+//! Four semantic rules live outside this module: **U1**/**U2**
+//! (unit-safety, [`crate::units`]) and **D4**/**P2** (transitive
+//! determinism and panic-reachability over the workspace call graph,
+//! [`crate::callgraph`]). They share `RuleId`, the suppression
+//! directives, and the reporting pipeline with the token rules.
 
 use crate::tokenizer::{Tok, TokKind};
 
@@ -52,14 +58,33 @@ pub enum RuleId {
     P1,
     /// `std::fs` file I/O in model code outside the chunked codec.
     F1,
+    /// Additive/comparison mix of distinct physical units.
+    U1,
+    /// Product chain feeding a target of an incompatible unit.
+    U2,
+    /// Replay entry point transitively reaches fs/time/entropy.
+    D4,
+    /// Public model API transitively reaches a panic site.
+    P2,
     /// Malformed suppression directive (not itself suppressible).
     A0,
 }
 
 impl RuleId {
     /// All suppressible rules, in catalog order.
-    pub const CATALOG: [RuleId; 7] =
-        [RuleId::D1, RuleId::D2, RuleId::D3, RuleId::N1, RuleId::N2, RuleId::P1, RuleId::F1];
+    pub const CATALOG: [RuleId; 11] = [
+        RuleId::D1,
+        RuleId::D2,
+        RuleId::D3,
+        RuleId::N1,
+        RuleId::N2,
+        RuleId::P1,
+        RuleId::F1,
+        RuleId::U1,
+        RuleId::U2,
+        RuleId::D4,
+        RuleId::P2,
+    ];
 
     /// The id as written in diagnostics and `allow(..)` directives.
     pub fn as_str(self) -> &'static str {
@@ -71,6 +96,10 @@ impl RuleId {
             RuleId::N2 => "N2",
             RuleId::P1 => "P1",
             RuleId::F1 => "F1",
+            RuleId::U1 => "U1",
+            RuleId::U2 => "U2",
+            RuleId::D4 => "D4",
+            RuleId::P2 => "P2",
             RuleId::A0 => "A0",
         }
     }
@@ -82,9 +111,11 @@ impl RuleId {
 }
 
 /// Crates whose library code models the system (carbon accounting,
-/// placement, sizing): D1/N2 apply here and nowhere else.
-pub const MODEL_CRATES: [&str; 8] =
-    ["carbon", "cluster", "core", "vmalloc", "workloads", "maintenance", "perf", "stats"];
+/// placement, sizing): D1/N2 apply here and nowhere else. `lint` is
+/// held to the same bar so the analyzer's own output stays
+/// deterministic (its genuine file I/O carries justified allows).
+pub const MODEL_CRATES: [&str; 9] =
+    ["carbon", "cluster", "core", "vmalloc", "workloads", "maintenance", "perf", "stats", "lint"];
 
 /// Where a file sits in the workspace, for rule applicability.
 #[derive(Debug, Clone, Copy)]

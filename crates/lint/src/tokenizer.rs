@@ -42,6 +42,12 @@ pub struct Tok {
     pub line: u32,
     /// 1-based source column (in characters).
     pub col: u32,
+    /// Byte offset of the token's first character in the source.
+    pub lo: usize,
+    /// Byte offset one past the token's last character, so
+    /// `&source[lo..hi]` re-slices to exactly the token's text
+    /// (including literal delimiters the `text` field strips).
+    pub hi: usize,
 }
 
 /// One comment (line or block, doc or plain) with its starting line.
@@ -51,6 +57,10 @@ pub struct Comment {
     pub line: u32,
     /// Full comment text including the `//` / `/*` introducer.
     pub text: String,
+    /// Byte offset of the comment's first character.
+    pub lo: usize,
+    /// Byte offset one past the comment's last character.
+    pub hi: usize,
 }
 
 /// The result of lexing one source file.
@@ -74,6 +84,8 @@ pub fn lex(source: &str) -> Lexed {
 struct Lexer {
     chars: Vec<char>,
     pos: usize,
+    byte: usize,
+    tok_lo: usize,
     line: u32,
     col: u32,
     out: Lexed,
@@ -89,17 +101,26 @@ fn is_ident_continue(c: char) -> bool {
 
 impl Lexer {
     fn new(source: &str) -> Self {
-        Self { chars: source.chars().collect(), pos: 0, line: 1, col: 1, out: Lexed::default() }
+        Self {
+            chars: source.chars().collect(),
+            pos: 0,
+            byte: 0,
+            tok_lo: 0,
+            line: 1,
+            col: 1,
+            out: Lexed::default(),
+        }
     }
 
     fn peek(&self, ahead: usize) -> Option<char> {
         self.chars.get(self.pos + ahead).copied()
     }
 
-    /// Consumes one character, tracking line/column.
+    /// Consumes one character, tracking line/column and byte offset.
     fn bump(&mut self) -> Option<char> {
         let c = self.chars.get(self.pos).copied()?;
         self.pos += 1;
+        self.byte += c.len_utf8();
         if c == '\n' {
             self.line += 1;
             self.col = 1;
@@ -110,12 +131,14 @@ impl Lexer {
     }
 
     fn push(&mut self, kind: TokKind, text: String, line: u32, col: u32) {
-        self.out.tokens.push(Tok { kind, text, line, col });
+        let (lo, hi) = (self.tok_lo, self.byte);
+        self.out.tokens.push(Tok { kind, text, line, col, lo, hi });
     }
 
     fn run(mut self) -> Lexed {
         while let Some(c) = self.peek(0) {
             let (line, col) = (self.line, self.col);
+            self.tok_lo = self.byte;
             if c.is_whitespace() {
                 self.bump();
             } else if c == '/' && self.peek(1) == Some('/') {
@@ -138,6 +161,7 @@ impl Lexer {
     }
 
     fn line_comment(&mut self, line: u32) {
+        let lo = self.byte;
         let mut text = String::new();
         while let Some(c) = self.peek(0) {
             if c == '\n' {
@@ -146,10 +170,11 @@ impl Lexer {
             text.push(c);
             self.bump();
         }
-        self.out.comments.push(Comment { line, text });
+        self.out.comments.push(Comment { line, text, lo, hi: self.byte });
     }
 
     fn block_comment(&mut self, line: u32) {
+        let lo = self.byte;
         let mut text = String::new();
         let mut depth = 0usize;
         while let Some(c) = self.peek(0) {
@@ -171,7 +196,7 @@ impl Lexer {
                 self.bump();
             }
         }
-        self.out.comments.push(Comment { line, text });
+        self.out.comments.push(Comment { line, text, lo, hi: self.byte });
     }
 
     /// An identifier, or one of the literal prefixes `r"`/`r#"`/`b"`/
@@ -478,6 +503,32 @@ mod tests {
         // `<=` must not fuse into anything the N2 rule matches.
         let le = lex("a <= 1.0");
         assert!(le.tokens.iter().all(|t| t.text != "=="));
+    }
+
+    #[test]
+    fn byte_spans_reslice_to_source() {
+        // Multibyte chars before a token must not skew its byte span.
+        let src = "fn f\u{151}o(x: f64) -> f64 { x == 1.0 }\n// gsf-lint: allow(N2) -- t\n\"s\u{2192}\" 'q'";
+        let lexed = lex(src);
+        for t in &lexed.tokens {
+            let slice = &src[t.lo..t.hi];
+            match t.kind {
+                TokKind::Ident
+                | TokKind::Punct
+                | TokKind::Int
+                | TokKind::Float
+                | TokKind::Lifetime => {
+                    assert_eq!(slice, t.text, "span drifted for {t:?}");
+                }
+                // Literal spans include the delimiters `text` strips.
+                TokKind::Str | TokKind::Char => {
+                    assert!(slice.contains(&t.text), "span drifted for {t:?}");
+                }
+            }
+        }
+        for c in &lexed.comments {
+            assert_eq!(&src[c.lo..c.hi], c.text);
+        }
     }
 
     #[test]

@@ -1,0 +1,712 @@
+//! Unit-safety analysis (rules **U1** and **U2**).
+//!
+//! The carbon model's arithmetic mixes physical quantities — embodied
+//! kgCO₂e, operational kWh, watts, gigabytes, amortization years,
+//! cores — almost always as raw `f64`s outside `gsf-carbon`'s newtype
+//! layer. Carbon accounting fails *silently* at exactly these unit
+//! boundaries: `kwh + kg_co2e` is a finite, plausible number. This
+//! module classifies identifiers by a unit lexicon seeded from the
+//! `gsf-carbon` / `gsf-core` signatures (`kg_co2e`, `energy_kwh`,
+//! `mem_gb`, `horizon_years`, `kg_per_kwh`, `mem_per_core_gb`, ...)
+//! and checks two invariant families over function bodies:
+//!
+//! * **U1** — addition, subtraction, and ordered/equality comparison
+//!   require *identical* units on both sides.
+//! * **U2** — a multiplication/division chain feeding a unit-bearing
+//!   target (assignment, `let` binding, struct-literal field, or a
+//!   `KgCo2e::new(..)`-style unit constructor) must produce exactly
+//!   the target's unit.
+//!
+//! Both rules fire only when every operand involved classifies
+//! confidently; an unknown name, literal receiver, or opaque call
+//! makes the checker stand down rather than guess. Units form a free
+//! abelian group (exponent vectors), so `kg_per_kwh * energy_kwh`
+//! correctly yields kgCO₂e and `watts * years` correctly does *not*.
+
+use crate::rules::{RawFinding, RuleId};
+use crate::tokenizer::{Tok, TokKind};
+
+/// Exponents over the base dimensions the lexicon knows.
+///
+/// kWh and watt·year are physically related but deliberately kept as
+/// independent dimensions: the model always converts through explicit
+/// factors (`hours()`, `/ 1000.0`), and collapsing them would hide
+/// missing conversions — the exact bug class U2 exists to catch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Unit {
+    dims: [i8; 10],
+}
+
+/// Dimension indices into [`Unit::dims`].
+const DIM_CO2E: usize = 0;
+const DIM_KWH: usize = 1;
+const DIM_WATT: usize = 2;
+const DIM_HOUR: usize = 7;
+
+impl Unit {
+    const DIMENSIONLESS: Unit = Unit { dims: [0; 10] };
+
+    fn base(dim: usize) -> Unit {
+        let mut dims = [0i8; 10];
+        if let Some(d) = dims.get_mut(dim) {
+            *d = 1;
+        }
+        Unit { dims }
+    }
+
+    fn combine(mut self, other: Unit, sign: i8) -> Unit {
+        for (d, v) in self.dims.iter_mut().zip(other.dims) {
+            *d = d.saturating_add(sign.saturating_mul(v));
+        }
+        self
+    }
+
+    fn mul(self, other: Unit) -> Unit {
+        self.combine(other, 1)
+    }
+
+    fn div(self, other: Unit) -> Unit {
+        self.combine(other, -1)
+    }
+
+    /// Whether an explicit `/ 1000` converts this unit's `W*hours`
+    /// component into `kWh` (the one cross-dimension identity the
+    /// model uses); returns the converted unit when it applies.
+    fn kilo_converted(self) -> Option<Unit> {
+        if self.dims[DIM_WATT] >= 1 && self.dims[DIM_HOUR] >= 1 {
+            let mut u = self;
+            u.dims[DIM_WATT] -= 1;
+            u.dims[DIM_HOUR] -= 1;
+            u.dims[DIM_KWH] = u.dims[DIM_KWH].saturating_add(1);
+            Some(u)
+        } else {
+            None
+        }
+    }
+
+    /// Human-readable unit, e.g. `kgCO2e*kWh^-1` or `dimensionless`.
+    pub fn display(&self) -> String {
+        const NAMES: [&str; 10] =
+            ["kgCO2e", "kWh", "W", "GB", "Gbps", "TB", "years", "hours", "days", "cores"];
+        let mut parts = Vec::new();
+        for (d, v) in self.dims.into_iter().enumerate() {
+            match v {
+                0 => {}
+                1 => parts.push(NAMES[d].to_string()),
+                v => parts.push(format!("{}^{}", NAMES[d], v)),
+            }
+        }
+        if parts.is_empty() {
+            "dimensionless".to_string()
+        } else {
+            parts.join("*")
+        }
+    }
+}
+
+/// Maps one snake-case segment to a base dimension (or dimensionless).
+fn segment_unit(seg: &str) -> Option<Unit> {
+    let dim = match seg {
+        "kg" | "kgco2e" | "co2e" | "carbon" | "emissions" | "emission" => DIM_CO2E,
+        "kwh" | "energy" => DIM_KWH,
+        "watts" | "watt" | "tdp" | "power" => DIM_WATT,
+        "gb" => 3,
+        "gbps" => 4,
+        "tb" => 5,
+        "years" | "year" => 6,
+        "hours" | "hour" => DIM_HOUR,
+        "days" | "day" => 8,
+        "cores" | "core" => 9,
+        // Grid carbon intensity is kg CO2e per kWh.
+        "intensity" => return Some(Unit::base(DIM_CO2E).div(Unit::base(DIM_KWH))),
+        // Known dimensionless scalars: safe to multiply through.
+        "pue" | "fraction" | "frac" | "ratio" | "share" | "util" | "utilization" => {
+            return Some(Unit::DIMENSIONLESS)
+        }
+        _ => return None,
+    };
+    Some(Unit::base(dim))
+}
+
+/// Classifies an identifier by its snake-case segments.
+///
+/// The numerator is the *last* distinct-dimension unit segment not
+/// preceded by `per` (`energy_kwh` reads kWh once, `carbon_intensity`
+/// lets `intensity` win); every segment immediately preceded by `per`
+/// divides (`kg_per_kwh`, `mem_per_core_gb` → GB·core⁻¹). A name with
+/// `per`-denominators but no recognizable numerator (`dram_per_gb`,
+/// a dollar cost) stays unclassified — the checker never guesses.
+pub fn classify(ident: &str) -> Option<Unit> {
+    let lower = ident.to_ascii_lowercase();
+    let segs: Vec<&str> = lower.split('_').filter(|s| !s.is_empty()).collect();
+    // Sub-hour time granularity is not modeled: a name carrying a
+    // seconds-ish segment (`day_s`, `duration_ms`) must stay
+    // unclassified, never be misread as its other segments' unit.
+    if segs.iter().any(|s| {
+        matches!(*s, "s" | "sec" | "secs" | "seconds" | "ms" | "millis" | "us" | "micros" | "ns")
+    }) {
+        return None;
+    }
+    let mut numerator: Option<Unit> = None;
+    let mut denominator = Unit::DIMENSIONLESS;
+    let mut saw_denominator = false;
+    for (k, seg) in segs.iter().enumerate() {
+        let Some(u) = segment_unit(seg) else { continue };
+        let after_per = k > 0 && segs[k - 1] == "per";
+        if after_per {
+            denominator = denominator.mul(u);
+            saw_denominator = true;
+        } else {
+            // Same dimension repeating (`kg_co2e`) collapses; a new
+            // dimension replaces (suffix position is authoritative).
+            numerator = Some(match numerator {
+                Some(n) if n == u => n,
+                _ => u,
+            });
+        }
+    }
+    match (numerator, saw_denominator) {
+        (Some(n), _) => Some(n.div(denominator)),
+        (None, _) => None,
+    }
+}
+
+/// Method names that return their receiver's quantity unchanged, so
+/// classification looks through them to the receiver.
+fn is_transparent(name: &str) -> bool {
+    matches!(
+        name,
+        "get"
+            | "clone"
+            | "abs"
+            | "floor"
+            | "ceil"
+            | "round"
+            | "min"
+            | "max"
+            | "clamp"
+            | "copied"
+            | "cloned"
+            | "to_owned"
+            | "sum"
+            | "unwrap"
+            | "expect"
+            | "unwrap_or"
+            | "unwrap_or_default"
+    )
+}
+
+/// Primitive type names that may appear between a binding and `=`
+/// (`let x_kg: f64 = ..`); classification hops over them to the name.
+fn is_primitive_ty(name: &str) -> bool {
+    matches!(name, "f64" | "f32" | "u8" | "u16" | "u32" | "u64" | "usize" | "i32" | "i64")
+}
+
+/// Unit newtype constructors (`KgCo2e::new(..)`), seeding U2 targets
+/// from the `gsf-carbon` signature layer.
+fn constructor_unit(type_name: &str) -> Option<Unit> {
+    Some(match type_name {
+        "KgCo2e" => Unit::base(0),
+        "Watts" => Unit::base(2),
+        "Gigabytes" => Unit::base(3),
+        "Terabytes" => Unit::base(5),
+        "Years" => Unit::base(6),
+        "CarbonIntensity" => Unit::base(0).div(Unit::base(1)),
+        _ => return None,
+    })
+}
+
+fn is_punct(t: Option<&Tok>, text: &str) -> bool {
+    t.is_some_and(|t| t.kind == TokKind::Punct && t.text == text)
+}
+
+fn ident_text(t: Option<&Tok>) -> Option<&str> {
+    t.filter(|t| t.kind == TokKind::Ident).map(|t| t.text.as_str())
+}
+
+/// Finds the open delimiter matching the close one at `close`,
+/// scanning backward.
+fn matching_open(tokens: &[Tok], close: usize, od: &str, cd: &str) -> Option<usize> {
+    let mut depth = 0usize;
+    for j in (0..=close).rev() {
+        let t = &tokens[j];
+        if t.kind == TokKind::Punct {
+            if t.text == cd {
+                depth += 1;
+            } else if t.text == od {
+                depth = depth.checked_sub(1)?;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+        }
+    }
+    None
+}
+
+fn matching_close(tokens: &[Tok], open: usize, od: &str, cd: &str) -> Option<usize> {
+    crate::parser::matching_delim(tokens, open, od, cd)
+}
+
+/// Classifies the operand ending at token `end` (inclusive), walking
+/// left: a plain name, a field access (`a.b_kwh` → `b_kwh`), a call
+/// (`total_kg()` → `total_kg`), or a transparent method hop
+/// (`x_kg.abs()` → `x_kg`). Returns the classified unit, or `None`
+/// when anything along the way is unknown.
+fn classify_left(tokens: &[Tok], end: usize) -> Option<(Unit, String)> {
+    let mut j = end as isize;
+    loop {
+        if j < 0 {
+            return None;
+        }
+        let t = &tokens[j as usize];
+        match t.kind {
+            TokKind::Ident => {
+                let name = t.text.as_str();
+                // `let x_kg: f64` — hop the type annotation to the name.
+                if is_primitive_ty(name) && is_punct(tokens.get((j - 1).max(0) as usize), ":") {
+                    j -= 2;
+                    continue;
+                }
+                return classify(name).map(|u| (u, name.to_string()));
+            }
+            TokKind::Punct if t.text == ")" => {
+                let open = matching_open(tokens, j as usize, "(", ")")?;
+                let callee = ident_text(tokens.get(open.wrapping_sub(1)))?;
+                if is_transparent(callee) {
+                    // `recv.get()` → classify the receiver.
+                    if is_punct(tokens.get(open.wrapping_sub(2)), ".") {
+                        j = open as isize - 3;
+                        continue;
+                    }
+                    return None;
+                }
+                return classify(callee).map(|u| (u, callee.to_string()));
+            }
+            TokKind::Punct if t.text == "]" => {
+                // Indexing: classify by the indexed name.
+                let open = matching_open(tokens, j as usize, "[", "]")?;
+                j = open as isize - 1;
+            }
+            _ => return None,
+        }
+    }
+}
+
+/// Classifies the operand starting at token `start`, walking right
+/// through a dot/path chain; returns the unit, the operand's display
+/// name, and the token index one past the operand.
+fn classify_right(tokens: &[Tok], mut start: usize) -> (Option<(Unit, String)>, usize) {
+    // Prefix operators: unary minus, reference, deref, negation.
+    while is_punct(tokens.get(start), "-")
+        || is_punct(tokens.get(start), "&")
+        || is_punct(tokens.get(start), "*")
+        || is_punct(tokens.get(start), "!")
+        || ident_text(tokens.get(start)) == Some("mut")
+    {
+        start += 1;
+    }
+    let Some(first) = tokens.get(start) else { return (None, start) };
+    match first.kind {
+        TokKind::Int | TokKind::Float => return (None, start + 1),
+        TokKind::Ident => {}
+        _ => return (None, start),
+    }
+    let mut name = first.text.as_str();
+    let mut prev_name: Option<&str> = None;
+    let mut j = start + 1;
+    loop {
+        if (is_punct(tokens.get(j), ".") || is_punct(tokens.get(j), "::"))
+            && tokens.get(j + 1).is_some_and(|t| t.kind == TokKind::Ident)
+        {
+            prev_name = Some(name);
+            name = &tokens[j + 1].text;
+            j += 2;
+            continue;
+        }
+        if is_punct(tokens.get(j), "(") {
+            // A call: a transparent method classifies by its receiver.
+            let close = matching_close(tokens, j, "(", ")").unwrap_or(j);
+            j = close + 1;
+            if is_transparent(name) {
+                match prev_name {
+                    Some(recv) => name = recv,
+                    None => return (None, j),
+                }
+            }
+            // A further trailing transparent hop (`a.get().abs()`).
+            while is_punct(tokens.get(j), ".")
+                && ident_text(tokens.get(j + 1)).is_some_and(is_transparent)
+                && is_punct(tokens.get(j + 2), "(")
+            {
+                j = matching_close(tokens, j + 2, "(", ")").unwrap_or(j + 2) + 1;
+            }
+            break;
+        }
+        break;
+    }
+    (classify(name).map(|u| (u, name.to_string())), j)
+}
+
+/// Context passed to the scanners: which tokens are test-exempt.
+pub struct UnitScan<'a> {
+    /// The file's full token stream.
+    pub tokens: &'a [Tok],
+    /// Token-level test exemption mask from the engine.
+    pub exempt: &'a [bool],
+}
+
+/// Keywords that make a preceding `-`/`<`/`>` non-binary.
+fn is_prefix_context(t: Option<&Tok>) -> bool {
+    match t {
+        None => true,
+        Some(t) => match t.kind {
+            TokKind::Punct => !matches!(t.text.as_str(), ")" | "]"),
+            TokKind::Ident => matches!(
+                t.text.as_str(),
+                "return" | "if" | "else" | "match" | "in" | "while" | "break" | "let" | "mut"
+            ),
+            _ => false,
+        },
+    }
+}
+
+/// Runs U1 over a token range (a function body).
+pub fn check_u1(scan: &UnitScan<'_>, range: (usize, usize), out: &mut Vec<RawFinding>) {
+    let tokens = scan.tokens;
+    let (lo, hi) = range;
+    for i in lo..=hi.min(tokens.len().saturating_sub(1)) {
+        if scan.exempt.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        let t = &tokens[i];
+        if t.kind != TokKind::Punct {
+            continue;
+        }
+        let (op_name, rhs_start) = match t.text.as_str() {
+            "+" | "-" => {
+                if t.text == "-" && is_punct(tokens.get(i + 1), ">") {
+                    continue; // `->`
+                }
+                if is_prefix_context(tokens.get(i.wrapping_sub(1))) {
+                    continue; // unary
+                }
+                // `+=` / `-=` compound assignment adds too.
+                if is_punct(tokens.get(i + 1), "=") {
+                    (if t.text == "+" { "+=" } else { "-=" }, i + 2)
+                } else {
+                    (if t.text == "+" { "+" } else { "-" }, i + 1)
+                }
+            }
+            "==" | "!=" => (t.text.as_str(), i + 1),
+            "<" | ">" => {
+                // Exclude `->`, `=>`, shifts, and turbofish.
+                let prev = tokens.get(i.wrapping_sub(1));
+                if is_punct(prev, "-") || is_punct(prev, "=") || is_punct(prev, "::") {
+                    continue;
+                }
+                if is_punct(tokens.get(i + 1), &t.text) || is_punct(prev, &t.text) {
+                    continue; // `<<` / `>>`
+                }
+                if is_punct(tokens.get(i + 1), "=") {
+                    (if t.text == "<" { "<=" } else { ">=" }, i + 2)
+                } else {
+                    (t.text.as_str(), i + 1)
+                }
+            }
+            _ => continue,
+        };
+        let Some((lu, lname)) = classify_left(tokens, i.wrapping_sub(1)) else { continue };
+        let (right, _) = classify_right(tokens, rhs_start);
+        let Some((ru, rname)) = right else { continue };
+        if lu != ru {
+            out.push(RawFinding {
+                rule: RuleId::U1,
+                line: t.line,
+                col: t.col,
+                message: format!(
+                    "`{lname}` ({}) and `{rname}` ({}) mixed by `{op_name}`: quantities of \
+                     distinct physical units cannot be added, subtracted, or compared — convert \
+                     through an explicit factor first (or justify with an allow)",
+                    lu.display(),
+                    ru.display()
+                ),
+            });
+        }
+    }
+}
+
+/// The classified shape of a product/quotient expression.
+struct Product {
+    unit: Unit,
+    /// Whether a `*`/`/` was present (U2 only polices conversions).
+    saw_mul: bool,
+    /// Whether every factor was a numeric literal (unit-bearing
+    /// constants like `24.0 * 7.0` hours are definitions, not
+    /// conversions — exempt).
+    all_literals: bool,
+}
+
+/// Literal texts recognized as the explicit kilo conversion factor.
+fn is_kilo_literal(text: &str) -> bool {
+    matches!(text, "1000" | "1000.0" | "1_000" | "1_000.0" | "1e3" | "1.0e3")
+}
+
+/// Closes one addend: spends `/ 1000` divisors on the `W*hours → kWh`
+/// identity where they apply.
+fn finish_addend(mut unit: Unit, mut kilo_divs: u32) -> Unit {
+    while kilo_divs > 0 {
+        match unit.kilo_converted() {
+            Some(u) => unit = u,
+            None => break,
+        }
+        kilo_divs -= 1;
+    }
+    unit
+}
+
+/// Evaluates the unit of a product/quotient expression spanning
+/// `tokens[lo..hi]` (exclusive). Returns `Some` only when every factor
+/// classifies (literals count as dimensionless scalars) and the
+/// expression contains no top-level additive operator with mixed
+/// units.
+fn product_unit(tokens: &[Tok], lo: usize, hi: usize) -> Option<Product> {
+    let mut unit = Unit::DIMENSIONLESS;
+    let mut saw_mul = false;
+    let mut all_literals = true;
+    let mut kilo_divs = 0u32;
+    let mut next_sign: i8 = 1;
+    let mut j = lo;
+    let mut additive: Option<Unit> = None;
+    while j < hi {
+        let t = &tokens[j];
+        // Prefix operators.
+        if t.kind == TokKind::Punct && matches!(t.text.as_str(), "&" | "!") {
+            j += 1;
+            continue;
+        }
+        if t.kind == TokKind::Punct && t.text == "-" && is_prefix_context(tokens.get(j - 1)) {
+            j += 1;
+            continue;
+        }
+        let factor: Option<Unit>;
+        match t.kind {
+            TokKind::Int | TokKind::Float => {
+                // `x / 1000.0` is the sanctioned `W*hours → kWh`
+                // conversion factor; remember it for `finish_addend`.
+                if next_sign == -1 && is_kilo_literal(&t.text) {
+                    kilo_divs += 1;
+                }
+                factor = Some(Unit::DIMENSIONLESS);
+                j += 1;
+            }
+            TokKind::Ident => {
+                // `as f64` casts are transparent.
+                if t.text == "as" {
+                    j += 1;
+                    if tokens.get(j).is_some_and(|t| t.kind == TokKind::Ident) {
+                        j += 1;
+                    }
+                    continue;
+                }
+                let (classified, end) = classify_right(tokens, j);
+                factor = classified.map(|(u, _)| u);
+                all_literals = false;
+                j = end.max(j + 1);
+            }
+            TokKind::Punct if t.text == "(" => {
+                let close = matching_close(tokens, j, "(", ")")?;
+                let inner = product_unit(tokens, j + 1, close)?;
+                factor = Some(inner.unit);
+                all_literals &= inner.all_literals;
+                j = close + 1;
+            }
+            _ => return None,
+        }
+        let f = factor?;
+        unit = if next_sign == 1 { unit.mul(f) } else { unit.div(f) };
+        // Operator (or end).
+        if j >= hi {
+            break;
+        }
+        let op = &tokens[j];
+        if op.kind != TokKind::Punct {
+            return None;
+        }
+        match op.text.as_str() {
+            "*" => {
+                next_sign = 1;
+                saw_mul = true;
+            }
+            "/" => {
+                next_sign = -1;
+                saw_mul = true;
+            }
+            "+" | "-" => {
+                // A top-level sum: all addends must agree; the sum's
+                // unit is the common one.
+                let closed = finish_addend(unit, kilo_divs);
+                match additive {
+                    Some(a) if a != closed => return None,
+                    _ => additive = Some(closed),
+                }
+                unit = Unit::DIMENSIONLESS;
+                kilo_divs = 0;
+                next_sign = 1;
+            }
+            _ => return None,
+        }
+        j += 1;
+    }
+    let closed = finish_addend(unit, kilo_divs);
+    if let Some(a) = additive {
+        if a != closed {
+            return None;
+        }
+    }
+    Some(Product { unit: closed, saw_mul, all_literals })
+}
+
+/// Runs U2 over a token range (a function body): multiplication chains
+/// feeding a unit-bearing target must produce the target's unit.
+pub fn check_u2(scan: &UnitScan<'_>, range: (usize, usize), out: &mut Vec<RawFinding>) {
+    let tokens = scan.tokens;
+    let (lo, hi) = range;
+    let hi = hi.min(tokens.len().saturating_sub(1));
+    for i in lo..=hi {
+        if scan.exempt.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        let t = &tokens[i];
+        // Target form 1: plain assignment `path = expr` (also `+=`/`-=`
+        // since those require the same unit on both sides).
+        let (target, rhs_start): (Option<(Unit, String)>, usize) = if t.kind == TokKind::Punct
+            && t.text == "="
+        {
+            let prev = tokens.get(i.wrapping_sub(1));
+            // Exclude `<=`, `>=`, `..=`, `=>` (== and != are fused).
+            if is_punct(prev, "<") || is_punct(prev, ">") || is_punct(prev, ".") {
+                continue;
+            }
+            if is_punct(tokens.get(i + 1), ">") {
+                continue;
+            }
+            let lhs_end = match prev {
+                Some(p) if p.kind == TokKind::Punct && matches!(p.text.as_str(), "+" | "-") => {
+                    i.wrapping_sub(2)
+                }
+                Some(p) if p.kind == TokKind::Punct && matches!(p.text.as_str(), "*" | "/") => {
+                    continue; // `*=`/`/=` rescale, target unit changes
+                }
+                _ => i.wrapping_sub(1),
+            };
+            (classify_left(tokens, lhs_end), i + 1)
+        } else if t.kind == TokKind::Punct && t.text == ":" {
+            // Target form 2: struct-literal field `name: expr` — the
+            // name directly after `{` or `,`.
+            let Some(name) = ident_text(tokens.get(i.wrapping_sub(1))) else { continue };
+            let before = tokens.get(i.wrapping_sub(2));
+            let is_field = before
+                .is_some_and(|t| t.kind == TokKind::Punct && matches!(t.text.as_str(), "{" | ","));
+            if !is_field {
+                continue;
+            }
+            (classify(name).map(|u| (u, name.to_string())), i + 1)
+        } else if t.kind == TokKind::Ident
+            && is_punct(tokens.get(i + 1), "::")
+            && ident_text(tokens.get(i + 2)) == Some("new")
+            && is_punct(tokens.get(i + 3), "(")
+        {
+            // Target form 3: unit constructor `KgCo2e::new(expr)`.
+            let Some(u) = constructor_unit(&t.text) else { continue };
+            (Some((u, format!("{}::new", t.text))), i + 4)
+        } else {
+            continue;
+        };
+        let Some((tu, tname)) = target else { continue };
+        // RHS extent: to the first top-level `;`, `,`, or close
+        // delimiter (for constructor form, the matching `)`).
+        let mut end = rhs_start;
+        let mut depth = 0usize;
+        while end <= hi {
+            let e = &tokens[end];
+            if e.kind == TokKind::Punct {
+                match e.text.as_str() {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" if depth == 0 => break,
+                    ")" | "]" | "}" => depth -= 1,
+                    ";" | "," if depth == 0 => break,
+                    "=" if depth == 0 => break, // chained/compound: bail below
+                    _ => {}
+                }
+            }
+            end += 1;
+        }
+        if end <= hi && is_punct(tokens.get(end), "=") {
+            continue;
+        }
+        let Some(product) = product_unit(tokens, rhs_start, end) else { continue };
+        // Only multiplicative feeds are U2's business; a plain copy of
+        // one variable into another is caught by review, additive
+        // mixes are U1's, and all-literal products are unit-bearing
+        // constant definitions, not conversions.
+        if !product.saw_mul || product.all_literals {
+            continue;
+        }
+        let ru = product.unit;
+        if ru != tu {
+            let anchor = &tokens[i.min(hi)];
+            out.push(RawFinding {
+                rule: RuleId::U2,
+                line: anchor.line,
+                col: anchor.col,
+                message: format!(
+                    "product feeding `{tname}` has unit {} but the target expects {}: a missing \
+                     or extra conversion factor silently corrupts the carbon accounting (or \
+                     justify with an allow)",
+                    ru.display(),
+                    tu.display()
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_of(name: &str) -> Option<String> {
+        classify(name).map(|u| u.display())
+    }
+
+    #[test]
+    fn lexicon_classifies_workspace_names() {
+        assert_eq!(unit_of("kg_co2e").as_deref(), Some("kgCO2e"));
+        assert_eq!(unit_of("total_kg").as_deref(), Some("kgCO2e"));
+        assert_eq!(unit_of("energy_kwh").as_deref(), Some("kWh"));
+        assert_eq!(unit_of("mem_gb").as_deref(), Some("GB"));
+        assert_eq!(unit_of("horizon_years").as_deref(), Some("years"));
+        assert_eq!(unit_of("free_cores").as_deref(), Some("cores"));
+        assert_eq!(unit_of("kg_per_kwh").as_deref(), Some("kgCO2e*kWh^-1"));
+        assert_eq!(unit_of("carbon_intensity").as_deref(), Some("kgCO2e*kWh^-1"));
+        assert_eq!(unit_of("mem_per_core_gb").as_deref(), Some("GB*cores^-1"));
+        assert_eq!(unit_of("mem_bandwidth_gbps_per_core").as_deref(), Some("Gbps*cores^-1"));
+        assert_eq!(unit_of("tdp_per_gb").as_deref(), Some("W*GB^-1"));
+        assert_eq!(unit_of("pue").as_deref(), Some("dimensionless"));
+        // No recognizable numerator: stand down, never guess.
+        assert_eq!(unit_of("dram_per_gb"), None);
+        assert_eq!(unit_of("buffer"), None);
+        assert_eq!(unit_of("x"), None);
+    }
+
+    #[test]
+    fn unit_algebra() {
+        let kg = classify("total_kg").unwrap_or_default();
+        let kwh = classify("energy_kwh").unwrap_or_default();
+        let ci = classify("carbon_intensity").unwrap_or_default();
+        assert_eq!(kwh.mul(ci), kg);
+        assert_eq!(kg.div(kwh), ci);
+        assert_eq!(kg.display(), "kgCO2e");
+    }
+}

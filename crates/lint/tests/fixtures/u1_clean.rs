@@ -1,0 +1,29 @@
+//! U1 clean fixture: same-unit math, unclassified names, test code,
+//! and a justified suppression all stay silent.
+
+pub fn same_unit(a_kwh: f64, b_kwh: f64) -> f64 {
+    a_kwh + b_kwh
+}
+
+pub fn unclassified(count: usize, energy_kwh: f64) -> bool {
+    count > 3 && energy_kwh > threshold()
+}
+
+pub fn suppressed(a_kwh: f64, b_watts: f64) -> f64 {
+    // gsf-lint: allow(U1) -- fixture: deliberately mixed add
+    a_kwh + b_watts
+}
+
+fn threshold() -> f64 {
+    1.0
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_mix() {
+        let kgco2e = 1.0;
+        let kwh = 2.0;
+        assert!(kgco2e + kwh > 0.0);
+    }
+}

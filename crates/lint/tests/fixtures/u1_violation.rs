@@ -1,0 +1,13 @@
+//! U1 fixture: cross-unit arithmetic and comparisons must fire.
+
+pub fn mixed_sum(embodied_kgco2e: f64, energy_kwh: f64) -> f64 {
+    embodied_kgco2e + energy_kwh
+}
+
+pub fn mixed_compare(power_watts: f64, lifetime_hours: f64) -> bool {
+    power_watts > lifetime_hours
+}
+
+pub fn mixed_accumulate(total_kgco2e: &mut f64, energy_kwh: f64) {
+    *total_kgco2e += energy_kwh;
+}

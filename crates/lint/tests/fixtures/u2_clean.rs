@@ -1,0 +1,28 @@
+//! U2 clean fixture: explicit conversions, rescales, constant
+//! definitions, and a justified suppression all stay silent.
+
+pub fn explicit_kilo(power_watts: f64, runtime_hours: f64) -> f64 {
+    let energy_kwh = power_watts * runtime_hours / 1000.0;
+    energy_kwh
+}
+
+pub fn constant_definition() -> f64 {
+    let duration_hours = 24.0 * 7.0;
+    duration_hours
+}
+
+pub fn rescale(mut energy_kwh: f64, derate_frac: f64) -> f64 {
+    energy_kwh *= derate_frac;
+    energy_kwh
+}
+
+pub fn dimensionless_scale(power_watts: f64, derate_frac: f64) -> f64 {
+    let derated_watts = power_watts * derate_frac;
+    derated_watts
+}
+
+pub fn suppressed(power_watts: f64, runtime_hours: f64) -> f64 {
+    // gsf-lint: allow(U2) -- fixture: vendor formula already embeds the factor
+    let energy_kwh = power_watts * runtime_hours;
+    energy_kwh
+}

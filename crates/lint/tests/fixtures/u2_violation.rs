@@ -1,0 +1,18 @@
+//! U2 fixture: product chains whose unit disagrees with the target.
+
+pub struct EnergyRow {
+    pub energy_kwh: f64,
+}
+
+pub fn missing_kilo(power_watts: f64, runtime_hours: f64) -> f64 {
+    let energy_kwh = power_watts * runtime_hours;
+    energy_kwh
+}
+
+pub fn struct_field(power_watts: f64, runtime_hours: f64) -> EnergyRow {
+    EnergyRow { energy_kwh: power_watts * runtime_hours }
+}
+
+pub fn constructor(power_watts: f64, lifetime_hours: f64) -> KgCo2e {
+    KgCo2e::new(power_watts * lifetime_hours)
+}

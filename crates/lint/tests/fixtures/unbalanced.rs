@@ -1,0 +1,9 @@
+//! A0 fixture: an unbalanced delimiter must surface as a structural
+//! finding instead of silently truncating analysis — and the finding
+//! must resist every suppression mechanism.
+// gsf-lint: allow-file(A0) -- this attempt must have no effect
+
+pub fn broken(a_kwh: f64) -> f64 {
+    let total = (a_kwh + 1.0;
+    total
+}

@@ -1,0 +1,7 @@
+//! Non-model helper crate, deterministic variant: the timestamp comes
+//! from the caller.
+
+/// Tags `n` with the caller's epoch.
+pub fn stamp(n: u64, epoch_ms: u64) -> u64 {
+    n.wrapping_add(epoch_ms)
+}

@@ -1,0 +1,15 @@
+//! Mini model crate: the clean twin of the D4 seed — the replay entry
+//! point reaches only deterministic helpers, plus one sanctioned
+//! side-channel clock behind a reasoned allow.
+
+/// Replays `n` events, stamping each with a caller-provided epoch.
+pub fn replay_events(n: u64, epoch_ms: u64) -> u64 {
+    progress_heartbeat();
+    telemetry::stamp(n, epoch_ms)
+}
+
+/// Emits a progress heartbeat; the replay result never reads it.
+fn progress_heartbeat() {
+    // gsf-lint: allow(D2, D4) -- operator heartbeat for long replays: the value never enters replay state
+    let _elapsed = std::time::Instant::now();
+}

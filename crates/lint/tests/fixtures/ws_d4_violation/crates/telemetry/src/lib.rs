@@ -1,0 +1,12 @@
+//! Non-model helper crate whose innocuous-looking stamp helper hides a
+//! wall-clock read — the D4 seed.
+
+/// Tags `n` with a collection timestamp.
+pub fn stamp(n: u64) -> u64 {
+    n.wrapping_add(clock_ms())
+}
+
+fn clock_ms() -> u64 {
+    let now = std::time::SystemTime::now();
+    now.duration_since(std::time::UNIX_EPOCH).map(|d| d.as_millis() as u64).unwrap_or(0)
+}

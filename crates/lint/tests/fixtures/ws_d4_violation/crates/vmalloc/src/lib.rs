@@ -1,0 +1,7 @@
+//! Mini model crate: a replay entry point that reaches a wall clock
+//! two calls away, across a crate boundary.
+
+/// Replays `n` events, stamping each through the telemetry helper.
+pub fn replay_events(n: u64) -> u64 {
+    telemetry::stamp(n)
+}

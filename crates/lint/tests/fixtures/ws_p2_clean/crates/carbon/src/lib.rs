@@ -1,0 +1,32 @@
+//! Mini model crate, clean twin of the P2 seed: one panic path carries
+//! a documented `# Panics` contract, the other a reasoned allow.
+
+/// Grid intensity for the zone, kg CO2e per kWh.
+pub fn intensity(zone: usize) -> f64 {
+    lookup(zone)
+}
+
+/// Resolves a zone against the intensity table.
+///
+/// # Panics
+///
+/// Panics when `zone` is outside the three-zone table.
+fn lookup(zone: usize) -> f64 {
+    table(zone).expect("zone is in range")
+}
+
+/// Average intensity across all zones.
+pub fn average() -> f64 {
+    let sum: f64 = (0..3).map(table).map(|v| v.unwrap_or(0.0)).sum();
+    sum / divisor()
+}
+
+fn divisor() -> f64 {
+    let n = [0.1, 0.4, 0.7].first().map(|_| 3.0);
+    // gsf-lint: allow(P2) -- the table is a non-empty const: first() always yields
+    n.expect("table is non-empty")
+}
+
+fn table(zone: usize) -> Option<f64> {
+    [0.1, 0.4, 0.7].get(zone).copied()
+}

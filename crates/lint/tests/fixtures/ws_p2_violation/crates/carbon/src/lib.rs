@@ -1,0 +1,15 @@
+//! Mini model crate: a public API whose private helper panics on
+//! out-of-range input, with no documented contract — the P2 seed.
+
+/// Grid intensity for the zone, kg CO2e per kWh.
+pub fn intensity(zone: usize) -> f64 {
+    lookup(zone)
+}
+
+fn lookup(zone: usize) -> f64 {
+    table(zone).expect("zone is in range")
+}
+
+fn table(zone: usize) -> Option<f64> {
+    [0.1, 0.4, 0.7].get(zone).copied()
+}

@@ -1,0 +1,44 @@
+//! Self-check over the real workspace: the tree this crate ships in
+//! must be lint-clean under the full catalog (the same gate `ci.sh`
+//! runs via the binary, wired into `cargo test` so a filtered or
+//! partial CI run cannot mask a regression), and the analyzer must
+//! still catch a seeded cross-crate determinism violation — proving a
+//! clean report means "nothing found", not "nothing looked for".
+
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("lint crate sits at <root>/crates/lint")
+        .to_path_buf()
+}
+
+#[test]
+fn live_workspace_has_zero_findings() {
+    let findings = match gsf_lint::analyze_workspace(&repo_root()) {
+        Ok(f) => f,
+        Err(e) => panic!("workspace walk failed: {e}"),
+    };
+    assert!(
+        findings.is_empty(),
+        "workspace is not lint-clean:\n{}",
+        findings.iter().map(|f| f.render()).collect::<Vec<_>>().join("\n")
+    );
+}
+
+#[test]
+fn seeded_d4_violation_is_caught() {
+    // The negative control for the test above: a `SystemTime::now`
+    // buried two calls below a replay entry point, in a crate the model
+    // crate merely depends on, must surface as D4 with the full chain.
+    let root = repo_root().join("crates/lint/tests/fixtures/ws_d4_violation");
+    let findings = match gsf_lint::analyze_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => panic!("fixture walk failed: {e}"),
+    };
+    let d4: Vec<_> = findings.iter().filter(|f| f.rule == gsf_lint::RuleId::D4).collect();
+    assert!(!d4.is_empty(), "seeded D4 violation not caught:\n{findings:#?}");
+    assert!(d4[0].message.contains("replay_events"), "{}", d4[0].message);
+}

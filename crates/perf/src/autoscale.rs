@@ -106,6 +106,12 @@ impl Autoscaler {
     }
 
     /// Mean service time of the app on this SKU, ms.
+    ///
+    /// # Panics
+    ///
+    /// Unreachable in practice: [`Self::new`] rejects throughput-only
+    /// applications, the only case the service-profile lookup cannot
+    /// handle.
     pub fn service_ms(&self) -> f64 {
         let ServiceProfile::LatencyCritical { base_service_ms, .. } = self.app.service() else {
             unreachable!("checked in constructor");

@@ -102,6 +102,11 @@ pub fn simulate(config: &DesConfig, rng: &mut SimRng) -> DesResult {
 }
 
 /// Core event loop shared by [`simulate`] and [`response_samples`].
+///
+/// # Panics
+///
+/// Panics on a non-positive core count, arrival rate, service time,
+/// or request budget; both public callers build validated configs.
 fn run(config: &DesConfig, rng: &mut SimRng) -> (Percentiles, usize, f64) {
     assert!(config.cores > 0, "cores must be positive");
     assert!(config.qps > 0.0, "qps must be positive");

@@ -49,6 +49,12 @@ pub fn low_load_p95(
 /// The ratio of a scaled GreenSKU VM's low-load p95 to the baseline's
 /// own 8-core low-load p95; `None` when the app is throughput-only or
 /// unadoptable (scaling >1.5).
+///
+/// # Panics
+///
+/// Panics if a finite scaling factor yields no admissible core
+/// count — impossible for factors at or below the 1.5 adoptability
+/// gate checked first.
 pub fn low_load_ratio(
     app: &ApplicationModel,
     green: &SkuPerfProfile,

@@ -29,6 +29,12 @@ pub struct Slo {
 ///
 /// Returns `None` for throughput-only applications, which have no
 /// latency SLO.
+///
+/// # Panics
+///
+/// Panics if the M/M/c queue rejects 90 % of its own saturation
+/// throughput as unstable, which cannot happen for a positive
+/// service time.
 pub fn derive_slo(app: &ApplicationModel, baseline: &SkuPerfProfile) -> Option<Slo> {
     let ServiceProfile::LatencyCritical { base_service_ms, .. } = app.service() else {
         return None;

@@ -92,6 +92,12 @@ impl LoadSweep {
         base * slowdown(&self.app, &self.sku, self.placement)
     }
 
+    /// Service-time parameters of the latency-critical profile.
+    ///
+    /// # Panics
+    ///
+    /// Unreachable in practice: the constructor rejects throughput-only
+    /// applications.
     fn service_params(&self) -> (f64, f64) {
         match self.app.service() {
             ServiceProfile::LatencyCritical { base_service_ms, service_sigma } => {

@@ -63,6 +63,10 @@ impl VmArena {
 
     /// Allocates a slot for `vm` under `id`, recycling a released slot
     /// when one exists and growing the columns otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arena would exceed `u32::MAX` slots.
     pub fn alloc(&mut self, id: u64, vm: PlacedVm) -> u32 {
         self.live += 1;
         if let Some(slot) = self.free.pop() {

@@ -259,6 +259,10 @@ impl ShardTask<'_> {
 /// shard order): counters sum, packing summaries combine via the
 /// Welford parallel reduction, usage ledgers add per-app in ascending
 /// app order. With a single part this is the identity.
+///
+/// # Panics
+///
+/// Panics when `parts` is empty: a merge needs at least one shard.
 pub fn merge_outcomes(parts: Vec<(SimOutcome, FaultSummary)>) -> (SimOutcome, FaultSummary) {
     let mut iter = parts.into_iter();
     let (mut out, mut summary) = iter.next().expect("merge_outcomes needs at least one shard");

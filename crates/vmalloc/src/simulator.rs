@@ -558,6 +558,11 @@ impl AllocationSim {
 
     /// Reference faulted replay without a [`PreparedTrace`];
     /// bit-identical to [`Self::replay_faulted`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a trace event references a VM id missing from the
+    /// trace's VM table (generated traces are always self-consistent).
     pub fn replay_faulted_unprepared(
         &mut self,
         trace: &Trace,

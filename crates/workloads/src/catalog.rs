@@ -280,6 +280,11 @@ pub fn by_class(class: AppClass) -> Vec<ApplicationModel> {
 
 /// The representative application per class shown in Fig. 7 (DevOps is
 /// excluded there because builds only report throughput).
+///
+/// # Panics
+///
+/// Panics if the catalog loses one of the five named applications —
+/// guarded by the catalog tests.
 pub fn figure7_representatives() -> Vec<ApplicationModel> {
     ["Masstree", "Xapian", "Moses", "Img-DNN", "Nginx"]
         .iter()

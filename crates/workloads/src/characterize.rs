@@ -46,6 +46,11 @@ pub struct TraceProfile {
 }
 
 /// Characterizes a trace.
+///
+/// # Panics
+///
+/// Panics if a departure event references a VM id missing from the
+/// trace's VM table (generated traces are always self-consistent).
 pub fn characterize(trace: &Trace) -> TraceProfile {
     let apps = catalog::applications();
     let mut arrivals: BTreeMap<u64, f64> = BTreeMap::new();

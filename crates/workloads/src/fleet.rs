@@ -20,6 +20,11 @@ pub struct FleetMix {
 
 impl FleetMix {
     /// Builds the standard fleet mix from the full catalog.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the catalog yields non-finite or all-zero sampling
+    /// weights — impossible for the shipped class shares.
     pub fn standard() -> Self {
         let apps = catalog::applications();
         let weights: Vec<f64> = apps

@@ -156,6 +156,11 @@ impl Trace {
     /// searches probe dozens of cluster candidates against one trace)
     /// build this once instead of re-resolving `vm(id)` per event per
     /// probe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an event references a VM id missing from the trace's
+    /// VM table (generated traces are always self-consistent).
     pub fn index(&self) -> TraceIndex {
         let slot_of_id: std::collections::BTreeMap<u64, u32> =
             self.vms.iter().enumerate().map(|(i, v)| (v.id, i as u32)).collect();
@@ -199,6 +204,11 @@ impl Trace {
 
     /// Peak concurrent demand over the trace, in (cores, memory GB) —
     /// a lower bound on the cluster capacity needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an event references a VM id missing from the trace's
+    /// VM table (generated traces are always self-consistent).
     pub fn peak_demand(&self) -> (u64, f64) {
         let mut cores = 0i64;
         let mut mem = 0.0f64;

@@ -118,6 +118,12 @@ impl TraceGenerator {
     /// [`Self::synthesize_streamed`] share them (and the per-arrival
     /// draw sequence in [`Self::sample_arrival`]) so both paths consume
     /// the RNG stream identically and produce bit-identical traces.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid [`TraceParams`] (non-positive rates, lifetimes,
+    /// or distribution weights); the defaults and every preset in the
+    /// binaries satisfy these.
     fn samplers(&self) -> Samplers {
         let p = &self.params;
         let inter_arrival =
